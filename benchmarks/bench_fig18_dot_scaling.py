@@ -1,0 +1,66 @@
+"""Figure 18 — DoT flights: randomized GET-NEXT at very large n.
+
+Paper protocol: DoT on-time records, d = 3, theta = pi/50, top-10 sets,
+budgets 5,000 / 1,000, n up to one million.  Findings: run time grows
+linearly with n (about an hour at 1M in the paper's Python 2.7 setup);
+subsequent calls cost ~1/5 of the first (the budget ratio).
+
+Bench scale: n up to 300K (run examples/flight_scoring_scale.py --full
+for the 10^6 point).  Shape checks: near-linear growth; subsequent call
+cheaper than the first.
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro import Cone, GetNextRandomized
+from repro.datasets import dot_dataset
+
+SIZES = [30_000, 100_000, 300_000]
+K = 10
+
+_first_call_times: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig18_dot_first_and_next(benchmark, n):
+    flights = dot_dataset(n, np.random.default_rng(n))
+    cone = Cone(np.ones(3), math.pi / 50)
+
+    def run():
+        engine = GetNextRandomized(
+            flights,
+            region=cone,
+            kind="topk_set",
+            k=K,
+            rng=np.random.default_rng(18),
+        )
+        t0 = time.perf_counter()
+        first = engine.get_next(budget=5000)
+        t1 = time.perf_counter()
+        engine.get_next(budget=1000)
+        t2 = time.perf_counter()
+        return first, t1 - t0, t2 - t1
+
+    first, first_s, next_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    _first_call_times[n] = first_s
+    report(
+        benchmark,
+        n=n,
+        first_call_s=round(first_s, 2),
+        next_call_s=round(next_s, 2),
+        top_stability=round(first.stability, 4),
+    )
+    # Subsequent calls use 1/5 the budget: they must be clearly cheaper.
+    assert next_s < first_s
+    # "the run-time linearly increases with the number of items": the
+    # largest/smallest time ratio stays near the size ratio, far from
+    # quadratic.
+    if len(_first_call_times) == len(SIZES):
+        ratio = _first_call_times[SIZES[-1]] / _first_call_times[SIZES[0]]
+        size_ratio = SIZES[-1] / SIZES[0]
+        assert ratio < 3 * size_ratio

@@ -1,0 +1,84 @@
+"""Section 6.2 narrative — the concrete case-study findings.
+
+Beyond the figures, section 6.2 makes several point claims; this bench
+re-derives each on the stand-in datasets:
+
+- CSMetrics: the reference ranking is not among the most stable; a
+  top-10 membership change occurs in the most stable ranking (the
+  Cornell/Toronto swap), and some item moves several positions (the
+  Northeastern 40 -> 35 move).
+- FIFA: some pair of teams flips order between the published and the
+  most stable ranking (the Tunisia/Mexico flip).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro import Cone, GetNext2D, GetNextMD, verify_stability_2d
+from repro.datasets import csmetrics_dataset, fifa_dataset
+from repro.datasets.csmetrics import csmetrics_reference_function
+from repro.datasets.fifa import fifa_reference_function
+
+
+def test_sec62_csmetrics_findings(benchmark):
+    institutions = csmetrics_dataset(100)
+    reference = csmetrics_reference_function()
+
+    def analyse():
+        published = reference.rank(institutions)
+        results = list(GetNext2D(institutions))
+        verdict = verify_stability_2d(institutions, published)
+        best = results[0]
+        top10_published = set(published.order[:10])
+        top10_best = set(best.ranking.order[:10])
+        membership_changes = len(top10_published ^ top10_best) // 2
+        max_move = max(
+            abs(published.rank_of(i) - best.ranking.rank_of(i))
+            for i in range(institutions.n_items)
+        )
+        position = 1 + sum(r.stability > verdict.stability for r in results)
+        return position, len(results), membership_changes, max_move
+
+    position, total, membership_changes, max_move = benchmark.pedantic(
+        analyse, rounds=1, iterations=1
+    )
+    report(
+        benchmark,
+        reference_rank_among_stable=f"{position}/{total}",
+        top10_membership_changes=membership_changes,
+        max_rank_move=max_move,
+    )
+    # Paper: reference is 108th of 336; here it must at least be far from
+    # the top.
+    assert position > 10
+    # Paper: Cornell replaces Toronto in the top-10 (>= 0 changes is
+    # trivially true; demand at least some movement in ranks).
+    assert max_move >= 2
+
+
+def test_sec62_fifa_pair_flip(benchmark):
+    teams = fifa_dataset(100)
+    reference = fifa_reference_function()
+
+    def analyse():
+        rng = np.random.default_rng(62)
+        published = reference.rank(teams)
+        cone = Cone.from_cosine(reference.weights, 0.999)
+        engine = GetNextMD(teams, region=cone, n_samples=8_000, rng=rng)
+        best = engine.get_next()
+        flips = sum(
+            1
+            for a in range(teams.n_items)
+            for b in range(a + 1, teams.n_items)
+            if (published.rank_of(a) < published.rank_of(b))
+            != (best.ranking.rank_of(a) < best.ranking.rank_of(b))
+        )
+        return flips, best.ranking != published
+
+    flips, differs = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    report(benchmark, pairwise_flips=flips, most_stable_differs=differs)
+    # Paper: "while Tunisia holds a higher rank than Mexico in the
+    # reference ranking, Mexico is ranked higher in the most stable
+    # ranking" — at least one pair must flip.
+    assert differs
+    assert flips >= 1

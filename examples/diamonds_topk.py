@@ -1,0 +1,78 @@
+"""Blue Nile top-k study: stable shortlists at catalog scale (section 6.3).
+
+For a large catalog nobody inspects a complete ranking of 100k+ items;
+the randomized GET-NEXT operator finds stable *top-k* results instead.
+This example:
+
+- builds a 20,000-diamond catalog with the Blue Nile schema;
+- compares the stable top-10 *set* against the top-10 under the default
+  equal-weights function, inside a pi/50 cone;
+- contrasts ranked top-k and top-k set stabilities (Figures 17/20's
+  "sets are more stable than ranked lists" finding);
+- contrasts the stable top-k set with the skyline (section 2.2.5).
+
+Run with:  python examples/diamonds_topk.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import Cone, GetNextRandomized, ScoringFunction
+from repro.datasets import bluenile_dataset
+from repro.operators import skyline
+
+
+def main() -> None:
+    rng = np.random.default_rng(43)
+    catalog = bluenile_dataset(20_000, rng)
+    print(f"Catalog: {catalog.n_items} diamonds, attributes {catalog.attribute_names}")
+
+    default = ScoringFunction.equal_weights(catalog.n_attributes)
+    cone = Cone(default.weights, math.pi / 50)
+    k = 10
+
+    # -- Default top-10 vs the most stable top-10 set -------------------
+    default_top = default.rank(catalog, k=k)
+    set_engine = GetNextRandomized(
+        catalog, region=cone, kind="topk_set", k=k, rng=rng
+    )
+    stable_sets = set_engine.top_h(5, budget_first=5000, budget_rest=1000)
+    best_set = stable_sets[0]
+    print(f"\nDefault top-{k} (equal weights): {sorted(default_top.order)}")
+    print(
+        f"Most stable top-{k} set:         {sorted(best_set.top_k_set)} "
+        f"(stability {best_set.stability:.3f} "
+        f"+/- {best_set.confidence_error:.3f})"
+    )
+    overlap = len(set(default_top.order) & best_set.top_k_set)
+    print(f"Overlap: {overlap}/{k} diamonds")
+    print("\nNext most stable sets:")
+    for i, result in enumerate(stable_sets[1:], start=2):
+        print(f"  #{i}  stability={result.stability:.3f}  {sorted(result.top_k_set)}")
+
+    # -- Ranked top-k is less stable than the set ------------------------
+    ranked_engine = GetNextRandomized(
+        catalog, region=cone, kind="topk_ranked", k=k, rng=rng
+    )
+    best_ranked = ranked_engine.get_next(budget=5000)
+    print(
+        f"\nMost stable ranked top-{k}: stability {best_ranked.stability:.3f} "
+        f"(vs {best_set.stability:.3f} for the set — order adds fragility)"
+    )
+
+    # -- Skyline contrast (section 2.2.5) --------------------------------
+    sky = set(skyline(catalog.values).tolist())
+    inside = len(best_set.top_k_set & sky)
+    print(
+        f"\nSkyline of the catalog: {len(sky)} diamonds; "
+        f"{inside}/{k} of the stable top-{k} are skyline members"
+    )
+    print(
+        "(stable top-k items need not be skyline points — they are items "
+        "that rank highly across many acceptable weightings)"
+    )
+
+
+if __name__ == "__main__":
+    main()

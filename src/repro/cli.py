@@ -1,0 +1,288 @@
+"""Command-line interface for quick stability analyses on CSV files.
+
+Four subcommands mirror the library's workflows::
+
+    python -m repro.cli verify data.csv --weights 1,1
+    python -m repro.cli enumerate data.csv --top 5
+    python -m repro.cli topk data.csv --k 10 --kind set --budget 5000
+    python -m repro.cli profile data.csv --items 0,1,2
+
+The CSV must contain one numeric column per scoring attribute (a header
+row is auto-detected); an optional ``--label-column NAME`` column holds
+item names.  All attributes are min-max normalised, with
+``--lower-is-better COL1,COL2`` flipping the named columns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    Cone,
+    Dataset,
+    FullSpace,
+    GetNextRandomized,
+    ScoringFunction,
+    make_get_next,
+    rank_profile,
+    verify_stability_2d,
+    verify_stability_md,
+)
+
+__all__ = ["main", "load_csv_dataset"]
+
+
+def load_csv_dataset(
+    path: str | Path,
+    *,
+    label_column: str | None = None,
+    lower_is_better: tuple[str, ...] = (),
+) -> Dataset:
+    """Read a CSV of scoring attributes into a normalised :class:`Dataset`.
+
+    A header row is assumed when the first row contains any non-numeric
+    cell; otherwise columns are named ``x1..xd``.
+    """
+    rows: list[list[str]] = []
+    with open(path, newline="") as handle:
+        for row in csv.reader(handle):
+            if row:
+                rows.append(row)
+    if not rows:
+        raise ValueError(f"{path} is empty")
+
+    def _is_number(cell: str) -> bool:
+        try:
+            float(cell)
+        except ValueError:
+            return False
+        return True
+
+    has_header = not all(_is_number(cell) for cell in rows[0])
+    if has_header:
+        header = [cell.strip() for cell in rows[0]]
+        body = rows[1:]
+    else:
+        header = [f"x{j + 1}" for j in range(len(rows[0]))]
+        body = rows
+    if label_column is not None:
+        if label_column not in header:
+            raise ValueError(f"label column {label_column!r} not in header {header}")
+        label_idx = header.index(label_column)
+        labels = [row[label_idx] for row in body]
+        attr_idx = [j for j in range(len(header)) if j != label_idx]
+    else:
+        labels = None
+        attr_idx = list(range(len(header)))
+    names = [header[j] for j in attr_idx]
+    values = np.array(
+        [[float(row[j]) for j in attr_idx] for row in body], dtype=np.float64
+    )
+    unknown = set(lower_is_better) - set(names)
+    if unknown:
+        raise ValueError(f"--lower-is-better columns not found: {sorted(unknown)}")
+    higher = [name not in lower_is_better for name in names]
+    return Dataset(values, item_labels=labels, attribute_names=names).normalized(
+        higher_is_better=higher
+    )
+
+
+def _parse_weights(text: str, dim: int) -> np.ndarray:
+    parts = [float(p) for p in text.split(",")]
+    if len(parts) != dim:
+        raise SystemExit(f"expected {dim} weights, got {len(parts)}")
+    return np.array(parts)
+
+
+def _region_for(args, dim: int, weights: np.ndarray | None):
+    if args.cone_theta is not None:
+        centre = weights if weights is not None else np.ones(dim)
+        return Cone(centre, args.cone_theta)
+    return FullSpace(dim)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("csv", help="input CSV of scoring attributes")
+    parser.add_argument("--label-column", default=None)
+    parser.add_argument(
+        "--lower-is-better",
+        default="",
+        help="comma-separated columns where smaller raw values are better",
+    )
+    parser.add_argument(
+        "--cone-theta",
+        type=float,
+        default=None,
+        help="restrict to a cone of this angle around the weights",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Stable-rankings analyses on CSV data"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="stability of the ranking under given weights")
+    _add_common(p_verify)
+    p_verify.add_argument("--weights", required=True, help="comma-separated weights")
+    p_verify.add_argument("--samples", type=int, default=20_000)
+
+    p_enum = sub.add_parser("enumerate", help="most stable rankings, best first")
+    _add_common(p_enum)
+    p_enum.add_argument("--top", type=int, default=5)
+    p_enum.add_argument("--samples", type=int, default=20_000)
+
+    p_topk = sub.add_parser("topk", help="most stable top-k sets / ranked prefixes")
+    _add_common(p_topk)
+    p_topk.add_argument("--k", type=int, required=True)
+    p_topk.add_argument("--kind", choices=["set", "ranked"], default="set")
+    p_topk.add_argument("--top", type=int, default=3)
+    p_topk.add_argument("--budget", type=int, default=5_000)
+
+    p_profile = sub.add_parser("profile", help="per-item rank ranges")
+    _add_common(p_profile)
+    p_profile.add_argument("--items", default=None, help="comma-separated item ids")
+    p_profile.add_argument("--samples", type=int, default=2_000)
+
+    p_label = sub.add_parser(
+        "label", help="stability 'ranking facts' label for published weights"
+    )
+    _add_common(p_label)
+    p_label.add_argument("--weights", required=True, help="comma-separated weights")
+    p_label.add_argument("--k", type=int, default=10)
+    p_label.add_argument("--samples", type=int, default=4_000)
+
+    p_tradeoff = sub.add_parser(
+        "tradeoff", help="stability vs cosine-similarity frontier around weights"
+    )
+    _add_common(p_tradeoff)
+    p_tradeoff.add_argument("--weights", required=True, help="comma-separated weights")
+    p_tradeoff.add_argument(
+        "--cosines",
+        default="0.9999,0.999,0.99,0.97",
+        help="comma-separated cosine levels",
+    )
+
+    args = parser.parse_args(argv)
+    lower = tuple(c for c in args.lower_is_better.split(",") if c)
+    ds = load_csv_dataset(
+        args.csv, label_column=args.label_column, lower_is_better=lower
+    )
+    rng = np.random.default_rng(args.seed)
+    out = sys.stdout
+
+    if args.command == "verify":
+        weights = _parse_weights(args.weights, ds.n_attributes)
+        region = _region_for(args, ds.n_attributes, weights)
+        ranking = ScoringFunction(weights).rank(ds)
+        if ds.n_attributes == 2:
+            result = verify_stability_2d(ds, ranking, region=region)
+        else:
+            result = verify_stability_md(
+                ds, ranking, region=region, n_samples=args.samples, rng=rng
+            )
+        print(f"stability: {result.stability:.6f}", file=out)
+        if result.confidence_error:
+            print(f"confidence_error: {result.confidence_error:.6f}", file=out)
+        top = ", ".join(ds.label_of(i) for i in ranking.order[:10])
+        print(f"ranking (top 10): {top}", file=out)
+        return 0
+
+    if args.command == "enumerate":
+        region = _region_for(args, ds.n_attributes, None)
+        engine = make_get_next(ds, region=region, rng=rng)
+        for i in range(args.top):
+            try:
+                if isinstance(engine, GetNextRandomized):
+                    result = engine.get_next(budget=args.budget if hasattr(args, "budget") else 5000)
+                else:
+                    result = engine.get_next()
+            except Exception:
+                break
+            head = ", ".join(ds.label_of(j) for j in result.ranking.order[:5])
+            print(f"#{i + 1} stability={result.stability:.6f}  [{head}, ...]", file=out)
+        return 0
+
+    if args.command == "topk":
+        region = _region_for(args, ds.n_attributes, None)
+        kind = "topk_set" if args.kind == "set" else "topk_ranked"
+        engine = GetNextRandomized(ds, region=region, kind=kind, k=args.k, rng=rng)
+        results = engine.top_h(
+            args.top, budget_first=args.budget, budget_rest=max(args.budget // 5, 1)
+        )
+        for i, result in enumerate(results, start=1):
+            if result.top_k_set is not None:
+                members = ", ".join(ds.label_of(j) for j in sorted(result.top_k_set))
+            else:
+                members = ", ".join(ds.label_of(j) for j in result.ranking)
+            print(
+                f"#{i} stability={result.stability:.4f} "
+                f"(+/- {result.confidence_error:.4f})  {{{members}}}",
+                file=out,
+            )
+        return 0
+
+    if args.command == "profile":
+        region = _region_for(args, ds.n_attributes, None)
+        items = (
+            [int(i) for i in args.items.split(",")] if args.items else None
+        )
+        for p in rank_profile(
+            ds, items, region=region, n_samples=args.samples, rng=rng
+        ):
+            print(
+                f"{ds.label_of(p.item):<24} ranks [{p.min_rank}, {p.max_rank}] "
+                f"mean {p.mean_rank:.1f}",
+                file=out,
+            )
+        return 0
+
+    if args.command == "label":
+        from repro.core.label import build_label
+
+        weights = _parse_weights(args.weights, ds.n_attributes)
+        region = _region_for(args, ds.n_attributes, weights)
+        label = build_label(
+            ds,
+            weights,
+            region=region,
+            k=args.k,
+            n_samples=args.samples,
+            rng=rng,
+        )
+        print(label.render(labels=ds.item_labels), file=out)
+        return 0
+
+    if args.command == "tradeoff":
+        from repro.core.tradeoff import stability_similarity_tradeoff
+
+        weights = _parse_weights(args.weights, ds.n_attributes)
+        cosines = tuple(float(c) for c in args.cosines.split(",") if c)
+        points = stability_similarity_tradeoff(
+            ds, weights, cosines=cosines, rng=rng
+        )
+        print(
+            f"{'cosine':>8} {'theta':>9} {'best_stab':>10} "
+            f"{'ref_stab':>10} {'moves':>6}",
+            file=out,
+        )
+        for p in points:
+            print(
+                f"{p.cosine:8.4f} {p.theta:9.5f} {p.best.stability:10.5f} "
+                f"{p.reference_stability:10.5f} {p.displacement:6d}",
+                file=out,
+            )
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

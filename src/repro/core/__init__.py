@@ -1,0 +1,101 @@
+"""Core library: the paper's primary contribution.
+
+Data model (:mod:`dataset`, :mod:`scoring`, :mod:`ranking`), regions of
+interest (:mod:`region`), and the three algorithm families — exact 2D
+(:mod:`twod`), arrangement-based MD (:mod:`md`), and Monte-Carlo
+randomized (:mod:`randomized`) — unified by the enumeration drivers in
+:mod:`enumeration`.
+"""
+
+from repro.core.dataset import Dataset
+from repro.core.enumeration import (
+    enumerate_stable_rankings,
+    make_get_next,
+    top_h_stable_rankings,
+)
+from repro.core.md import (
+    GetNextMD,
+    exchange_hyperplanes,
+    ranking_region_md,
+    verify_stability_md,
+)
+from repro.core.randomized import GetNextRandomized
+from repro.core.ranking import Ranking, rank_items, ranking_from_scores
+from repro.core.region import Cone, ConstrainedRegion, FullSpace, RegionOfInterest
+from repro.core.scoring import ScoringFunction
+from repro.core.stability import AngularRegion, StabilityResult
+from repro.core.twod import GetNext2D, ray_sweep, sweep_boundaries, verify_stability_2d
+from repro.core.tolerance import kendall_tau_within, tolerant_stability
+from repro.core.topk_stability import (
+    verify_topk_ranking_stability,
+    verify_topk_set_stability,
+)
+from repro.core.boundaries import (
+    BoundaryPair,
+    boundary_pairs_2d,
+    chebyshev_direction,
+    facet_pairs_md,
+    tight_constraints,
+)
+from repro.core.analysis import (
+    RankProfile,
+    rank_profile,
+    stable_pairs,
+    topk_membership_probability,
+)
+from repro.core.label import RankingLabel, build_label
+from repro.core.twod_topk import enumerate_topk_2d, sweep_topk_2d, verify_topk_2d
+from repro.core.tradeoff import (
+    TradeoffPoint,
+    absolute_best_volumes,
+    most_stable_within,
+    stability_similarity_tradeoff,
+)
+
+__all__ = [
+    "Dataset",
+    "Ranking",
+    "rank_items",
+    "ranking_from_scores",
+    "ScoringFunction",
+    "RegionOfInterest",
+    "FullSpace",
+    "Cone",
+    "ConstrainedRegion",
+    "AngularRegion",
+    "StabilityResult",
+    "verify_stability_2d",
+    "ray_sweep",
+    "sweep_boundaries",
+    "GetNext2D",
+    "verify_stability_md",
+    "ranking_region_md",
+    "exchange_hyperplanes",
+    "GetNextMD",
+    "GetNextRandomized",
+    "make_get_next",
+    "enumerate_stable_rankings",
+    "top_h_stable_rankings",
+    "tolerant_stability",
+    "kendall_tau_within",
+    "BoundaryPair",
+    "boundary_pairs_2d",
+    "facet_pairs_md",
+    "tight_constraints",
+    "chebyshev_direction",
+    "RankProfile",
+    "rank_profile",
+    "topk_membership_probability",
+    "stable_pairs",
+    "verify_topk_set_stability",
+    "verify_topk_ranking_stability",
+    "RankingLabel",
+    "build_label",
+    "sweep_topk_2d",
+    "enumerate_topk_2d",
+    "verify_topk_2d",
+    "TradeoffPoint",
+    "most_stable_within",
+    "stability_similarity_tradeoff",
+    "absolute_best_volumes",
+]

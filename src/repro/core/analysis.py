@@ -1,0 +1,179 @@
+"""Item-level stability analyses built on the function sampler.
+
+The paper's operators answer questions about whole rankings; consumers
+often ask the dual question about a single item ("how volatile is my
+rank?", Example 1's Cornell).  These analyses reuse the section 5
+sampler:
+
+- :func:`rank_profile` — per-item distribution of ranks across the
+  region of interest: min, max, mean rank and selected quantiles;
+- :func:`topk_membership_probability` — per-item probability of making
+  the top-k (the quantity behind the stable top-k set);
+- :func:`stable_pairs` — the partial order of item pairs whose relative
+  ranking never flips inside ``U*`` (certified by LP, not sampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.geometry.halfspace import ConvexCone, Halfspace
+
+__all__ = [
+    "RankProfile",
+    "rank_profile",
+    "topk_membership_probability",
+    "stable_pairs",
+]
+
+
+@dataclass(frozen=True)
+class RankProfile:
+    """Rank statistics of one item across sampled scoring functions.
+
+    Ranks are 1-based; ``quantiles`` maps the requested quantile levels
+    to rank values.
+    """
+
+    item: int
+    min_rank: int
+    max_rank: int
+    mean_rank: float
+    quantiles: dict[float, float]
+
+
+def rank_profile(
+    dataset: Dataset,
+    items: list[int] | None = None,
+    *,
+    region: RegionOfInterest | None = None,
+    n_samples: int = 2_000,
+    rng: np.random.Generator | None = None,
+    quantile_levels: tuple[float, ...] = (0.05, 0.5, 0.95),
+) -> list[RankProfile]:
+    """Per-item rank distributions over the region of interest.
+
+    A consumer like Example 1's Cornell can see at a glance the best and
+    worst rank any acceptable weighting assigns it.
+    """
+    roi = region if region is not None else FullSpace(dataset.n_attributes)
+    generator = rng if rng is not None else np.random.default_rng()
+    targets = list(items) if items is not None else list(range(dataset.n_items))
+    weights = roi.sample(n_samples, generator)
+    scores = weights @ dataset.values.T  # (n_samples, n_items)
+    # rank of item j in sample s = 1 + #items with strictly higher score
+    #                              + #lower-id items with equal score.
+    ranks = np.empty((n_samples, len(targets)), dtype=np.int64)
+    for col, item in enumerate(targets):
+        s_item = scores[:, item]
+        higher = (scores > s_item[:, None]).sum(axis=1)
+        equal_lower = (scores[:, :item] == s_item[:, None]).sum(axis=1)
+        ranks[:, col] = 1 + higher + equal_lower
+    profiles = []
+    for col, item in enumerate(targets):
+        r = ranks[:, col]
+        profiles.append(
+            RankProfile(
+                item=item,
+                min_rank=int(r.min()),
+                max_rank=int(r.max()),
+                mean_rank=float(r.mean()),
+                quantiles={
+                    q: float(np.quantile(r, q)) for q in quantile_levels
+                },
+            )
+        )
+    return profiles
+
+
+def topk_membership_probability(
+    dataset: Dataset,
+    k: int,
+    *,
+    region: RegionOfInterest | None = None,
+    n_samples: int = 2_000,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """For each item, the probability of appearing in the top-k.
+
+    The most stable top-k *set* tends to collect the items with the
+    highest membership probability; this vector explains *why* a given
+    set wins and which items sit on the bubble.
+    """
+    if not 1 <= k <= dataset.n_items:
+        raise ValueError(f"k must be in [1, {dataset.n_items}], got {k}")
+    roi = region if region is not None else FullSpace(dataset.n_attributes)
+    generator = rng if rng is not None else np.random.default_rng()
+    weights = roi.sample(n_samples, generator)
+    scores = weights @ dataset.values.T
+    counts = np.zeros(dataset.n_items, dtype=np.int64)
+    for row in scores:
+        part = np.argpartition(-row, k - 1)[:k]
+        # Exact boundary handling is irrelevant for a probability
+        # estimate (ties at the boundary have sampling probability 0).
+        counts[part] += 1
+    return counts / n_samples
+
+
+def stable_pairs(
+    dataset: Dataset,
+    *,
+    region: RegionOfInterest | None = None,
+    max_items: int = 200,
+) -> np.ndarray:
+    """Certified order relations: pairs that never flip inside ``U*``.
+
+    Returns a boolean matrix ``M`` with ``M[i, j]`` true iff item ``i``
+    outscores item ``j`` for *every* function in the region of interest.
+    Certification is exact: the exchange hyperplane of the pair must not
+    intersect the region (an LP when the region is constraint-shaped,
+    an angular-margin test for cones, a dominance test for the full
+    space).  Quadratic in ``n``; guarded by ``max_items``.
+    """
+    from repro.core.region import Cone, ConstrainedRegion
+    from repro.geometry.angles import as_unit_vector
+    from repro.geometry.dual import dominates
+
+    n = dataset.n_items
+    if n > max_items:
+        raise ValueError(
+            f"stable_pairs is O(n^2) with an LP per pair; {n} items exceeds "
+            f"max_items={max_items}"
+        )
+    roi = region if region is not None else FullSpace(dataset.n_attributes)
+    values = dataset.values
+    result = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            diff = values[i] - values[j]
+            if dominates(values[i], values[j]):
+                result[i, j] = True
+                continue
+            if isinstance(roi, FullSpace):
+                continue  # only dominance certifies over the whole orthant
+            if isinstance(roi, Cone):
+                # i always outscores j iff diff . w > 0 on the whole cap:
+                # the angle between diff's positive halfspace boundary and
+                # the axis must exceed theta with margin on the right side.
+                axis = as_unit_vector(roi.ray)
+                norm = float(np.linalg.norm(diff))
+                if norm == 0.0:
+                    continue
+                margin = float(diff @ axis) / norm  # cos of angle to boundary normal
+                # diff.w > 0 for all w within theta of axis  iff
+                # angle(diff, axis) < pi/2 - theta.
+                result[i, j] = margin > np.cos(np.pi / 2 - roi.theta) + 1e-12
+                continue
+            if isinstance(roi, ConstrainedRegion):
+                # Certified iff the opposite halfspace is infeasible
+                # within the region's cone.
+                opposite = Halfspace(tuple(diff), -1)
+                cone: ConvexCone = roi.cone.with_halfspace(opposite)
+                result[i, j] = not cone.is_feasible()
+    return result

@@ -1,0 +1,191 @@
+"""Characterising the boundaries of a stable region (paper future work).
+
+Section 8: "a weight vector is a single point in a stable region.  It
+would be nice, for some applications, to characterize the boundaries of
+the stable region."  This module does exactly that:
+
+- in 2D a ranking region's boundary is two ordering exchanges;
+  :func:`boundary_pairs_2d` names the item pairs whose exchanges clip
+  the region (the pairs a producer must watch);
+- for d > 2 a ranking region is the intersection of up to ``n - 1``
+  halfspaces, most of them redundant; :func:`tight_constraints` removes
+  the redundant ones with an LP per constraint, leaving the facets of
+  the region — each facet is an ordering exchange of one adjacent pair;
+- :func:`chebyshev_direction` finds the deepest interior point (the
+  max-margin scoring function), a natural "most robust representative"
+  for a published ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.dataset import Dataset
+from repro.core.ranking import Ranking
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.core.twod import verify_stability_2d
+from repro.errors import InfeasibleRegionError
+from repro.geometry.dual import dominates, exchange_angle_2d
+from repro.geometry.halfspace import ConvexCone
+
+__all__ = [
+    "BoundaryPair",
+    "boundary_pairs_2d",
+    "tight_constraints",
+    "facet_pairs_md",
+    "chebyshev_direction",
+]
+
+
+@dataclass(frozen=True)
+class BoundaryPair:
+    """An adjacent item pair whose ordering exchange bounds a region.
+
+    Attributes
+    ----------
+    higher, lower:
+        Item identifiers: ``higher`` is ranked above ``lower`` inside the
+        region and they swap on the boundary.
+    angle:
+        The 2D exchange angle, or ``nan`` for d > 2 facets.
+    """
+
+    higher: int
+    lower: int
+    angle: float = float("nan")
+
+
+def boundary_pairs_2d(
+    dataset: Dataset,
+    ranking: Ranking,
+    *,
+    region: RegionOfInterest | None = None,
+) -> tuple[BoundaryPair | None, BoundaryPair | None]:
+    """The two ordering exchanges clipping a 2D ranking region.
+
+    Returns ``(lower_boundary, upper_boundary)``; an entry is ``None``
+    when the region is clipped by the region of interest itself (no
+    exchange binds on that side).
+    """
+    result = verify_stability_2d(dataset, ranking, region=region)
+    roi = region if region is not None else FullSpace(2)
+    lo_bound, hi_bound = roi.angle_interval()
+    values = dataset.values
+    lower = upper = None
+    for i in range(len(ranking) - 1):
+        t_idx, u_idx = ranking[i], ranking[i + 1]
+        t, u = values[t_idx], values[u_idx]
+        if dominates(t, u) or np.allclose(t, u):
+            continue
+        theta = exchange_angle_2d(t, u)
+        if abs(theta - result.region.lo) < 1e-12 and result.region.lo > lo_bound:
+            lower = BoundaryPair(t_idx, u_idx, theta)
+        if abs(theta - result.region.hi) < 1e-12 and result.region.hi < hi_bound:
+            upper = BoundaryPair(t_idx, u_idx, theta)
+    return lower, upper
+
+
+def tight_constraints(cone: ConvexCone, *, nonnegative: bool = True) -> list[int]:
+    """Indices of the non-redundant halfspaces of a cone (its facets).
+
+    A halfspace ``h`` is redundant when the cone without it still implies
+    it; testing takes one LP per halfspace: maximise the violation of
+    ``h`` subject to all the others — a positive optimum certifies that
+    ``h`` genuinely cuts the region.
+
+    Returns the indices (into ``cone.halfspaces``) of the tight ones.
+    """
+    halfspaces = list(cone.halfspaces)
+    tight: list[int] = []
+    for idx, candidate in enumerate(halfspaces):
+        others = [h for j, h in enumerate(halfspaces) if j != idx]
+        rows = [h.oriented_normal for h in others]
+        if nonnegative:
+            rows.extend(np.eye(cone.dim))
+        a = np.stack(rows) if rows else np.empty((0, cone.dim))
+        # maximise  -(candidate . x)  s.t.  others hold, |x| <= 1.
+        c = candidate.oriented_normal
+        a_ub = -a if a.shape[0] else np.empty((0, cone.dim))
+        b_ub = np.zeros(a_ub.shape[0])
+        res = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            bounds=[(-1.0, 1.0)] * cone.dim,
+            method="highs",
+        )
+        if res.success and res.fun is not None and res.fun < -1e-9:
+            tight.append(idx)
+    return tight
+
+
+def facet_pairs_md(
+    dataset: Dataset,
+    ranking: Ranking,
+) -> list[BoundaryPair]:
+    """The adjacent pairs whose exchanges are facets of an MD region.
+
+    Builds the ranking region (Algorithm 4) and keeps the constraints
+    that :func:`tight_constraints` certifies as facets.  These are the
+    pairs whose order is actually at risk under weight perturbation; all
+    other adjacent pairs are protected by transitivity.
+    """
+    from repro.core.md import ranking_region_md
+
+    values = dataset.values
+    # Rebuild the constraint list in step with ranking_region_md so facet
+    # indices map back to pairs.
+    pairs: list[tuple[int, int]] = []
+    for i in range(len(ranking) - 1):
+        t_idx, u_idx = ranking[i], ranking[i + 1]
+        t, u = values[t_idx], values[u_idx]
+        if dominates(t, u) or np.allclose(t, u):
+            continue
+        pairs.append((t_idx, u_idx))
+    cone = ranking_region_md(dataset, ranking)
+    assert len(cone) == len(pairs)
+    return [
+        BoundaryPair(pairs[idx][0], pairs[idx][1])
+        for idx in tight_constraints(cone)
+    ]
+
+
+def chebyshev_direction(cone: ConvexCone, *, nonnegative: bool = True) -> np.ndarray:
+    """The deepest interior direction of a cone (max-margin function).
+
+    Solves ``max s : A x >= s ||a_i||, ||x||_inf <= 1`` — the Chebyshev
+    centre of the cone's unit box section, normalised to a unit vector.
+    For a ranking region this is the single scoring function whose
+    ranking survives the largest weight perturbation in every constraint
+    direction; a natural choice for a producer who must publish one
+    weight vector.
+
+    Raises
+    ------
+    InfeasibleRegionError
+        If the cone has empty interior.
+    """
+    rows = [h.oriented_normal for h in cone.halfspaces]
+    if nonnegative:
+        rows.extend(np.eye(cone.dim))
+    if not rows:
+        return np.full(cone.dim, 1.0 / np.sqrt(cone.dim))
+    a = np.stack(rows)
+    norms = np.linalg.norm(a, axis=1, keepdims=True)
+    norms = np.where(norms > 0, norms, 1.0)
+    m = a.shape[0]
+    c = np.zeros(cone.dim + 1)
+    c[-1] = -1.0
+    a_ub = np.hstack([-a / norms, np.ones((m, 1))])
+    b_ub = np.zeros(m)
+    bounds = [(-1.0, 1.0)] * cone.dim + [(None, None)]
+    if nonnegative:
+        bounds = [(0.0, 1.0)] * cone.dim + [(None, None)]
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not res.success or res.x is None or res.x[-1] <= 1e-12:
+        raise InfeasibleRegionError("cone has empty interior")
+    x = res.x[: cone.dim]
+    return x / np.linalg.norm(x)

@@ -1,0 +1,230 @@
+"""The data model of section 2.1.1: items with scalar scoring attributes.
+
+A :class:`Dataset` is a fixed table of ``n`` items over ``d`` scoring
+attributes.  The paper assumes (w.l.o.g.) that attributes have been
+"appropriately transformed: normalized to non-negative values between 0
+and 1 ... and adjusted so that larger values are preferred"; the
+constructors here provide those transformations explicitly:
+
+- :meth:`Dataset.normalized` — min-max scaling with per-attribute
+  preference direction (the Blue Nile treatment of section 6.1, where
+  ``Price`` is lower-is-better);
+- :meth:`Dataset.log_transformed` — the CSMetrics preprocessing that
+  turns the multiplicative score ``M^alpha * P^(1-alpha)`` into a linear
+  one over ``(log M, log P)``;
+- :meth:`Dataset.with_derived_attribute` — the section 2.1.1 trick for
+  non-linear scoring functions (e.g. adding ``x3 = x1^2`` so that
+  ``x1 + x2 + 0.5 x1^2`` becomes linear).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidDatasetError
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """An immutable ``(n, d)`` table of scoring attributes.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(n, d)``; finite floats.
+    item_labels:
+        Optional human-readable names, one per item (e.g. institution or
+        team names).  Defaults to ``"item-<i>"``.
+    attribute_names:
+        Optional names, one per attribute.  Defaults to ``"x<j+1>"``
+        matching the paper's ``x1, x2, ...`` convention.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        *,
+        item_labels: Sequence[str] | None = None,
+        attribute_names: Sequence[str] | None = None,
+    ):
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 2:
+            raise InvalidDatasetError(f"values must be 2-D (n, d), got shape {arr.shape}")
+        n, d = arr.shape
+        if n < 1:
+            raise InvalidDatasetError("dataset must contain at least one item")
+        if d < 2:
+            raise InvalidDatasetError("dataset must have at least two scoring attributes")
+        if not np.all(np.isfinite(arr)):
+            raise InvalidDatasetError("attribute values must be finite")
+        self._values = arr.copy()
+        self._values.setflags(write=False)
+        if item_labels is not None:
+            if len(item_labels) != n:
+                raise InvalidDatasetError(
+                    f"{len(item_labels)} labels for {n} items"
+                )
+            self._item_labels = tuple(str(s) for s in item_labels)
+        else:
+            self._item_labels = tuple(f"item-{i}" for i in range(n))
+        if attribute_names is not None:
+            if len(attribute_names) != d:
+                raise InvalidDatasetError(
+                    f"{len(attribute_names)} attribute names for {d} attributes"
+                )
+            self._attribute_names = tuple(str(s) for s in attribute_names)
+        else:
+            self._attribute_names = tuple(f"x{j + 1}" for j in range(d))
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only ``(n, d)`` attribute matrix."""
+        return self._values
+
+    @property
+    def n_items(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self._values.shape[1]
+
+    @property
+    def item_labels(self) -> tuple[str, ...]:
+        return self._item_labels
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self._attribute_names
+
+    def __len__(self) -> int:
+        return self.n_items
+
+    def __repr__(self) -> str:
+        return f"Dataset(n_items={self.n_items}, n_attributes={self.n_attributes})"
+
+    def item(self, index: int) -> np.ndarray:
+        """Attribute vector of one item."""
+        return self._values[index]
+
+    def label_of(self, index: int) -> str:
+        return self._item_labels[index]
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """A new dataset restricted to the given item indices (in order)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return Dataset(
+            self._values[idx],
+            item_labels=[self._item_labels[i] for i in idx],
+            attribute_names=self._attribute_names,
+        )
+
+    def project(self, attributes: Sequence[int]) -> "Dataset":
+        """A new dataset keeping only the given attribute columns.
+
+        The paper's evaluation varies ``d`` by projecting "the first k
+        attributes" of Blue Nile (section 6.3); this is that operation.
+        """
+        cols = list(attributes)
+        if len(cols) < 2:
+            raise InvalidDatasetError("projection must keep at least two attributes")
+        return Dataset(
+            self._values[:, cols],
+            item_labels=self._item_labels,
+            attribute_names=[self._attribute_names[j] for j in cols],
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations (section 2.1.1 preprocessing)
+    # ------------------------------------------------------------------
+    def normalized(self, *, higher_is_better: Sequence[bool] | None = None) -> "Dataset":
+        """Min-max normalise every attribute into ``[0, 1]``.
+
+        ``higher_is_better[j] = False`` flips attribute ``j`` with
+        ``(max - v) / (max - min)`` so that larger normalised values are
+        always preferred — the section 6.1 treatment of Blue Nile's
+        ``Price``.  Constant attributes map to 0.5 (any constant works;
+        they cannot affect comparisons between items).
+        """
+        if higher_is_better is None:
+            higher = np.ones(self.n_attributes, dtype=bool)
+        else:
+            if len(higher_is_better) != self.n_attributes:
+                raise InvalidDatasetError(
+                    "higher_is_better must give one flag per attribute"
+                )
+            higher = np.asarray(list(higher_is_better), dtype=bool)
+        lo = self._values.min(axis=0)
+        hi = self._values.max(axis=0)
+        span = hi - lo
+        out = np.empty_like(self._values)
+        for j in range(self.n_attributes):
+            if span[j] <= 0.0:
+                out[:, j] = 0.5
+            elif higher[j]:
+                out[:, j] = (self._values[:, j] - lo[j]) / span[j]
+            else:
+                out[:, j] = (hi[j] - self._values[:, j]) / span[j]
+        return Dataset(
+            out, item_labels=self._item_labels, attribute_names=self._attribute_names
+        )
+
+    def standardized(self) -> "Dataset":
+        """Shift/scale each attribute to mean 0, variance 1, then min-max.
+
+        Section 2.1.1 mentions attributes "standardized to have equivalent
+        variance"; because weights must stay non-negative the standardised
+        values are min-max rescaled into ``[0, 1]`` afterwards.
+        """
+        mu = self._values.mean(axis=0)
+        sigma = self._values.std(axis=0)
+        sigma = np.where(sigma > 0, sigma, 1.0)
+        z = (self._values - mu) / sigma
+        return Dataset(
+            z, item_labels=self._item_labels, attribute_names=self._attribute_names
+        ).normalized()
+
+    def log_transformed(self, *, offset: float = 0.0) -> "Dataset":
+        """Apply ``log(v + offset)`` elementwise (CSMetrics preprocessing).
+
+        Section 6.1: the CSMetrics score ``M^alpha P^(1-alpha)`` becomes
+        linear under ``x1 = log M, x2 = log P``.  All shifted values must
+        be strictly positive.
+        """
+        shifted = self._values + offset
+        if np.any(shifted <= 0.0):
+            raise InvalidDatasetError(
+                "log transform requires strictly positive values (adjust offset)"
+            )
+        return Dataset(
+            np.log(shifted),
+            item_labels=self._item_labels,
+            attribute_names=tuple(f"log_{a}" for a in self._attribute_names),
+        )
+
+    def with_derived_attribute(
+        self, func: Callable[[np.ndarray], np.ndarray], name: str | None = None
+    ) -> "Dataset":
+        """Append a derived column computed from the existing attributes.
+
+        Implements the section 2.1.1 device for non-linear scoring: e.g.
+        ``ds.with_derived_attribute(lambda v: v[:, 0] ** 2, name="x1_sq")``
+        makes ``w1*x1 + w2*x2 + w3*x1^2`` expressible as a linear function.
+        """
+        col = np.asarray(func(self._values), dtype=np.float64).reshape(-1)
+        if col.shape[0] != self.n_items:
+            raise InvalidDatasetError(
+                "derived attribute must produce one value per item"
+            )
+        new_name = name if name is not None else f"x{self.n_attributes + 1}"
+        return Dataset(
+            np.column_stack([self._values, col]),
+            item_labels=self._item_labels,
+            attribute_names=[*self._attribute_names, new_name],
+        )

@@ -1,0 +1,157 @@
+"""Batch and iterative stable-region enumeration (Problems 2 and 3).
+
+The paper frames the producer's workflow through a single primitive,
+GET-NEXT, which yields rankings in decreasing stability (Problem 3).  The
+batch variant (Problem 2 — "all rankings with stability >= s" or "the
+top-h stable rankings") simply drives GET-NEXT repeatedly; this module
+provides that driver over any of the three engines (exact 2D, arrangement
+MD, randomized), plus a dispatching factory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.md import GetNextMD
+from repro.core.randomized import GetNextRandomized
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.core.stability import StabilityResult
+from repro.core.twod import GetNext2D
+from repro.errors import ExhaustedError
+
+__all__ = ["make_get_next", "enumerate_stable_rankings", "top_h_stable_rankings"]
+
+
+def make_get_next(
+    dataset: Dataset,
+    *,
+    region: RegionOfInterest | None = None,
+    engine: str = "auto",
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> GetNext2D | GetNextMD | GetNextRandomized:
+    """Build the appropriate GET-NEXT engine for a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The database.
+    region:
+        Region of interest; defaults to the full space.
+    engine:
+        ``"2d"`` (exact sweep; requires d = 2), ``"md"`` (lazy
+        arrangement), ``"randomized"`` (Monte-Carlo; the only engine
+        supporting top-k kinds), or ``"auto"``: exact 2D when d = 2,
+        otherwise the arrangement engine for small inputs and the
+        randomized engine for large ones (the section 6.3 guidance).
+    rng, **kwargs:
+        Forwarded to the chosen engine.
+    """
+    roi = region if region is not None else FullSpace(dataset.n_attributes)
+    if engine == "auto":
+        if dataset.n_attributes == 2:
+            engine = "2d"
+        elif dataset.n_items <= 1_000:
+            engine = "md"
+        else:
+            engine = "randomized"
+    if engine == "2d":
+        return GetNext2D(dataset, region=roi, **kwargs)
+    if engine == "md":
+        return GetNextMD(dataset, region=roi, rng=rng, **kwargs)
+    if engine == "randomized":
+        return GetNextRandomized(dataset, region=roi, rng=rng, **kwargs)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def _drain(
+    engine: GetNext2D | GetNextMD | GetNextRandomized,
+    *,
+    max_results: int | None,
+    min_stability: float,
+    budget_first: int,
+    budget_rest: int,
+) -> Iterable[StabilityResult]:
+    produced = 0
+    while max_results is None or produced < max_results:
+        try:
+            if isinstance(engine, GetNextRandomized):
+                result = engine.get_next(
+                    budget=budget_first if produced == 0 else budget_rest
+                )
+            else:
+                result = engine.get_next()
+        except ExhaustedError:
+            return
+        if result.stability < min_stability:
+            # Engines yield by decreasing stability (up to Monte-Carlo
+            # noise), so the first sub-threshold result ends the batch.
+            return
+        produced += 1
+        yield result
+
+
+def enumerate_stable_rankings(
+    dataset: Dataset,
+    *,
+    region: RegionOfInterest | None = None,
+    min_stability: float = 0.0,
+    max_results: int | None = None,
+    engine: str = "auto",
+    rng: np.random.Generator | None = None,
+    budget_first: int = 5_000,
+    budget_rest: int = 1_000,
+    **kwargs,
+) -> list[StabilityResult]:
+    """Problem 2 (batch stable-region enumeration).
+
+    Returns every ranking with stability at least ``min_stability``,
+    capped at ``max_results``, in decreasing stability.  With the default
+    ``min_stability=0`` and no cap it enumerates every feasible ranking
+    the engine can produce (use with care for d > 2).
+
+    ``budget_first`` / ``budget_rest`` configure the per-call sampling
+    budgets when the randomized engine is used, mirroring the paper's
+    experimental protocol.
+    """
+    engine_obj = make_get_next(
+        dataset, region=region, engine=engine, rng=rng, **kwargs
+    )
+    return list(
+        _drain(
+            engine_obj,
+            max_results=max_results,
+            min_stability=min_stability,
+            budget_first=budget_first,
+            budget_rest=budget_rest,
+        )
+    )
+
+
+def top_h_stable_rankings(
+    dataset: Dataset,
+    h: int,
+    *,
+    region: RegionOfInterest | None = None,
+    engine: str = "auto",
+    rng: np.random.Generator | None = None,
+    budget_first: int = 5_000,
+    budget_rest: int = 1_000,
+    **kwargs,
+) -> list[StabilityResult]:
+    """Problem 2's top-h form: the ``h`` most stable rankings."""
+    if h < 1:
+        raise ValueError(f"h must be >= 1, got {h}")
+    return enumerate_stable_rankings(
+        dataset,
+        region=region,
+        max_results=h,
+        engine=engine,
+        rng=rng,
+        budget_first=budget_first,
+        budget_rest=budget_rest,
+        **kwargs,
+    )

@@ -1,0 +1,257 @@
+"""A "nutritional label" for rankings (reference [5], Yang et al. 2018).
+
+The paper motivates stability as "an important aspect of algorithmic
+transparency" and cites the authors' Ranking Facts label.  This module
+assembles the stability-related panels of such a label for a published
+ranking, combining the library's consumer tools into one report:
+
+- **Reference panel** — the published weights, the ranking they induce,
+  and the ranking's stability inside the region of interest (with its
+  percentile among the sampled ranking distribution, Example 1's
+  "matching that of the uniform baseline" check).
+- **Alternatives panel** — the top-h most stable rankings, how much of
+  the region each occupies, and the displacement of each from the
+  reference.
+- **Item panel** — per-item rank ranges across the region (Example 1's
+  Cornell view) for the head of the ranking.
+- **Robustness panel** — the fraction of adjacent pairs certified never
+  to flip inside the region, and the items on the top-k bubble.
+
+Everything is computed from one shared sample pool, so a label costs a
+single ``O(n_samples * n * d)`` scoring pass plus the exact pairwise
+certifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import RankProfile, rank_profile, topk_membership_probability
+from repro.core.dataset import Dataset
+from repro.core.md import verify_stability_md
+from repro.core.ranking import Ranking, rank_items
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.core.stability import StabilityResult
+from repro.core.twod import verify_stability_2d
+from repro.errors import InfeasibleRankingError, InvalidWeightsError
+from repro.geometry.angles import as_unit_vector
+
+__all__ = ["RankingLabel", "build_label"]
+
+
+@dataclass(frozen=True)
+class RankingLabel:
+    """The assembled stability label of a published ranking.
+
+    Attributes
+    ----------
+    reference_weights:
+        The published weights, normalised to a unit ray.
+    reference_ranking:
+        The ranking induced by the reference weights.
+    reference_stability:
+        Stability of the reference ranking in the region of interest.
+    reference_percentile:
+        Fraction of sampled scoring functions whose induced ranking is
+        *less* stable than the reference (1.0 = the reference is the
+        most stable observed ranking; low values flag cherry-picking).
+    n_distinct_rankings:
+        Number of distinct rankings observed among the samples — a
+        resolution-limited lower bound on ``|R*|``.
+    alternatives:
+        The top-h most stable rankings observed, most stable first.
+    alternative_displacements:
+        Kendall tau distance of each alternative from the reference.
+    item_profiles:
+        Rank ranges of the first ``head`` reference items.
+    bubble_items:
+        Items whose top-k membership probability lies strictly between
+        ``bubble_lo`` and ``bubble_hi`` — the items whose fate depends
+        on the exact weight choice.
+    k:
+        The k used for the bubble analysis.
+    n_samples:
+        Size of the shared sample pool behind the estimates.
+    """
+
+    reference_weights: np.ndarray
+    reference_ranking: Ranking
+    reference_stability: float
+    reference_percentile: float
+    n_distinct_rankings: int
+    alternatives: tuple[StabilityResult, ...]
+    alternative_displacements: tuple[int, ...]
+    item_profiles: tuple[RankProfile, ...]
+    bubble_items: tuple[tuple[int, float], ...]
+    k: int
+    n_samples: int
+
+    def render(self, *, labels: tuple[str, ...] | None = None) -> str:
+        """Multi-line text rendering of the label (the Ranking Facts box)."""
+        lines: list[str] = []
+        lines.append("RANKING FACTS")
+        lines.append("=" * 60)
+        head = ", ".join(f"{w:.3f}" for w in self.reference_weights)
+        lines.append(f"Reference weights      <{head}>")
+        lines.append(
+            f"Reference stability    {self.reference_stability:.4f} "
+            f"(more stable than {self.reference_percentile:.0%} of sampled functions)"
+        )
+        lines.append(f"Distinct rankings seen {self.n_distinct_rankings}")
+        lines.append("-" * 60)
+        lines.append("Most stable alternatives (stability, moves vs reference):")
+        for alt, moved in zip(self.alternatives, self.alternative_displacements):
+            lines.append(
+                f"  {alt.stability:8.4f}   {moved:4d} discordant pairs"
+            )
+        lines.append("-" * 60)
+        lines.append("Rank ranges of the reference head:")
+        for profile in self.item_profiles:
+            name = (
+                labels[profile.item]
+                if labels is not None
+                else f"item-{profile.item}"
+            )
+            lines.append(
+                f"  {name:<24} rank {profile.min_rank}-{profile.max_rank} "
+                f"(mean {profile.mean_rank:.1f})"
+            )
+        lines.append("-" * 60)
+        lines.append(f"Top-{self.k} bubble (membership probability):")
+        if not self.bubble_items:
+            lines.append("  (none — the top-k set is unambiguous)")
+        for item, prob in self.bubble_items:
+            name = labels[item] if labels is not None else f"item-{item}"
+            lines.append(f"  {name:<24} {prob:.0%}")
+        return "\n".join(lines)
+
+
+def build_label(
+    dataset: Dataset,
+    reference_weights: np.ndarray,
+    *,
+    region: RegionOfInterest | None = None,
+    k: int = 10,
+    head: int = 10,
+    n_alternatives: int = 5,
+    n_samples: int = 4_000,
+    bubble_lo: float = 0.05,
+    bubble_hi: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> RankingLabel:
+    """Assemble a :class:`RankingLabel` for a published scoring function.
+
+    Parameters
+    ----------
+    dataset:
+        The database being ranked.
+    reference_weights:
+        The published weights.
+    region:
+        Region of interest; defaults to the full function space.
+    k:
+        Top-k size for the bubble analysis (clamped to ``n``).
+    head:
+        How many head items get rank-range profiles.
+    n_alternatives:
+        How many most-stable alternatives to list.
+    n_samples:
+        Shared sample budget for every Monte-Carlo panel.
+    bubble_lo, bubble_hi:
+        Membership-probability band that defines "on the bubble".
+    """
+    w = np.asarray(reference_weights, dtype=np.float64)
+    if w.ndim != 1 or w.shape[0] != dataset.n_attributes:
+        raise InvalidWeightsError(
+            f"reference weights must have length {dataset.n_attributes}"
+        )
+    unit = as_unit_vector(w)
+    roi = region if region is not None else FullSpace(dataset.n_attributes)
+    generator = rng if rng is not None else np.random.default_rng()
+    k = min(k, dataset.n_items)
+    head = min(head, dataset.n_items)
+    reference_ranking = rank_items(dataset.values, unit)
+
+    # One shared pool of sampled functions drives every estimate.
+    pool = roi.sample(n_samples, generator)
+    scores = pool @ dataset.values.T  # (n_samples, n)
+    order = np.argsort(-scores, axis=1, kind="stable")
+    ranking_keys = [tuple(row) for row in order]
+
+    # Stability distribution over observed rankings.
+    counts: dict[tuple[int, ...], int] = {}
+    for key in ranking_keys:
+        counts[key] = counts.get(key, 0) + 1
+    ref_key = reference_ranking.order
+    ref_count = counts.get(ref_key, 0)
+    # Percentile: fraction of samples landing in rankings with strictly
+    # smaller regions than the reference's.
+    weaker = sum(c for key, c in counts.items() if c < ref_count)
+    reference_percentile = weaker / n_samples if n_samples else 0.0
+
+    reference_stability = _exact_or_mc_stability(
+        dataset, reference_ranking, roi, generator, n_samples
+    )
+
+    ranked_alternatives = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    alternatives: list[StabilityResult] = []
+    displacements: list[int] = []
+    for key, count in ranked_alternatives[:n_alternatives]:
+        alt_ranking = Ranking(key, n_items=dataset.n_items)
+        alternatives.append(
+            StabilityResult(
+                ranking=alt_ranking,
+                stability=count / n_samples,
+                sample_count=n_samples,
+            )
+        )
+        displacements.append(reference_ranking.kendall_tau_distance(alt_ranking))
+
+    profiles = rank_profile(
+        dataset,
+        list(reference_ranking.order[:head]),
+        region=roi,
+        n_samples=min(n_samples, 2_000),
+        rng=generator,
+    )
+    membership = topk_membership_probability(
+        dataset, k, region=roi, n_samples=min(n_samples, 2_000), rng=generator
+    )
+    bubble = tuple(
+        (int(i), float(membership[i]))
+        for i in np.argsort(-membership)
+        if bubble_lo < membership[i] < bubble_hi
+    )
+    return RankingLabel(
+        reference_weights=unit,
+        reference_ranking=reference_ranking,
+        reference_stability=reference_stability,
+        reference_percentile=reference_percentile,
+        n_distinct_rankings=len(counts),
+        alternatives=tuple(alternatives),
+        alternative_displacements=tuple(displacements),
+        item_profiles=tuple(profiles),
+        bubble_items=bubble,
+        k=k,
+        n_samples=n_samples,
+    )
+
+
+def _exact_or_mc_stability(
+    dataset: Dataset,
+    ranking: Ranking,
+    roi: RegionOfInterest,
+    rng: np.random.Generator,
+    n_samples: int,
+) -> float:
+    """Exact 2D verification when possible, Monte-Carlo otherwise."""
+    try:
+        if dataset.n_attributes == 2:
+            return verify_stability_2d(dataset, ranking, region=roi).stability
+        return verify_stability_md(
+            dataset, ranking, region=roi, n_samples=n_samples, rng=rng
+        ).stability
+    except InfeasibleRankingError:
+        return 0.0

@@ -1,0 +1,282 @@
+"""Multi-dimensional algorithms (section 4).
+
+For ``d > 2`` ranking regions are convex cones bounded by
+ordering-exchange hyperplanes (Equation 7) and exact volumes are
+#P-hard, so stability is estimated by the Monte-Carlo oracle over a
+shared sample pool:
+
+- :func:`verify_stability_md` — Algorithm 4 (SV): collect the positive
+  halfspaces of adjacent pairs and ask the oracle.
+- :func:`exchange_hyperplanes` — Algorithm 5 (×hps): the
+  ordering-exchange hyperplanes that pass through the region of
+  interest, detected against the sample pool.
+- :class:`GetNextMD` — Algorithm 6: lazy best-first construction of the
+  hyperplane arrangement, splitting only the most stable region, with
+  the section 5.4 sample-partitioning ``passThrough``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.ranking import Ranking, rank_items
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.core.stability import StabilityResult
+from repro.errors import ExhaustedError, InfeasibleRankingError
+from repro.geometry.arrangement import Arrangement, ArrangementRegion
+from repro.geometry.dual import dominates, pairwise_exchange_hyperplanes
+from repro.geometry.halfspace import ConvexCone, Halfspace
+from repro.sampling.montecarlo import confidence_error
+from repro.sampling.oracle import StabilityOracle
+
+__all__ = [
+    "ranking_region_md",
+    "verify_stability_md",
+    "exchange_hyperplanes",
+    "GetNextMD",
+]
+
+
+def ranking_region_md(dataset: Dataset, ranking: Ranking) -> ConvexCone:
+    """The ranking region of ``ranking`` as a convex cone (Algorithm 4 core).
+
+    For each adjacent pair ``(t, t')`` of the ranking the positive
+    halfspace ``sum_k (t[k] - t'[k]) x_k > 0`` must hold; dominating pairs
+    contribute no constraint.
+
+    Raises
+    ------
+    InfeasibleRankingError
+        If a lower-ranked item dominates a higher-ranked one.
+    """
+    if not ranking.is_complete or ranking.n_items != dataset.n_items:
+        raise InfeasibleRankingError(
+            "ranking must be a complete permutation of the dataset's items"
+        )
+    values = dataset.values
+    halfspaces: list[Halfspace] = []
+    for i in range(len(ranking) - 1):
+        t = values[ranking[i]]
+        t_prime = values[ranking[i + 1]]
+        if dominates(t, t_prime):
+            continue
+        if dominates(t_prime, t):
+            raise InfeasibleRankingError(
+                f"item {ranking[i + 1]} dominates item {ranking[i]} but is "
+                "ranked below it"
+            )
+        normal = t - t_prime
+        if np.allclose(normal, 0.0):
+            if ranking[i] > ranking[i + 1]:
+                raise InfeasibleRankingError(
+                    "tied items ranked against the identifier convention"
+                )
+            continue
+        halfspaces.append(Halfspace(tuple(normal), +1))
+    return ConvexCone(halfspaces, dim=dataset.n_attributes)
+
+
+def verify_stability_md(
+    dataset: Dataset,
+    ranking: Ranking,
+    *,
+    region: RegionOfInterest | None = None,
+    oracle: StabilityOracle | None = None,
+    n_samples: int = 10_000,
+    rng: np.random.Generator | None = None,
+    confidence: float = 0.95,
+) -> StabilityResult:
+    """Algorithm 4 (SV): Monte-Carlo stability of a ranking for ``d >= 2``.
+
+    Parameters
+    ----------
+    dataset, ranking:
+        The database and the ranking to verify.
+    region:
+        Region of interest ``U*``; defaults to the full function space.
+    oracle:
+        A prebuilt :class:`StabilityOracle` over samples from ``region``.
+        Supplying one amortises the sampling cost across verifications;
+        otherwise ``n_samples`` fresh samples are drawn with ``rng``.
+    n_samples, rng:
+        Pool size and generator used when no oracle is given.
+    confidence:
+        Confidence level of the reported error half-width.
+    """
+    roi = region if region is not None else FullSpace(dataset.n_attributes)
+    if oracle is None:
+        generator = rng if rng is not None else np.random.default_rng()
+        oracle = StabilityOracle(roi.sample(n_samples, generator))
+    cone = ranking_region_md(dataset, ranking)
+    stability, error = oracle.stability_with_error(cone, confidence=confidence)
+    return StabilityResult(
+        ranking=ranking,
+        stability=stability,
+        region=cone,
+        confidence_error=error,
+        sample_count=oracle.pool_size,
+    )
+
+
+def exchange_hyperplanes(
+    dataset: Dataset,
+    *,
+    region_samples: np.ndarray | None = None,
+    probe_limit: int = 512,
+    chunk_size: int = 200_000,
+) -> np.ndarray:
+    """Algorithm 5 (×hps): exchange hyperplanes intersecting ``U*``.
+
+    Builds the ``t_i - t_j`` normals for every non-dominating pair, then
+    keeps the hyperplanes that split the region of interest, detected by
+    checking whether the probe samples land on both sides (the sampling
+    variant the paper suggests in section 5.4).  With no samples given,
+    all non-dominating pairs are returned (``U* = U`` behaviour requires
+    splitting the orthant, which any non-dominating exchange does).
+
+    Parameters
+    ----------
+    dataset:
+        The database.
+    region_samples:
+        ``(N, d)`` pool drawn from ``U*``; only the first ``probe_limit``
+        rows are used for the straddle test.
+    probe_limit:
+        Cap on probe samples — intersection detection needs far fewer
+        points than stability estimation.
+    chunk_size:
+        Pairs are processed in chunks of this many hyperplanes to bound
+        peak memory at ``chunk_size * probe_limit`` sign evaluations.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, d)`` array of hyperplane normals.
+    """
+    normals, _ = pairwise_exchange_hyperplanes(dataset.values)
+    if region_samples is None or normals.shape[0] == 0:
+        return normals
+    probes = np.asarray(region_samples, dtype=np.float64)[:probe_limit]
+    keep_chunks: list[np.ndarray] = []
+    for start in range(0, normals.shape[0], chunk_size):
+        block = normals[start : start + chunk_size]
+        signs = probes @ block.T > 0.0  # (probes, block)
+        any_pos = signs.any(axis=0)
+        any_neg = (~signs).any(axis=0)
+        keep_chunks.append(block[any_pos & any_neg])
+    return np.concatenate(keep_chunks, axis=0)
+
+
+class GetNextMD:
+    """Algorithm 6 (GET-NEXT-MD): lazy stable-region enumeration for d > 2.
+
+    Keeps a max-heap of arrangement regions keyed by Monte-Carlo
+    stability.  Each :meth:`get_next` pops the most stable region and
+    either splits it by its first intersecting pending hyperplane
+    (children go back on the heap) or — when no pending hyperplane
+    intersects — returns it as the next stable ranking.
+
+    Duplicate rankings can arise when the finite sample pool fails to
+    witness a hyperplane crossing a thin region; they are merged into the
+    earlier result's ranking and skipped (Theorem 1 guarantees exact
+    arithmetic would not produce them).
+
+    Parameters
+    ----------
+    dataset:
+        The database (any ``d >= 2``).
+    region:
+        Region of interest; defaults to the full function space.
+    n_samples:
+        Size of the shared sample pool (the paper uses 100K for the
+        GET-NEXT experiments and 1M for verification).
+    rng:
+        Source of randomness for the pool.
+    confidence:
+        Confidence level for reported error half-widths.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        region: RegionOfInterest | None = None,
+        n_samples: int = 100_000,
+        rng: np.random.Generator | None = None,
+        confidence: float = 0.95,
+        min_split_samples: int = 1,
+    ):
+        self.dataset = dataset
+        self.region = region if region is not None else FullSpace(dataset.n_attributes)
+        generator = rng if rng is not None else np.random.default_rng()
+        samples = self.region.sample(n_samples, generator)
+        hyperplanes = exchange_hyperplanes(dataset, region_samples=samples)
+        self.arrangement = Arrangement(
+            hyperplanes, samples, min_split_samples=min_split_samples
+        )
+        self.confidence = confidence
+        root = self.arrangement.root_region()
+        self._tick = itertools.count()  # deterministic heap tie-break
+        self._heap: list[tuple[float, int, ArrangementRegion]] = [
+            (-1.0, next(self._tick), root)
+        ]
+        self._seen_rankings: set[Ranking] = set()
+        self.returned = 0
+
+    def get_next(self) -> StabilityResult:
+        """Return the next most stable ranking in the region of interest.
+
+        Raises
+        ------
+        ExhaustedError
+            When every region (supported by at least one sample) has been
+            returned.
+        """
+        while self._heap:
+            neg_s, _, regionrec = heapq.heappop(self._heap)
+            k = self.arrangement.next_intersecting_hyperplane(regionrec)
+            if k is None:
+                # Final cell: materialise its ranking.
+                w = self.arrangement.representative_point(regionrec)
+                ranking = rank_items(self.dataset.values, w)
+                if ranking in self._seen_rankings:
+                    continue
+                self._seen_rankings.add(ranking)
+                self.returned += 1
+                stability = regionrec.stability_estimate(
+                    self.arrangement.total_samples
+                )
+                return StabilityResult(
+                    ranking=ranking,
+                    stability=stability,
+                    region=regionrec.cone,
+                    confidence_error=confidence_error(
+                        stability,
+                        self.arrangement.total_samples,
+                        confidence=self.confidence,
+                    ),
+                    sample_count=regionrec.sample_count(),
+                )
+            split = self.arrangement.partition(regionrec, k)
+            if split is None:
+                # The probe said "intersects" but the split was vetoed by
+                # min_split_samples; advance past the hyperplane and retry.
+                regionrec.pending = k + 1
+                heapq.heappush(self._heap, (neg_s, next(self._tick), regionrec))
+                continue
+            for child in split:
+                s = child.stability_estimate(self.arrangement.total_samples)
+                heapq.heappush(self._heap, (-s, next(self._tick), child))
+        raise ExhaustedError("all ranking regions have been enumerated")
+
+    def __iter__(self) -> Iterator[StabilityResult]:
+        while True:
+            try:
+                yield self.get_next()
+            except ExhaustedError:
+                return

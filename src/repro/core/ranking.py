@@ -1,0 +1,216 @@
+"""Rankings and partial (top-k) rankings.
+
+A ranking (the paper's ``∇_f(D)``) is the permutation of item identifiers
+obtained by sorting on score, descending, "breaking ties consistently by
+an item identifier".  The randomized operators of section 4.3 additionally
+work with two partial views of a ranking (section 2.2.5):
+
+- the **ranked top-k** — the first ``k`` entries, order significant;
+- the **top-k set** — the same entries as an unordered set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import InvalidRankingError
+
+__all__ = ["Ranking", "rank_items", "ranking_from_scores"]
+
+
+class Ranking:
+    """An immutable, hashable permutation (or prefix) of item identifiers.
+
+    Instances compare equal iff they contain the same identifiers in the
+    same order, so a ``Ranking`` can key the count hash of Algorithms 7-8.
+
+    Parameters
+    ----------
+    order:
+        Item identifiers from best to worst.
+    n_items:
+        Size of the underlying dataset.  When ``len(order) == n_items``
+        the ranking is complete; a shorter ranking is a ranked top-k.
+    """
+
+    __slots__ = ("_order", "_n_items")
+
+    def __init__(self, order: Iterable[int], *, n_items: int | None = None):
+        items = tuple(int(i) for i in order)
+        if len(items) == 0:
+            raise InvalidRankingError("ranking must contain at least one item")
+        if len(set(items)) != len(items):
+            raise InvalidRankingError("ranking contains repeated items")
+        size = int(n_items) if n_items is not None else len(items)
+        if len(items) > size:
+            raise InvalidRankingError(
+                f"ranking of {len(items)} items over a dataset of {size}"
+            )
+        if any(i < 0 or i >= size for i in items):
+            raise InvalidRankingError("item identifiers out of range")
+        self._order = items
+        self._n_items = size
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> tuple[int, ...]:
+        """Item identifiers, best first."""
+        return self._order
+
+    @property
+    def n_items(self) -> int:
+        return self._n_items
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self._order) == self._n_items
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._order)
+
+    def __getitem__(self, position: int) -> int:
+        return self._order[position]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ranking):
+            return NotImplemented
+        return self._order == other._order
+
+    def __hash__(self) -> int:
+        return hash(self._order)
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(i) for i in self._order[:6])
+        ellipsis = ", ..." if len(self._order) > 6 else ""
+        return f"Ranking([{head}{ellipsis}], len={len(self._order)})"
+
+    # ------------------------------------------------------------------
+    def rank_of(self, item: int) -> int:
+        """1-based rank of ``item``.
+
+        Raises
+        ------
+        KeyError
+            If the item does not appear (possible for partial rankings).
+        """
+        try:
+            return self._order.index(int(item)) + 1
+        except ValueError:
+            raise KeyError(f"item {item} not present in this ranking") from None
+
+    def top_k(self, k: int) -> "Ranking":
+        """The ranked top-k prefix."""
+        if k < 1 or k > len(self._order):
+            raise InvalidRankingError(
+                f"k must be in [1, {len(self._order)}], got {k}"
+            )
+        return Ranking(self._order[:k], n_items=self._n_items)
+
+    def top_k_set(self, k: int) -> frozenset[int]:
+        """The top-k set (order discarded) — the weaker stability notion."""
+        if k < 1 or k > len(self._order):
+            raise InvalidRankingError(
+                f"k must be in [1, {len(self._order)}], got {k}"
+            )
+        return frozenset(self._order[:k])
+
+    def kendall_tau_distance(self, other: "Ranking") -> int:
+        """Number of discordant pairs between two complete rankings.
+
+        A convenience for analyses like section 6.2's "bigger changes in
+        rank position"; both rankings must be complete over the same
+        items.
+        """
+        if set(self._order) != set(other._order):
+            raise InvalidRankingError("rankings must cover the same items")
+        position = {item: i for i, item in enumerate(other._order)}
+        mapped = [position[item] for item in self._order]
+        # Count inversions in `mapped` via merge sort, O(m log m).
+        def count(arr: list[int]) -> tuple[list[int], int]:
+            if len(arr) <= 1:
+                return arr, 0
+            mid = len(arr) // 2
+            left, inv_l = count(arr[:mid])
+            right, inv_r = count(arr[mid:])
+            merged: list[int] = []
+            inv = inv_l + inv_r
+            i = j = 0
+            while i < len(left) and j < len(right):
+                if left[i] <= right[j]:
+                    merged.append(left[i])
+                    i += 1
+                else:
+                    merged.append(right[j])
+                    inv += len(left) - i
+                    j += 1
+            merged.extend(left[i:])
+            merged.extend(right[j:])
+            return merged, inv
+
+        return count(mapped)[1]
+
+
+def ranking_from_scores(scores: np.ndarray, *, k: int | None = None) -> Ranking:
+    """Build a :class:`Ranking` from a score vector.
+
+    Sorts descending; ties break by ascending item identifier (a stable
+    argsort on the negated scores), matching the paper's convention.
+
+    Parameters
+    ----------
+    scores:
+        Length-``n`` vector of item scores.
+    k:
+        If given, return only the ranked top-k (computed exactly,
+        including deterministic handling of score ties at the boundary).
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    if s.ndim != 1:
+        raise InvalidRankingError("scores must be a 1-D vector")
+    n = s.shape[0]
+    if k is None or k >= n:
+        order = np.argsort(-s, kind="stable")
+        return Ranking(order.tolist(), n_items=n)
+    return Ranking(_top_k_order(s, k), n_items=n)
+
+
+def _top_k_order(scores: np.ndarray, k: int) -> list[int]:
+    """Deterministic top-k indices by (score desc, id asc) in O(n).
+
+    ``argpartition`` alone breaks score ties arbitrarily; to honour the
+    tie-break-by-identifier convention we split the boundary explicitly:
+    items scoring strictly above the k-th score are all in, and the
+    remaining slots are filled by the lowest-id items at exactly the
+    boundary score.
+    """
+    if k < 1:
+        raise InvalidRankingError(f"k must be >= 1, got {k}")
+    n = scores.shape[0]
+    if k >= n:
+        return np.argsort(-scores, kind="stable").tolist()
+    part = np.argpartition(-scores, k - 1)[:k]
+    boundary = scores[part].min()
+    above = np.flatnonzero(scores > boundary)
+    at = np.flatnonzero(scores == boundary)
+    needed = k - above.shape[0]
+    chosen = np.concatenate([above, at[:needed]])
+    order = chosen[np.argsort(-scores[chosen], kind="stable")]
+    return order.tolist()
+
+
+def rank_items(
+    values: np.ndarray, weights: np.ndarray, *, k: int | None = None
+) -> Ranking:
+    """Rank the rows of ``values`` under the linear function ``weights``.
+
+    The fundamental ``∇_f(D)`` operation: ``scores = values @ weights``
+    sorted descending with id tie-breaks.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    return ranking_from_scores(v @ w, k=k)

@@ -1,0 +1,322 @@
+"""Regions of interest ``U*`` (section 2.2.2).
+
+The producer constrains acceptable scoring functions in one of two ways:
+
+- a **vector and angle distance** — a hypercone around a reference ray
+  (equivalently a minimum cosine similarity), modelled by :class:`Cone`;
+- a **set of constraints** — a convex region given by homogeneous linear
+  inequalities like ``w2 <= w1``, modelled by :class:`ConstrainedRegion`.
+
+:class:`FullSpace` is the degenerate ``U* = U`` case.  All three expose a
+uniform interface: membership testing, uniform sampling (backed by
+section 5's samplers), a reference ray, and — in two dimensions — the
+angle interval the exact sweep algorithms need.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import InfeasibleRegionError
+from repro.geometry.angles import as_unit_vector, cosine_to_angle, validate_weights
+from repro.geometry.halfspace import ConvexCone, Halfspace
+from repro.sampling.cap import CapSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.uniform import sample_orthant
+
+__all__ = ["RegionOfInterest", "FullSpace", "Cone", "ConstrainedRegion"]
+
+_TWO_D_EPS = 1e-12
+
+
+class RegionOfInterest(ABC):
+    """Common interface of the three kinds of ``U*``."""
+
+    @property
+    @abstractmethod
+    def dim(self) -> int:
+        """Number of scoring attributes ``d``."""
+
+    @abstractmethod
+    def contains(self, weights: np.ndarray) -> bool:
+        """Is the ray of ``weights`` inside ``U*`` (and the orthant)?"""
+
+    @abstractmethod
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` uniform unit functions from ``U*`` (section 5)."""
+
+    @abstractmethod
+    def reference_ray(self) -> np.ndarray:
+        """A canonical interior function, used as the default weights."""
+
+    @abstractmethod
+    def angle_interval(self) -> tuple[float, float]:
+        """The 2D interval ``[U*[1], U*[2]]`` of angles from the x1 axis.
+
+        Only defined for ``dim == 2``; the exact sweep algorithms of
+        section 3 operate on this interval.
+        """
+
+    def contains_all(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over an ``(m, d)`` matrix."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.fromiter(
+            (self.contains(p) for p in pts), dtype=bool, count=pts.shape[0]
+        )
+
+    def _require_2d(self) -> None:
+        if self.dim != 2:
+            raise ValueError(
+                f"angle_interval() requires a 2-attribute region, got d={self.dim}"
+            )
+
+
+def _ray_angle_from_x1(weights: np.ndarray) -> float:
+    """Angle of a 2D ray measured from the x1 axis (paper's 2D convention)."""
+    w = np.asarray(weights, dtype=np.float64)
+    return math.atan2(w[1], w[0])
+
+
+class FullSpace(RegionOfInterest):
+    """``U* = U``: every non-negative scoring function is acceptable."""
+
+    def __init__(self, dim: int):
+        if dim < 2:
+            raise ValueError(f"dimension must be >= 2, got {dim}")
+        self._dim = int(dim)
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def contains(self, weights: np.ndarray) -> bool:
+        w = np.asarray(weights, dtype=np.float64)
+        return bool(
+            w.shape == (self._dim,)
+            and np.all(np.isfinite(w))
+            and np.all(w >= 0)
+            and np.any(w > 0)
+        )
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return sample_orthant(self._dim, size, rng)
+
+    def reference_ray(self) -> np.ndarray:
+        return np.full(self._dim, 1.0 / math.sqrt(self._dim))
+
+    def angle_interval(self) -> tuple[float, float]:
+        self._require_2d()
+        return 0.0, math.pi / 2
+
+    def __repr__(self) -> str:
+        return f"FullSpace(dim={self._dim})"
+
+
+class Cone(RegionOfInterest):
+    """Functions within angle ``theta`` of a reference ray.
+
+    Parameters
+    ----------
+    ray:
+        Reference weight vector (the cone axis).
+    theta:
+        Maximum angular distance, in ``(0, pi/2]``.  Use
+        :meth:`from_cosine` when the tolerance is given as a cosine
+        similarity (the paper quotes both:
+        "0.998 cosine similarity (theta = pi/50)").
+    method:
+        Inverse-CDF backend for the cap sampler, ``"exact"`` or
+        ``"riemann"``.
+    """
+
+    def __init__(self, ray: np.ndarray, theta: float, *, method: str = "exact"):
+        self._ray = validate_weights(ray)
+        if not 0.0 < theta <= math.pi / 2 + 1e-12:
+            raise ValueError(f"theta must be in (0, pi/2], got {theta}")
+        self._theta = float(theta)
+        self._unit = as_unit_vector(self._ray)
+        self._sampler = CapSampler(self._unit, self._theta, method=method)
+        self._needs_orthant_check = self._cap_may_leave_orthant()
+
+    @classmethod
+    def from_cosine(cls, ray: np.ndarray, cosine: float, **kwargs) -> "Cone":
+        """Build from a minimum cosine similarity instead of an angle."""
+        return cls(ray, cosine_to_angle(cosine), **kwargs)
+
+    def _cap_may_leave_orthant(self) -> bool:
+        """Conservative test: could the cap poke outside ``w >= 0``?
+
+        The cap stays inside the orthant iff the axis keeps angular margin
+        ``theta`` from every bounding hyperplane ``w_j = 0``; the margin
+        to hyperplane ``j`` is ``arcsin(unit[j])``.
+        """
+        margins = np.arcsin(np.clip(self._unit, -1.0, 1.0))
+        return bool(np.any(margins < self._theta - 1e-12))
+
+    @property
+    def dim(self) -> int:
+        return self._ray.shape[0]
+
+    @property
+    def ray(self) -> np.ndarray:
+        return self._ray
+
+    @property
+    def theta(self) -> float:
+        return self._theta
+
+    def contains(self, weights: np.ndarray) -> bool:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (self.dim,) or not np.all(np.isfinite(w)):
+            return False
+        if np.any(w < 0) or not np.any(w > 0):
+            return False
+        cosine = float(np.dot(as_unit_vector(w), self._unit))
+        return cosine >= math.cos(self._theta) - 1e-12
+
+    def contains_all(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        norms = np.linalg.norm(pts, axis=1)
+        ok = norms > 0
+        cosines = np.zeros(pts.shape[0])
+        cosines[ok] = (pts[ok] @ self._unit) / norms[ok]
+        inside = cosines >= math.cos(self._theta) - 1e-12
+        nonneg = np.all(pts >= 0.0, axis=1)
+        return inside & nonneg & ok
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        if not self._needs_orthant_check:
+            return self._sampler.sample(size, rng)
+        # Cap overlaps the orthant boundary: keep only non-negative draws.
+        out: list[np.ndarray] = []
+        remaining = size
+        attempts = 0
+        while remaining > 0:
+            attempts += 1
+            if attempts > 10_000:
+                raise InfeasibleRegionError(
+                    "cone has negligible intersection with the orthant"
+                )
+            batch = self._sampler.sample(max(2 * remaining, 32), rng)
+            good = batch[np.all(batch >= 0.0, axis=1)]
+            if good.shape[0] > 0:
+                out.append(good[:remaining])
+                remaining -= min(good.shape[0], remaining)
+        return np.concatenate(out, axis=0)
+
+    def reference_ray(self) -> np.ndarray:
+        return self._unit
+
+    def angle_interval(self) -> tuple[float, float]:
+        self._require_2d()
+        centre = _ray_angle_from_x1(self._ray)
+        lo = max(0.0, centre - self._theta)
+        hi = min(math.pi / 2, centre + self._theta)
+        if hi - lo <= _TWO_D_EPS:
+            raise InfeasibleRegionError("cone does not intersect the orthant")
+        return lo, hi
+
+    def __repr__(self) -> str:
+        return f"Cone(ray={self._ray.tolist()}, theta={self._theta:.6g})"
+
+
+class ConstrainedRegion(RegionOfInterest):
+    """A convex region given by homogeneous linear constraints on weights.
+
+    Each constraint is an inequality ``a . w >= 0`` expressed as the
+    coefficient vector ``a``; e.g. "weigh ``x2`` no more than ``x1``"
+    (section 2.2.2) is ``a = (1, -1, 0, ...)``.
+
+    Sampling uses acceptance-rejection from the orthant (section 5.2); if
+    the empirical acceptance rate turns out poor, a bounding cap derived
+    from accepted samples is installed automatically to sharpen proposals.
+    """
+
+    def __init__(self, constraints: np.ndarray, *, dim: int | None = None):
+        arr = np.atleast_2d(np.asarray(constraints, dtype=np.float64))
+        if arr.size == 0:
+            if dim is None:
+                raise ValueError("dim required when there are no constraints")
+            arr = arr.reshape(0, dim)
+        if dim is not None and arr.shape[1] != dim:
+            raise ValueError(f"constraints have {arr.shape[1]} columns, dim={dim}")
+        self._constraints = arr
+        halfspaces = [Halfspace(tuple(row), +1) for row in arr]
+        self._cone = ConvexCone(halfspaces, dim=arr.shape[1])
+        if not self._cone.is_feasible():
+            raise InfeasibleRegionError(
+                "the constraint set admits no non-negative scoring function"
+            )
+        self._sampler = RejectionSampler(self._cone)
+
+    @property
+    def dim(self) -> int:
+        return self._constraints.shape[1]
+
+    @property
+    def cone(self) -> ConvexCone:
+        return self._cone
+
+    @property
+    def constraints(self) -> np.ndarray:
+        return self._constraints
+
+    def contains(self, weights: np.ndarray) -> bool:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (self.dim,) or not np.all(np.isfinite(w)):
+            return False
+        if np.any(w < 0) or not np.any(w > 0):
+            return False
+        if self._constraints.shape[0] == 0:
+            return True
+        return bool(np.all(self._constraints @ w >= -1e-12))
+
+    def contains_all(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        nonneg = np.all(pts >= 0.0, axis=1) & np.any(pts > 0.0, axis=1)
+        if self._constraints.shape[0] == 0:
+            return nonneg
+        sat = np.all(pts @ self._constraints.T >= -1e-12, axis=1)
+        return nonneg & sat
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return self._sampler.sample(size, rng)
+
+    def reference_ray(self) -> np.ndarray:
+        return self._cone.interior_point()
+
+    def angle_interval(self) -> tuple[float, float]:
+        """Intersect the per-constraint angle intervals (2D only).
+
+        In 2D each homogeneous constraint ``a1 w1 + a2 w2 >= 0`` carves an
+        angular interval out of ``[0, pi/2]``; the region's interval is
+        their intersection.
+        """
+        self._require_2d()
+        lo, hi = 0.0, math.pi / 2
+        for a1, a2 in self._constraints:
+            if a1 >= 0 and a2 >= 0:
+                continue  # satisfied on the whole quadrant
+            if a1 < 0 and a2 < 0:
+                raise InfeasibleRegionError(
+                    "constraint excludes the whole non-negative quadrant"
+                )
+            # Boundary angle where a1 cos + a2 sin = 0  =>  tan t = -a1/a2.
+            boundary = math.atan2(-a1, a2) if a2 != 0 else math.pi / 2
+            if a2 > 0:  # constraint holds for t >= boundary
+                lo = max(lo, boundary)
+            else:  # a2 < 0, a1 > 0: holds for t <= boundary = atan(a1/-a2)
+                boundary = math.atan2(a1, -a2)
+                hi = min(hi, boundary)
+        if hi - lo <= _TWO_D_EPS:
+            raise InfeasibleRegionError("constraints leave an empty angle interval")
+        return lo, hi
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstrainedRegion(dim={self.dim}, "
+            f"n_constraints={self._constraints.shape[0]})"
+        )

@@ -1,0 +1,110 @@
+"""Linear scoring functions (Definition 1).
+
+A :class:`ScoringFunction` wraps a validated non-negative weight vector
+and provides scoring, ranking, and the geometric views the paper uses:
+the unit ray on the d-sphere and the polar-angle vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.ranking import Ranking, rank_items
+from repro.geometry.angles import (
+    angle_between,
+    angles_to_weights,
+    as_unit_vector,
+    cosine_similarity,
+    validate_weights,
+    weights_to_angles,
+)
+
+__all__ = ["ScoringFunction"]
+
+
+class ScoringFunction:
+    """A linear scoring function ``f_w(t) = sum_j w_j t[j]``.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not-all-zero weight vector.  Stored as given;
+        :attr:`unit` exposes the canonical ray representative.
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, weights: np.ndarray):
+        self._weights = validate_weights(weights)
+        self._weights.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def equal_weights(cls, dim: int) -> "ScoringFunction":
+        """The all-ones function — the paper's default ``w = <1, ..., 1>``."""
+        return cls(np.ones(dim))
+
+    @classmethod
+    def from_angles(cls, angles: np.ndarray) -> "ScoringFunction":
+        """Build from ``d - 1`` polar angles (section 2.1.2)."""
+        return cls(angles_to_weights(np.asarray(angles, dtype=np.float64)))
+
+    # ------------------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights
+
+    @property
+    def dim(self) -> int:
+        return self._weights.shape[0]
+
+    @property
+    def unit(self) -> np.ndarray:
+        """The unit vector of the ray — the canonical representative."""
+        return as_unit_vector(self._weights)
+
+    @property
+    def angles(self) -> np.ndarray:
+        """Polar-angle vector of the ray (length ``d - 1``)."""
+        return weights_to_angles(self._weights)
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"{w:.4g}" for w in self._weights)
+        return f"ScoringFunction(<{entries}>)"
+
+    def __eq__(self, other: object) -> bool:
+        """Equality as *rays*: positive multiples are the same function."""
+        if not isinstance(other, ScoringFunction):
+            return NotImplemented
+        if self.dim != other.dim:
+            return False
+        return bool(np.allclose(self.unit, other.unit, atol=1e-12))
+
+    def __hash__(self) -> int:
+        return hash(tuple(np.round(self.unit, 12)))
+
+    # ------------------------------------------------------------------
+    def score(self, item: np.ndarray) -> float:
+        """Score of one item: ``f_w(t)``."""
+        return float(np.dot(self._weights, np.asarray(item, dtype=np.float64)))
+
+    def score_all(self, dataset: Dataset | np.ndarray) -> np.ndarray:
+        """Scores for every item, vectorised."""
+        values = dataset.values if isinstance(dataset, Dataset) else np.asarray(dataset)
+        return values @ self._weights
+
+    def rank(self, dataset: Dataset | np.ndarray, *, k: int | None = None) -> Ranking:
+        """The induced ranking ``∇_f(D)`` (optionally just the top-k)."""
+        values = dataset.values if isinstance(dataset, Dataset) else np.asarray(dataset)
+        return rank_items(values, self._weights, k=k)
+
+    def cosine_similarity(self, other: "ScoringFunction | np.ndarray") -> float:
+        """Cosine similarity with another function or weight vector."""
+        w = other.weights if isinstance(other, ScoringFunction) else other
+        return cosine_similarity(self._weights, w)
+
+    def angle_to(self, other: "ScoringFunction | np.ndarray") -> float:
+        """Angular distance (radians) to another function or weight vector."""
+        w = other.weights if isinstance(other, ScoringFunction) else other
+        return angle_between(self._weights, w)

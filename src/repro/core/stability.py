@@ -1,0 +1,97 @@
+"""Result types shared by the verification and enumeration algorithms.
+
+Stability (Definition 2) is always reported together with the region that
+realises it — an angle interval in 2D, a convex cone in MD, or a pure
+Monte-Carlo estimate with confidence error for the randomized operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ranking import Ranking
+from repro.geometry.halfspace import ConvexCone
+
+__all__ = ["AngularRegion", "StabilityResult", "RankedRegion"]
+
+
+@dataclass(frozen=True)
+class AngularRegion:
+    """A 2D ranking region: the angle interval ``(lo, hi)`` from the x1 axis."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not self.lo <= self.hi:
+            raise ValueError(f"empty angular region ({self.lo}, {self.hi})")
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def midpoint_weights(self) -> np.ndarray:
+        """The weight vector at the interval midpoint (GET-NEXT-2D line 2)."""
+        mid = (self.lo + self.hi) / 2.0
+        return np.array([np.cos(mid), np.sin(mid)])
+
+    def contains_angle(self, angle: float) -> bool:
+        return self.lo <= angle <= self.hi
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Outcome of stability verification or one GET-NEXT step.
+
+    Attributes
+    ----------
+    ranking:
+        The (complete or partial) ranking the result describes.  For
+        top-k *set* results this is a canonical ranking of the set
+        members and :attr:`top_k_set` carries the set itself.
+    stability:
+        The stability value in ``[0, 1]`` — exact in 2D, a Monte-Carlo
+        estimate otherwise.
+    region:
+        The realising region: an :class:`AngularRegion` (2D exact), a
+        :class:`ConvexCone` (MD arrangement), or ``None`` (randomized
+        operators, which never materialise regions).
+    confidence_error:
+        Half-width of the confidence interval around ``stability`` when
+        it is a Monte-Carlo estimate (Equation 10); 0.0 for exact values.
+    sample_count:
+        Number of Monte-Carlo samples supporting the estimate (0 for
+        exact values).
+    top_k_set:
+        For top-k set results, the unordered set of the top-k items.
+    """
+
+    ranking: Ranking
+    stability: float
+    region: AngularRegion | ConvexCone | None = None
+    confidence_error: float = 0.0
+    sample_count: int = 0
+    top_k_set: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if not -1e-9 <= self.stability <= 1.0 + 1e-9:
+            raise ValueError(f"stability must be in [0, 1], got {self.stability}")
+
+    @property
+    def representative_weights(self) -> np.ndarray | None:
+        """A weight vector generating the ranking, when the region is known."""
+        if isinstance(self.region, AngularRegion):
+            return self.region.midpoint_weights()
+        return None
+
+
+@dataclass
+class RankedRegion:
+    """A (stability, region, ranking) triple used inside enumeration heaps."""
+
+    stability: float
+    region: AngularRegion | ConvexCone
+    ranking: Ranking | None = None
+    payload: dict = field(default_factory=dict)

@@ -1,0 +1,154 @@
+"""Similarity-tolerant stability (the paper's first future-work item).
+
+Section 8: "Our current definition of stability considers two rankings to
+be different if they differ in one pair of items.  An alternative is to
+allow minor changes in the ranking."  This module implements that
+alternative: the *tolerant stability* of a ranking ``r`` is the fraction
+of the region of interest whose induced ranking is within a Kendall-tau
+distance budget of ``r`` (optionally restricted to the top-k prefix).
+
+Formally, for tolerance ``tau``:
+
+    S_tau(r) = vol({f in U* : K(∇_f(D), r) <= tau}) / vol(U*)
+
+With ``tau = 0`` this reduces exactly to Definition 2.  The set of
+functions within tolerance is a union of ranking regions, so unlike the
+plain stability it is generally *not* convex; the Monte-Carlo estimator
+remains unbiased regardless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.ranking import Ranking, rank_items
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.core.stability import StabilityResult
+from repro.errors import InvalidRankingError
+from repro.sampling.montecarlo import confidence_error
+
+__all__ = ["kendall_tau_within", "tolerant_stability"]
+
+
+def kendall_tau_within(
+    order_a: np.ndarray, order_b: np.ndarray, tau: int
+) -> bool:
+    """Is the Kendall-tau distance between two permutations at most ``tau``?
+
+    Counts discordant pairs with a merge-sort inversion count that bails
+    out as soon as the running count exceeds ``tau`` — the common case in
+    tolerant-stability estimation is a fast reject, so the early exit
+    matters more than asymptotics.
+    """
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    position = np.empty(len(order_b), dtype=np.intp)
+    position[np.asarray(order_b, dtype=np.intp)] = np.arange(len(order_b))
+    mapped = position[np.asarray(order_a, dtype=np.intp)]
+
+    total = 0
+    chunk = mapped.tolist()
+
+    def merge_count(arr):
+        nonlocal total
+        if len(arr) <= 1 or total > tau:
+            return arr
+        mid = len(arr) // 2
+        left = merge_count(arr[:mid])
+        right = merge_count(arr[mid:])
+        if total > tau:
+            return arr
+        merged = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                total += len(left) - i
+                j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged
+
+    merge_count(chunk)
+    return total <= tau
+
+
+def tolerant_stability(
+    dataset: Dataset,
+    ranking: Ranking,
+    *,
+    tau: int,
+    region: RegionOfInterest | None = None,
+    k: int | None = None,
+    n_samples: int = 5_000,
+    rng: np.random.Generator | None = None,
+    confidence: float = 0.95,
+) -> StabilityResult:
+    """Monte-Carlo estimate of the tolerant stability ``S_tau(r)``.
+
+    Parameters
+    ----------
+    dataset, ranking:
+        The database and the reference ranking.  ``ranking`` must be
+        complete, or a prefix of length >= ``k`` when ``k`` is given.
+    tau:
+        Kendall-tau budget: sampled rankings within ``tau`` discordant
+        pairs of the reference count as "the same".  ``tau = 0`` recovers
+        Definition 2's stability.
+    region:
+        Region of interest; defaults to the full function space.
+    k:
+        When given, compare only ranked top-k prefixes: a sampled
+        function agrees if its top-k prefix (a) selects the same k items
+        and (b) orders them within ``tau`` discordant pairs.
+    n_samples, rng, confidence:
+        Monte-Carlo controls.
+
+    Returns
+    -------
+    StabilityResult
+        With ``region=None`` (the tolerant region is a non-convex union
+        of cells) and the usual confidence error.
+    """
+    roi = region if region is not None else FullSpace(dataset.n_attributes)
+    generator = rng if rng is not None else np.random.default_rng()
+    if k is not None:
+        if k < 1 or k > dataset.n_items:
+            raise InvalidRankingError(f"k must be in [1, {dataset.n_items}]")
+        if len(ranking) < k:
+            raise InvalidRankingError(f"reference ranking shorter than k={k}")
+        reference = np.asarray(ranking.order[:k], dtype=np.intp)
+    else:
+        if not ranking.is_complete or ranking.n_items != dataset.n_items:
+            raise InvalidRankingError(
+                "ranking must be complete (or pass k= for prefix comparison)"
+            )
+        reference = np.asarray(ranking.order, dtype=np.intp)
+
+    values = dataset.values
+    weights = roi.sample(n_samples, generator)
+    hits = 0
+    reference_set = frozenset(int(i) for i in reference)
+    # Relabel so the reference is the identity permutation; then the
+    # sampled prefix maps through the same relabelling.
+    relabel = {int(item): idx for idx, item in enumerate(reference)}
+    identity = np.arange(len(reference), dtype=np.intp)
+    for w in weights:
+        sampled = rank_items(values, w, k=k)
+        order = sampled.order if k is None else sampled.order[:k]
+        if k is not None and frozenset(order) != reference_set:
+            continue
+        mapped = np.asarray([relabel[int(i)] for i in order], dtype=np.intp)
+        if kendall_tau_within(identity, mapped, tau):
+            hits += 1
+    stability = hits / n_samples
+    return StabilityResult(
+        ranking=ranking,
+        stability=stability,
+        confidence_error=confidence_error(stability, n_samples, confidence=confidence),
+        sample_count=hits,
+    )

@@ -1,0 +1,252 @@
+"""The producer's stability / similarity trade-off (Example 1's workflow).
+
+CSMetrics' dilemma in Example 1: the globally most stable ranking sits
+far from the published weights (``alpha = 0.608`` vs ``0.3``), so the
+producer explores *how much stability is attainable within a given
+distance of the reference function* — "the most stable ranking that is
+within 0.998 cosine similarity from the original scoring function".
+
+This module sweeps that frontier:
+
+- :func:`most_stable_within` — the most stable ranking inside one
+  cosine-similarity cone around the reference weights;
+- :func:`stability_similarity_tradeoff` — the full frontier across a
+  grid of cosine similarities, each point recording the best ranking,
+  its stability, and how far it moved from the reference ranking
+  (Kendall tau displacement and the set of rank changes).
+
+Engines are chosen as in :func:`repro.core.enumeration.make_get_next`;
+all estimates inherit that engine's semantics (exact in 2D, Monte-Carlo
+otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.enumeration import make_get_next
+from repro.core.ranking import Ranking, rank_items
+from repro.core.region import Cone
+from repro.core.stability import StabilityResult
+from repro.errors import ExhaustedError, InvalidWeightsError
+from repro.geometry.angles import as_unit_vector, cosine_to_angle
+
+__all__ = [
+    "TradeoffPoint",
+    "most_stable_within",
+    "stability_similarity_tradeoff",
+    "absolute_best_volumes",
+]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the stability/similarity frontier.
+
+    Attributes
+    ----------
+    cosine:
+        The minimum cosine similarity defining the cone probed.
+    theta:
+        The equivalent cone half-angle.
+    best:
+        The most stable result found inside the cone.
+    reference_stability:
+        Stability of the *reference* ranking inside the same cone —
+        the gap to ``best.stability`` is the producer's incentive to
+        move.
+    displacement:
+        Kendall tau distance between the best and reference rankings
+        (number of discordant pairs); 0 when the reference is already
+        the most stable.
+    moved_items:
+        Items whose rank differs between the two rankings, as a tuple
+        of ``(item, reference_rank, new_rank)`` triples sorted by the
+        size of the move (largest first).
+    """
+
+    cosine: float
+    theta: float
+    best: StabilityResult
+    reference_stability: float
+    displacement: int
+    moved_items: tuple[tuple[int, int, int], ...]
+
+
+def _rank_moves(
+    reference: Ranking, candidate: Ranking
+) -> tuple[tuple[int, int, int], ...]:
+    """Items whose rank changed, ordered by move size descending."""
+    moves = []
+    for item in reference:
+        ref_rank = reference.rank_of(item)
+        new_rank = candidate.rank_of(item)
+        if ref_rank != new_rank:
+            moves.append((item, ref_rank, new_rank))
+    moves.sort(key=lambda m: (-abs(m[1] - m[2]), m[0]))
+    return tuple(moves)
+
+
+def most_stable_within(
+    dataset: Dataset,
+    reference_weights: np.ndarray,
+    cosine: float,
+    *,
+    engine: str = "auto",
+    rng: np.random.Generator | None = None,
+    search_limit: int = 1,
+    **engine_kwargs,
+) -> StabilityResult:
+    """The most stable ranking within ``cosine`` similarity of a reference.
+
+    Parameters
+    ----------
+    dataset:
+        The database.
+    reference_weights:
+        The published scoring weights the producer wants to stay close
+        to.
+    cosine:
+        Minimum cosine similarity (e.g. ``0.998``); the acceptable
+        region is the cone of that half-angle around the reference.
+    engine:
+        Engine selector, as in :func:`make_get_next`.
+    search_limit:
+        How many GET-NEXT results to pull; the first is the most stable
+        by construction, so the default suffices unless a randomized
+        engine with a small budget is in play (where pulling a few and
+        keeping the max hedges estimation noise).
+    """
+    if not 0.0 < cosine < 1.0:
+        raise ValueError(f"cosine must be in (0, 1), got {cosine}")
+    cone = Cone(np.asarray(reference_weights, dtype=np.float64), cosine_to_angle(cosine))
+    get_next = make_get_next(
+        dataset, region=cone, engine=engine, rng=rng, **engine_kwargs
+    )
+    best: StabilityResult | None = None
+    for _ in range(max(1, search_limit)):
+        try:
+            candidate = get_next.get_next()
+        except ExhaustedError:
+            break
+        if best is None or candidate.stability > best.stability:
+            best = candidate
+    if best is None:
+        raise ExhaustedError("no ranking found inside the similarity cone")
+    return best
+
+
+def stability_similarity_tradeoff(
+    dataset: Dataset,
+    reference_weights: np.ndarray,
+    *,
+    cosines: tuple[float, ...] = (0.9999, 0.999, 0.998, 0.99, 0.97, 0.95),
+    engine: str = "auto",
+    rng: np.random.Generator | None = None,
+    n_samples: int = 4_000,
+    **engine_kwargs,
+) -> list[TradeoffPoint]:
+    """Sweep the stability/similarity frontier around a reference function.
+
+    For each cosine level, finds the most stable ranking in the
+    corresponding cone, evaluates the reference ranking's stability in
+    that same cone, and reports the displacement between the two.
+
+    Parameters
+    ----------
+    dataset, reference_weights:
+        As in :func:`most_stable_within`.
+    cosines:
+        Similarity levels to probe, each in ``(0, 1)``; evaluated in
+        the given order and reported in the same order.
+    n_samples:
+        Sample budget per cone for the reference-stability estimate
+        when the dataset has more than two attributes (2D is exact).
+    """
+    w = np.asarray(reference_weights, dtype=np.float64)
+    if w.ndim != 1 or w.shape[0] != dataset.n_attributes:
+        raise InvalidWeightsError(
+            f"reference weights must have length {dataset.n_attributes}"
+        )
+    unit = as_unit_vector(w)
+    reference_ranking = rank_items(dataset.values, unit)
+    generator = rng if rng is not None else np.random.default_rng()
+    points: list[TradeoffPoint] = []
+    for cosine in cosines:
+        theta = cosine_to_angle(cosine)
+        best = most_stable_within(
+            dataset,
+            unit,
+            cosine,
+            engine=engine,
+            rng=generator,
+            **engine_kwargs,
+        )
+        reference_stability = _reference_stability_in_cone(
+            dataset, unit, theta, reference_ranking, generator, n_samples
+        )
+        if best.ranking.is_complete:
+            displacement = reference_ranking.kendall_tau_distance(best.ranking)
+            moves = _rank_moves(reference_ranking, best.ranking)
+        else:  # randomized top-k engines return prefixes
+            displacement = -1
+            moves = ()
+        points.append(
+            TradeoffPoint(
+                cosine=float(cosine),
+                theta=float(theta),
+                best=best,
+                reference_stability=reference_stability,
+                displacement=displacement,
+                moved_items=moves,
+            )
+        )
+    return points
+
+
+def _reference_stability_in_cone(
+    dataset: Dataset,
+    unit: np.ndarray,
+    theta: float,
+    reference_ranking: Ranking,
+    rng: np.random.Generator,
+    n_samples: int,
+) -> float:
+    """Stability of the reference ranking inside one cone (exact in 2D)."""
+    from repro.core.md import verify_stability_md
+    from repro.core.twod import verify_stability_2d
+    from repro.errors import InfeasibleRankingError
+
+    cone = Cone(unit, theta)
+    try:
+        if dataset.n_attributes == 2:
+            return verify_stability_2d(dataset, reference_ranking, region=cone).stability
+        return verify_stability_md(
+            dataset,
+            reference_ranking,
+            region=cone,
+            n_samples=n_samples,
+            rng=rng,
+        ).stability
+    except InfeasibleRankingError:
+        # Numerically possible when the reference ray sits exactly on a
+        # region boundary; the honest answer is "zero volume".
+        return 0.0
+
+
+def absolute_best_volumes(points: list[TradeoffPoint], dim: int) -> list[float]:
+    """Convert each frontier point's per-cone stability to absolute volume.
+
+    Stability is normalised by the cone's own volume, so a narrower
+    cone can show a *higher* best stability even though its best region
+    is smaller in absolute terms.  Multiplying by the cap's area makes
+    points comparable across cosine levels: the absolute best volume is
+    non-decreasing in ``theta`` (a wider cone contains every region of a
+    narrower one), which the tests assert up to Monte-Carlo slack.
+    """
+    from repro.geometry.spherical import cap_area
+
+    return [p.best.stability * cap_area(dim, p.theta) for p in points]

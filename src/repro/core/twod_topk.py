@@ -1,0 +1,289 @@
+"""Exact top-k stability in two dimensions (a 2D-only extension).
+
+Section 4.5.1 observes that the arrangement-based GET-NEXTmd "is not
+applicable" to top-k questions because "different ranking regions may
+share the same top-k items", and falls back to the randomized operator.
+In two dimensions, however, the kinetic ray sweep of Algorithm 2 makes
+the top-k problem *exact*: while sweeping, the top-k set (or the ranked
+top-k prefix) only changes when an ordering exchange crosses the k-th
+position, so aggregating sweep-segment widths by top-k key yields the
+exact stability of every feasible top-k outcome.
+
+This module provides:
+
+- :func:`sweep_topk_2d` — the annotated kinetic sweep: every feasible
+  top-k key with its exact stability and the (possibly disconnected)
+  set of angle intervals realising it;
+- :func:`enumerate_topk_2d` — the keys as :class:`StabilityResult`
+  records, most stable first (the exact counterpart of
+  ``GetNextRandomized(kind="topk_*")`` for ``d = 2``);
+- :func:`verify_topk_2d` — exact Problem-1 verification for a published
+  top-k set or prefix.
+
+The test-suite cross-checks these exact values against the randomized
+operator's estimates, which doubles as an end-to-end validation of the
+Monte-Carlo machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.ranking import Ranking
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.core.stability import AngularRegion, StabilityResult
+from repro.errors import InvalidRankingError
+from repro.geometry.dual import dominates, exchange_angle_2d
+
+__all__ = ["sweep_topk_2d", "enumerate_topk_2d", "verify_topk_2d"]
+
+_ANGLE_EPS = 1e-12
+
+
+def _order_at(values: np.ndarray, angle: float) -> list[int]:
+    """The ranking order at a sweep angle (score desc, id asc)."""
+    weights = np.array([math.cos(angle), math.sin(angle)])
+    return np.argsort(-(values @ weights), kind="stable").tolist()
+
+
+def _order_just_after(values: np.ndarray, angle: float) -> list[int]:
+    """The exact order valid on ``(angle, angle + epsilon)``.
+
+    Sorts by score at ``angle`` descending, breaking exact score ties
+    by the score *derivative* (the score along the tangent direction
+    ``(-sin, cos)``) descending, then by item id ascending.  Evaluating
+    the order at a nudged angle instead is unsound: pairs whose
+    exchange lies within the nudge would start in post-exchange order
+    while their exchange event is still admitted, and the spurious
+    swap-back corrupts the sweep.
+    """
+    scores = values @ np.array([math.cos(angle), math.sin(angle)])
+    slopes = values @ np.array([-math.sin(angle), math.cos(angle)])
+    ids = np.arange(values.shape[0])
+    # lexsort: last key is primary.
+    return np.lexsort((ids, -slopes, -scores)).tolist()
+
+
+def _key_for(order: list[int], k: int, kind: str):
+    if kind == "set":
+        return frozenset(order[:k])
+    return tuple(order[:k])
+
+
+def sweep_topk_2d(
+    dataset: Dataset,
+    k: int,
+    *,
+    region: RegionOfInterest | None = None,
+    kind: str = "set",
+) -> dict:
+    """Exact stabilities of all feasible top-k outcomes in 2D.
+
+    Runs one kinetic sweep over the region of interest, tracking the
+    live order and accumulating, for every distinct top-k key, the total
+    angular width of the sweep segments that realise it.
+
+    Parameters
+    ----------
+    dataset:
+        Two-attribute dataset.
+    k:
+        Prefix size, ``1 <= k <= n``.
+    region:
+        Region of interest; defaults to the full space.
+    kind:
+        ``"set"`` (order-insensitive membership) or ``"ranked"``
+        (ordered prefix).
+
+    Returns
+    -------
+    dict mapping key -> (stability, list[AngularRegion]):
+        ``key`` is a frozenset for ``kind="set"`` and a tuple for
+        ``kind="ranked"``.  Stabilities sum to 1 over the region.  In
+        two dimensions every pairwise "i outscores j" condition is a
+        single angle interval, so each key's region is connected and
+        the interval list has exactly one entry — a property the test
+        suite pins down.  (Only for d >= 3 can the functions sharing a
+        top-k occupy disconnected cones, which is what makes the
+        arrangement-based GET-NEXTmd inapplicable there.)
+    """
+    if dataset.n_attributes != 2:
+        raise ValueError("sweep_topk_2d requires exactly 2 attributes")
+    if not 1 <= k <= dataset.n_items:
+        raise ValueError(f"k must be in [1, {dataset.n_items}], got {k}")
+    if kind not in ("set", "ranked"):
+        raise ValueError(f"kind must be 'set' or 'ranked', got {kind!r}")
+    roi = region if region is not None else FullSpace(2)
+    lo, hi = roi.angle_interval()
+    values = dataset.values
+    n = dataset.n_items
+
+    order = _order_just_after(values, lo)
+    position = {item: p for p, item in enumerate(order)}
+
+    # Event heap of candidate exchanges between currently adjacent items.
+    heap: list[tuple[float, int, int]] = []
+
+    def push_event(p: int, after: float, *, strict: bool) -> None:
+        """Queue the exchange of the items at positions p, p+1 (if any).
+
+        ``strict`` controls the lower admission bound: the initial
+        pushes must exclude exchanges at (or numerically below) ``lo``
+        — the initial order already accounts for them — while pushes
+        chained from a swap at angle ``after`` must admit coincident
+        exchanges (triple intersections) at that same angle.
+        """
+        if p < 0 or p + 1 >= n:
+            return
+        a, b = order[p], order[p + 1]
+        # A dominating pair never exchanges anywhere in the quadrant —
+        # and exchange_angle_2d's contract requires the check: for
+        # ties in one attribute it would report a degenerate boundary
+        # angle (0 or pi/2) instead of raising, which can livelock the
+        # sweep at the region border.
+        if dominates(values[a], values[b]) or dominates(values[b], values[a]):
+            return
+        try:
+            angle = exchange_angle_2d(values[a], values[b])
+        except ValueError:
+            return  # identical items: every function ties them
+        # Direction guard: a (currently ranked above b) exchanges with b
+        # at a *future* angle only if a is the low-angle winner of the
+        # pair, i.e. a beats b on the x1 side of their unique crossing.
+        # Pairs already past their crossing must never swap back, no
+        # matter what floating-point noise says about the angle.
+        if not values[a][0] > values[b][0]:
+            return
+        floor = after + _ANGLE_EPS if strict else after - _ANGLE_EPS
+        if floor < angle < hi - _ANGLE_EPS:
+            heapq.heappush(heap, (angle, a, b))
+
+    for p in range(n - 1):
+        push_event(p, lo, strict=True)
+
+    totals: dict = {}
+    intervals: dict = {}
+    segment_start = lo
+    current_key = _key_for(order, k, kind)
+
+    def close_segment(end: float) -> None:
+        nonlocal segment_start
+        width = end - segment_start
+        if width > 0:
+            totals[current_key] = totals.get(current_key, 0.0) + width
+            bucket = intervals.setdefault(current_key, [])
+            # Merge with the previous interval when contiguous — the
+            # same key can be re-entered after an unrelated swap.
+            if bucket and abs(bucket[-1].hi - segment_start) <= 1e-9:
+                bucket[-1] = AngularRegion(bucket[-1].lo, end)
+            else:
+                bucket.append(AngularRegion(segment_start, end))
+        segment_start = end
+
+    while heap:
+        angle, a, b = heapq.heappop(heap)
+        p = position[a]
+        # Stale event: the pair is no longer adjacent in this order.
+        if p + 1 >= n or order[p + 1] != b:
+            continue
+        affects_key = p <= k - 1 if kind == "ranked" else p == k - 1
+        if affects_key:
+            close_segment(angle)
+        # Swap a and b.
+        order[p], order[p + 1] = b, a
+        position[a], position[b] = p + 1, p
+        if affects_key:
+            current_key = _key_for(order, k, kind)
+        # New adjacencies create new candidate events.
+        push_event(p - 1, angle, strict=False)
+        push_event(p + 1, angle, strict=False)
+
+    close_segment(hi)
+    total_width = hi - lo
+    return {
+        key: (width / total_width, intervals[key])
+        for key, width in totals.items()
+    }
+
+
+def enumerate_topk_2d(
+    dataset: Dataset,
+    k: int,
+    *,
+    region: RegionOfInterest | None = None,
+    kind: str = "set",
+) -> list[StabilityResult]:
+    """All feasible top-k outcomes in 2D as results, most stable first.
+
+    The exact counterpart of draining ``GetNextRandomized`` with
+    ``kind="topk_set"`` / ``"topk_ranked"`` on a two-attribute dataset.
+    Ties in stability order break deterministically by key.
+    """
+    swept = sweep_topk_2d(dataset, k, region=region, kind=kind)
+    results = []
+    for key, (stability, parts) in swept.items():
+        if kind == "set":
+            members = sorted(key)
+            result = StabilityResult(
+                ranking=Ranking(members, n_items=dataset.n_items),
+                stability=stability,
+                region=parts[0] if len(parts) == 1 else None,
+                top_k_set=frozenset(key),
+            )
+        else:
+            result = StabilityResult(
+                ranking=Ranking(key, n_items=dataset.n_items),
+                stability=stability,
+                region=parts[0] if len(parts) == 1 else None,
+            )
+        results.append(result)
+    results.sort(key=lambda r: (-r.stability, r.ranking.order))
+    return results
+
+
+def verify_topk_2d(
+    dataset: Dataset,
+    items,
+    *,
+    region: RegionOfInterest | None = None,
+    kind: str = "set",
+) -> StabilityResult:
+    """Exact stability of a published top-k set or prefix in 2D.
+
+    Parameters
+    ----------
+    dataset:
+        Two-attribute dataset.
+    items:
+        The published shortlist; an iterable of ids.  For
+        ``kind="ranked"`` the order is significant.
+    region, kind:
+        As in :func:`sweep_topk_2d`.
+
+    Raises
+    ------
+    InvalidRankingError
+        If the key is not a feasible top-k outcome anywhere in the
+        region (the exact analogue of the paper's ``return null``).
+    """
+    ids = [int(i) for i in items]
+    if len(set(ids)) != len(ids):
+        raise InvalidRankingError("top-k items contain duplicates")
+    key = frozenset(ids) if kind == "set" else tuple(ids)
+    swept = sweep_topk_2d(dataset, len(ids), region=region, kind=kind)
+    if key not in swept:
+        raise InvalidRankingError(
+            "no scoring function in the region produces this top-k "
+            f"{'set' if kind == 'set' else 'prefix'}"
+        )
+    stability, parts = swept[key]
+    return StabilityResult(
+        ranking=Ranking(sorted(ids) if kind == "set" else ids, n_items=dataset.n_items),
+        stability=stability,
+        region=parts[0] if len(parts) == 1 else None,
+        top_k_set=frozenset(ids) if kind == "set" else None,
+    )

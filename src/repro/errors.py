@@ -1,0 +1,56 @@
+"""Exception hierarchy for the stable-rankings library.
+
+The paper's pseudocode signals failure by returning ``null``; a Python
+library should raise instead, so every such ``null`` maps onto one of the
+exceptions below.
+"""
+
+from __future__ import annotations
+
+
+class StableRankingsError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidDatasetError(StableRankingsError):
+    """The dataset violates the data model of the paper (section 2.1.1).
+
+    Examples: non-finite attribute values, fewer than one item or
+    attribute, or attribute values outside ``[0, 1]`` after the caller
+    claimed the data were normalised.
+    """
+
+
+class InvalidWeightsError(StableRankingsError):
+    """A weight vector is unusable: wrong length, negative, or all-zero."""
+
+
+class InvalidRankingError(StableRankingsError):
+    """A ranking is not a permutation of the dataset's item identifiers."""
+
+
+class InfeasibleRankingError(StableRankingsError):
+    """No scoring function in the region of interest induces the ranking.
+
+    This is the exception form of the ``return null`` branches of
+    Algorithms 1 (SV2D) and 4 (SV): either a lower-ranked item dominates
+    a higher-ranked one, or the ordering-exchange constraints contradict
+    each other.
+    """
+
+
+class InfeasibleRegionError(StableRankingsError):
+    """A region of interest (``U*``) contains no scoring function."""
+
+
+class ExhaustedError(StableRankingsError):
+    """GET-NEXT was called after every ranking region was already returned.
+
+    For the randomized operator this corresponds to Algorithm 7 line 10:
+    no not-yet-reported ranking has been observed among the samples drawn
+    so far.
+    """
+
+
+class BudgetExceededError(StableRankingsError):
+    """A sampling budget or iteration cap was exhausted before convergence."""

@@ -1,0 +1,79 @@
+"""Geometric substrate for the stable-rankings library.
+
+This package implements the combinatorial-geometry machinery the paper's
+algorithms are built on:
+
+- :mod:`repro.geometry.angles` — polar/Cartesian conversion of weight
+  vectors, angular distance and cosine similarity (section 2.1.2).
+- :mod:`repro.geometry.dual` — the dual space in which each item is a
+  hyperplane, and ordering-exchange hyperplanes/angles (Equations 1, 5-7).
+- :mod:`repro.geometry.halfspace` — halfspaces, convex cone regions, LP
+  feasibility and interior-point queries (sections 4.1-4.2).
+- :mod:`repro.geometry.spherical` — hypersphere and hyperspherical-cap
+  surface areas and the regularized incomplete beta form of the cap CDF
+  (Equations 12-16).
+- :mod:`repro.geometry.rotation` — the axis-by-axis rotation matrices of
+  Appendix A (Algorithm 13).
+- :mod:`repro.geometry.arrangement` — incremental construction of the
+  arrangement of ordering-exchange hyperplanes with the sample-partition
+  trick of section 5.4.
+- :mod:`repro.geometry.minball` — Welzl's smallest enclosing ball and
+  the bounding caps it induces for rejection proposals (section 5.2,
+  reference [37]).
+"""
+
+from repro.geometry.angles import (
+    angle_between,
+    angles_to_weights,
+    cosine_similarity,
+    cosine_to_angle,
+    angle_to_cosine,
+    weights_to_angles,
+)
+from repro.geometry.dual import (
+    dual_hyperplane_value,
+    exchange_angle_2d,
+    exchange_hyperplane,
+    dominates,
+)
+from repro.geometry.halfspace import Halfspace, ConvexCone
+from repro.geometry.rotation import axis_rotation_matrix, rotate_to_ray, rotation_matrix_to_ray
+from repro.geometry.spherical import (
+    cap_area,
+    cap_cdf,
+    cap_fraction_of_orthant,
+    inverse_cap_cdf,
+    sin_power_integral,
+    sphere_surface_area,
+)
+from repro.geometry.arrangement import Arrangement, ArrangementRegion
+from repro.geometry.minball import Ball, bounding_cap_of_directions, min_enclosing_ball
+
+__all__ = [
+    "angle_between",
+    "angles_to_weights",
+    "cosine_similarity",
+    "cosine_to_angle",
+    "angle_to_cosine",
+    "weights_to_angles",
+    "dual_hyperplane_value",
+    "exchange_angle_2d",
+    "exchange_hyperplane",
+    "dominates",
+    "Halfspace",
+    "ConvexCone",
+    "axis_rotation_matrix",
+    "rotate_to_ray",
+    "rotation_matrix_to_ray",
+    "cap_area",
+    "cap_cdf",
+    "cap_fraction_of_orthant",
+    "inverse_cap_cdf",
+    "sin_power_integral",
+    "sphere_surface_area",
+    "Arrangement",
+    "ArrangementRegion",
+    "Ball",
+    "min_enclosing_ball",
+    "bounding_cap_of_directions",
+]

@@ -1,0 +1,182 @@
+"""Polar-coordinate representation of scoring functions.
+
+Section 2.1.2 of the paper identifies a scoring function ``f_w`` with the
+origin-starting ray through its weight vector ``w``.  A ray in ``R^d`` is
+described by ``d - 1`` angles ``<theta_1, ..., theta_{d-1}>``, each in
+``[0, pi/2]`` because weights are non-negative.  This module implements the
+conversion in both directions plus the angular-distance and
+cosine-similarity helpers used to specify regions of interest
+(section 2.2.2).
+
+The polar convention matches Algorithm 11 and Appendix A of the paper: for
+a unit vector ``w`` in ``R^d`` with angles ``<theta_1, ..., theta_{d-1}>``,
+
+``w[d-1] = cos(theta_{d-1})``
+``w[i]   = cos(theta_i) * prod_{j > i} sin(theta_j)``   (0 < i < d-1)
+``w[0]   = prod_{j >= 1} sin(theta_j)``
+
+The 2D algorithms in the paper instead measure a single angle from the
+``x1`` axis with ``w = (cos(theta), sin(theta))``; the two conventions
+coincide under ``theta -> pi/2 - theta`` and :mod:`repro.core.twod` uses
+the paper's 2D convention directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidWeightsError
+
+__all__ = [
+    "weights_to_angles",
+    "angles_to_weights",
+    "angle_between",
+    "cosine_similarity",
+    "cosine_to_angle",
+    "angle_to_cosine",
+    "as_unit_vector",
+    "validate_weights",
+]
+
+
+def validate_weights(weights: np.ndarray, *, dim: int | None = None) -> np.ndarray:
+    """Validate and canonicalise a weight vector.
+
+    Parameters
+    ----------
+    weights:
+        Array-like of weights.  Must be finite, non-negative, and not all
+        zero (a zero vector does not define a ray, Definition 1).
+    dim:
+        If given, additionally require ``len(weights) == dim``.
+
+    Returns
+    -------
+    numpy.ndarray
+        A float64 copy of ``weights``.
+
+    Raises
+    ------
+    InvalidWeightsError
+        If any requirement is violated.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1:
+        raise InvalidWeightsError(f"weight vector must be 1-dimensional, got shape {w.shape}")
+    if dim is not None and w.shape[0] != dim:
+        raise InvalidWeightsError(f"expected {dim} weights, got {w.shape[0]}")
+    if w.shape[0] < 2:
+        raise InvalidWeightsError("need at least 2 scoring attributes to rank")
+    if not np.all(np.isfinite(w)):
+        raise InvalidWeightsError("weights must be finite")
+    if np.any(w < 0):
+        raise InvalidWeightsError("weights must be non-negative (paper assumption w_j >= 0)")
+    if not np.any(w > 0):
+        raise InvalidWeightsError("weight vector must not be all zeros")
+    return w.copy()
+
+
+def as_unit_vector(weights: np.ndarray) -> np.ndarray:
+    """Return the unit vector along the ray of ``weights``.
+
+    Scoring functions that are positive multiples of one another induce
+    the same ranking, so the unit vector is the canonical representative
+    of the ray (the point where the ray meets the unit d-sphere).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    norm = float(np.linalg.norm(w))
+    if norm == 0.0 or not math.isfinite(norm):
+        raise InvalidWeightsError("cannot normalise a zero or non-finite weight vector")
+    return w / norm
+
+
+def weights_to_angles(weights: np.ndarray) -> np.ndarray:
+    """Convert a weight vector to its ``d - 1`` polar angles.
+
+    The convention follows Algorithm 11 / Appendix A: the last angle
+    ``theta_{d-1}`` is measured from the ``x_d`` axis, and each earlier
+    angle ``theta_i`` is measured within the subspace of the first
+    ``i + 1`` coordinates.  Concretely, for a unit vector ``u``:
+
+    ``u[d-1] = cos(theta_{d-1})``
+    ``u[i]   = cos(theta_i) * prod_{j>i} sin(theta_j)``   for ``0 < i < d-1``
+    ``u[0]   = prod_{j>=1} sin(theta_j)``
+
+    Round trip: ``angles_to_weights(weights_to_angles(w))`` is the unit
+    vector of ``w``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Angles in ``[0, pi/2]`` (length ``d - 1``), ordered
+        ``<theta_1, ..., theta_{d-1}>``.
+    """
+    u = as_unit_vector(validate_weights(weights))
+    d = u.shape[0]
+    angles = np.empty(d - 1, dtype=np.float64)
+    # theta_j = atan2(||u[0:j]||, u[j]) — numerically stable even when the
+    # prefix norm is tiny (acos of a near-1 cosine would lose precision).
+    prefix_sq = np.concatenate([[0.0], np.cumsum(u * u)])
+    for j in range(d - 1, 0, -1):
+        prefix_norm = math.sqrt(max(prefix_sq[j], 0.0))
+        angles[j - 1] = math.atan2(prefix_norm, u[j])
+    return angles
+
+
+def angles_to_weights(angles: np.ndarray) -> np.ndarray:
+    """Convert ``d - 1`` polar angles to the corresponding unit vector.
+
+    Inverse of :func:`weights_to_angles`; see that function for the
+    convention.  Angles must lie in ``[0, pi/2]`` so the resulting vector
+    is in the non-negative orthant.
+    """
+    theta = np.asarray(angles, dtype=np.float64)
+    if theta.ndim != 1 or theta.shape[0] < 1:
+        raise InvalidWeightsError("need at least one angle")
+    if np.any(theta < -1e-12) or np.any(theta > math.pi / 2 + 1e-12):
+        raise InvalidWeightsError("angles must lie in [0, pi/2] for non-negative weights")
+    d = theta.shape[0] + 1
+    u = np.empty(d, dtype=np.float64)
+    remaining = 1.0
+    for j in range(d - 1, 0, -1):
+        t = float(theta[j - 1])
+        u[j] = remaining * math.cos(t)
+        remaining *= math.sin(t)
+    u[0] = remaining
+    # Guard against tiny negative values introduced by clamping.
+    np.clip(u, 0.0, None, out=u)
+    return u
+
+
+def cosine_similarity(w1: np.ndarray, w2: np.ndarray) -> float:
+    """Cosine similarity between two weight vectors (rays)."""
+    u1 = as_unit_vector(np.asarray(w1, dtype=np.float64))
+    u2 = as_unit_vector(np.asarray(w2, dtype=np.float64))
+    return float(np.clip(np.dot(u1, u2), -1.0, 1.0))
+
+
+def angle_between(w1: np.ndarray, w2: np.ndarray) -> float:
+    """Angular distance (radians) between the rays of two weight vectors.
+
+    This is the distance used to specify a hypercone region of interest
+    ("a vector and angle distance", section 2.2.2).
+    """
+    return math.acos(cosine_similarity(w1, w2))
+
+
+def cosine_to_angle(cosine: float) -> float:
+    """Convert a cosine-similarity threshold to the equivalent cone angle.
+
+    The paper uses both interchangeably, e.g. "0.998 cosine similarity
+    (theta = pi/50)" in section 6.2.
+    """
+    if not -1.0 <= cosine <= 1.0:
+        raise ValueError(f"cosine similarity must be in [-1, 1], got {cosine}")
+    return math.acos(cosine)
+
+
+def angle_to_cosine(angle: float) -> float:
+    """Convert a cone angle to the equivalent cosine-similarity threshold."""
+    return math.cos(angle)

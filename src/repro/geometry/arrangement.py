@@ -1,0 +1,220 @@
+"""Lazy arrangement of ordering-exchange hyperplanes (sections 4.2, 5.4).
+
+The multi-dimensional GET-NEXT operator works over the *arrangement* of
+ordering-exchange hyperplanes restricted to the region of interest: the
+dissection of ``U*`` into convex cones, one per feasible ranking
+(Theorem 1).  Constructing the whole arrangement costs ``O(n^{2d})``
+regions, so Algorithm 6 builds it lazily — always splitting only the
+currently most-stable region.
+
+This module supplies the two ingredients the core algorithm composes:
+
+- :class:`ArrangementRegion` — the ``Region`` record of Figure 2: the
+  halfspaces ``C`` carved so far, the stability estimate ``S``, the index
+  of the first ``pending`` hyperplane, and the sample range
+  ``[sb, se)`` into the shared sample pool.
+- :class:`Arrangement` — owns the hyperplane list ``H`` and the sample
+  pool, and implements ``passThrough`` via the quick-sort partition trick
+  of section 5.4: samples of a region occupy a contiguous slice of one
+  shared array; splitting a region by a hyperplane partitions the slice in
+  place, simultaneously answering the intersection test and updating the
+  stability estimates in O(slice length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.halfspace import ConvexCone, Halfspace
+
+__all__ = ["Arrangement", "ArrangementRegion"]
+
+
+@dataclass
+class ArrangementRegion:
+    """The ``Region`` data structure of Figure 2.
+
+    Attributes
+    ----------
+    cone:
+        Halfspace constraints accumulated so far (the field ``C``).
+    pending:
+        Index into the arrangement's hyperplane list of the next
+        hyperplane that has not yet been tested against this region.
+    sample_begin, sample_end:
+        Bounds ``[sb, se)`` of this region's samples within the shared
+        pool.  The stability estimate is
+        ``(se - sb) / total_samples`` (section 5.4).
+    """
+
+    cone: ConvexCone
+    pending: int
+    sample_begin: int
+    sample_end: int
+    _depth: int = field(default=0)
+
+    def sample_count(self) -> int:
+        return self.sample_end - self.sample_begin
+
+    def stability_estimate(self, total_samples: int) -> float:
+        """Monte-Carlo stability: fraction of pool samples in the region."""
+        if total_samples <= 0:
+            return 0.0
+        return self.sample_count() / total_samples
+
+
+class Arrangement:
+    """Lazily constructed arrangement of hyperplanes over a sample pool.
+
+    Parameters
+    ----------
+    hyperplanes:
+        ``(m, d)`` array; row ``k`` is the normal of hyperplane ``H[k]``
+        (ordering exchanges, through the origin).
+    samples:
+        ``(N, d)`` array of points drawn uniformly at random from the
+        region of interest.  The array is reordered in place as regions
+        split, exactly as section 5.4 describes; do not reuse it outside.
+    min_split_samples:
+        Regions whose sample slice is smaller than this are never split
+        further (their stability estimate would be meaningless anyway).
+        The paper implicitly does the same: a hyperplane "does not
+        intersect" a region when no sample pair straddles it.
+    """
+
+    def __init__(
+        self,
+        hyperplanes: np.ndarray,
+        samples: np.ndarray,
+        *,
+        min_split_samples: int = 1,
+    ):
+        self.hyperplanes = np.asarray(hyperplanes, dtype=np.float64)
+        if self.hyperplanes.ndim != 2:
+            raise ValueError("hyperplanes must be a 2-D array (m, d)")
+        self.samples = np.asarray(samples, dtype=np.float64)
+        if self.samples.ndim != 2:
+            raise ValueError("samples must be a 2-D array (N, d)")
+        if self.samples.shape[0] == 0:
+            raise ValueError("the sample pool must not be empty")
+        if (
+            self.hyperplanes.shape[0] > 0
+            and self.samples.shape[1] != self.hyperplanes.shape[1]
+        ):
+            raise ValueError("samples and hyperplanes have mismatched dimension")
+        self.min_split_samples = max(1, int(min_split_samples))
+        self.total_samples = self.samples.shape[0]
+        self._dim = self.samples.shape[1]
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def n_hyperplanes(self) -> int:
+        return self.hyperplanes.shape[0]
+
+    def root_region(self) -> ArrangementRegion:
+        """The region covering all of ``U*`` before any split (stability 1)."""
+        return ArrangementRegion(
+            cone=ConvexCone(dim=self._dim),
+            pending=0,
+            sample_begin=0,
+            sample_end=self.total_samples,
+        )
+
+    # ------------------------------------------------------------------
+    # The section 5.4 partition primitive
+    # ------------------------------------------------------------------
+    def partition(
+        self, region: ArrangementRegion, hyperplane_index: int
+    ) -> tuple[ArrangementRegion, ArrangementRegion] | None:
+        """Split ``region`` by hyperplane ``H[k]`` if it passes through.
+
+        Implements ``passThrough`` + split in one step, per section 5.4:
+        the samples in the region's slice are partitioned (stable
+        two-pointer pass, like quicksort's partition) into the negative
+        side followed by the positive side.  If either side is empty the
+        hyperplane misses the region and ``None`` is returned; otherwise
+        two child regions sharing the parent's slice are returned,
+        ``(negative_child, positive_child)``.
+
+        The children's ``pending`` index is ``k + 1`` — they have, by
+        construction, already been compared against every earlier
+        hyperplane (their parent was).
+        """
+        k = int(hyperplane_index)
+        if not 0 <= k < self.n_hyperplanes:
+            raise IndexError(f"hyperplane index {k} out of range")
+        sb, se = region.sample_begin, region.sample_end
+        if se - sb < 2 * self.min_split_samples:
+            return None
+        normal = self.hyperplanes[k]
+        block = self.samples[sb:se]
+        side = block @ normal > 0.0
+        n_pos = int(side.sum())
+        n_neg = block.shape[0] - n_pos
+        if n_pos < self.min_split_samples or n_neg < self.min_split_samples:
+            return None
+        # Stable partition: negative side first, then positive side.  A
+        # stable pass (rather than quicksort's unstable one) keeps the
+        # construction deterministic for tests.
+        self.samples[sb:se] = np.concatenate([block[~side], block[side]])
+        split = sb + n_neg
+        neg_hs = Halfspace(tuple(normal), -1)
+        pos_hs = Halfspace(tuple(normal), +1)
+        left = ArrangementRegion(
+            cone=region.cone.with_halfspace(neg_hs),
+            pending=k + 1,
+            sample_begin=sb,
+            sample_end=split,
+            _depth=region._depth + 1,
+        )
+        right = ArrangementRegion(
+            cone=region.cone.with_halfspace(pos_hs),
+            pending=k + 1,
+            sample_begin=split,
+            sample_end=se,
+            _depth=region._depth + 1,
+        )
+        return left, right
+
+    def next_intersecting_hyperplane(self, region: ArrangementRegion) -> int | None:
+        """Advance ``region.pending`` to the first hyperplane that splits it.
+
+        Returns the hyperplane index, or ``None`` when the region is a
+        final cell of the arrangement (no remaining hyperplane passes
+        through it).  ``region.pending`` is mutated to skip misses, so the
+        scan never re-tests a hyperplane (Algorithm 6 lines 8-16).
+        """
+        sb, se = region.sample_begin, region.sample_end
+        block = self.samples[sb:se]
+        while region.pending < self.n_hyperplanes:
+            k = region.pending
+            side = block @ self.hyperplanes[k] > 0.0
+            n_pos = int(side.sum())
+            n_neg = block.shape[0] - n_pos
+            if n_pos >= self.min_split_samples and n_neg >= self.min_split_samples:
+                return k
+            region.pending += 1
+        return None
+
+    def representative_point(self, region: ArrangementRegion) -> np.ndarray:
+        """A scoring function inside the region ("a point in r", Alg. 6).
+
+        Uses the normalised mean direction of the region's samples, which
+        lies in the (convex) region; falls back to the first sample if the
+        mean degenerates.
+        """
+        sb, se = region.sample_begin, region.sample_end
+        if se <= sb:
+            raise ValueError("region has no samples")
+        block = self.samples[sb:se]
+        centre = block.mean(axis=0)
+        norm = float(np.linalg.norm(centre))
+        if norm <= 1e-12 or not region.cone.contains(centre):
+            centre = block[0]
+            norm = float(np.linalg.norm(centre))
+        return centre / norm

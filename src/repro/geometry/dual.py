@@ -1,0 +1,149 @@
+"""Dual-space representation of items and ordering exchanges.
+
+Section 2.1.2 of the paper maps each item ``t`` to the hyperplane
+
+    d(t):  t[1]*x_1 + ... + t[d]*x_d = 1                      (Equation 1)
+
+The ranking induced by a scoring function ``f_w`` equals the order in which
+the dual hyperplanes intersect the ray of ``w`` (closer to the origin =
+higher rank), because ``d(t)`` meets the ray at ``(1 / f_w(t)) * w``.
+
+For a pair of items the *ordering exchange* is the set of functions that
+score both items equally:
+
+    x(t_i, t_j):  sum_k (t_i[k] - t_j[k]) * x_k = 0           (Equation 7)
+
+In 2D the exchange is a single ray at angle
+
+    theta_{t,t'} = arctan( (t'[1] - t[1]) / (t[2] - t'[2]) )   (Equation 6)
+
+measured from the ``x1`` axis.  These exchanges are the region boundaries
+every algorithm in the paper is built on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "dual_hyperplane_value",
+    "dominates",
+    "exchange_hyperplane",
+    "exchange_angle_2d",
+    "pairwise_exchange_hyperplanes",
+]
+
+
+def dual_hyperplane_value(item: np.ndarray, point: np.ndarray) -> float:
+    """Evaluate the dual hyperplane of ``item`` at ``point``.
+
+    Returns ``sum_k item[k] * point[k]``; the point lies on ``d(item)``
+    when the value is 1 (Equation 1).  For a weight vector ``w`` this is
+    exactly the score ``f_w(item)``, which is why ordering along the ray
+    equals ordering of dual-hyperplane intersections.
+    """
+    return float(np.dot(np.asarray(item, dtype=np.float64), np.asarray(point, dtype=np.float64)))
+
+
+def dominates(t: np.ndarray, t_prime: np.ndarray, *, tol: float = 0.0) -> bool:
+    """Return True if item ``t`` dominates item ``t_prime``.
+
+    Following the paper (section 3): ``t`` dominates ``t'`` when no
+    attribute of ``t'`` exceeds the corresponding attribute of ``t`` and at
+    least one attribute of ``t`` strictly exceeds ``t'``'s.  Dominating
+    pairs never exchange order, so they contribute no boundary.
+
+    Parameters
+    ----------
+    t, t_prime:
+        Attribute vectors of the two items (larger is better).
+    tol:
+        Non-negative slack: ``t'`` may exceed ``t`` by up to ``tol`` per
+        attribute and still be considered dominated.  The default 0 is the
+        exact textbook definition.
+    """
+    a = np.asarray(t, dtype=np.float64)
+    b = np.asarray(t_prime, dtype=np.float64)
+    return bool(np.all(b <= a + tol) and np.any(a > b + tol))
+
+
+def exchange_hyperplane(t_i: np.ndarray, t_j: np.ndarray) -> np.ndarray:
+    """Normal vector of the ordering-exchange hyperplane of two items.
+
+    Returns ``h = t_i - t_j`` so that the hyperplane is ``h . x = 0``
+    (Equation 7).  Functions with ``h . w > 0`` rank ``t_i`` above ``t_j``
+    (the positive halfspace ``h+``); ``h . w < 0`` ranks ``t_j`` higher.
+    """
+    return np.asarray(t_i, dtype=np.float64) - np.asarray(t_j, dtype=np.float64)
+
+
+def exchange_angle_2d(t: np.ndarray, t_prime: np.ndarray) -> float:
+    """Angle (from the x1 axis) of the 2D ordering exchange of two items.
+
+    Implements Equation 6:
+    ``theta = arctan((t'[1] - t[1]) / (t[2] - t'[2]))``.
+
+    The caller must ensure neither item dominates the other; for
+    non-dominating pairs the numerator and denominator share sign, so the
+    returned angle lies in ``[0, pi/2]``.
+
+    Raises
+    ------
+    ValueError
+        If the two items are identical in both attributes (every function
+        ties them; no exchange exists), or if one dominates the other (the
+        ratio would be negative and the exchange falls outside the
+        non-negative quadrant).
+    """
+    a = np.asarray(t, dtype=np.float64)
+    b = np.asarray(t_prime, dtype=np.float64)
+    dx = float(b[0] - a[0])
+    dy = float(a[1] - b[1])
+    if dx == 0.0 and dy == 0.0:
+        raise ValueError("items are identical; no ordering exchange exists")
+    if dy == 0.0:
+        # Equal second attribute: the exchange is the x2 axis (theta=pi/2)
+        # if t'[1] > t[1] would flip at vertical, but with dy == 0 one item
+        # dominates the other; treat as a degenerate vertical exchange.
+        return math.pi / 2 if dx > 0 else 0.0
+    ratio = dx / dy
+    if ratio < 0.0:
+        raise ValueError(
+            "one item dominates the other; the ordering never changes inside "
+            "the non-negative quadrant"
+        )
+    return math.atan(ratio)
+
+
+def pairwise_exchange_hyperplanes(items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All ordering-exchange hyperplanes of a dataset (Algorithm 5, core).
+
+    Vectorised construction of ``h = t_i - t_j`` for every non-dominating
+    pair ``i < j``.
+
+    Parameters
+    ----------
+    items:
+        ``(n, d)`` array of item attribute vectors.
+
+    Returns
+    -------
+    (hyperplanes, pairs):
+        ``hyperplanes`` is an ``(m, d)`` array of normal vectors and
+        ``pairs`` the corresponding ``(m, 2)`` array of item index pairs,
+        where ``m`` is the number of non-dominating pairs.
+    """
+    pts = np.asarray(items, dtype=np.float64)
+    n = pts.shape[0]
+    ii, jj = np.triu_indices(n, k=1)
+    diffs = pts[ii] - pts[jj]
+    # A pair is dominating iff the difference vector has no sign change
+    # (all >= 0 with some > 0, or all <= 0 with some < 0).  Identical items
+    # (all zeros) also produce no exchange.
+    has_pos = np.any(diffs > 0, axis=1)
+    has_neg = np.any(diffs < 0, axis=1)
+    mask = has_pos & has_neg
+    pairs = np.stack([ii[mask], jj[mask]], axis=1)
+    return diffs[mask], pairs

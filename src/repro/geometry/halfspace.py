@@ -1,0 +1,294 @@
+"""Halfspaces and convex-cone regions of the function space.
+
+A ranking region in the multi-dimensional setting (section 4.1) is an
+open-ended d-dimensional cone: the intersection of homogeneous halfspaces
+``h . x > 0`` (one per adjacent pair of the ranking) with the region of
+interest.  This module provides:
+
+- :class:`Halfspace` — a single homogeneous halfspace with a sign.
+- :class:`ConvexCone` — an intersection of halfspaces, with membership
+  tests (vectorised over sample matrices), LP feasibility, interior-point
+  computation (Chebyshev-style via linear programming), and a bounding
+  cap (reference ray + angle) used to accelerate rejection sampling
+  (section 5.2: "the bounding sphere for the base of its d-cone").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import InfeasibleRegionError
+
+__all__ = ["Halfspace", "ConvexCone"]
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """A homogeneous halfspace ``sign * (normal . x) > 0``.
+
+    ``sign=+1`` denotes the paper's ``h+`` (functions ranking ``t_i`` above
+    ``t_j`` when ``normal = t_i - t_j``); ``sign=-1`` denotes ``h-``.
+    """
+
+    normal: tuple[float, ...]
+    sign: int = +1
+
+    def __post_init__(self) -> None:
+        if self.sign not in (+1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+
+    @property
+    def dim(self) -> int:
+        return len(self.normal)
+
+    @property
+    def oriented_normal(self) -> np.ndarray:
+        """Normal scaled by sign, so membership is ``oriented_normal.x > 0``."""
+        return self.sign * np.asarray(self.normal, dtype=np.float64)
+
+    def contains(self, point: np.ndarray, *, strict: bool = True) -> bool:
+        """Test whether ``point`` lies in the (open) halfspace."""
+        value = float(np.dot(self.oriented_normal, np.asarray(point, dtype=np.float64)))
+        return value > 0.0 if strict else value >= 0.0
+
+    def contains_all(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised membership test for an ``(m, d)`` matrix of points."""
+        pts = np.asarray(points, dtype=np.float64)
+        return pts @ self.oriented_normal > 0.0
+
+    def flipped(self) -> "Halfspace":
+        """The opposite halfspace (same boundary hyperplane)."""
+        return Halfspace(self.normal, -self.sign)
+
+
+class ConvexCone:
+    """Intersection of homogeneous halfspaces — a ranking region's shape.
+
+    The cone is *open-ended*: membership depends only on the direction of a
+    point, never its magnitude, matching the fact that scoring functions
+    that are positive multiples of each other induce the same ranking.
+
+    Parameters
+    ----------
+    halfspaces:
+        Iterable of :class:`Halfspace`, all of the same dimension.
+    dim:
+        Ambient dimension; mandatory when ``halfspaces`` is empty (the
+        empty intersection is the whole space).
+    """
+
+    def __init__(self, halfspaces: Iterable[Halfspace] = (), *, dim: int | None = None):
+        self._halfspaces: list[Halfspace] = list(halfspaces)
+        if self._halfspaces:
+            dims = {h.dim for h in self._halfspaces}
+            if len(dims) != 1:
+                raise ValueError(f"halfspaces have mixed dimensions: {sorted(dims)}")
+            inferred = dims.pop()
+            if dim is not None and dim != inferred:
+                raise ValueError(f"dim={dim} conflicts with halfspace dimension {inferred}")
+            self._dim = inferred
+        else:
+            if dim is None:
+                raise ValueError("dim is required for a cone with no halfspaces")
+            self._dim = int(dim)
+        self._matrix_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def halfspaces(self) -> Sequence[Halfspace]:
+        return tuple(self._halfspaces)
+
+    def __len__(self) -> int:
+        return len(self._halfspaces)
+
+    def __repr__(self) -> str:
+        return f"ConvexCone(dim={self._dim}, n_halfspaces={len(self._halfspaces)})"
+
+    def with_halfspace(self, halfspace: Halfspace) -> "ConvexCone":
+        """A new cone further constrained by ``halfspace``."""
+        if halfspace.dim != self._dim:
+            raise ValueError(f"halfspace dim {halfspace.dim} != cone dim {self._dim}")
+        return ConvexCone([*self._halfspaces, halfspace], dim=self._dim)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def _oriented_matrix(self) -> np.ndarray:
+        """Stack of oriented normals, one row per halfspace ((m, d))."""
+        if self._matrix_cache is None:
+            if self._halfspaces:
+                self._matrix_cache = np.stack([h.oriented_normal for h in self._halfspaces])
+            else:
+                self._matrix_cache = np.empty((0, self._dim), dtype=np.float64)
+        return self._matrix_cache
+
+    def contains(self, point: np.ndarray) -> bool:
+        """True if ``point`` satisfies every halfspace strictly.
+
+        This is the membership test of the stability oracle (Algorithm 12)
+        for a single sample.
+        """
+        pt = np.asarray(point, dtype=np.float64)
+        mat = self._oriented_matrix()
+        if mat.shape[0] == 0:
+            return True
+        return bool(np.all(mat @ pt > 0.0))
+
+    def contains_all(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised membership for an ``(m, d)`` matrix of sample points.
+
+        Returns a boolean mask of length ``m``.  This is the hot loop of
+        the stability oracle.  Small cases are a single matrix product;
+        large ``m * n_halfspaces`` products switch to a streaming pass
+        that eliminates failed samples halfspace by halfspace — for a
+        ranking region (many constraints, tiny volume) most samples die
+        within a few constraints, so the pass is near-linear in ``m``.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        mat = self._oriented_matrix()
+        m_samples, m_constraints = pts.shape[0], mat.shape[0]
+        if m_constraints == 0:
+            return np.ones(m_samples, dtype=bool)
+        if m_samples * m_constraints <= 4_000_000:
+            return np.all(pts @ mat.T > 0.0, axis=1)
+        result = np.zeros(m_samples, dtype=bool)
+        chunk = max(1, 16_000_000 // max(m_constraints, 1))
+        for start in range(0, m_samples, chunk):
+            block = pts[start : start + chunk]
+            alive = np.arange(block.shape[0])
+            for normal in mat:
+                ok = block[alive] @ normal > 0.0
+                alive = alive[ok]
+                if alive.size == 0:
+                    break
+            result[start + alive] = True
+        return result
+
+    # ------------------------------------------------------------------
+    # Linear-programming queries
+    # ------------------------------------------------------------------
+    def interior_point(
+        self,
+        *,
+        extra_halfspaces: Iterable[Halfspace] = (),
+        nonnegative: bool = True,
+    ) -> np.ndarray:
+        """A point strictly inside the cone (and the non-negative orthant).
+
+        Solves the margin-maximisation LP
+
+            max s   s.t.  A x >= s,  0 <= x <= 1,  s <= 1
+
+        where ``A`` stacks the oriented normals (plus the orthant rows when
+        ``nonnegative``).  A positive optimum yields a strictly interior
+        direction; this implements "w = a point in r" of Algorithm 6
+        line 10 without sampling.
+
+        Raises
+        ------
+        InfeasibleRegionError
+            If the cone has empty interior.
+        """
+        rows = [h.oriented_normal for h in self._halfspaces]
+        rows.extend(h.oriented_normal for h in extra_halfspaces)
+        if nonnegative:
+            rows.extend(np.eye(self._dim))
+        a = np.stack(rows) if rows else np.empty((0, self._dim))
+        m = a.shape[0]
+        if m == 0:
+            return np.full(self._dim, 1.0 / np.sqrt(self._dim))
+        # Variables: x (d), s (1).  Maximise s  <=>  minimise -s.
+        c = np.zeros(self._dim + 1)
+        c[-1] = -1.0
+        # A x - s >= 0   <=>   -A x + s <= 0
+        a_ub = np.hstack([-a, np.ones((m, 1))])
+        b_ub = np.zeros(m)
+        bounds = [(-1.0, 1.0)] * self._dim + [(None, 1.0)]
+        if nonnegative:
+            bounds = [(0.0, 1.0)] * self._dim + [(None, 1.0)]
+        res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        if not res.success or res.x is None or res.x[-1] <= 1e-12:
+            raise InfeasibleRegionError("cone has empty interior")
+        x = res.x[: self._dim]
+        norm = float(np.linalg.norm(x))
+        if norm <= 0.0:
+            raise InfeasibleRegionError("degenerate interior point at the origin")
+        return x / norm
+
+    def is_feasible(self, *, nonnegative: bool = True) -> bool:
+        """True if the cone (intersected with the orthant) has an interior."""
+        try:
+            self.interior_point(nonnegative=nonnegative)
+        except InfeasibleRegionError:
+            return False
+        return True
+
+    def intersects_hyperplane(
+        self, normal: np.ndarray, *, nonnegative: bool = True
+    ) -> bool:
+        """LP test: does the hyperplane ``normal . x = 0`` cut the cone?
+
+        This is the quadratic/linear-program variant of ``passThrough``
+        described under Algorithm 6 ("testing whether a hyperplane
+        intersects with a region is done by solving a linear program").
+        The hyperplane cuts the cone iff both open sides are feasible.
+        """
+        h = np.asarray(normal, dtype=np.float64)
+        plus = Halfspace(tuple(h), +1)
+        minus = Halfspace(tuple(h), -1)
+        try:
+            self.interior_point(extra_halfspaces=[plus], nonnegative=nonnegative)
+            self.interior_point(extra_halfspaces=[minus], nonnegative=nonnegative)
+        except InfeasibleRegionError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Bounding cap
+    # ------------------------------------------------------------------
+    def bounding_cap(
+        self, samples: np.ndarray | None = None, *, pad: float = 1.25
+    ) -> tuple[np.ndarray, float]:
+        """A (reference ray, angle) cap that contains the cone ∩ orthant.
+
+        Section 5.2: "For a region of interest specified by a set of
+        constraints, the bounding sphere for the base of its d-cone
+        identifies the ray and angle distance that include U*."  We compute
+        the cap from the extreme directions available: when ``samples``
+        inside the cone are provided, the smallest-enclosing-ball cap of
+        their directions (reference [37], via
+        :func:`repro.geometry.minball.bounding_cap_of_directions`),
+        inflated by ``pad`` — the sample hull underestimates the true
+        cone, so an unpadded cap could clip it and bias rejection
+        proposals; the padded angle is clamped to the orthant cap, the
+        conservative fallback when no samples are given.
+
+        Returns
+        -------
+        (ray, angle):
+            Unit reference direction and the half-angle of the cap.
+        """
+        orthant_angle = float(np.arccos(1.0 / np.sqrt(self._dim)))
+        if samples is not None and len(samples) > 0:
+            from repro.geometry.minball import bounding_cap_of_directions
+
+            try:
+                axis, angle = bounding_cap_of_directions(
+                    np.asarray(samples, dtype=np.float64)
+                )
+                return axis, min(max(angle * pad, 1e-6), orthant_angle + angle)
+            except ValueError:
+                pass  # degenerate directions: fall through to the orthant cap
+        diagonal = np.full(self._dim, 1.0 / np.sqrt(self._dim))
+        # Angle between the orthant diagonal and any axis e_i.
+        return diagonal, orthant_angle

@@ -1,0 +1,171 @@
+"""Smallest enclosing ball (Welzl's algorithm) and spherical bounding caps.
+
+Section 5.2 of the paper tightens acceptance-rejection sampling for a
+constraint-defined region of interest: "the bounding sphere [37] for
+the base of its d-cone identifies the ray and angle distance that
+include U*".  This module provides that machinery:
+
+- :func:`min_enclosing_ball` — the exact smallest ball containing a
+  point set, via Welzl's move-to-front recursion (expected linear time
+  for fixed ``d``); reference [37] (Fischer, Gärtner & Kutz) is the
+  high-dimensional engineering of the same primitive.
+- :func:`bounding_cap_of_directions` — converts a set of unit
+  directions into a (ray, angle) spherical cap: the enclosing ball of
+  the directions is lifted back to the sphere, giving a cap that is
+  optimal among caps centred on the ball centre's direction.
+
+:class:`repro.geometry.halfspace.ConvexCone.bounding_cap` consumes
+these to propose from a hyperspherical cap (Algorithm 11) instead of
+the whole orthant, which is exactly the paper's acceptance-rate
+improvement for small ``U*``.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+import numpy as np
+
+__all__ = [
+    "Ball",
+    "min_enclosing_ball",
+    "bounding_cap_of_directions",
+]
+
+
+class Ball:
+    """A closed ball ``{x : |x - centre| <= radius}``."""
+
+    __slots__ = ("centre", "radius")
+
+    def __init__(self, centre: np.ndarray, radius: float):
+        self.centre = np.asarray(centre, dtype=np.float64)
+        self.radius = float(radius)
+
+    def contains(self, point: np.ndarray, *, tol: float = 1e-9) -> bool:
+        """Membership with an absolute tolerance on the radius."""
+        gap = float(np.linalg.norm(np.asarray(point, dtype=np.float64) - self.centre))
+        return gap <= self.radius + tol
+
+    def contains_all(self, points: np.ndarray, *, tol: float = 1e-9) -> bool:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        gaps = np.linalg.norm(pts - self.centre, axis=1)
+        return bool(np.all(gaps <= self.radius + tol))
+
+    def __repr__(self) -> str:
+        return f"Ball(centre={self.centre.tolist()}, radius={self.radius:.6g})"
+
+
+def _ball_from_boundary(boundary: list[np.ndarray], dim: int) -> Ball:
+    """The unique smallest ball with all ``boundary`` points on its surface.
+
+    For ``m`` affinely independent boundary points the centre is the
+    circumcentre within their affine hull, found by solving the linear
+    system expressing equidistance; degenerate (affinely dependent)
+    subsets fall back to a least-squares solution, which is harmless —
+    Welzl only commits to boundary sets that are genuinely extremal.
+    """
+    if not boundary:
+        return Ball(np.zeros(dim), 0.0)
+    base = boundary[0]
+    if len(boundary) == 1:
+        return Ball(base.copy(), 0.0)
+    # Centre = base + A^+ b in the affine frame spanned by the others.
+    rows = np.stack([p - base for p in boundary[1:]])  # (m-1, d)
+    rhs = 0.5 * np.einsum("ij,ij->i", rows, rows)
+    # Solve rows @ x = rhs for the offset x in the row space.
+    solution, *_ = np.linalg.lstsq(rows, rhs, rcond=None)
+    centre = base + solution
+    radius = float(np.linalg.norm(centre - base))
+    return Ball(centre, radius)
+
+
+def min_enclosing_ball(
+    points: np.ndarray, *, rng: np.random.Generator | None = None
+) -> Ball:
+    """Exact smallest enclosing ball of a point set (Welzl, 1991).
+
+    Expected ``O(n)`` for fixed dimension after the initial shuffle.
+    The recursion depth is bounded by ``n``, so the recursion limit is
+    raised locally for large inputs.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array, ``n >= 1``.
+    rng:
+        Shuffle source; a fixed default keeps results reproducible.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    if not np.all(np.isfinite(pts)):
+        raise ValueError("points must be finite")
+    n, dim = pts.shape
+    generator = rng if rng is not None else np.random.default_rng(0xB411)
+    order = generator.permutation(n)
+    shuffled = [pts[i] for i in order]
+
+    def welzl(front: int, boundary: list[np.ndarray]) -> Ball:
+        # Boundary saturated at d+1 points: the ball is determined.
+        if front == 0 or len(boundary) == dim + 1:
+            return _ball_from_boundary(boundary, dim)
+        ball = welzl(front - 1, boundary)
+        point = shuffled[front - 1]
+        if ball.contains(point):
+            return ball
+        return welzl(front - 1, [*boundary, point])
+
+    # Welzl's recursion depth is bounded by n; raise the limit locally
+    # rather than rewriting the classic algorithm iteratively.
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, n + 1000))
+    try:
+        ball = welzl(n, [])
+    finally:
+        sys.setrecursionlimit(old_limit)
+    # Guard against floating-point slack: grow the radius minimally so
+    # every input point is inside.
+    gaps = np.linalg.norm(pts - ball.centre, axis=1)
+    return Ball(ball.centre, max(ball.radius, float(gaps.max())))
+
+
+def bounding_cap_of_directions(
+    directions: np.ndarray, *, rng: np.random.Generator | None = None
+) -> tuple[np.ndarray, float]:
+    """A (unit ray, angle) spherical cap containing the given directions.
+
+    The directions are normalised onto the unit sphere, their smallest
+    enclosing (Euclidean) ball is computed, and the ball centre's
+    direction becomes the cap axis; the cap angle is the largest angle
+    from the axis to any direction.  Among caps centred on that axis the
+    angle is minimal by construction.
+
+    Returns
+    -------
+    (ray, angle):
+        Unit axis and half-angle in ``[0, pi]``.
+
+    Raises
+    ------
+    ValueError
+        If the directions have no consistent hemisphere (enclosing-ball
+        centre at the origin), in which case no cap of angle < pi/2
+        centred anywhere contains them in a usable way.
+    """
+    pts = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    norms = np.linalg.norm(pts, axis=1, keepdims=True)
+    if np.any(norms <= 0):
+        raise ValueError("directions must be non-zero")
+    unit = pts / norms
+    ball = min_enclosing_ball(unit, rng=rng)
+    centre_norm = float(np.linalg.norm(ball.centre))
+    if centre_norm <= 1e-12:
+        raise ValueError(
+            "directions span more than a hemisphere; no bounding cap exists"
+        )
+    axis = ball.centre / centre_norm
+    cosines = np.clip(unit @ axis, -1.0, 1.0)
+    angle = float(math.acos(float(cosines.min())))
+    return axis, angle

@@ -1,0 +1,139 @@
+"""Coordinate-system rotations (Appendix A, Algorithm 13).
+
+The cap sampler of Algorithm 11 draws points on a spherical cap centred on
+the ``x_d`` axis and must then rotate them so the cap centre falls on the
+reference ray ``rho``.  Appendix A composes ``d - 1`` planar (Givens-style)
+rotations ``M_{d-1} ... M_1``, each acting on the ``x_1``-``x_{i+1}``
+plane, with the last angle replaced by ``pi/2 - rho_{d-1}`` so every
+rotation is counterclockwise.
+
+We implement the matrices exactly as in Equation 17 and additionally
+provide :func:`rotation_matrix_to_ray`, a robust Householder-based rotation
+that maps ``e_d`` onto an arbitrary unit vector — used as a fallback and to
+property-test the appendix construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.angles import as_unit_vector
+
+__all__ = [
+    "axis_rotation_matrix",
+    "rotate_to_ray",
+    "rotation_matrix_to_ray",
+    "householder_rotation",
+]
+
+
+def axis_rotation_matrix(dim: int, plane_axis: int, angle: float) -> np.ndarray:
+    """The matrix ``M_i`` of Equation 17.
+
+    Rotates the ``x_1``-``x_{i+1}`` plane counterclockwise by ``angle``,
+    where ``plane_axis = i`` in ``1..d-1``.  All other coordinates are
+    fixed.
+
+    Parameters
+    ----------
+    dim:
+        Ambient dimension ``d``.
+    plane_axis:
+        The ``i`` of ``M_i``; the rotation couples coordinates 1 and
+        ``i + 1`` (1-based as in the paper).
+    angle:
+        Rotation angle ``rho_i`` in radians.
+    """
+    if not 1 <= plane_axis <= dim - 1:
+        raise ValueError(f"plane_axis must be in [1, {dim - 1}], got {plane_axis}")
+    m = np.eye(dim)
+    c, s = math.cos(angle), math.sin(angle)
+    j = plane_axis  # 0-based column of x_{i+1}
+    m[0, 0] = c
+    m[0, j] = -s
+    m[j, 0] = s
+    m[j, j] = c
+    return m
+
+
+def rotate_to_ray(vector: np.ndarray, ray: np.ndarray) -> np.ndarray:
+    """Algorithm 13: rotate ``vector`` so the ``x_d`` axis maps onto ``ray``.
+
+    ``ray`` is given as a weight vector (any positive scaling); internally
+    its ``d - 1`` polar angles ``rho`` are computed, the last one replaced
+    by ``pi/2 - rho_{d-1}``, and the planar rotations of Equation 17 are
+    applied from ``i = d-1`` down to ``1``.
+
+    The guarantee property-tested in the suite: ``rotate_to_ray(e_d, ray)``
+    equals the unit vector of ``ray``, and the map is orthogonal (norms
+    and pairwise angles are preserved).
+    """
+    w = np.asarray(vector, dtype=np.float64)
+    ray_arr = np.asarray(ray, dtype=np.float64)
+    if ray_arr.shape[0] != w.shape[0]:
+        raise ValueError(f"ray dimension {ray_arr.shape[0]} != vector dimension {w.shape[0]}")
+    return rotation_matrix_to_ray(ray_arr) @ w
+
+
+def rotation_matrix_to_ray(ray: np.ndarray) -> np.ndarray:
+    """The full ``d x d`` rotation matrix of Algorithm 13.
+
+    Like Appendix A, the matrix is a composition of ``d - 1`` planar
+    rotations; we determine each plane's angle constructively (a Givens
+    sequence that reduces ``unit(ray)`` to ``e_d``, then inverted) instead
+    of trusting the polar-angle bookkeeping of Equation 17, which is
+    sign-ambiguous in degenerate configurations.  The result satisfies
+    ``M @ e_d == unit(ray)`` and ``M.T @ M == I`` exactly (to float
+    precision) for every ray, which is all Algorithm 11 requires.
+    """
+    u = as_unit_vector(np.asarray(ray, dtype=np.float64))
+    d = u.shape[0]
+    v = u.copy()
+    m = np.eye(d)
+    # Fold each coordinate i into coordinate d-1 with a planar rotation;
+    # afterwards v == e_d and m maps u onto e_d.  The inverse (transpose)
+    # maps e_d back onto u.
+    for i in range(d - 1):
+        r = math.hypot(v[d - 1], v[i])
+        if r <= 1e-300:
+            continue
+        c = v[d - 1] / r
+        s = v[i] / r
+        g = np.eye(d)
+        g[d - 1, d - 1] = c
+        g[d - 1, i] = s
+        g[i, d - 1] = -s
+        g[i, i] = c
+        v = g @ v
+        m = g @ m
+    return m.T
+
+
+def householder_rotation(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """An orthogonal matrix with determinant +1 mapping ``source`` to ``target``.
+
+    Composes two Householder reflections: one through the bisector of
+    ``source`` and ``target`` (which swaps them), then one through
+    ``target`` (fixing it while restoring orientation).  Both inputs are
+    normalised first.  Used as the numerically robust fallback of
+    :func:`rotation_matrix_to_ray` and as the reference implementation in
+    property tests.
+    """
+    s = as_unit_vector(np.asarray(source, dtype=np.float64))
+    t = as_unit_vector(np.asarray(target, dtype=np.float64))
+    d = s.shape[0]
+    if np.allclose(s, t, atol=1e-15):
+        return np.eye(d)
+    # Reflection through the hyperplane orthogonal to (s - t) swaps s and t
+    # but has determinant -1; composing with a reflection that fixes t
+    # restores orientation while keeping the image of s at t.
+    v = s - t
+    v /= np.linalg.norm(v)
+    swap = np.eye(d) - 2.0 * np.outer(v, v)
+    u = np.eye(d)[int(np.argmin(np.abs(t)))]
+    u = u - t * float(np.dot(u, t))
+    u /= np.linalg.norm(u)
+    fix_t = np.eye(d) - 2.0 * np.outer(u, u)
+    return fix_t @ swap

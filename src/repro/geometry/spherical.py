@@ -1,0 +1,197 @@
+"""Hypersphere and hyperspherical-cap geometry (Equations 12-16).
+
+The universe of scoring functions maps one-to-one onto the non-negative
+orthant of the unit d-sphere's surface; a hypercone region of interest
+maps onto a spherical cap.  Stability (Definition 2) is a ratio of surface
+areas, so this module provides:
+
+- :func:`sphere_surface_area` — surface area of a ``delta``-sphere,
+  ``A_delta(r) = 2 pi^{delta/2} / Gamma(delta/2) * r^{delta-1}``
+  (Equation 12; note the paper's convention where a "d-sphere" lives in
+  ``R^d``, i.e. a circle is a 2-sphere).
+- :func:`sin_power_integral` — ``int_0^theta sin^{d-2}(phi) dphi``, the
+  kernel of the cap area (Equation 13).
+- :func:`cap_area` — surface area of the unit d-spherical cap of angle
+  ``theta`` (Equation 13).
+- :func:`cap_cdf` / :func:`inverse_cap_cdf` — the normalised CDF of the
+  colatitude angle of a uniform point on a cap (Equation 14) and its
+  inverse, in three interchangeable implementations: closed form for
+  d = 2, 3, the regularized-incomplete-beta form (Equation 16) via
+  :func:`scipy.special.betainc`, and the Riemann-sum numeric form
+  (Algorithm 10).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+__all__ = [
+    "sphere_surface_area",
+    "sin_power_integral",
+    "cap_area",
+    "cap_cdf",
+    "inverse_cap_cdf",
+    "cap_fraction_of_orthant",
+    "orthant_area",
+    "riemann_cdf_table",
+]
+
+
+def sphere_surface_area(dim: int, radius: float = 1.0) -> float:
+    """Surface area of a ``dim``-sphere of the given radius (Equation 12).
+
+    Follows the paper's convention: the "d-sphere" is the boundary of the
+    ball in ``R^d``, so ``sphere_surface_area(2)`` is a circle's
+    circumference ``2 pi r`` and ``sphere_surface_area(3) = 4 pi r^2``.
+    """
+    if dim < 1:
+        raise ValueError(f"dimension must be >= 1, got {dim}")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return float(2.0 * math.pi ** (dim / 2.0) / special.gamma(dim / 2.0) * radius ** (dim - 1))
+
+
+def sin_power_integral(theta: float, power: int) -> float:
+    """``int_0^theta sin^power(phi) dphi`` for integer ``power >= 0``.
+
+    Evaluated through the regularized incomplete beta function for
+    ``theta <= pi/2`` (the only range the paper needs — angles of the
+    non-negative orthant):
+
+        int_0^theta sin^p = (1/2) B(((p+1)/2, 1/2)) * I_{sin^2 theta}((p+1)/2, 1/2)
+
+    which is the identity behind Equation 16.
+    """
+    if power < 0:
+        raise ValueError(f"power must be non-negative, got {power}")
+    if not 0.0 <= theta <= math.pi / 2 + 1e-12:
+        raise ValueError(f"theta must be in [0, pi/2], got {theta}")
+    if theta == 0.0:
+        return 0.0
+    if power == 0:
+        return float(theta)
+    s2 = math.sin(min(theta, math.pi / 2)) ** 2
+    a = (power + 1) / 2.0
+    b = 0.5
+    return float(0.5 * special.beta(a, b) * special.betainc(a, b, s2))
+
+
+def cap_area(dim: int, theta: float, radius: float = 1.0) -> float:
+    """Surface area of a ``dim``-spherical cap with colatitude ``theta``.
+
+    Equation 13: ``A_cap = A_{d-1}(1) * int_0^theta sin^{d-2}(phi) dphi``
+    scaled by ``radius^{d-1}``.  For ``dim = 2`` the cap around a pole of
+    the circle is the arc of points within angle ``theta`` of it — both
+    sides, so length ``2 * theta * r`` (Equation 13's shell factor
+    ``A_1(1) = 2``).
+    """
+    if dim < 2:
+        raise ValueError(f"cap requires dimension >= 2, got {dim}")
+    if dim == 2:
+        return float(2.0 * theta * radius)
+    shell = 2.0 * math.pi ** ((dim - 1) / 2.0) / special.gamma((dim - 1) / 2.0)
+    return float(shell * sin_power_integral(theta, dim - 2) * radius ** (dim - 1))
+
+
+def orthant_area(dim: int) -> float:
+    """Surface area of the non-negative orthant of the unit ``dim``-sphere.
+
+    The orthant is ``1 / 2^d`` of the full surface; this is ``vol(U)`` in
+    Definition 2.
+    """
+    return sphere_surface_area(dim) / (2.0 ** dim)
+
+
+def cap_fraction_of_orthant(dim: int, theta: float) -> float:
+    """Cap area as a fraction of the orthant area.
+
+    Useful as the acceptance probability of rejection sampling a cap from
+    uniform-orthant proposals and for sanity-checking stability values of
+    cone regions of interest.  Note a cap centred inside the orthant with
+    small ``theta`` lies entirely within the orthant, making the fraction
+    exact; for large ``theta`` it is an upper bound on the contained area.
+    """
+    return cap_area(dim, theta) / orthant_area(dim)
+
+
+def cap_cdf(x: float | np.ndarray, theta: float, dim: int) -> float | np.ndarray:
+    """CDF of the colatitude of a uniform sample on a cap (Equation 14/16).
+
+    ``F(x) = int_0^x sin^{d-2} / int_0^theta sin^{d-2}``, computed in
+    closed form for ``dim`` 2 and 3, otherwise through the regularized
+    incomplete beta representation (Equation 16).
+    """
+    if not 0.0 < theta <= math.pi / 2 + 1e-12:
+        raise ValueError(f"theta must be in (0, pi/2], got {theta}")
+    xs = np.asarray(x, dtype=np.float64)
+    if np.any(xs < -1e-12) or np.any(xs > theta + 1e-9):
+        raise ValueError("x must lie in [0, theta]")
+    xs = np.clip(xs, 0.0, theta)
+    if dim == 2:
+        out = xs / theta
+    elif dim == 3:
+        # Equation 15: F(x) = (1 - cos x) / (1 - cos theta).
+        out = (1.0 - np.cos(xs)) / (1.0 - math.cos(theta))
+    else:
+        a = (dim - 1) / 2.0
+        out = special.betainc(a, 0.5, np.sin(xs) ** 2) / special.betainc(
+            a, 0.5, math.sin(theta) ** 2
+        )
+    return float(out) if np.isscalar(x) else out
+
+
+def inverse_cap_cdf(y: float | np.ndarray, theta: float, dim: int) -> float | np.ndarray:
+    """Inverse of :func:`cap_cdf`: the angle ``x`` with ``F(x) = y``.
+
+    Closed form for ``dim`` 2 and 3 (Equation 15); otherwise inverts the
+    regularized incomplete beta with :func:`scipy.special.betaincinv`
+    (the paper notes "numeric methods are applied for finding the inverse
+    of the regularized incomplete beta function" — scipy provides them).
+    """
+    if not 0.0 < theta <= math.pi / 2 + 1e-12:
+        raise ValueError(f"theta must be in (0, pi/2], got {theta}")
+    ys = np.asarray(y, dtype=np.float64)
+    if np.any(ys < -1e-12) or np.any(ys > 1.0 + 1e-12):
+        raise ValueError("y must lie in [0, 1]")
+    ys = np.clip(ys, 0.0, 1.0)
+    if dim == 2:
+        out = ys * theta
+    elif dim == 3:
+        # Equation 15 inverted: x = arccos(1 - (1 - cos theta) y).
+        out = np.arccos(np.clip(1.0 - (1.0 - math.cos(theta)) * ys, -1.0, 1.0))
+    else:
+        a = (dim - 1) / 2.0
+        target = ys * special.betainc(a, 0.5, math.sin(theta) ** 2)
+        s2 = special.betaincinv(a, 0.5, target)
+        out = np.arcsin(np.sqrt(np.clip(s2, 0.0, 1.0)))
+    return float(out) if np.isscalar(y) else out
+
+
+def riemann_cdf_table(theta: float, dim: int, partitions: int) -> np.ndarray:
+    """Riemann-sum table of the cap-colatitude CDF (Algorithm 10).
+
+    Returns the array ``L`` of Algorithm 10: ``partitions + 1`` cumulative
+    values of ``int_0^{i*eps} sin^{d-2}`` normalised by the total, with
+    ``L[0] = 0`` and ``L[-1] = 1``.  A sampler binary-searches this list
+    (Algorithm 11) — see :func:`repro.sampling.cap.sample_cap`.
+
+    Kept alongside the closed forms so the ablation benchmark can compare
+    the paper's numeric route against ``betaincinv``.
+    """
+    if partitions < 1:
+        raise ValueError(f"need at least one partition, got {partitions}")
+    if not 0.0 < theta <= math.pi / 2 + 1e-12:
+        raise ValueError(f"theta must be in (0, pi/2], got {theta}")
+    eps = theta / partitions
+    # Midpoint rule: slightly better behaved than the paper's right sums
+    # while keeping the same data layout and O(partitions) cost.
+    mids = (np.arange(partitions) + 0.5) * eps
+    contributions = np.sin(mids) ** (dim - 2)
+    table = np.concatenate([[0.0], np.cumsum(contributions)])
+    total = table[-1]
+    if total <= 0.0:
+        raise ValueError("degenerate CDF table; theta too small for float precision")
+    return table / total

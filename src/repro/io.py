@@ -1,0 +1,146 @@
+"""JSON-friendly serialisation of analysis results.
+
+Producers publish labels and stability reports; consumers archive and
+diff them.  Every public result object maps onto plain dictionaries of
+JSON-native types (floats, ints, strings, lists), so reports can be
+stored, versioned and compared without pickling library objects:
+
+- :func:`stability_result_to_dict` / :func:`ranking_to_dict`
+- :func:`label_to_dict` — the full Ranking Facts panel
+- :func:`tradeoff_to_dicts` — the stability/similarity frontier
+- :func:`dump_json` — convenience writer with stable key order
+
+Region objects serialise structurally (angle intervals, halfspace
+normals); Monte-Carlo metadata (sample counts, confidence errors) is
+preserved so archived numbers remain interpretable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.label import RankingLabel
+from repro.core.ranking import Ranking
+from repro.core.stability import AngularRegion, StabilityResult
+from repro.core.tradeoff import TradeoffPoint
+from repro.geometry.halfspace import ConvexCone
+
+__all__ = [
+    "ranking_to_dict",
+    "stability_result_to_dict",
+    "label_to_dict",
+    "tradeoff_to_dicts",
+    "dump_json",
+]
+
+
+def ranking_to_dict(ranking: Ranking) -> dict[str, Any]:
+    """Structural form of a (possibly partial) ranking."""
+    return {
+        "order": list(ranking.order),
+        "n_items": ranking.n_items,
+        "is_complete": ranking.is_complete,
+    }
+
+
+def _region_to_dict(region: AngularRegion | ConvexCone | None) -> dict[str, Any] | None:
+    if region is None:
+        return None
+    if isinstance(region, AngularRegion):
+        return {"kind": "angular", "lo": region.lo, "hi": region.hi}
+    if isinstance(region, ConvexCone):
+        return {
+            "kind": "cone",
+            "dim": region.dim,
+            "halfspaces": [
+                {"normal": list(h.normal), "sign": h.sign}
+                for h in region.halfspaces
+            ],
+        }
+    raise TypeError(f"unknown region type {type(region).__name__}")
+
+
+def stability_result_to_dict(result: StabilityResult) -> dict[str, Any]:
+    """Structural form of one verification / GET-NEXT outcome."""
+    return {
+        "ranking": ranking_to_dict(result.ranking),
+        "stability": result.stability,
+        "confidence_error": result.confidence_error,
+        "sample_count": result.sample_count,
+        "top_k_set": sorted(result.top_k_set) if result.top_k_set is not None else None,
+        "region": _region_to_dict(result.region),
+    }
+
+
+def label_to_dict(label: RankingLabel) -> dict[str, Any]:
+    """Structural form of a Ranking Facts label (reference [5])."""
+    return {
+        "reference_weights": [float(w) for w in label.reference_weights],
+        "reference_ranking": ranking_to_dict(label.reference_ranking),
+        "reference_stability": label.reference_stability,
+        "reference_percentile": label.reference_percentile,
+        "n_distinct_rankings": label.n_distinct_rankings,
+        "alternatives": [
+            {
+                **stability_result_to_dict(alt),
+                "displacement": moved,
+            }
+            for alt, moved in zip(
+                label.alternatives, label.alternative_displacements
+            )
+        ],
+        "item_profiles": [
+            {
+                "item": p.item,
+                "min_rank": p.min_rank,
+                "max_rank": p.max_rank,
+                "mean_rank": p.mean_rank,
+                "quantiles": {str(q): v for q, v in p.quantiles.items()},
+            }
+            for p in label.item_profiles
+        ],
+        "bubble_items": [
+            {"item": item, "probability": prob} for item, prob in label.bubble_items
+        ],
+        "k": label.k,
+        "n_samples": label.n_samples,
+    }
+
+
+def tradeoff_to_dicts(points: list[TradeoffPoint]) -> list[dict[str, Any]]:
+    """Structural form of the stability/similarity frontier."""
+    return [
+        {
+            "cosine": p.cosine,
+            "theta": p.theta,
+            "best": stability_result_to_dict(p.best),
+            "reference_stability": p.reference_stability,
+            "displacement": p.displacement,
+            "moved_items": [
+                {"item": item, "reference_rank": old, "new_rank": new}
+                for item, old, new in p.moved_items
+            ],
+        }
+        for p in points
+    ]
+
+
+def dump_json(payload: Any, path: str | Path) -> None:
+    """Write a serialised payload as UTF-8 JSON with stable ordering."""
+
+    def _default(obj: Any) -> Any:
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        raise TypeError(f"unserialisable type {type(obj).__name__}")
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=_default)
+        handle.write("\n")

@@ -1,0 +1,54 @@
+"""Query-processing substrates: skyline, top-k engines, representatives.
+
+The paper positions stable top-k sets against the skyline operator
+(section 2.2.5: "the stable top-k items are not necessarily a subset of
+the skyline") and builds its randomized operator on standard top-k
+retrieval.  These substrates are implemented here from scratch:
+
+- :mod:`repro.operators.skyline` — the Pareto-optimal set (ref [8]);
+- :mod:`repro.operators.topk` — flat-scan top-k selection;
+- :mod:`repro.operators.threshold` — Fagin's TA and NRA middleware
+  algorithms over presorted lists (ref [22]);
+- :mod:`repro.operators.onion` — the ONION convex-hull-layer index for
+  linear top-k queries (ref [56]);
+- :mod:`repro.operators.regret` — regret-minimizing representative
+  sets, GREEDY and CUBE (refs [10, 11]);
+- :mod:`repro.operators.representative` — the k most representative
+  skyline points by dominance coverage (ref [9]).
+"""
+
+from repro.operators.onion import OnionIndex, hull_layers
+from repro.operators.regret import cube_regret_set, greedy_regret_set, regret_ratio
+from repro.operators.representative import (
+    coverage_of,
+    dominance_matrix,
+    k_representative_skyline,
+)
+from repro.operators.skyline import dominance_count, is_dominated, skyline
+from repro.operators.threshold import (
+    SortedLists,
+    TopKResult,
+    no_random_access,
+    threshold_algorithm,
+)
+from repro.operators.topk import top_k_indices, top_k_threshold
+
+__all__ = [
+    "skyline",
+    "is_dominated",
+    "dominance_count",
+    "top_k_indices",
+    "top_k_threshold",
+    "SortedLists",
+    "TopKResult",
+    "threshold_algorithm",
+    "no_random_access",
+    "OnionIndex",
+    "hull_layers",
+    "regret_ratio",
+    "greedy_regret_set",
+    "cube_regret_set",
+    "dominance_matrix",
+    "coverage_of",
+    "k_representative_skyline",
+]

@@ -1,0 +1,185 @@
+"""ONION: convex-hull-layer indexing for linear top-k queries.
+
+Reference [56] of the paper (Chang et al., SIGMOD 2000) observed that
+the top-1 item under *any* linear scoring function is a vertex of the
+convex hull of the data, and more generally that the top-k is contained
+in the first k convex-hull layers.  The ONION technique therefore peels
+the dataset into layers (hull of all items, hull of the rest, ...) at
+index-build time, and answers a query by evaluating layers outward
+until the running top-k can no longer improve.
+
+The structure serves two roles in this reproduction:
+
+- a faithful substrate for the "indexing-based methods [56] create
+  layers of extreme points for efficient processing" line of related
+  work (section 7), benchmarked against TA/NRA and the flat scan;
+- a fast exact ``∇_f(D)`` top-k evaluator for the randomized GET-NEXT
+  operator when the same dataset is queried under thousands of sampled
+  weight vectors (the index is built once, each query touches only the
+  outer layers).
+
+Degeneracies (d+1 or fewer points left, coplanar residues) fall back to
+"every remaining item is its own layer member" — correctness never
+depends on qhull succeeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import ConvexHull, QhullError
+
+from repro.core.ranking import _top_k_order
+from repro.errors import InvalidWeightsError
+
+__all__ = ["OnionIndex", "hull_layers"]
+
+
+def hull_layers(values: np.ndarray) -> list[np.ndarray]:
+    """Peel ``values`` into convex-hull layers (outermost first).
+
+    Each layer is an ascending array of item identifiers.  Layer 0 is
+    the set of convex-hull vertices of the full dataset; layer ``i`` the
+    hull vertices of what remains after removing layers ``0..i-1``.
+
+    Notes
+    -----
+    Only hull *vertices* are returned by qhull; interior points of hull
+    facets belong to later layers, which is the original ONION
+    convention and keeps the per-layer candidate sets minimal.
+    """
+    pts = np.asarray(values, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"values must be 2-D (n, d), got shape {pts.shape}")
+    n, d = pts.shape
+    remaining = np.arange(n)
+    layers: list[np.ndarray] = []
+    while remaining.size > 0:
+        if remaining.size <= d + 1:
+            layers.append(np.sort(remaining))
+            break
+        try:
+            hull = ConvexHull(pts[remaining])
+            vertex_local = np.unique(hull.vertices)
+        except QhullError:
+            # Degenerate residue (e.g. all points coplanar): treat the
+            # whole residue as one final layer rather than guessing.
+            layers.append(np.sort(remaining))
+            break
+        layers.append(np.sort(remaining[vertex_local]))
+        keep = np.ones(remaining.size, dtype=bool)
+        keep[vertex_local] = False
+        remaining = remaining[keep]
+    return layers
+
+
+class OnionIndex:
+    """Layered convex-hull index answering linear top-k queries exactly.
+
+    Parameters
+    ----------
+    values:
+        ``(n, d)`` attribute matrix, larger-is-better on every attribute.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(7)
+    >>> data = rng.random((500, 3))
+    >>> index = OnionIndex(data)
+    >>> order, layers_touched = index.top_k(np.array([1.0, 1.0, 1.0]), 5)
+    >>> len(order)
+    5
+    """
+
+    def __init__(self, values: np.ndarray):
+        self._values = np.asarray(values, dtype=np.float64)
+        if self._values.ndim != 2:
+            raise ValueError(
+                f"values must be 2-D (n, d), got shape {self._values.shape}"
+            )
+        if not np.all(np.isfinite(self._values)):
+            raise ValueError("attribute values must be finite")
+        self._layers = hull_layers(self._values)
+
+    @property
+    def n_items(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self._values.shape[1]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self._layers)
+
+    @property
+    def layers(self) -> list[np.ndarray]:
+        """The hull layers, outermost first (copies; the index is immutable)."""
+        return [layer.copy() for layer in self._layers]
+
+    def layer_sizes(self) -> np.ndarray:
+        """Number of items in each layer, outermost first."""
+        return np.array([layer.size for layer in self._layers], dtype=np.intp)
+
+    def top_k(self, weights: np.ndarray, k: int) -> tuple[tuple[int, ...], int]:
+        """Exact top-k under non-negative linear ``weights``.
+
+        Evaluates layers outward.  Two facts bound the work:
+
+        - the item ranked ``i``-th under any linear function lies in the
+          first ``i`` layers, so at most ``k`` layers are ever needed;
+        - the best score within layer ``L+1`` is at most the best score
+          within layer ``L`` (layer ``L`` is the hull of a superset), so
+          the scan can stop early once the running k-th best score
+          reaches the best score of the layer just scanned.
+
+        With continuous data this is exact; when scores tie exactly at
+        the stopping boundary, an equal-scoring item in a deeper layer
+        with a smaller identifier may be passed over (ties across layers
+        resolve toward the outer layer).
+
+        Returns
+        -------
+        (order, layers_touched):
+            ``order`` — top-k ids, (score desc, id asc); and how many
+            layers were evaluated (the query's work measure).
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (self.n_attributes,):
+            raise InvalidWeightsError(
+                f"expected {self.n_attributes} weights, got shape {w.shape}"
+            )
+        if not np.all(np.isfinite(w)) or np.any(w < 0) or not np.any(w > 0):
+            raise InvalidWeightsError(
+                "weights must be non-negative, finite, not all zero"
+            )
+        if not 1 <= k <= self.n_items:
+            raise ValueError(f"k must be in [1, {self.n_items}], got {k}")
+        candidate_ids: list[np.ndarray] = []
+        candidate_scores: list[np.ndarray] = []
+        n_candidates = 0
+        layers_touched = 0
+        for layer in self._layers:
+            layer_scores = self._values[layer] @ w
+            candidate_ids.append(layer)
+            candidate_scores.append(layer_scores)
+            n_candidates += layer.size
+            layers_touched += 1
+            if layers_touched >= k:
+                break  # top-k is contained in the first k layers
+            if n_candidates >= k:
+                pooled = np.concatenate(candidate_scores)
+                kth_best = np.partition(pooled, pooled.size - k)[pooled.size - k]
+                if kth_best >= float(layer_scores.max()):
+                    break  # deeper layers cannot score above the k-th best
+        ids = np.concatenate(candidate_ids)
+        scores = np.full(self.n_items, -np.inf)
+        scores[ids] = np.concatenate(candidate_scores)
+        return tuple(_top_k_order(scores, k)), layers_touched
+
+    def rank_all(self, weights: np.ndarray) -> tuple[int, ...]:
+        """Full ranking via flat scoring (the index cannot help beyond top-k)."""
+        w = np.asarray(weights, dtype=np.float64)
+        scores = self._values @ w
+        return tuple(np.argsort(-scores, kind="stable").tolist())

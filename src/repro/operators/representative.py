@@ -1,0 +1,103 @@
+"""k most representative skyline points (reference [9]).
+
+Lin et al. (ICDE 2007) — cited in section 7 as "[9] finds a subset of k
+skyline points that dominate the maximum number of points" — select the
+k skyline members whose *joint* dominance coverage is largest.  The
+exact problem is NP-hard for d >= 3; like the original paper we use the
+classical greedy algorithm for the monotone submodular coverage
+objective, which carries the ``1 - 1/e`` approximation guarantee.
+
+This baseline participates in the representative-set comparison of
+``examples/representatives_comparison.py``: dominance coverage, regret
+(:mod:`repro.operators.regret`) and stability (the paper's stable top-k
+set) are three different notions of "the k items that matter", and the
+section 2.2.5 toy dataset already separates them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidDatasetError
+from repro.operators.skyline import skyline
+
+__all__ = ["dominance_matrix", "k_representative_skyline", "coverage_of"]
+
+
+def dominance_matrix(values: np.ndarray) -> np.ndarray:
+    """Boolean ``(n, n)`` matrix: ``M[i, j]`` iff item ``i`` dominates ``j``.
+
+    Dominance is the strict Pareto relation of section 3: ``i`` is at
+    least as good everywhere and strictly better somewhere.  Quadratic
+    in ``n``; intended for the few-thousand-item datasets where the
+    representative-skyline question is asked.
+    """
+    pts = np.asarray(values, dtype=np.float64)
+    if pts.ndim != 2:
+        raise InvalidDatasetError(f"values must be 2-D (n, d), got shape {pts.shape}")
+    n = pts.shape[0]
+    out = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        geq = np.all(pts[i] >= pts, axis=1)
+        gt = np.any(pts[i] > pts, axis=1)
+        geq[i] = False
+        out[i] = geq & gt
+    return out
+
+
+def coverage_of(dominance: np.ndarray, subset: np.ndarray) -> int:
+    """Number of items dominated by at least one member of ``subset``."""
+    idx = np.asarray(subset, dtype=np.intp)
+    if idx.size == 0:
+        return 0
+    return int(np.any(dominance[idx], axis=0).sum())
+
+
+def k_representative_skyline(
+    values: np.ndarray, k: int
+) -> tuple[np.ndarray, int]:
+    """Greedy k most representative skyline points.
+
+    Repeatedly adds the skyline member covering the most not-yet-covered
+    items.  Ties break toward the smaller item identifier, keeping the
+    output deterministic.
+
+    Parameters
+    ----------
+    values:
+        ``(n, d)`` attribute matrix, larger-is-better.
+    k:
+        Number of representatives; when the skyline has fewer than ``k``
+        members, the whole skyline is returned.
+
+    Returns
+    -------
+    (subset, coverage):
+        Ascending representative identifiers and the number of items
+        they jointly dominate.
+    """
+    pts = np.asarray(values, dtype=np.float64)
+    if pts.ndim != 2:
+        raise InvalidDatasetError(f"values must be 2-D (n, d), got shape {pts.shape}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    sky = skyline(pts)
+    dom = dominance_matrix(pts)
+    if sky.size <= k:
+        return sky, coverage_of(dom, sky)
+    covered = np.zeros(pts.shape[0], dtype=bool)
+    chosen: list[int] = []
+    candidates = set(int(i) for i in sky)
+    while len(chosen) < k and candidates:
+        best_gain = -1
+        best_item = -1
+        for i in sorted(candidates):
+            gain = int(np.sum(dom[i] & ~covered))
+            if gain > best_gain:
+                best_gain = gain
+                best_item = i
+        chosen.append(best_item)
+        candidates.discard(best_item)
+        covered |= dom[best_item]
+    subset = np.array(sorted(chosen), dtype=np.intp)
+    return subset, int(covered.sum())

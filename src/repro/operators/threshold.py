@@ -1,0 +1,249 @@
+"""Threshold-based top-k query processing (Fagin's TA and NRA).
+
+The paper's related work (section 7) situates stable-ranking discovery
+against "extensive effort on efficient processing of top-k queries [21]:
+threshold-based algorithms [22] consider parsing presorted lists along
+each attribute".  This module implements that substrate — the Threshold
+Algorithm (TA) and the No-Random-Access algorithm (NRA) of Fagin, Lotem
+& Naor (JCSS 2003) — over in-memory presorted attribute lists.
+
+Both operate on a :class:`SortedLists` access structure:
+
+- **TA** performs sorted access round-robin across the ``d`` lists, uses
+  random access to complete each newly seen item's score, and stops as
+  soon as the k-th best seen score reaches the *threshold* — the score
+  of a hypothetical item holding the current sorted-access frontier
+  value in every list.
+- **NRA** never uses random access; it maintains per-item lower/upper
+  score bounds and stops when the k best lower bounds dominate every
+  other item's upper bound.
+
+Neither algorithm changes *what* the top-k is — :func:`repro.operators.
+top_k_indices` computes the same answer by full scan — but they model
+the access-cost behaviour of a middleware top-k engine, and the
+benchmark ``bench_ablation_topk_engines`` contrasts their sorted/random
+access counts with the flat scan the randomized GET-NEXT operator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.ranking import _top_k_order
+from repro.errors import InvalidWeightsError
+
+__all__ = ["SortedLists", "TopKResult", "threshold_algorithm", "no_random_access"]
+
+
+class SortedLists:
+    """Presorted per-attribute access lists over an ``(n, d)`` matrix.
+
+    For every attribute ``j`` the structure stores item identifiers in
+    descending attribute-value order; this is the access model of the
+    middleware scenario in Fagin et al. (reference [22]).  Building the
+    lists costs ``O(d n log n)`` once; they are then shared by every
+    query against the same dataset.
+    """
+
+    def __init__(self, values: np.ndarray):
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"values must be 2-D (n, d), got shape {arr.shape}")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("attribute values must be finite")
+        self._values = arr
+        # Stable argsort on negated values: ties broken by ascending id,
+        # keeping every downstream traversal deterministic.
+        self._orders = np.argsort(-arr, axis=0, kind="stable")
+
+    @property
+    def n_items(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self._values.shape[1]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    def sorted_entry(self, attribute: int, depth: int) -> tuple[int, float]:
+        """The ``depth``-th best (item, value) pair of one attribute list."""
+        item = int(self._orders[depth, attribute])
+        return item, float(self._values[item, attribute])
+
+    def random_access(self, item: int, attribute: int) -> float:
+        """Value of ``item`` on ``attribute`` (the TA random-access probe)."""
+        return float(self._values[item, attribute])
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Outcome of a threshold-based top-k evaluation.
+
+    Attributes
+    ----------
+    order:
+        The top-k item identifiers, best first (score desc, id asc).
+    scores:
+        Scores aligned with ``order``.
+    sorted_accesses:
+        Total sorted-access operations performed.
+    random_accesses:
+        Total random-access probes performed (0 for NRA).
+    depth:
+        Number of rounds of sorted access (rows consumed per list).
+    """
+
+    order: tuple[int, ...]
+    scores: tuple[float, ...]
+    sorted_accesses: int
+    random_accesses: int
+    depth: int
+
+
+def _validate_query(lists: SortedLists, weights: np.ndarray, k: int) -> np.ndarray:
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (lists.n_attributes,):
+        raise InvalidWeightsError(
+            f"expected {lists.n_attributes} weights, got shape {w.shape}"
+        )
+    if not np.all(np.isfinite(w)) or np.any(w < 0) or not np.any(w > 0):
+        raise InvalidWeightsError("weights must be non-negative, finite, not all zero")
+    if not 1 <= k <= lists.n_items:
+        raise ValueError(f"k must be in [1, {lists.n_items}], got {k}")
+    return w
+
+
+def _finalize(seen_scores: dict[int, float], k: int, n_items: int) -> tuple[
+    tuple[int, ...], tuple[float, ...]
+]:
+    """Deterministic (score desc, id asc) top-k among the seen items."""
+    ids = np.fromiter(seen_scores.keys(), dtype=np.intp, count=len(seen_scores))
+    vals = np.fromiter(seen_scores.values(), dtype=np.float64, count=len(seen_scores))
+    # Reuse the exact boundary handling of the ranking module by scoring
+    # unseen items at -inf (they can never enter the top-k at the stop
+    # condition, but the helper wants a dense vector).
+    dense = np.full(n_items, -np.inf)
+    dense[ids] = vals
+    order = _top_k_order(dense, k)
+    return tuple(order), tuple(float(dense[i]) for i in order)
+
+
+def threshold_algorithm(
+    lists: SortedLists, weights: np.ndarray, k: int
+) -> TopKResult:
+    """Fagin's TA: sorted access round-robin plus random-access completion.
+
+    Stops at the first depth where the k-th best completed score is at
+    least the threshold ``sum_j w_j * frontier_j``.  Instance-optimal in
+    the number of accesses among algorithms using both access kinds.
+
+    Parameters
+    ----------
+    lists:
+        The presorted access structure.
+    weights:
+        Non-negative linear scoring weights (Definition 1).
+    k:
+        Number of results.
+    """
+    w = _validate_query(lists, weights, k)
+    n, d = lists.n_items, lists.n_attributes
+    seen: dict[int, float] = {}
+    sorted_accesses = 0
+    random_accesses = 0
+    depth = 0
+    values = lists.values
+    while depth < n:
+        frontier = np.empty(d)
+        for j in range(d):
+            item, value = lists.sorted_entry(j, depth)
+            sorted_accesses += 1
+            frontier[j] = value
+            if item not in seen:
+                # Complete the item's score by random access to the
+                # remaining d-1 lists (counted individually).
+                seen[item] = float(values[item] @ w)
+                random_accesses += d - 1
+        depth += 1
+        if len(seen) >= k:
+            threshold = float(frontier @ w)
+            kth_best = np.partition(
+                np.fromiter(seen.values(), dtype=np.float64, count=len(seen)),
+                len(seen) - k,
+            )[len(seen) - k]
+            if kth_best >= threshold:
+                break
+    order, scores = _finalize(seen, k, n)
+    return TopKResult(
+        order=order,
+        scores=scores,
+        sorted_accesses=sorted_accesses,
+        random_accesses=random_accesses,
+        depth=depth,
+    )
+
+
+def no_random_access(
+    lists: SortedLists, weights: np.ndarray, k: int
+) -> TopKResult:
+    """Fagin's NRA: sorted access only, with lower/upper score bounds.
+
+    Each item seen so far has a lower bound (known fields, 0 elsewhere —
+    valid because attributes and weights are non-negative) and an upper
+    bound (known fields, the list frontier elsewhere).  The algorithm
+    stops when the k-th best lower bound is at least every other item's
+    upper bound; the reported scores are then exact for the winners
+    whose fields were all observed, and completed from ``lists.values``
+    for reporting otherwise (reporting does not count as random access
+    for the access-cost accounting, matching the usual NRA analysis
+    where only the *stopping* is access-constrained).
+    """
+    w = _validate_query(lists, weights, k)
+    n, d = lists.n_items, lists.n_attributes
+    # known[i, j] = observed value or nan.
+    known = np.full((n, d), np.nan)
+    seen_mask = np.zeros(n, dtype=bool)
+    sorted_accesses = 0
+    depth = 0
+    frontier = np.array([lists.sorted_entry(j, 0)[1] for j in range(d)])
+    while depth < n:
+        for j in range(d):
+            item, value = lists.sorted_entry(j, depth)
+            sorted_accesses += 1
+            known[item, j] = value
+            seen_mask[item] = True
+            frontier[j] = value
+        depth += 1
+        seen_idx = np.flatnonzero(seen_mask)
+        if seen_idx.shape[0] < k:
+            continue
+        block = known[seen_idx]
+        missing = np.isnan(block)
+        lower = np.where(missing, 0.0, block) @ w
+        upper = np.where(missing, frontier[None, :], block) @ w
+        # T = the k seen items with the best lower bounds; stop when the
+        # worst lower bound in T beats the best upper bound outside T
+        # (seen items outside T, and the frontier score for unseen ones).
+        top_t = np.argpartition(-lower, k - 1)[:k]
+        kth_lower = float(lower[top_t].min())
+        outside = np.ones(lower.shape[0], dtype=bool)
+        outside[top_t] = False
+        max_other_upper = float(upper[outside].max()) if outside.any() else -np.inf
+        unseen_upper = float(frontier @ w) if seen_idx.shape[0] < n else -np.inf
+        if kth_lower >= max(max_other_upper, unseen_upper):
+            break
+    exact = {int(i): float(lists.values[i] @ w) for i in np.flatnonzero(seen_mask)}
+    order, scores = _finalize(exact, k, n)
+    return TopKResult(
+        order=order,
+        scores=scores,
+        sorted_accesses=sorted_accesses,
+        random_accesses=0,
+        depth=depth,
+    )

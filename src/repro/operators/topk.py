@@ -1,0 +1,34 @@
+"""Top-k retrieval primitives.
+
+The randomized GET-NEXT operator evaluates thousands of sampled scoring
+functions and needs the top-k under each in better than ``O(n log n)``.
+These helpers provide deterministic linear-time top-k selection with the
+paper's tie-break-by-identifier convention, plus the score threshold
+separating the top-k from the rest (useful in analyses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ranking import _top_k_order
+
+__all__ = ["top_k_indices", "top_k_threshold"]
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest scores, ordered by (score desc, id asc).
+
+    ``O(n)`` selection via ``argpartition`` with exact, deterministic
+    handling of ties at the k-th score boundary (lowest identifiers win,
+    matching the ranking convention of section 2.1.1).
+    """
+    return np.asarray(_top_k_order(np.asarray(scores, dtype=np.float64), k), dtype=np.intp)
+
+
+def top_k_threshold(scores: np.ndarray, k: int) -> float:
+    """The k-th largest score — the admission threshold of the top-k."""
+    s = np.asarray(scores, dtype=np.float64)
+    if not 1 <= k <= s.shape[0]:
+        raise ValueError(f"k must be in [1, {s.shape[0]}], got {k}")
+    return float(np.partition(-s, k - 1)[k - 1] * -1.0)

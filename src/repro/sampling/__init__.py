@@ -1,0 +1,48 @@
+"""Unbiased function sampling (section 5 of the paper).
+
+Uniform sampling of scoring functions is the engine behind both the
+stability oracle (Monte-Carlo volume estimation, Algorithm 12) and the
+randomized GET-NEXT operators (section 4.3).  The package provides:
+
+- :mod:`repro.sampling.uniform` — uniform directions on the non-negative
+  orthant of the unit d-sphere (Algorithm 9, Muller/Marsaglia trick).
+- :mod:`repro.sampling.cap` — uniform directions on a hyperspherical cap
+  via inverse-CDF sampling of the colatitude (Algorithms 10-11) in both
+  the paper's Riemann-table form and scipy closed forms.
+- :mod:`repro.sampling.rejection` — acceptance-rejection sampling for
+  constraint-defined regions of interest (section 5.2).
+- :mod:`repro.sampling.oracle` — the sample-counting stability oracle
+  (Algorithm 12).
+- :mod:`repro.sampling.montecarlo` — confidence intervals and expected
+  sample-cost formulas (Equations 9-11, Theorem 2).
+- :mod:`repro.sampling.quasi` — quasi-Monte-Carlo (Halton) variants of
+  the cap and orthant samplers, a variance-reduction ablation.
+"""
+
+from repro.sampling.uniform import sample_orthant, sample_sphere
+from repro.sampling.cap import CapSampler, sample_cap
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.oracle import StabilityOracle
+from repro.sampling.montecarlo import (
+    confidence_error,
+    expected_samples_for_discovery,
+    expected_samples_for_error,
+    z_score,
+)
+from repro.sampling.quasi import halton, quasi_cap_points, quasi_orthant_points
+
+__all__ = [
+    "sample_orthant",
+    "sample_sphere",
+    "CapSampler",
+    "sample_cap",
+    "RejectionSampler",
+    "StabilityOracle",
+    "confidence_error",
+    "expected_samples_for_discovery",
+    "expected_samples_for_error",
+    "z_score",
+    "halton",
+    "quasi_cap_points",
+    "quasi_orthant_points",
+]

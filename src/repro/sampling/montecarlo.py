@@ -1,0 +1,82 @@
+"""Monte-Carlo statistics used by the randomized operators (sections 4.4-4.5).
+
+The stability of a ranking ``r`` is the success probability of the
+Bernoulli variable "a uniform function generates ``r``" (Equation 8), so
+standard normal-approximation machinery applies:
+
+- :func:`confidence_error` — the half-width ``e`` of the confidence
+  interval around an estimated stability (Equation 10);
+- :func:`expected_samples_for_error` — the expected budget to reach a
+  target error (Equation 11);
+- :func:`expected_samples_for_discovery` — the geometric-distribution
+  expectation and variance of the cost of *observing* a ranking at all
+  (Theorem 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+__all__ = [
+    "z_score",
+    "confidence_error",
+    "expected_samples_for_error",
+    "expected_samples_for_discovery",
+]
+
+
+def z_score(confidence: float) -> float:
+    """Two-sided standard-normal quantile ``Z(1 - alpha/2)``.
+
+    ``confidence`` is ``1 - alpha``; e.g. ``z_score(0.95) ≈ 1.96``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    alpha = 1.0 - confidence
+    return float(stats.norm.ppf(1.0 - alpha / 2.0))
+
+
+def confidence_error(
+    stability: float, n_samples: int, *, confidence: float = 0.95
+) -> float:
+    """Equation 10: ``e = Z(1-alpha/2) * sqrt(s(1-s)/N)``.
+
+    The half-width of the normal-approximation confidence interval for a
+    Bernoulli mean estimated from ``n_samples`` draws.
+    """
+    if not 0.0 <= stability <= 1.0:
+        raise ValueError(f"stability must be in [0, 1], got {stability}")
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    return z_score(confidence) * math.sqrt(stability * (1.0 - stability) / n_samples)
+
+
+def expected_samples_for_error(
+    stability: float, error: float, *, confidence: float = 0.95
+) -> int:
+    """Equation 11: expected budget to certify ``stability`` within ``error``.
+
+    ``N = s(1-s) (Z/e)^2`` rounded up.  Returns at least 1.
+    """
+    if error <= 0.0:
+        raise ValueError(f"error must be positive, got {error}")
+    if not 0.0 <= stability <= 1.0:
+        raise ValueError(f"stability must be in [0, 1], got {stability}")
+    z = z_score(confidence)
+    return max(1, math.ceil(stability * (1.0 - stability) * (z / error) ** 2))
+
+
+def expected_samples_for_discovery(stability: float) -> tuple[float, float]:
+    """Theorem 2: cost of first observing a ranking with stability ``s``.
+
+    The number of uniform draws until a region of probability ``s`` is
+    first hit is geometric, with mean ``1/s`` and variance
+    ``(1-s)/s^2``.  Returns ``(mean, variance)``.
+    """
+    if not 0.0 < stability <= 1.0:
+        raise ValueError(f"stability must be in (0, 1], got {stability}")
+    mean = 1.0 / stability
+    variance = (1.0 - stability) / stability**2
+    return mean, variance

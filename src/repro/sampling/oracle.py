@@ -1,0 +1,54 @@
+"""The stability oracle (Algorithm 12, section 5.3).
+
+Ranking regions are convex cones whose exact volume is #P-hard to compute
+(Dyer & Frieze), so the paper estimates stability by Monte-Carlo: draw a
+pool of uniform samples from the region of interest once, then estimate
+the stability of any region as the fraction of pool samples it contains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.halfspace import ConvexCone
+from repro.sampling.montecarlo import confidence_error
+
+__all__ = ["StabilityOracle"]
+
+
+class StabilityOracle:
+    """Monte-Carlo volume-ratio oracle over a fixed sample pool.
+
+    Parameters
+    ----------
+    samples:
+        ``(N, d)`` array of points drawn uniformly at random from the
+        region of interest ``U*``.  The pool is shared by every query, so
+        estimates of disjoint regions are consistent (they sum to at most
+        1 exactly).
+    """
+
+    def __init__(self, samples: np.ndarray):
+        pool = np.asarray(samples, dtype=np.float64)
+        if pool.ndim != 2 or pool.shape[0] == 0:
+            raise ValueError("sample pool must be a non-empty (N, d) array")
+        self.samples = pool
+        self.pool_size = pool.shape[0]
+        self.dim = pool.shape[1]
+
+    def stability(self, region: ConvexCone) -> float:
+        """Algorithm 12: fraction of the pool inside ``region``."""
+        if region.dim != self.dim:
+            raise ValueError(f"region dim {region.dim} != pool dim {self.dim}")
+        return float(region.contains_all(self.samples).mean())
+
+    def stability_with_error(
+        self, region: ConvexCone, *, confidence: float = 0.95
+    ) -> tuple[float, float]:
+        """Stability estimate plus its confidence error (Equation 10)."""
+        s = self.stability(region)
+        return s, confidence_error(s, self.pool_size, confidence=confidence)
+
+    def count(self, region: ConvexCone) -> int:
+        """Number of pool samples inside ``region``."""
+        return int(region.contains_all(self.samples).sum())

@@ -1,0 +1,126 @@
+"""Acceptance-rejection sampling for regions of interest (section 5.2).
+
+When ``U*`` is given by a set of linear constraints (a convex cone) rather
+than a (ray, angle) cap, the paper samples it by proposing from a broader
+distribution and discarding proposals outside ``U*``:
+
+1. propose uniformly from the orthant (Algorithm 9), or — when a bounding
+   cap for ``U*`` is known — from that cap (Algorithm 11), which raises
+   the acceptance rate;
+2. accept iff the proposal satisfies every constraint.
+
+The expected number of proposals per accepted sample is ``1/p`` where
+``p`` is the volume ratio of ``U*`` to the proposal region, so the
+bounding-cap refinement matters exactly when ``U*`` is small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InfeasibleRegionError
+from repro.geometry.halfspace import ConvexCone
+from repro.sampling.cap import CapSampler
+from repro.sampling.uniform import sample_orthant
+
+__all__ = ["RejectionSampler"]
+
+
+class RejectionSampler:
+    """Uniform sampler for a constraint-defined region of interest.
+
+    Parameters
+    ----------
+    cone:
+        The region of interest as a :class:`ConvexCone` (its intersection
+        with the non-negative orthant is sampled).
+    proposal_cap:
+        Optional ``(ray, theta)`` pair: propose from this cap instead of
+        the whole orthant.  The cap must contain ``cone ∩ orthant``; use
+        :meth:`ConvexCone.bounding_cap` to derive one.
+    max_attempts_per_sample:
+        Safety valve — the expected attempts are ``1/p``; exceeding this
+        multiple signals a (near-)empty region.
+    """
+
+    def __init__(
+        self,
+        cone: ConvexCone,
+        *,
+        proposal_cap: tuple[np.ndarray, float] | None = None,
+        max_attempts_per_sample: int = 100_000,
+    ):
+        self.cone = cone
+        self.dim = cone.dim
+        self._cap = (
+            CapSampler(proposal_cap[0], proposal_cap[1]) if proposal_cap else None
+        )
+        self.max_attempts_per_sample = int(max_attempts_per_sample)
+        self.proposals_made = 0
+        self.samples_accepted = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Empirical acceptance probability so far (1.0 before any draw)."""
+        if self.proposals_made == 0:
+            return 1.0
+        return self.samples_accepted / self.proposals_made
+
+    def _propose(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        if self._cap is not None:
+            return self._cap.sample(size, rng)
+        return sample_orthant(self.dim, size, rng)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` uniform samples from ``cone ∩ orthant``.
+
+        Proposals are drawn in adaptive batches so the method stays
+        vectorised even at low acceptance rates.
+
+        Raises
+        ------
+        InfeasibleRegionError
+            If the attempt budget is exhausted — the region is empty or
+            vanishingly small relative to the proposal region.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if size == 0:
+            return np.empty((0, self.dim))
+        accepted: list[np.ndarray] = []
+        remaining = size
+        attempts_left = self.max_attempts_per_sample * size
+        batch = max(4 * size, 64)
+        while remaining > 0:
+            if attempts_left <= 0:
+                raise InfeasibleRegionError(
+                    "rejection sampler exhausted its attempt budget; the "
+                    "region of interest is empty or far smaller than the "
+                    "proposal region"
+                )
+            batch = int(min(batch, attempts_left))
+            proposals = self._propose(batch, rng)
+            self.proposals_made += batch
+            attempts_left -= batch
+            mask = self.cone.contains_all(proposals)
+            # Proposals from a cap can stray outside the orthant; scoring
+            # functions must be non-negative (Definition 1).
+            mask &= np.all(proposals >= 0.0, axis=1)
+            hits = proposals[mask]
+            # The acceptance counter tracks every hit (not just the ones
+            # kept), so acceptance_rate estimates vol(U*)/vol(proposal).
+            self.samples_accepted += hits.shape[0]
+            if hits.shape[0] > 0:
+                take = hits[:remaining]
+                accepted.append(take)
+                remaining -= take.shape[0]
+                # Grow the batch when acceptance is poor.
+                rate = max(hits.shape[0] / batch, 1e-3)
+                batch = max(int(remaining / rate) + 16, 64)
+            else:
+                batch = min(batch * 2, 1 << 20)
+        return np.concatenate(accepted, axis=0)
+
+    def sample_one(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a single sample."""
+        return self.sample(1, rng)[0]

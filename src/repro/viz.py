@@ -1,0 +1,85 @@
+"""Terminal-friendly visualisations of stability results.
+
+The paper's figures are scatter/line plots; in a dependency-light
+library the equivalent overviews are rendered as text: bar charts of
+stability distributions and compact rank-range strips.  Used by the
+example scripts and handy in notebooks/REPLs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.analysis import RankProfile
+from repro.core.stability import StabilityResult
+
+__all__ = ["stability_bars", "rank_strip", "format_ranking"]
+
+
+def stability_bars(
+    results: Sequence[StabilityResult] | Sequence[float],
+    *,
+    width: int = 50,
+    max_rows: int = 20,
+    labels: Sequence[str] | None = None,
+) -> str:
+    """A text bar chart of a stability series, largest first.
+
+    Accepts either :class:`StabilityResult` records or raw floats.
+    """
+    values = [
+        r.stability if isinstance(r, StabilityResult) else float(r)
+        for r in results
+    ]
+    if not values:
+        return "(no rankings)"
+    top = max(values)
+    if top <= 0:
+        return "(all stabilities zero)"
+    rows = []
+    for i, v in enumerate(values[:max_rows]):
+        bar = "#" * max(1, round(width * v / top)) if v > 0 else ""
+        label = labels[i] if labels is not None else f"#{i + 1}"
+        rows.append(f"{label:>6}  {v:8.4f}  {bar}")
+    if len(values) > max_rows:
+        rows.append(f"        ... {len(values) - max_rows} more")
+    return "\n".join(rows)
+
+
+def rank_strip(
+    profile: RankProfile, *, n_items: int, width: int = 60
+) -> str:
+    """A one-line strip showing an item's rank range within ``[1, n]``.
+
+    ``-`` marks the possible range, ``o`` the mean rank; e.g.
+    ``|   ---o--      |`` for an item ranging over ranks 4-10.
+    """
+    if n_items < 1:
+        raise ValueError("n_items must be positive")
+    cells = [" "] * width
+
+    def col(rank: float) -> int:
+        frac = (rank - 1) / max(n_items - 1, 1)
+        return min(width - 1, max(0, round(frac * (width - 1))))
+
+    for c in range(col(profile.min_rank), col(profile.max_rank) + 1):
+        cells[c] = "-"
+    cells[col(profile.mean_rank)] = "o"
+    return "|" + "".join(cells) + "|"
+
+
+def format_ranking(
+    order: Iterable[int],
+    *,
+    labels: Sequence[str] | None = None,
+    limit: int = 10,
+) -> str:
+    """Compact ``1. name  2. name ...`` rendering of a ranking prefix."""
+    parts = []
+    for position, item in enumerate(order, start=1):
+        if position > limit:
+            parts.append("...")
+            break
+        name = labels[item] if labels is not None else str(item)
+        parts.append(f"{position}.{name}")
+    return "  ".join(parts)

@@ -1,0 +1,152 @@
+"""Unit tests for item-level stability analyses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cone,
+    Dataset,
+    ScoringFunction,
+    rank_profile,
+    stable_pairs,
+    topk_membership_probability,
+)
+from repro.core.region import ConstrainedRegion
+
+
+@pytest.fixture
+def ds(rng_factory):
+    return Dataset(rng_factory(91).uniform(size=(10, 3)))
+
+
+class TestRankProfile:
+    def test_profiles_cover_all_items_by_default(self, ds, rng):
+        profiles = rank_profile(ds, n_samples=500, rng=rng)
+        assert [p.item for p in profiles] == list(range(10))
+
+    def test_rank_bounds_sane(self, ds, rng):
+        for p in rank_profile(ds, n_samples=500, rng=rng):
+            assert 1 <= p.min_rank <= p.mean_rank <= p.max_rank <= 10
+
+    def test_dominant_item_always_first(self, rng):
+        values = np.vstack([np.full(3, 0.95), np.random.default_rng(0).uniform(0, 0.5, (5, 3))])
+        ds = Dataset(values)
+        profile = rank_profile(ds, [0], n_samples=300, rng=rng)[0]
+        assert profile.min_rank == profile.max_rank == 1
+
+    def test_quantiles_monotone(self, ds, rng):
+        for p in rank_profile(ds, n_samples=500, rng=rng):
+            qs = [p.quantiles[q] for q in sorted(p.quantiles)]
+            assert qs == sorted(qs)
+
+    def test_narrow_cone_pins_ranks(self, ds, rng):
+        f = ScoringFunction.equal_weights(3)
+        cone = Cone(f.weights, math.pi / 2000)
+        reference = f.rank(ds)
+        for p in rank_profile(ds, n_samples=300, region=cone, rng=rng):
+            # In a hairline cone the rank can wobble by at most a place
+            # or two around the reference rank.
+            assert abs(p.mean_rank - reference.rank_of(p.item)) < 2
+
+    def test_mean_ranks_sum_invariant(self, ds, rng):
+        # Sum of ranks is n(n+1)/2 for every sample, hence for the means.
+        profiles = rank_profile(ds, n_samples=400, rng=rng)
+        total = sum(p.mean_rank for p in profiles)
+        assert math.isclose(total, 55.0, rel_tol=1e-9)
+
+
+class TestTopkMembership:
+    def test_probabilities_in_range_and_sum(self, ds, rng):
+        probs = topk_membership_probability(ds, 3, n_samples=500, rng=rng)
+        assert probs.shape == (10,)
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+        # Exactly k memberships per sample.
+        assert math.isclose(float(probs.sum()), 3.0, rel_tol=1e-12)
+
+    def test_dominant_items_certain(self, rng):
+        values = np.vstack(
+            [np.full((2, 3), 0.9), np.full((6, 3), 0.1)]
+        ) + np.random.default_rng(1).uniform(0, 0.01, (8, 3))
+        ds = Dataset(values)
+        probs = topk_membership_probability(ds, 2, n_samples=200, rng=rng)
+        assert probs[0] == 1.0 and probs[1] == 1.0
+        assert np.all(probs[2:] == 0.0)
+
+    def test_k_bounds(self, ds, rng):
+        with pytest.raises(ValueError):
+            topk_membership_probability(ds, 0, rng=rng)
+        with pytest.raises(ValueError):
+            topk_membership_probability(ds, 11, rng=rng)
+
+    def test_membership_matches_stable_set(self, ds, rng_factory):
+        # The most stable top-k set consists of high-membership items.
+        from repro import GetNextRandomized
+
+        probs = topk_membership_probability(
+            ds, 4, n_samples=4000, rng=rng_factory(92)
+        )
+        engine = GetNextRandomized(
+            ds, kind="topk_set", k=4, rng=rng_factory(93)
+        )
+        best = engine.get_next(budget=4000)
+        chosen = probs[sorted(best.top_k_set)]
+        others = probs[[i for i in range(10) if i not in best.top_k_set]]
+        # Set stability rewards *joint* co-occurrence, so the winning set
+        # need not contain the k highest marginal memberships — but on
+        # average its members must be more frequent members than the rest.
+        assert chosen.mean() > others.mean()
+        assert chosen.min() > 0.0
+
+
+class TestStablePairs:
+    def test_dominance_certified_everywhere(self):
+        ds = Dataset(np.array([[0.9, 0.9], [0.1, 0.1], [0.5, 0.4]]))
+        m = stable_pairs(ds)
+        assert m[0, 1] and m[0, 2]
+        assert not m[1, 0]
+
+    def test_full_space_only_dominance(self, ds):
+        from repro.geometry.dual import dominates
+
+        m = stable_pairs(ds)
+        for i in range(10):
+            for j in range(10):
+                if i != j:
+                    assert m[i, j] == dominates(ds.values[i], ds.values[j])
+
+    def test_cone_certification_sound(self, ds, rng):
+        cone = Cone(np.ones(3), math.pi / 30)
+        m = stable_pairs(ds, region=cone)
+        # Empirical check: certified pairs never flip on cone samples.
+        samples = cone.sample(500, rng)
+        scores = samples @ ds.values.T
+        for i in range(10):
+            for j in range(10):
+                if m[i, j]:
+                    assert np.all(scores[:, i] > scores[:, j])
+
+    def test_constrained_region_certification_sound(self, ds, rng):
+        region = ConstrainedRegion(np.array([[1.0, -1.0, 0.0]]))
+        m = stable_pairs(ds, region=region)
+        samples = region.sample(500, rng)
+        scores = samples @ ds.values.T
+        for i in range(10):
+            for j in range(10):
+                if m[i, j]:
+                    assert np.all(scores[:, i] >= scores[:, j] - 1e-12)
+
+    def test_narrow_cone_certifies_more(self, ds):
+        wide = stable_pairs(ds, region=Cone(np.ones(3), math.pi / 8))
+        narrow = stable_pairs(ds, region=Cone(np.ones(3), math.pi / 100))
+        assert narrow.sum() >= wide.sum()
+
+    def test_antisymmetry(self, ds):
+        m = stable_pairs(ds, region=Cone(np.ones(3), math.pi / 50))
+        assert not np.any(m & m.T)
+
+    def test_max_items_guard(self, rng):
+        big = Dataset(rng.uniform(size=(300, 2)))
+        with pytest.raises(ValueError):
+            stable_pairs(big, max_items=200)

@@ -1,0 +1,150 @@
+"""Unit tests for stable-region boundary characterisation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    ScoringFunction,
+    boundary_pairs_2d,
+    chebyshev_direction,
+    facet_pairs_md,
+    rank_items,
+    ranking_region_md,
+    tight_constraints,
+    verify_stability_2d,
+)
+from repro.errors import InfeasibleRegionError
+from repro.geometry.halfspace import ConvexCone, Halfspace
+
+
+class TestBoundaryPairs2D:
+    def test_paper_example_boundaries(self, paper_dataset):
+        r = ScoringFunction.equal_weights(2).rank(paper_dataset)
+        lower, upper = boundary_pairs_2d(paper_dataset, r)
+        assert lower is not None and upper is not None
+        result = verify_stability_2d(paper_dataset, r)
+        assert math.isclose(lower.angle, result.region.lo)
+        assert math.isclose(upper.angle, result.region.hi)
+        # The named pairs are adjacent in the ranking.
+        order = list(r.order)
+        li = order.index(lower.higher)
+        assert order[li + 1] == lower.lower
+        ui = order.index(upper.higher)
+        assert order[ui + 1] == upper.lower
+
+    def test_boundary_pairs_actually_swap(self, paper_dataset):
+        r = ScoringFunction.equal_weights(2).rank(paper_dataset)
+        lower, upper = boundary_pairs_2d(paper_dataset, r)
+        for pair, offset in ((lower, -1e-5), (upper, 1e-5)):
+            angle = pair.angle + offset
+            outside = rank_items(
+                paper_dataset.values,
+                np.array([math.cos(angle), math.sin(angle)]),
+            )
+            assert outside.rank_of(pair.higher) > outside.rank_of(pair.lower)
+
+    def test_extreme_region_unbounded_side(self):
+        # A dataset with a dominance chain: the single region spans the
+        # whole quadrant, so neither boundary is an exchange.
+        ds = Dataset(np.array([[0.9, 0.9], [0.5, 0.5], [0.1, 0.1]]))
+        from repro import Ranking
+
+        lower, upper = boundary_pairs_2d(ds, Ranking([0, 1, 2]))
+        assert lower is None and upper is None
+
+
+class TestTightConstraints:
+    def test_redundant_constraint_removed(self):
+        # w1 > w2 and w1 > 2 w2: the first is implied by the second...
+        # actually w1 > 2w2 implies w1 > w2 for w2 >= 0; only index 1 is tight.
+        cone = ConvexCone(
+            [Halfspace((1.0, -1.0), +1), Halfspace((1.0, -2.0), +1)]
+        )
+        assert tight_constraints(cone) == [1]
+
+    def test_all_tight_when_independent(self):
+        cone = ConvexCone(
+            [Halfspace((1.0, -1.0, 0.0), +1), Halfspace((0.0, 1.0, -1.0), +1)]
+        )
+        assert tight_constraints(cone) == [0, 1]
+
+    def test_empty_cone_no_constraints(self):
+        assert tight_constraints(ConvexCone(dim=3)) == []
+
+    def test_duplicated_constraint_single_tight(self):
+        cone = ConvexCone(
+            [Halfspace((1.0, -1.0), +1), Halfspace((2.0, -2.0), +1)]
+        )
+        # Scaled duplicates: neither is *strictly* tighter; at most one
+        # should be reported (removing one leaves the other implying it).
+        assert tight_constraints(cone) == []
+
+
+class TestFacetPairsMD:
+    def test_facets_subset_of_adjacent_pairs(self, rng_factory):
+        ds = Dataset(rng_factory(81).uniform(size=(10, 3)))
+        r = ScoringFunction.equal_weights(3).rank(ds)
+        facets = facet_pairs_md(ds, r)
+        order = list(r.order)
+        for pair in facets:
+            i = order.index(pair.higher)
+            assert order[i + 1] == pair.lower
+
+    def test_perturbing_across_facet_changes_ranking(self, rng_factory):
+        ds = Dataset(rng_factory(82).uniform(size=(8, 3)))
+        r = ScoringFunction.equal_weights(3).rank(ds)
+        facets = facet_pairs_md(ds, r)
+        assert facets  # random data: some pair must be at risk
+        cone = ranking_region_md(ds, r)
+        # Cross a facet: move along the negated facet normal from the
+        # Chebyshev centre until outside; the ranking must change.
+        centre = chebyshev_direction(cone)
+        facet_idx = tight_constraints(cone)[0]
+        normal = np.asarray(cone.halfspaces[facet_idx].oriented_normal)
+        step = centre - 2.0 * normal / np.linalg.norm(normal)
+        if np.all(step >= 0) and np.any(step > 0):
+            assert rank_items(ds.values, step) != r
+
+
+class TestChebyshevDirection:
+    def test_inside_cone_and_unit(self, rng_factory):
+        ds = Dataset(rng_factory(83).uniform(size=(8, 3)))
+        r = ScoringFunction.equal_weights(3).rank(ds)
+        cone = ranking_region_md(ds, r)
+        w = chebyshev_direction(cone)
+        assert math.isclose(float(np.linalg.norm(w)), 1.0, rel_tol=1e-9)
+        assert cone.contains(w)
+        assert rank_items(ds.values, w) == r
+
+    def test_margin_beats_arbitrary_interior_point(self, rng_factory):
+        ds = Dataset(rng_factory(84).uniform(size=(8, 3)))
+        r = ScoringFunction.equal_weights(3).rank(ds)
+        cone = ranking_region_md(ds, r)
+        w = chebyshev_direction(cone)
+
+        def min_margin(x):
+            margins = []
+            for h in cone.halfspaces:
+                normal = np.asarray(h.oriented_normal)
+                margins.append(float(normal @ x) / float(np.linalg.norm(normal)))
+            return min(margins)
+
+        other = cone.interior_point()
+        # The Chebyshev direction maximises the normalised margin over the
+        # box section; it must not be worse than the generic LP point by
+        # more than numerical slack.
+        assert min_margin(w) >= min_margin(other) - 1e-6
+
+    def test_whole_space(self):
+        w = chebyshev_direction(ConvexCone(dim=4))
+        assert np.allclose(w, 0.5)
+
+    def test_infeasible_raises(self):
+        cone = ConvexCone(
+            [Halfspace((1.0, -1.0), +1), Halfspace((1.0, -1.0), -1)]
+        )
+        with pytest.raises(InfeasibleRegionError):
+            chebyshev_direction(cone)

@@ -1,0 +1,164 @@
+"""Unit tests for the Dataset data model and transformations."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.errors import InvalidDatasetError
+
+
+class TestConstruction:
+    def test_basic(self, paper_dataset):
+        assert paper_dataset.n_items == 5
+        assert paper_dataset.n_attributes == 2
+        assert len(paper_dataset) == 5
+
+    def test_values_read_only(self, paper_dataset):
+        with pytest.raises(ValueError):
+            paper_dataset.values[0, 0] = 99.0
+
+    def test_values_copied_from_input(self):
+        src = np.ones((3, 2))
+        ds = Dataset(src)
+        src[0, 0] = 5.0
+        assert ds.values[0, 0] == 1.0
+
+    def test_default_labels(self):
+        ds = Dataset(np.ones((3, 2)))
+        assert ds.item_labels == ("item-0", "item-1", "item-2")
+        assert ds.attribute_names == ("x1", "x2")
+
+    def test_custom_labels(self, paper_dataset):
+        assert paper_dataset.label_of(0) == "t1"
+        assert paper_dataset.attribute_names == ("x1", "x2")
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.ones(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.empty((0, 2)))
+
+    def test_rejects_single_attribute(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.ones((5, 1)))
+
+    def test_rejects_nan(self):
+        values = np.ones((3, 2))
+        values[1, 1] = np.nan
+        with pytest.raises(InvalidDatasetError):
+            Dataset(values)
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.ones((3, 2)), item_labels=["a", "b"])
+
+    def test_rejects_wrong_attribute_count(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.ones((3, 2)), attribute_names=["only-one"])
+
+    def test_item_accessor(self, paper_dataset, paper_values):
+        assert np.allclose(paper_dataset.item(1), paper_values[1])
+
+
+class TestSubsetProject:
+    def test_subset_preserves_order_and_labels(self, paper_dataset):
+        sub = paper_dataset.subset([3, 1])
+        assert sub.n_items == 2
+        assert sub.item_labels == ("t4", "t2")
+        assert np.allclose(sub.item(0), paper_dataset.item(3))
+
+    def test_project_columns(self):
+        ds = Dataset(np.arange(12.0).reshape(3, 4))
+        proj = ds.project([2, 0])
+        assert proj.n_attributes == 2
+        assert np.allclose(proj.values[:, 0], ds.values[:, 2])
+        assert proj.attribute_names == ("x3", "x1")
+
+    def test_project_rejects_single_column(self):
+        ds = Dataset(np.ones((3, 3)))
+        with pytest.raises(InvalidDatasetError):
+            ds.project([0])
+
+
+class TestNormalization:
+    def test_range_and_orientation(self, rng):
+        ds = Dataset(rng.uniform(-5, 20, size=(50, 3)))
+        norm = ds.normalized()
+        assert norm.values.min() >= 0.0
+        assert norm.values.max() <= 1.0
+        assert np.allclose(norm.values.min(axis=0), 0.0)
+        assert np.allclose(norm.values.max(axis=0), 1.0)
+
+    def test_lower_is_better_inverted(self):
+        ds = Dataset(np.array([[1.0, 10.0], [3.0, 30.0]]))
+        norm = ds.normalized(higher_is_better=[False, True])
+        # Lowest price becomes 1.0.
+        assert norm.values[0, 0] == 1.0
+        assert norm.values[1, 0] == 0.0
+
+    def test_inversion_preserves_ranking_reversal(self, rng):
+        # (max - v)/(max - min) reverses the order of the column.
+        ds = Dataset(rng.uniform(0, 100, size=(20, 2)))
+        norm = ds.normalized(higher_is_better=[False, False])
+        for j in range(2):
+            assert np.allclose(
+                np.argsort(norm.values[:, j]), np.argsort(-ds.values[:, j])
+            )
+
+    def test_constant_attribute(self):
+        ds = Dataset(np.array([[1.0, 2.0], [1.0, 5.0]]))
+        norm = ds.normalized()
+        assert np.allclose(norm.values[:, 0], 0.5)
+
+    def test_wrong_flag_count_rejected(self):
+        ds = Dataset(np.ones((3, 2)))
+        with pytest.raises(InvalidDatasetError):
+            ds.normalized(higher_is_better=[True])
+
+    def test_standardized_range(self, rng):
+        ds = Dataset(rng.normal(50, 10, size=(100, 3)))
+        std = ds.standardized()
+        assert std.values.min() >= 0.0
+        assert std.values.max() <= 1.0
+
+
+class TestTransforms:
+    def test_log_transform(self):
+        ds = Dataset(np.array([[1.0, np.e], [np.e**2, 1.0]]))
+        logged = ds.log_transformed()
+        assert np.allclose(logged.values, [[0.0, 1.0], [2.0, 0.0]])
+        assert logged.attribute_names == ("log_x1", "log_x2")
+
+    def test_log_transform_rejects_nonpositive(self):
+        ds = Dataset(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(InvalidDatasetError):
+            ds.log_transformed()
+
+    def test_log_transform_offset(self):
+        ds = Dataset(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        logged = ds.log_transformed(offset=1.0)
+        assert np.allclose(logged.values[0, 0], 0.0)
+
+    def test_derived_attribute_quadratic(self):
+        # Section 2.1.1: x3 = x1^2 makes f = x1 + x2 + 0.5 x1^2 linear.
+        ds = Dataset(np.array([[2.0, 3.0], [4.0, 5.0]]))
+        extended = ds.with_derived_attribute(lambda v: v[:, 0] ** 2, name="x1_sq")
+        assert extended.n_attributes == 3
+        assert np.allclose(extended.values[:, 2], [4.0, 16.0])
+        assert extended.attribute_names[-1] == "x1_sq"
+        # The non-linear score equals the linear score on the extension.
+        w = np.array([1.0, 1.0, 0.5])
+        nonlinear = ds.values[:, 0] + ds.values[:, 1] + 0.5 * ds.values[:, 0] ** 2
+        assert np.allclose(extended.values @ w, nonlinear)
+
+    def test_derived_attribute_wrong_shape(self):
+        ds = Dataset(np.ones((3, 2)))
+        with pytest.raises(InvalidDatasetError):
+            ds.with_derived_attribute(lambda v: np.ones(7))
+
+    def test_derived_attribute_default_name(self):
+        ds = Dataset(np.ones((3, 2)))
+        extended = ds.with_derived_attribute(lambda v: v[:, 0])
+        assert extended.attribute_names[-1] == "x3"

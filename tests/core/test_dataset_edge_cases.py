@@ -1,0 +1,97 @@
+"""Additional edge-case coverage for the data model and conventions."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Ranking, ScoringFunction, rank_items, verify_stability_2d
+from repro.errors import InfeasibleRankingError, InvalidDatasetError
+
+
+class TestDegenerateDatasets:
+    def test_two_identical_items(self):
+        ds = Dataset(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        r = ScoringFunction.equal_weights(2).rank(ds)
+        assert r.order == (0, 1)  # tie broken by identifier
+        assert verify_stability_2d(ds, r).stability == 1.0
+
+    def test_all_items_identical(self):
+        ds = Dataset(np.full((6, 3), 0.4))
+        r = rank_items(ds.values, np.array([1.0, 2.0, 3.0]))
+        assert r.order == tuple(range(6))
+
+    def test_single_item_dataset(self):
+        ds = Dataset(np.array([[0.3, 0.9]]))
+        r = ScoringFunction.equal_weights(2).rank(ds)
+        assert verify_stability_2d(ds, r).stability == 1.0
+
+    def test_extreme_attribute_scales(self):
+        # Unnormalised inputs with huge scale differences still rank.
+        ds = Dataset(np.array([[1e-9, 1e9], [2e-9, 5e8]]))
+        by_x1 = rank_items(ds.values, np.array([1.0, 0.0]))
+        by_x2 = rank_items(ds.values, np.array([0.0, 1.0]))
+        assert by_x1.order == (1, 0)
+        assert by_x2.order == (0, 1)
+
+    def test_zero_valued_attributes(self):
+        ds = Dataset(np.array([[0.0, 0.5], [0.5, 0.0]]))
+        r = rank_items(ds.values, np.array([1.0, 1.0]))
+        assert r.order == (0, 1)
+
+    def test_boolean_input_coerced(self):
+        ds = Dataset(np.array([[True, False], [False, True]]))
+        assert ds.values.dtype == np.float64
+
+    def test_integer_input_coerced(self):
+        ds = Dataset(np.array([[1, 2], [3, 4]]))
+        assert ds.values.dtype == np.float64
+
+    def test_rejects_inf(self):
+        values = np.ones((2, 2))
+        values[0, 0] = np.inf
+        with pytest.raises(InvalidDatasetError):
+            Dataset(values)
+
+
+class TestRankingConventionCorners:
+    def test_verify_rejects_permutation_of_wrong_size(self, paper_dataset):
+        with pytest.raises(InfeasibleRankingError):
+            verify_stability_2d(paper_dataset, Ranking([0, 1, 2]))
+
+    def test_near_tie_resolved_consistently(self):
+        # Scores equal to the last ulp: stable sort keeps id order.
+        base = np.array([[0.5, 0.5], [0.5, 0.5], [0.9, 0.1]])
+        ds = Dataset(base)
+        a = rank_items(ds.values, np.array([0.7, 0.3]))
+        b = rank_items(ds.values, np.array([0.7, 0.3]))
+        assert a == b
+        assert a.rank_of(0) < a.rank_of(1)
+
+    def test_normalized_preserves_ranking_under_monotone_map(self, rng):
+        # Min-max normalisation is per-attribute monotone, so rankings by
+        # a single attribute are preserved.
+        raw = Dataset(rng.uniform(10, 500, size=(30, 2)))
+        norm = raw.normalized()
+        for axis in range(2):
+            w = np.zeros(2)
+            w[axis] = 1.0
+            assert rank_items(raw.values, w) == rank_items(norm.values, w)
+
+
+class TestScoringFunctionCorners:
+    def test_zero_weight_on_one_attribute(self, paper_dataset):
+        f = ScoringFunction(np.array([1.0, 0.0]))
+        assert f.rank(paper_dataset).order == (1, 3, 0, 2, 4)
+
+    def test_tiny_weights_equivalent_to_scaled(self, paper_dataset):
+        small = ScoringFunction(np.array([1e-12, 3e-12]))
+        large = ScoringFunction(np.array([1.0, 3.0]))
+        assert small == large
+        assert small.rank(paper_dataset) == large.rank(paper_dataset)
+
+    def test_angles_of_axis_functions(self):
+        import math
+
+        f_x1 = ScoringFunction(np.array([1.0, 0.0]))
+        assert math.isclose(f_x1.angles[0], math.pi / 2)
+        f_x2 = ScoringFunction(np.array([0.0, 1.0]))
+        assert math.isclose(f_x2.angles[0], 0.0)

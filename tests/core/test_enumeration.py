@@ -1,0 +1,114 @@
+"""Unit tests for batch/iterative enumeration (Problems 2-3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cone,
+    Dataset,
+    GetNext2D,
+    GetNextMD,
+    GetNextRandomized,
+    enumerate_stable_rankings,
+    make_get_next,
+    top_h_stable_rankings,
+)
+
+
+@pytest.fixture
+def ds2(rng_factory):
+    return Dataset(rng_factory(31).uniform(size=(10, 2)))
+
+
+@pytest.fixture
+def ds3(rng_factory):
+    return Dataset(rng_factory(32).uniform(size=(9, 3)))
+
+
+class TestMakeGetNext:
+    def test_auto_2d(self, ds2):
+        assert isinstance(make_get_next(ds2), GetNext2D)
+
+    def test_auto_md_small(self, ds3, rng):
+        assert isinstance(make_get_next(ds3, rng=rng, n_samples=1000), GetNextMD)
+
+    def test_auto_randomized_large(self, rng_factory):
+        big = Dataset(rng_factory(33).uniform(size=(2000, 3)))
+        assert isinstance(make_get_next(big, rng=rng_factory(34)), GetNextRandomized)
+
+    def test_explicit_engines(self, ds3, rng_factory):
+        assert isinstance(
+            make_get_next(ds3, engine="md", rng=rng_factory(0), n_samples=500),
+            GetNextMD,
+        )
+        assert isinstance(
+            make_get_next(ds3, engine="randomized", rng=rng_factory(0)),
+            GetNextRandomized,
+        )
+
+    def test_unknown_engine(self, ds3):
+        with pytest.raises(ValueError):
+            make_get_next(ds3, engine="quantum")
+
+
+class TestBatchEnumeration:
+    def test_threshold_semantics(self, ds2):
+        results = enumerate_stable_rankings(ds2, min_stability=0.05)
+        assert all(r.stability >= 0.05 for r in results)
+        # Threshold keeps a strict subset of the full enumeration.
+        full = enumerate_stable_rankings(ds2)
+        assert len(results) <= len(full)
+        assert math.isclose(sum(r.stability for r in full), 1.0, rel_tol=1e-9)
+
+    def test_max_results_cap(self, ds2):
+        results = enumerate_stable_rankings(ds2, max_results=3)
+        assert len(results) == 3
+
+    def test_descending_order(self, ds2):
+        results = enumerate_stable_rankings(ds2)
+        stabilities = [r.stability for r in results]
+        assert stabilities == sorted(stabilities, reverse=True)
+
+    def test_top_h(self, ds2):
+        top3 = top_h_stable_rankings(ds2, 3)
+        full = enumerate_stable_rankings(ds2)
+        assert [r.ranking for r in top3] == [r.ranking for r in full[:3]]
+
+    def test_top_h_rejects_zero(self, ds2):
+        with pytest.raises(ValueError):
+            top_h_stable_rankings(ds2, 0)
+
+    def test_randomized_engine_with_budgets(self, ds3, rng_factory):
+        results = enumerate_stable_rankings(
+            ds3,
+            engine="randomized",
+            rng=rng_factory(35),
+            max_results=3,
+            budget_first=3000,
+            budget_rest=500,
+        )
+        assert len(results) == 3
+        stabilities = [r.stability for r in results]
+        # Monte-Carlo order may jitter slightly but must trend downward.
+        assert stabilities[0] >= stabilities[-1] - 0.02
+
+    def test_md_engine_with_region(self, ds3, rng_factory):
+        cone = Cone(np.ones(3), math.pi / 30)
+        results = enumerate_stable_rankings(
+            ds3,
+            engine="md",
+            region=cone,
+            rng=rng_factory(36),
+            n_samples=10_000,
+            max_results=5,
+        )
+        assert 1 <= len(results) <= 5
+        assert sum(r.stability for r in results) <= 1.0 + 1e-9
+
+    def test_exhaustion_respected(self):
+        ds = Dataset(np.array([[0.9, 0.9], [0.1, 0.1]]))
+        results = enumerate_stable_rankings(ds, max_results=10)
+        assert len(results) == 1
+        assert results[0].stability == 1.0

@@ -1,0 +1,109 @@
+"""Tests for the ranking nutritional label (reference [5])."""
+
+import numpy as np
+import pytest
+
+from repro import Cone, Dataset
+from repro.core.label import RankingLabel, build_label
+from repro.errors import InvalidWeightsError
+
+
+@pytest.fixture
+def label(paper_dataset, rng) -> RankingLabel:
+    return build_label(
+        paper_dataset,
+        np.array([1.0, 1.0]),
+        n_samples=2_000,
+        k=3,
+        head=3,
+        rng=rng,
+    )
+
+
+class TestBuildLabel:
+    def test_reference_ranking_matches_weights(self, paper_dataset, label):
+        # f = x1 + x2 ranks the paper example as t2, t4, t3, t5, t1.
+        assert list(label.reference_ranking.order) == [1, 3, 2, 4, 0]
+
+    def test_reference_stability_is_exact_2d(self, paper_dataset, label):
+        from repro import verify_stability_2d
+
+        exact = verify_stability_2d(paper_dataset, label.reference_ranking)
+        assert label.reference_stability == pytest.approx(exact.stability)
+
+    def test_percentile_in_unit_interval(self, label):
+        assert 0.0 <= label.reference_percentile <= 1.0
+
+    def test_alternatives_sorted_by_stability(self, label):
+        stabilities = [a.stability for a in label.alternatives]
+        assert stabilities == sorted(stabilities, reverse=True)
+
+    def test_alternative_stabilities_sum_at_most_one(self, label):
+        assert sum(a.stability for a in label.alternatives) <= 1.0 + 1e-9
+
+    def test_displacements_align_with_alternatives(self, label):
+        assert len(label.alternative_displacements) == len(label.alternatives)
+        for alt, moved in zip(label.alternatives, label.alternative_displacements):
+            expected = label.reference_ranking.kendall_tau_distance(alt.ranking)
+            assert moved == expected
+
+    def test_item_profiles_cover_reference_head(self, label):
+        profiled = [p.item for p in label.item_profiles]
+        assert profiled == list(label.reference_ranking.order[:3])
+
+    def test_bubble_probabilities_in_open_band(self, label):
+        for _, prob in label.bubble_items:
+            assert 0.05 < prob < 0.95
+
+    def test_distinct_rankings_match_paper_example(self, paper_dataset, rng):
+        # The example admits 11 feasible rankings; with 2k samples the
+        # label should observe most of the stable ones (at least 5).
+        lbl = build_label(
+            paper_dataset, np.array([1.0, 1.0]), n_samples=2_000, rng=rng
+        )
+        assert 5 <= lbl.n_distinct_rankings <= 11
+
+    def test_md_dataset(self, rng):
+        values = rng.random((20, 3))
+        lbl = build_label(
+            Dataset(values), np.ones(3), n_samples=1_000, k=5, head=4, rng=rng
+        )
+        assert lbl.k == 5
+        assert len(lbl.item_profiles) == 4
+        assert 0.0 <= lbl.reference_stability <= 1.0
+
+    def test_cone_region(self, paper_dataset, rng):
+        cone = Cone(np.array([1.0, 1.0]), 0.1)
+        lbl = build_label(
+            paper_dataset, np.array([1.0, 1.0]), region=cone,
+            n_samples=1_000, rng=rng,
+        )
+        # Inside a narrow cone the reference ranking dominates.
+        assert lbl.reference_stability > 0.3
+
+    def test_k_clamped_to_n(self, paper_dataset, rng):
+        lbl = build_label(
+            paper_dataset, np.ones(2), k=50, n_samples=500, rng=rng
+        )
+        assert lbl.k == 5
+
+    def test_rejects_wrong_weights(self, paper_dataset):
+        with pytest.raises(InvalidWeightsError):
+            build_label(paper_dataset, np.ones(3))
+
+
+class TestRender:
+    def test_render_contains_all_panels(self, label, paper_dataset):
+        text = label.render(labels=paper_dataset.item_labels)
+        assert "RANKING FACTS" in text
+        assert "Reference stability" in text
+        assert "Most stable alternatives" in text
+        assert "Rank ranges" in text
+        assert "bubble" in text
+
+    def test_render_uses_item_labels(self, label, paper_dataset):
+        text = label.render(labels=paper_dataset.item_labels)
+        assert "t2" in text  # the top reference item by name
+
+    def test_render_without_labels(self, label):
+        assert "item-" in label.render()

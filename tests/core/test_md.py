@@ -1,0 +1,214 @@
+"""Unit tests for the multi-dimensional algorithms (Algorithms 4-6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cone,
+    Dataset,
+    GetNextMD,
+    Ranking,
+    ScoringFunction,
+    exchange_hyperplanes,
+    rank_items,
+    ranking_region_md,
+    verify_stability_md,
+)
+from repro.errors import ExhaustedError, InfeasibleRankingError
+from repro.sampling.oracle import StabilityOracle
+from repro.sampling.uniform import sample_orthant
+
+
+@pytest.fixture
+def small_3d(rng_factory):
+    return Dataset(rng_factory(11).uniform(size=(8, 3)))
+
+
+class TestRankingRegionMD:
+    def test_region_contains_inducing_function(self, small_3d, rng):
+        w = np.array([1.0, 1.0, 1.0])
+        r = rank_items(small_3d.values, w)
+        cone = ranking_region_md(small_3d, r)
+        assert cone.contains(w)
+
+    def test_region_excludes_other_functions(self, small_3d, rng):
+        w = np.array([1.0, 1.0, 1.0])
+        r = rank_items(small_3d.values, w)
+        cone = ranking_region_md(small_3d, r)
+        for _ in range(200):
+            probe = np.abs(rng.normal(size=3)) + 1e-6
+            inside = cone.contains(probe)
+            same = rank_items(small_3d.values, probe) == r
+            assert inside == same
+
+    def test_dominance_infeasibility(self):
+        ds = Dataset(np.array([[0.9, 0.9, 0.9], [0.1, 0.1, 0.1], [0.5, 0.4, 0.6]]))
+        with pytest.raises(InfeasibleRankingError):
+            ranking_region_md(ds, Ranking([1, 0, 2]))
+
+    def test_dominating_pairs_add_no_constraint(self):
+        ds = Dataset(np.array([[0.9, 0.9, 0.9], [0.1, 0.1, 0.1]]))
+        cone = ranking_region_md(ds, Ranking([0, 1]))
+        assert len(cone) == 0
+
+    def test_incomplete_ranking_rejected(self, small_3d):
+        with pytest.raises(InfeasibleRankingError):
+            ranking_region_md(small_3d, Ranking([0, 1], n_items=8))
+
+    def test_tied_items_id_convention(self):
+        ds = Dataset(np.array([[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]]))
+        assert len(ranking_region_md(ds, Ranking([0, 1]))) == 0
+        with pytest.raises(InfeasibleRankingError):
+            ranking_region_md(ds, Ranking([1, 0]))
+
+
+class TestVerifyStabilityMD:
+    def test_matches_direct_monte_carlo(self, small_3d, rng_factory):
+        # Estimate stability two independent ways: the oracle on the
+        # ranking region vs direct re-ranking frequency.
+        w = np.array([1.0, 1.0, 1.0])
+        r = rank_items(small_3d.values, w)
+        result = verify_stability_md(
+            small_3d, r, n_samples=40_000, rng=rng_factory(1)
+        )
+        probes = sample_orthant(3, 40_000, rng_factory(2))
+        hits = sum(rank_items(small_3d.values, p) == r for p in probes[:4000])
+        direct = hits / 4000
+        assert abs(result.stability - direct) < 0.02
+
+    def test_2d_agreement_with_exact(self, rng_factory):
+        # In 2D the Monte-Carlo result must approach the exact SV2D value.
+        from repro import verify_stability_2d
+
+        ds = Dataset(rng_factory(3).uniform(size=(10, 2)))
+        r = ScoringFunction.equal_weights(2).rank(ds)
+        exact = verify_stability_2d(ds, r).stability
+        estimate = verify_stability_md(
+            ds, r, n_samples=100_000, rng=rng_factory(4)
+        ).stability
+        assert abs(exact - estimate) < 0.01
+
+    def test_shared_oracle_reused(self, small_3d, rng):
+        oracle = StabilityOracle(sample_orthant(3, 5_000, rng))
+        r = rank_items(small_3d.values, np.array([1.0, 1.0, 1.0]))
+        a = verify_stability_md(small_3d, r, oracle=oracle)
+        b = verify_stability_md(small_3d, r, oracle=oracle)
+        assert a.stability == b.stability  # deterministic given the pool
+
+    def test_reports_confidence_error(self, small_3d, rng):
+        r = rank_items(small_3d.values, np.array([1.0, 1.0, 1.0]))
+        result = verify_stability_md(small_3d, r, n_samples=5_000, rng=rng)
+        assert result.confidence_error > 0.0
+        assert result.sample_count == 5_000
+
+
+class TestExchangeHyperplanes:
+    def test_counts_all_pairs_without_region(self, small_3d):
+        normals = exchange_hyperplanes(small_3d)
+        # All pairs of 8 random-uniform 3-d items minus dominating pairs.
+        assert 0 < normals.shape[0] <= 28
+
+    def test_region_filter_reduces(self, small_3d, rng):
+        cone = Cone(np.array([1.0, 1.0, 1.0]), math.pi / 60)
+        samples = cone.sample(400, rng)
+        narrow = exchange_hyperplanes(small_3d, region_samples=samples)
+        wide = exchange_hyperplanes(small_3d)
+        assert narrow.shape[0] <= wide.shape[0]
+
+    def test_kept_hyperplanes_straddle_samples(self, small_3d, rng):
+        cone = Cone(np.array([1.0, 1.0, 1.0]), math.pi / 30)
+        samples = cone.sample(300, rng)
+        kept = exchange_hyperplanes(small_3d, region_samples=samples)
+        for h in kept:
+            signs = samples[:300] @ h
+            assert (signs > 0).any() and (signs <= 0).any()
+
+    def test_chunking_equivalence(self, rng_factory):
+        ds = Dataset(rng_factory(9).uniform(size=(25, 3)))
+        samples = sample_orthant(3, 200, rng_factory(10))
+        a = exchange_hyperplanes(ds, region_samples=samples, chunk_size=7)
+        b = exchange_hyperplanes(ds, region_samples=samples, chunk_size=10**6)
+        assert np.allclose(np.sort(a, axis=0), np.sort(b, axis=0))
+
+
+class TestGetNextMD:
+    def test_descending_stability(self, small_3d, rng_factory):
+        gn = GetNextMD(small_3d, n_samples=20_000, rng=rng_factory(5))
+        results = [gn.get_next() for _ in range(6)]
+        stabilities = [r.stability for r in results]
+        assert stabilities == sorted(stabilities, reverse=True)
+
+    def test_rankings_distinct(self, small_3d, rng_factory):
+        gn = GetNextMD(small_3d, n_samples=20_000, rng=rng_factory(6))
+        results = [gn.get_next() for _ in range(6)]
+        assert len({r.ranking for r in results}) == 6
+
+    def test_rankings_feasible(self, small_3d, rng_factory):
+        # Each returned ranking is induced by some function (its region's
+        # representative).
+        gn = GetNextMD(small_3d, n_samples=20_000, rng=rng_factory(7))
+        for _ in range(5):
+            res = gn.get_next()
+            assert res.stability > 0.0
+            # The reported region intersected with the pool reproduces the
+            # ranking at its representative point.
+            assert res.ranking.is_complete
+
+    def test_agrees_with_exact_2d(self, rng_factory):
+        # On a 2D dataset the MD machinery must reproduce the exact
+        # stabilities from ray sweeping, within Monte-Carlo error.
+        from repro import GetNext2D
+
+        ds = Dataset(rng_factory(8).uniform(size=(7, 2)))
+        exact = {r.ranking: r.stability for r in GetNext2D(ds)}
+        gn = GetNextMD(ds, n_samples=60_000, rng=rng_factory(9))
+        seen = {}
+        try:
+            for _ in range(len(exact)):
+                res = gn.get_next()
+                seen[res.ranking] = res.stability
+        except ExhaustedError:
+            pass
+        # Every MD ranking is exactly feasible, with a close stability.
+        for ranking, stability in seen.items():
+            assert ranking in exact
+            assert abs(stability - exact[ranking]) < 0.02
+
+    def test_top1_matches_exact_2d(self, rng_factory):
+        from repro import GetNext2D
+
+        ds = Dataset(rng_factory(12).uniform(size=(7, 2)))
+        exact_top = GetNext2D(ds).get_next()
+        md_top = GetNextMD(ds, n_samples=60_000, rng=rng_factory(13)).get_next()
+        assert md_top.ranking == exact_top.ranking
+
+    def test_cone_region(self, small_3d, rng_factory):
+        cone = Cone(np.array([1.0, 1.0, 1.0]), math.pi / 40)
+        gn = GetNextMD(small_3d, region=cone, n_samples=15_000, rng=rng_factory(14))
+        total = 0.0
+        count = 0
+        try:
+            for _ in range(50):
+                total += gn.get_next().stability
+                count += 1
+        except ExhaustedError:
+            pass
+        assert count >= 1
+        assert total <= 1.0 + 1e-9
+
+    def test_stabilities_sum_to_one_when_exhausted(self, rng_factory):
+        ds = Dataset(rng_factory(15).uniform(size=(5, 3)))
+        gn = GetNextMD(ds, n_samples=30_000, rng=rng_factory(16))
+        results = list(gn)
+        assert math.isclose(
+            sum(r.stability for r in results), 1.0, abs_tol=1e-9
+        )
+
+    def test_exhaustion_raises(self, rng_factory):
+        ds = Dataset(np.array([[0.9, 0.9, 0.9], [0.1, 0.1, 0.1]]))
+        gn = GetNextMD(ds, n_samples=1000, rng=rng_factory(17))
+        assert gn.get_next().stability == 1.0
+        with pytest.raises(ExhaustedError):
+            gn.get_next()

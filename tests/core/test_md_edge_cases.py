@@ -1,0 +1,100 @@
+"""Additional edge-case coverage for the MD machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cone,
+    Dataset,
+    GetNextMD,
+    Ranking,
+    exchange_hyperplanes,
+    ranking_region_md,
+    verify_stability_md,
+)
+from repro.errors import ExhaustedError
+
+
+class TestDegenerateMD:
+    def test_total_dominance_chain(self, rng_factory):
+        values = np.linspace(0.9, 0.1, 5)[:, None] * np.ones((5, 3))
+        ds = Dataset(values)
+        res = verify_stability_md(
+            ds, Ranking([0, 1, 2, 3, 4]), n_samples=500, rng=rng_factory(0)
+        )
+        assert res.stability == 1.0
+        assert len(res.region) == 0  # no constraints at all
+
+    def test_no_exchange_hyperplanes_for_chain(self):
+        values = np.linspace(0.9, 0.1, 4)[:, None] * np.ones((4, 3))
+        assert exchange_hyperplanes(Dataset(values)).shape[0] == 0
+
+    def test_getnextmd_single_region(self, rng_factory):
+        values = np.linspace(0.9, 0.1, 4)[:, None] * np.ones((4, 3))
+        gn = GetNextMD(Dataset(values), n_samples=500, rng=rng_factory(1))
+        first = gn.get_next()
+        assert first.stability == 1.0
+        with pytest.raises(ExhaustedError):
+            gn.get_next()
+
+    def test_two_item_exchange(self, rng_factory):
+        # Two incomparable items: two regions split by one hyperplane.
+        ds = Dataset(np.array([[0.9, 0.1, 0.5], [0.1, 0.9, 0.5]]))
+        gn = GetNextMD(ds, n_samples=10_000, rng=rng_factory(2))
+        a = gn.get_next()
+        b = gn.get_next()
+        assert {a.ranking.order, b.ranking.order} == {(0, 1), (1, 0)}
+        assert math.isclose(a.stability + b.stability, 1.0)
+        # Symmetric configuration: both sides get roughly half.
+        assert 0.4 < a.stability < 0.6
+
+    def test_narrow_cone_few_regions(self, rng_factory):
+        ds = Dataset(rng_factory(3).uniform(size=(20, 3)))
+        cone = Cone(np.ones(3), math.pi / 500)
+        gn = GetNextMD(ds, region=cone, n_samples=4_000, rng=rng_factory(4))
+        count = 0
+        try:
+            for _ in range(200):
+                gn.get_next()
+                count += 1
+        except ExhaustedError:
+            pass
+        # A hairline cone crosses very few ordering exchanges.
+        assert count < 20
+
+    def test_min_split_samples_controls_granularity(self, rng_factory):
+        ds = Dataset(rng_factory(5).uniform(size=(12, 3)))
+        fine = GetNextMD(
+            ds, n_samples=20_000, rng=rng_factory(6), min_split_samples=1
+        )
+        coarse = GetNextMD(
+            ds, n_samples=20_000, rng=rng_factory(6), min_split_samples=500
+        )
+        fine_results = [fine.get_next().stability for _ in range(5)]
+        coarse_results = [coarse.get_next().stability for _ in range(5)]
+        # Coarse splitting refuses to isolate thin cells, so its returned
+        # "regions" are at least as massive.
+        assert sum(coarse_results) >= sum(fine_results) - 1e-9
+
+
+class TestRegionConeConsistency:
+    def test_region_halfspace_count_bounds(self, rng_factory):
+        ds = Dataset(rng_factory(7).uniform(size=(15, 3)))
+        r = Ranking(
+            np.argsort(-(ds.values @ np.ones(3)), kind="stable").tolist()
+        )
+        cone = ranking_region_md(ds, r)
+        assert 0 <= len(cone) <= 14
+
+    def test_verification_after_enumeration_agrees(self, rng_factory):
+        ds = Dataset(rng_factory(8).uniform(size=(10, 3)))
+        gn = GetNextMD(ds, n_samples=30_000, rng=rng_factory(9))
+        top = gn.get_next()
+        # Verifying the returned ranking against a fresh oracle must land
+        # near the enumerator's estimate.
+        check = verify_stability_md(
+            ds, top.ranking, n_samples=30_000, rng=rng_factory(10)
+        )
+        assert abs(check.stability - top.stability) < 0.02

@@ -1,0 +1,184 @@
+"""Unit tests for the randomized GET-NEXT operator (Algorithms 7-8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Cone, Dataset, GetNextRandomized, ScoringFunction
+from repro.errors import BudgetExceededError, ExhaustedError
+
+
+@pytest.fixture
+def small_3d(rng_factory):
+    return Dataset(rng_factory(21).uniform(size=(12, 3)))
+
+
+class TestFixedBudget:
+    def test_returns_most_frequent_first(self, small_3d, rng_factory):
+        gn = GetNextRandomized(small_3d, rng=rng_factory(1))
+        first = gn.get_next(budget=4000)
+        second = gn.get_next(budget=1000)
+        assert first.stability >= second.stability - 0.02
+        assert first.ranking != second.ranking
+
+    def test_sample_accounting(self, small_3d, rng_factory):
+        gn = GetNextRandomized(small_3d, rng=rng_factory(2))
+        gn.get_next(budget=500)
+        assert gn.total_samples == 500
+        gn.get_next(budget=300)
+        assert gn.total_samples == 800
+
+    def test_stability_uses_cumulative_counts(self, small_3d, rng_factory):
+        gn = GetNextRandomized(small_3d, rng=rng_factory(3))
+        res = gn.get_next(budget=1000)
+        assert math.isclose(res.stability, res.sample_count / 1000)
+
+    def test_exhausted_when_no_new_ranking(self, rng_factory):
+        # Two items, one dominates: only one feasible ranking.
+        ds = Dataset(np.array([[0.9, 0.9], [0.1, 0.1]]))
+        gn = GetNextRandomized(ds, rng=rng_factory(4))
+        first = gn.get_next(budget=100)
+        assert first.stability == 1.0
+        with pytest.raises(ExhaustedError):
+            gn.get_next(budget=100)
+
+    def test_confidence_error_reported(self, small_3d, rng_factory):
+        gn = GetNextRandomized(small_3d, rng=rng_factory(5))
+        res = gn.get_next(budget=2000)
+        assert 0.0 < res.confidence_error < 0.1
+
+    def test_rejects_bad_budget(self, small_3d, rng):
+        gn = GetNextRandomized(small_3d, rng=rng)
+        with pytest.raises(ValueError):
+            gn.get_next(budget=0)
+
+    def test_requires_exactly_one_mode(self, small_3d, rng):
+        gn = GetNextRandomized(small_3d, rng=rng)
+        with pytest.raises(ValueError):
+            gn.get_next()
+        with pytest.raises(ValueError):
+            gn.get_next(budget=10, error=0.1)
+
+
+class TestFixedConfidence:
+    def test_achieves_requested_error(self, small_3d, rng_factory):
+        gn = GetNextRandomized(small_3d, rng=rng_factory(6))
+        res = gn.get_next(error=0.02)
+        assert res.confidence_error <= 0.02
+
+    def test_tighter_error_needs_more_samples(self, small_3d, rng_factory):
+        loose = GetNextRandomized(small_3d, rng=rng_factory(7))
+        loose.get_next(error=0.05)
+        tight = GetNextRandomized(small_3d, rng=rng_factory(7))
+        tight.get_next(error=0.01)
+        assert tight.total_samples > loose.total_samples
+
+    def test_budget_cap_raises(self, small_3d, rng_factory):
+        gn = GetNextRandomized(small_3d, rng=rng_factory(8))
+        with pytest.raises(BudgetExceededError):
+            gn.get_next(error=1e-9, max_samples=2000)
+
+    def test_rejects_nonpositive_error(self, small_3d, rng):
+        gn = GetNextRandomized(small_3d, rng=rng)
+        with pytest.raises(ValueError):
+            gn.get_next(error=0.0)
+
+
+class TestAgreementWithExact:
+    def test_2d_top_ranking_matches_exact(self, rng_factory):
+        from repro import GetNext2D
+
+        ds = Dataset(rng_factory(9).uniform(size=(8, 2)))
+        exact = GetNext2D(ds).get_next()
+        rand = GetNextRandomized(ds, rng=rng_factory(10))
+        res = rand.get_next(budget=8000)
+        assert res.ranking == exact.ranking
+        assert abs(res.stability - exact.stability) < 0.03
+
+    def test_stability_estimates_consistent(self, rng_factory):
+        from repro import ray_sweep, rank_items
+
+        ds = Dataset(rng_factory(11).uniform(size=(8, 2)))
+        exact = {}
+        for s, region in ray_sweep(ds):
+            r = rank_items(ds.values, region.midpoint_weights())
+            exact[r] = s
+        gn = GetNextRandomized(ds, rng=rng_factory(12))
+        for _ in range(3):
+            res = gn.get_next(budget=5000)
+            assert res.ranking in exact
+            assert abs(res.stability - exact[res.ranking]) < 0.03
+
+
+class TestTopK:
+    def test_topk_ranked_keys(self, small_3d, rng_factory):
+        gn = GetNextRandomized(small_3d, kind="topk_ranked", k=4, rng=rng_factory(13))
+        res = gn.get_next(budget=2000)
+        assert len(res.ranking) == 4
+        assert res.top_k_set is None
+
+    def test_topk_set_keys(self, small_3d, rng_factory):
+        gn = GetNextRandomized(small_3d, kind="topk_set", k=4, rng=rng_factory(14))
+        res = gn.get_next(budget=2000)
+        assert res.top_k_set is not None
+        assert len(res.top_k_set) == 4
+
+    def test_set_stability_geq_ranked(self, small_3d, rng_factory):
+        # Section 6.3 / Figure 17: sets aggregate over orderings, so the
+        # most stable set is at least as stable as the most stable ranked
+        # prefix (up to Monte-Carlo noise).
+        ranked = GetNextRandomized(
+            small_3d, kind="topk_ranked", k=4, rng=rng_factory(15)
+        ).get_next(budget=6000)
+        as_set = GetNextRandomized(
+            small_3d, kind="topk_set", k=4, rng=rng_factory(16)
+        ).get_next(budget=6000)
+        assert as_set.stability >= ranked.stability - 0.02
+
+    def test_topk_requires_k(self, small_3d, rng):
+        with pytest.raises(ValueError):
+            GetNextRandomized(small_3d, kind="topk_set", rng=rng)
+        with pytest.raises(ValueError):
+            GetNextRandomized(small_3d, kind="topk_set", k=0, rng=rng)
+        with pytest.raises(ValueError):
+            GetNextRandomized(small_3d, kind="topk_set", k=13, rng=rng)
+
+    def test_unknown_kind(self, small_3d, rng):
+        with pytest.raises(ValueError):
+            GetNextRandomized(small_3d, kind="bogus", rng=rng)
+
+    def test_topk_set_most_stable_dominance_case(self, rng_factory):
+        # When k items dominate the rest, the top-k set is unique and its
+        # stability is 1.
+        values = np.vstack(
+            [
+                np.full((3, 3), 0.9) + rng_factory(17).normal(0, 0.01, (3, 3)),
+                np.full((5, 3), 0.1) * rng_factory(18).uniform(0.5, 1.0, (5, 3)),
+            ]
+        )
+        ds = Dataset(np.clip(values, 0, 1))
+        gn = GetNextRandomized(ds, kind="topk_set", k=3, rng=rng_factory(19))
+        res = gn.get_next(budget=1000)
+        assert res.top_k_set == frozenset({0, 1, 2})
+        assert res.stability == 1.0
+
+
+class TestRegionRestriction:
+    def test_cone_region_changes_distribution(self, small_3d, rng_factory):
+        # In a (very) narrow cone around a reference function, that
+        # function's ranking is the most stable.  The cone must be tight:
+        # at pi/200 an ordering exchange already crosses it for this data
+        # and a neighbouring ranking wins.
+        ref = ScoringFunction.equal_weights(3)
+        expected = ref.rank(small_3d)
+        cone = Cone(ref.weights, math.pi / 2000)
+        gn = GetNextRandomized(small_3d, region=cone, rng=rng_factory(20))
+        res = gn.get_next(budget=2000)
+        assert res.ranking == expected
+
+    def test_top_h_schedule(self, small_3d, rng_factory):
+        gn = GetNextRandomized(small_3d, rng=rng_factory(21))
+        results = gn.top_h(5, budget_first=5000, budget_rest=1000)
+        assert 1 <= len(results) <= 5
+        assert gn.total_samples == 5000 + 1000 * (len(results) - 1)

@@ -1,0 +1,180 @@
+"""Unit tests for Ranking and the ranking construction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import Ranking, _top_k_order, rank_items, ranking_from_scores
+from repro.errors import InvalidRankingError
+
+
+class TestRankingBasics:
+    def test_order_and_length(self):
+        r = Ranking([2, 0, 1])
+        assert r.order == (2, 0, 1)
+        assert len(r) == 3
+        assert r.is_complete
+
+    def test_partial_ranking(self):
+        r = Ranking([4, 2], n_items=10)
+        assert not r.is_complete
+        assert r.n_items == 10
+
+    def test_equality_and_hash(self):
+        assert Ranking([1, 0]) == Ranking([1, 0])
+        assert Ranking([1, 0]) != Ranking([0, 1])
+        assert hash(Ranking([1, 0])) == hash(Ranking([1, 0]))
+
+    def test_usable_as_dict_key(self):
+        counts = {Ranking([0, 1]): 3}
+        counts[Ranking([0, 1])] += 1
+        assert counts[Ranking([0, 1])] == 4
+
+    def test_iteration_and_indexing(self):
+        r = Ranking([3, 1, 2, 0])
+        assert list(r) == [3, 1, 2, 0]
+        assert r[0] == 3
+
+    def test_rank_of(self):
+        r = Ranking([3, 1, 2, 0])
+        assert r.rank_of(3) == 1
+        assert r.rank_of(0) == 4
+
+    def test_rank_of_missing(self):
+        r = Ranking([1, 2], n_items=5)
+        with pytest.raises(KeyError):
+            r.rank_of(4)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidRankingError):
+            Ranking([0, 0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidRankingError):
+            Ranking([0, 5], n_items=3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidRankingError):
+            Ranking([])
+
+    def test_rejects_too_long(self):
+        with pytest.raises(InvalidRankingError):
+            Ranking([0, 1, 2], n_items=2)
+
+
+class TestTopK:
+    def test_top_k_prefix(self):
+        r = Ranking([3, 1, 2, 0])
+        assert r.top_k(2).order == (3, 1)
+        assert r.top_k(2).n_items == 4
+
+    def test_top_k_set(self):
+        r = Ranking([3, 1, 2, 0])
+        assert r.top_k_set(2) == frozenset({1, 3})
+
+    def test_top_k_bounds(self):
+        r = Ranking([0, 1])
+        with pytest.raises(InvalidRankingError):
+            r.top_k(0)
+        with pytest.raises(InvalidRankingError):
+            r.top_k(3)
+
+
+class TestKendallTau:
+    def test_identical_is_zero(self):
+        r = Ranking([0, 1, 2, 3])
+        assert r.kendall_tau_distance(r) == 0
+
+    def test_reversal_is_max(self):
+        r, rev = Ranking([0, 1, 2, 3]), Ranking([3, 2, 1, 0])
+        assert r.kendall_tau_distance(rev) == 6  # C(4, 2)
+
+    def test_single_swap(self):
+        assert Ranking([0, 1, 2]).kendall_tau_distance(Ranking([1, 0, 2])) == 1
+
+    def test_symmetry(self, rng):
+        perm = rng.permutation(8).tolist()
+        a, b = Ranking(list(range(8))), Ranking(perm)
+        assert a.kendall_tau_distance(b) == b.kendall_tau_distance(a)
+
+    def test_rejects_different_items(self):
+        with pytest.raises(InvalidRankingError):
+            Ranking([0, 1], n_items=3).kendall_tau_distance(
+                Ranking([1, 2], n_items=3)
+            )
+
+
+class TestRankingFromScores:
+    def test_descending(self):
+        r = ranking_from_scores(np.array([0.1, 0.9, 0.5]))
+        assert r.order == (1, 2, 0)
+
+    def test_tie_break_by_id(self):
+        r = ranking_from_scores(np.array([0.5, 0.9, 0.5]))
+        assert r.order == (1, 0, 2)
+
+    def test_all_tied(self):
+        r = ranking_from_scores(np.array([0.5, 0.5, 0.5]))
+        assert r.order == (0, 1, 2)
+
+    def test_top_k_variant_matches_full(self, rng):
+        scores = rng.normal(size=50)
+        full = ranking_from_scores(scores)
+        top = ranking_from_scores(scores, k=7)
+        assert top.order == full.order[:7]
+
+    def test_rejects_matrix(self):
+        with pytest.raises(InvalidRankingError):
+            ranking_from_scores(np.ones((2, 2)))
+
+
+class TestTopKOrder:
+    def test_matches_stable_argsort(self, rng):
+        for _ in range(30):
+            scores = rng.normal(size=40)
+            k = int(rng.integers(1, 40))
+            expected = np.argsort(-scores, kind="stable")[:k].tolist()
+            assert _top_k_order(scores, k) == expected
+
+    def test_boundary_ties_prefer_low_ids(self):
+        scores = np.array([1.0, 0.5, 0.5, 0.5, 0.2])
+        assert _top_k_order(scores, 2) == [0, 1]
+        assert _top_k_order(scores, 3) == [0, 1, 2]
+
+    def test_many_duplicates(self):
+        scores = np.zeros(10)
+        assert _top_k_order(scores, 4) == [0, 1, 2, 3]
+
+    def test_k_equal_n(self, rng):
+        scores = rng.normal(size=12)
+        assert _top_k_order(scores, 12) == np.argsort(
+            -scores, kind="stable"
+        ).tolist()
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(InvalidRankingError):
+            _top_k_order(np.ones(3), 0)
+
+
+class TestRankItems:
+    def test_paper_example(self, paper_values):
+        # Figure 1a: f = x1 + x2 ranks <t2, t4, t3, t5, t1>.
+        r = rank_items(paper_values, np.array([1.0, 1.0]))
+        assert r.order == (1, 3, 2, 4, 0)
+
+    def test_extreme_functions(self, paper_values):
+        by_x1 = rank_items(paper_values, np.array([1.0, 0.0]))
+        assert by_x1.order == (1, 3, 0, 2, 4)
+        by_x2 = rank_items(paper_values, np.array([0.0, 1.0]))
+        assert by_x2.order == (4, 2, 0, 3, 1)
+
+    def test_scale_invariance(self, paper_values):
+        # Note the weights must not land exactly on an ordering exchange:
+        # (0.3, 0.7) ties t1 and t4 in exact arithmetic, and float
+        # round-off then breaks the tie differently at different scales.
+        a = rank_items(paper_values, np.array([0.31, 0.7]))
+        b = rank_items(paper_values, np.array([3.1, 7.0]))
+        assert a == b
+
+    def test_k_parameter(self, paper_values):
+        r = rank_items(paper_values, np.array([1.0, 1.0]), k=2)
+        assert r.order == (1, 3)

@@ -1,0 +1,149 @@
+"""Unit tests for regions of interest (section 2.2.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.region import Cone, ConstrainedRegion, FullSpace
+from repro.errors import InfeasibleRegionError
+
+
+class TestFullSpace:
+    def test_contains_orthant_only(self):
+        u = FullSpace(3)
+        assert u.contains(np.array([1.0, 0.0, 2.0]))
+        assert not u.contains(np.array([1.0, -0.1, 2.0]))
+        assert not u.contains(np.zeros(3))
+
+    def test_sample_properties(self, rng):
+        u = FullSpace(4)
+        pts = u.sample(300, rng)
+        assert pts.shape == (300, 4)
+        assert np.all(pts >= 0)
+        assert u.contains_all(pts).all()
+
+    def test_angle_interval(self):
+        assert FullSpace(2).angle_interval() == (0.0, math.pi / 2)
+
+    def test_angle_interval_requires_2d(self):
+        with pytest.raises(ValueError):
+            FullSpace(3).angle_interval()
+
+    def test_reference_ray(self):
+        ref = FullSpace(4).reference_ray()
+        assert np.allclose(ref, 0.5)
+
+    def test_rejects_dim_one(self):
+        with pytest.raises(ValueError):
+            FullSpace(1)
+
+
+class TestCone:
+    def test_contains_axis(self):
+        c = Cone(np.array([1.0, 1.0, 1.0]), math.pi / 10)
+        assert c.contains(np.array([1.0, 1.0, 1.0]))
+        assert c.contains(np.array([5.0, 5.0, 5.0]))  # ray membership
+
+    def test_excludes_far_rays(self):
+        c = Cone(np.array([1.0, 1.0]), math.pi / 20)
+        assert not c.contains(np.array([1.0, 0.0]))
+
+    def test_boundary_inclusive(self):
+        c = Cone(np.array([1.0, 0.0]), math.pi / 4)
+        assert c.contains(np.array([1.0, 1.0]))  # exactly pi/4 away
+
+    def test_from_cosine(self):
+        c = Cone.from_cosine(np.array([1.0, 1.0]), 0.998)
+        assert math.isclose(c.theta, math.acos(0.998))
+
+    def test_samples_inside(self, rng):
+        c = Cone(np.array([0.3, 0.7, 0.6]), math.pi / 15)
+        pts = c.sample(500, rng)
+        assert c.contains_all(pts).all()
+
+    def test_samples_nonnegative_near_boundary(self, rng):
+        # Axis-adjacent cone: the cap pokes outside the orthant and must
+        # be filtered.
+        c = Cone(np.array([1.0, 0.05]), math.pi / 10)
+        pts = c.sample(300, rng)
+        assert np.all(pts >= 0.0)
+        assert c.contains_all(pts).all()
+
+    def test_angle_interval_centered(self):
+        c = Cone(np.array([1.0, 1.0]), math.pi / 20)
+        lo, hi = c.angle_interval()
+        assert math.isclose(lo, math.pi / 4 - math.pi / 20)
+        assert math.isclose(hi, math.pi / 4 + math.pi / 20)
+
+    def test_angle_interval_clipped_at_axes(self):
+        c = Cone(np.array([1.0, 0.02]), math.pi / 8)
+        lo, hi = c.angle_interval()
+        assert lo == 0.0
+        assert hi < math.pi / 2
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            Cone(np.ones(2), 0.0)
+        with pytest.raises(ValueError):
+            Cone(np.ones(2), 2.0)
+
+    def test_contains_all_matches_scalar(self, rng):
+        c = Cone(np.array([0.5, 0.5, 0.7]), math.pi / 8)
+        pts = np.abs(rng.normal(size=(100, 3)))
+        mask = c.contains_all(pts)
+        for p, expected in zip(pts, mask):
+            assert c.contains(p) == bool(expected)
+
+
+class TestConstrainedRegion:
+    def test_paper_example_constraints(self):
+        # Section 3.2, U*_1 = {w1 <= w2, 2 w1 >= w2}: rows encode
+        # w2 - w1 >= 0 and 2 w1 - w2 >= 0.
+        region = ConstrainedRegion(np.array([[-1.0, 1.0], [2.0, -1.0]]))
+        lo, hi = region.angle_interval()
+        assert math.isclose(lo, math.pi / 4)
+        assert math.isclose(hi, math.atan2(2.0, 1.0))
+
+    def test_membership(self):
+        region = ConstrainedRegion(np.array([[1.0, -1.0, 0.0]]))  # w1 >= w2
+        assert region.contains(np.array([2.0, 1.0, 1.0]))
+        assert not region.contains(np.array([1.0, 2.0, 1.0]))
+
+    def test_sampling(self, rng):
+        region = ConstrainedRegion(np.array([[1.0, -1.0, 0.0]]))
+        pts = region.sample(400, rng)
+        assert region.contains_all(pts).all()
+
+    def test_no_constraints_is_orthant(self, rng):
+        region = ConstrainedRegion(np.empty((0, 3)), dim=3)
+        pts = region.sample(100, rng)
+        assert pts.shape == (100, 3)
+        assert region.contains(np.array([1.0, 1.0, 1.0]))
+
+    def test_infeasible_raises_at_construction(self):
+        with pytest.raises(InfeasibleRegionError):
+            ConstrainedRegion(np.array([[1.0, -1.0], [-1.0, 1.0], [0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_reference_ray_inside(self):
+        region = ConstrainedRegion(np.array([[1.0, -2.0, 0.0]]))  # w1 >= 2 w2
+        ref = region.reference_ray()
+        assert region.contains(ref)
+
+    def test_angle_interval_requires_2d(self):
+        region = ConstrainedRegion(np.array([[1.0, -1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            region.angle_interval()
+
+    def test_angle_interval_infeasible_in_2d(self):
+        # w1 >= w2 AND w2 >= 2 w1 cannot hold for positive weights...
+        with pytest.raises(InfeasibleRegionError):
+            ConstrainedRegion(np.array([[1.0, -1.0], [-2.0, 1.0]]))
+
+    def test_redundant_constraints_ok(self):
+        region = ConstrainedRegion(
+            np.array([[1.0, -1.0], [2.0, -2.0], [1.0, 0.0]])
+        )
+        lo, hi = region.angle_interval()
+        assert lo == 0.0
+        assert math.isclose(hi, math.pi / 4)

@@ -1,0 +1,64 @@
+"""Cross-consistency between region membership and region sampling.
+
+Every region of interest must satisfy: (a) everything it samples, it
+contains; (b) the fraction of orthant-uniform probes it contains matches
+an analytic or sampled volume estimate.  These invariants tie together
+the three `U*` kinds and the cap geometry.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.region import Cone, ConstrainedRegion, FullSpace
+from repro.geometry.spherical import cap_area, orthant_area
+from repro.sampling.uniform import sample_orthant
+
+
+class TestSampleMembershipClosure:
+    @pytest.mark.parametrize(
+        "region",
+        [
+            FullSpace(3),
+            Cone(np.array([1.0, 1.0, 1.0]), math.pi / 12),
+            Cone(np.array([0.2, 0.9, 0.4]), math.pi / 40),
+            ConstrainedRegion(np.array([[1.0, -1.0, 0.0], [0.0, 1.0, -0.5]])),
+        ],
+        ids=["full", "cone-central", "cone-offaxis", "constrained"],
+    )
+    def test_samples_are_members(self, region, rng):
+        pts = region.sample(1000, rng)
+        assert region.contains_all(pts).all()
+
+    def test_cone_volume_matches_cap_fraction(self, rng):
+        # Probability that an orthant-uniform direction lies in a small
+        # central cone = cap area / orthant area.
+        cone = Cone(np.array([1.0, 1.0, 1.0]), math.pi / 15)
+        probes = sample_orthant(3, 200_000, rng)
+        empirical = float(cone.contains_all(probes).mean())
+        analytic = cap_area(3, math.pi / 15) / orthant_area(3)
+        assert abs(empirical - analytic) < 0.005
+
+    def test_constrained_volume_halfspace(self, rng):
+        region = ConstrainedRegion(np.array([[1.0, -1.0]]))
+        probes = sample_orthant(2, 100_000, rng)
+        empirical = float(region.contains_all(probes).mean())
+        assert abs(empirical - 0.5) < 0.01
+
+    def test_full_space_contains_all_probes(self, rng):
+        region = FullSpace(4)
+        probes = sample_orthant(4, 1000, rng)
+        assert region.contains_all(probes).all()
+
+    def test_cone_sampling_matches_membership_fraction(self, rng_factory):
+        # Sampling from a wedge that clips the cone: rejection inside the
+        # Cone.sample orthant filter must not bias the angular law — mean
+        # direction stays on the axis component-wise where unclipped.
+        cone = Cone(np.array([1.0, 0.08]), math.pi / 12)
+        pts = cone.sample(20_000, rng_factory(1))
+        assert np.all(pts >= 0)
+        # every sample still within the angular budget
+        axis = cone.reference_ray()
+        cosines = pts @ axis
+        assert np.all(cosines >= math.cos(cone.theta) - 1e-9)

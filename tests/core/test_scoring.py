@@ -1,0 +1,98 @@
+"""Unit tests for ScoringFunction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Dataset, ScoringFunction
+from repro.errors import InvalidWeightsError
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = ScoringFunction(np.array([1.0, 2.0]))
+        assert f.dim == 2
+        assert np.allclose(f.weights, [1.0, 2.0])
+
+    def test_weights_read_only(self):
+        f = ScoringFunction(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            f.weights[0] = 3.0
+
+    def test_equal_weights(self):
+        f = ScoringFunction.equal_weights(4)
+        assert np.allclose(f.weights, np.ones(4))
+
+    def test_from_angles_round_trip(self):
+        f = ScoringFunction.from_angles(np.array([math.pi / 4]))
+        g = ScoringFunction.from_angles(f.angles)
+        assert f == g
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidWeightsError):
+            ScoringFunction(np.array([1.0, -1.0]))
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidWeightsError):
+            ScoringFunction(np.zeros(3))
+
+
+class TestRayEquality:
+    def test_positive_multiples_equal(self):
+        assert ScoringFunction(np.array([1.0, 2.0])) == ScoringFunction(
+            np.array([0.5, 1.0])
+        )
+
+    def test_different_rays_differ(self):
+        assert ScoringFunction(np.array([1.0, 2.0])) != ScoringFunction(
+            np.array([2.0, 1.0])
+        )
+
+    def test_hash_consistent_with_eq(self):
+        a = ScoringFunction(np.array([1.0, 2.0]))
+        b = ScoringFunction(np.array([10.0, 20.0]))
+        assert hash(a) == hash(b)
+
+    def test_unit_has_norm_one(self, rng):
+        f = ScoringFunction(rng.uniform(0.1, 5.0, size=4))
+        assert math.isclose(float(np.linalg.norm(f.unit)), 1.0, rel_tol=1e-12)
+
+
+class TestScoring:
+    def test_score_single_item(self):
+        f = ScoringFunction(np.array([1.0, 1.0]))
+        assert math.isclose(f.score(np.array([0.83, 0.65])), 1.48)
+
+    def test_score_all_matches_manual(self, paper_dataset, paper_values):
+        f = ScoringFunction(np.array([1.0, 1.0]))
+        assert np.allclose(f.score_all(paper_dataset), paper_values.sum(axis=1))
+
+    def test_score_all_accepts_array(self, paper_values):
+        f = ScoringFunction(np.array([1.0, 1.0]))
+        assert np.allclose(f.score_all(paper_values), paper_values.sum(axis=1))
+
+    def test_rank_paper_example(self, paper_dataset):
+        f = ScoringFunction.equal_weights(2)
+        assert f.rank(paper_dataset).order == (1, 3, 2, 4, 0)
+
+    def test_rank_top_k(self, paper_dataset):
+        f = ScoringFunction.equal_weights(2)
+        assert f.rank(paper_dataset, k=3).order == (1, 3, 2)
+
+
+class TestSimilarity:
+    def test_cosine_to_self_is_one(self):
+        f = ScoringFunction(np.array([0.3, 0.7]))
+        assert math.isclose(f.cosine_similarity(f), 1.0)
+
+    def test_angle_to_weight_vector(self):
+        f = ScoringFunction(np.array([1.0, 0.0]))
+        assert math.isclose(f.angle_to(np.array([0.0, 1.0])), math.pi / 2)
+
+    def test_csmetrics_observation(self):
+        # Example 1: alpha = 0.608 vs alpha = 0.3 — "very far from the
+        # default"; their cosine similarity is well below 0.998.
+        default = ScoringFunction(np.array([0.3, 0.7]))
+        stable = ScoringFunction(np.array([0.608, 0.392]))
+        assert default.cosine_similarity(stable) < 0.998

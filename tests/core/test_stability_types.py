@@ -1,0 +1,84 @@
+"""Unit tests for the result dataclasses in repro.core.stability."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import Ranking
+from repro.core.stability import AngularRegion, RankedRegion, StabilityResult
+from repro.geometry.halfspace import ConvexCone
+
+
+class TestAngularRegion:
+    def test_width(self):
+        region = AngularRegion(0.2, 0.5)
+        assert math.isclose(region.width, 0.3)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            AngularRegion(0.5, 0.2)
+
+    def test_zero_width_allowed(self):
+        assert AngularRegion(0.3, 0.3).width == 0.0
+
+    def test_midpoint_weights_unit_norm(self):
+        w = AngularRegion(0.1, 0.6).midpoint_weights()
+        assert math.isclose(float(np.linalg.norm(w)), 1.0)
+        assert math.isclose(math.atan2(w[1], w[0]), 0.35)
+
+    def test_contains_angle(self):
+        region = AngularRegion(0.2, 0.5)
+        assert region.contains_angle(0.2)
+        assert region.contains_angle(0.35)
+        assert not region.contains_angle(0.51)
+
+    def test_frozen(self):
+        region = AngularRegion(0.1, 0.2)
+        with pytest.raises(AttributeError):
+            region.lo = 0.0
+
+
+class TestStabilityResult:
+    def test_basic(self):
+        result = StabilityResult(ranking=Ranking([0, 1]), stability=0.4)
+        assert result.stability == 0.4
+        assert result.region is None
+        assert result.confidence_error == 0.0
+
+    def test_rejects_out_of_range_stability(self):
+        with pytest.raises(ValueError):
+            StabilityResult(ranking=Ranking([0, 1]), stability=1.5)
+        with pytest.raises(ValueError):
+            StabilityResult(ranking=Ranking([0, 1]), stability=-0.2)
+
+    def test_representative_weights_from_angular_region(self):
+        result = StabilityResult(
+            ranking=Ranking([0, 1]),
+            stability=0.5,
+            region=AngularRegion(0.0, math.pi / 2),
+        )
+        w = result.representative_weights
+        assert np.allclose(w, [math.cos(math.pi / 4), math.sin(math.pi / 4)])
+
+    def test_representative_weights_none_for_cone(self):
+        result = StabilityResult(
+            ranking=Ranking([0, 1]), stability=0.5, region=ConvexCone(dim=3)
+        )
+        assert result.representative_weights is None
+
+    def test_top_k_set_carried(self):
+        result = StabilityResult(
+            ranking=Ranking([0, 1], n_items=5),
+            stability=0.3,
+            top_k_set=frozenset({0, 1}),
+        )
+        assert result.top_k_set == frozenset({0, 1})
+
+
+class TestRankedRegion:
+    def test_payload_defaults_independent(self):
+        a = RankedRegion(0.5, AngularRegion(0, 1))
+        b = RankedRegion(0.4, AngularRegion(0, 1))
+        a.payload["x"] = 1
+        assert b.payload == {}

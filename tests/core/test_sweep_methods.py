@@ -1,0 +1,95 @@
+"""Equivalence tests for the two RAYSWEEPING implementations.
+
+The kinetic (event-heap) sweep and the vectorized (sort-all-angles)
+sweep must produce identical boundary sets on every input; these tests
+pin that equivalence, including under restricted regions of interest and
+adversarial data (duplicates, dominance chains, coincident exchanges).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import Cone, ConstrainedRegion, Dataset, GetNext2D, sweep_boundaries
+
+
+def _assert_same_boundaries(ds, region=None):
+    lo_k, hi_k, kinetic = sweep_boundaries(ds, region=region, method="kinetic")
+    lo_v, hi_v, vector = sweep_boundaries(ds, region=region, method="vectorized")
+    assert (lo_k, hi_k) == (lo_v, hi_v)
+    assert kinetic.shape == vector.shape
+    if kinetic.size:
+        assert np.allclose(kinetic, vector, atol=1e-9)
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_uniform(self, seed, rng_factory):
+        ds = Dataset(rng_factory(seed).uniform(size=(25, 2)))
+        _assert_same_boundaries(ds)
+
+    def test_paper_example(self, paper_dataset):
+        _assert_same_boundaries(paper_dataset)
+
+    def test_with_cone_region(self, rng_factory):
+        ds = Dataset(rng_factory(9).uniform(size=(20, 2)))
+        _assert_same_boundaries(ds, region=Cone(np.array([1.0, 1.0]), math.pi / 8))
+
+    def test_with_constraint_region(self, rng_factory):
+        ds = Dataset(rng_factory(10).uniform(size=(20, 2)))
+        region = ConstrainedRegion(np.array([[-1.0, 1.0], [2.0, -1.0]]))
+        _assert_same_boundaries(ds, region=region)
+
+    def test_duplicates_and_dominance(self):
+        ds = Dataset(
+            np.array(
+                [
+                    [0.5, 0.5],
+                    [0.5, 0.5],   # duplicate
+                    [0.9, 0.9],   # dominates everything
+                    [0.2, 0.8],
+                    [0.8, 0.2],
+                ]
+            )
+        )
+        _assert_same_boundaries(ds)
+
+    def test_coincident_exchanges(self):
+        # Symmetric pairs around the diagonal all exchange at pi/4.
+        ds = Dataset(
+            np.array([[0.2, 0.8], [0.8, 0.2], [0.3, 0.7], [0.7, 0.3]])
+        )
+        _assert_same_boundaries(ds)
+        _, _, boundaries = sweep_boundaries(ds, method="vectorized")
+        # All four pairwise exchanges of the two symmetric pairs collapse
+        # onto pi/4, leaving a single boundary there.
+        assert np.isclose(boundaries, math.pi / 4).sum() == 1
+
+    @given(
+        values=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 12), st.just(2)),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_equivalence(self, values):
+        _assert_same_boundaries(Dataset(values))
+
+    def test_unknown_method_rejected(self, paper_dataset):
+        with pytest.raises(ValueError):
+            sweep_boundaries(paper_dataset, method="magic")
+
+
+class TestGetNext2DMethods:
+    def test_same_results_under_both_methods(self, rng_factory):
+        ds = Dataset(rng_factory(11).uniform(size=(15, 2)))
+        kinetic = list(GetNext2D(ds, method="kinetic"))
+        vector = list(GetNext2D(ds, method="vectorized"))
+        assert [r.ranking for r in kinetic] == [r.ranking for r in vector]
+        for a, b in zip(kinetic, vector):
+            assert math.isclose(a.stability, b.stability, rel_tol=1e-9)

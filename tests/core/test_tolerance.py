@@ -1,0 +1,120 @@
+"""Unit tests for similarity-tolerant stability (section 8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cone,
+    Dataset,
+    Ranking,
+    ScoringFunction,
+    tolerant_stability,
+    verify_stability_2d,
+)
+from repro.core.tolerance import kendall_tau_within
+from repro.errors import InvalidRankingError
+
+
+class TestKendallTauWithin:
+    def test_identical(self):
+        order = np.arange(6)
+        assert kendall_tau_within(order, order, 0)
+
+    def test_single_swap(self):
+        a = np.array([0, 1, 2, 3])
+        b = np.array([1, 0, 2, 3])
+        assert not kendall_tau_within(a, b, 0)
+        assert kendall_tau_within(a, b, 1)
+
+    def test_full_reversal(self):
+        a = np.arange(5)
+        b = a[::-1].copy()
+        assert kendall_tau_within(a, b, 10)  # C(5,2) = 10
+        assert not kendall_tau_within(a, b, 9)
+
+    def test_matches_exact_count(self, rng):
+        from repro.core.ranking import Ranking
+
+        for _ in range(25):
+            n = int(rng.integers(3, 12))
+            a = rng.permutation(n)
+            b = rng.permutation(n)
+            exact = Ranking(a.tolist()).kendall_tau_distance(Ranking(b.tolist()))
+            for tau in (0, exact - 1, exact, exact + 1):
+                if tau < 0:
+                    continue
+                assert kendall_tau_within(a, b, tau) == (exact <= tau)
+
+    def test_rejects_negative_tau(self):
+        with pytest.raises(ValueError):
+            kendall_tau_within(np.arange(3), np.arange(3), -1)
+
+    def test_symmetric(self, rng):
+        a, b = rng.permutation(8), rng.permutation(8)
+        for tau in (0, 3, 10):
+            assert kendall_tau_within(a, b, tau) == kendall_tau_within(b, a, tau)
+
+
+class TestTolerantStability:
+    @pytest.fixture
+    def ds(self, rng_factory):
+        return Dataset(rng_factory(71).uniform(size=(8, 2)))
+
+    def test_tau_zero_matches_plain_stability(self, ds, rng_factory):
+        r = ScoringFunction.equal_weights(2).rank(ds)
+        exact = verify_stability_2d(ds, r).stability
+        tolerant = tolerant_stability(
+            ds, r, tau=0, n_samples=40_000, rng=rng_factory(72)
+        )
+        assert abs(tolerant.stability - exact) < 0.01
+
+    def test_monotone_in_tau(self, ds, rng_factory):
+        r = ScoringFunction.equal_weights(2).rank(ds)
+        values = [
+            tolerant_stability(
+                ds, r, tau=tau, n_samples=8_000, rng=rng_factory(73)
+            ).stability
+            for tau in (0, 1, 3, 28)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_max_tau_covers_everything(self, ds, rng_factory):
+        r = ScoringFunction.equal_weights(2).rank(ds)
+        full = tolerant_stability(
+            ds, r, tau=len(ds) * (len(ds) - 1) // 2, n_samples=500,
+            rng=rng_factory(74),
+        )
+        assert full.stability == 1.0
+
+    def test_topk_prefix_mode(self, ds, rng_factory):
+        r = ScoringFunction.equal_weights(2).rank(ds)
+        res = tolerant_stability(
+            ds, r, tau=1, k=3, n_samples=4_000, rng=rng_factory(75)
+        )
+        assert 0.0 <= res.stability <= 1.0
+        # Prefix comparison can only make agreement easier than full.
+        full = tolerant_stability(
+            ds, r, tau=1, n_samples=4_000, rng=rng_factory(75)
+        )
+        assert res.stability >= full.stability - 0.02
+
+    def test_region_restriction(self, ds, rng_factory):
+        r = ScoringFunction.equal_weights(2).rank(ds)
+        cone = Cone(np.array([1.0, 1.0]), np.pi / 200)
+        res = tolerant_stability(
+            ds, r, tau=1, region=cone, n_samples=2_000, rng=rng_factory(76)
+        )
+        # Inside a tight cone around the inducing function, tolerance 1
+        # should capture (nearly) everything.
+        assert res.stability > 0.9
+
+    def test_incomplete_ranking_rejected(self, ds, rng):
+        with pytest.raises(InvalidRankingError):
+            tolerant_stability(
+                ds, Ranking([0, 1], n_items=8), tau=1, n_samples=10, rng=rng
+            )
+
+    def test_bad_k_rejected(self, ds, rng):
+        r = ScoringFunction.equal_weights(2).rank(ds)
+        with pytest.raises(InvalidRankingError):
+            tolerant_stability(ds, r, tau=0, k=99, n_samples=10, rng=rng)

@@ -1,0 +1,144 @@
+"""Tests for the stability/similarity trade-off frontier (Example 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.core.tradeoff import (
+    absolute_best_volumes,
+    most_stable_within,
+    stability_similarity_tradeoff,
+)
+from repro.errors import InvalidWeightsError
+from repro.geometry.angles import angle_between, as_unit_vector
+
+
+@pytest.fixture
+def csmetrics_like(rng):
+    from repro.datasets import csmetrics_dataset
+
+    return csmetrics_dataset(40, rng)
+
+
+class TestMostStableWithin:
+    def test_result_weights_inside_cone(self, paper_dataset):
+        reference = np.array([1.0, 1.0])
+        result = most_stable_within(paper_dataset, reference, 0.98)
+        weights = result.representative_weights
+        assert weights is not None
+        assert angle_between(weights, reference) <= math.acos(0.98) + 1e-9
+
+    def test_first_get_next_is_most_stable(self, paper_dataset):
+        # Searching deeper can never find a more stable ranking than the
+        # first GET-NEXT result in an exact engine.
+        reference = np.array([1.0, 1.0])
+        first = most_stable_within(paper_dataset, reference, 0.9)
+        deeper = most_stable_within(
+            paper_dataset, reference, 0.9, search_limit=5
+        )
+        assert deeper.stability == pytest.approx(first.stability)
+
+    def test_wider_cone_contains_at_least_as_much_volume(self, csmetrics_like):
+        reference = np.array([0.3, 0.7])
+        narrow = most_stable_within(csmetrics_like, reference, 0.999)
+        wide = most_stable_within(csmetrics_like, reference, 0.98)
+        from repro.geometry.spherical import cap_area
+
+        v_narrow = narrow.stability * cap_area(2, math.acos(0.999))
+        v_wide = wide.stability * cap_area(2, math.acos(0.98))
+        assert v_wide >= v_narrow - 1e-12
+
+    def test_rejects_bad_cosine(self, paper_dataset):
+        with pytest.raises(ValueError):
+            most_stable_within(paper_dataset, np.array([1.0, 1.0]), 1.5)
+        with pytest.raises(ValueError):
+            most_stable_within(paper_dataset, np.array([1.0, 1.0]), 0.0)
+
+
+class TestTradeoffFrontier:
+    def test_points_align_with_requested_cosines(self, csmetrics_like, rng):
+        cosines = (0.999, 0.99, 0.95)
+        points = stability_similarity_tradeoff(
+            csmetrics_like, np.array([0.3, 0.7]), cosines=cosines, rng=rng
+        )
+        assert [p.cosine for p in points] == list(cosines)
+        for p in points:
+            assert p.theta == pytest.approx(math.acos(p.cosine))
+
+    def test_best_at_least_reference(self, csmetrics_like, rng):
+        points = stability_similarity_tradeoff(
+            csmetrics_like,
+            np.array([0.3, 0.7]),
+            cosines=(0.999, 0.99),
+            rng=rng,
+        )
+        for p in points:
+            assert p.best.stability >= p.reference_stability - 1e-9
+
+    def test_displacement_zero_iff_same_ranking(self, csmetrics_like, rng):
+        points = stability_similarity_tradeoff(
+            csmetrics_like, np.array([0.3, 0.7]), cosines=(0.999,), rng=rng
+        )
+        p = points[0]
+        reference_ranking = p.best.ranking
+        if p.displacement == 0:
+            assert not p.moved_items
+        else:
+            assert p.moved_items
+            # Every reported move must be a real rank change.
+            for item, ref_rank, new_rank in p.moved_items:
+                assert ref_rank != new_rank
+
+    def test_absolute_volumes_monotone_in_theta(self, csmetrics_like, rng):
+        cosines = (0.9999, 0.999, 0.99, 0.97)
+        points = stability_similarity_tradeoff(
+            csmetrics_like, np.array([0.3, 0.7]), cosines=cosines, rng=rng
+        )
+        volumes = absolute_best_volumes(points, dim=2)
+        # cosines descend => thetas ascend => volumes must not shrink.
+        assert all(b >= a - 1e-12 for a, b in zip(volumes, volumes[1:]))
+
+    def test_md_engine_three_attributes(self, rng):
+        values = rng.random((25, 3))
+        dataset = Dataset(values)
+        reference = np.array([1.0, 1.0, 1.0])
+        points = stability_similarity_tradeoff(
+            dataset,
+            reference,
+            cosines=(0.999, 0.99),
+            engine="md",
+            rng=rng,
+            n_samples=2_000,
+        )
+        assert len(points) == 2
+        for p in points:
+            assert 0.0 <= p.best.stability <= 1.0
+            assert p.displacement >= 0  # md returns complete rankings
+
+    def test_rejects_wrong_weight_length(self, paper_dataset):
+        with pytest.raises(InvalidWeightsError):
+            stability_similarity_tradeoff(
+                paper_dataset, np.array([1.0, 1.0, 1.0]), cosines=(0.99,)
+            )
+
+    def test_moved_items_sorted_by_move_size(self, csmetrics_like, rng):
+        points = stability_similarity_tradeoff(
+            csmetrics_like, np.array([0.3, 0.7]), cosines=(0.95,), rng=rng
+        )
+        moves = points[0].moved_items
+        sizes = [abs(ref - new) for _, ref, new in moves]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestReferenceStability:
+    def test_exact_2d_reference_on_boundary_is_zero_or_positive(self, rng):
+        # Degenerate: two identical items make every ranking that splits
+        # them boundary-thin; the helper must not raise.
+        values = np.array([[0.5, 0.5], [0.5, 0.5], [0.1, 0.9]])
+        dataset = Dataset(values)
+        points = stability_similarity_tradeoff(
+            dataset, np.array([1.0, 1.0]), cosines=(0.99,), rng=rng
+        )
+        assert points[0].reference_stability >= 0.0

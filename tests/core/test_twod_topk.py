@@ -1,0 +1,236 @@
+"""Tests for exact 2D top-k stability (the kinetic-sweep extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cone, Dataset, GetNextRandomized
+from repro.core.twod_topk import enumerate_topk_2d, sweep_topk_2d, verify_topk_2d
+from repro.errors import InvalidRankingError
+
+
+def _brute_force_topk(values, k, kind, n_angles=20_000, lo=0.0, hi=np.pi / 2):
+    """Dense-angle-grid reference: key widths from midpoint sampling."""
+    angles = np.linspace(lo + 1e-9, hi - 1e-9, n_angles)
+    totals = {}
+    for angle in angles:
+        w = np.array([np.cos(angle), np.sin(angle)])
+        order = np.argsort(-(values @ w), kind="stable")[:k]
+        key = frozenset(order.tolist()) if kind == "set" else tuple(order.tolist())
+        totals[key] = totals.get(key, 0) + 1
+    return {key: count / n_angles for key, count in totals.items()}
+
+
+class TestSweepTopk2D:
+    @pytest.mark.parametrize("kind", ["set", "ranked"])
+    def test_stabilities_sum_to_one(self, paper_dataset, kind):
+        swept = sweep_topk_2d(paper_dataset, 3, kind=kind)
+        total = sum(s for s, _ in swept.values())
+        assert total == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kind", ["set", "ranked"])
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_matches_dense_grid(self, kind, k, rng_factory):
+        values = rng_factory(k * 7 + (kind == "set")).random((25, 2))
+        swept = sweep_topk_2d(Dataset(values), k, kind=kind)
+        reference = _brute_force_topk(values, k, kind)
+        assert set(swept) == set(reference)
+        for key, (stability, _) in swept.items():
+            assert stability == pytest.approx(reference[key], abs=5e-3)
+
+    def test_set_count_at_most_ranked_count(self, rng):
+        values = rng.random((30, 2))
+        dataset = Dataset(values)
+        sets = sweep_topk_2d(dataset, 5, kind="set")
+        ranked = sweep_topk_2d(dataset, 5, kind="ranked")
+        assert len(sets) <= len(ranked)
+
+    def test_set_stability_aggregates_ranked(self, rng):
+        # The stability of a top-k set is the sum over the ranked
+        # prefixes that realise it.
+        values = rng.random((20, 2))
+        dataset = Dataset(values)
+        sets = sweep_topk_2d(dataset, 4, kind="set")
+        ranked = sweep_topk_2d(dataset, 4, kind="ranked")
+        for key, (stability, _) in sets.items():
+            from_ranked = sum(
+                s for prefix, (s, _) in ranked.items() if frozenset(prefix) == key
+            )
+            assert stability == pytest.approx(from_ranked, abs=1e-9)
+
+    @pytest.mark.parametrize("kind", ["set", "ranked"])
+    def test_regions_are_connected_in_2d(self, kind):
+        # In 2D every pairwise "i outscores j" condition is a single
+        # angle interval, so a top-k region — the intersection of such
+        # conditions — is always connected.  (Only for d >= 3 can the
+        # functions sharing a top-k occupy disconnected cones, which is
+        # what blocks GET-NEXTmd there.)
+        for seed in range(10):
+            values = np.random.default_rng(seed).random((12, 2))
+            swept = sweep_topk_2d(Dataset(values), 3, kind=kind)
+            assert all(len(parts) == 1 for _, parts in swept.values())
+
+    def test_interval_widths_match_stability(self, paper_dataset):
+        swept = sweep_topk_2d(paper_dataset, 2, kind="set")
+        for key, (stability, parts) in swept.items():
+            width = sum(p.width for p in parts)
+            assert stability == pytest.approx(width / (np.pi / 2))
+
+    def test_cone_region(self, paper_dataset):
+        cone = Cone(np.array([1.0, 1.0]), 0.15)
+        swept = sweep_topk_2d(paper_dataset, 3, region=cone, kind="set")
+        total = sum(s for s, _ in swept.values())
+        assert total == pytest.approx(1.0)
+
+    def test_k_equals_n_single_set(self, paper_dataset):
+        swept = sweep_topk_2d(paper_dataset, 5, kind="set")
+        assert len(swept) == 1
+        ((stability, _),) = swept.values()
+        assert stability == pytest.approx(1.0)
+
+    def test_k_equals_n_ranked_matches_full_sweep(self, paper_dataset):
+        # With k = n the ranked sweep reproduces the 11 regions of
+        # Figure 1c (aggregated by ranking, all connected).
+        swept = sweep_topk_2d(paper_dataset, 5, kind="ranked")
+        assert len(swept) == 11
+
+    def test_rejects_bad_inputs(self, paper_dataset, rng):
+        with pytest.raises(ValueError):
+            sweep_topk_2d(paper_dataset, 0)
+        with pytest.raises(ValueError):
+            sweep_topk_2d(paper_dataset, 6)
+        with pytest.raises(ValueError):
+            sweep_topk_2d(paper_dataset, 2, kind="other")
+        with pytest.raises(ValueError):
+            sweep_topk_2d(Dataset(rng.random((5, 3))), 2)
+
+
+class TestEnumerateTopk2D:
+    def test_sorted_most_stable_first(self, rng):
+        values = rng.random((40, 2))
+        results = enumerate_topk_2d(Dataset(values), 5, kind="set")
+        stabilities = [r.stability for r in results]
+        assert stabilities == sorted(stabilities, reverse=True)
+
+    def test_agrees_with_randomized_estimates(self, rng):
+        values = rng.random((30, 2))
+        dataset = Dataset(values)
+        exact = enumerate_topk_2d(dataset, 5, kind="set")
+        engine = GetNextRandomized(dataset, kind="topk_set", k=5, rng=rng)
+        estimate = engine.get_next(budget=20_000)
+        top = exact[0]
+        assert estimate.top_k_set == top.top_k_set
+        assert estimate.stability == pytest.approx(top.stability, abs=0.02)
+
+    def test_set_results_carry_top_k_set(self, paper_dataset):
+        results = enumerate_topk_2d(paper_dataset, 3, kind="set")
+        for r in results:
+            assert r.top_k_set is not None
+            assert len(r.top_k_set) == 3
+
+
+class TestVerifyTopk2D:
+    def test_paper_example_top3(self, paper_dataset):
+        # Under f = x1 + x2 the top-3 is {t2, t4, t3}; it must have
+        # positive exact stability.
+        result = verify_topk_2d(paper_dataset, [1, 3, 2], kind="set")
+        assert result.stability > 0.0
+
+    def test_ranked_more_specific_than_set(self, paper_dataset):
+        set_result = verify_topk_2d(paper_dataset, [1, 3, 2], kind="set")
+        ranked_result = verify_topk_2d(paper_dataset, [1, 3, 2], kind="ranked")
+        assert set_result.stability >= ranked_result.stability - 1e-12
+
+    def test_infeasible_key_raises(self, paper_dataset):
+        # t1 (0.63, 0.71) is never in the top-1: t2 beats it for small
+        # angles, t5 for large ones... in fact t1 is dominated by
+        # nothing, so pick an impossible pair: {t1, t3} as top-2 set
+        # requires excluding both t2 and t5 somewhere — check and assert
+        # accordingly.
+        swept = sweep_topk_2d(paper_dataset, 1, kind="set")
+        infeasible_singletons = [
+            frozenset({i}) for i in range(5) if frozenset({i}) not in swept
+        ]
+        assert infeasible_singletons  # at least one item can never be top-1
+        with pytest.raises(InvalidRankingError):
+            verify_topk_2d(
+                paper_dataset, sorted(infeasible_singletons[0]), kind="set"
+            )
+
+    def test_duplicate_items_rejected(self, paper_dataset):
+        with pytest.raises(InvalidRankingError):
+            verify_topk_2d(paper_dataset, [1, 1], kind="set")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    k=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_sweep_partitions_the_region(n, k, seed):
+    """Stabilities are positive and sum to 1 for both kinds."""
+    rng = np.random.default_rng(seed)
+    values = rng.random((n, 2))
+    k = min(k, n)
+    for kind in ("set", "ranked"):
+        swept = sweep_topk_2d(Dataset(values), k, kind=kind)
+        total = sum(s for s, _ in swept.values())
+        assert total == pytest.approx(1.0)
+        assert all(s > 0 for s, _ in swept.values())
+
+
+class TestDegenerateDataRegression:
+    """Catalog-shaped data regression: attribute ties and near-ties.
+
+    The Blue Nile 2D projection mixes exact one-attribute ties (which
+    make `exchange_angle_2d` report degenerate boundary angles) with
+    near-ties whose exchange angles sit below float nudge resolution.
+    An early implementation livelocked on the former and silently
+    corrupted the sweep order on the latter; this pins both fixes.
+    """
+
+    def _catalog(self, n):
+        from repro.datasets import bluenile_dataset
+
+        rng = np.random.default_rng(20181218)
+        return bluenile_dataset(n, rng).project([0, 1])
+
+    def test_matches_dense_grid_on_catalog(self):
+        dataset = self._catalog(150)
+        swept = sweep_topk_2d(dataset, 10, kind="set")
+        reference = _brute_force_topk(dataset.values, 10, "set", n_angles=4_000)
+        assert set(swept) == set(reference)
+        for key, (stability, _) in swept.items():
+            assert stability == pytest.approx(reference[key], abs=2e-3)
+
+    def test_terminates_with_exact_attribute_ties(self):
+        # Exact ties in one attribute create dominating pairs whose
+        # exchange degenerates to the boundary; the sweep must not
+        # revisit them.
+        values = np.array(
+            [
+                [0.5, 0.9], [0.5, 0.7], [0.5, 0.3],  # x1-tied chain
+                [0.9, 0.5], [0.7, 0.5], [0.3, 0.5],  # x2-tied chain
+                [0.6, 0.6],
+            ]
+        )
+        swept = sweep_topk_2d(Dataset(values), 3, kind="set")
+        total = sum(s for s, _ in swept.values())
+        assert total == pytest.approx(1.0)
+
+    def test_sub_resolution_exchange_angles(self):
+        # Two items whose exchange angle is ~1e-13: the initial order
+        # must account for it exactly rather than double-counting it
+        # as an event.
+        values = np.array(
+            [
+                [0.8, 0.10000000000001],
+                [0.8000000000000001, 0.1],
+                [0.5, 0.5],
+            ]
+        )
+        swept = sweep_topk_2d(Dataset(values), 1, kind="set")
+        total = sum(s for s, _ in swept.values())
+        assert total == pytest.approx(1.0)

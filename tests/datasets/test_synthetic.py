@@ -1,0 +1,83 @@
+"""Unit tests for the synthetic dataset families (section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    anticorrelated_dataset,
+    correlated_dataset,
+    independent_dataset,
+    synthetic_dataset,
+)
+
+
+def _mean_pairwise_correlation(values):
+    corr = np.corrcoef(values.T)
+    d = corr.shape[0]
+    off = corr[~np.eye(d, dtype=bool)]
+    return float(off.mean())
+
+
+class TestShapes:
+    @pytest.mark.parametrize("family", ["independent", "correlated", "anticorrelated"])
+    def test_shape_and_range(self, family, rng):
+        ds = synthetic_dataset(family, 500, 3, rng)
+        assert ds.n_items == 500
+        assert ds.n_attributes == 3
+        assert ds.values.min() >= 0.0
+        assert ds.values.max() <= 1.0
+
+    def test_unknown_family(self, rng):
+        with pytest.raises(ValueError):
+            synthetic_dataset("weird", 10, 2, rng)
+
+    def test_rejects_bad_sizes(self, rng):
+        with pytest.raises(ValueError):
+            independent_dataset(0, 3, rng)
+        with pytest.raises(ValueError):
+            correlated_dataset(10, 1, rng)
+
+    def test_deterministic_under_seed(self, rng_factory):
+        a = independent_dataset(50, 3, rng_factory(1))
+        b = independent_dataset(50, 3, rng_factory(1))
+        assert np.array_equal(a.values, b.values)
+
+
+class TestCorrelationStructure:
+    def test_correlated_positive(self, rng):
+        ds = correlated_dataset(3000, 3, rng)
+        assert _mean_pairwise_correlation(ds.values) > 0.5
+
+    def test_anticorrelated_negative(self, rng):
+        ds = anticorrelated_dataset(3000, 3, rng)
+        assert _mean_pairwise_correlation(ds.values) < -0.2
+
+    def test_independent_near_zero(self, rng):
+        ds = independent_dataset(3000, 3, rng)
+        assert abs(_mean_pairwise_correlation(ds.values)) < 0.06
+
+    def test_ordering_of_families(self, rng):
+        corr = _mean_pairwise_correlation(correlated_dataset(2000, 3, rng).values)
+        ind = _mean_pairwise_correlation(independent_dataset(2000, 3, rng).values)
+        anti = _mean_pairwise_correlation(anticorrelated_dataset(2000, 3, rng).values)
+        assert corr > ind > anti
+
+    def test_correlated_spread_parameter(self, rng_factory):
+        tight = correlated_dataset(2000, 3, rng_factory(2), spread=0.02)
+        loose = correlated_dataset(2000, 3, rng_factory(2), spread=0.3)
+        assert _mean_pairwise_correlation(tight.values) > _mean_pairwise_correlation(
+            loose.values
+        )
+
+
+class TestFigure21Preconditions:
+    def test_skyline_size_ordering(self, rng):
+        # The mechanism behind Figure 21: correlation -> dominance ->
+        # small skyline -> few feasible rankings -> skewed stability.
+        from repro.operators import skyline
+
+        sizes = {}
+        for family in ("correlated", "independent", "anticorrelated"):
+            ds = synthetic_dataset(family, 400, 3, rng)
+            sizes[family] = len(skyline(ds.values))
+        assert sizes["correlated"] < sizes["independent"] < sizes["anticorrelated"]

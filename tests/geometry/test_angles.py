@@ -1,0 +1,160 @@
+"""Unit tests for polar-angle conversion and similarity helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidWeightsError
+from repro.geometry.angles import (
+    angle_between,
+    angle_to_cosine,
+    angles_to_weights,
+    as_unit_vector,
+    cosine_similarity,
+    cosine_to_angle,
+    validate_weights,
+    weights_to_angles,
+)
+
+
+class TestValidateWeights:
+    def test_accepts_valid_vector(self):
+        w = validate_weights([1.0, 2.0, 3.0])
+        assert w.dtype == np.float64
+        assert w.tolist() == [1.0, 2.0, 3.0]
+
+    def test_returns_copy(self):
+        src = np.array([1.0, 1.0])
+        w = validate_weights(src)
+        w[0] = 99.0
+        assert src[0] == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidWeightsError):
+            validate_weights([1.0, -0.1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(InvalidWeightsError):
+            validate_weights([0.0, 0.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidWeightsError):
+            validate_weights([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidWeightsError):
+            validate_weights([1.0, float("inf")])
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(InvalidWeightsError):
+            validate_weights([1.0, 2.0], dim=3)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(InvalidWeightsError):
+            validate_weights(1.0)
+
+    def test_rejects_single_attribute(self):
+        with pytest.raises(InvalidWeightsError):
+            validate_weights([1.0])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(InvalidWeightsError):
+            validate_weights([[1.0, 2.0]])
+
+
+class TestUnitVector:
+    def test_normalises(self):
+        u = as_unit_vector(np.array([3.0, 4.0]))
+        assert np.allclose(u, [0.6, 0.8])
+
+    def test_unit_unchanged(self):
+        u = as_unit_vector(np.array([0.0, 1.0]))
+        assert np.allclose(u, [0.0, 1.0])
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidWeightsError):
+            as_unit_vector(np.zeros(3))
+
+
+class TestAngleRoundTrip:
+    def test_2d_diagonal(self):
+        angles = weights_to_angles(np.array([1.0, 1.0]))
+        assert angles.shape == (1,)
+        assert math.isclose(angles[0], math.pi / 4)
+
+    def test_2d_axes(self):
+        # theta measured from x2 axis in our convention.
+        assert math.isclose(weights_to_angles(np.array([0.0, 1.0]))[0], 0.0)
+        assert math.isclose(
+            weights_to_angles(np.array([1.0, 0.0]))[0], math.pi / 2
+        )
+
+    def test_3d_diagonal_round_trip(self):
+        w = np.array([1.0, 1.0, 1.0])
+        u = angles_to_weights(weights_to_angles(w))
+        assert np.allclose(u, w / np.linalg.norm(w))
+
+    @pytest.mark.parametrize("dim", [2, 3, 4, 5, 7])
+    def test_round_trip_random(self, dim, rng):
+        for _ in range(25):
+            w = rng.uniform(0.01, 1.0, size=dim)
+            u = angles_to_weights(weights_to_angles(w))
+            assert np.allclose(u, w / np.linalg.norm(w), atol=1e-10)
+
+    def test_round_trip_with_zeros(self):
+        w = np.array([0.0, 0.5, 0.0, 0.5])
+        u = angles_to_weights(weights_to_angles(w))
+        assert np.allclose(u, w / np.linalg.norm(w), atol=1e-10)
+
+    def test_angles_in_range(self, rng):
+        for _ in range(25):
+            w = rng.uniform(0.0, 1.0, size=4) + 1e-9
+            angles = weights_to_angles(w)
+            assert np.all(angles >= 0.0)
+            assert np.all(angles <= math.pi / 2 + 1e-12)
+
+    def test_rejects_out_of_range_angles(self):
+        with pytest.raises(InvalidWeightsError):
+            angles_to_weights(np.array([math.pi]))
+
+    def test_rejects_negative_angles(self):
+        with pytest.raises(InvalidWeightsError):
+            angles_to_weights(np.array([-0.1]))
+
+    def test_rejects_empty_angles(self):
+        with pytest.raises(InvalidWeightsError):
+            angles_to_weights(np.array([]))
+
+
+class TestSimilarity:
+    def test_cosine_identical_rays(self):
+        assert math.isclose(
+            cosine_similarity(np.array([1.0, 1.0]), np.array([2.0, 2.0])), 1.0
+        )
+
+    def test_cosine_orthogonal(self):
+        assert math.isclose(
+            cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])),
+            0.0,
+            abs_tol=1e-12,
+        )
+
+    def test_angle_between_diagonal_and_axis(self):
+        a = angle_between(np.array([1.0, 1.0]), np.array([1.0, 0.0]))
+        assert math.isclose(a, math.pi / 4)
+
+    def test_cosine_angle_inverse(self):
+        for cos in (0.5, 0.9, 0.998, 1.0):
+            assert math.isclose(angle_to_cosine(cosine_to_angle(cos)), cos)
+
+    def test_paper_quoted_equivalences(self):
+        # Section 6.2: "0.998 cosine similarity (theta = pi/50)"; the
+        # pi/100 pairing with 0.999 in the same section is rounded more
+        # loosely (cos(pi/100) = 0.99951), so we only assert the tighter one.
+        assert math.isclose(cosine_to_angle(0.998), math.pi / 50, rel_tol=0.01)
+        assert angle_to_cosine(math.pi / 100) > 0.999
+
+    def test_cosine_to_angle_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            cosine_to_angle(1.5)

@@ -1,0 +1,166 @@
+"""Unit tests for the lazy arrangement with sample partitioning (§5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.arrangement import Arrangement
+from repro.sampling.uniform import sample_orthant
+
+
+def _make(rng, n_hyperplanes=4, n_samples=2000, dim=3):
+    hyperplanes = rng.normal(size=(n_hyperplanes, dim))
+    samples = sample_orthant(dim, n_samples, rng)
+    return Arrangement(hyperplanes, samples)
+
+
+class TestConstruction:
+    def test_root_region_covers_pool(self, rng):
+        arr = _make(rng)
+        root = arr.root_region()
+        assert root.sample_begin == 0
+        assert root.sample_end == arr.total_samples
+        assert root.stability_estimate(arr.total_samples) == 1.0
+        assert root.pending == 0
+
+    def test_rejects_empty_pool(self, rng):
+        with pytest.raises(ValueError):
+            Arrangement(rng.normal(size=(2, 3)), np.empty((0, 3)))
+
+    def test_rejects_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Arrangement(rng.normal(size=(2, 3)), rng.normal(size=(10, 4)))
+
+    def test_rejects_1d_inputs(self, rng):
+        with pytest.raises(ValueError):
+            Arrangement(rng.normal(size=3), rng.normal(size=(10, 3)))
+
+
+class TestPartition:
+    def test_split_preserves_sample_multiset(self, rng):
+        arr = _make(rng)
+        before = np.sort(arr.samples.copy(), axis=0)
+        root = arr.root_region()
+        k = arr.next_intersecting_hyperplane(root)
+        assert k is not None
+        arr.partition(root, k)
+        after = np.sort(arr.samples, axis=0)
+        assert np.allclose(before, after)
+
+    def test_children_partition_parent_slice(self, rng):
+        arr = _make(rng)
+        root = arr.root_region()
+        k = arr.next_intersecting_hyperplane(root)
+        left, right = arr.partition(root, k)
+        assert left.sample_begin == root.sample_begin
+        assert left.sample_end == right.sample_begin
+        assert right.sample_end == root.sample_end
+        assert left.sample_count() + right.sample_count() == root.sample_count()
+
+    def test_children_sides_are_correct(self, rng):
+        arr = _make(rng)
+        root = arr.root_region()
+        k = arr.next_intersecting_hyperplane(root)
+        left, right = arr.partition(root, k)
+        normal = arr.hyperplanes[k]
+        left_block = arr.samples[left.sample_begin : left.sample_end]
+        right_block = arr.samples[right.sample_begin : right.sample_end]
+        assert np.all(left_block @ normal <= 0.0)
+        assert np.all(right_block @ normal > 0.0)
+
+    def test_children_cones_gain_halfspace(self, rng):
+        arr = _make(rng)
+        root = arr.root_region()
+        k = arr.next_intersecting_hyperplane(root)
+        left, right = arr.partition(root, k)
+        assert len(left.cone) == len(root.cone) + 1
+        assert len(right.cone) == len(root.cone) + 1
+        assert left.pending == k + 1
+        assert right.pending == k + 1
+
+    def test_stability_estimates_sum_to_parent(self, rng):
+        arr = _make(rng)
+        root = arr.root_region()
+        k = arr.next_intersecting_hyperplane(root)
+        left, right = arr.partition(root, k)
+        total = arr.total_samples
+        assert (
+            left.stability_estimate(total) + right.stability_estimate(total)
+            == root.stability_estimate(total)
+        )
+
+    def test_non_intersecting_returns_none(self, rng):
+        # A hyperplane with all-positive normal never splits the orthant.
+        samples = sample_orthant(3, 500, rng)
+        arr = Arrangement(np.array([[1.0, 1.0, 1.0]]), samples)
+        assert arr.partition(arr.root_region(), 0) is None
+
+    def test_out_of_range_hyperplane_index(self, rng):
+        arr = _make(rng)
+        with pytest.raises(IndexError):
+            arr.partition(arr.root_region(), 99)
+
+    def test_min_split_samples_respected(self, rng):
+        hyperplanes = rng.normal(size=(1, 3))
+        samples = sample_orthant(3, 40, rng)
+        arr = Arrangement(hyperplanes, samples, min_split_samples=30)
+        # Even a genuinely intersecting hyperplane cannot split 40 samples
+        # into two sides of >= 30.
+        assert arr.partition(arr.root_region(), 0) is None
+
+
+class TestNextIntersecting:
+    def test_skips_missing_hyperplanes(self, rng):
+        samples = sample_orthant(3, 1000, rng)
+        hyperplanes = np.array(
+            [
+                [1.0, 1.0, 1.0],   # never splits the orthant
+                [1.0, -1.0, 0.0],  # splits it
+            ]
+        )
+        arr = Arrangement(hyperplanes, samples)
+        root = arr.root_region()
+        assert arr.next_intersecting_hyperplane(root) == 1
+        assert root.pending == 1  # advanced past the miss
+
+    def test_none_when_exhausted(self, rng):
+        samples = sample_orthant(3, 500, rng)
+        arr = Arrangement(np.array([[1.0, 1.0, 1.0]]), samples)
+        root = arr.root_region()
+        assert arr.next_intersecting_hyperplane(root) is None
+        assert root.pending == arr.n_hyperplanes
+
+
+class TestRepresentativePoint:
+    def test_point_inside_region(self, rng):
+        arr = _make(rng)
+        root = arr.root_region()
+        k = arr.next_intersecting_hyperplane(root)
+        left, right = arr.partition(root, k)
+        for region in (left, right):
+            p = arr.representative_point(region)
+            assert np.isclose(np.linalg.norm(p), 1.0)
+            assert region.cone.contains(p)
+
+    def test_full_refinement_keeps_consistency(self, rng):
+        # Fully refine: every leaf's samples all lie inside its cone.
+        arr = _make(rng, n_hyperplanes=5, n_samples=3000)
+        stack = [arr.root_region()]
+        leaves = []
+        while stack:
+            region = stack.pop()
+            k = arr.next_intersecting_hyperplane(region)
+            if k is None:
+                leaves.append(region)
+                continue
+            split = arr.partition(region, k)
+            if split is None:
+                region.pending = k + 1
+                stack.append(region)
+            else:
+                stack.extend(split)
+        assert sum(leaf.sample_count() for leaf in leaves) == arr.total_samples
+        for leaf in leaves:
+            block = arr.samples[leaf.sample_begin : leaf.sample_end]
+            # Strict containment can fail only on boundary-exact samples,
+            # which have probability zero.
+            assert leaf.cone.contains_all(block).all()

@@ -1,0 +1,160 @@
+"""Unit tests for the dual-space machinery (Equations 1, 5-7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.dual import (
+    dominates,
+    dual_hyperplane_value,
+    exchange_angle_2d,
+    exchange_hyperplane,
+    pairwise_exchange_hyperplanes,
+)
+
+
+class TestDualHyperplane:
+    def test_score_reciprocal_relation(self):
+        # d(t) meets the ray of w at (1/f_w(t)) * w  (section 2.1.2): the
+        # dual value at that point is exactly 1.
+        t = np.array([0.83, 0.65])
+        w = np.array([1.0, 1.0])
+        score = float(t @ w)
+        intersection = w / score
+        assert math.isclose(dual_hyperplane_value(t, intersection), 1.0)
+
+    def test_value_is_score_at_weights(self):
+        t = np.array([0.2, 0.3, 0.5])
+        w = np.array([1.0, 2.0, 0.5])
+        assert math.isclose(dual_hyperplane_value(t, w), 0.2 + 0.6 + 0.25)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates(np.array([0.9, 0.9]), np.array([0.5, 0.5]))
+
+    def test_partial_not_dominating(self):
+        assert not dominates(np.array([0.9, 0.1]), np.array([0.1, 0.9]))
+
+    def test_equal_items_do_not_dominate(self):
+        t = np.array([0.5, 0.5])
+        assert not dominates(t, t)
+
+    def test_dominance_one_attribute_margin(self):
+        assert dominates(np.array([0.5, 0.6]), np.array([0.5, 0.5]))
+
+    def test_asymmetry(self):
+        a, b = np.array([0.9, 0.9]), np.array([0.5, 0.5])
+        assert dominates(a, b) and not dominates(b, a)
+
+    def test_tolerance(self):
+        a, b = np.array([0.5, 0.5]), np.array([0.505, 0.2])
+        assert not dominates(a, b)
+        assert dominates(a, b, tol=0.01)
+
+    def test_dominated_pairs_never_exchange(self, rng):
+        # If t dominates t', t scores higher under every positive weight.
+        for _ in range(50):
+            t = rng.uniform(0.3, 1.0, size=3)
+            t_prime = t - rng.uniform(0.01, 0.2, size=3)
+            w = rng.uniform(0.01, 1.0, size=3)
+            assert dominates(t, t_prime)
+            assert float(t @ w) > float(t_prime @ w)
+
+
+class TestExchangeHyperplane:
+    def test_normal_is_difference(self):
+        ti, tj = np.array([0.8, 0.2, 0.1]), np.array([0.1, 0.6, 0.3])
+        assert np.allclose(exchange_hyperplane(ti, tj), ti - tj)
+
+    def test_positive_halfspace_ranks_ti_higher(self, rng):
+        for _ in range(50):
+            ti = rng.uniform(0.0, 1.0, size=4)
+            tj = rng.uniform(0.0, 1.0, size=4)
+            h = exchange_hyperplane(ti, tj)
+            w = rng.uniform(0.0, 1.0, size=4)
+            value = float(h @ w)
+            if value > 0:
+                assert float(ti @ w) > float(tj @ w)
+            elif value < 0:
+                assert float(ti @ w) < float(tj @ w)
+
+
+class TestExchangeAngle2D:
+    def test_paper_formula(self):
+        # Equation 6 on t1, t4 of the running example.
+        t1, t4 = np.array([0.63, 0.71]), np.array([0.70, 0.68])
+        theta = exchange_angle_2d(t1, t4)
+        expected = math.atan((0.70 - 0.63) / (0.71 - 0.68))
+        assert math.isclose(theta, expected)
+
+    def test_symmetric_in_pair(self):
+        a, b = np.array([0.6, 0.7]), np.array([0.8, 0.5])
+        assert math.isclose(exchange_angle_2d(a, b), exchange_angle_2d(b, a))
+
+    def test_scores_tie_at_exchange(self, rng):
+        for _ in range(50):
+            a = rng.uniform(0.0, 1.0, size=2)
+            b = np.array([a[0] + 0.1, a[1] - 0.07])  # guaranteed non-dominating
+            theta = exchange_angle_2d(a, b)
+            w = np.array([math.cos(theta), math.sin(theta)])
+            assert math.isclose(float(a @ w), float(b @ w), abs_tol=1e-12)
+
+    def test_order_flips_across_exchange(self):
+        a, b = np.array([0.5, 0.8]), np.array([0.8, 0.5])
+        theta = exchange_angle_2d(a, b)
+        before = np.array([math.cos(theta - 0.01), math.sin(theta - 0.01)])
+        after = np.array([math.cos(theta + 0.01), math.sin(theta + 0.01)])
+        assert (float(a @ before) > float(b @ before)) != (
+            float(a @ after) > float(b @ after)
+        )
+
+    def test_identical_items_raise(self):
+        t = np.array([0.5, 0.5])
+        with pytest.raises(ValueError):
+            exchange_angle_2d(t, t.copy())
+
+    def test_dominating_pair_raises(self):
+        with pytest.raises(ValueError):
+            exchange_angle_2d(np.array([0.9, 0.9]), np.array([0.1, 0.1]))
+
+    def test_angle_in_quadrant(self, rng):
+        for _ in range(50):
+            a = rng.uniform(0.1, 0.9, size=2)
+            b = np.array([a[0] + 0.05, a[1] - 0.05])
+            theta = exchange_angle_2d(a, b)
+            assert 0.0 <= theta <= math.pi / 2
+
+
+class TestPairwiseExchangeHyperplanes:
+    def test_counts_exclude_dominating_pairs(self):
+        values = np.array(
+            [
+                [0.9, 0.9],  # dominates the others
+                [0.5, 0.4],
+                [0.4, 0.5],
+            ]
+        )
+        normals, pairs = pairwise_exchange_hyperplanes(values)
+        # Only the (1, 2) pair is non-dominating.
+        assert normals.shape == (1, 2)
+        assert pairs.tolist() == [[1, 2]]
+
+    def test_normals_match_item_differences(self, rng):
+        values = rng.uniform(0.0, 1.0, size=(10, 3))
+        normals, pairs = pairwise_exchange_hyperplanes(values)
+        for normal, (i, j) in zip(normals, pairs):
+            assert np.allclose(normal, values[i] - values[j])
+
+    def test_identical_items_produce_no_hyperplane(self):
+        values = np.array([[0.5, 0.5], [0.5, 0.5]])
+        normals, pairs = pairwise_exchange_hyperplanes(values)
+        assert normals.shape[0] == 0
+
+    def test_paper_example_count(self, paper_values):
+        # All 10 pairs of the running example are comparable by x1/x2
+        # trade-off except dominating ones; Figure 1c shows 10 exchange
+        # rays bounding 11 regions, so exactly 10 non-dominating pairs.
+        normals, _ = pairwise_exchange_hyperplanes(paper_values)
+        assert normals.shape[0] == 10

@@ -1,0 +1,194 @@
+"""Unit tests for halfspaces and convex cones."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleRegionError
+from repro.geometry.halfspace import ConvexCone, Halfspace
+
+
+class TestHalfspace:
+    def test_contains_positive_side(self):
+        h = Halfspace((1.0, -1.0), +1)
+        assert h.contains(np.array([2.0, 1.0]))
+        assert not h.contains(np.array([1.0, 2.0]))
+
+    def test_sign_flips_membership(self):
+        h = Halfspace((1.0, -1.0), -1)
+        assert h.contains(np.array([1.0, 2.0]))
+        assert not h.contains(np.array([2.0, 1.0]))
+
+    def test_boundary_excluded_when_strict(self):
+        h = Halfspace((1.0, -1.0), +1)
+        assert not h.contains(np.array([1.0, 1.0]), strict=True)
+        assert h.contains(np.array([1.0, 1.0]), strict=False)
+
+    def test_flipped(self):
+        h = Halfspace((1.0, 0.0), +1)
+        assert h.flipped().sign == -1
+        assert h.flipped().flipped() == h
+
+    def test_contains_all_vectorised(self, rng):
+        h = Halfspace((0.3, -0.7, 0.2), +1)
+        pts = rng.normal(size=(100, 3))
+        mask = h.contains_all(pts)
+        for point, expected in zip(pts, mask):
+            assert h.contains(point) == bool(expected)
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            Halfspace((1.0, 0.0), 0)
+
+    def test_membership_scale_invariant(self, rng):
+        h = Halfspace((0.5, -0.5), +1)
+        for _ in range(20):
+            p = rng.normal(size=2)
+            for scale in (0.01, 1.0, 1000.0):
+                assert h.contains(p) == h.contains(p * scale)
+
+
+class TestConvexCone:
+    def test_empty_cone_is_whole_space(self, rng):
+        cone = ConvexCone(dim=3)
+        assert cone.contains(rng.normal(size=3))
+        assert cone.contains_all(rng.normal(size=(10, 3))).all()
+
+    def test_needs_dim_when_empty(self):
+        with pytest.raises(ValueError):
+            ConvexCone()
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ConvexCone([Halfspace((1.0, 0.0)), Halfspace((1.0, 0.0, 0.0))])
+
+    def test_dim_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            ConvexCone([Halfspace((1.0, 0.0))], dim=3)
+
+    def test_intersection_membership(self):
+        # w1 > w2 and w2 > w3: the cone of decreasing weights.
+        cone = ConvexCone(
+            [Halfspace((1.0, -1.0, 0.0), +1), Halfspace((0.0, 1.0, -1.0), +1)]
+        )
+        assert cone.contains(np.array([3.0, 2.0, 1.0]))
+        assert not cone.contains(np.array([1.0, 2.0, 3.0]))
+        assert not cone.contains(np.array([2.0, 3.0, 1.0]))
+
+    def test_with_halfspace_does_not_mutate(self):
+        cone = ConvexCone(dim=2)
+        refined = cone.with_halfspace(Halfspace((1.0, -1.0), +1))
+        assert len(cone) == 0
+        assert len(refined) == 1
+
+    def test_with_halfspace_dim_mismatch(self):
+        cone = ConvexCone(dim=2)
+        with pytest.raises(ValueError):
+            cone.with_halfspace(Halfspace((1.0, 0.0, 0.0), +1))
+
+    def test_contains_all_matches_scalar(self, rng):
+        cone = ConvexCone(
+            [Halfspace((1.0, -0.5, 0.2), +1), Halfspace((-0.3, 1.0, -0.1), +1)]
+        )
+        pts = rng.normal(size=(200, 3))
+        mask = cone.contains_all(pts)
+        for point, expected in zip(pts, mask):
+            assert cone.contains(point) == bool(expected)
+
+
+class TestInteriorPoint:
+    def test_whole_orthant(self):
+        cone = ConvexCone(dim=3)
+        p = cone.interior_point()
+        assert np.all(p >= 0)
+        assert np.isclose(np.linalg.norm(p), 1.0)
+
+    def test_interior_point_satisfies_constraints(self, rng):
+        cone = ConvexCone(
+            [Halfspace((1.0, -1.0, 0.0), +1), Halfspace((0.0, 1.0, -1.0), +1)]
+        )
+        p = cone.interior_point()
+        assert cone.contains(p)
+        assert np.all(p >= -1e-12)
+
+    def test_infeasible_raises(self):
+        # w1 > w2 and w2 > w1 simultaneously.
+        cone = ConvexCone(
+            [Halfspace((1.0, -1.0), +1), Halfspace((1.0, -1.0), -1)]
+        )
+        with pytest.raises(InfeasibleRegionError):
+            cone.interior_point()
+
+    def test_is_feasible(self):
+        good = ConvexCone([Halfspace((1.0, -1.0), +1)])
+        bad = ConvexCone([Halfspace((1.0, -1.0), +1), Halfspace((1.0, -1.0), -1)])
+        assert good.is_feasible()
+        assert not bad.is_feasible()
+
+    def test_orthant_infeasible_constraint(self):
+        # w1 + w2 < 0 can't hold with non-negative weights.
+        cone = ConvexCone([Halfspace((1.0, 1.0), -1)])
+        assert not cone.is_feasible(nonnegative=True)
+
+
+class TestIntersectsHyperplane:
+    def test_diagonal_splits_orthant(self):
+        cone = ConvexCone(dim=2)
+        assert cone.intersects_hyperplane(np.array([1.0, -1.0]))
+
+    def test_hyperplane_missing_cone(self):
+        # Restrict to w1 > 2*w2; the w1 = w2 hyperplane misses it.
+        cone = ConvexCone([Halfspace((1.0, -2.0), +1)])
+        assert not cone.intersects_hyperplane(np.array([1.0, -1.0]))
+
+    def test_matches_sample_straddle(self, rng):
+        cone = ConvexCone([Halfspace((1.0, -1.0, 0.0), +1)])
+        normal = np.array([0.0, 1.0, -1.0])
+        assert cone.intersects_hyperplane(normal)
+
+
+class TestBoundingCap:
+    def test_full_orthant_cap(self):
+        cone = ConvexCone(dim=3)
+        ray, angle = cone.bounding_cap()
+        assert np.allclose(ray, np.full(3, 1 / np.sqrt(3)))
+        assert np.isclose(angle, np.arccos(1 / np.sqrt(3)))
+
+    def test_cap_from_samples_contains_them(self, rng):
+        cone = ConvexCone([Halfspace((1.0, -1.0, 0.0), +1)])
+        pts = np.abs(rng.normal(size=(200, 3)))
+        pts = pts[cone.contains_all(pts)]
+        ray, angle = cone.bounding_cap(pts)
+        dirs = pts / np.linalg.norm(pts, axis=1, keepdims=True)
+        cosines = dirs @ ray
+        assert np.all(np.arccos(np.clip(cosines, -1, 1)) <= angle + 1e-9)
+
+    def test_cap_padding_covers_beyond_samples(self, rng):
+        # The sample-derived cap is inflated so near-boundary directions
+        # the samples happened to miss still fall inside the proposal.
+        from repro.sampling.cap import sample_cap
+
+        axis = np.array([1.0, 1.0, 1.0]) / np.sqrt(3)
+        theta = 0.25
+        cone = ConvexCone(dim=3)
+        # Samples only from the inner 80% of the true cap.
+        inner = sample_cap(axis, theta * 0.8, 300, rng)
+        ray, angle = cone.bounding_cap(inner)
+        # With the default pad the cap must cover the full true theta.
+        assert float(ray @ axis) > 0.99
+        assert angle >= theta * 0.8  # at least the sampled spread
+        assert angle >= 0.8 * theta * 1.2  # pad of 1.25 clipped sanely
+
+    def test_cap_angle_never_absurd(self, rng):
+        cone = ConvexCone(dim=4)
+        pts = np.abs(rng.normal(size=(50, 4)))
+        _, angle = cone.bounding_cap(pts)
+        orthant_angle = float(np.arccos(1 / np.sqrt(4)))
+        assert 0.0 < angle <= orthant_angle + np.pi / 2
+
+    def test_degenerate_samples_fall_back_to_orthant(self):
+        cone = ConvexCone(dim=2)
+        # Antipodal directions: no cap exists; must fall back.
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        ray, angle = cone.bounding_cap(pts)
+        assert np.allclose(ray, np.full(2, 1 / np.sqrt(2)))
+        assert np.isclose(angle, np.pi / 4)

@@ -1,0 +1,152 @@
+"""Tests for Welzl's smallest enclosing ball and direction bounding caps."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.minball import Ball, bounding_cap_of_directions, min_enclosing_ball
+
+
+def _brute_force_radius(points, centres=400, rng=None):
+    """Lower-bound check: no candidate centre does much better."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    best = np.inf
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    for _ in range(centres):
+        c = rng.uniform(lo, hi)
+        best = min(best, float(np.linalg.norm(points - c, axis=1).max()))
+    return best
+
+
+class TestBall:
+    def test_contains_with_tolerance(self):
+        ball = Ball(np.zeros(2), 1.0)
+        assert ball.contains(np.array([1.0, 0.0]))
+        assert ball.contains(np.array([1.0 + 1e-10, 0.0]))
+        assert not ball.contains(np.array([1.1, 0.0]))
+
+
+class TestMinEnclosingBall:
+    def test_single_point(self):
+        ball = min_enclosing_ball(np.array([[2.0, 3.0]]))
+        assert ball.radius == 0.0
+        assert np.allclose(ball.centre, [2.0, 3.0])
+
+    def test_two_points_diameter(self):
+        ball = min_enclosing_ball(np.array([[0.0, 0.0], [2.0, 0.0]]))
+        assert ball.radius == pytest.approx(1.0)
+        assert np.allclose(ball.centre, [1.0, 0.0])
+
+    def test_equilateral_triangle_circumcircle(self):
+        pts = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [0.5, math.sqrt(3) / 2]]
+        )
+        ball = min_enclosing_ball(pts)
+        # Circumradius of a unit equilateral triangle is 1/sqrt(3).
+        assert ball.radius == pytest.approx(1 / math.sqrt(3), abs=1e-9)
+
+    def test_obtuse_triangle_uses_diameter(self):
+        # For an obtuse triangle the min ball is the longest side's
+        # diameter circle, NOT the circumcircle.
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [2.0, 0.1]])
+        ball = min_enclosing_ball(pts)
+        assert ball.radius == pytest.approx(2.0, abs=1e-9)
+        assert np.allclose(ball.centre, [2.0, 0.0], atol=1e-9)
+
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_contains_all_random(self, d, rng_factory):
+        for seed in range(4):
+            pts = rng_factory(seed).normal(size=(100, d))
+            ball = min_enclosing_ball(pts)
+            assert ball.contains_all(pts)
+
+    def test_near_optimal_vs_brute_force(self, rng):
+        pts = rng.normal(size=(60, 3))
+        ball = min_enclosing_ball(pts)
+        assert ball.radius <= _brute_force_radius(pts, rng=rng) + 1e-9
+
+    def test_duplicated_points(self):
+        pts = np.array([[1.0, 1.0]] * 8 + [[3.0, 1.0]] * 8)
+        ball = min_enclosing_ball(pts)
+        assert ball.radius == pytest.approx(1.0)
+
+    def test_points_on_sphere(self, rng):
+        # Points on a known sphere: the enclosing ball cannot exceed it.
+        raw = rng.normal(size=(200, 3))
+        pts = raw / np.linalg.norm(raw, axis=1, keepdims=True)
+        ball = min_enclosing_ball(pts)
+        assert ball.radius <= 1.0 + 1e-9
+        assert np.linalg.norm(ball.centre) <= 0.5  # well-centred
+
+    def test_shuffle_invariance(self, rng):
+        pts = rng.normal(size=(50, 2))
+        b1 = min_enclosing_ball(pts)
+        b2 = min_enclosing_ball(pts[::-1].copy())
+        assert b1.radius == pytest.approx(b2.radius, rel=1e-9)
+
+    def test_rejects_empty_and_nonfinite(self):
+        with pytest.raises(ValueError):
+            min_enclosing_ball(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            min_enclosing_ball(np.array([[np.nan, 1.0]]))
+
+
+class TestBoundingCapOfDirections:
+    def test_cap_contains_all_directions(self, rng):
+        dirs = np.abs(rng.normal(size=(100, 4)))
+        axis, angle = bounding_cap_of_directions(dirs)
+        unit = dirs / np.linalg.norm(dirs, axis=1, keepdims=True)
+        assert np.all(unit @ axis >= math.cos(angle) - 1e-9)
+
+    def test_single_direction_zero_angle(self):
+        axis, angle = bounding_cap_of_directions(np.array([[1.0, 1.0, 0.0]]))
+        assert angle == pytest.approx(0.0, abs=1e-9)
+        assert np.allclose(axis, [1 / math.sqrt(2), 1 / math.sqrt(2), 0.0])
+
+    def test_symmetric_pair(self):
+        dirs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        axis, angle = bounding_cap_of_directions(dirs)
+        assert np.allclose(axis, [1 / math.sqrt(2)] * 2, atol=1e-9)
+        assert angle == pytest.approx(math.pi / 4, abs=1e-9)
+
+    def test_tight_against_known_cone(self, rng):
+        # Directions drawn inside a theta-cap must produce an angle
+        # close to (and at least covering) the sample's true spread.
+        from repro.sampling.cap import sample_cap
+
+        ray = np.array([1.0, 1.0, 1.0])
+        theta = 0.2
+        dirs = sample_cap(ray, theta, 500, rng)
+        axis, angle = bounding_cap_of_directions(dirs)
+        assert angle <= theta * 1.2
+        unit = dirs / np.linalg.norm(dirs, axis=1, keepdims=True)
+        assert np.all(unit @ axis >= math.cos(angle) - 1e-9)
+
+    def test_hemisphere_spanning_rejected(self):
+        dirs = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError):
+            bounding_cap_of_directions(dirs)
+
+    def test_rejects_zero_direction(self):
+        with pytest.raises(ValueError):
+            bounding_cap_of_directions(np.array([[0.0, 0.0]]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    d=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_ball_contains_and_is_supported(n, d, seed):
+    """The ball contains every point and touches at least one of them
+    (otherwise it could shrink)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, d))
+    ball = min_enclosing_ball(pts)
+    assert ball.contains_all(pts)
+    gaps = np.linalg.norm(pts - ball.centre, axis=1)
+    assert gaps.max() == pytest.approx(ball.radius, abs=1e-7)

@@ -1,0 +1,127 @@
+"""Unit tests for the Appendix A rotation machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.rotation import (
+    axis_rotation_matrix,
+    householder_rotation,
+    rotate_to_ray,
+    rotation_matrix_to_ray,
+)
+
+
+def _unit(v):
+    v = np.asarray(v, dtype=np.float64)
+    return v / np.linalg.norm(v)
+
+
+class TestAxisRotationMatrix:
+    def test_2d_matches_paper_form(self):
+        theta = 0.4
+        m = axis_rotation_matrix(2, 1, theta)
+        expected = np.array(
+            [[math.cos(theta), -math.sin(theta)], [math.sin(theta), math.cos(theta)]]
+        )
+        assert np.allclose(m, expected)
+
+    def test_orthogonal(self):
+        m = axis_rotation_matrix(4, 2, 0.7)
+        assert np.allclose(m @ m.T, np.eye(4), atol=1e-12)
+
+    def test_determinant_one(self):
+        m = axis_rotation_matrix(5, 3, 1.1)
+        assert math.isclose(np.linalg.det(m), 1.0, rel_tol=1e-10)
+
+    def test_fixes_uninvolved_axes(self):
+        m = axis_rotation_matrix(4, 2, 0.9)
+        e1 = np.array([0.0, 1.0, 0.0, 0.0])
+        e3 = np.array([0.0, 0.0, 0.0, 1.0])
+        assert np.allclose(m @ e1, e1)
+        assert np.allclose(m @ e3, e3)
+
+    def test_rejects_bad_plane(self):
+        with pytest.raises(ValueError):
+            axis_rotation_matrix(3, 3, 0.1)
+        with pytest.raises(ValueError):
+            axis_rotation_matrix(3, 0, 0.1)
+
+
+class TestRotationToRay:
+    @pytest.mark.parametrize("dim", [2, 3, 4, 5, 8])
+    def test_maps_last_axis_to_ray(self, dim, rng):
+        for _ in range(20):
+            ray = rng.uniform(0.01, 1.0, size=dim)
+            m = rotation_matrix_to_ray(ray)
+            e_d = np.zeros(dim)
+            e_d[-1] = 1.0
+            assert np.allclose(m @ e_d, _unit(ray), atol=1e-10)
+
+    @pytest.mark.parametrize("dim", [2, 3, 5])
+    def test_orthogonality(self, dim, rng):
+        for _ in range(10):
+            ray = rng.uniform(0.01, 1.0, size=dim)
+            m = rotation_matrix_to_ray(ray)
+            assert np.allclose(m.T @ m, np.eye(dim), atol=1e-10)
+
+    def test_axis_aligned_rays(self):
+        for dim in (2, 3, 4):
+            for axis in range(dim):
+                ray = np.zeros(dim)
+                ray[axis] = 1.0
+                m = rotation_matrix_to_ray(ray)
+                e_d = np.zeros(dim)
+                e_d[-1] = 1.0
+                assert np.allclose(m @ e_d, ray, atol=1e-12)
+
+    def test_preserves_angles(self, rng):
+        # Rotations preserve pairwise inner products.
+        ray = rng.uniform(0.1, 1.0, size=4)
+        m = rotation_matrix_to_ray(ray)
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        assert math.isclose(float(a @ b), float((m @ a) @ (m @ b)), rel_tol=1e-9)
+
+    def test_rotate_to_ray_applies_matrix(self, rng):
+        ray = rng.uniform(0.1, 1.0, size=3)
+        v = rng.normal(size=3)
+        assert np.allclose(rotate_to_ray(v, ray), rotation_matrix_to_ray(ray) @ v)
+
+    def test_rotate_to_ray_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            rotate_to_ray(np.ones(3), np.ones(4))
+
+    def test_identity_when_ray_is_last_axis(self):
+        m = rotation_matrix_to_ray(np.array([0.0, 0.0, 1.0]))
+        assert np.allclose(m @ np.eye(3)[:, 2], np.array([0, 0, 1.0]))
+
+
+class TestHouseholderRotation:
+    @pytest.mark.parametrize("dim", [2, 3, 4, 6])
+    def test_maps_source_to_target(self, dim, rng):
+        for _ in range(20):
+            s = rng.normal(size=dim)
+            t = rng.normal(size=dim)
+            m = householder_rotation(s, t)
+            assert np.allclose(m @ _unit(s), _unit(t), atol=1e-10)
+
+    def test_identity_for_equal_vectors(self):
+        v = np.array([0.3, 0.4, 0.5])
+        assert np.allclose(householder_rotation(v, v), np.eye(3))
+
+    def test_orthogonal(self, rng):
+        s, t = rng.normal(size=4), rng.normal(size=4)
+        m = householder_rotation(s, t)
+        assert np.allclose(m @ m.T, np.eye(4), atol=1e-10)
+
+    def test_agrees_with_givens_construction(self, rng):
+        # Both constructions are rotations sending e_d to the ray; they can
+        # differ on the orthogonal complement, but must agree on e_d.
+        for _ in range(10):
+            ray = rng.uniform(0.05, 1.0, size=5)
+            e_d = np.zeros(5)
+            e_d[-1] = 1.0
+            a = rotation_matrix_to_ray(ray) @ e_d
+            b = householder_rotation(e_d, ray) @ e_d
+            assert np.allclose(a, b, atol=1e-10)

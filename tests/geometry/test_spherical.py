@@ -1,0 +1,178 @@
+"""Unit tests for hypersphere / cap geometry (Equations 12-16)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.geometry.spherical import (
+    cap_area,
+    cap_cdf,
+    cap_fraction_of_orthant,
+    inverse_cap_cdf,
+    orthant_area,
+    riemann_cdf_table,
+    sin_power_integral,
+    sphere_surface_area,
+)
+
+
+class TestSphereSurfaceArea:
+    def test_circle(self):
+        assert math.isclose(sphere_surface_area(2), 2 * math.pi)
+
+    def test_sphere(self):
+        assert math.isclose(sphere_surface_area(3), 4 * math.pi)
+
+    def test_radius_scaling(self):
+        # A_delta(r) scales as r^{delta-1} (Equation 12).
+        assert math.isclose(sphere_surface_area(3, 2.0), 4 * math.pi * 4.0)
+
+    def test_4d(self):
+        # A_4(1) = 2 pi^2.
+        assert math.isclose(sphere_surface_area(4), 2 * math.pi**2)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            sphere_surface_area(0)
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            sphere_surface_area(3, -1.0)
+
+
+class TestSinPowerIntegral:
+    @pytest.mark.parametrize("power", [0, 1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("theta", [0.01, 0.3, math.pi / 4, math.pi / 2])
+    def test_matches_quadrature(self, power, theta):
+        expected, _ = integrate.quad(lambda p: math.sin(p) ** power, 0.0, theta)
+        assert math.isclose(sin_power_integral(theta, power), expected, rel_tol=1e-9)
+
+    def test_zero_angle(self):
+        assert sin_power_integral(0.0, 3) == 0.0
+
+    def test_power_zero_is_theta(self):
+        assert math.isclose(sin_power_integral(0.7, 0), 0.7)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            sin_power_integral(0.5, -1)
+
+    def test_rejects_out_of_range_theta(self):
+        with pytest.raises(ValueError):
+            sin_power_integral(2.0, 2)
+
+
+class TestCapArea:
+    def test_2d_arc(self):
+        # Both sides of the pole: arc length 2 * theta.
+        assert math.isclose(cap_area(2, 0.5), 1.0)
+
+    def test_3d_closed_form(self):
+        # Spherical cap area = 2 pi (1 - cos theta).
+        theta = 0.7
+        assert math.isclose(cap_area(3, theta), 2 * math.pi * (1 - math.cos(theta)))
+
+    def test_half_sphere(self):
+        # theta = pi/2 gives half the sphere's surface.
+        assert math.isclose(cap_area(3, math.pi / 2), sphere_surface_area(3) / 2)
+
+    @pytest.mark.parametrize("dim", [3, 4, 5])
+    def test_monotone_in_theta(self, dim):
+        thetas = np.linspace(0.05, math.pi / 2, 12)
+        areas = [cap_area(dim, float(t)) for t in thetas]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+
+    def test_orthant_area_is_sphere_fraction(self):
+        for dim in (2, 3, 4):
+            assert math.isclose(
+                orthant_area(dim), sphere_surface_area(dim) / 2**dim
+            )
+
+    def test_cap_fraction_small_cone(self):
+        # A pi/50 cap is a small fraction of the 3-orthant.
+        frac = cap_fraction_of_orthant(3, math.pi / 50)
+        assert 0.0 < frac < 0.01
+
+
+class TestCapCdf:
+    @pytest.mark.parametrize("dim", [2, 3, 4, 5, 7])
+    def test_cdf_endpoints(self, dim):
+        theta = 0.6
+        assert math.isclose(cap_cdf(0.0, theta, dim), 0.0, abs_tol=1e-12)
+        assert math.isclose(cap_cdf(theta, theta, dim), 1.0, rel_tol=1e-9)
+
+    @pytest.mark.parametrize("dim", [2, 3, 4, 6])
+    def test_cdf_monotone(self, dim):
+        theta = 1.0
+        xs = np.linspace(0.0, theta, 30)
+        values = cap_cdf(xs, theta, dim)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_3d_closed_form(self):
+        # Equation 15.
+        theta, x = 0.9, 0.4
+        expected = (1 - math.cos(x)) / (1 - math.cos(theta))
+        assert math.isclose(cap_cdf(x, theta, 3), expected, rel_tol=1e-12)
+
+    @pytest.mark.parametrize("dim", [4, 5])
+    def test_general_matches_quadrature(self, dim):
+        theta, x = 1.1, 0.5
+        num, _ = integrate.quad(lambda p: math.sin(p) ** (dim - 2), 0, x)
+        den, _ = integrate.quad(lambda p: math.sin(p) ** (dim - 2), 0, theta)
+        assert math.isclose(cap_cdf(x, theta, dim), num / den, rel_tol=1e-8)
+
+    @pytest.mark.parametrize("dim", [2, 3, 4, 5])
+    def test_inverse_round_trip(self, dim, rng):
+        theta = 0.8
+        ys = rng.uniform(0.0, 1.0, size=50)
+        xs = inverse_cap_cdf(ys, theta, dim)
+        back = cap_cdf(xs, theta, dim)
+        assert np.allclose(back, ys, atol=1e-9)
+
+    def test_inverse_endpoints(self):
+        theta = 0.5
+        for dim in (2, 3, 4):
+            assert math.isclose(inverse_cap_cdf(0.0, theta, dim), 0.0, abs_tol=1e-12)
+            assert math.isclose(inverse_cap_cdf(1.0, theta, dim), theta, rel_tol=1e-9)
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            cap_cdf(0.1, 0.0, 3)
+        with pytest.raises(ValueError):
+            inverse_cap_cdf(0.5, -0.1, 3)
+
+    def test_rejects_x_out_of_range(self):
+        with pytest.raises(ValueError):
+            cap_cdf(0.7, 0.5, 3)
+
+
+class TestRiemannTable:
+    def test_table_shape_and_endpoints(self):
+        table = riemann_cdf_table(0.6, 4, 100)
+        assert table.shape == (101,)
+        assert table[0] == 0.0
+        assert math.isclose(table[-1], 1.0)
+
+    def test_table_monotone(self):
+        table = riemann_cdf_table(1.0, 5, 256)
+        assert np.all(np.diff(table) >= 0)
+
+    @pytest.mark.parametrize("dim", [3, 4, 6])
+    def test_table_converges_to_cdf(self, dim):
+        theta = 0.9
+        partitions = 5000
+        table = riemann_cdf_table(theta, dim, partitions)
+        xs = np.linspace(0.0, theta, partitions + 1)
+        exact = cap_cdf(xs, theta, dim)
+        assert np.max(np.abs(table - exact)) < 1e-4
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            riemann_cdf_table(0.5, 3, 0)
+
+    def test_dim2_table_linear(self):
+        # sin^0 = 1: the CDF is linear in the angle.
+        table = riemann_cdf_table(0.4, 2, 64)
+        assert np.allclose(table, np.linspace(0, 1, 65), atol=1e-12)

@@ -1,0 +1,64 @@
+"""Cross-validation of spherical-cap math against Monte-Carlo geometry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.spherical import (
+    cap_area,
+    cap_fraction_of_orthant,
+    orthant_area,
+    sphere_surface_area,
+)
+from repro.sampling.uniform import sample_sphere
+
+
+class TestCapAreaMonteCarlo:
+    @pytest.mark.parametrize("dim", [3, 4, 5])
+    @pytest.mark.parametrize("theta", [0.3, 0.8, math.pi / 2])
+    def test_cap_fraction_matches_sampling(self, dim, theta, rng):
+        # Fraction of uniform sphere points within angle theta of a pole
+        # must equal cap_area / sphere_area.
+        pts = sample_sphere(dim, 60_000, rng)
+        cosines = pts[:, -1]
+        empirical = float(np.mean(cosines >= math.cos(theta)))
+        analytic = cap_area(dim, theta) / sphere_surface_area(dim)
+        assert abs(empirical - analytic) < 0.01
+
+    def test_half_sphere_fraction(self):
+        for dim in (2, 3, 4, 6):
+            assert math.isclose(
+                cap_area(dim, math.pi / 2) / sphere_surface_area(dim), 0.5
+            )
+
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_orthant_fraction_matches_sampling(self, dim, rng):
+        pts = sample_sphere(dim, 60_000, rng)
+        in_orthant = float(np.mean(np.all(pts >= 0, axis=1)))
+        analytic = orthant_area(dim) / sphere_surface_area(dim)
+        assert abs(in_orthant - analytic) < 0.01
+
+    def test_cap_fraction_of_orthant_consistency(self):
+        # For a small cap fully inside the orthant the fraction times the
+        # orthant area equals the cap area.
+        dim, theta = 3, 0.1
+        assert math.isclose(
+            cap_fraction_of_orthant(dim, theta) * orthant_area(dim),
+            cap_area(dim, theta),
+            rel_tol=1e-12,
+        )
+
+    def test_small_angle_asymptotics(self):
+        # For theta -> 0, cap area ~ volume of a (d-1)-ball of radius
+        # theta: pi^{(d-1)/2} theta^{d-1} / Gamma((d+1)/2).
+        from scipy.special import gamma
+
+        for dim in (3, 4, 5):
+            theta = 1e-3
+            approx = (
+                math.pi ** ((dim - 1) / 2)
+                * theta ** (dim - 1)
+                / gamma((dim + 1) / 2)
+            )
+            assert math.isclose(cap_area(dim, theta), approx, rel_tol=1e-4)

@@ -1,0 +1,132 @@
+"""Unit and property tests for the ONION convex-hull-layer index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidWeightsError
+from repro.operators.onion import OnionIndex, hull_layers
+from repro.operators.topk import top_k_indices
+
+
+class TestHullLayers:
+    def test_layers_partition_items(self, rng):
+        values = rng.random((120, 3))
+        layers = hull_layers(values)
+        flat = np.concatenate(layers)
+        assert sorted(flat.tolist()) == list(range(120))
+
+    def test_square_with_interior_point(self):
+        values = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.5, 0.5]]
+        )
+        layers = hull_layers(values)
+        assert layers[0].tolist() == [0, 1, 2, 3]
+        assert layers[1].tolist() == [4]
+
+    def test_layer_count_decreases_with_correlation(self, rng):
+        # Clustered data peels into more layers than hull-heavy data.
+        shell = rng.normal(size=(200, 3))
+        shell /= np.linalg.norm(shell, axis=1, keepdims=True)
+        ball = rng.normal(size=(200, 3)) * 0.01
+        assert len(hull_layers(shell)) < len(hull_layers(ball))
+
+    def test_small_inputs_are_single_layer(self):
+        values = np.array([[0.1, 0.2], [0.3, 0.4]])
+        layers = hull_layers(values)
+        assert len(layers) == 1
+        assert layers[0].tolist() == [0, 1]
+
+    def test_collinear_degenerate_input(self):
+        # All points on a line: qhull fails, fallback keeps everything.
+        t = np.linspace(0.0, 1.0, 9)
+        values = np.stack([t, 2 * t], axis=1)
+        layers = hull_layers(values)
+        flat = np.concatenate(layers)
+        assert sorted(flat.tolist()) == list(range(9))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            hull_layers(np.array([1.0, 2.0]))
+
+
+class TestOnionIndex:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_full_scan(self, d, k, rng_factory):
+        rng = rng_factory(31 * d + k)
+        values = rng.random((150, d))
+        index = OnionIndex(values)
+        weights = rng.random(d) + 0.01
+        order, _ = index.top_k(weights, k)
+        assert list(order) == top_k_indices(values @ weights, k).tolist()
+
+    def test_top1_is_single_layer(self, rng):
+        values = rng.random((200, 3))
+        index = OnionIndex(values)
+        _, touched = index.top_k(np.array([1.0, 1.0, 1.0]), 1)
+        assert touched == 1
+
+    def test_touches_at_most_k_layers(self, rng):
+        values = rng.random((300, 2))
+        index = OnionIndex(values)
+        for k in (1, 3, 7):
+            _, touched = index.top_k(np.array([0.2, 0.8]), k)
+            assert touched <= min(k, index.n_layers)
+
+    def test_layer_sizes_sum_to_n(self, rng):
+        index = OnionIndex(rng.random((77, 3)))
+        assert int(index.layer_sizes().sum()) == 77
+
+    def test_rank_all_matches_argsort(self, rng):
+        values = rng.random((50, 3))
+        index = OnionIndex(values)
+        w = np.array([0.3, 0.3, 0.4])
+        assert list(index.rank_all(w)) == np.argsort(
+            -(values @ w), kind="stable"
+        ).tolist()
+
+    def test_axis_aligned_weights(self, rng):
+        # Extreme single-attribute functions are the worst case for the
+        # threshold reasoning; the index must stay exact.
+        values = rng.random((100, 3))
+        index = OnionIndex(values)
+        for axis in range(3):
+            w = np.zeros(3)
+            w[axis] = 1.0
+            order, _ = index.top_k(w, 10)
+            assert list(order) == top_k_indices(values @ w, 10).tolist()
+
+    def test_rejects_bad_weights(self, rng):
+        index = OnionIndex(rng.random((20, 3)))
+        with pytest.raises(InvalidWeightsError):
+            index.top_k(np.array([-1.0, 0.0, 0.0]), 2)
+        with pytest.raises(InvalidWeightsError):
+            index.top_k(np.zeros(3), 2)
+        with pytest.raises(ValueError):
+            index.top_k(np.ones(3), 0)
+
+    def test_immutable_layers_property(self, rng):
+        index = OnionIndex(rng.random((30, 2)))
+        layers = index.layers
+        layers[0][:] = -1
+        assert np.all(index.layers[0] >= 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    d=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_onion_exact(n, d, seed):
+    """ONION top-k equals the flat scan for random data and random k/w."""
+    rng = np.random.default_rng(seed)
+    values = rng.random((n, d))
+    index = OnionIndex(values)
+    k = int(rng.integers(1, n + 1))
+    weights = rng.random(d) + 1e-3
+    order, touched = index.top_k(weights, k)
+    assert list(order) == top_k_indices(values @ weights, k).tolist()
+    assert 1 <= touched <= index.n_layers

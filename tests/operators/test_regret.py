@@ -1,0 +1,124 @@
+"""Tests for regret-minimizing representative sets (references [10, 11])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidDatasetError
+from repro.operators.regret import cube_regret_set, greedy_regret_set, regret_ratio
+from repro.operators.skyline import skyline
+
+
+class TestRegretRatio:
+    def test_full_set_has_zero_regret(self, rng):
+        values = rng.random((50, 3))
+        assert regret_ratio(values, np.arange(50), n_directions=200) == 0.0
+
+    def test_skyline_has_zero_regret(self, rng):
+        # The top-1 under any linear function is a skyline member.
+        values = rng.random((80, 3))
+        sky = skyline(values)
+        assert regret_ratio(values, sky, n_directions=500) == pytest.approx(0.0)
+
+    def test_single_extreme_item(self):
+        # Keeping only the x1-best item forfeits all of x2's range.
+        values = np.array([[1.0, 0.0], [0.0, 1.0]])
+        ratio = regret_ratio(values, np.array([0]), n_directions=100)
+        assert ratio == pytest.approx(1.0)  # direction e_2 has full regret
+
+    def test_regret_decreases_with_larger_subsets(self, rng):
+        values = rng.random((100, 3))
+        small = greedy_regret_set(values, 2, n_directions=300, rng=rng)
+        large = greedy_regret_set(values, 10, n_directions=300, rng=rng)
+        r_small = regret_ratio(values, small, n_directions=300)
+        r_large = regret_ratio(values, large, n_directions=300)
+        assert r_large <= r_small + 1e-12
+
+    def test_bounded_in_unit_interval(self, rng):
+        values = rng.random((30, 4))
+        ratio = regret_ratio(values, np.array([0]), n_directions=200)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(InvalidDatasetError):
+            regret_ratio(np.array([[-0.1, 0.2]]), np.array([0]))
+
+    def test_rejects_empty_subset(self, rng):
+        with pytest.raises(ValueError):
+            regret_ratio(rng.random((5, 2)), np.array([], dtype=int))
+
+
+class TestGreedyRegretSet:
+    def test_size_and_uniqueness(self, rng):
+        values = rng.random((60, 3))
+        subset = greedy_regret_set(values, 7, n_directions=200, rng=rng)
+        assert subset.shape == (7,)
+        assert len(set(subset.tolist())) == 7
+
+    def test_first_pick_is_sum_maximiser(self, rng):
+        values = rng.random((40, 3))
+        subset = greedy_regret_set(values, 1, n_directions=100, rng=rng)
+        assert int(np.argmax(values.sum(axis=1))) in subset.tolist()
+
+    def test_covers_axis_extremes_eventually(self, rng):
+        # With k >= d, greedy should drive regret near zero on random
+        # data by collecting per-direction winners.
+        values = rng.random((80, 2))
+        subset = greedy_regret_set(values, 10, n_directions=400, rng=rng)
+        assert regret_ratio(values, subset, n_directions=400) < 0.05
+
+    def test_k_equals_n_returns_everything(self, rng):
+        values = rng.random((12, 2))
+        subset = greedy_regret_set(values, 12, n_directions=50, rng=rng)
+        assert subset.tolist() == list(range(12))
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            greedy_regret_set(rng.random((5, 2)), 0)
+        with pytest.raises(ValueError):
+            greedy_regret_set(rng.random((5, 2)), 6)
+
+
+class TestCubeRegretSet:
+    def test_includes_per_attribute_maxima(self, rng):
+        values = rng.random((70, 3))
+        subset = cube_regret_set(values, 12)
+        chosen = set(subset.tolist())
+        for j in range(3):
+            assert int(np.argmax(values[:, j])) in chosen
+
+    def test_size_bounded_by_k(self, rng):
+        values = rng.random((100, 3))
+        subset = cube_regret_set(values, 15)
+        assert 3 <= subset.shape[0] <= 15
+
+    def test_regret_guarantee_improves_with_k(self, rng):
+        # O(1/t) guarantee: larger budgets produce finer grids.
+        values = rng.random((300, 2))
+        coarse = cube_regret_set(values, 4)
+        fine = cube_regret_set(values, 40)
+        r_coarse = regret_ratio(values, coarse, n_directions=500)
+        r_fine = regret_ratio(values, fine, n_directions=500)
+        assert r_fine <= r_coarse + 1e-9
+
+    def test_rejects_k_below_d(self, rng):
+        with pytest.raises(ValueError):
+            cube_regret_set(rng.random((10, 3)), 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=50),
+    k=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_greedy_monotone_regret(n, k, seed):
+    """Greedy subsets are valid ids and never beat the full dataset."""
+    rng = np.random.default_rng(seed)
+    values = rng.random((n, 3))
+    k = min(k, n)
+    subset = greedy_regret_set(values, k, n_directions=100, rng=rng)
+    assert np.all(subset >= 0) and np.all(subset < n)
+    ratio = regret_ratio(values, subset, n_directions=100)
+    assert 0.0 <= ratio <= 1.0

@@ -1,0 +1,120 @@
+"""Tests for the k most representative skyline baseline (reference [9])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidDatasetError
+from repro.operators.representative import (
+    coverage_of,
+    dominance_matrix,
+    k_representative_skyline,
+)
+from repro.operators.skyline import dominance_count, skyline
+
+
+class TestDominanceMatrix:
+    def test_matches_pairwise_definition(self, rng):
+        values = rng.random((30, 3))
+        dom = dominance_matrix(values)
+        for i in range(30):
+            for j in range(30):
+                expected = (
+                    i != j
+                    and bool(np.all(values[i] >= values[j]))
+                    and bool(np.any(values[i] > values[j]))
+                )
+                assert dom[i, j] == expected
+
+    def test_row_sums_match_dominance_count(self, rng):
+        values = rng.random((40, 2))
+        dom = dominance_matrix(values)
+        assert dom.sum(axis=1).tolist() == dominance_count(values).tolist()
+
+    def test_irreflexive_and_antisymmetric(self, rng):
+        values = rng.random((25, 3))
+        dom = dominance_matrix(values)
+        assert not np.any(np.diag(dom))
+        assert not np.any(dom & dom.T)
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidDatasetError):
+            dominance_matrix(np.array([1.0, 2.0]))
+
+
+class TestCoverage:
+    def test_empty_subset_covers_nothing(self, rng):
+        dom = dominance_matrix(rng.random((10, 2)))
+        assert coverage_of(dom, np.array([], dtype=int)) == 0
+
+    def test_union_not_double_counted(self):
+        values = np.array([[0.9, 0.9], [0.8, 0.95], [0.1, 0.1]])
+        dom = dominance_matrix(values)
+        # Both skyline items dominate item 2; joint coverage is 1, not 2.
+        assert coverage_of(dom, np.array([0, 1])) == 1
+
+
+class TestKRepresentativeSkyline:
+    def test_output_is_subset_of_skyline(self, rng):
+        values = rng.random((80, 3))
+        subset, _ = k_representative_skyline(values, 5)
+        sky = set(skyline(values).tolist())
+        assert set(subset.tolist()) <= sky
+
+    def test_whole_skyline_when_k_large(self, rng):
+        values = rng.random((40, 2))
+        sky = skyline(values)
+        subset, _ = k_representative_skyline(values, len(sky) + 10)
+        assert subset.tolist() == sky.tolist()
+
+    def test_coverage_monotone_in_k(self, rng):
+        values = rng.random((100, 3))
+        _, cov2 = k_representative_skyline(values, 2)
+        _, cov6 = k_representative_skyline(values, 6)
+        assert cov6 >= cov2
+
+    def test_greedy_beats_arbitrary_singleton(self, rng):
+        # The first greedy pick maximises single-item coverage.
+        values = rng.random((60, 2))
+        subset, cov = k_representative_skyline(values, 1)
+        dom = dominance_matrix(values)
+        best_single = max(int(dom[i].sum()) for i in skyline(values))
+        assert cov == best_single
+
+    def test_chain_dataset(self):
+        # Total order: single skyline item dominating everything.
+        values = np.array([[0.9, 0.9], [0.5, 0.5], [0.1, 0.1]])
+        subset, cov = k_representative_skyline(values, 3)
+        assert subset.tolist() == [0]
+        assert cov == 2
+
+    def test_deterministic_tie_break(self):
+        # Two symmetric skyline points each dominating one item: the
+        # smaller id must be chosen first.
+        values = np.array([[1.0, 0.0], [0.0, 1.0], [0.9, 0.0], [0.0, 0.9]])
+        subset, _ = k_representative_skyline(values, 1)
+        assert subset.tolist() == [0]
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            k_representative_skyline(rng.random((5, 2)), 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=50),
+    k=st.integers(min_value=1, max_value=8),
+    d=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_representative_invariants(n, k, d, seed):
+    """Representatives are skyline members and coverage equals the union."""
+    rng = np.random.default_rng(seed)
+    values = rng.random((n, d))
+    subset, cov = k_representative_skyline(values, k)
+    sky = set(skyline(values).tolist())
+    assert set(subset.tolist()) <= sky
+    dom = dominance_matrix(values)
+    assert cov == coverage_of(dom, subset)
+    assert subset.shape[0] == min(k, len(sky))

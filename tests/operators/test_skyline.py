@@ -1,0 +1,110 @@
+"""Unit tests for the skyline operator substrate."""
+
+import numpy as np
+import pytest
+
+from repro.operators.skyline import dominance_count, is_dominated, skyline
+
+
+def _brute_force_skyline(values):
+    n = values.shape[0]
+    out = []
+    for i in range(n):
+        dominated = any(
+            np.all(values[j] >= values[i]) and np.any(values[j] > values[i])
+            for j in range(n)
+            if j != i
+        )
+        if not dominated:
+            out.append(i)
+    return np.array(out, dtype=np.intp)
+
+
+class TestSkyline:
+    def test_paper_toy_example(self):
+        # Section 2.2.5: D = {t1(1,0), t2(.99,.99), t3(.98,.98),
+        # t4(.97,.97), t5(0,1)} has skyline {t1, t2, t5}.
+        values = np.array(
+            [[1.0, 0.0], [0.99, 0.99], [0.98, 0.98], [0.97, 0.97], [0.0, 1.0]]
+        )
+        assert skyline(values).tolist() == [0, 1, 4]
+
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_matches_brute_force(self, dim, rng_factory):
+        for seed in range(5):
+            values = rng_factory(seed).uniform(size=(40, dim))
+            assert np.array_equal(skyline(values), _brute_force_skyline(values))
+
+    def test_single_item(self):
+        assert skyline(np.array([[0.5, 0.5]])).tolist() == [0]
+
+    def test_empty(self):
+        assert skyline(np.empty((0, 2))).size == 0
+
+    def test_duplicates_all_kept(self):
+        values = np.array([[0.9, 0.9], [0.9, 0.9], [0.1, 0.1]])
+        assert skyline(values).tolist() == [0, 1]
+
+    def test_total_order_chain(self):
+        values = np.array([[0.9, 0.9], [0.5, 0.5], [0.1, 0.1]])
+        assert skyline(values).tolist() == [0]
+
+    def test_anticorrelated_large_skyline(self, rng):
+        # Anti-correlated data: most items are on the skyline.
+        from repro.datasets import anticorrelated_dataset, correlated_dataset
+
+        anti = anticorrelated_dataset(300, 3, rng)
+        corr = correlated_dataset(300, 3, rng)
+        assert len(skyline(anti.values)) > len(skyline(corr.values))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            skyline(np.ones(4))
+
+    def test_skyline_members_win_some_ranking(self, rng):
+        # Every skyline point tops the ranking for *some* weight among a
+        # dense probe set... (converse of dominance; sanity, not exact).
+        from repro.core.ranking import rank_items
+
+        values = rng.uniform(size=(15, 2))
+        sky = set(skyline(values).tolist())
+        winners = set()
+        for t in np.linspace(0.001, np.pi / 2 - 0.001, 400):
+            w = np.array([np.cos(t), np.sin(t)])
+            winners.add(rank_items(values, w).order[0])
+        assert winners <= sky
+
+
+class TestIsDominated:
+    def test_basic(self):
+        values = np.array([[0.9, 0.9], [0.5, 0.5]])
+        assert is_dominated(values, 1)
+        assert not is_dominated(values, 0)
+
+    def test_equal_items_not_dominated(self):
+        values = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert not is_dominated(values, 0)
+        assert not is_dominated(values, 1)
+
+    def test_consistent_with_skyline(self, rng):
+        values = rng.uniform(size=(30, 3))
+        sky = set(skyline(values).tolist())
+        for i in range(30):
+            assert (i in sky) == (not is_dominated(values, i))
+
+
+class TestDominanceCount:
+    def test_chain(self):
+        values = np.array([[0.9, 0.9], [0.5, 0.5], [0.1, 0.1]])
+        assert dominance_count(values).tolist() == [2, 1, 0]
+
+    def test_incomparable(self):
+        values = np.array([[0.9, 0.1], [0.1, 0.9]])
+        assert dominance_count(values).tolist() == [0, 0]
+
+    def test_correlation_raises_dominance(self, rng):
+        from repro.datasets import anticorrelated_dataset, correlated_dataset
+
+        corr = correlated_dataset(200, 3, rng)
+        anti = anticorrelated_dataset(200, 3, rng)
+        assert dominance_count(corr.values).sum() > dominance_count(anti.values).sum()

@@ -1,0 +1,153 @@
+"""Unit and property tests for the TA / NRA top-k substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidWeightsError
+from repro.operators.threshold import (
+    SortedLists,
+    no_random_access,
+    threshold_algorithm,
+)
+from repro.operators.topk import top_k_indices
+
+
+def _reference_topk(values, weights, k):
+    return top_k_indices(values @ weights, k).tolist()
+
+
+class TestSortedLists:
+    def test_sorted_entries_descending(self, rng):
+        values = rng.random((30, 3))
+        lists = SortedLists(values)
+        for j in range(3):
+            col = [lists.sorted_entry(j, depth)[1] for depth in range(30)]
+            assert col == sorted(col, reverse=True)
+
+    def test_ties_break_by_id(self):
+        values = np.array([[0.5, 0.1], [0.5, 0.2], [0.4, 0.3]])
+        lists = SortedLists(values)
+        assert lists.sorted_entry(0, 0)[0] == 0
+        assert lists.sorted_entry(0, 1)[0] == 1
+
+    def test_random_access(self, rng):
+        values = rng.random((10, 4))
+        lists = SortedLists(values)
+        assert lists.random_access(3, 2) == values[3, 2]
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            SortedLists(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            SortedLists(np.array([[np.inf, 1.0]]))
+
+
+class TestThresholdAlgorithm:
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_full_scan(self, d, k, rng_factory):
+        rng = rng_factory(d * 100 + k)
+        values = rng.random((60, d))
+        weights = rng.random(d) + 0.01
+        lists = SortedLists(values)
+        result = threshold_algorithm(lists, weights, k)
+        assert list(result.order) == _reference_topk(values, weights, k)
+
+    def test_scores_aligned_with_order(self, rng):
+        values = rng.random((40, 3))
+        weights = np.array([1.0, 0.5, 0.25])
+        result = threshold_algorithm(SortedLists(values), weights, 5)
+        for item, score in zip(result.order, result.scores):
+            assert score == pytest.approx(float(values[item] @ weights))
+
+    def test_stops_early_on_skewed_data(self, rng):
+        # One item dominating every list => the threshold collapses fast.
+        values = rng.random((500, 3)) * 0.5
+        values[7] = [1.0, 1.0, 1.0]
+        result = threshold_algorithm(SortedLists(values), np.ones(3), 1)
+        assert result.order[0] == 7
+        assert result.depth < 500 / 4
+
+    def test_access_counters_consistent(self, rng):
+        values = rng.random((50, 4))
+        result = threshold_algorithm(SortedLists(values), np.ones(4), 10)
+        assert result.sorted_accesses == result.depth * 4
+        assert result.random_accesses % 3 == 0  # (d-1) per new item
+
+    def test_k_equals_n(self, rng):
+        values = rng.random((15, 2))
+        weights = np.array([0.3, 0.7])
+        result = threshold_algorithm(SortedLists(values), weights, 15)
+        assert list(result.order) == _reference_topk(values, weights, 15)
+
+    def test_rejects_bad_weights(self, rng):
+        lists = SortedLists(rng.random((10, 3)))
+        with pytest.raises(InvalidWeightsError):
+            threshold_algorithm(lists, np.array([1.0, -1.0, 0.0]), 2)
+        with pytest.raises(InvalidWeightsError):
+            threshold_algorithm(lists, np.zeros(3), 2)
+        with pytest.raises(ValueError):
+            threshold_algorithm(lists, np.ones(3), 0)
+        with pytest.raises(ValueError):
+            threshold_algorithm(lists, np.ones(3), 11)
+
+    def test_zero_weight_attribute_ignored(self, rng):
+        # A zero weight makes an attribute irrelevant to the answer.
+        values = rng.random((30, 3))
+        weights = np.array([1.0, 0.0, 2.0])
+        result = threshold_algorithm(SortedLists(values), weights, 5)
+        assert list(result.order) == _reference_topk(values, weights, 5)
+
+
+class TestNoRandomAccess:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_full_scan(self, d, k, rng_factory):
+        rng = rng_factory(d * 10 + k)
+        values = rng.random((50, d))
+        weights = rng.random(d) + 0.01
+        result = no_random_access(SortedLists(values), weights, k)
+        assert list(result.order) == _reference_topk(values, weights, k)
+
+    def test_never_random_accesses(self, rng):
+        values = rng.random((40, 3))
+        result = no_random_access(SortedLists(values), np.ones(3), 5)
+        assert result.random_accesses == 0
+
+    def test_needs_at_least_ta_depth(self, rng):
+        # NRA's bounds are weaker than TA's exact completion, so it can
+        # never stop at a shallower depth on the same input.
+        values = rng.random((80, 3))
+        weights = np.array([1.0, 0.5, 0.2])
+        lists = SortedLists(values)
+        ta = threshold_algorithm(lists, weights, 5)
+        nra = no_random_access(lists, weights, 5)
+        assert nra.depth >= ta.depth
+
+    def test_exhausts_gracefully(self):
+        # Tiny dataset: both algorithms must still terminate and agree.
+        values = np.array([[0.2, 0.9], [0.9, 0.2]])
+        weights = np.array([1.0, 1.0])
+        result = no_random_access(SortedLists(values), weights, 2)
+        assert sorted(result.order) == [0, 1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    d=st.integers(min_value=2, max_value=4),
+    k_frac=st.floats(min_value=0.01, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_all_engines_agree(n, d, k_frac, seed):
+    """TA, NRA and the flat scan return identical top-k on random data."""
+    rng = np.random.default_rng(seed)
+    values = rng.random((n, d))
+    weights = rng.random(d) + 1e-3
+    k = max(1, min(n, int(round(k_frac * n))))
+    lists = SortedLists(values)
+    reference = _reference_topk(values, weights, k)
+    assert list(threshold_algorithm(lists, weights, k).order) == reference
+    assert list(no_random_access(lists, weights, k).order) == reference

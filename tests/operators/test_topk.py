@@ -1,0 +1,49 @@
+"""Unit tests for top-k retrieval primitives."""
+
+import numpy as np
+import pytest
+
+from repro.operators.topk import top_k_indices, top_k_threshold
+
+
+class TestTopKIndices:
+    def test_matches_full_sort(self, rng):
+        for _ in range(20):
+            scores = rng.normal(size=100)
+            k = int(rng.integers(1, 100))
+            expected = np.argsort(-scores, kind="stable")[:k]
+            assert np.array_equal(top_k_indices(scores, k), expected)
+
+    def test_tie_boundary_prefers_low_ids(self):
+        scores = np.array([0.5, 1.0, 0.5, 0.5, 0.1])
+        assert top_k_indices(scores, 2).tolist() == [1, 0]
+        assert top_k_indices(scores, 3).tolist() == [1, 0, 2]
+
+    def test_k_equals_n(self, rng):
+        scores = rng.normal(size=10)
+        assert np.array_equal(
+            top_k_indices(scores, 10), np.argsort(-scores, kind="stable")
+        )
+
+
+class TestTopKThreshold:
+    def test_matches_sorted(self, rng):
+        scores = rng.normal(size=50)
+        ordered = np.sort(scores)[::-1]
+        for k in (1, 5, 50):
+            assert top_k_threshold(scores, k) == ordered[k - 1]
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            top_k_threshold(np.ones(3), 0)
+        with pytest.raises(ValueError):
+            top_k_threshold(np.ones(3), 4)
+
+    def test_consistency_with_indices(self, rng):
+        scores = rng.normal(size=60)
+        k = 7
+        chosen = top_k_indices(scores, k)
+        thresh = top_k_threshold(scores, k)
+        assert scores[chosen].min() == thresh
+        others = np.setdiff1d(np.arange(60), chosen)
+        assert np.all(scores[others] <= thresh)

@@ -1,0 +1,114 @@
+"""Unit tests for the hyperspherical-cap sampler (Algorithms 10-11)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import as_unit_vector
+from repro.geometry.spherical import cap_cdf
+from repro.sampling.cap import CapSampler, sample_cap
+
+
+def _angles_to_axis(points, ray):
+    u = as_unit_vector(ray)
+    cosines = np.clip(points @ u, -1.0, 1.0)
+    return np.arccos(cosines)
+
+
+class TestCapSamplerBasics:
+    def test_shape_and_norms(self, rng):
+        pts = sample_cap(np.array([1.0, 1.0, 1.0]), math.pi / 10, 500, rng)
+        assert pts.shape == (500, 3)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+    def test_zero_size(self, rng):
+        assert sample_cap(np.ones(3), 0.2, 0, rng).shape == (0, 3)
+
+    def test_all_within_angle(self, rng):
+        ray = np.array([0.3, 0.5, 0.8])
+        theta = math.pi / 12
+        pts = sample_cap(ray, theta, 2000, rng)
+        assert np.all(_angles_to_axis(pts, ray) <= theta + 1e-9)
+
+    def test_2d_cap(self, rng):
+        ray = np.array([1.0, 1.0])
+        theta = math.pi / 8
+        pts = sample_cap(ray, theta, 2000, rng)
+        assert np.all(_angles_to_axis(pts, ray) <= theta + 1e-9)
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            CapSampler(np.ones(3), 0.0)
+        with pytest.raises(ValueError):
+            CapSampler(np.ones(3), 2.0)
+
+    def test_rejects_bad_method(self):
+        with pytest.raises(ValueError):
+            CapSampler(np.ones(3), 0.3, method="fancy")
+
+    def test_rejects_negative_size(self, rng):
+        with pytest.raises(ValueError):
+            CapSampler(np.ones(3), 0.3).sample(-1, rng)
+
+    def test_rejects_dim_one(self):
+        with pytest.raises(Exception):
+            CapSampler(np.ones(1), 0.3)
+
+
+class TestColatitudeDistribution:
+    @pytest.mark.parametrize("dim", [2, 3, 4, 5])
+    @pytest.mark.parametrize("method", ["exact", "riemann"])
+    def test_colatitude_follows_cap_cdf(self, dim, method, rng):
+        # KS-style check: empirical CDF of the colatitude must match
+        # Equation 14's F within sampling noise.
+        ray = np.full(dim, 1.0)
+        theta = 0.5
+        pts = sample_cap(ray, theta, 8000, rng, method=method)
+        angles = np.sort(_angles_to_axis(pts, ray))
+        empirical = (np.arange(len(angles)) + 0.5) / len(angles)
+        theoretical = cap_cdf(np.clip(angles, 0, theta), theta, dim)
+        assert np.max(np.abs(empirical - theoretical)) < 0.03
+
+    def test_riemann_and_exact_agree(self, rng_factory):
+        ray = np.array([0.2, 0.5, 0.9, 0.3])
+        theta = math.pi / 20
+        a = sample_cap(ray, theta, 6000, rng_factory(1), method="exact")
+        b = sample_cap(ray, theta, 6000, rng_factory(2), method="riemann")
+        qa = np.quantile(_angles_to_axis(a, ray), [0.25, 0.5, 0.75])
+        qb = np.quantile(_angles_to_axis(b, ray), [0.25, 0.5, 0.75])
+        assert np.allclose(qa, qb, atol=5e-3)
+
+
+class TestRotationalSymmetry:
+    def test_azimuthal_uniformity_3d(self, rng):
+        # Around the cap axis the distribution is rotationally symmetric:
+        # for a cap centred on the x3 axis, the azimuth of the first two
+        # coordinates is uniform.
+        pts = sample_cap(np.array([0.0, 0.0, 1.0]), 0.4, 20_000, rng)
+        azimuth = np.arctan2(pts[:, 1], pts[:, 0])
+        hist, _ = np.histogram(azimuth, bins=12, range=(-np.pi, np.pi))
+        assert hist.min() > 0.85 * hist.mean()
+
+    def test_paper_figure6_configuration(self, rng):
+        # Figure 6's green points: cap around the ray with polar angles
+        # (pi/3, pi/3), theta = pi/20 — all samples stay inside the cap.
+        from repro.geometry.angles import angles_to_weights
+
+        ray = angles_to_weights(np.array([math.pi / 3, math.pi / 3]))
+        pts = sample_cap(ray, math.pi / 20, 3000, rng)
+        assert np.all(_angles_to_axis(pts, ray) <= math.pi / 20 + 1e-9)
+
+    def test_narrow_cap_concentrates(self, rng):
+        ray = np.array([1.0, 2.0, 2.0])
+        pts = sample_cap(ray, 0.01, 500, rng)
+        u = as_unit_vector(ray)
+        assert np.all(np.linalg.norm(pts - u, axis=1) < 0.011)
+
+
+class TestSampleOne:
+    def test_single_draw(self, rng):
+        sampler = CapSampler(np.ones(3), 0.2)
+        p = sampler.sample_one(rng)
+        assert p.shape == (3,)
+        assert math.isclose(float(np.linalg.norm(p)), 1.0, rel_tol=1e-9)

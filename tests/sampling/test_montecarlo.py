@@ -1,0 +1,101 @@
+"""Unit tests for Monte-Carlo statistics (Equations 9-11, Theorem 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sampling.montecarlo import (
+    confidence_error,
+    expected_samples_for_discovery,
+    expected_samples_for_error,
+    z_score,
+)
+
+
+class TestZScore:
+    def test_95_percent(self):
+        assert math.isclose(z_score(0.95), 1.959964, rel_tol=1e-5)
+
+    def test_99_percent(self):
+        assert math.isclose(z_score(0.99), 2.575829, rel_tol=1e-5)
+
+    def test_monotone_in_confidence(self):
+        assert z_score(0.99) > z_score(0.95) > z_score(0.90)
+
+    def test_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                z_score(bad)
+
+
+class TestConfidenceError:
+    def test_equation_10(self):
+        s, n = 0.3, 10_000
+        expected = 1.959964 * math.sqrt(s * (1 - s) / n)
+        assert math.isclose(confidence_error(s, n), expected, rel_tol=1e-5)
+
+    def test_shrinks_with_samples(self):
+        assert confidence_error(0.5, 10_000) < confidence_error(0.5, 100)
+
+    def test_zero_at_degenerate_stability(self):
+        assert confidence_error(0.0, 100) == 0.0
+        assert confidence_error(1.0, 100) == 0.0
+
+    def test_maximal_at_half(self):
+        assert confidence_error(0.5, 100) > confidence_error(0.1, 100)
+        assert confidence_error(0.5, 100) > confidence_error(0.9, 100)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            confidence_error(1.5, 100)
+        with pytest.raises(ValueError):
+            confidence_error(0.5, 0)
+
+    def test_empirical_coverage(self, rng):
+        # The 95% interval must cover the true mean ~95% of the time.
+        true_p, n, trials = 0.2, 1000, 400
+        covered = 0
+        for _ in range(trials):
+            m = rng.binomial(n, true_p) / n
+            e = confidence_error(m, n)
+            covered += abs(m - true_p) <= e + 1e-12
+        assert covered / trials > 0.90
+
+
+class TestExpectedSamples:
+    def test_equation_11(self):
+        s, e = 0.3, 0.01
+        z = z_score(0.95)
+        expected = math.ceil(s * (1 - s) * (z / e) ** 2)
+        assert expected_samples_for_error(s, e) == expected
+
+    def test_consistency_with_confidence_error(self):
+        # Drawing the suggested number of samples achieves the error.
+        s, target = 0.25, 0.005
+        n = expected_samples_for_error(s, target)
+        assert confidence_error(s, n) <= target * 1.001
+
+    def test_rejects_bad_error(self):
+        with pytest.raises(ValueError):
+            expected_samples_for_error(0.3, 0.0)
+
+    def test_theorem_2_mean_variance(self):
+        mean, var = expected_samples_for_discovery(0.1)
+        assert math.isclose(mean, 10.0)
+        assert math.isclose(var, 0.9 / 0.01)
+
+    def test_theorem_2_certain_discovery(self):
+        mean, var = expected_samples_for_discovery(1.0)
+        assert mean == 1.0 and var == 0.0
+
+    def test_theorem_2_matches_simulation(self, rng):
+        s = 0.2
+        draws = rng.geometric(s, size=20_000)
+        mean, var = expected_samples_for_discovery(s)
+        assert abs(draws.mean() - mean) < 0.15
+        assert abs(draws.var() - var) / var < 0.1
+
+    def test_theorem_2_rejects_zero(self):
+        with pytest.raises(ValueError):
+            expected_samples_for_discovery(0.0)

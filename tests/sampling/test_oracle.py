@@ -1,0 +1,62 @@
+"""Unit tests for the stability oracle (Algorithm 12)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.halfspace import ConvexCone, Halfspace
+from repro.sampling.oracle import StabilityOracle
+from repro.sampling.uniform import sample_orthant
+
+
+class TestStabilityOracle:
+    def test_whole_space_has_stability_one(self, rng):
+        oracle = StabilityOracle(sample_orthant(3, 1000, rng))
+        assert oracle.stability(ConvexCone(dim=3)) == 1.0
+
+    def test_halved_space(self, rng):
+        # w1 > w2 covers half the (symmetric) orthant.
+        oracle = StabilityOracle(sample_orthant(2, 50_000, rng))
+        cone = ConvexCone([Halfspace((1.0, -1.0), +1)])
+        assert abs(oracle.stability(cone) - 0.5) < 0.01
+
+    def test_2d_wedge_matches_angle_fraction(self, rng):
+        # Angle wedge (pi/8, pi/4) has stability (pi/8)/(pi/2) = 1/4.
+        oracle = StabilityOracle(sample_orthant(2, 100_000, rng))
+        lo, hi = np.pi / 8, np.pi / 4
+        cone = ConvexCone(
+            [
+                Halfspace((-np.sin(lo), np.cos(lo)), +1),  # angle > lo
+                Halfspace((np.sin(hi), -np.cos(hi)), +1),  # angle < hi
+            ]
+        )
+        assert abs(oracle.stability(cone) - 0.25) < 0.01
+
+    def test_complement_sums_to_one(self, rng):
+        oracle = StabilityOracle(sample_orthant(3, 20_000, rng))
+        h = Halfspace((0.2, -0.6, 0.4), +1)
+        plus = ConvexCone([h])
+        minus = ConvexCone([h.flipped()])
+        total = oracle.stability(plus) + oracle.stability(minus)
+        # Boundary samples have probability zero, so the sum is exact.
+        assert abs(total - 1.0) < 1e-12
+
+    def test_count_matches_stability(self, rng):
+        oracle = StabilityOracle(sample_orthant(3, 5000, rng))
+        cone = ConvexCone([Halfspace((1.0, -1.0, 0.0), +1)])
+        assert oracle.count(cone) == round(oracle.stability(cone) * 5000)
+
+    def test_stability_with_error(self, rng):
+        oracle = StabilityOracle(sample_orthant(2, 10_000, rng))
+        cone = ConvexCone([Halfspace((1.0, -1.0), +1)])
+        s, e = oracle.stability_with_error(cone)
+        assert 0.45 < s < 0.55
+        assert 0.0 < e < 0.02
+
+    def test_dim_mismatch_rejected(self, rng):
+        oracle = StabilityOracle(sample_orthant(3, 100, rng))
+        with pytest.raises(ValueError):
+            oracle.stability(ConvexCone(dim=4))
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            StabilityOracle(np.empty((0, 3)))

@@ -1,0 +1,79 @@
+"""Unit tests for acceptance-rejection sampling (section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleRegionError
+from repro.geometry.halfspace import ConvexCone, Halfspace
+from repro.sampling.rejection import RejectionSampler
+
+
+class TestRejectionSampler:
+    def test_samples_satisfy_constraints(self, rng):
+        cone = ConvexCone([Halfspace((1.0, -1.0, 0.0), +1)])  # w1 > w2
+        sampler = RejectionSampler(cone)
+        pts = sampler.sample(500, rng)
+        assert pts.shape == (500, 3)
+        assert np.all(pts[:, 0] > pts[:, 1])
+        assert np.all(pts >= 0.0)
+
+    def test_zero_size(self, rng):
+        sampler = RejectionSampler(ConvexCone(dim=3))
+        assert sampler.sample(0, rng).shape == (0, 3)
+
+    def test_negative_size_rejected(self, rng):
+        sampler = RejectionSampler(ConvexCone(dim=3))
+        with pytest.raises(ValueError):
+            sampler.sample(-2, rng)
+
+    def test_acceptance_rate_tracked(self, rng):
+        cone = ConvexCone([Halfspace((1.0, -1.0), +1)])  # half the quadrant
+        sampler = RejectionSampler(cone)
+        sampler.sample(2000, rng)
+        assert 0.3 < sampler.acceptance_rate < 0.7
+
+    def test_acceptance_rate_before_sampling(self):
+        sampler = RejectionSampler(ConvexCone(dim=2))
+        assert sampler.acceptance_rate == 1.0
+
+    def test_infeasible_region_raises(self, rng):
+        # Contradictory pair: w1 > w2 and w1 < w2.
+        cone = ConvexCone(
+            [Halfspace((1.0, -1.0), +1), Halfspace((1.0, -1.0), -1)]
+        )
+        sampler = RejectionSampler(cone, max_attempts_per_sample=200)
+        with pytest.raises(InfeasibleRegionError):
+            sampler.sample(5, rng)
+
+    def test_uniformity_within_region(self, rng):
+        # In 2D the accepted angle is uniform on the surviving interval.
+        cone = ConvexCone([Halfspace((1.0, -1.0), +1)])  # angle in (0, pi/4)
+        sampler = RejectionSampler(cone)
+        pts = sampler.sample(20_000, rng)
+        angles = np.arctan2(pts[:, 1], pts[:, 0])
+        hist, _ = np.histogram(angles, bins=8, range=(0, np.pi / 4))
+        assert hist.min() > 0.85 * hist.mean()
+
+    def test_proposal_cap_speeds_up_narrow_region(self, rng_factory):
+        # A narrow wedge around the diagonal: the cap proposal's
+        # acceptance rate must beat the orthant proposal's.
+        wedge = ConvexCone(
+            [
+                Halfspace((1.0, -0.95, 0.0), +1),
+                Halfspace((-0.95, 1.0, 0.0), +1),
+                Halfspace((0.0, 1.0, -0.95), +1),
+                Halfspace((-0.95, 0.0, 1.0), +1),
+            ]
+        )
+        plain = RejectionSampler(wedge)
+        plain.sample(300, rng_factory(5))
+        ray = np.full(3, 1.0)
+        capd = RejectionSampler(wedge, proposal_cap=(ray, 0.3))
+        capd.sample(300, rng_factory(6))
+        assert capd.acceptance_rate > plain.acceptance_rate
+
+    def test_cap_proposals_filtered_by_cone(self, rng):
+        cone = ConvexCone([Halfspace((1.0, -1.0, 0.0), +1)])
+        sampler = RejectionSampler(cone, proposal_cap=(np.ones(3), 0.5))
+        pts = sampler.sample(200, rng)
+        assert cone.contains_all(pts).all()

@@ -1,0 +1,74 @@
+"""Unit tests for the uniform sphere/orthant samplers (Algorithm 9)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.uniform import sample_angles_naive, sample_orthant, sample_sphere
+
+
+class TestSampleSphere:
+    def test_shape_and_norms(self, rng):
+        pts = sample_sphere(4, 500, rng)
+        assert pts.shape == (500, 4)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+    def test_zero_size(self, rng):
+        assert sample_sphere(3, 0, rng).shape == (0, 3)
+
+    def test_rejects_bad_dim(self, rng):
+        with pytest.raises(ValueError):
+            sample_sphere(0, 10, rng)
+
+    def test_rejects_negative_size(self, rng):
+        with pytest.raises(ValueError):
+            sample_sphere(3, -1, rng)
+
+    def test_mean_near_zero(self, rng):
+        # Uniform on the full sphere: the mean direction vanishes.
+        pts = sample_sphere(3, 20_000, rng)
+        assert np.all(np.abs(pts.mean(axis=0)) < 0.02)
+
+    def test_deterministic_under_seed(self, rng_factory):
+        a = sample_sphere(3, 10, rng_factory(42))
+        b = sample_sphere(3, 10, rng_factory(42))
+        assert np.array_equal(a, b)
+
+
+class TestSampleOrthant:
+    def test_non_negative_unit_vectors(self, rng):
+        pts = sample_orthant(5, 300, rng)
+        assert np.all(pts >= 0.0)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+    def test_coordinates_exchangeable(self, rng):
+        # Folding preserves symmetry: every coordinate has the same mean.
+        pts = sample_orthant(3, 50_000, rng)
+        means = pts.mean(axis=0)
+        assert np.max(means) - np.min(means) < 0.01
+
+    def test_matches_known_coordinate_mean(self, rng):
+        # E[|X_i| / ||X||] for d=3 is 1/2 (uniform hemisphere projection).
+        pts = sample_orthant(3, 50_000, rng)
+        assert np.allclose(pts.mean(axis=0), 0.5, atol=0.01)
+
+
+class TestNaiveSamplerBias:
+    def test_naive_sampler_is_biased_in_3d(self, rng):
+        # Figure 3 vs Figure 4: uniform angles concentrate mass near the
+        # x3 pole; Algorithm 9 does not.  Compare the mean of the last
+        # coordinate — for the uniform sampler it is 0.5, for the naive
+        # sampler it is cos-weighted and visibly larger.
+        naive = sample_angles_naive(3, 20_000, rng)
+        good = sample_orthant(3, 20_000, rng)
+        assert naive[:, 2].mean() > good[:, 2].mean() + 0.05
+
+    def test_naive_2d_is_actually_uniform(self, rng):
+        # The paper notes angle sampling is fine for d = 2.
+        pts = sample_angles_naive(2, 20_000, rng)
+        angles = np.arctan2(pts[:, 0], pts[:, 1])
+        hist, _ = np.histogram(angles, bins=10, range=(0, np.pi / 2))
+        assert hist.min() > 0.8 * hist.max()
+
+    def test_naive_rejects_dim_one(self, rng):
+        with pytest.raises(ValueError):
+            sample_angles_naive(1, 5, rng)

@@ -1,0 +1,231 @@
+"""Tests for the CSV command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import load_csv_dataset, main
+
+
+@pytest.fixture
+def csv_2d(tmp_path):
+    path = tmp_path / "items.csv"
+    path.write_text(
+        "name,aptitude,experience\n"
+        "t1,0.63,0.71\n"
+        "t2,0.83,0.65\n"
+        "t3,0.58,0.78\n"
+        "t4,0.70,0.68\n"
+        "t5,0.53,0.82\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def csv_3d_headerless(tmp_path):
+    rng = np.random.default_rng(5)
+    path = tmp_path / "plain.csv"
+    rows = rng.uniform(size=(20, 3))
+    path.write_text("\n".join(",".join(f"{v:.6f}" for v in row) for row in rows))
+    return str(path)
+
+
+class TestLoadCsv:
+    def test_header_and_labels(self, csv_2d):
+        ds = load_csv_dataset(csv_2d, label_column="name")
+        assert ds.n_items == 5
+        assert ds.n_attributes == 2
+        assert ds.item_labels[1] == "t2"
+        assert ds.attribute_names == ("aptitude", "experience")
+
+    def test_values_normalised(self, csv_2d):
+        ds = load_csv_dataset(csv_2d, label_column="name")
+        assert ds.values.min() == 0.0
+        assert ds.values.max() == 1.0
+
+    def test_headerless(self, csv_3d_headerless):
+        ds = load_csv_dataset(csv_3d_headerless)
+        assert ds.n_items == 20
+        assert ds.attribute_names == ("x1", "x2", "x3")
+
+    def test_lower_is_better(self, tmp_path):
+        path = tmp_path / "price.csv"
+        path.write_text("price,quality\n10,5\n20,9\n")
+        ds = load_csv_dataset(path, lower_is_better=("price",))
+        assert ds.values[0, 0] == 1.0  # cheapest wins
+
+    def test_unknown_lower_column(self, csv_2d):
+        with pytest.raises(ValueError):
+            load_csv_dataset(csv_2d, label_column="name", lower_is_better=("bogus",))
+
+    def test_missing_label_column(self, csv_2d):
+        with pytest.raises(ValueError):
+            load_csv_dataset(csv_2d, label_column="bogus")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_csv_dataset(path)
+
+
+class TestCliCommands:
+    def test_verify_2d(self, csv_2d, capsys):
+        rc = main(
+            ["verify", csv_2d, "--label-column", "name", "--weights", "1,1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stability:" in out
+        assert "t2" in out
+
+    def test_verify_3d_monte_carlo(self, csv_3d_headerless, capsys):
+        rc = main(
+            [
+                "verify",
+                csv_3d_headerless,
+                "--weights",
+                "1,1,1",
+                "--samples",
+                "2000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "confidence_error:" in out
+
+    def test_verify_wrong_weight_count(self, csv_2d):
+        with pytest.raises(SystemExit):
+            main(["verify", csv_2d, "--label-column", "name", "--weights", "1,1,1"])
+
+    def test_enumerate(self, csv_2d, capsys):
+        rc = main(["enumerate", csv_2d, "--label-column", "name", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("stability=") == 3
+        first = float(out.splitlines()[0].split("stability=")[1].split()[0])
+        last = float(out.splitlines()[2].split("stability=")[1].split()[0])
+        assert first >= last
+
+    def test_topk_set(self, csv_3d_headerless, capsys):
+        rc = main(
+            [
+                "topk",
+                csv_3d_headerless,
+                "--k",
+                "5",
+                "--kind",
+                "set",
+                "--budget",
+                "1000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stability=" in out
+        assert "{" in out
+
+    def test_topk_ranked_with_cone(self, csv_3d_headerless, capsys):
+        rc = main(
+            [
+                "topk",
+                csv_3d_headerless,
+                "--k",
+                "3",
+                "--kind",
+                "ranked",
+                "--budget",
+                "1000",
+                "--cone-theta",
+                "0.1",
+            ]
+        )
+        assert rc == 0
+        assert "stability=" in capsys.readouterr().out
+
+    def test_profile(self, csv_2d, capsys):
+        rc = main(
+            [
+                "profile",
+                csv_2d,
+                "--label-column",
+                "name",
+                "--items",
+                "0,1",
+                "--samples",
+                "500",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "t1" in out and "t2" in out
+        assert "ranks [" in out
+
+    def test_requires_subcommand(self, csv_2d):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestLabelCommand:
+    def test_label_2d(self, csv_2d, capsys):
+        assert (
+            main(
+                [
+                    "label",
+                    csv_2d,
+                    "--label-column",
+                    "name",
+                    "--weights",
+                    "1,1",
+                    "--k",
+                    "3",
+                    "--samples",
+                    "1000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "RANKING FACTS" in out
+        assert "Reference stability" in out
+        assert "t2" in out
+
+    def test_label_3d_with_cone(self, csv_3d_headerless, capsys):
+        assert (
+            main(
+                [
+                    "label",
+                    csv_3d_headerless,
+                    "--weights",
+                    "1,1,1",
+                    "--cone-theta",
+                    "0.1",
+                    "--samples",
+                    "500",
+                ]
+            )
+            == 0
+        )
+        assert "bubble" in capsys.readouterr().out
+
+
+class TestTradeoffCommand:
+    def test_tradeoff_2d(self, csv_2d, capsys):
+        assert (
+            main(
+                [
+                    "tradeoff",
+                    csv_2d,
+                    "--label-column",
+                    "name",
+                    "--weights",
+                    "1,1",
+                    "--cosines",
+                    "0.999,0.99",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert len(lines) == 3  # header + one row per cosine
+        assert "best_stab" in lines[0]

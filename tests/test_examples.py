@@ -1,0 +1,77 @@
+"""Smoke tests: every example script runs and prints its headline output.
+
+The heavyweight case studies are exercised at reduced scale by importing
+their helpers; the quickstart runs verbatim as a subprocess.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestQuickstart:
+    def test_runs_and_reports(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Stability of the published ranking" in proc.stdout
+        assert "11 feasible rankings" in proc.stdout
+        assert "acceptable region" in proc.stdout
+
+
+class TestCaseStudyHelpers:
+    def test_csmetrics_text_histogram(self):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            from csmetrics_case_study import text_histogram
+        finally:
+            sys.path.pop(0)
+        rows = text_histogram([0.5, 0.25, 0.125], bins=3, width=8)
+        assert len(rows) == 3
+        assert rows[0].count("#") > rows[2].count("#")
+
+    def test_flight_scale_single_point(self):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            from flight_scoring_scale import run_scale
+        finally:
+            sys.path.pop(0)
+        import numpy as np
+
+        first_s, next_s, stability = run_scale(2_000, np.random.default_rng(0))
+        assert first_s > 0 and next_s > 0
+        assert 0.0 < stability <= 1.0
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "csmetrics_case_study.py", "fifa_case_study.py",
+     "diamonds_topk.py", "flight_scoring_scale.py", "boundary_analysis.py",
+     "fair_hiring_region.py", "representatives_comparison.py",
+     "ranking_facts_label.py"],
+)
+def test_examples_compile(script):
+    source = (EXAMPLES / script).read_text()
+    compile(source, script, "exec")
+
+
+def test_fair_hiring_policy_region_feasible():
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        from fair_hiring_region import policy_region
+    finally:
+        sys.path.pop(0)
+    region = policy_region()
+    ref = region.reference_ray()
+    assert region.contains(ref)
+    # The policy's caps hold at the reference point.
+    assert ref[2] <= ref[0] + 1e-9
+    assert ref[1] >= 0.5 * ref[0] - 1e-9

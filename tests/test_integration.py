@@ -1,0 +1,185 @@
+"""Cross-engine integration tests.
+
+The three engines (exact 2D, MD arrangement, randomized Monte-Carlo)
+answer the same questions by different means; on shared inputs they must
+agree.  These tests also run the full consumer/producer workflows of
+section 2.2 end to end.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cone,
+    Dataset,
+    GetNext2D,
+    GetNextMD,
+    GetNextRandomized,
+    ScoringFunction,
+    rank_items,
+    ray_sweep,
+    top_h_stable_rankings,
+    verify_stability_2d,
+    verify_stability_md,
+)
+from repro.datasets import bluenile_dataset, csmetrics_dataset
+from repro.errors import ExhaustedError
+
+
+class TestThreeEnginesAgree2D:
+    """On a 2D dataset every engine sees the same stability landscape."""
+
+    @pytest.fixture
+    def ds(self, rng_factory):
+        return Dataset(rng_factory(100).uniform(size=(9, 2)))
+
+    def test_exact_vs_md_vs_randomized_top3(self, ds, rng_factory):
+        exact = [r for r in GetNext2D(ds)][:3]
+        md = GetNextMD(ds, n_samples=80_000, rng=rng_factory(101))
+        md_top = [md.get_next() for _ in range(3)]
+        rand = GetNextRandomized(ds, rng=rng_factory(102))
+        rand_top = [rand.get_next(budget=20_000) for _ in range(3)]
+        assert [r.ranking for r in exact] == [r.ranking for r in md_top]
+        assert [r.ranking for r in exact] == [r.ranking for r in rand_top]
+        for e, m, r in zip(exact, md_top, rand_top):
+            assert abs(e.stability - m.stability) < 0.02
+            assert abs(e.stability - r.stability) < 0.02
+
+    def test_verification_engines_agree(self, ds, rng_factory):
+        r = ScoringFunction(np.array([0.4, 0.6])).rank(ds)
+        exact = verify_stability_2d(ds, r).stability
+        estimate = verify_stability_md(
+            ds, r, n_samples=100_000, rng=rng_factory(103)
+        ).stability
+        assert abs(exact - estimate) < 0.01
+
+    def test_sweep_total_equals_randomized_coverage(self, ds, rng_factory):
+        # Drain the randomized engine long enough and the discovered
+        # stabilities must cover most of the probability mass.
+        gn = GetNextRandomized(ds, rng=rng_factory(104))
+        total = 0.0
+        try:
+            for _ in range(60):
+                total += gn.get_next(budget=2000).stability
+        except ExhaustedError:
+            pass
+        assert total > 0.95
+
+
+class TestConsumerWorkflow:
+    """Problem 1: a consumer validates a published ranking."""
+
+    def test_csmetrics_consumer_story(self):
+        # Example 1, quantitatively: the reference ranking's stability is
+        # low and far below the most stable alternative.
+        ds = csmetrics_dataset(100)
+        from repro.datasets.csmetrics import csmetrics_reference_function
+
+        reference = csmetrics_reference_function()
+        published = reference.rank(ds)
+        verdict = verify_stability_2d(ds, published)
+        most_stable = GetNext2D(ds).get_next()
+        assert verdict.stability < most_stable.stability
+        assert 0.0 <= verdict.stability < 0.1
+
+    def test_consumer_can_check_region_membership(self):
+        ds = csmetrics_dataset(50)
+        from repro.datasets.csmetrics import csmetrics_reference_function
+
+        f = csmetrics_reference_function()
+        verdict = verify_stability_2d(ds, f.rank(ds))
+        angle = math.atan2(f.weights[1], f.weights[0])
+        assert verdict.region.contains_angle(angle)
+
+
+class TestProducerWorkflow:
+    """Problems 2-3: a producer explores stable rankings near a reference."""
+
+    def test_producer_explores_cone(self, rng_factory):
+        ds = csmetrics_dataset(100)
+        from repro.datasets.csmetrics import csmetrics_reference_function
+
+        f = csmetrics_reference_function()
+        cone = Cone.from_cosine(f.weights, 0.998)
+        results = list(GetNext2D(ds, region=cone))
+        # Section 6.2 reports 22 feasible rankings in this cone for the
+        # real data; the stand-in should be within the same decade.
+        assert 3 <= len(results) <= 120
+        assert math.isclose(sum(r.stability for r in results), 1.0, rel_tol=1e-9)
+        # The best in-cone ranking is at least as stable as the published
+        # one within the cone.
+        published = verify_stability_2d(ds, f.rank(ds), region=cone)
+        assert results[0].stability >= published.stability - 1e-12
+
+    def test_producer_batch_api(self, rng_factory):
+        ds = Dataset(rng_factory(105).uniform(size=(12, 2)))
+        top = top_h_stable_rankings(ds, 4)
+        assert len(top) == 4
+        stabilities = [r.stability for r in top]
+        assert stabilities == sorted(stabilities, reverse=True)
+
+    def test_producer_md_cone_workflow(self, rng_factory):
+        ds = Dataset(rng_factory(106).uniform(size=(25, 3)))
+        ref = ScoringFunction.equal_weights(3)
+        cone = Cone(ref.weights, math.pi / 50)
+        gn = GetNextMD(ds, region=cone, n_samples=30_000, rng=rng_factory(107))
+        results = [gn.get_next() for _ in range(5)]
+        stabilities = [r.stability for r in results]
+        assert stabilities == sorted(stabilities, reverse=True)
+        assert sum(stabilities) <= 1.0 + 1e-9
+        # Every returned ranking is realised by some function in the cone.
+        for res in results:
+            probes = cone.sample(200, rng_factory(108))
+            hits = [p for p in probes if rank_items(ds.values, p) == res.ranking]
+            if res.stability > 0.05:
+                assert hits, "stable ranking should be realised by cone samples"
+
+
+class TestTopKWorkflow:
+    def test_topk_on_bluenile_subsample(self, rng_factory):
+        ds = bluenile_dataset(2000, rng_factory(109)).project(range(3))
+        cone = Cone(np.ones(3), math.pi / 50)
+        gn = GetNextRandomized(
+            ds, region=cone, kind="topk_set", k=10, rng=rng_factory(110)
+        )
+        first = gn.get_next(budget=3000)
+        assert len(first.top_k_set) == 10
+        assert first.stability > 0.0
+        second = gn.get_next(budget=1000)
+        assert second.top_k_set != first.top_k_set
+
+    def test_ranked_topk_refines_set(self, rng_factory):
+        # The most stable ranked top-k's member set: its set-stability is
+        # >= its ranked stability.
+        ds = bluenile_dataset(500, rng_factory(111)).project(range(3))
+        ranked_engine = GetNextRandomized(
+            ds, kind="topk_ranked", k=5, rng=rng_factory(112)
+        )
+        ranked = ranked_engine.get_next(budget=8000)
+        set_engine = GetNextRandomized(
+            ds, kind="topk_set", k=5, rng=rng_factory(112)
+        )
+        as_set = set_engine.get_next(budget=8000)
+        assert as_set.stability >= ranked.stability - 0.02
+
+
+class TestNonLinearScoring:
+    def test_quadratic_term_via_derived_attribute(self, rng_factory):
+        # Section 2.1.1: f = x1 + x2 + 0.5 x1^2 handled by adding x3 = x1^2.
+        rng = rng_factory(113)
+        base = Dataset(rng.uniform(size=(8, 2)))
+        extended = base.with_derived_attribute(lambda v: v[:, 0] ** 2)
+        w = np.array([1.0, 1.0, 0.5])
+        ranking = rank_items(extended.values, w)
+        scores = (
+            base.values[:, 0] + base.values[:, 1] + 0.5 * base.values[:, 0] ** 2
+        )
+        expected = np.argsort(-scores, kind="stable")
+        assert list(ranking.order) == expected.tolist()
+        # Stability of the non-linear ranking via the MD machinery.
+        res = verify_stability_md(
+            extended, ranking, n_samples=20_000, rng=rng_factory(114)
+        )
+        assert res.stability > 0.0

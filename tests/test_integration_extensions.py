@@ -1,0 +1,134 @@
+"""Cross-module integration of the extension toolkits.
+
+Walks one dataset through the full extended workflow — label, trade-off
+frontier, exact 2D top-k, representative baselines, JSON archive — and
+checks that independently computed quantities agree with each other.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    GetNextRandomized,
+    build_label,
+    enumerate_topk_2d,
+    most_stable_within,
+    stability_similarity_tradeoff,
+    verify_stability_2d,
+    verify_topk_2d,
+    verify_topk_set_stability,
+)
+from repro.io import dump_json, label_to_dict, tradeoff_to_dicts
+from repro.operators import (
+    OnionIndex,
+    SortedLists,
+    no_random_access,
+    skyline,
+    threshold_algorithm,
+    top_k_indices,
+)
+
+
+@pytest.fixture
+def catalog(rng) -> Dataset:
+    from repro.datasets import csmetrics_dataset
+
+    return csmetrics_dataset(30, rng)
+
+
+class TestProducerWorkflow:
+    def test_label_reference_matches_exact_verification(self, catalog, rng):
+        weights = np.array([0.3, 0.7])
+        label = build_label(catalog, weights, n_samples=2_000, rng=rng)
+        exact = verify_stability_2d(catalog, label.reference_ranking)
+        assert label.reference_stability == pytest.approx(exact.stability)
+
+    def test_tradeoff_best_matches_most_stable_within(self, catalog, rng):
+        weights = np.array([0.3, 0.7])
+        points = stability_similarity_tradeoff(
+            catalog, weights, cosines=(0.99,), rng=rng
+        )
+        direct = most_stable_within(catalog, weights, 0.99)
+        assert points[0].best.stability == pytest.approx(direct.stability)
+        assert points[0].best.ranking == direct.ranking
+
+    def test_label_top_alternative_is_observable_by_get_next(self, catalog, rng):
+        # The most stable alternative on the label must be (close to)
+        # what the exact engine reports as the most stable ranking.
+        from repro import GetNext2D
+
+        label = build_label(
+            catalog, np.array([0.3, 0.7]), n_samples=6_000, rng=rng
+        )
+        exact_top = GetNext2D(catalog).get_next()
+        assert label.alternatives[0].ranking == exact_top.ranking
+        assert label.alternatives[0].stability == pytest.approx(
+            exact_top.stability, abs=0.02
+        )
+
+
+class TestExactTopkAgainstMonteCarlo:
+    def test_exact_equals_estimated_set_stability(self, catalog, rng):
+        exact = enumerate_topk_2d(catalog, 5, kind="set")
+        top = exact[0]
+        estimated = verify_topk_set_stability(
+            catalog, top.top_k_set, n_samples=20_000, rng=rng
+        )
+        assert estimated.stability == pytest.approx(top.stability, abs=0.02)
+
+    def test_verify_and_enumerate_agree(self, catalog):
+        exact = enumerate_topk_2d(catalog, 4, kind="ranked")
+        top = exact[0]
+        verified = verify_topk_2d(catalog, list(top.ranking.order), kind="ranked")
+        assert verified.stability == pytest.approx(top.stability)
+
+    def test_randomized_engine_discovers_exact_winner(self, catalog, rng):
+        exact = enumerate_topk_2d(catalog, 5, kind="set")
+        engine = GetNextRandomized(catalog, kind="topk_set", k=5, rng=rng)
+        estimate = engine.get_next(budget=15_000)
+        assert estimate.top_k_set == exact[0].top_k_set
+
+
+class TestTopkEnginesOnRealWorkload:
+    def test_all_engines_agree_on_catalog(self, catalog):
+        weights = np.array([0.3, 0.7])
+        reference = top_k_indices(catalog.values @ weights, 10).tolist()
+        lists = SortedLists(catalog.values)
+        index = OnionIndex(catalog.values)
+        assert list(threshold_algorithm(lists, weights, 10).order) == reference
+        assert list(no_random_access(lists, weights, 10).order) == reference
+        assert list(index.top_k(weights, 10)[0]) == reference
+
+    def test_most_stable_top1_is_skyline_member(self, catalog):
+        # The top-1 under any linear function is on the convex hull,
+        # hence on the skyline; the most stable top-1 set inherits this.
+        exact = enumerate_topk_2d(catalog, 1, kind="set")
+        sky = set(skyline(catalog.values).tolist())
+        for result in exact:
+            (member,) = result.top_k_set
+            assert member in sky
+
+
+class TestJsonArchive:
+    def test_full_report_round_trips(self, catalog, rng, tmp_path):
+        weights = np.array([0.3, 0.7])
+        label = build_label(catalog, weights, n_samples=1_000, rng=rng)
+        points = stability_similarity_tradeoff(
+            catalog, weights, cosines=(0.999, 0.99), rng=rng
+        )
+        path = tmp_path / "report.json"
+        dump_json(
+            {
+                "label": label_to_dict(label),
+                "tradeoff": tradeoff_to_dicts(points),
+            },
+            path,
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["label"]["reference_stability"] == pytest.approx(
+            label.reference_stability
+        )
+        assert [row["cosine"] for row in loaded["tradeoff"]] == [0.999, 0.99]

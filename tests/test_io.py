@@ -1,0 +1,114 @@
+"""Tests for JSON serialisation of analysis results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Ranking, build_label, stability_similarity_tradeoff, verify_stability_2d
+from repro.core.stability import AngularRegion, StabilityResult
+from repro.geometry.halfspace import ConvexCone, Halfspace
+from repro.io import (
+    dump_json,
+    label_to_dict,
+    ranking_to_dict,
+    stability_result_to_dict,
+    tradeoff_to_dicts,
+)
+
+
+class TestRankingToDict:
+    def test_complete(self):
+        ranking = Ranking([2, 0, 1])
+        d = ranking_to_dict(ranking)
+        assert d == {"order": [2, 0, 1], "n_items": 3, "is_complete": True}
+
+    def test_partial(self):
+        ranking = Ranking([4, 2], n_items=10)
+        d = ranking_to_dict(ranking)
+        assert d["is_complete"] is False
+        assert d["n_items"] == 10
+
+
+class TestStabilityResultToDict:
+    def test_angular_region(self, paper_dataset):
+        f_ranking = Ranking([1, 3, 2, 4, 0])
+        result = verify_stability_2d(paper_dataset, f_ranking)
+        d = stability_result_to_dict(result)
+        assert d["region"]["kind"] == "angular"
+        assert d["region"]["lo"] < d["region"]["hi"]
+        assert d["stability"] == pytest.approx(result.stability)
+
+    def test_cone_region(self):
+        cone = ConvexCone([Halfspace((1.0, -1.0, 0.0), +1)])
+        result = StabilityResult(
+            ranking=Ranking([0, 1, 2]), stability=0.25, region=cone
+        )
+        d = stability_result_to_dict(result)
+        assert d["region"]["kind"] == "cone"
+        assert d["region"]["halfspaces"] == [
+            {"normal": [1.0, -1.0, 0.0], "sign": 1}
+        ]
+
+    def test_topk_set_sorted(self):
+        result = StabilityResult(
+            ranking=Ranking([5, 3], n_items=10),
+            stability=0.5,
+            top_k_set=frozenset({5, 3}),
+        )
+        assert stability_result_to_dict(result)["top_k_set"] == [3, 5]
+
+    def test_round_trips_through_json(self, paper_dataset):
+        result = verify_stability_2d(paper_dataset, Ranking([1, 3, 2, 4, 0]))
+        text = json.dumps(stability_result_to_dict(result))
+        assert json.loads(text)["ranking"]["order"] == [1, 3, 2, 4, 0]
+
+
+class TestLabelToDict:
+    def test_full_structure(self, paper_dataset, rng):
+        label = build_label(
+            paper_dataset, np.array([1.0, 1.0]), n_samples=1_000, k=3, rng=rng
+        )
+        d = label_to_dict(label)
+        assert set(d) >= {
+            "reference_weights",
+            "reference_stability",
+            "alternatives",
+            "item_profiles",
+            "bubble_items",
+        }
+        assert len(d["alternatives"]) == len(label.alternatives)
+        for alt in d["alternatives"]:
+            assert "displacement" in alt
+        json.dumps(d)  # must be JSON-native throughout
+
+
+class TestTradeoffToDicts:
+    def test_frontier_rows(self, paper_dataset, rng):
+        points = stability_similarity_tradeoff(
+            paper_dataset, np.array([1.0, 1.0]), cosines=(0.999, 0.99), rng=rng
+        )
+        rows = tradeoff_to_dicts(points)
+        assert [r["cosine"] for r in rows] == [0.999, 0.99]
+        for row in rows:
+            assert row["best"]["stability"] >= 0.0
+            json.dumps(row)
+
+
+class TestDumpJson:
+    def test_writes_sorted_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        dump_json({"b": np.int64(2), "a": np.float64(1.5)}, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == {"a": 1.5, "b": 2}
+        # Stable key order in the raw text.
+        assert path.read_text().index('"a"') < path.read_text().index('"b"')
+
+    def test_numpy_array_payload(self, tmp_path):
+        path = tmp_path / "arr.json"
+        dump_json({"w": np.array([0.5, 0.5])}, path)
+        assert json.loads(path.read_text()) == {"w": [0.5, 0.5]}
+
+    def test_rejects_unserialisable(self, tmp_path):
+        with pytest.raises(TypeError):
+            dump_json({"x": object()}, tmp_path / "bad.json")

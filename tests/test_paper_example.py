@@ -1,0 +1,134 @@
+"""End-to-end checks against every concrete number in the paper's text.
+
+Covers the running example (Figures 1a-1c, Examples 2-3), the section
+2.2.5 skyline contrast, and the section 3.2 region-of-interest examples.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cone,
+    ConstrainedRegion,
+    Dataset,
+    GetNext2D,
+    ScoringFunction,
+    rank_items,
+    ray_sweep,
+    verify_stability_2d,
+)
+from repro.operators import skyline
+
+
+class TestFigure1:
+    def test_scores_of_figure_1a(self, paper_dataset):
+        # Figure 1a tabulates f = x1 + x2: 1.34, 1.48, 1.36, 1.38, 1.35.
+        f = ScoringFunction.equal_weights(2)
+        assert np.allclose(
+            f.score_all(paper_dataset), [1.34, 1.48, 1.36, 1.38, 1.35]
+        )
+
+    def test_ranking_of_figure_1b(self, paper_dataset):
+        # "the candidates in Example 2 are ranked as <t2, t4, t3, t5, t1>".
+        f = ScoringFunction.equal_weights(2)
+        assert f.rank(paper_dataset).order == (1, 3, 2, 4, 0)
+
+    def test_figure_1c_eleven_regions(self, paper_dataset):
+        # "Figure 1c shows regions R1 through R11".
+        assert len(ray_sweep(paper_dataset)) == 11
+
+    def test_t2_highest_under_f(self, paper_dataset):
+        # "the intersection of the line t2 with the ray of f = x1 + x2 is
+        # closest to the origin, and so t2 has the highest rank for f."
+        f = ScoringFunction.equal_weights(2)
+        scores = f.score_all(paper_dataset)
+        intersections = 1.0 / scores  # distance along the ray, scaled
+        assert int(np.argmin(intersections)) == 1
+
+    def test_exchange_t1_t4_bounds_region(self, paper_dataset):
+        # Section 3: x(t1, t4) separates t1-above-t4 (left) from
+        # t4-above-t1 (right).
+        theta = math.atan((0.70 - 0.63) / (0.71 - 0.68))
+        before = rank_items(
+            paper_dataset.values,
+            np.array([math.cos(theta + 0.01), math.sin(theta + 0.01)]),
+        )
+        after = rank_items(
+            paper_dataset.values,
+            np.array([math.cos(theta - 0.01), math.sin(theta - 0.01)]),
+        )
+        # Larger angle = closer to the x2 axis: t1 (index 0) preferred on
+        # the left of the exchange ray (angle above theta).
+        assert before.rank_of(0) < before.rank_of(3)
+        assert after.rank_of(3) < after.rank_of(0)
+
+
+class TestExample3Regions:
+    def test_hr_acceptable_region(self, paper_dataset):
+        # Example 3: aptitude twice as important as experience, within
+        # 20%: w1/w2 in [1.6, 2.4].
+        region = ConstrainedRegion(
+            np.array([[1.0, -1.6], [-1.0, 2.4]])  # w1 >= 1.6 w2, w1 <= 2.4 w2
+        )
+        lo, hi = region.angle_interval()
+        assert math.isclose(lo, math.atan2(1.0, 2.4))
+        assert math.isclose(hi, math.atan2(1.0, 1.6))
+        regions = ray_sweep(paper_dataset, region=region)
+        assert math.isclose(sum(s for s, _ in regions), 1.0, rel_tol=1e-9)
+
+    def test_section_32_ustar1(self, paper_dataset):
+        # U*_1 = {w1 <= w2, 2 w1 >= w2}: angles [pi/4, arctan 2].
+        region = ConstrainedRegion(np.array([[-1.0, 1.0], [2.0, -1.0]]))
+        lo, hi = region.angle_interval()
+        assert math.isclose(lo, math.pi / 4)
+        assert math.isclose(hi, math.atan(2.0))
+
+    def test_section_32_ustar2(self):
+        # U*_2: pi/10 around f = x1 + x2 -> angles [3pi/20, 7pi/20].
+        cone = Cone(np.array([1.0, 1.0]), math.pi / 10)
+        lo, hi = cone.angle_interval()
+        assert math.isclose(lo, 3 * math.pi / 20)
+        assert math.isclose(hi, 7 * math.pi / 20)
+        # "at most pi/10 angle distance (at least 95.1% cosine similarity)"
+        assert math.cos(math.pi / 10) > 0.951
+
+
+class TestSection225SkylineContrast:
+    def test_stable_top3_not_subset_of_skyline(self, rng):
+        # D = {t1(1,0), t2(.99,.99), t3(.98,.98), t4(.97,.97), t5(0,1)}:
+        # skyline is {t1, t2, t5}; most stable top-3 is {t2, t3, t4}.
+        values = np.array(
+            [[1.0, 0.0], [0.99, 0.99], [0.98, 0.98], [0.97, 0.97], [0.0, 1.0]]
+        )
+        ds = Dataset(values)
+        sky = set(skyline(values).tolist())
+        assert sky == {0, 1, 4}
+        from repro import GetNextRandomized
+
+        gn = GetNextRandomized(ds, kind="topk_set", k=3, rng=rng)
+        top = gn.get_next(budget=4000)
+        assert top.top_k_set == frozenset({1, 2, 3})
+        assert not top.top_k_set <= sky
+
+
+class TestGetNextOnExample:
+    def test_enumeration_covers_all_rankings(self, paper_dataset):
+        results = list(GetNext2D(paper_dataset))
+        # 11 regions, 11 distinct rankings (Theorem 1 in 2D).
+        assert len(results) == 11
+        assert len({r.ranking for r in results}) == 11
+        # All five extreme rankings appear: by-x1 and by-x2 orders.
+        rankings = {r.ranking.order for r in results}
+        assert (1, 3, 0, 2, 4) in rankings  # f = x1
+        assert (4, 2, 0, 3, 1) in rankings  # f = x2
+
+    def test_default_ranking_not_most_stable(self, paper_dataset):
+        # In the example the equal-weights ranking's region (containing
+        # pi/4) is visibly narrower than R11/R1 ("R11 and R1 are wide...").
+        default = ScoringFunction.equal_weights(2).rank(paper_dataset)
+        default_stability = verify_stability_2d(paper_dataset, default).stability
+        most_stable = GetNext2D(paper_dataset).get_next()
+        assert most_stable.stability > default_stability
+        assert most_stable.ranking != default

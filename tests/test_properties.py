@@ -1,0 +1,226 @@
+"""Hypothesis property-based tests on the core invariants.
+
+The invariants exercised here are the paper's load-bearing facts:
+
+1. Ranking regions tile the function space (stabilities sum to 1).
+2. SV2D's region is exactly the set of angles inducing the ranking.
+3. Exchange-hyperplane halfspaces predict pairwise order everywhere.
+4. The MD ranking-region cone contains precisely the functions that
+   induce the ranking (Theorem 1's one-to-one mapping).
+5. Rotations used by the cap sampler are isometries.
+6. Dominance implies order under every weight vector.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import Dataset, rank_items, ranking_region_md, ray_sweep, verify_stability_2d
+from repro.errors import InfeasibleRankingError
+from repro.geometry.angles import angles_to_weights, weights_to_angles
+from repro.geometry.dual import dominates, exchange_hyperplane
+from repro.geometry.rotation import rotation_matrix_to_ray
+from repro.geometry.spherical import cap_cdf, inverse_cap_cdf
+
+VALUE = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64)
+
+
+def _values(n_min=2, n_max=10, d_min=2, d_max=2):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(n_min, n_max), st.integers(d_min, d_max)
+        ),
+        elements=VALUE,
+    )
+
+
+@st.composite
+def _weights(draw, d_min=2, d_max=6):
+    dim = draw(st.integers(d_min, d_max))
+    w = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=dim,
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        )
+    )
+    assume(float(np.sum(w)) > 1e-6)
+    return w
+
+
+class TestSweepTiling:
+    @given(values=_values())
+    @settings(max_examples=60, deadline=None)
+    def test_stabilities_sum_to_one(self, values):
+        ds = Dataset(values)
+        regions = ray_sweep(ds)
+        assert math.isclose(sum(s for s, _ in regions), 1.0, rel_tol=1e-9)
+
+    @given(values=_values())
+    @settings(max_examples=40, deadline=None)
+    def test_regions_are_contiguous(self, values):
+        ds = Dataset(values)
+        spans = sorted((r.lo, r.hi) for _, r in ray_sweep(ds))
+        for (_, prev_hi), (next_lo, _) in zip(spans, spans[1:]):
+            assert math.isclose(prev_hi, next_lo, rel_tol=1e-9)
+
+    @given(values=_values(), angle=st.floats(0.01, math.pi / 2 - 0.01))
+    @settings(max_examples=60, deadline=None)
+    def test_every_function_lands_in_its_verified_region(self, values, angle):
+        # SV2D on the ranking induced at `angle` must return a region
+        # containing `angle`.
+        ds = Dataset(values)
+        w = np.array([math.cos(angle), math.sin(angle)])
+        ranking = rank_items(values, w)
+        try:
+            result = verify_stability_2d(ds, ranking)
+        except InfeasibleRankingError:
+            # Possible only when `angle` sits exactly on an exchange and
+            # float tie-breaking produced a boundary ranking.
+            return
+        assert result.region.lo - 1e-9 <= angle <= result.region.hi + 1e-9
+
+
+@st.composite
+def _pair_and_weights(draw):
+    """Two items and a weight vector sharing one dimension."""
+    dim = draw(st.integers(2, 5))
+    elem = st.floats(0.0, 1.0, allow_nan=False, width=64)
+    t_i = np.array(draw(st.lists(elem, min_size=dim, max_size=dim)))
+    t_j = np.array(draw(st.lists(elem, min_size=dim, max_size=dim)))
+    w = np.array(draw(st.lists(st.floats(0.001, 1.0, width=64), min_size=dim, max_size=dim)))
+    return t_i, t_j, w
+
+
+class TestExchangeHalfspaces:
+    @given(data=_pair_and_weights())
+    @settings(max_examples=150, deadline=None)
+    def test_halfspace_sign_predicts_order(self, data):
+        t_i, t_j, weights = data
+        h = exchange_hyperplane(t_i, t_j)
+        margin = float(h @ weights)
+        assume(abs(margin) > 1e-12)
+        si, sj = float(t_i @ weights), float(t_j @ weights)
+        assert (margin > 0) == (si > sj)
+
+    @given(data=_pair_and_weights(), shrink=st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_dominance_fixes_order_everywhere(self, data, shrink):
+        # Construct a dominated copy rather than filtering for one.
+        t_i, _, _ = data
+        assume(float(t_i.sum()) > 1e-9)
+        t_j = t_i * shrink
+        assume(dominates(t_i, t_j))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            w = rng.uniform(0.001, 1.0, size=t_i.shape[0])
+            assert float(t_i @ w) >= float(t_j @ w)
+
+
+class TestMDRegionCharacterisation:
+    @given(
+        values=_values(n_min=3, n_max=8, d_min=3, d_max=4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cone_membership_equals_ranking_equality(self, values, seed):
+        ds = Dataset(values)
+        rng = np.random.default_rng(seed)
+        w = rng.uniform(0.01, 1.0, size=values.shape[1])
+        ranking = rank_items(values, w)
+        try:
+            cone = ranking_region_md(ds, ranking)
+        except InfeasibleRankingError:
+            return
+        for _ in range(15):
+            probe = rng.uniform(0.001, 1.0, size=values.shape[1])
+            same = rank_items(values, probe) == ranking
+            inside = cone.contains(probe)
+            if inside != same:
+                # Boundary flukes: the probe scores two items equally.
+                scores = values @ probe
+                diffs = np.abs(np.subtract.outer(scores, scores))
+                np.fill_diagonal(diffs, 1.0)
+                assume(diffs.min() > 1e-12)
+            assert inside == same
+
+
+class TestAngleRoundTrip:
+    @given(weights=_weights())
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_is_unit_ray(self, weights):
+        u = angles_to_weights(weights_to_angles(weights))
+        expected = weights / np.linalg.norm(weights)
+        assert np.allclose(u, expected, atol=1e-8)
+
+    @given(weights=_weights())
+    @settings(max_examples=100, deadline=None)
+    def test_angles_within_quadrant(self, weights):
+        angles = weights_to_angles(weights)
+        assert np.all(angles >= -1e-12)
+        assert np.all(angles <= math.pi / 2 + 1e-12)
+
+
+class TestRotationIsometry:
+    @given(weights=_weights(d_min=2, d_max=6), seed=st.integers(0, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_rotation_preserves_norms(self, weights, seed):
+        m = rotation_matrix_to_ray(weights)
+        v = np.random.default_rng(seed).normal(size=weights.shape[0])
+        assert math.isclose(
+            float(np.linalg.norm(m @ v)), float(np.linalg.norm(v)), rel_tol=1e-9
+        )
+
+    @given(weights=_weights(d_min=2, d_max=6))
+    @settings(max_examples=100, deadline=None)
+    def test_rotation_maps_pole_to_ray(self, weights):
+        m = rotation_matrix_to_ray(weights)
+        e_d = np.zeros(weights.shape[0])
+        e_d[-1] = 1.0
+        assert np.allclose(m @ e_d, weights / np.linalg.norm(weights), atol=1e-9)
+
+
+class TestCapCdfProperties:
+    @given(
+        dim=st.integers(2, 8),
+        theta=st.floats(0.01, math.pi / 2),
+        y=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_inverse_round_trip(self, dim, theta, y):
+        x = inverse_cap_cdf(y, theta, dim)
+        assert -1e-12 <= x <= theta + 1e-9
+        assert math.isclose(cap_cdf(x, theta, dim), y, abs_tol=1e-7)
+
+    @given(
+        dim=st.integers(2, 8),
+        theta=st.floats(0.01, math.pi / 2),
+        xs=st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_cdf_monotone(self, dim, theta, xs):
+        a, b = sorted(x * theta for x in xs)
+        assert cap_cdf(a, theta, dim) <= cap_cdf(b, theta, dim) + 1e-12
+
+
+class TestRankingDeterminism:
+    @given(values=_values(n_min=2, n_max=12, d_min=2, d_max=4), seed=st.integers(0, 999))
+    @settings(max_examples=80, deadline=None)
+    def test_rank_items_total_and_deterministic(self, values, seed):
+        w = np.random.default_rng(seed).uniform(0.01, 1.0, size=values.shape[1])
+        a = rank_items(values, w)
+        b = rank_items(values, w)
+        assert a == b
+        assert sorted(a.order) == list(range(values.shape[0]))
+
+    @given(values=_values(n_min=2, n_max=10, d_min=2, d_max=3), seed=st.integers(0, 999))
+    @settings(max_examples=60, deadline=None)
+    def test_top_k_prefix_consistency(self, values, seed):
+        w = np.random.default_rng(seed).uniform(0.01, 1.0, size=values.shape[1])
+        full = rank_items(values, w)
+        for k in range(1, values.shape[0] + 1):
+            assert rank_items(values, w, k=k).order == full.order[:k]

@@ -1,0 +1,82 @@
+"""Surface tests: the public API advertised in README and __init__."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.core",
+            "repro.geometry",
+            "repro.sampling",
+            "repro.operators",
+            "repro.datasets",
+            "repro.errors",
+        ):
+            importlib.import_module(module)
+
+    def test_geometry_all_exports(self):
+        geometry = importlib.import_module("repro.geometry")
+        for name in geometry.__all__:
+            assert hasattr(geometry, name), name
+
+    def test_sampling_all_exports(self):
+        sampling = importlib.import_module("repro.sampling")
+        for name in sampling.__all__:
+            assert hasattr(sampling, name), name
+
+    def test_error_hierarchy(self):
+        from repro import errors
+
+        for name in (
+            "InvalidDatasetError",
+            "InvalidWeightsError",
+            "InvalidRankingError",
+            "InfeasibleRankingError",
+            "InfeasibleRegionError",
+            "ExhaustedError",
+            "BudgetExceededError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.StableRankingsError)
+            assert issubclass(cls, Exception)
+
+    def test_readme_quickstart_snippet_runs(self):
+        # The exact code from README's Quickstart section.
+        from repro import Dataset, GetNext2D, ScoringFunction, verify_stability_2d
+
+        candidates = Dataset(
+            np.array(
+                [
+                    [0.63, 0.71],
+                    [0.83, 0.65],
+                    [0.58, 0.78],
+                    [0.70, 0.68],
+                    [0.53, 0.82],
+                ]
+            )
+        )
+        f = ScoringFunction.equal_weights(2)
+        ranking = f.rank(candidates)
+        verdict = verify_stability_2d(candidates, ranking)
+        assert 0.0 < verdict.stability < 1.0
+        results = list(GetNext2D(candidates))
+        assert len(results) == 11
+
+    def test_module_docstring_doctest(self):
+        import doctest
+
+        failures, _ = doctest.testmod(repro, verbose=False)
+        assert failures == 0

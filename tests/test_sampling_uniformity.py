@@ -1,0 +1,105 @@
+"""Statistical uniformity tests reproducing Figures 3-6 quantitatively.
+
+The paper demonstrates sampler correctness visually (scatter plots); here
+the same claims are chi-square / moment tests:
+
+- Figure 3: naive angle sampling is *not* uniform on the 3-sphere orthant;
+- Figure 4: Algorithm 9's output *is* uniform;
+- Figure 6: cap samples around arbitrary rays stay in the cap and follow
+  the correct colatitude law for both inverse-CDF backends.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.geometry.angles import angles_to_weights, as_unit_vector
+from repro.geometry.spherical import cap_cdf
+from repro.sampling.cap import sample_cap
+from repro.sampling.uniform import sample_angles_naive, sample_orthant
+
+
+def _solid_angle_counts(points, bins=4):
+    """Bucket orthant directions by their first two angular coordinates.
+
+    Equal-area binning on the orthant is awkward; instead we compare
+    against a high-count reference histogram, so any equal-measure
+    partition works.  We use the z-value and azimuth quantile grid.
+    """
+    z = points[:, -1]
+    azimuth = np.arctan2(points[:, 1], points[:, 0])
+    # For a uniform sample on the orthant of S^2: z ~ uniform [0, 1]
+    # (Archimedes), azimuth ~ uniform [0, pi/2].
+    z_bins = np.clip((z * bins).astype(int), 0, bins - 1)
+    a_bins = np.clip((azimuth / (np.pi / 2) * bins).astype(int), 0, bins - 1)
+    counts = np.zeros((bins, bins))
+    for zb, ab in zip(z_bins, a_bins):
+        counts[zb, ab] += 1
+    return counts.ravel()
+
+
+class TestFigure4Uniformity:
+    def test_z_coordinate_uniform_3d(self, rng):
+        # Archimedes' hat-box: for uniform points on S^2, each coordinate
+        # is uniform; folded to the orthant, z ~ U[0, 1].
+        pts = sample_orthant(3, 40_000, rng)
+        ks = stats.kstest(pts[:, 2], "uniform")
+        assert ks.pvalue > 0.01
+
+    def test_chi_square_solid_angles(self, rng):
+        pts = sample_orthant(3, 64_000, rng)
+        counts = _solid_angle_counts(pts)
+        chi = stats.chisquare(counts)
+        assert chi.pvalue > 0.001
+
+    def test_symmetry_under_coordinate_permutation(self, rng):
+        pts = sample_orthant(4, 40_000, rng)
+        # All marginals identical: compare first and last coordinates.
+        ks = stats.ks_2samp(pts[:, 0], pts[:, 3])
+        assert ks.pvalue > 0.01
+
+
+class TestFigure3Bias:
+    def test_naive_sampler_fails_uniformity(self, rng):
+        pts = sample_angles_naive(3, 40_000, rng)
+        ks = stats.kstest(pts[:, 2], "uniform")
+        assert ks.pvalue < 1e-6  # decisively non-uniform
+
+    def test_naive_density_drops_towards_equator(self, rng):
+        # "the density of the end points reduces moving from the top of
+        # the figure to the bottom."
+        pts = sample_angles_naive(3, 40_000, rng)
+        top = np.sum(pts[:, 2] > 0.9)
+        bottom = np.sum(pts[:, 2] < 0.1)
+        assert top > 2 * bottom
+
+
+class TestFigure6CapSamples:
+    @pytest.mark.parametrize("method", ["exact", "riemann"])
+    def test_green_configuration(self, method, rng):
+        # Cap around polar angles (pi/3, pi/3) with theta = pi/20.
+        ray = angles_to_weights(np.array([math.pi / 3, math.pi / 3]))
+        pts = sample_cap(ray, math.pi / 20, 5000, rng, method=method)
+        cosines = pts @ as_unit_vector(ray)
+        assert np.all(cosines >= math.cos(math.pi / 20) - 1e-9)
+
+    @pytest.mark.parametrize("method", ["exact", "riemann"])
+    def test_red_configuration_colatitude_law(self, method, rng):
+        # Cap around polar angles (pi/6, pi/4), theta = pi/20 (Figure 6's
+        # red points use the closed-form Equation 15 in the paper).
+        ray = angles_to_weights(np.array([math.pi / 6, math.pi / 4]))
+        theta = math.pi / 20
+        pts = sample_cap(ray, theta, 8000, rng, method=method)
+        colat = np.arccos(np.clip(pts @ as_unit_vector(ray), -1, 1))
+        grid = np.linspace(0.05 * theta, 0.95 * theta, 8)
+        for x in grid:
+            empirical = float(np.mean(colat <= x))
+            assert abs(empirical - cap_cdf(x, theta, 3)) < 0.03
+
+    def test_cap_mean_direction_matches_ray(self, rng):
+        ray = np.array([0.2, 0.9, 0.4])
+        pts = sample_cap(ray, math.pi / 30, 10_000, rng)
+        mean_dir = as_unit_vector(pts.mean(axis=0))
+        assert float(mean_dir @ as_unit_vector(ray)) > 0.9999

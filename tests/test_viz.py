@@ -1,0 +1,68 @@
+"""Unit tests for the terminal visualisation helpers."""
+
+import pytest
+
+from repro.core.analysis import RankProfile
+from repro.core.ranking import Ranking
+from repro.core.stability import StabilityResult
+from repro.viz import format_ranking, rank_strip, stability_bars
+
+
+def _result(stability):
+    return StabilityResult(ranking=Ranking([0, 1]), stability=stability)
+
+
+class TestStabilityBars:
+    def test_renders_results_and_floats(self):
+        out_results = stability_bars([_result(0.5), _result(0.25)])
+        out_floats = stability_bars([0.5, 0.25])
+        assert out_results == out_floats
+        lines = out_floats.splitlines()
+        # The default "#<rank>" labels also contain '#'; compare only the
+        # trailing bar segment.
+        bars = [line.split()[-1] for line in lines]
+        assert len(bars[0]) == 2 * len(bars[1])
+
+    def test_zero_and_empty(self):
+        assert "no rankings" in stability_bars([])
+        assert "zero" in stability_bars([0.0, 0.0])
+
+    def test_max_rows_ellipsis(self):
+        out = stability_bars([0.1] * 30, max_rows=5)
+        assert "... 25 more" in out
+        assert len(out.splitlines()) == 6
+
+    def test_custom_labels(self):
+        out = stability_bars([0.4, 0.2], labels=["alpha", "beta"])
+        assert "alpha" in out and "beta" in out
+
+
+class TestRankStrip:
+    def test_marks_range_and_mean(self):
+        p = RankProfile(item=0, min_rank=4, max_rank=10, mean_rank=6.0, quantiles={})
+        strip = rank_strip(p, n_items=20, width=40)
+        assert strip.startswith("|") and strip.endswith("|")
+        assert "o" in strip and "-" in strip
+        body = strip[1:-1]
+        assert body.index("-") < body.index("o")
+
+    def test_pinned_rank(self):
+        p = RankProfile(item=0, min_rank=1, max_rank=1, mean_rank=1.0, quantiles={})
+        strip = rank_strip(p, n_items=10, width=20)
+        assert strip[1] == "o"
+
+    def test_rejects_bad_n(self):
+        p = RankProfile(item=0, min_rank=1, max_rank=1, mean_rank=1.0, quantiles={})
+        with pytest.raises(ValueError):
+            rank_strip(p, n_items=0)
+
+
+class TestFormatRanking:
+    def test_basic(self):
+        assert format_ranking([2, 0, 1]) == "1.2  2.0  3.1"
+
+    def test_labels_and_limit(self):
+        out = format_ranking(range(15), limit=3)
+        assert out.endswith("...")
+        labelled = format_ranking([1, 0], labels=["alpha", "beta"])
+        assert labelled == "1.beta  2.alpha"
