@@ -15,14 +15,23 @@ Quick tour
 >>> 0 < result.stability < 1
 True
 
-Three engines answer the paper's three problems (verification, batch
-enumeration, iterative GET-NEXT):
+The documented entry point is the :class:`StabilityEngine` facade,
+which dispatches on ``(d, n, kind, budget)`` over three registered
+backends (verification, batch enumeration, iterative GET-NEXT):
 
-- exact 2D sweep (:class:`repro.core.GetNext2D`);
-- lazy hyperplane-arrangement construction for d > 2
-  (:class:`repro.core.GetNextMD`);
-- Monte-Carlo randomized operator, the only one supporting top-k partial
-  rankings (:class:`repro.core.GetNextRandomized`).
+>>> engine = StabilityEngine(data)
+>>> engine.backend_name
+'twod_exact'
+>>> best = engine.get_next()
+>>> 0 < best.stability <= 1
+True
+
+- ``twod_exact`` — the exact 2D sweep (:class:`repro.core.GetNext2D`);
+- ``md_arrangement`` — lazy hyperplane-arrangement construction for
+  d > 2 (:class:`repro.core.GetNextMD`);
+- ``randomized`` — the Monte-Carlo operator, the only one supporting
+  top-k partial rankings (:class:`repro.core.GetNextRandomized`), whose
+  hot path runs on the vectorized :mod:`repro.engine.kernel`.
 """
 
 from repro import errors
@@ -75,11 +84,27 @@ from repro.core import (
     sweep_topk_2d,
     verify_topk_2d,
 )
+from repro.engine import kernel
+from repro.engine.backends import (
+    StabilityBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.engine import StabilityEngine
 
 __version__ = "1.1.0"
 
 __all__ = [
     "errors",
+    "StabilityEngine",
+    "StabilityBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "resolve_backend",
+    "kernel",
     "Dataset",
     "Ranking",
     "rank_items",

@@ -26,12 +26,9 @@ from repro import (
     Cone,
     Dataset,
     FullSpace,
-    GetNextRandomized,
     ScoringFunction,
-    make_get_next,
+    StabilityEngine,
     rank_profile,
-    verify_stability_2d,
-    verify_stability_md,
 )
 
 __all__ = ["main", "load_csv_dataset"]
@@ -183,11 +180,16 @@ def main(argv: list[str] | None = None) -> int:
         region = _region_for(args, ds.n_attributes, weights)
         ranking = ScoringFunction(weights).rank(ds)
         if ds.n_attributes == 2:
-            result = verify_stability_2d(ds, ranking, region=region)
+            engine = StabilityEngine(ds, region=region, backend="twod_exact")
         else:
-            result = verify_stability_md(
-                ds, ranking, region=region, n_samples=args.samples, rng=rng
+            engine = StabilityEngine(
+                ds,
+                region=region,
+                backend="md_arrangement",
+                rng=rng,
+                n_samples=args.samples,
             )
+        result = engine.stability_of(ranking)
         print(f"stability: {result.stability:.6f}", file=out)
         if result.confidence_error:
             print(f"confidence_error: {result.confidence_error:.6f}", file=out)
@@ -197,13 +199,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "enumerate":
         region = _region_for(args, ds.n_attributes, None)
-        engine = make_get_next(ds, region=region, rng=rng)
+        engine = StabilityEngine(ds, region=region, rng=rng)
         for i in range(args.top):
             try:
-                if isinstance(engine, GetNextRandomized):
-                    result = engine.get_next(budget=args.budget if hasattr(args, "budget") else 5000)
-                else:
-                    result = engine.get_next()
+                result = engine.get_next()
             except Exception:
                 break
             head = ", ".join(ds.label_of(j) for j in result.ranking.order[:5])
@@ -213,8 +212,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "topk":
         region = _region_for(args, ds.n_attributes, None)
         kind = "topk_set" if args.kind == "set" else "topk_ranked"
-        engine = GetNextRandomized(ds, region=region, kind=kind, k=args.k, rng=rng)
-        results = engine.top_h(
+        engine = StabilityEngine(
+            ds, region=region, kind=kind, k=args.k, rng=rng
+        )
+        results = engine.top_stable(
             args.top, budget_first=args.budget, budget_rest=max(args.budget // 5, 1)
         )
         for i, result in enumerate(results, start=1):

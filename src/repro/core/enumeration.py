@@ -24,6 +24,14 @@ from repro.errors import ExhaustedError
 
 __all__ = ["make_get_next", "enumerate_stable_rankings", "top_h_stable_rankings"]
 
+# Legacy engine names kept for backward compatibility with the registry
+# names used by repro.engine.backends.
+_ENGINE_ALIASES = {
+    "2d": "twod_exact",
+    "md": "md_arrangement",
+    "randomized": "randomized",
+}
+
 
 def make_get_next(
     dataset: Dataset,
@@ -33,7 +41,13 @@ def make_get_next(
     rng: np.random.Generator | None = None,
     **kwargs,
 ) -> GetNext2D | GetNextMD | GetNextRandomized:
-    """Build the appropriate GET-NEXT engine for a dataset.
+    """Build the appropriate raw GET-NEXT engine for a dataset.
+
+    Dispatch and construction are delegated to the
+    :mod:`repro.engine.backends` registry — this function returns the
+    *raw* engine object (for callers that need algorithm-specific
+    surface like :attr:`GetNextRandomized.counts`); prefer
+    :class:`repro.engine.StabilityEngine` for new code.
 
     Parameters
     ----------
@@ -42,29 +56,23 @@ def make_get_next(
     region:
         Region of interest; defaults to the full space.
     engine:
-        ``"2d"`` (exact sweep; requires d = 2), ``"md"`` (lazy
-        arrangement), ``"randomized"`` (Monte-Carlo; the only engine
-        supporting top-k kinds), or ``"auto"``: exact 2D when d = 2,
-        otherwise the arrangement engine for small inputs and the
-        randomized engine for large ones (the section 6.3 guidance).
+        A registry backend name (``"twod_exact"``, ``"md_arrangement"``,
+        ``"randomized"``), a legacy alias (``"2d"``, ``"md"``), or
+        ``"auto"``: exact 2D when d = 2, otherwise the arrangement
+        engine for small inputs and the randomized engine for large
+        ones (the section 6.3 guidance).
     rng, **kwargs:
         Forwarded to the chosen engine.
     """
+    from repro.engine.backends import create_backend, resolve_backend
+
     roi = region if region is not None else FullSpace(dataset.n_attributes)
     if engine == "auto":
-        if dataset.n_attributes == 2:
-            engine = "2d"
-        elif dataset.n_items <= 1_000:
-            engine = "md"
-        else:
-            engine = "randomized"
-    if engine == "2d":
-        return GetNext2D(dataset, region=roi, **kwargs)
-    if engine == "md":
-        return GetNextMD(dataset, region=roi, rng=rng, **kwargs)
-    if engine == "randomized":
-        return GetNextRandomized(dataset, region=roi, rng=rng, **kwargs)
-    raise ValueError(f"unknown engine {engine!r}")
+        engine = resolve_backend(dataset, kind=kwargs.get("kind", "full"))
+    else:
+        engine = _ENGINE_ALIASES.get(engine, engine)
+    backend = create_backend(engine, dataset, region=roi, rng=rng, **kwargs)
+    return backend.raw
 
 
 def _drain(

@@ -8,6 +8,11 @@ where arrangement construction is hopeless and — unlike GET-NEXT-MD —
 works for partial (top-k) rankings, since it never needs the one-to-one
 region/ranking correspondence.
 
+The sampling hot path runs entirely on the vectorized kernel of
+:mod:`repro.engine.kernel`: one BLAS scoring product per block, bulk
+``argsort``/``argpartition`` key extraction, byte-packed count keys,
+and a heap-backed "best unreturned" query.
+
 Two stopping rules are provided, matching Algorithms 7 and 8:
 
 - **fixed budget** (:meth:`GetNextRandomized.get_next` with ``budget=N``)
@@ -27,15 +32,23 @@ from typing import Literal
 import numpy as np
 
 from repro.core.dataset import Dataset
-from repro.core.ranking import Ranking, _top_k_order
+from repro.core.ranking import Ranking
 from repro.core.region import FullSpace, RegionOfInterest
 from repro.core.stability import StabilityResult
+from repro.engine import kernel
 from repro.errors import BudgetExceededError, ExhaustedError
 from repro.sampling.montecarlo import confidence_error
 
 __all__ = ["GetNextRandomized", "RankingKind"]
 
 RankingKind = Literal["full", "topk_ranked", "topk_set"]
+
+# Auto-pruning thresholds for the top-k observe path: the strict
+# k-skyband index costs O(n * band * d) to build, so it is only worth
+# constructing for large datasets and sampling plans big enough to
+# amortise it.
+_PRUNE_MIN_ITEMS = 4_096
+_PRUNE_AFTER_SAMPLES = 10_000
 
 
 class GetNextRandomized:
@@ -59,8 +72,19 @@ class GetNextRandomized:
         Confidence level for error half-widths (``alpha = 1 -
         confidence``).
     scoring_chunk:
-        Number of sampled functions scored per vectorised batch; bounds
-        peak memory at ``scoring_chunk * n_items`` floats.
+        Number of sampled functions scored per vectorised block; bounds
+        peak memory at ``scoring_chunk * n_items`` floats.  ``None``
+        (the default) auto-tunes the block size to the dataset via
+        :func:`repro.engine.kernel.auto_chunk_size`.
+    prune_topk:
+        Controls the strict k-skyband pruning index for the top-k
+        kinds: items with ``k`` strict dominators can never enter a
+        top-k under non-negative weights, so observing only the skyband
+        columns is exact and much faster.  ``None`` (default) builds
+        the index automatically once the dataset and the cumulative
+        sampling plan are large enough to amortise its construction;
+        ``True`` builds it on the first observation; ``False`` disables
+        pruning.
     """
 
     def __init__(
@@ -72,7 +96,8 @@ class GetNextRandomized:
         k: int | None = None,
         rng: np.random.Generator | None = None,
         confidence: float = 0.95,
-        scoring_chunk: int = 64,
+        scoring_chunk: int | None = None,
+        prune_topk: bool | None = None,
     ):
         if kind not in ("full", "topk_ranked", "topk_set"):
             raise ValueError(f"unknown ranking kind {kind!r}")
@@ -87,75 +112,116 @@ class GetNextRandomized:
         self.k = int(k) if k is not None else None
         self.rng = rng if rng is not None else np.random.default_rng()
         self.confidence = confidence
-        self.scoring_chunk = max(1, int(scoring_chunk))
+        self._auto_chunk = scoring_chunk is None
+        if scoring_chunk is None:
+            self.scoring_chunk = kernel.auto_chunk_size(dataset.n_items)
+        else:
+            self.scoring_chunk = max(1, int(scoring_chunk))
         # State shared across get_next calls (Algorithm 7's cnts / N').
-        self.counts: Counter = Counter()
-        self.total_samples = 0
+        key_length = dataset.n_items if kind == "full" else self.k
+        self._tally = kernel.RankingTally(dataset.n_items, key_length)
         self.returned: list[StabilityResult] = []
-        self._returned_keys: set = set()
+        self._prune_topk = prune_topk if kind != "full" else False
+        self._candidates: np.ndarray | None = None
+        self._candidate_values: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Sampling & counting
     # ------------------------------------------------------------------
+    @property
+    def total_samples(self) -> int:
+        """Size of the cumulative sample pool (Algorithm 7's ``N'``)."""
+        return self._tally.total
+
+    @property
+    def counts(self) -> Counter:
+        """The count table with the paper's key convention.
+
+        Keys are identifier tuples for ``"full"``/``"topk_ranked"`` and
+        frozensets for ``"topk_set"``.  Built on demand from the
+        byte-packed internal tally; mutate-and-expect-persistence is not
+        supported.
+        """
+        tally = self._tally
+        if self.kind == "topk_set":
+            return Counter(
+                {frozenset(tally.unpack(key)): c for key, c in tally.counts.items()}
+            )
+        return Counter({tally.unpack(key): c for key, c in tally.counts.items()})
+
+    def _maybe_build_pruning_index(self, n_new: int) -> None:
+        """Install the strict k-skyband candidate set when it pays off."""
+        if self._prune_topk is False or self._candidates is not None:
+            return
+        n = self.dataset.n_items
+        if self._prune_topk is None and (
+            n < _PRUNE_MIN_ITEMS
+            or self.total_samples + n_new < _PRUNE_AFTER_SAMPLES
+            or self.k > n // 8
+        ):
+            return
+        from repro.operators.skyline import k_skyband
+
+        candidates = k_skyband(self.dataset.values, self.k)
+        if candidates.size >= n:
+            self._prune_topk = False  # nothing to prune; stop re-checking
+            return
+        self._candidates = candidates
+        self._candidate_values = np.ascontiguousarray(
+            self.dataset.values[candidates]
+        )
+        if self._auto_chunk:
+            self.scoring_chunk = kernel.auto_chunk_size(candidates.size)
+
     def _observe(self, n_new: int) -> None:
         """Draw ``n_new`` functions and tally the induced (partial) rankings."""
         if n_new <= 0:
             return
-        values = self.dataset.values
-        n = values.shape[0]
+        if self.kind != "full":
+            self._maybe_build_pruning_index(n_new)
+        if self._candidate_values is not None:
+            values, candidates = self._candidate_values, self._candidates
+        else:
+            values, candidates = self.dataset.values, None
         remaining = n_new
         while remaining > 0:
             batch = min(self.scoring_chunk, remaining)
             weights = self.region.sample(batch, self.rng)
-            scores = weights @ values.T  # (batch, n)
+            scores = kernel.score_block(values, weights)
             if self.kind == "full":
-                orders = np.argsort(-scores, axis=1, kind="stable")
-                for row in orders:
-                    self.counts[tuple(row.tolist())] += 1
-            elif self.kind == "topk_ranked":
-                for srow in scores:
-                    self.counts[tuple(_top_k_order(srow, self.k))] += 1
-            else:  # topk_set
-                for srow in scores:
-                    self.counts[frozenset(_top_k_order(srow, self.k))] += 1
+                rows = kernel.full_ranking_rows(scores)
+            else:
+                rows = kernel.topk_rows(
+                    scores, self.k, ranked=self.kind == "topk_ranked"
+                )
+                if candidates is not None:
+                    rows = candidates[rows]
+            self._tally.observe_rows(rows)
             remaining -= batch
-            self.total_samples += batch
-        _ = n  # documented bound: each batch costs O(batch * n) memory
 
-    def _result_for(self, key) -> StabilityResult:
-        count = self.counts[key]
+    def _result_for(self, key: bytes) -> StabilityResult:
+        count = self._tally.count_of(key)
         stability = count / self.total_samples
         error = confidence_error(
             stability, self.total_samples, confidence=self.confidence
         )
+        ids = self._tally.unpack(key)
         if self.kind == "topk_set":
-            members = sorted(key)
-            ranking = Ranking(members, n_items=self.dataset.n_items)
+            ranking = Ranking(sorted(ids), n_items=self.dataset.n_items)
             return StabilityResult(
                 ranking=ranking,
                 stability=stability,
                 confidence_error=error,
                 sample_count=count,
-                top_k_set=frozenset(key),
+                top_k_set=frozenset(ids),
             )
-        ranking = Ranking(key, n_items=self.dataset.n_items)
+        ranking = Ranking(ids, n_items=self.dataset.n_items)
         return StabilityResult(
             ranking=ranking,
             stability=stability,
             confidence_error=error,
             sample_count=count,
         )
-
-    def _best_unreturned(self):
-        """The not-yet-returned key with the highest count (ties: stable)."""
-        best_key = None
-        best_count = -1
-        for key, count in self.counts.items():
-            if key in self._returned_keys:
-                continue
-            if count > best_count:
-                best_key, best_count = key, count
-        return best_key
 
     # ------------------------------------------------------------------
     # The operator
@@ -185,13 +251,13 @@ class GetNextRandomized:
             if budget < 1:
                 raise ValueError(f"budget must be >= 1, got {budget}")
             self._observe(budget)
-            key = self._best_unreturned()
+            key = self._tally.best_unreturned()
             if key is None:
                 raise ExhaustedError(
                     "no new ranking observed; call again with a larger budget"
                 )
             result = self._result_for(key)
-            self._returned_keys.add(key)
+            self._tally.mark_returned(key)
             self.returned.append(result)
             return result
         # Fixed-confidence mode (Algorithm 8).
@@ -199,15 +265,15 @@ class GetNextRandomized:
             raise ValueError(f"error must be positive, got {error}")
         step = 256
         while True:
-            key = self._best_unreturned()
+            key = self._tally.best_unreturned()
             if key is not None:
-                stability = self.counts[key] / self.total_samples
+                stability = self._tally.count_of(key) / self.total_samples
                 half_width = confidence_error(
                     stability, self.total_samples, confidence=self.confidence
                 )
                 if half_width <= error:
                     result = self._result_for(key)
-                    self._returned_keys.add(key)
+                    self._tally.mark_returned(key)
                     self.returned.append(result)
                     return result
             if self.total_samples >= max_samples:
@@ -217,6 +283,37 @@ class GetNextRandomized:
                 )
             self._observe(min(step, max_samples - self.total_samples))
             step = min(step * 2, 8192)
+
+    def stability_of(self, ranking, *, min_samples: int = 5_000) -> StabilityResult:
+        """Estimate the stability of a specific (partial) ranking.
+
+        Counts the fraction of the cumulative pool inducing ``ranking``,
+        topping the pool up to ``min_samples`` first so a fresh operator
+        can answer immediately.  Accepts a :class:`Ranking`, an id
+        sequence, or (for ``kind="topk_set"``) any iterable of ids.
+        """
+        if self.total_samples < min_samples:
+            self._observe(min_samples - self.total_samples)
+        ids = list(ranking)
+        if self.kind == "topk_set":
+            ids = sorted(ids)
+        if len(ids) != self._tally.key_length:
+            raise ValueError(
+                f"expected a ranking of {self._tally.key_length} items, "
+                f"got {len(ids)}"
+            )
+        key = self._tally.pack(ids)
+        count = self._tally.count_of(key)
+        stability = count / self.total_samples
+        return StabilityResult(
+            ranking=Ranking(ids, n_items=self.dataset.n_items),
+            stability=stability,
+            confidence_error=confidence_error(
+                stability, self.total_samples, confidence=self.confidence
+            ),
+            sample_count=count,
+            top_k_set=frozenset(ids) if self.kind == "topk_set" else None,
+        )
 
     def top_h(self, h: int, *, budget_first: int, budget_rest: int) -> list[StabilityResult]:
         """Convenience: the h most stable rankings under a budget schedule.

@@ -241,11 +241,16 @@ def _boundaries_vectorized(
         row_idx = np.arange(start, stop)[:, None]
         col_idx = np.arange(start + 1, n)[None, :]
         valid = col_idx > row_idx
-        # Non-dominating pairs have opposite-signed coordinate deltas.
-        mask = valid & ((d0 * d1) < 0.0)
+        # Non-dominating pairs have opposite-signed coordinate deltas;
+        # compare signs directly — the product d0*d1 can underflow to
+        # zero for subnormal deltas and miss the exchange.
+        mask = valid & (((d0 > 0.0) & (d1 < 0.0)) | ((d0 < 0.0) & (d1 > 0.0)))
         if not np.any(mask):
             continue
-        angles = np.arctan(-d0[mask] / d1[mask])
+        # A finite delta over a subnormal one overflows to inf; that is
+        # benign — arctan(inf) = pi/2, which the interval filter drops.
+        with np.errstate(over="ignore"):
+            angles = np.arctan(-d0[mask] / d1[mask])
         inside = (angles > lo + _ANGLE_EPS) & (angles < hi - _ANGLE_EPS)
         if np.any(inside):
             collected.append(angles[inside])
@@ -272,14 +277,28 @@ def _boundaries_kinetic(values: np.ndarray, lo: float, hi: float) -> np.ndarray:
     position = {item: idx for idx, item in enumerate(order)}
 
     events: list[tuple[float, int, int]] = []  # (angle, upper item, lower item)
+    current = start  # the sweep position: the last processed event angle
+    # A pair's score difference Delta1*cos + Delta2*sin has at most one
+    # zero in the quadrant, so every unordered pair exchanges at most
+    # once; remembering swapped pairs rejects the formula's mirror event
+    # (degenerate near-tied items would otherwise swap back and forth at
+    # the same angle forever).
+    swapped: set[tuple[int, int]] = set()
 
     def push_event(idx: int) -> None:
-        """Queue the exchange of the items at positions idx, idx+1."""
+        """Queue the exchange of the items at positions idx, idx+1.
+
+        Events behind the sweep position are crossings that happened
+        before the window (the pair is already in post-exchange order)
+        and must not be replayed.
+        """
         if idx < 0 or idx + 1 >= n:
             return
         a, b = order[idx], order[idx + 1]
+        if ((a, b) if a < b else (b, a)) in swapped:
+            return
         theta = _exchange_angle(values[a], values[b])
-        if theta is not None and lo < theta < hi:
+        if theta is not None and lo < theta < hi and theta >= current:
             heapq.heappush(events, (theta, a, b))
 
     for i in range(n - 1):
@@ -290,14 +309,15 @@ def _boundaries_kinetic(values: np.ndarray, lo: float, hi: float) -> np.ndarray:
     while events:
         theta, a, b = heapq.heappop(events)
         ia = position[a]
-        # Stale check: the pair must still be adjacent with `a` on top and
-        # the event angle not yet passed.
-        if ia + 1 >= n or order[ia + 1] != b or theta < prev_angle - _ANGLE_EPS:
+        # Stale check: the pair must still be adjacent with `a` on top.
+        if ia + 1 >= n or order[ia + 1] != b:
             continue
+        current = theta
         if theta - prev_angle > _ANGLE_EPS:
             boundaries.append(theta)
             prev_angle = theta
         # Swap the pair and queue the new adjacencies.
+        swapped.add((a, b) if a < b else (b, a))
         order[ia], order[ia + 1] = order[ia + 1], order[ia]
         position[order[ia]] = ia
         position[order[ia + 1]] = ia + 1

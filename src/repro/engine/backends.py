@@ -1,0 +1,303 @@
+"""Stability backends: one protocol, three registered implementations.
+
+The paper's three GET-NEXT families — the exact 2D sweep (section 3),
+the lazy arrangement traversal (section 4.2), and the Monte-Carlo
+randomized operator (sections 4.3-4.5) — share a call surface here so
+the :class:`~repro.engine.engine.StabilityEngine` facade (and any other
+consumer) can treat them interchangeably:
+
+- every backend is constructed as ``Backend(dataset, region=..., rng=...,
+  confidence=..., **options)``;
+- :meth:`~StabilityBackend.get_next` accepts (and, for the exact
+  backends, ignores) the randomized stopping parameters ``budget`` and
+  ``error`` so drivers never need per-backend branches;
+- :meth:`~StabilityBackend.stability_of` answers Problem 1 for an
+  explicit ranking with whatever machinery the backend already has
+  (exact interval, shared oracle pool, or cumulative sample counts).
+
+New backends register with :func:`register_backend`; dispatch rules
+live in :func:`resolve_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.md import GetNextMD, verify_stability_md
+from repro.core.randomized import GetNextRandomized, RankingKind
+from repro.core.ranking import Ranking
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.core.stability import StabilityResult
+from repro.core.twod import GetNext2D, verify_stability_2d
+from repro.errors import ExhaustedError
+from repro.sampling.oracle import StabilityOracle
+
+__all__ = [
+    "StabilityBackend",
+    "register_backend",
+    "get_backend_cls",
+    "create_backend",
+    "available_backends",
+    "resolve_backend",
+    "DEFAULT_BUDGET",
+    "MD_ITEM_LIMIT",
+]
+
+#: Per-call sample budget used when a randomized backend's ``get_next``
+#: is invoked without an explicit ``budget`` or ``error`` (the paper's
+#: first-call protocol uses 5,000).
+DEFAULT_BUDGET = 5_000
+
+#: Above this many items the lazy arrangement's shared pool and split
+#: bookkeeping stop paying off and auto-dispatch prefers sampling (the
+#: section 6.3 guidance).
+MD_ITEM_LIMIT = 1_000
+
+
+@runtime_checkable
+class StabilityBackend(Protocol):
+    """What every registered backend provides."""
+
+    name: str
+    dataset: Dataset
+    region: RegionOfInterest
+
+    def get_next(
+        self, *, budget: int | None = None, error: float | None = None
+    ) -> StabilityResult:
+        """The next most stable not-yet-returned ranking."""
+        ...
+
+    def stability_of(self, ranking) -> StabilityResult:
+        """Stability of one explicit ranking (Problem 1)."""
+        ...
+
+    def __iter__(self) -> Iterator[StabilityResult]: ...
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_backend(name: str):
+    """Class decorator adding a backend to the dispatch registry."""
+
+    def decorate(cls: type) -> type:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend_cls(name: str) -> type:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def create_backend(name: str, dataset: Dataset, **options) -> StabilityBackend:
+    """Instantiate a registered backend by name."""
+    return get_backend_cls(name)(dataset, **options)
+
+
+def resolve_backend(
+    dataset: Dataset,
+    *,
+    kind: RankingKind = "full",
+    budget: int | None = None,
+    md_item_limit: int = MD_ITEM_LIMIT,
+) -> str:
+    """Auto-dispatch on ``(d, n, kind, budget)``.
+
+    - partial (top-k) rankings only the randomized operator supports;
+    - ``d = 2`` is exact and cheap — always the sweep;
+    - an explicit sampling ``budget`` signals a Monte-Carlo workflow;
+    - otherwise the arrangement up to ``md_item_limit`` items, sampling
+      beyond it.
+    """
+    if kind != "full":
+        return "randomized"
+    if dataset.n_attributes == 2:
+        return "twod_exact"
+    if budget is not None:
+        return "randomized"
+    if dataset.n_items <= md_item_limit:
+        return "md_arrangement"
+    return "randomized"
+
+
+def _as_ranking(ranking, n_items: int) -> Ranking:
+    if isinstance(ranking, Ranking):
+        return ranking
+    return Ranking(ranking, n_items=n_items)
+
+
+class _IterMixin:
+    def __iter__(self) -> Iterator[StabilityResult]:
+        while True:
+            try:
+                yield self.get_next()
+            except ExhaustedError:
+                return
+
+    @property
+    def raw(self):
+        """The wrapped algorithm object (``GetNext2D`` / ``GetNextMD`` /
+        ``GetNextRandomized``), for algorithm-specific introspection."""
+        return self._engine
+
+
+@register_backend("twod_exact")
+class TwoDExactBackend(_IterMixin):
+    """Exact angle-sweep backend (Algorithms 1-3); requires ``d = 2``."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        region: RegionOfInterest | None = None,
+        rng: np.random.Generator | None = None,
+        confidence: float = 0.95,
+        method: str = "auto",
+    ):
+        # rng/confidence accepted for signature uniformity; the sweep is
+        # deterministic and exact.
+        self.dataset = dataset
+        self.region = region if region is not None else FullSpace(2)
+        self._engine = GetNext2D(dataset, region=self.region, method=method)
+
+    def get_next(
+        self, *, budget: int | None = None, error: float | None = None
+    ) -> StabilityResult:
+        return self._engine.get_next()
+
+    def stability_of(self, ranking) -> StabilityResult:
+        return verify_stability_2d(
+            self.dataset,
+            _as_ranking(ranking, self.dataset.n_items),
+            region=self.region,
+        )
+
+
+@register_backend("md_arrangement")
+class MDArrangementBackend(_IterMixin):
+    """Lazy hyperplane-arrangement backend (Algorithm 6) for ``d >= 2``."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        region: RegionOfInterest | None = None,
+        rng: np.random.Generator | None = None,
+        confidence: float = 0.95,
+        n_samples: int = 100_000,
+        min_split_samples: int = 1,
+    ):
+        self.dataset = dataset
+        self.region = (
+            region if region is not None else FullSpace(dataset.n_attributes)
+        )
+        self.confidence = confidence
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._n_samples = n_samples
+        self._min_split_samples = min_split_samples
+        # The arrangement (hyperplane detection + shared pool) is built
+        # lazily: verification-only workloads never pay for it.
+        self._engine: GetNextMD | None = None
+        self._oracle: StabilityOracle | None = None
+
+    def _ensure_engine(self) -> GetNextMD:
+        if self._engine is None:
+            self._engine = GetNextMD(
+                self.dataset,
+                region=self.region,
+                n_samples=self._n_samples,
+                rng=self._rng,
+                confidence=self.confidence,
+                min_split_samples=self._min_split_samples,
+            )
+        return self._engine
+
+    @property
+    def raw(self) -> GetNextMD:
+        return self._ensure_engine()
+
+    def get_next(
+        self, *, budget: int | None = None, error: float | None = None
+    ) -> StabilityResult:
+        return self._ensure_engine().get_next()
+
+    def stability_of(self, ranking) -> StabilityResult:
+        if self._oracle is None:
+            if self._engine is not None:
+                # Reuse the arrangement's shared pool so verification is
+                # consistent with enumeration estimates (section 5.4).
+                pool = self._engine.arrangement.samples
+            else:
+                pool = self.region.sample(self._n_samples, self._rng)
+            self._oracle = StabilityOracle(pool)
+        return verify_stability_md(
+            self.dataset,
+            _as_ranking(ranking, self.dataset.n_items),
+            region=self.region,
+            oracle=self._oracle,
+            confidence=self.confidence,
+        )
+
+
+@register_backend("randomized")
+class RandomizedBackend(_IterMixin):
+    """Monte-Carlo backend (Algorithms 7-8); the only one supporting
+    partial (top-k) rankings, running on the vectorized kernel."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        region: RegionOfInterest | None = None,
+        rng: np.random.Generator | None = None,
+        confidence: float = 0.95,
+        kind: RankingKind = "full",
+        k: int | None = None,
+        scoring_chunk: int | None = None,
+        prune_topk: bool | None = None,
+    ):
+        self.dataset = dataset
+        self.region = (
+            region if region is not None else FullSpace(dataset.n_attributes)
+        )
+        self._engine = GetNextRandomized(
+            dataset,
+            region=self.region,
+            kind=kind,
+            k=k,
+            rng=rng,
+            confidence=confidence,
+            scoring_chunk=scoring_chunk,
+            prune_topk=prune_topk,
+        )
+
+    @property
+    def total_samples(self) -> int:
+        return self._engine.total_samples
+
+    def get_next(
+        self, *, budget: int | None = None, error: float | None = None
+    ) -> StabilityResult:
+        if budget is None and error is None:
+            budget = DEFAULT_BUDGET
+        return self._engine.get_next(budget=budget, error=error)
+
+    def stability_of(self, ranking, **options) -> StabilityResult:
+        return self._engine.stability_of(ranking, **options)

@@ -1,0 +1,202 @@
+"""The :class:`StabilityEngine` facade — the library's front door.
+
+One object answers the paper's three problems over any dataset without
+the caller choosing an algorithm family:
+
+>>> import numpy as np
+>>> from repro import Dataset, StabilityEngine
+>>> data = Dataset(np.array([[0.63, 0.71], [0.83, 0.65], [0.58, 0.78],
+...                          [0.70, 0.68], [0.53, 0.82]]))
+>>> engine = StabilityEngine(data)
+>>> engine.backend_name
+'twod_exact'
+>>> best = engine.get_next()
+>>> 0.0 < best.stability <= 1.0
+True
+
+Dispatch follows :func:`repro.engine.backends.resolve_backend`:
+partial-ranking kinds go to the randomized operator, ``d = 2`` to the
+exact sweep, small ``d > 2`` instances to the lazy arrangement, and
+everything else (or an explicit sampling budget) to the randomized
+operator.  Pass ``backend="..."`` to override.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.randomized import RankingKind
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.core.stability import StabilityResult
+from repro.engine.backends import (
+    DEFAULT_BUDGET,
+    StabilityBackend,
+    available_backends,
+    create_backend,
+    resolve_backend,
+)
+from repro.errors import ExhaustedError
+
+__all__ = ["StabilityEngine"]
+
+
+class StabilityEngine:
+    """Unified dispatching facade over the three stability backends.
+
+    Parameters
+    ----------
+    dataset:
+        The database (any ``n``, ``d``).
+    region:
+        Region of interest ``U*``; defaults to the full function space.
+    backend:
+        ``"auto"`` (default) dispatches on ``(d, n, kind, budget)``;
+        otherwise one of :func:`repro.engine.backends.available_backends`
+        (``"twod_exact"``, ``"md_arrangement"``, ``"randomized"``).
+    kind:
+        ``"full"`` for complete rankings, ``"topk_ranked"`` /
+        ``"topk_set"`` for the partial notions (randomized backend
+        only); ``k`` gives the prefix size.
+    budget:
+        Default per-call sample budget for randomized ``get_next``
+        calls; also a dispatch hint (an explicit budget selects the
+        randomized backend for ``d > 2`` under ``backend="auto"``).
+    rng, confidence:
+        Source of randomness and confidence level for Monte-Carlo
+        backends.
+    **backend_options:
+        Forwarded verbatim to the chosen backend's constructor (e.g.
+        ``method=`` for the 2D sweep, ``n_samples=`` for the
+        arrangement, ``scoring_chunk=`` for the randomized kernel).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        region: RegionOfInterest | None = None,
+        backend: str = "auto",
+        kind: RankingKind = "full",
+        k: int | None = None,
+        budget: int | None = None,
+        rng: np.random.Generator | None = None,
+        confidence: float = 0.95,
+        **backend_options,
+    ):
+        self.dataset = dataset
+        self.region = (
+            region if region is not None else FullSpace(dataset.n_attributes)
+        )
+        self.kind: RankingKind = kind
+        self.k = k
+        self.budget = budget
+        if backend == "auto":
+            backend = resolve_backend(dataset, kind=kind, budget=budget)
+        elif backend not in available_backends():
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                f"available: {', '.join(available_backends())} (or 'auto')"
+            )
+        if kind != "full" and backend != "randomized":
+            raise ValueError(
+                f"kind={kind!r} requires the randomized backend, got {backend!r}"
+            )
+        if kind != "full":
+            backend_options.setdefault("kind", kind)
+            backend_options.setdefault("k", k)
+        self._backend: StabilityBackend = create_backend(
+            backend,
+            dataset,
+            region=self.region,
+            rng=rng,
+            confidence=confidence,
+            **backend_options,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        """Name of the backend serving this engine."""
+        return self._backend.name
+
+    @property
+    def backend(self) -> StabilityBackend:
+        """The underlying backend, for algorithm-specific introspection."""
+        return self._backend
+
+    # ------------------------------------------------------------------
+    def get_next(
+        self, *, budget: int | None = None, error: float | None = None
+    ) -> StabilityResult:
+        """The next most stable not-yet-returned ranking (Problem 3).
+
+        ``budget`` / ``error`` configure the randomized stopping rules
+        (Algorithms 7/8) and are ignored by the exact backends; with
+        neither given, the engine-level default ``budget`` applies.
+
+        Raises
+        ------
+        ExhaustedError
+            Once every feasible (observed) ranking has been returned.
+        """
+        if budget is None and error is None:
+            budget = self.budget
+        return self._backend.get_next(budget=budget, error=error)
+
+    def stability_of(self, ranking, **options) -> StabilityResult:
+        """Stability of one explicit ranking (Problem 1).
+
+        Accepts a :class:`~repro.core.ranking.Ranking` or a plain
+        identifier sequence (for ``kind="topk_set"``, any iterable of
+        the set's members).  ``options`` are backend-specific (e.g.
+        ``min_samples=`` for the randomized backend).
+        """
+        return self._backend.stability_of(ranking, **options)
+
+    def top_stable(
+        self,
+        m: int,
+        *,
+        min_stability: float = 0.0,
+        budget_first: int | None = None,
+        budget_rest: int | None = None,
+    ) -> list[StabilityResult]:
+        """The ``m`` most stable rankings (Problem 2's top-h form).
+
+        Drives :meth:`get_next` with the paper's budget schedule for
+        randomized backends (defaults 5,000 then 1,000 samples per
+        call), stopping early on exhaustion or the first result below
+        ``min_stability``.
+        """
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if budget_first is not None:
+            first = budget_first
+        elif self.budget is not None:
+            first = self.budget
+        else:
+            first = DEFAULT_BUDGET
+        rest = budget_rest if budget_rest is not None else max(first // 5, 1)
+        results: list[StabilityResult] = []
+        for i in range(m):
+            try:
+                result = self.get_next(budget=first if i == 0 else rest)
+            except ExhaustedError:
+                break
+            if result.stability < min_stability:
+                break
+            results.append(result)
+        return results
+
+    def __iter__(self) -> Iterator[StabilityResult]:
+        return iter(self._backend)
+
+    def __repr__(self) -> str:
+        return (
+            f"StabilityEngine(n={self.dataset.n_items}, "
+            f"d={self.dataset.n_attributes}, backend={self.backend_name!r}, "
+            f"kind={self.kind!r})"
+        )

@@ -1,0 +1,317 @@
+"""Vectorized ranking kernel shared by every stability backend.
+
+The Monte-Carlo operators of sections 4.3-4.5 spend their entire budget
+in one inner loop: score the database under a batch of sampled
+functions, reduce each score row to a ranking key, and tally the keys.
+The seed implementation did that with per-sample Python work — a tuple
+per sampled ranking, a ``Counter`` keyed by tuples/frozensets, and a
+linear rescan of the whole count table to find the best unreturned key.
+This module replaces all of it with batch-level numpy:
+
+- :func:`auto_chunk_size` — pick the number of sampled functions scored
+  per BLAS call so the transient score matrix stays cache/memory
+  friendly regardless of ``n``;
+- :func:`score_block` — the ``(batch, d) @ (d, n)`` scoring product;
+- :func:`full_ranking_rows` / :func:`topk_rows` — reduce a block of
+  score rows to ranking keys in bulk (``argsort`` for complete
+  rankings, ``argpartition`` + deterministic tie repair for top-k);
+- :func:`pack_rows` / :func:`unpack_key` — compact byte-packed keys
+  (one ``bytes`` object per ranking, minimal-width integer dtype)
+  replacing Python tuples and frozensets as hash keys;
+- :class:`RankingTally` — the count table of Algorithms 7-8 with a
+  lazy max-heap over (count, first-seen) so "best unreturned ranking"
+  is a heap peek instead of a full-table scan.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.ranking import _top_k_order
+
+__all__ = [
+    "auto_chunk_size",
+    "score_block",
+    "full_ranking_rows",
+    "topk_rows",
+    "batch_topk_indices",
+    "key_dtype_for",
+    "pack_rows",
+    "unpack_key",
+    "RankingTally",
+]
+
+# Target transient footprint of one score block (bytes).  64 KiB rows at
+# n = 10_000 give ~200-row batches: big enough to amortise the per-batch
+# Python overhead, small enough to stay in L2/L3.
+_TARGET_BLOCK_BYTES = 16 * 1024 * 1024
+_MIN_CHUNK = 16
+_MAX_CHUNK = 8192
+
+
+def auto_chunk_size(
+    n_items: int,
+    *,
+    target_bytes: int = _TARGET_BLOCK_BYTES,
+    lo: int = _MIN_CHUNK,
+    hi: int = _MAX_CHUNK,
+) -> int:
+    """Rows of sampled functions per scoring block, auto-tuned to ``n``.
+
+    Bounds the transient ``(chunk, n)`` float64 score matrix (and the
+    same-shaped argsort workspace) near ``target_bytes``, clamped to
+    ``[lo, hi]``.
+    """
+    if n_items < 1:
+        raise ValueError(f"n_items must be >= 1, got {n_items}")
+    per_row = 8 * max(n_items, 1)
+    return int(np.clip(target_bytes // per_row, lo, hi))
+
+
+def score_block(values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Score every item under every sampled function: ``(batch, n)``.
+
+    One BLAS GEMM — ``weights @ values.T`` — with both operands forced
+    to contiguous float64 so the product never falls back to a strided
+    loop.
+    """
+    v = np.ascontiguousarray(values, dtype=np.float64)
+    w = np.ascontiguousarray(np.atleast_2d(weights), dtype=np.float64)
+    return w @ v.T
+
+
+def _descending_keys(scores: np.ndarray) -> tuple[np.ndarray, int]:
+    """Fuse each score with its item id into one sortable ``uint64``.
+
+    The IEEE-754 bit pattern of a non-negative float compares like an
+    unsigned integer, so ``~bits`` sorts descending; a sign-flip
+    transform extends this to negative scores.  The low
+    ``ceil(log2 n)`` mantissa bits are truncated and replaced by the
+    item identifier, so one *value* sort (``np.sort``, no index
+    payload — much faster than ``argsort``) yields the ranking with
+    the tie-break-by-identifier convention built in: exactly equal
+    scores share the truncated prefix and order by id ascending.
+
+    Truncation can collide two scores that differ only in the stolen
+    mantissa bits (relative gap under ``2^-(52 - id_bits)``); callers
+    must detect shared-prefix neighbours and repair against the exact
+    float64 scores.
+
+    Returns the ``(batch, n)`` key block and the number of id bits.
+    """
+    batch, n = scores.shape
+    id_bits = max(1, int(n - 1).bit_length())
+    if id_bits > 32:  # pragma: no cover - 4G items will not fit in RAM
+        raise ValueError(f"dataset too large for fused ranking keys (n={n})")
+    low_mask = np.uint64((1 << id_bits) - 1)
+    s = np.ascontiguousarray(scores, dtype=np.float64)
+    smin = s.min() if s.size else 0.0
+    if smin < 0.0:
+        u = (s + 0.0).view(np.uint64)
+        sign = np.uint64(0x8000000000000000)
+        u = u ^ (((u >> np.uint64(63)) * np.uint64(0xFFFFFFFFFFFFFFFF)) | sign)
+    elif smin == 0.0:
+        u = (s + 0.0).view(np.uint64)  # normalise -0.0 to +0.0
+    else:
+        u = s.view(np.uint64)
+    keys = (~u & ~low_mask) | np.arange(n, dtype=np.uint64)
+    return keys, id_bits
+
+
+def full_ranking_rows(scores: np.ndarray) -> np.ndarray:
+    """Complete-ranking key rows for a block of score rows.
+
+    Equivalent to ``np.argsort(-scores, axis=1, kind="stable")`` —
+    descending score, ties broken by ascending item identifier (the
+    paper's convention) — but implemented as one fused-key *value*
+    sort (:func:`_descending_keys`).  Rows whose sorted keys contain a
+    shared truncated prefix are verified against the exact scores and
+    re-sorted only if the collision was real.
+    """
+    scores = np.atleast_2d(scores)
+    keys, id_bits = _descending_keys(scores)
+    keys.sort(axis=1)
+    low_mask = np.uint64((1 << id_bits) - 1)
+    rows = (keys & low_mask).astype(np.intp)
+    if scores.shape[1] > 1:
+        collided = (keys[:, 1:] ^ keys[:, :-1]) <= low_mask
+        for i in np.flatnonzero(collided.any(axis=1)):
+            ordered = scores[i, rows[i]]
+            runs = np.flatnonzero(collided[i])
+            # A shared prefix with *equal* scores is already in stable
+            # order (ids ascend within the run); only genuinely
+            # different scores need the exact re-sort.
+            if np.any(ordered[runs] != ordered[runs + 1]):
+                rows[i] = np.argsort(-scores[i], kind="stable")
+    return rows
+
+
+def topk_rows(scores: np.ndarray, k: int, *, ranked: bool) -> np.ndarray:
+    """Top-k key rows for a block of score rows, in ``O(batch * n)``.
+
+    A fused-key partial selection: ``np.partition`` (value partition,
+    no index payload) pulls each row's ``k + 1`` smallest descending
+    keys, the ``k`` winners are ordered by one tiny sort, and ids drop
+    out of the key low bits.  Exact score ties — within the top-k and
+    at the selection boundary — break by ascending identifier directly
+    in key order, matching
+    :func:`~repro.core.ranking._top_k_order`; rows with a truncated-
+    prefix collision among the ``k + 1`` head keys are repaired with
+    that exact scalar routine.
+
+    Returns ``(batch, k)`` identifier rows: rank order when ``ranked``,
+    ascending-id canonical set form otherwise.
+    """
+    scores = np.atleast_2d(scores)
+    n = scores.shape[1]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    keys, id_bits = _descending_keys(scores)
+    low_mask = np.uint64((1 << id_bits) - 1)
+    if k + 1 >= n:
+        keys.sort(axis=1)
+        head = keys
+    else:
+        # kth=k pins the exact (k+1)-th smallest at position k with the
+        # k winners (unordered) before it — one introselect pass.
+        head = np.partition(keys, k, axis=1)[:, : k + 1]
+        head.sort(axis=1)
+    rows = (head[:, :k] & low_mask).astype(np.intp)
+    if ranked is False:
+        out = np.sort(rows, axis=1)
+    else:
+        out = rows
+    # Any shared truncated prefix among the k+1 head keys is repaired
+    # with the exact scalar routine: unlike the full sort, the head is a
+    # *window* — a prefix run can extend past it and hide an item whose
+    # score differs only in the truncated bits (so equal head scores
+    # certify nothing), and a run touching the boundary decides
+    # membership.  Exact ties stay correct either way; genuinely tied
+    # data just falls back to the seed-speed path for those rows.
+    check = head[:, : min(k + 1, n)]
+    collided = (check[:, 1:] ^ check[:, :-1]) <= low_mask
+    for i in np.flatnonzero(collided.any(axis=1)):
+        exact = _top_k_order(scores[i], k)
+        out[i] = exact if ranked else sorted(exact)
+    return out
+
+
+def batch_topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Deterministic ranked top-k for one score row or a block of rows.
+
+    The engine-level replacement for per-row ``_top_k_order`` loops:
+    a single row returns shape ``(k,)``, a block returns ``(batch, k)``.
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    if s.ndim == 1:
+        return topk_rows(s[None, :], k, ranked=True)[0]
+    return topk_rows(s, k, ranked=True)
+
+
+def key_dtype_for(n_items: int) -> np.dtype:
+    """Minimal unsigned dtype able to hold every item identifier."""
+    if n_items <= np.iinfo(np.uint8).max + 1:
+        return np.dtype(np.uint8)
+    if n_items <= np.iinfo(np.uint16).max + 1:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+def pack_rows(rows: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """View identifier rows as one opaque fixed-width key per row.
+
+    Casts to the minimal ``dtype`` and reinterprets each row as a
+    single ``numpy.void`` scalar, so a block of rankings can be
+    deduplicated with one :func:`numpy.unique` call and hashed as raw
+    bytes — no per-sample tuple construction.
+    """
+    arr = np.ascontiguousarray(rows.astype(dtype, copy=False))
+    void = np.dtype((np.void, arr.dtype.itemsize * arr.shape[1]))
+    return arr.view(void).ravel()
+
+
+def unpack_key(key: bytes, dtype: np.dtype) -> tuple[int, ...]:
+    """Invert :func:`pack_rows` for a single byte-packed key."""
+    return tuple(int(i) for i in np.frombuffer(key, dtype=dtype))
+
+
+class RankingTally:
+    """Count table + best-unreturned heap for the randomized operators.
+
+    Keys are byte-packed rankings (:func:`pack_rows`).  Counts only ever
+    grow, so the "most frequent unreturned key" query is served by a
+    *lazy* max-heap: every count update pushes a fresh entry and stale
+    entries are discarded when popped.  Ties are broken by first-seen
+    order (then by key bytes), matching the seed's insertion-order scan.
+
+    Parameters
+    ----------
+    n_items:
+        Dataset size; fixes the packed key dtype.
+    key_length:
+        Identifiers per key (``n`` for complete rankings, ``k`` for
+        top-k keys).
+    """
+
+    __slots__ = ("dtype", "key_length", "counts", "total", "_first_seen",
+                 "_heap", "_returned")
+
+    def __init__(self, n_items: int, key_length: int):
+        self.dtype = key_dtype_for(n_items)
+        self.key_length = int(key_length)
+        self.counts: dict[bytes, int] = {}
+        self.total = 0
+        self._first_seen: dict[bytes, int] = {}
+        self._heap: list[tuple[int, int, bytes]] = []
+        self._returned: set[bytes] = set()
+
+    def observe_rows(self, rows: np.ndarray) -> None:
+        """Tally a block of identifier rows (one ranking key per row)."""
+        if rows.shape[0] == 0:
+            return
+        packed = pack_rows(rows, self.dtype)
+        uniques, freqs = np.unique(packed, return_counts=True)
+        counts = self.counts
+        first_seen = self._first_seen
+        heap = self._heap
+        for void_key, freq in zip(uniques, freqs):
+            key = void_key.tobytes()
+            new = counts.get(key, 0) + int(freq)
+            counts[key] = new
+            seq = first_seen.setdefault(key, len(first_seen))
+            if key not in self._returned:
+                heapq.heappush(heap, (-new, seq, key))
+        self.total += int(rows.shape[0])
+
+    def best_unreturned(self) -> bytes | None:
+        """The not-yet-returned key with the highest count, or ``None``."""
+        heap = self._heap
+        while heap:
+            neg_count, seq, key = heap[0]
+            if key in self._returned or self.counts[key] != -neg_count:
+                heapq.heappop(heap)  # stale or already returned
+                continue
+            return key
+        return None
+
+    def mark_returned(self, key: bytes) -> None:
+        self._returned.add(key)
+
+    def is_returned(self, key: bytes) -> bool:
+        return key in self._returned
+
+    def count_of(self, key: bytes) -> int:
+        return self.counts.get(key, 0)
+
+    def unpack(self, key: bytes) -> tuple[int, ...]:
+        return unpack_key(key, self.dtype)
+
+    def pack(self, ids) -> bytes:
+        """Byte-pack one iterable of identifiers into this tally's key form."""
+        row = np.asarray(list(ids), dtype=self.dtype)[None, :]
+        return pack_rows(row, self.dtype)[0].tobytes()
+
+    def __len__(self) -> int:
+        return len(self.counts)

@@ -32,6 +32,7 @@ from repro.errors import InvalidWeightsError
 __all__ = [
     "weights_to_angles",
     "angles_to_weights",
+    "angles_to_weights_batch",
     "angle_between",
     "cosine_similarity",
     "cosine_to_angle",
@@ -146,6 +147,32 @@ def angles_to_weights(angles: np.ndarray) -> np.ndarray:
         remaining *= math.sin(t)
     u[0] = remaining
     # Guard against tiny negative values introduced by clamping.
+    np.clip(u, 0.0, None, out=u)
+    return u
+
+
+def angles_to_weights_batch(angles: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`angles_to_weights` over an ``(m, d - 1)`` block.
+
+    Same polar convention, one reverse-cumulative product of sines per
+    block instead of a Python loop per row.  Returns ``(m, d)`` unit
+    vectors in the non-negative orthant.
+    """
+    theta = np.atleast_2d(np.asarray(angles, dtype=np.float64))
+    if theta.ndim != 2 or theta.shape[1] < 1:
+        raise InvalidWeightsError("need an (m, d-1) block with at least one angle")
+    if np.any(theta < -1e-12) or np.any(theta > math.pi / 2 + 1e-12):
+        raise InvalidWeightsError("angles must lie in [0, pi/2] for non-negative weights")
+    m, d1 = theta.shape
+    sin = np.sin(theta)
+    cos = np.cos(theta)
+    # suffix[:, j] = prod_{i >= j} sin[:, i]  — the scalar loop's
+    # ``remaining`` value just before coordinate j is written.
+    suffix = np.cumprod(sin[:, ::-1], axis=1)[:, ::-1]
+    u = np.empty((m, d1 + 1), dtype=np.float64)
+    u[:, 0] = suffix[:, 0]
+    u[:, 1:d1] = cos[:, : d1 - 1] * suffix[:, 1:]
+    u[:, d1] = cos[:, d1 - 1]
     np.clip(u, 0.0, None, out=u)
     return u
 

@@ -166,6 +166,9 @@ def inverse_cap_cdf(y: float | np.ndarray, theta: float, dim: int) -> float | np
         a = (dim - 1) / 2.0
         target = ys * special.betainc(a, 0.5, math.sin(theta) ** 2)
         s2 = special.betaincinv(a, 0.5, target)
+        # scipy's betaincinv yields NaN for subnormal targets; the true
+        # inverse there is indistinguishable from 0.
+        s2 = np.where(np.isfinite(s2), s2, 0.0)
         out = np.arcsin(np.sqrt(np.clip(s2, 0.0, 1.0)))
     return float(out) if np.isscalar(y) else out
 

@@ -24,7 +24,7 @@ from repro.operators.representative import (
     dominance_matrix,
     k_representative_skyline,
 )
-from repro.operators.skyline import dominance_count, is_dominated, skyline
+from repro.operators.skyline import dominance_count, is_dominated, k_skyband, skyline
 from repro.operators.threshold import (
     SortedLists,
     TopKResult,
@@ -35,6 +35,7 @@ from repro.operators.topk import top_k_indices, top_k_threshold
 
 __all__ = [
     "skyline",
+    "k_skyband",
     "is_dominated",
     "dominance_count",
     "top_k_indices",

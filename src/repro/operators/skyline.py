@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["skyline", "is_dominated", "dominance_count"]
+__all__ = ["skyline", "is_dominated", "dominance_count", "k_skyband"]
 
 
 def skyline(values: np.ndarray) -> np.ndarray:
@@ -40,8 +40,12 @@ def skyline(values: np.ndarray) -> np.ndarray:
     n = pts.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.intp)
-    # Presort by descending sum: if sum(a) >= sum(b) then b cannot
-    # dominate a unless they are equal in every attribute.
+    # Presort by descending sum: a dominator's sum is mathematically
+    # strictly larger, so it is *almost* always processed first.  The
+    # exception is floating point: a dominating margin smaller than the
+    # sum's rounding unit yields an equal computed sum and an arbitrary
+    # order, so an undominated candidate must still evict window members
+    # it dominates (standard block-nested-loops behaviour).
     order = np.argsort(-pts.sum(axis=1), kind="stable")
     window: list[int] = []
     window_pts: list[np.ndarray] = []
@@ -53,9 +57,74 @@ def skyline(values: np.ndarray) -> np.ndarray:
                 dominated = True
                 break
         if not dominated:
+            alive = [
+                j
+                for j, w in enumerate(window_pts)
+                if not (np.all(candidate >= w) and np.any(candidate > w))
+            ]
+            if len(alive) != len(window):
+                window = [window[j] for j in alive]
+                window_pts = [window_pts[j] for j in alive]
             window.append(int(idx))
             window_pts.append(candidate)
     return np.array(sorted(window), dtype=np.intp)
+
+
+def k_skyband(values: np.ndarray, k: int, *, chunk: int = 512) -> np.ndarray:
+    """Indices of items with fewer than ``k`` *strict* dominators, ascending.
+
+    The strict k-skyband (Papadias et al., dominance with ``>`` in
+    *every* attribute) is a sound top-k candidate set for non-negative
+    linear scoring: if ``x`` beats ``z`` in every attribute then
+    ``f_w(x) > f_w(z)`` for every non-zero ``w >= 0``, so an item with
+    ``k`` strict dominators can never enter a top-k.  The engine's
+    randomized backend uses this as a pruning index for its top-k
+    observe path.
+
+    A windowed one-pass algorithm: items are processed in descending
+    attribute-sum order (a strict dominator always has a strictly larger
+    sum) and each item is counted only against *kept* items — sufficient
+    because dominance is transitive, so any excluded dominator certifies
+    ``k`` kept dominators.  Cost ``O(n * band * d)`` instead of the
+    naive ``O(n^2 d)``.
+
+    When a dominating margin is below the sum's floating-point rounding
+    unit the processing order between the two items is arbitrary and a
+    dominator may go uncounted; the result is then a *superset* of the
+    exact band — the safe direction for pruning, which only requires
+    that no viable candidate is excluded.
+    """
+    pts = np.asarray(values, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("values must be a 2-D array (n, d)")
+    n = pts.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    sums = pts.sum(axis=1)
+    order = np.argsort(-sums, kind="stable")
+    sorted_pts = np.ascontiguousarray(pts[order])
+    sorted_sums = sums[order]
+    kept_blocks: list[np.ndarray] = []
+    kept_idx: list[np.ndarray] = []
+    kept = np.empty((0, pts.shape[1]))
+    for start in range(0, n, chunk):
+        block = sorted_pts[start : start + chunk]
+        block_sums = sorted_sums[start : start + chunk]
+        counts = np.zeros(block.shape[0], dtype=np.int64)
+        if kept.shape[0]:
+            counts += (kept[None, :, :] > block[:, None, :]).all(axis=2).sum(axis=1)
+        # Within the block only strictly-larger-sum items can dominate.
+        inner = (block[None, :, :] > block[:, None, :]).all(axis=2)
+        inner &= block_sums[None, :] > block_sums[:, None]
+        counts += inner.sum(axis=1)
+        keep = counts < k
+        if keep.any():
+            kept_blocks.append(block[keep])
+            kept_idx.append(order[start : start + chunk][keep])
+            kept = np.concatenate(kept_blocks, axis=0)
+    return np.sort(np.concatenate(kept_idx)).astype(np.intp)
 
 
 def is_dominated(values: np.ndarray, index: int) -> bool:

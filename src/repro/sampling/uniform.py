@@ -58,9 +58,9 @@ def sample_angles_naive(dim: int, size: int, rng: np.random.Generator) -> np.nda
     tests and the documentation can demonstrate the bias the paper warns
     about; never use this for stability estimation.
     """
-    from repro.geometry.angles import angles_to_weights
+    from repro.geometry.angles import angles_to_weights_batch
 
     if dim < 2:
         raise ValueError(f"dimension must be >= 2, got {dim}")
     angles = rng.uniform(0.0, np.pi / 2, size=(size, dim - 1))
-    return np.stack([angles_to_weights(row) for row in angles])
+    return angles_to_weights_batch(angles)

@@ -11,6 +11,8 @@ import pytest
 from repro import GetNext2D, ScoringFunction, verify_stability_2d
 from repro.datasets import bluenile_dataset
 
+pytestmark = pytest.mark.slow  # n = 2000 sweeps: the heaviest tier-1 file
+
 
 @pytest.fixture(scope="module")
 def catalog():

@@ -1,0 +1,90 @@
+"""Property test: backends agree through the StabilityEngine facade.
+
+For small 2D instances the exact sweep is ground truth; the randomized
+backend must agree with it — on every ranking's stability (within the
+reported confidence half-width, scaled for multiplicity) and on the
+GET-NEXT emission order wherever consecutive exact stabilities are
+separated by more than the Monte-Carlo noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, StabilityEngine
+from repro.errors import ExhaustedError
+
+BUDGET = 12_000
+SEEDS = [11, 23, 37, 59]
+
+
+def _exact_table(dataset):
+    """ranking -> exact stability via the twod_exact backend."""
+    return {r.ranking: r.stability for r in StabilityEngine(dataset)}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestStabilityAgreement:
+    def test_randomized_estimates_within_confidence(self, seed, rng_factory):
+        dataset = Dataset(rng_factory(seed).uniform(size=(7, 2)))
+        exact = _exact_table(dataset)
+        engine = StabilityEngine(
+            dataset, backend="randomized", rng=rng_factory(seed + 1000)
+        )
+        for _ in range(3):
+            try:
+                estimate = engine.get_next(budget=BUDGET // 3)
+            except ExhaustedError:
+                break
+            assert estimate.ranking in exact, "randomized produced an infeasible ranking"
+            # 4 half-widths ~ a 1-in-16000 event per comparison.
+            tolerance = max(4 * estimate.confidence_error, 1e-6)
+            assert estimate.stability == pytest.approx(
+                exact[estimate.ranking], abs=tolerance
+            )
+
+    def test_top_ranking_agrees(self, seed, rng_factory):
+        dataset = Dataset(rng_factory(seed).uniform(size=(7, 2)))
+        exact_results = StabilityEngine(dataset).top_stable(2)
+        engine = StabilityEngine(
+            dataset, backend="randomized", rng=rng_factory(seed + 2000)
+        )
+        estimate = engine.get_next(budget=BUDGET)
+        gap = exact_results[0].stability - (
+            exact_results[1].stability if len(exact_results) > 1 else 0.0
+        )
+        if gap > 2 * estimate.confidence_error:
+            # The leader is separated beyond noise: order must agree.
+            assert estimate.ranking == exact_results[0].ranking
+        else:
+            # Near-tie: the randomized winner must still be one of the
+            # statistically indistinguishable leaders.
+            contenders = {
+                r.ranking
+                for r in exact_results
+                if exact_results[0].stability - r.stability
+                <= 2 * estimate.confidence_error
+            }
+            assert estimate.ranking in contenders
+
+    def test_stability_of_agrees_across_backends(self, seed, rng_factory):
+        dataset = Dataset(rng_factory(seed).uniform(size=(7, 2)))
+        exact_engine = StabilityEngine(dataset)
+        best = exact_engine.get_next()
+        randomized = StabilityEngine(
+            dataset, backend="randomized", rng=rng_factory(seed + 3000)
+        )
+        estimate = randomized.stability_of(best.ranking, min_samples=BUDGET)
+        tolerance = max(4 * estimate.confidence_error, 1e-6)
+        assert estimate.stability == pytest.approx(best.stability, abs=tolerance)
+
+
+def test_discovered_mass_sums_below_one(rng_factory):
+    dataset = Dataset(rng_factory(101).uniform(size=(8, 2)))
+    engine = StabilityEngine(dataset, backend="randomized", rng=rng_factory(102))
+    total = 0.0
+    try:
+        for _ in range(10):
+            total += engine.get_next(budget=1_000).stability
+    except ExhaustedError:
+        pass
+    assert total <= 1.0 + 1e-9

@@ -1,0 +1,188 @@
+"""Tests for the StabilityEngine facade and backend registry."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cone,
+    Dataset,
+    GetNext2D,
+    GetNextMD,
+    GetNextRandomized,
+    StabilityEngine,
+    available_backends,
+    create_backend,
+    resolve_backend,
+)
+from repro.errors import ExhaustedError
+
+
+@pytest.fixture
+def ds2(rng_factory):
+    return Dataset(rng_factory(1).uniform(size=(8, 2)))
+
+
+@pytest.fixture
+def ds3(rng_factory):
+    return Dataset(rng_factory(2).uniform(size=(10, 3)))
+
+
+class TestRegistry:
+    def test_three_backends_registered(self):
+        assert set(available_backends()) == {
+            "twod_exact",
+            "md_arrangement",
+            "randomized",
+        }
+
+    def test_create_unknown_raises(self, ds2):
+        with pytest.raises(ValueError):
+            create_backend("quantum", ds2)
+
+    def test_raw_engines_exposed(self, ds2, ds3, rng):
+        assert isinstance(create_backend("twod_exact", ds2).raw, GetNext2D)
+        assert isinstance(
+            create_backend("md_arrangement", ds3, rng=rng, n_samples=500).raw,
+            GetNextMD,
+        )
+        assert isinstance(
+            create_backend("randomized", ds3, rng=rng).raw, GetNextRandomized
+        )
+
+
+class TestDispatch:
+    def test_2d_goes_exact(self, ds2):
+        assert resolve_backend(ds2) == "twod_exact"
+        assert StabilityEngine(ds2).backend_name == "twod_exact"
+
+    def test_small_md_goes_arrangement(self, ds3):
+        assert resolve_backend(ds3) == "md_arrangement"
+
+    def test_large_md_goes_randomized(self, rng_factory):
+        big = Dataset(rng_factory(3).uniform(size=(1_500, 3)))
+        assert resolve_backend(big) == "randomized"
+
+    def test_topk_kind_goes_randomized(self, ds2):
+        assert resolve_backend(ds2, kind="topk_set") == "randomized"
+        engine = StabilityEngine(ds2, kind="topk_set", k=3)
+        assert engine.backend_name == "randomized"
+
+    def test_budget_hint_goes_randomized(self, ds3):
+        assert resolve_backend(ds3, budget=5_000) == "randomized"
+
+    def test_explicit_override(self, ds3, rng):
+        engine = StabilityEngine(ds3, backend="randomized", rng=rng)
+        assert engine.backend_name == "randomized"
+
+    def test_unknown_backend_raises(self, ds3):
+        with pytest.raises(ValueError):
+            StabilityEngine(ds3, backend="quantum")
+
+    def test_topk_on_exact_backend_raises(self, ds2):
+        with pytest.raises(ValueError):
+            StabilityEngine(ds2, kind="topk_set", k=3, backend="twod_exact")
+
+
+class TestFacade:
+    def test_get_next_descending_2d(self, ds2):
+        engine = StabilityEngine(ds2)
+        results = [engine.get_next() for _ in range(3)]
+        assert results[0].stability >= results[1].stability >= results[2].stability
+
+    def test_iteration_exhausts(self, ds2):
+        results = list(StabilityEngine(ds2))
+        assert len(results) >= 1
+        assert abs(sum(r.stability for r in results) - 1.0) < 1e-9
+
+    def test_stability_of_matches_get_next_2d(self, ds2):
+        engine = StabilityEngine(ds2)
+        best = engine.get_next()
+        again = engine.stability_of(best.ranking)
+        assert again.stability == pytest.approx(best.stability)
+
+    def test_stability_of_accepts_sequence(self, ds2):
+        engine = StabilityEngine(ds2)
+        best = engine.get_next()
+        assert engine.stability_of(list(best.ranking)).stability == pytest.approx(
+            best.stability
+        )
+
+    def test_stability_of_md_uses_shared_pool(self, ds3, rng):
+        engine = StabilityEngine(ds3, rng=rng, n_samples=2_000)
+        best = engine.get_next()
+        verified = engine.stability_of(best.ranking)
+        assert verified.stability == pytest.approx(best.stability, abs=0.05)
+
+    def test_randomized_get_next_default_budget(self, rng_factory):
+        big = Dataset(rng_factory(5).uniform(size=(1_200, 3)))
+        engine = StabilityEngine(big, rng=rng_factory(6))
+        assert engine.backend_name == "randomized"
+        result = engine.get_next(budget=500)
+        assert 0.0 < result.stability <= 1.0
+        assert result.confidence_error > 0.0
+
+    def test_top_stable_2d(self, ds2):
+        results = StabilityEngine(ds2).top_stable(4)
+        stabilities = [r.stability for r in results]
+        assert stabilities == sorted(stabilities, reverse=True)
+
+    def test_top_stable_respects_min_stability(self, ds2):
+        results = StabilityEngine(ds2).top_stable(100, min_stability=0.05)
+        assert all(r.stability >= 0.05 for r in results)
+
+    def test_top_stable_rejects_bad_m(self, ds2):
+        with pytest.raises(ValueError):
+            StabilityEngine(ds2).top_stable(0)
+
+    def test_topk_set_workflow(self, ds3, rng_factory):
+        engine = StabilityEngine(ds3, kind="topk_set", k=3, rng=rng_factory(7))
+        result = engine.get_next(budget=2_000)
+        assert result.top_k_set is not None and len(result.top_k_set) == 3
+        again = engine.stability_of(result.top_k_set)
+        assert again.stability == pytest.approx(result.stability, abs=0.05)
+
+    def test_error_mode_passthrough(self, ds3, rng_factory):
+        engine = StabilityEngine(ds3, backend="randomized", rng=rng_factory(8))
+        result = engine.get_next(error=0.05)
+        assert result.confidence_error <= 0.05
+
+    def test_exhaustion_raises(self, rng_factory):
+        tiny = Dataset(np.array([[0.9, 0.9], [0.1, 0.1]]))
+        engine = StabilityEngine(tiny)
+        engine.get_next()
+        with pytest.raises(ExhaustedError):
+            engine.get_next()
+
+    def test_region_forwarded(self, ds2):
+        cone = Cone(np.array([1.0, 1.0]), 0.1)
+        engine = StabilityEngine(ds2, region=cone)
+        results = list(engine)
+        assert abs(sum(r.stability for r in results) - 1.0) < 1e-9
+
+    def test_repr_mentions_backend(self, ds2):
+        assert "twod_exact" in repr(StabilityEngine(ds2))
+
+    def test_engine_subpackage_importable(self):
+        import importlib
+
+        module = importlib.import_module("repro.engine")
+        for name in module.__all__:
+            assert hasattr(module, name), name
+
+
+class TestPrunedTopkParity:
+    def test_pruning_does_not_change_distribution(self, rng_factory):
+        # Forced pruning and disabled pruning must agree statistically
+        # (same region, independent streams) and exactly in key space.
+        ds = Dataset(rng_factory(9).uniform(size=(400, 3)))
+        on = GetNextRandomized(
+            ds, kind="topk_set", k=5, rng=rng_factory(10), prune_topk=True
+        )
+        off = GetNextRandomized(
+            ds, kind="topk_set", k=5, rng=rng_factory(10), prune_topk=False
+        )
+        a = on.get_next(budget=3_000)
+        b = off.get_next(budget=3_000)
+        # Same rng stream and same semantics: identical results.
+        assert a.top_k_set == b.top_k_set
+        assert a.stability == b.stability

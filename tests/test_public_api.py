@@ -14,11 +14,15 @@ class TestPublicSurface:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_subpackages_importable(self):
         for module in (
             "repro.core",
+            "repro.engine",
+            "repro.engine.kernel",
+            "repro.engine.backends",
+            "repro.engine.engine",
             "repro.geometry",
             "repro.sampling",
             "repro.operators",
