@@ -16,7 +16,7 @@ Quick tour
 True
 
 The documented entry point is the :class:`StabilityEngine` facade,
-which dispatches on ``(d, n, kind, budget)`` over three registered
+which dispatches on ``(d, n, kind, budget)`` over four registered
 backends (verification, batch enumeration, iterative GET-NEXT):
 
 >>> engine = StabilityEngine(data)
@@ -27,11 +27,21 @@ backends (verification, batch enumeration, iterative GET-NEXT):
 True
 
 - ``twod_exact`` — the exact 2D sweep (:class:`repro.core.GetNext2D`);
+- ``twod_topk`` — the exact 2D top-k sweep
+  (:mod:`repro.core.twod_topk`) serving partial kinds at ``d = 2``;
 - ``md_arrangement`` — lazy hyperplane-arrangement construction for
   d > 2 (:class:`repro.core.GetNextMD`);
 - ``randomized`` — the Monte-Carlo operator, the only one supporting
-  top-k partial rankings (:class:`repro.core.GetNextRandomized`), whose
-  hot path runs on the vectorized :mod:`repro.engine.kernel`.
+  top-k partial rankings beyond 2D
+  (:class:`repro.core.GetNextRandomized`), whose hot path runs on the
+  vectorized :mod:`repro.engine.kernel`.
+
+Serving workloads (repeated, incremental, or batched queries over one
+dataset) go through the service layer (:mod:`repro.service`): a
+:class:`StabilitySession` keeps cumulative sample pools, the shared
+k-skyband index, and a keyed LRU result cache alive across calls, and
+:func:`execute_batch` amortizes one sampling pass over a whole batch
+of :class:`StabilityRequest`\\ s, shard-parallel when it pays.
 """
 
 from repro import errors
@@ -93,12 +103,24 @@ from repro.engine.backends import (
     resolve_backend,
 )
 from repro.engine.engine import StabilityEngine
+from repro.service import (
+    ResultCache,
+    StabilityRequest,
+    StabilitySession,
+    execute_batch,
+    parallel_observe,
+)
 
 __version__ = "1.1.0"
 
 __all__ = [
     "errors",
     "StabilityEngine",
+    "StabilitySession",
+    "StabilityRequest",
+    "ResultCache",
+    "execute_batch",
+    "parallel_observe",
     "StabilityBackend",
     "available_backends",
     "create_backend",

@@ -1,11 +1,24 @@
 """Command-line interface for quick stability analyses on CSV files.
 
-Four subcommands mirror the library's workflows::
+The per-query subcommands mirror the library's workflows::
 
     python -m repro.cli verify data.csv --weights 1,1
     python -m repro.cli enumerate data.csv --top 5
     python -m repro.cli topk data.csv --k 10 --kind set --budget 5000
     python -m repro.cli profile data.csv --items 0,1,2
+
+and two service-layer commands run mixed workloads through a
+:class:`~repro.service.StabilitySession` (shared sample pools, result
+cache, batch-amortized sampling)::
+
+    python -m repro.cli batch data.csv --requests requests.json
+    python -m repro.cli serve data.csv          # JSON-lines on stdio
+
+``requests.json`` holds a list of request objects, e.g.
+``[{"op": "top_stable", "m": 3, "kind": "topk_set", "k": 5}]``;
+``serve`` reads one such object per stdin line and answers with one
+JSON line each (the special ops ``{"op": "stats"}`` and
+``{"op": "invalidate"}`` report/reset the session).
 
 The CSV must contain one numeric column per scoring attribute (a header
 row is auto-detected); an optional ``--label-column NAME`` column holds
@@ -17,7 +30,9 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -28,6 +43,8 @@ from repro import (
     FullSpace,
     ScoringFunction,
     StabilityEngine,
+    StabilitySession,
+    execute_batch,
     rank_profile,
 )
 
@@ -167,6 +184,31 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated cosine levels",
     )
 
+    p_batch = sub.add_parser(
+        "batch", help="run a JSON batch of requests through one session"
+    )
+    _add_common(p_batch)
+    p_batch.add_argument(
+        "--requests",
+        required=True,
+        help="path to a JSON list of request objects ('-' for stdin)",
+    )
+    p_batch.add_argument("--budget", type=int, default=None)
+    p_batch.add_argument(
+        "--workers", type=int, default=None, help="observe thread-pool width"
+    )
+    p_batch.add_argument(
+        "--no-parallel", action="store_true", help="force serial observe"
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="JSON-lines request/response service on stdio"
+    )
+    _add_common(p_serve)
+    p_serve.add_argument("--budget", type=int, default=None)
+    p_serve.add_argument("--workers", type=int, default=None)
+    p_serve.add_argument("--no-parallel", action="store_true")
+
     args = parser.parse_args(argv)
     lower = tuple(c for c in args.lower_is_better.split(",") if c)
     ds = load_csv_dataset(
@@ -282,7 +324,122 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
 
+    if args.command in ("batch", "serve"):
+        region = _region_for(args, ds.n_attributes, None)
+        session = StabilitySession(
+            ds,
+            region=region,
+            seed=args.seed,
+            budget=args.budget,
+            parallel=False if args.no_parallel else "auto",
+            max_workers=args.workers,
+        )
+        with session:
+            if args.command == "batch":
+                return _run_batch(session, ds, args, out)
+            return _run_serve(session, ds, out)
+
     raise AssertionError("unreachable")
+
+
+def _result_to_json(ds: Dataset, result) -> dict:
+    """One StabilityResult as a JSON-safe mapping."""
+    payload = {
+        "ranking": [int(i) for i in result.ranking.order],
+        "labels": [ds.label_of(i) for i in result.ranking.order[:10]],
+        "stability": result.stability,
+        "confidence_error": result.confidence_error,
+        "sample_count": result.sample_count,
+    }
+    if result.top_k_set is not None:
+        payload["top_k_set"] = sorted(int(i) for i in result.top_k_set)
+    return payload
+
+
+def _value_to_json(ds: Dataset, value) -> object:
+    if isinstance(value, list):
+        return [_result_to_json(ds, r) for r in value]
+    return _result_to_json(ds, value)
+
+
+def _run_batch(session: StabilitySession, ds: Dataset, args, out) -> int:
+    """The ``batch`` subcommand: one amortized pass over a request file."""
+    if args.requests == "-":
+        requests = json.load(sys.stdin)
+    else:
+        with open(args.requests) as handle:
+            requests = json.load(handle)
+    if not isinstance(requests, list):
+        raise SystemExit("--requests must contain a JSON list of request objects")
+    start = time.perf_counter()
+    outcomes = execute_batch(session, requests)
+    elapsed = time.perf_counter() - start
+    for i, outcome in enumerate(outcomes):
+        request = outcome.request
+        op = (
+            request.get("op") if isinstance(request, dict)
+            else getattr(request, "op", None)
+        )
+        record = {"index": i, "op": op, "ok": outcome.ok,
+                  "cached": outcome.cached}
+        if outcome.ok:
+            record["result"] = _value_to_json(ds, outcome.value)
+        else:
+            record["error"] = f"{type(outcome.error).__name__}: {outcome.error}"
+        print(json.dumps(record), file=out)
+    stats = session.stats()
+    print(
+        json.dumps(
+            {
+                "batch_seconds": round(elapsed, 6),
+                "requests": len(outcomes),
+                "cache": stats["cache"],
+                "configs": stats["configs"],
+            }
+        ),
+        file=out,
+    )
+    return 0 if all(o.ok for o in outcomes) else 1
+
+
+def _run_serve(session: StabilitySession, ds: Dataset, out) -> int:
+    """The ``serve`` subcommand: a JSON-lines request loop on stdio.
+
+    Transport-agnostic by design — anything that can write a line and
+    read a line (a socket relay, a test harness, a shell pipe) can
+    drive the session; no network dependencies required.
+    """
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            op = payload.get("op")
+            if op == "stats":
+                response = {"ok": True, "stats": session.stats()}
+            elif op == "invalidate":
+                response = {"ok": True, "invalidated": session.invalidate()}
+            else:
+                start = time.perf_counter()
+                outcome = execute_batch(session, [payload])[0]
+                elapsed = time.perf_counter() - start
+                if outcome.ok:
+                    response = {
+                        "ok": True,
+                        "cached": outcome.cached,
+                        "seconds": round(elapsed, 6),
+                        "result": _value_to_json(ds, outcome.value),
+                    }
+                else:
+                    response = {
+                        "ok": False,
+                        "error": f"{type(outcome.error).__name__}: {outcome.error}",
+                    }
+        except Exception as exc:  # malformed line: report, keep serving
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        print(json.dumps(response), file=out, flush=True)
+    return 0
 
 
 if __name__ == "__main__":

@@ -85,6 +85,11 @@ class GetNextRandomized:
         sampling plan are large enough to amortise its construction;
         ``True`` builds it on the first observation; ``False`` disables
         pruning.
+    skyband:
+        Optional prebuilt :class:`repro.operators.skyline.KSkybandIndex`
+        over ``dataset.values``, shared across operators so a serving
+        session pays the band construction once (the index caches per
+        ``k``).  ``None`` builds a private index on demand.
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class GetNextRandomized:
         confidence: float = 0.95,
         scoring_chunk: int | None = None,
         prune_topk: bool | None = None,
+        skyband=None,
     ):
         if kind not in ("full", "topk_ranked", "topk_set"):
             raise ValueError(f"unknown ranking kind {kind!r}")
@@ -122,6 +128,7 @@ class GetNextRandomized:
         self._tally = kernel.RankingTally(dataset.n_items, key_length)
         self.returned: list[StabilityResult] = []
         self._prune_topk = prune_topk if kind != "full" else False
+        self._skyband = skyband
         self._candidates: np.ndarray | None = None
         self._candidate_values: np.ndarray | None = None
 
@@ -149,9 +156,22 @@ class GetNextRandomized:
             )
         return Counter({tally.unpack(key): c for key, c in tally.counts.items()})
 
-    def _maybe_build_pruning_index(self, n_new: int) -> None:
-        """Install the strict k-skyband candidate set when it pays off."""
+    @property
+    def tally(self) -> kernel.RankingTally:
+        """The cumulative count table (read for merging/inspection only)."""
+        return self._tally
+
+    def prepare_observe(self, n_new: int) -> None:
+        """Install the strict k-skyband candidate set when it pays off.
+
+        Public so external observe drivers (the shard-parallel observer
+        of :mod:`repro.service.parallel`) can reproduce the serial
+        path's state transitions — index construction and the chunk
+        re-tune — before planning their own chunk decomposition.
+        """
         if self._prune_topk is False or self._candidates is not None:
+            return
+        if self.kind == "full":
             return
         n = self.dataset.n_items
         if self._prune_topk is None and (
@@ -160,9 +180,11 @@ class GetNextRandomized:
             or self.k > n // 8
         ):
             return
-        from repro.operators.skyline import k_skyband
+        if self._skyband is None:
+            from repro.operators.skyline import KSkybandIndex
 
-        candidates = k_skyband(self.dataset.values, self.k)
+            self._skyband = KSkybandIndex(self.dataset.values)
+        candidates = self._skyband.band(self.k)
         if candidates.size >= n:
             self._prune_topk = False  # nothing to prune; stop re-checking
             return
@@ -173,31 +195,48 @@ class GetNextRandomized:
         if self._auto_chunk:
             self.scoring_chunk = kernel.auto_chunk_size(candidates.size)
 
-    def _observe(self, n_new: int) -> None:
-        """Draw ``n_new`` functions and tally the induced (partial) rankings."""
-        if n_new <= 0:
-            return
-        if self.kind != "full":
-            self._maybe_build_pruning_index(n_new)
+    def plan_chunks(self, n_new: int) -> list[int]:
+        """The chunk decomposition of an ``n_new``-sample observe pass.
+
+        Deterministic given the operator's (already prepared) scoring
+        chunk; serial and parallel observe share this plan so their
+        tallies agree exactly.
+        """
+        sizes: list[int] = []
+        remaining = max(int(n_new), 0)
+        while remaining > 0:
+            batch = min(self.scoring_chunk, remaining)
+            sizes.append(batch)
+            remaining -= batch
+        return sizes
+
+    def rows_for_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Ranking-key rows induced by a block of sampled functions.
+
+        Pure (no operator state is mutated), so blocks can be reduced
+        concurrently; candidate-space top-k rows are mapped back to
+        dataset identifiers.
+        """
         if self._candidate_values is not None:
             values, candidates = self._candidate_values, self._candidates
         else:
             values, candidates = self.dataset.values, None
-        remaining = n_new
-        while remaining > 0:
-            batch = min(self.scoring_chunk, remaining)
+        scores = kernel.score_block(values, weights)
+        if self.kind == "full":
+            return kernel.full_ranking_rows(scores)
+        rows = kernel.topk_rows(scores, self.k, ranked=self.kind == "topk_ranked")
+        if candidates is not None:
+            rows = candidates[rows]
+        return rows
+
+    def observe(self, n_new: int) -> None:
+        """Draw ``n_new`` functions and tally the induced (partial) rankings."""
+        if n_new <= 0:
+            return
+        self.prepare_observe(n_new)
+        for batch in self.plan_chunks(n_new):
             weights = self.region.sample(batch, self.rng)
-            scores = kernel.score_block(values, weights)
-            if self.kind == "full":
-                rows = kernel.full_ranking_rows(scores)
-            else:
-                rows = kernel.topk_rows(
-                    scores, self.k, ranked=self.kind == "topk_ranked"
-                )
-                if candidates is not None:
-                    rows = candidates[rows]
-            self._tally.observe_rows(rows)
-            remaining -= batch
+            self._tally.observe_rows(self.rows_for_weights(weights))
 
     def _result_for(self, key: bytes) -> StabilityResult:
         count = self._tally.count_of(key)
@@ -250,16 +289,13 @@ class GetNextRandomized:
         if budget is not None:
             if budget < 1:
                 raise ValueError(f"budget must be >= 1, got {budget}")
-            self._observe(budget)
-            key = self._tally.best_unreturned()
-            if key is None:
+            self.observe(budget)
+            try:
+                return self.next_from_pool()
+            except ExhaustedError:
                 raise ExhaustedError(
                     "no new ranking observed; call again with a larger budget"
-                )
-            result = self._result_for(key)
-            self._tally.mark_returned(key)
-            self.returned.append(result)
-            return result
+                ) from None
         # Fixed-confidence mode (Algorithm 8).
         if error <= 0.0:
             raise ValueError(f"error must be positive, got {error}")
@@ -281,8 +317,43 @@ class GetNextRandomized:
                     f"confidence error {error} not reached within "
                     f"{max_samples} samples"
                 )
-            self._observe(min(step, max_samples - self.total_samples))
+            self.observe(min(step, max_samples - self.total_samples))
             step = min(step * 2, 8192)
+
+    def next_from_pool(self) -> StabilityResult:
+        """The best not-yet-returned ranking of the *current* pool.
+
+        Draws no new samples — the service layer's batch planner fills
+        the pool once (possibly shard-parallel) and then drains answers
+        through here.  Raises :class:`ExhaustedError` when every
+        observed ranking has been returned.
+        """
+        key = self._tally.best_unreturned()
+        if key is None:
+            raise ExhaustedError(
+                "every observed ranking has been returned; "
+                "observe more samples to discover new ones"
+            )
+        result = self._result_for(key)
+        self._tally.mark_returned(key)
+        self.returned.append(result)
+        return result
+
+    def top_from_pool(self, m: int) -> list[StabilityResult]:
+        """The ``m`` most frequent rankings of the current pool, best first.
+
+        Non-consuming (returned-marks are neither consulted nor set)
+        and idempotent given the pool, which makes it safe to cache:
+        repeated top-``m`` queries over one session answer from the
+        cumulative tally instead of re-running the GET-NEXT protocol.
+        Returns fewer than ``m`` results when the pool has not observed
+        that many distinct rankings.
+        """
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if self.total_samples == 0:
+            return []
+        return [self._result_for(key) for key in self._tally.top_keys(m)]
 
     def stability_of(self, ranking, *, min_samples: int = 5_000) -> StabilityResult:
         """Estimate the stability of a specific (partial) ranking.
@@ -293,7 +364,7 @@ class GetNextRandomized:
         sequence, or (for ``kind="topk_set"``) any iterable of ids.
         """
         if self.total_samples < min_samples:
-            self._observe(min_samples - self.total_samples)
+            self.observe(min_samples - self.total_samples)
         ids = list(ranking)
         if self.kind == "topk_set":
             ids = sorted(ids)

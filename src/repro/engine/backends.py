@@ -1,7 +1,8 @@
-"""Stability backends: one protocol, three registered implementations.
+"""Stability backends: one protocol, four registered implementations.
 
-The paper's three GET-NEXT families — the exact 2D sweep (section 3),
-the lazy arrangement traversal (section 4.2), and the Monte-Carlo
+The paper's GET-NEXT families — the exact 2D sweep (section 3), the
+exact 2D *top-k* sweep (the section 4.5.1 extension), the lazy
+arrangement traversal (section 4.2), and the Monte-Carlo
 randomized operator (sections 4.3-4.5) — share a call surface here so
 the :class:`~repro.engine.engine.StabilityEngine` facade (and any other
 consumer) can treat them interchangeably:
@@ -32,6 +33,7 @@ from repro.core.ranking import Ranking
 from repro.core.region import FullSpace, RegionOfInterest
 from repro.core.stability import StabilityResult
 from repro.core.twod import GetNext2D, verify_stability_2d
+from repro.core.twod_topk import enumerate_topk_2d, verify_topk_2d
 from repro.errors import ExhaustedError
 from repro.sampling.oracle import StabilityOracle
 
@@ -64,6 +66,9 @@ class StabilityBackend(Protocol):
     name: str
     dataset: Dataset
     region: RegionOfInterest
+    #: Ranking kinds the backend can answer ("full", "topk_ranked",
+    #: "topk_set"); defaulted to ("full",) by :func:`register_backend`.
+    supports_kinds: tuple[str, ...]
 
     def get_next(
         self, *, budget: int | None = None, error: float | None = None
@@ -86,6 +91,8 @@ def register_backend(name: str):
 
     def decorate(cls: type) -> type:
         cls.name = name
+        if not hasattr(cls, "supports_kinds"):
+            cls.supports_kinds = ("full",)
         _REGISTRY[name] = cls
         return cls
 
@@ -120,14 +127,16 @@ def resolve_backend(
 ) -> str:
     """Auto-dispatch on ``(d, n, kind, budget)``.
 
-    - partial (top-k) rankings only the randomized operator supports;
-    - ``d = 2`` is exact and cheap — always the sweep;
+    - partial (top-k) rankings are exact in 2D (the annotated kinetic
+      sweep of :mod:`repro.core.twod_topk`); beyond 2D only the
+      randomized operator supports them;
+    - ``d = 2`` is exact and cheap — always a sweep;
     - an explicit sampling ``budget`` signals a Monte-Carlo workflow;
     - otherwise the arrangement up to ``md_item_limit`` items, sampling
       beyond it.
     """
     if kind != "full":
-        return "randomized"
+        return "twod_topk" if dataset.n_attributes == 2 else "randomized"
     if dataset.n_attributes == 2:
         return "twod_exact"
     if budget is not None:
@@ -256,10 +265,92 @@ class MDArrangementBackend(_IterMixin):
         )
 
 
+@register_backend("twod_topk")
+class TwoDTopkBackend(_IterMixin):
+    """Exact top-k backend for ``d = 2`` (the annotated kinetic sweep).
+
+    Wraps :mod:`repro.core.twod_topk`: the first ``get_next`` runs one
+    sweep enumerating every feasible top-k outcome with its exact
+    stability, then results stream best-first from the cached list.
+    The randomized stopping parameters (``budget`` / ``error``) are
+    accepted and ignored, like the other exact backends.
+    """
+
+    supports_kinds = ("topk_ranked", "topk_set")
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        region: RegionOfInterest | None = None,
+        rng: np.random.Generator | None = None,
+        confidence: float = 0.95,
+        kind: RankingKind = "topk_set",
+        k: int | None = None,
+    ):
+        # rng/confidence accepted for signature uniformity; the sweep is
+        # deterministic and exact.
+        if dataset.n_attributes != 2:
+            raise ValueError(
+                f"twod_topk requires d = 2, got d = {dataset.n_attributes}"
+            )
+        if kind not in self.supports_kinds:
+            raise ValueError(
+                f"twod_topk serves top-k kinds {self.supports_kinds}, "
+                f"got kind={kind!r}"
+            )
+        if k is None or not 1 <= k <= dataset.n_items:
+            raise ValueError(
+                f"top-k kinds require 1 <= k <= {dataset.n_items}, got {k}"
+            )
+        self.dataset = dataset
+        self.region = region if region is not None else FullSpace(2)
+        self.kind: RankingKind = kind
+        self.k = int(k)
+        self._results: list[StabilityResult] | None = None
+        self._pos = 0
+
+    @property
+    def _sweep_kind(self) -> str:
+        return "set" if self.kind == "topk_set" else "ranked"
+
+    def _ensure_results(self) -> list[StabilityResult]:
+        if self._results is None:
+            self._results = enumerate_topk_2d(
+                self.dataset, self.k, region=self.region, kind=self._sweep_kind
+            )
+        return self._results
+
+    @property
+    def raw(self):
+        """The backend itself — the sweep has no separate engine object."""
+        return self
+
+    def get_next(
+        self, *, budget: int | None = None, error: float | None = None
+    ) -> StabilityResult:
+        results = self._ensure_results()
+        if self._pos >= len(results):
+            raise ExhaustedError(
+                "every feasible top-k outcome has been returned"
+            )
+        result = results[self._pos]
+        self._pos += 1
+        return result
+
+    def stability_of(self, ranking) -> StabilityResult:
+        return verify_topk_2d(
+            self.dataset, ranking, region=self.region, kind=self._sweep_kind
+        )
+
+
 @register_backend("randomized")
 class RandomizedBackend(_IterMixin):
     """Monte-Carlo backend (Algorithms 7-8); the only one supporting
-    partial (top-k) rankings, running on the vectorized kernel."""
+    partial (top-k) rankings beyond two dimensions, running on the
+    vectorized kernel."""
+
+    supports_kinds = ("full", "topk_ranked", "topk_set")
 
     def __init__(
         self,
@@ -272,6 +363,7 @@ class RandomizedBackend(_IterMixin):
         k: int | None = None,
         scoring_chunk: int | None = None,
         prune_topk: bool | None = None,
+        skyband=None,
     ):
         self.dataset = dataset
         self.region = (
@@ -286,11 +378,24 @@ class RandomizedBackend(_IterMixin):
             confidence=confidence,
             scoring_chunk=scoring_chunk,
             prune_topk=prune_topk,
+            skyband=skyband,
         )
 
     @property
     def total_samples(self) -> int:
         return self._engine.total_samples
+
+    def observe(self, n_new: int) -> None:
+        """Grow the cumulative sample pool without returning a result."""
+        self._engine.observe(n_new)
+
+    def next_from_pool(self) -> StabilityResult:
+        """Consume the best unreturned ranking of the current pool."""
+        return self._engine.next_from_pool()
+
+    def top_from_pool(self, m: int) -> list[StabilityResult]:
+        """The ``m`` most frequent pool rankings, best first (non-consuming)."""
+        return self._engine.top_from_pool(m)
 
     def get_next(
         self, *, budget: int | None = None, error: float | None = None

@@ -15,10 +15,11 @@ the caller choosing an algorithm family:
 True
 
 Dispatch follows :func:`repro.engine.backends.resolve_backend`:
-partial-ranking kinds go to the randomized operator, ``d = 2`` to the
-exact sweep, small ``d > 2`` instances to the lazy arrangement, and
-everything else (or an explicit sampling budget) to the randomized
-operator.  Pass ``backend="..."`` to override.
+``d = 2`` goes to the exact sweeps (the annotated top-k sweep for
+partial-ranking kinds), small ``d > 2`` instances to the lazy
+arrangement, and everything else (partial kinds beyond 2D, large ``n``,
+or an explicit sampling budget) to the randomized operator.  Pass
+``backend="..."`` to override.
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ from repro.engine.backends import (
     StabilityBackend,
     available_backends,
     create_backend,
+    get_backend_cls,
     resolve_backend,
 )
 from repro.errors import ExhaustedError
@@ -100,9 +102,11 @@ class StabilityEngine:
                 f"unknown backend {backend!r}; "
                 f"available: {', '.join(available_backends())} (or 'auto')"
             )
-        if kind != "full" and backend != "randomized":
+        supported = getattr(get_backend_cls(backend), "supports_kinds", ("full",))
+        if kind not in supported:
             raise ValueError(
-                f"kind={kind!r} requires the randomized backend, got {backend!r}"
+                f"kind={kind!r} is not supported by backend {backend!r} "
+                f"(supports: {', '.join(supported)})"
             )
         if kind != "full":
             backend_options.setdefault("kind", kind)

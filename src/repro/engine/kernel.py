@@ -26,6 +26,7 @@ This module replaces all of it with batch-level numpy:
 from __future__ import annotations
 
 import heapq
+import os
 
 import numpy as np
 
@@ -50,6 +51,13 @@ _TARGET_BLOCK_BYTES = 16 * 1024 * 1024
 _MIN_CHUNK = 16
 _MAX_CHUNK = 8192
 
+#: Environment override pinning the scoring chunk to a fixed row count.
+#: The auto-tuned size is already a pure function of ``n``, but pinning
+#: it lets serial and shard-parallel observe passes (and runs on hosts
+#: with different tuning constants) share one reproducible chunk
+#: decomposition — the tally's first-seen tie-break order depends on it.
+CHUNK_ENV_VAR = "REPRO_SCORING_CHUNK"
+
 
 def auto_chunk_size(
     n_items: int,
@@ -62,10 +70,22 @@ def auto_chunk_size(
 
     Bounds the transient ``(chunk, n)`` float64 score matrix (and the
     same-shaped argsort workspace) near ``target_bytes``, clamped to
-    ``[lo, hi]``.
+    ``[lo, hi]``.  Deterministic: the result depends only on ``n`` and
+    the explicit arguments, so two operators over the same dataset
+    always agree on the chunk decomposition.  Setting the
+    ``REPRO_SCORING_CHUNK`` environment variable overrides the tuning
+    entirely with a fixed positive row count.
     """
     if n_items < 1:
         raise ValueError(f"n_items must be >= 1, got {n_items}")
+    override = os.environ.get(CHUNK_ENV_VAR)
+    if override:
+        pinned = int(override)
+        if pinned < 1:
+            raise ValueError(
+                f"{CHUNK_ENV_VAR} must be a positive integer, got {override!r}"
+            )
+        return pinned
     per_row = 8 * max(n_items, 1)
     return int(np.clip(target_bytes // per_row, lo, hi))
 
@@ -273,17 +293,66 @@ class RankingTally:
             return
         packed = pack_rows(rows, self.dtype)
         uniques, freqs = np.unique(packed, return_counts=True)
+        self.observe_packed(
+            [key.tobytes() for key in uniques], freqs, int(rows.shape[0])
+        )
+
+    def observe_packed(self, keys, freqs, n_rows: int) -> None:
+        """Merge a pre-reduced block of byte-packed keys into the tally.
+
+        ``keys``/``freqs`` are the ``np.unique(..., return_counts=True)``
+        reduction of one block of packed rows (``keys`` as ``bytes``,
+        sorted); ``n_rows`` is the block's row count.  This is the
+        mergeable half of :meth:`observe_rows`: a worker can reduce its
+        block off-thread and the owner folds the result in here.
+        Folding blocks in their serial order reproduces the serial
+        tally exactly — counts, totals, and first-seen tie-break order.
+        """
         counts = self.counts
         first_seen = self._first_seen
         heap = self._heap
-        for void_key, freq in zip(uniques, freqs):
-            key = void_key.tobytes()
+        for key, freq in zip(keys, freqs):
             new = counts.get(key, 0) + int(freq)
             counts[key] = new
             seq = first_seen.setdefault(key, len(first_seen))
             if key not in self._returned:
                 heapq.heappush(heap, (-new, seq, key))
-        self.total += int(rows.shape[0])
+        self.total += int(n_rows)
+
+    def merge(self, other: "RankingTally") -> None:
+        """Fold another tally's counts into this one.
+
+        Keys are ingested in ``other``'s first-seen order, so merging
+        shard tallies in shard order matches processing the shards'
+        blocks sequentially *per shard*; returned-marks of ``other``
+        are ignored (shards never return results themselves).
+        """
+        if other.key_length != self.key_length or other.dtype != self.dtype:
+            raise ValueError("cannot merge tallies with different key layouts")
+        ordered = sorted(other.counts, key=other._first_seen.__getitem__)
+        self.observe_packed(
+            ordered, [other.counts[key] for key in ordered], other.total
+        )
+
+    def top_keys(self, m: int) -> list[bytes]:
+        """The ``m`` highest-count keys, best first — non-consuming.
+
+        Ignores returned-marks; ties break by first-seen order then key
+        bytes, exactly like :meth:`best_unreturned`.
+        """
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        first_seen = self._first_seen
+        return [
+            key
+            for _, _, key in heapq.nsmallest(
+                m,
+                (
+                    (-count, first_seen[key], key)
+                    for key, count in self.counts.items()
+                ),
+            )
+        ]
 
     def best_unreturned(self) -> bytes | None:
         """The not-yet-returned key with the highest count, or ``None``."""

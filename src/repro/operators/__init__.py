@@ -24,7 +24,13 @@ from repro.operators.representative import (
     dominance_matrix,
     k_representative_skyline,
 )
-from repro.operators.skyline import dominance_count, is_dominated, k_skyband, skyline
+from repro.operators.skyline import (
+    KSkybandIndex,
+    dominance_count,
+    is_dominated,
+    k_skyband,
+    skyline,
+)
 from repro.operators.threshold import (
     SortedLists,
     TopKResult,
@@ -36,6 +42,7 @@ from repro.operators.topk import top_k_indices, top_k_threshold
 __all__ = [
     "skyline",
     "k_skyband",
+    "KSkybandIndex",
     "is_dominated",
     "dominance_count",
     "top_k_indices",

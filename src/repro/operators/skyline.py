@@ -15,9 +15,17 @@ grown window suffices.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
-__all__ = ["skyline", "is_dominated", "dominance_count", "k_skyband"]
+__all__ = [
+    "skyline",
+    "is_dominated",
+    "dominance_count",
+    "k_skyband",
+    "KSkybandIndex",
+]
 
 
 def skyline(values: np.ndarray) -> np.ndarray:
@@ -70,61 +78,167 @@ def skyline(values: np.ndarray) -> np.ndarray:
     return np.array(sorted(window), dtype=np.intp)
 
 
-def k_skyband(values: np.ndarray, k: int, *, chunk: int = 512) -> np.ndarray:
-    """Indices of items with fewer than ``k`` *strict* dominators, ascending.
+class KSkybandIndex:
+    """Reusable strict k-skyband index over one attribute matrix.
 
     The strict k-skyband (Papadias et al., dominance with ``>`` in
     *every* attribute) is a sound top-k candidate set for non-negative
     linear scoring: if ``x`` beats ``z`` in every attribute then
     ``f_w(x) > f_w(z)`` for every non-zero ``w >= 0``, so an item with
     ``k`` strict dominators can never enter a top-k.  The engine's
-    randomized backend uses this as a pruning index for its top-k
-    observe path.
+    randomized backend uses the band as a pruning index for its top-k
+    observe path, and a :class:`repro.service.StabilitySession` shares
+    one index across every operator it creates — bands are cached per
+    ``k``, and the sum-order presort is computed once.
 
-    A windowed one-pass algorithm: items are processed in descending
-    attribute-sum order (a strict dominator always has a strictly larger
-    sum) and each item is counted only against *kept* items — sufficient
-    because dominance is transitive, so any excluded dominator certifies
-    ``k`` kept dominators.  Cost ``O(n * band * d)`` instead of the
-    naive ``O(n^2 d)``.
+    Build paths:
 
-    When a dominating margin is below the sum's floating-point rounding
-    unit the processing order between the two items is arbitrary and a
-    dominator may go uncounted; the result is then a *superset* of the
-    exact band — the safe direction for pruning, which only requires
-    that no viable candidate is excluded.
+    - ``d == 2`` — an exact incremental heap sweep: items are processed
+      in descending ``x1`` order while a size-``k`` min-heap tracks the
+      ``k`` largest ``x2`` values among strictly-``x1``-greater items,
+      so each item's "has >= k strict dominators" test is one heap
+      peek.  ``O(n log n)`` total, independent of the band size, and
+      exact even under attribute ties.
+    - ``d > 2`` — the windowed sum-order scan, counting each candidate
+      only against *kept* items (sufficient: dominance is transitive,
+      so any excluded dominator certifies ``k`` kept dominators) — but
+      processed against the kept set block-by-block with saturating
+      counts: a candidate stops scanning the moment it reaches ``k``
+      dominators.  Because kept blocks arrive in descending sum order,
+      heavily dominated items saturate against the first blocks, which
+      avoids the ``O(n * band)`` full-window blowup at ``n >= 100_000``
+      (and the quadratic re-concatenation of the window) that the
+      previous implementation paid.
+
+    For ``d > 2``, when a dominating margin is below the sum's
+    floating-point rounding unit the processing order between the two
+    items is arbitrary and a dominator may go uncounted; the result is
+    then a *superset* of the exact band — the safe direction for
+    pruning, which only requires that no viable candidate is excluded.
     """
-    pts = np.asarray(values, dtype=np.float64)
-    if pts.ndim != 2:
-        raise ValueError("values must be a 2-D array (n, d)")
-    n = pts.shape[0]
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    if n == 0:
-        return np.empty(0, dtype=np.intp)
-    sums = pts.sum(axis=1)
-    order = np.argsort(-sums, kind="stable")
-    sorted_pts = np.ascontiguousarray(pts[order])
-    sorted_sums = sums[order]
-    kept_blocks: list[np.ndarray] = []
-    kept_idx: list[np.ndarray] = []
-    kept = np.empty((0, pts.shape[1]))
-    for start in range(0, n, chunk):
-        block = sorted_pts[start : start + chunk]
-        block_sums = sorted_sums[start : start + chunk]
-        counts = np.zeros(block.shape[0], dtype=np.int64)
-        if kept.shape[0]:
-            counts += (kept[None, :, :] > block[:, None, :]).all(axis=2).sum(axis=1)
-        # Within the block only strictly-larger-sum items can dominate.
-        inner = (block[None, :, :] > block[:, None, :]).all(axis=2)
-        inner &= block_sums[None, :] > block_sums[:, None]
-        counts += inner.sum(axis=1)
-        keep = counts < k
-        if keep.any():
-            kept_blocks.append(block[keep])
-            kept_idx.append(order[start : start + chunk][keep])
-            kept = np.concatenate(kept_blocks, axis=0)
-    return np.sort(np.concatenate(kept_idx)).astype(np.intp)
+
+    def __init__(self, values: np.ndarray, *, chunk: int = 512):
+        pts = np.asarray(values, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("values must be a 2-D array (n, d)")
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        self._pts = pts
+        self._chunk = int(chunk)
+        # Lazy sum-descending presort, shared by every band(k) build.
+        self._order: np.ndarray | None = None
+        self._sorted_pts: np.ndarray | None = None
+        self._sorted_sums: np.ndarray | None = None
+        self._bands: dict[int, np.ndarray] = {}
+
+    @property
+    def n_items(self) -> int:
+        return self._pts.shape[0]
+
+    @property
+    def built_bands(self) -> tuple[int, ...]:
+        """The ``k`` values whose bands are already cached, ascending."""
+        return tuple(sorted(self._bands))
+
+    def band(self, k: int) -> np.ndarray:
+        """Indices of items with fewer than ``k`` strict dominators, ascending.
+
+        Cached per ``k``; repeated calls return the same array.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k not in self._bands:
+            band = self._build(k)
+            band.setflags(write=False)
+            self._bands[k] = band
+        return self._bands[k]
+
+    # ------------------------------------------------------------------
+    def _build(self, k: int) -> np.ndarray:
+        n, d = self._pts.shape
+        if n == 0:
+            return np.empty(0, dtype=np.intp)
+        if k >= n:
+            return np.arange(n, dtype=np.intp)
+        if d == 2:
+            return self._build_2d(k)
+        return self._build_md(k)
+
+    def _build_2d(self, k: int) -> np.ndarray:
+        pts = self._pts
+        # Descending x1, then descending x2 (tie order within an equal-
+        # x1 group is irrelevant: equal x1 precludes strict dominance).
+        order = np.lexsort((-pts[:, 1], -pts[:, 0]))
+        xs = pts[order, 0]
+        ys = pts[order, 1]
+        n = order.shape[0]
+        kept: list[int] = []
+        heap: list[float] = []  # min-heap of the k largest x2 so far
+        i = 0
+        while i < n:
+            j = i
+            while j < n and xs[j] == xs[i]:
+                j += 1
+            # Heap holds only strictly-x1-greater items here: an item is
+            # excluded iff the k-th largest of their x2 values beats it.
+            for p in range(i, j):
+                if len(heap) < k or heap[0] <= ys[p]:
+                    kept.append(int(order[p]))
+            for p in range(i, j):
+                if len(heap) < k:
+                    heapq.heappush(heap, float(ys[p]))
+                elif ys[p] > heap[0]:
+                    heapq.heapreplace(heap, float(ys[p]))
+            i = j
+        return np.array(sorted(kept), dtype=np.intp)
+
+    def _build_md(self, k: int) -> np.ndarray:
+        pts = self._pts
+        chunk = self._chunk
+        n = pts.shape[0]
+        if self._order is None:
+            self._order = np.argsort(-pts.sum(axis=1), kind="stable")
+            self._sorted_pts = np.ascontiguousarray(pts[self._order])
+            self._sorted_sums = self._sorted_pts.sum(axis=1)
+        order = self._order
+        sorted_pts = self._sorted_pts
+        sorted_sums = self._sorted_sums
+        kept_blocks: list[np.ndarray] = []
+        kept_idx: list[np.ndarray] = []
+        for start in range(0, n, chunk):
+            block = sorted_pts[start : start + chunk]
+            block_sums = sorted_sums[start : start + chunk]
+            counts = np.zeros(block.shape[0], dtype=np.int64)
+            # Saturating scan: kept blocks are in descending sum order —
+            # the strongest dominators first — so most non-band items
+            # reach k within the first block and drop out of the scan.
+            alive = np.arange(block.shape[0])
+            for kb in kept_blocks:
+                if alive.size == 0:
+                    break
+                sub = block[alive]
+                counts[alive] += (
+                    (kb[None, :, :] > sub[:, None, :]).all(axis=2).sum(axis=1)
+                )
+                alive = alive[counts[alive] < k]
+            # Within the block only strictly-larger-sum items can dominate.
+            inner = (block[None, :, :] > block[:, None, :]).all(axis=2)
+            inner &= block_sums[None, :] > block_sums[:, None]
+            counts += inner.sum(axis=1)
+            keep = counts < k
+            if keep.any():
+                kept_blocks.append(np.ascontiguousarray(block[keep]))
+                kept_idx.append(order[start : start + chunk][keep])
+        return np.sort(np.concatenate(kept_idx)).astype(np.intp)
+
+
+def k_skyband(values: np.ndarray, k: int, *, chunk: int = 512) -> np.ndarray:
+    """Indices of items with fewer than ``k`` *strict* dominators, ascending.
+
+    One-shot convenience over :class:`KSkybandIndex` (which callers
+    needing several ``k`` values or repeated builds should hold on to).
+    """
+    return KSkybandIndex(values, chunk=chunk).band(k)
 
 
 def is_dominated(values: np.ndarray, index: int) -> bool:

@@ -1,0 +1,51 @@
+"""The stability service layer: sessions, caching, batching, sharding.
+
+The engine answers one query at a time from scratch; this package
+turns it into a serving tier:
+
+- :mod:`repro.service.session` — :class:`StabilitySession`, reusable
+  per-dataset state (cumulative Monte-Carlo pools, the shared k-skyband
+  index, cached exact enumerations) behind pool-based query semantics;
+- :mod:`repro.service.cache` — :class:`ResultCache`, a keyed LRU over
+  ``(dataset fingerprint, query kind, params, budget)`` with hit/miss
+  stats and per-dataset invalidation;
+- :mod:`repro.service.batch` — :class:`StabilityRequest` /
+  :func:`execute_batch`, grouping heterogeneous requests by backend and
+  amortizing one sampling pass across a whole batch;
+- :mod:`repro.service.parallel` — :func:`parallel_observe`,
+  shard-parallel observe over the kernel's scoring chunks with exact
+  serial tally equivalence and a serial fallback below the auto
+  threshold.
+"""
+
+from repro.service.batch import (
+    BatchOutcome,
+    BatchPlanner,
+    StabilityRequest,
+    execute_batch,
+)
+from repro.service.cache import (
+    MISS,
+    CacheStats,
+    ResultCache,
+    dataset_fingerprint,
+    make_key,
+)
+from repro.service.parallel import parallel_observe, should_parallelize
+from repro.service.session import VERIFY_MIN_SAMPLES, StabilitySession
+
+__all__ = [
+    "StabilitySession",
+    "VERIFY_MIN_SAMPLES",
+    "ResultCache",
+    "CacheStats",
+    "MISS",
+    "dataset_fingerprint",
+    "make_key",
+    "StabilityRequest",
+    "BatchOutcome",
+    "BatchPlanner",
+    "execute_batch",
+    "parallel_observe",
+    "should_parallelize",
+]

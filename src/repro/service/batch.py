@@ -1,0 +1,218 @@
+"""Batch planning: one amortized sampling pass for heterogeneous requests.
+
+A production serving tier rarely receives one query at a time — it
+receives a mixed burst: a few ``top_stable`` calls, some verifications,
+a ``get_next`` drain.  Executed naively, every request over a
+randomized configuration pays its own sampling pass.  The planner
+exploits the session's pool semantics (cumulative targets, monotone
+growth):
+
+1. **group** requests by query configuration ``(kind, k, backend)``;
+2. **prefill** each randomized group's pool once, to the *maximum*
+   target any of its requests wants — one observe pass (shard-parallel
+   when it pays) instead of one per request;
+3. **answer** every request in submission order through the ordinary
+   session methods, which now find their pool already warm (and the
+   result cache on the fast path for repeats).
+
+Because session answers depend only on the pool state at answer time
+and pool growth is monotone, a batch whose requests share one target
+produces exactly the results sequential execution would; heterogeneous
+targets can only give earlier requests *more* samples than sequential
+execution (never fewer), i.e. tighter confidence errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.core.stability import StabilityResult
+
+__all__ = ["StabilityRequest", "BatchOutcome", "BatchPlanner", "execute_batch"]
+
+_OPS = ("get_next", "top_stable", "stability_of")
+
+
+@dataclass(frozen=True)
+class StabilityRequest:
+    """One declarative stability query for batch execution.
+
+    Attributes
+    ----------
+    op:
+        ``"get_next"``, ``"top_stable"``, or ``"stability_of"``.
+    kind, k, backend:
+        The query configuration, as in the session methods.
+    budget:
+        Cumulative pool target (randomized configurations).
+    m:
+        Result count for ``top_stable``.
+    ranking:
+        Item identifiers for ``stability_of`` (any iterable; stored
+        canonically as a tuple).
+    min_stability:
+        Cutoff for ``top_stable``.
+    min_samples:
+        Verification pool floor for ``stability_of``.
+    """
+
+    op: Literal["get_next", "top_stable", "stability_of"]
+    kind: str = "full"
+    k: int | None = None
+    backend: str = "auto"
+    budget: int | None = None
+    m: int = 1
+    ranking: tuple[int, ...] | None = None
+    min_stability: float = 0.0
+    min_samples: int | None = None
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"op must be one of {_OPS}, got {self.op!r}")
+        if self.op == "top_stable" and self.m < 1:
+            raise ValueError(f"top_stable needs m >= 1, got {self.m}")
+        if self.op == "stability_of":
+            if self.ranking is None:
+                raise ValueError("stability_of requires ranking=")
+            object.__setattr__(
+                self, "ranking", tuple(int(i) for i in self.ranking)
+            )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StabilityRequest":
+        """Build a request from a JSON-style mapping (unknown keys rejected)."""
+        allowed = set(cls.__dataclass_fields__)
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass
+class BatchOutcome:
+    """The result (or failure) of one batched request.
+
+    ``request`` is the parsed :class:`StabilityRequest`, or the raw
+    payload when parsing itself failed (``error`` set).
+    """
+
+    request: StabilityRequest | dict
+    value: StabilityResult | list[StabilityResult] | None = None
+    error: Exception | None = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchPlanner:
+    """Plans and executes request batches against one session."""
+
+    session: object
+    prefill_targets: dict = field(default_factory=dict, init=False)
+
+    def plan(self, requests) -> dict:
+        """Per-configuration pool targets: the amortization schedule.
+
+        Returns ``{(kind, k, resolved_backend): max cumulative target}``
+        over the batch's randomized-configuration requests.
+        """
+        session = self.session
+        targets: dict[tuple, int] = {}
+        for request in requests:
+            try:
+                state = session._state(request.kind, request.k, request.backend)
+            except Exception:
+                # Invalid configuration (bad k, kind/backend mismatch...):
+                # skip it here — execute() retries the request inside its
+                # per-request isolation and reports the real error.
+                continue
+            if not state.is_randomized:
+                continue
+            key = (request.kind, request.k, state.engine.backend_name)
+            target = session.pool_target(
+                request.op,
+                m=request.m,
+                budget=request.budget,
+                min_samples=request.min_samples,
+            )
+            targets[key] = max(targets.get(key, 0), target)
+        self.prefill_targets = targets
+        return targets
+
+    def execute(self, requests) -> list[BatchOutcome]:
+        """Prefill pools, then answer every request in submission order."""
+        requests = list(requests)
+        session = self.session
+        for (kind, k, backend), target in self.plan(requests).items():
+            session._ensure_pool(session._state(kind, k, backend), target)
+        outcomes: list[BatchOutcome] = []
+        for request in requests:
+            try:
+                if request.op == "get_next":
+                    value = session.get_next(
+                        kind=request.kind,
+                        k=request.k,
+                        backend=request.backend,
+                        budget=request.budget,
+                    )
+                elif request.op == "top_stable":
+                    value = session.top_stable(
+                        request.m,
+                        kind=request.kind,
+                        k=request.k,
+                        backend=request.backend,
+                        budget=request.budget,
+                        min_stability=request.min_stability,
+                    )
+                else:
+                    value = session.stability_of(
+                        request.ranking,
+                        kind=request.kind,
+                        k=request.k,
+                        backend=request.backend,
+                        min_samples=request.min_samples,
+                    )
+            except Exception as exc:  # per-request isolation
+                outcomes.append(BatchOutcome(request=request, error=exc))
+                continue
+            outcomes.append(
+                BatchOutcome(
+                    request=request,
+                    value=value,
+                    cached=session.last_query_cached,
+                )
+            )
+        return outcomes
+
+
+def execute_batch(session, requests) -> list[BatchOutcome]:
+    """Execute ``requests`` against ``session`` with amortized sampling.
+
+    Convenience over :class:`BatchPlanner`; accepts
+    :class:`StabilityRequest` instances or JSON-style dicts.  A request
+    that fails to parse is reported as a failed :class:`BatchOutcome`
+    in place (service behaviour: one bad request never sinks a batch).
+    """
+    slots: list[BatchOutcome | StabilityRequest] = []
+    valid: list[StabilityRequest] = []
+    for raw in requests:
+        try:
+            request = (
+                raw
+                if isinstance(raw, StabilityRequest)
+                else StabilityRequest.from_dict(raw)
+            )
+        except Exception as exc:
+            slots.append(BatchOutcome(request=raw, error=exc))
+            continue
+        slots.append(request)
+        valid.append(request)
+    executed = iter(BatchPlanner(session).execute(valid))
+    return [
+        slot if isinstance(slot, BatchOutcome) else next(executed)
+        for slot in slots
+    ]

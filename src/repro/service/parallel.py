@@ -1,0 +1,153 @@
+"""Shard-parallel observe for the randomized backend.
+
+The kernel's observe pass is embarrassingly parallel across scoring
+chunks: each chunk's BLAS product, ranking-key reduction, and byte-pack
+is independent, and numpy releases the GIL inside all three, so a
+thread pool scales the pass across cores without pickling the dataset.
+
+Exact serial equivalence is preserved by construction:
+
+1. the pruning-index build and chunk plan run first, exactly as the
+   serial path would (:meth:`GetNextRandomized.prepare_observe` /
+   :meth:`~GetNextRandomized.plan_chunks` — deterministic, and pinnable
+   via the ``REPRO_SCORING_CHUNK`` environment variable);
+2. weight sampling stays on the caller's thread, one chunk at a time in
+   plan order, so the operator's rng consumes the identical stream;
+3. workers run only the pure chunk reduction
+   (:meth:`~GetNextRandomized.rows_for_weights` + byte-pack +
+   ``np.unique``), producing a mergeable mini-tally per chunk;
+4. mini-tallies fold into the operator's tally **in plan order**
+   (:meth:`RankingTally.observe_packed`), reproducing the serial
+   tally byte-for-byte — counts, totals, and first-seen tie-breaks.
+
+A serial fallback runs when the dataset or the pass is too small to
+amortise thread handoff, or the host has a single core.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.randomized import GetNextRandomized
+from repro.engine import kernel
+
+__all__ = [
+    "PARALLEL_MIN_ITEMS",
+    "PARALLEL_MIN_CHUNKS",
+    "default_workers",
+    "should_parallelize",
+    "parallel_observe",
+]
+
+#: Below this many (effective) items a chunk reduction is too cheap for
+#: thread handoff to pay off — the serial fallback runs instead.
+PARALLEL_MIN_ITEMS = 2_048
+
+#: A pass needs at least this many chunks for sharding to matter.
+PARALLEL_MIN_CHUNKS = 2
+
+
+def default_workers() -> int:
+    """Worker count for an auto-configured pool (cores minus one, >= 1)."""
+    return max((os.cpu_count() or 1) - 1, 1)
+
+
+def should_parallelize(
+    n_items: int,
+    n_chunks: int,
+    max_workers: int,
+    *,
+    min_items: int = PARALLEL_MIN_ITEMS,
+    min_chunks: int = PARALLEL_MIN_CHUNKS,
+) -> bool:
+    """The auto threshold: shard only when the pass can win."""
+    return (
+        max_workers > 1
+        and n_items >= min_items
+        and n_chunks >= min_chunks
+    )
+
+
+def _reduce_chunk(op: GetNextRandomized, weights: np.ndarray):
+    """Worker body: one chunk's rows, byte-packed and pre-reduced."""
+    rows = op.rows_for_weights(weights)
+    packed = kernel.pack_rows(rows, op.tally.dtype)
+    uniques, freqs = np.unique(packed, return_counts=True)
+    return [key.tobytes() for key in uniques], freqs, rows.shape[0]
+
+
+def parallel_observe(
+    op,
+    n_new: int,
+    *,
+    executor: Executor | None = None,
+    max_workers: int | None = None,
+    min_items: int = PARALLEL_MIN_ITEMS,
+) -> int:
+    """Grow ``op``'s sample pool by ``n_new``, sharding across workers.
+
+    Parameters
+    ----------
+    op:
+        A :class:`~repro.core.randomized.GetNextRandomized` operator or
+        a backend wrapping one (anything with a ``.raw`` attribute).
+    n_new:
+        Number of new sampled functions to observe.
+    executor:
+        An existing pool to run chunk reductions on.  Passing one
+        forces the sharded path (no auto threshold) — callers owning a
+        pool have already decided to shard; ``None`` creates a
+        transient :class:`~concurrent.futures.ThreadPoolExecutor` when
+        the auto threshold passes, and falls back to the serial
+        ``op.observe`` otherwise.
+    max_workers:
+        Pool width for the transient pool (default: cores minus one).
+        ``max_workers <= 1`` forces the serial fallback.
+    min_items:
+        Auto-threshold override on the effective item count.
+
+    Returns
+    -------
+    int
+        The number of chunks reduced on the pool, or ``0`` when the
+        serial fallback ran.  Either way the pool has grown by
+        ``n_new`` and the tally matches the serial result exactly.
+    """
+    op = getattr(op, "raw", op)
+    if not isinstance(op, GetNextRandomized):
+        raise TypeError(
+            f"parallel_observe requires a randomized operator, got {type(op).__name__}"
+        )
+    if n_new <= 0:
+        return 0
+    op.prepare_observe(n_new)
+    sizes = op.plan_chunks(n_new)
+    workers = max_workers if max_workers is not None else default_workers()
+    if executor is None and not should_parallelize(
+        op.dataset.n_items, len(sizes), workers, min_items=min_items
+    ):
+        op.observe(n_new)
+        return 0
+    # Sampling consumes the rng serially in plan order — the stream is
+    # identical to the serial path's.
+    weight_chunks = [op.region.sample(batch, op.rng) for batch in sizes]
+    own_pool: ThreadPoolExecutor | None = None
+    pool = executor
+    if pool is None:
+        own_pool = ThreadPoolExecutor(
+            max_workers=min(workers, len(sizes)),
+            thread_name_prefix="repro-observe",
+        )
+        pool = own_pool
+    try:
+        futures = [pool.submit(_reduce_chunk, op, w) for w in weight_chunks]
+        for future in futures:  # plan order — NOT completion order
+            keys, freqs, n_rows = future.result()
+            op.tally.observe_packed(keys, freqs, n_rows)
+    finally:
+        if own_pool is not None:
+            own_pool.shutdown(wait=True)
+    return len(sizes)

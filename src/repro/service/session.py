@@ -1,0 +1,565 @@
+"""The :class:`StabilitySession`: reusable serving state for one dataset.
+
+A session is what turns the per-call :class:`~repro.engine.StabilityEngine`
+into a service tier.  It fingerprints its dataset, owns one engine per
+query configuration ``(kind, k, backend)``, and keeps every piece of
+expensive state alive across calls:
+
+- **cumulative Monte-Carlo pools** — randomized configurations keep one
+  :class:`~repro.engine.kernel.RankingTally` each, so a follow-up query
+  answers from samples already drawn instead of starting from zero;
+- **the k-skyband index** — one shared
+  :class:`~repro.operators.skyline.KSkybandIndex` serves every top-k
+  configuration (bands cache per ``k``);
+- **cached arrangement cells / sweep results** — exact backends are
+  instantiated once, so the 2D sweeps and the lazy MD arrangement keep
+  their enumerations and split bookkeeping;
+- **a keyed LRU result cache** — idempotent queries (``top_stable``,
+  ``stability_of``) memoize their results under the full query identity
+  (:func:`repro.service.cache.make_key`), so a warm repeat returns in
+  microseconds.
+
+Query semantics
+---------------
+Session queries are *pool-based*: ``budget`` (and ``min_samples``)
+name a **cumulative** pool target, not a per-call increment.
+
+- :meth:`StabilitySession.top_stable` / :meth:`~StabilitySession.stability_of`
+  are idempotent — same query, same pool, same answer — which is what
+  makes them cacheable;
+- :meth:`StabilitySession.get_next` is a cursor over the current pool:
+  it tops the pool up to the target, then consumes the best unreturned
+  ranking.  Once every observed ranking has been returned it raises
+  :class:`~repro.errors.ExhaustedError`; pass a larger ``budget`` (or
+  call :meth:`~StabilitySession.observe`) to discover more.
+
+Because pool growth is monotone in the *target*, executing a batch of
+requests after one shared top-up (see :mod:`repro.service.batch`)
+produces exactly the answers sequential execution would — with one
+sampling pass instead of one per request.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.randomized import RankingKind
+from repro.core.region import FullSpace, RegionOfInterest
+from repro.core.stability import StabilityResult
+from repro.engine.backends import DEFAULT_BUDGET, resolve_backend
+from repro.engine.engine import StabilityEngine
+from repro.errors import ExhaustedError
+from repro.operators.skyline import KSkybandIndex
+from repro.service.cache import MISS, ResultCache, dataset_fingerprint, make_key
+from repro.service.parallel import (
+    default_workers,
+    parallel_observe,
+    should_parallelize,
+)
+
+__all__ = ["StabilitySession", "VERIFY_MIN_SAMPLES"]
+
+#: Default cumulative pool target for ``stability_of`` on a randomized
+#: configuration (the paper's first-call budget).
+VERIFY_MIN_SAMPLES = 5_000
+
+
+@dataclass
+class _ConfigState:
+    """Per-``(kind, k, backend)`` serving state."""
+
+    engine: StabilityEngine
+    # Exact backends enumerate deterministically; the session records
+    # the enumeration prefix so top_stable stays non-consuming while
+    # get_next cursors over the same list.
+    yielded: list[StabilityResult] = field(default_factory=list)
+    cursor: int = 0
+    exhausted: bool = False
+
+    @property
+    def is_randomized(self) -> bool:
+        return self.engine.backend_name == "randomized"
+
+
+class StabilitySession:
+    """Batched, cached, reusable stability serving over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The database being served.
+    region:
+        Region of interest shared by every query of the session.
+    seed:
+        Reproducibility anchor.  Each query configuration derives an
+        independent, deterministic stream from ``(seed, kind, k,
+        backend)`` — creation order does not matter, so sequential and
+        batched executions of the same requests sample identically.
+    rng:
+        Alternative entropy source when ``seed`` is not given (one
+        integer is drawn to anchor the session).
+    confidence:
+        Confidence level for Monte-Carlo error half-widths.
+    cache:
+        A shared :class:`~repro.service.cache.ResultCache`, or ``None``
+        to give the session a private cache of ``cache_size`` entries.
+        Pass ``cache_size=0`` to disable caching.
+    parallel:
+        ``"auto"`` (default) shards observe passes across a thread pool
+        when the dataset and pass are large enough; ``True`` forces
+        sharding, ``False`` forces serial observe.
+    max_workers:
+        Thread-pool width for sharded observe (default: cores minus 1).
+    budget:
+        Default cumulative pool target per configuration (default
+        5,000, the paper's first-call budget); also used as the
+        dispatch hint when resolving ``backend="auto"``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        region: RegionOfInterest | None = None,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        confidence: float = 0.95,
+        cache: ResultCache | None = None,
+        cache_size: int = 512,
+        parallel: bool | str = "auto",
+        max_workers: int | None = None,
+        budget: int | None = None,
+    ):
+        self.dataset = dataset
+        self.region = (
+            region if region is not None else FullSpace(dataset.n_attributes)
+        )
+        self.confidence = confidence
+        if parallel not in (True, False, "auto"):
+            raise ValueError(f"parallel must be True, False or 'auto', got {parallel!r}")
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self._budget_hint = budget
+        self.default_budget = budget if budget is not None else DEFAULT_BUDGET
+        if seed is not None:
+            self._entropy = int(seed)
+        elif rng is not None:
+            self._entropy = int(rng.integers(2**63))
+        else:
+            self._entropy = int(np.random.SeedSequence().entropy % (2**63))
+        self.cache = cache if cache is not None else ResultCache(cache_size)
+        self._fingerprint = dataset_fingerprint(dataset)
+        self._region_key = repr(self.region)
+        self._states: dict[tuple, _ConfigState] = {}
+        self._skyband: KSkybandIndex | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        #: Whether the most recent top_stable/stability_of call on this
+        #: session answered from the result cache (always False for
+        #: get_next).  Batch execution reports it per outcome; a diff
+        #: of the shared cache's global hit counter would misattribute
+        #: hits made concurrently by other sessions.
+        self.last_query_cached = False
+
+    # ------------------------------------------------------------------
+    # Identity & lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the served dataset (cache key component)."""
+        return self._fingerprint
+
+    @property
+    def skyband_index(self) -> KSkybandIndex:
+        """The shared k-skyband index (built lazily, cached per ``k``)."""
+        if self._skyband is None:
+            self._skyband = KSkybandIndex(self.dataset.values)
+        return self._skyband
+
+    def invalidate(self) -> int:
+        """Drop all engines, pools, indexes, and this dataset's cache rows.
+
+        Returns the number of cache entries removed.
+        """
+        self._states.clear()
+        self._skyband = None
+        return self.cache.invalidate(self._fingerprint)
+
+    def refresh(self) -> bool:
+        """Re-fingerprint the dataset; invalidate everything on mutation.
+
+        :class:`~repro.core.dataset.Dataset` is nominally immutable, but
+        a service that hands out array views cannot rely on that alone.
+        Returns ``True`` when a mutation was detected and state dropped.
+        """
+        current = dataset_fingerprint(self.dataset)
+        if current == self._fingerprint:
+            return False
+        self.invalidate()
+        self._fingerprint = current
+        return True
+
+    def replace_dataset(self, dataset: Dataset) -> None:
+        """Swap in a new dataset, invalidating all state of the old one."""
+        self.invalidate()
+        self.dataset = dataset
+        self._fingerprint = dataset_fingerprint(dataset)
+        if self.region.dim != dataset.n_attributes:
+            self.region = FullSpace(dataset.n_attributes)
+            self._region_key = repr(self.region)
+
+    def close(self) -> None:
+        """Shut down the observe thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "StabilitySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Engine management
+    # ------------------------------------------------------------------
+    def _resolve(self, kind: RankingKind, backend: str) -> str:
+        if backend != "auto":
+            return backend
+        return resolve_backend(self.dataset, kind=kind, budget=self._budget_hint)
+
+    def _rng_for(self, kind: str, k: int | None, backend: str) -> np.random.Generator:
+        stream = zlib.crc32(f"{kind}:{k}:{backend}".encode())
+        return np.random.default_rng([self._entropy, stream])
+
+    def _state(
+        self, kind: RankingKind, k: int | None, backend: str
+    ) -> _ConfigState:
+        resolved = self._resolve(kind, backend)
+        key = (kind, k, resolved)
+        state = self._states.get(key)
+        if state is None:
+            options = {}
+            if resolved == "randomized" and kind != "full":
+                options["skyband"] = self.skyband_index
+            engine = StabilityEngine(
+                self.dataset,
+                region=self.region,
+                backend=resolved,
+                kind=kind,
+                k=k,
+                rng=self._rng_for(kind, k, resolved),
+                confidence=self.confidence,
+                **options,
+            )
+            state = _ConfigState(engine=engine)
+            self._states[key] = state
+        return state
+
+    def engine_for(
+        self,
+        kind: RankingKind = "full",
+        k: int | None = None,
+        backend: str = "auto",
+    ) -> StabilityEngine:
+        """The session's shared engine for one query configuration."""
+        return self._state(kind, k, backend).engine
+
+    # ------------------------------------------------------------------
+    # Pool management (randomized configurations)
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, state: _ConfigState, target: int) -> None:
+        raw = state.engine.backend.raw
+        need = int(target) - raw.total_samples
+        if need <= 0:
+            return
+        if self.parallel is False:
+            raw.observe(need)
+            return
+        raw.prepare_observe(need)
+        n_chunks = len(raw.plan_chunks(need))
+        workers = (
+            self.max_workers if self.max_workers is not None else default_workers()
+        )
+        if self.parallel == "auto" and not should_parallelize(
+            self.dataset.n_items, n_chunks, workers
+        ):
+            raw.observe(need)
+            return
+        parallel_observe(raw, need, executor=self._pool(), max_workers=workers)
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            workers = (
+                self.max_workers
+                if self.max_workers is not None
+                else default_workers()
+            )
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(workers, 1),
+                thread_name_prefix="repro-session",
+            )
+        return self._executor
+
+    def pool_target(
+        self,
+        op: str,
+        *,
+        m: int = 1,
+        budget: int | None = None,
+        min_samples: int | None = None,
+    ) -> int:
+        """The cumulative pool size one request wants (batch planning).
+
+        ``get_next`` targets its budget, ``top_stable`` the paper's
+        budget schedule (first-call budget plus one fifth per further
+        result), ``stability_of`` its verification floor.
+        """
+        if op == "get_next":
+            return budget if budget is not None else self.default_budget
+        if op == "top_stable":
+            if budget is not None:
+                return budget
+            first = self.default_budget
+            return first + (m - 1) * max(first // 5, 1)
+        if op == "stability_of":
+            if min_samples is not None:
+                return min_samples
+            return VERIFY_MIN_SAMPLES
+        raise ValueError(f"unknown operation {op!r}")
+
+    def observe(
+        self,
+        n_samples: int,
+        *,
+        kind: RankingKind = "full",
+        k: int | None = None,
+        backend: str = "auto",
+    ) -> int:
+        """Grow one configuration's cumulative pool to ``n_samples`` total.
+
+        Returns the pool size afterwards.  Exact configurations have no
+        pool; calling this for one is an error.
+        """
+        state = self._state(kind, k, backend)
+        if not state.is_randomized:
+            raise ValueError(
+                f"backend {state.engine.backend_name!r} is exact — it has no sample pool"
+            )
+        self._ensure_pool(state, n_samples)
+        return state.engine.backend.raw.total_samples
+
+    # ------------------------------------------------------------------
+    # Exact-backend enumeration prefix
+    # ------------------------------------------------------------------
+    def _ensure_yielded(self, state: _ConfigState, count: int) -> None:
+        while len(state.yielded) < count and not state.exhausted:
+            try:
+                state.yielded.append(state.engine.get_next())
+            except ExhaustedError:
+                state.exhausted = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get_next(
+        self,
+        *,
+        kind: RankingKind = "full",
+        k: int | None = None,
+        backend: str = "auto",
+        budget: int | None = None,
+    ) -> StabilityResult:
+        """The next most stable not-yet-returned ranking (a cursor).
+
+        For randomized configurations ``budget`` is the cumulative pool
+        target; the pool is topped up (shard-parallel when it pays) and
+        the best unreturned ranking of the pool is consumed.  Exact
+        configurations stream their enumeration.  Raises
+        :class:`~repro.errors.ExhaustedError` when the pool (or the
+        enumeration) has nothing left — grow the pool to continue.
+        """
+        state = self._state(kind, k, backend)
+        self.last_query_cached = False
+        if state.is_randomized:
+            self._ensure_pool(
+                state, self.pool_target("get_next", budget=budget)
+            )
+            return state.engine.backend.next_from_pool()
+        self._ensure_yielded(state, state.cursor + 1)
+        if state.cursor >= len(state.yielded):
+            raise ExhaustedError(
+                "every feasible ranking of this configuration has been returned"
+            )
+        result = state.yielded[state.cursor]
+        state.cursor += 1
+        return result
+
+    def top_stable(
+        self,
+        m: int,
+        *,
+        kind: RankingKind = "full",
+        k: int | None = None,
+        backend: str = "auto",
+        budget: int | None = None,
+        min_stability: float = 0.0,
+    ) -> list[StabilityResult]:
+        """The ``m`` most stable rankings — idempotent and cached.
+
+        Unlike :meth:`StabilityEngine.top_stable`, this does not consume
+        GET-NEXT state: randomized configurations answer with the ``m``
+        most frequent rankings of the cumulative pool, exact ones with
+        their enumeration prefix.  Results stop at the first entry
+        below ``min_stability``.
+        """
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        state = self._state(kind, k, backend)
+        resolved = state.engine.backend_name
+        if state.is_randomized:
+            target = self.pool_target("top_stable", m=m, budget=budget)
+            # The key carries the pool size the answer is computed from
+            # (ensure-to-target never shrinks a pool), so a session
+            # whose pool outgrew the target neither serves nor poisons
+            # entries of sessions answering from target-sized pools.
+            samples = max(
+                state.engine.backend.raw.total_samples, target
+            )
+        else:
+            target = samples = None
+        key = make_key(
+            self._fingerprint,
+            "top_stable",
+            region=self._region_key,
+            kind=kind,
+            k=k,
+            backend=resolved,
+            m=m,
+            samples=samples,
+        )
+        cached = self.cache.get(key)
+        if cached is not MISS:
+            self.last_query_cached = True
+            return self._cut(list(cached), min_stability)
+        self.last_query_cached = False
+        if state.is_randomized:
+            self._ensure_pool(state, target)
+            results = state.engine.backend.top_from_pool(m)
+        else:
+            self._ensure_yielded(state, m)
+            results = state.yielded[:m]
+        self.cache.put(key, tuple(results))
+        return self._cut(list(results), min_stability)
+
+    def stability_of(
+        self,
+        ranking,
+        *,
+        kind: RankingKind = "full",
+        k: int | None = None,
+        backend: str = "auto",
+        min_samples: int | None = None,
+    ) -> StabilityResult:
+        """Stability of one explicit (partial) ranking — cached.
+
+        Randomized configurations answer from the cumulative pool after
+        topping it up to ``min_samples`` (default 5,000); exact ones
+        verify directly (sweep interval / arrangement oracle).
+        """
+        ids = tuple(int(i) for i in ranking)
+        if kind == "topk_set":
+            ids = tuple(sorted(ids))
+        state = self._state(kind, k, backend)
+        resolved = state.engine.backend_name
+        if state.is_randomized:
+            target = self.pool_target("stability_of", min_samples=min_samples)
+            samples = max(
+                state.engine.backend.raw.total_samples, target
+            )
+        else:
+            target = samples = None
+        key = make_key(
+            self._fingerprint,
+            "stability_of",
+            region=self._region_key,
+            kind=kind,
+            k=k,
+            backend=resolved,
+            ids=ids,
+            samples=samples,
+        )
+        cached = self.cache.get(key)
+        if cached is not MISS:
+            self.last_query_cached = True
+            return cached
+        self.last_query_cached = False
+        if state.is_randomized:
+            self._ensure_pool(state, target)
+            result = state.engine.stability_of(ids, min_samples=target)
+        else:
+            result = state.engine.stability_of(list(ids))
+        self.cache.put(key, result)
+        return result
+
+    def run_batch(self, requests) -> list:
+        """Execute a batch of requests with one amortized sampling pass.
+
+        Delegates to :func:`repro.service.batch.execute_batch`; see
+        :class:`repro.service.batch.StabilityRequest` for the request
+        form.
+        """
+        from repro.service.batch import execute_batch
+
+        return execute_batch(self, requests)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cut(results: list[StabilityResult], min_stability: float):
+        out: list[StabilityResult] = []
+        for result in results:
+            if result.stability < min_stability:
+                break
+            out.append(result)
+        return out
+
+    def stats(self) -> dict:
+        """Serving statistics: cache counters and per-config pool state."""
+        pools = {}
+        for (kind, k, backend), state in self._states.items():
+            label = f"{kind}" + (f":k={k}" if k is not None else "") + f"@{backend}"
+            if state.is_randomized:
+                raw = state.engine.backend.raw
+                pools[label] = {
+                    "total_samples": raw.total_samples,
+                    "distinct_rankings": len(raw.tally),
+                    "returned": len(raw.returned),
+                }
+            else:
+                pools[label] = {
+                    "yielded": len(state.yielded),
+                    "cursor": state.cursor,
+                    "exhausted": state.exhausted,
+                }
+        return {
+            "fingerprint": self._fingerprint,
+            "cache": self.cache.stats.snapshot(),
+            "configs": pools,
+            "skyband_bands": (
+                self._skyband.built_bands if self._skyband is not None else ()
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StabilitySession(n={self.dataset.n_items}, "
+            f"d={self.dataset.n_attributes}, "
+            f"fingerprint={self._fingerprint[:8]}..., "
+            f"configs={len(self._states)})"
+        )

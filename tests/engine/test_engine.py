@@ -28,9 +28,10 @@ def ds3(rng_factory):
 
 
 class TestRegistry:
-    def test_three_backends_registered(self):
+    def test_four_backends_registered(self):
         assert set(available_backends()) == {
             "twod_exact",
+            "twod_topk",
             "md_arrangement",
             "randomized",
         }
@@ -62,9 +63,14 @@ class TestDispatch:
         big = Dataset(rng_factory(3).uniform(size=(1_500, 3)))
         assert resolve_backend(big) == "randomized"
 
-    def test_topk_kind_goes_randomized(self, ds2):
-        assert resolve_backend(ds2, kind="topk_set") == "randomized"
+    def test_topk_kind_2d_goes_exact_sweep(self, ds2):
+        assert resolve_backend(ds2, kind="topk_set") == "twod_topk"
         engine = StabilityEngine(ds2, kind="topk_set", k=3)
+        assert engine.backend_name == "twod_topk"
+
+    def test_topk_kind_md_goes_randomized(self, ds3):
+        assert resolve_backend(ds3, kind="topk_ranked") == "randomized"
+        engine = StabilityEngine(ds3, kind="topk_ranked", k=3)
         assert engine.backend_name == "randomized"
 
     def test_budget_hint_goes_randomized(self, ds3):
@@ -168,6 +174,59 @@ class TestFacade:
         module = importlib.import_module("repro.engine")
         for name in module.__all__:
             assert hasattr(module, name), name
+
+
+class TestTwoDTopkBackend:
+    def test_exact_enumeration_sums_to_one(self, ds2):
+        engine = StabilityEngine(ds2, kind="topk_set", k=3)
+        results = list(engine)
+        assert abs(sum(r.stability for r in results) - 1.0) < 1e-9
+        stabilities = [r.stability for r in results]
+        assert stabilities == sorted(stabilities, reverse=True)
+        assert all(r.confidence_error == 0.0 for r in results)
+        assert all(len(r.top_k_set) == 3 for r in results)
+
+    def test_matches_enumerate_topk_2d(self, ds2):
+        from repro import enumerate_topk_2d
+
+        engine = StabilityEngine(ds2, kind="topk_ranked", k=2)
+        via_engine = [r.ranking.order for r in engine]
+        direct = [r.ranking.order for r in enumerate_topk_2d(ds2, 2, kind="ranked")]
+        assert via_engine == direct
+
+    def test_stability_of_agrees_with_get_next(self, ds2):
+        engine = StabilityEngine(ds2, kind="topk_set", k=3)
+        best = engine.get_next()
+        verified = engine.stability_of(best.top_k_set)
+        assert verified.stability == pytest.approx(best.stability)
+
+    def test_randomized_override_still_available(self, ds2, rng_factory):
+        engine = StabilityEngine(
+            ds2, kind="topk_set", k=3, backend="randomized", rng=rng_factory(4)
+        )
+        exact = StabilityEngine(ds2, kind="topk_set", k=3)
+        mc = engine.get_next(budget=4_000)
+        assert exact.stability_of(mc.top_k_set).stability == pytest.approx(
+            mc.stability, abs=0.05
+        )
+
+    def test_requires_two_attributes(self, ds3):
+        with pytest.raises(ValueError):
+            StabilityEngine(ds3, kind="topk_set", k=3, backend="twod_topk")
+
+    def test_requires_valid_k(self, ds2):
+        with pytest.raises(ValueError):
+            StabilityEngine(ds2, kind="topk_set", k=0)
+
+    def test_exhausts_after_all_outcomes(self, ds2):
+        engine = StabilityEngine(ds2, kind="topk_set", k=3)
+        list(engine)
+        with pytest.raises(ExhaustedError):
+            engine.get_next()
+
+    def test_full_kind_rejected(self, ds2):
+        with pytest.raises(ValueError):
+            StabilityEngine(ds2, kind="full", backend="twod_topk")
 
 
 class TestPrunedTopkParity:

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.operators.skyline import dominance_count, is_dominated, skyline
+from repro.operators.skyline import (
+    KSkybandIndex,
+    dominance_count,
+    is_dominated,
+    k_skyband,
+    skyline,
+)
 
 
 def _brute_force_skyline(values):
@@ -108,3 +114,94 @@ class TestDominanceCount:
         corr = correlated_dataset(200, 3, rng)
         anti = anticorrelated_dataset(200, 3, rng)
         assert dominance_count(corr.values).sum() > dominance_count(anti.values).sum()
+
+
+def _brute_force_k_skyband(values, k):
+    n = values.shape[0]
+    out = []
+    for i in range(n):
+        dominators = sum(
+            1
+            for j in range(n)
+            if j != i and np.all(values[j] > values[i])
+        )
+        if dominators < k:
+            out.append(i)
+    return np.array(out, dtype=np.intp)
+
+
+class TestKSkyband:
+    def test_matches_brute_force_2d(self, rng):
+        values = rng.uniform(size=(120, 2))
+        for k in (1, 3, 7):
+            got = k_skyband(values, k)
+            assert got.tolist() == _brute_force_k_skyband(values, k).tolist()
+
+    def test_matches_brute_force_md(self, rng):
+        values = rng.uniform(size=(90, 4))
+        for k in (1, 4):
+            got = k_skyband(values, k)
+            assert got.tolist() == _brute_force_k_skyband(values, k).tolist()
+
+    def test_2d_exact_under_attribute_ties(self, rng):
+        # Quantised values create many exact ties in both attributes —
+        # the heap sweep must stay exact (no float-sum superset slack).
+        values = np.round(rng.uniform(size=(150, 2)) * 8) / 8
+        for k in (1, 2, 5):
+            got = k_skyband(values, k)
+            assert got.tolist() == _brute_force_k_skyband(values, k).tolist()
+
+    def test_md_is_superset_under_ties(self, rng):
+        values = np.round(rng.uniform(size=(100, 3)) * 8) / 8
+        for k in (2, 4):
+            got = set(k_skyband(values, k).tolist())
+            exact = set(_brute_force_k_skyband(values, k).tolist())
+            assert exact <= got  # pruning soundness: never drop a candidate
+
+    def test_k_of_one_is_strict_skyline_superset(self, rng):
+        values = rng.uniform(size=(60, 3))
+        band = set(k_skyband(values, 1).tolist())
+        assert set(skyline(values).tolist()) <= band
+
+    def test_k_at_least_n_keeps_everything(self, rng):
+        values = rng.uniform(size=(15, 3))
+        assert k_skyband(values, 15).tolist() == list(range(15))
+        assert k_skyband(values, 40).tolist() == list(range(15))
+
+    def test_index_caches_per_k(self, rng):
+        index = KSkybandIndex(rng.uniform(size=(50, 3)))
+        first = index.band(3)
+        assert index.band(3) is first  # cached, not rebuilt
+        assert index.built_bands == (3,)
+        index.band(1)
+        assert index.built_bands == (1, 3)
+        assert not first.flags.writeable
+
+    def test_index_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            KSkybandIndex(np.zeros(5))
+        with pytest.raises(ValueError):
+            KSkybandIndex(np.zeros((5, 2))).band(0)
+
+    def test_chunk_boundaries_irrelevant(self, rng):
+        values = rng.uniform(size=(200, 3))
+        expected = k_skyband(values, 3).tolist()
+        for chunk in (1, 7, 64, 1000):
+            assert k_skyband(values, 3, chunk=chunk).tolist() == expected
+
+    def test_large_build_is_fast_enough(self, rng):
+        # The n >= 100K regression the ROADMAP names: must complete in
+        # seconds, not minutes (saturating scan / heap sweep).
+        import time
+
+        values = rng.uniform(size=(100_000, 2))
+        start = time.perf_counter()
+        band = k_skyband(values, 10)
+        assert 0 < band.size < 100_000
+        assert time.perf_counter() - start < 5.0
+
+        values_md = rng.uniform(size=(100_000, 4))
+        start = time.perf_counter()
+        band_md = k_skyband(values_md, 10)
+        assert 0 < band_md.size < 100_000
+        assert time.perf_counter() - start < 30.0

@@ -1,0 +1,125 @@
+"""Unit tests for the keyed LRU result cache."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.service.cache import (
+    MISS,
+    ResultCache,
+    dataset_fingerprint,
+    make_key,
+)
+
+
+class TestFingerprint:
+    def test_identical_values_same_fingerprint(self, rng_factory):
+        values = rng_factory(1).uniform(size=(20, 3))
+        a = Dataset(values, item_labels=[f"a{i}" for i in range(20)])
+        b = Dataset(values.copy())
+        # Labels are display-only: they cannot change any result.
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+
+    def test_value_change_changes_fingerprint(self, rng_factory):
+        values = rng_factory(2).uniform(size=(20, 3))
+        mutated = values.copy()
+        mutated[7, 1] += 1e-12
+        assert dataset_fingerprint(Dataset(values)) != dataset_fingerprint(
+            Dataset(mutated)
+        )
+
+    def test_shape_disambiguated(self):
+        flat = np.arange(12, dtype=np.float64)
+        assert dataset_fingerprint(flat.reshape(3, 4)) != dataset_fingerprint(
+            flat.reshape(4, 3)
+        )
+
+    def test_accepts_plain_arrays(self, rng_factory):
+        values = rng_factory(3).uniform(size=(5, 2))
+        assert dataset_fingerprint(values) == dataset_fingerprint(Dataset(values))
+
+
+class TestMakeKey:
+    def test_param_order_irrelevant(self):
+        assert make_key("fp", "op", a=1, b=2) == make_key("fp", "op", b=2, a=1)
+
+    def test_sequence_forms_normalised(self):
+        assert make_key("fp", "op", ids=[1, 2, 3]) == make_key(
+            "fp", "op", ids=(1, 2, 3)
+        )
+
+    def test_distinct_budgets_distinct_keys(self):
+        assert make_key("fp", "op", budget=1000) != make_key(
+            "fp", "op", budget=2000
+        )
+
+    def test_distinct_ops_distinct_keys(self):
+        assert make_key("fp", "top_stable") != make_key("fp", "stability_of")
+
+    def test_frozenset_canonical(self):
+        assert make_key("fp", "op", s=frozenset({3, 1})) == make_key(
+            "fp", "op", s=frozenset({1, 3})
+        )
+
+    def test_region_keyed_by_repr(self):
+        from repro import Cone, FullSpace
+
+        full = make_key("fp", "op", region=FullSpace(2))
+        cone = make_key("fp", "op", region=Cone(np.array([1.0, 1.0]), 0.1))
+        assert full != cone
+
+    def test_keys_are_hashable(self):
+        key = make_key("fp", "op", ids=(1, 2), arr=np.arange(3.0), x=None)
+        assert hash(key) is not None
+
+
+class TestResultCache:
+    def test_get_put_roundtrip(self):
+        cache = ResultCache(4)
+        key = make_key("fp", "op", m=1)
+        assert cache.get(key) is MISS
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put(("fp", "a", ()), 1)
+        cache.put(("fp", "b", ()), 2)
+        cache.get(("fp", "a", ()))  # refresh a; b becomes LRU
+        cache.put(("fp", "c", ()), 3)
+        assert cache.get(("fp", "b", ())) is MISS
+        assert cache.get(("fp", "a", ())) == 1
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_drops_only_one_fingerprint(self):
+        cache = ResultCache(8)
+        cache.put(("fp1", "op", ("a",)), 1)
+        cache.put(("fp1", "op", ("b",)), 2)
+        cache.put(("fp2", "op", ("a",)), 3)
+        assert cache.invalidate("fp1") == 2
+        assert cache.get(("fp1", "op", ("a",))) is MISS
+        assert cache.get(("fp2", "op", ("a",))) == 3
+        assert cache.stats.invalidations == 2
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ResultCache(0)
+        cache.put(("fp", "op", ()), 1)
+        assert cache.get(("fp", "op", ())) is MISS
+        assert len(cache) == 0
+
+    def test_clear_resets_stats(self):
+        cache = ResultCache(4)
+        cache.put(("fp", "op", ()), 1)
+        cache.get(("fp", "op", ()))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.requests == 0
+
+    def test_hit_rate(self):
+        cache = ResultCache(4)
+        assert cache.stats.hit_rate == 0.0
+        cache.put(("fp", "op", ()), 1)
+        cache.get(("fp", "op", ()))
+        cache.get(("fp", "other", ()))
+        assert cache.stats.hit_rate == pytest.approx(0.5)

@@ -229,3 +229,77 @@ class TestTradeoffCommand:
         lines = [line for line in out.strip().splitlines() if line]
         assert len(lines) == 3  # header + one row per cosine
         assert "best_stab" in lines[0]
+
+
+class TestServiceCommands:
+    def test_batch_command(self, csv_3d_headerless, tmp_path, capsys):
+        import json
+
+        requests = [
+            {"op": "top_stable", "m": 2, "kind": "topk_set", "k": 3,
+             "backend": "randomized", "budget": 500},
+            {"op": "top_stable", "m": 2, "kind": "topk_set", "k": 3,
+             "backend": "randomized", "budget": 500},
+            {"op": "get_next", "kind": "topk_set", "k": 3,
+             "backend": "randomized", "budget": 500},
+        ]
+        reqfile = tmp_path / "requests.json"
+        reqfile.write_text(json.dumps(requests))
+        assert main(["batch", csv_3d_headerless, "--requests", str(reqfile),
+                     "--no-parallel"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        records, summary = lines[:-1], lines[-1]
+        assert [r["ok"] for r in records] == [True, True, True]
+        assert records[1]["cached"] is True  # identical repeat hit the cache
+        assert summary["requests"] == 3
+        assert summary["cache"]["hits"] == 1
+        # One amortized pool fill for the single configuration.
+        (config,) = summary["configs"].values()
+        assert config["total_samples"] == 500
+
+    def test_batch_command_2d_exact(self, csv_2d, tmp_path, capsys):
+        import json
+
+        reqfile = tmp_path / "requests.json"
+        reqfile.write_text(json.dumps([
+            {"op": "top_stable", "m": 2},
+            {"op": "stability_of", "kind": "topk_set", "k": 2,
+             "ranking": [0, 1]},
+        ]))
+        code = main(["batch", csv_2d, "--label-column", "name",
+                     "--requests", str(reqfile)])
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert code in (0, 1)  # [0,1] may be infeasible for this data
+        assert lines[0]["ok"] is True
+        assert len(lines[0]["result"]) == 2
+        assert lines[0]["result"][0]["confidence_error"] == 0.0
+
+    def test_batch_command_reports_errors(self, csv_2d, tmp_path, capsys):
+        import json
+
+        reqfile = tmp_path / "requests.json"
+        reqfile.write_text(json.dumps([{"op": "get_next"},
+                                       {"op": "teleport"}]))
+        assert main(["batch", csv_2d, "--label-column", "name",
+                     "--requests", str(reqfile)]) == 1
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines[0]["ok"] is True
+        assert lines[1]["ok"] is False
+        assert "ValueError" in lines[1]["error"]
+
+    def test_serve_command(self, csv_2d, capsys, monkeypatch):
+        import io
+        import json
+
+        stdin = io.StringIO(
+            json.dumps({"op": "top_stable", "m": 2}) + "\n"
+            + json.dumps({"op": "stats"}) + "\n"
+            + "not json\n"
+        )
+        monkeypatch.setattr("sys.stdin", stdin)
+        assert main(["serve", csv_2d, "--label-column", "name"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines[0]["ok"] is True
+        assert len(lines[0]["result"]) == 2
+        assert lines[1]["ok"] is True and "cache" in lines[1]["stats"]
+        assert lines[2]["ok"] is False
