@@ -1,6 +1,6 @@
 """Service-layer acceptance benchmark: batching, caching, sharding.
 
-Three claims back the `repro.service` subsystem:
+Four claims back the `repro.service` subsystem:
 
 1. **Batched throughput** — executing a mixed batch of >= 8 requests
    (top-stable, get-next, verification; two top-k configurations) over
@@ -15,16 +15,23 @@ Three claims back the `repro.service` subsystem:
 3. **Parallel observe** — the shard-parallel observe pass produces a
    tally **identical** to the serial pass: same counts, same totals,
    same first-seen tie-break order.
+4. **Warm restore** — restoring a session snapshot and answering its
+   first query is **>= 5x** faster than a cold session answering the
+   same query from scratch, because the restored session finds its
+   Monte-Carlo pool and result cache already populated.
 
 Runs standalone (``python benchmarks/bench_service.py [--smoke]``) or
 under pytest.  ``--smoke`` shrinks budgets for CI wall-clock; the 3x
 claim is asserted at full size only (tiny budgets are dominated by
-fixed per-request overhead on both sides).
+fixed per-request overhead on both sides), the 5x restore claim in both
+modes.
 """
 
 from __future__ import annotations
 
+import os
 import sys
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -39,6 +46,7 @@ N_ATTRS = 4
 K = 10
 MIN_SPEEDUP = 3.0
 MAX_WARM_HIT_SECONDS = 0.001
+MIN_RESTORE_SPEEDUP = 5.0
 
 
 def _mixed_requests(budget: int, top_set: list[int], top_prefix: list[int]):
@@ -130,6 +138,31 @@ def _parallel_equivalence(n_samples: int) -> float:
     return serial_s / parallel_s if parallel_s > 0 else float("inf")
 
 
+def _restore_latency(dataset: Dataset, budget: int, seed: int) -> tuple[float, float]:
+    """First-query latency: cold session vs snapshot-restored session."""
+    query = dict(kind="topk_set", k=K, budget=budget)
+    cold = StabilitySession(dataset, seed=seed, parallel=False)
+    with cold:
+        start = time.perf_counter()
+        expected = cold.top_stable(3, **query)
+        cold_s = time.perf_counter() - start
+        fd, path = tempfile.mkstemp(suffix=".snap")
+        os.close(fd)
+        cold.save(path)
+    try:
+        restored = StabilitySession.restore(path, dataset, parallel=False)
+        with restored:
+            start = time.perf_counter()
+            warm_results = restored.top_stable(3, **query)
+            warm_s = time.perf_counter() - start
+        assert [r.stability for r in warm_results] == [
+            r.stability for r in expected
+        ], "restored session answered differently"
+    finally:
+        os.unlink(path)
+    return cold_s, warm_s
+
+
 def run(*, smoke: bool = False, verbose: bool = True) -> dict[str, float]:
     budget = 1_000 if smoke else 5_000
     seed = 20181218
@@ -149,6 +182,8 @@ def run(*, smoke: bool = False, verbose: bool = True) -> dict[str, float]:
     t_batch, t_warm, stats = _batched(dataset, requests, seed)
     speedup = t_call / t_batch
     parallel_speedup = _parallel_equivalence(2_000 if smoke else 8_000)
+    t_cold, t_restored = _restore_latency(dataset, budget, seed + 1)
+    restore_speedup = t_cold / t_restored if t_restored > 0 else float("inf")
 
     if verbose:
         mode = "smoke" if smoke else "full"
@@ -170,10 +205,16 @@ def run(*, smoke: bool = False, verbose: bool = True) -> dict[str, float]:
             f"{parallel_speedup:4.2f}x vs serial "
             f"({'thread handoff dominates on small hosts' if parallel_speedup < 1 else 'wins'})"
         )
+        print(
+            f"  warm restore: cold first query {t_cold * 1000:8.1f} ms   "
+            f"restored {t_restored * 1000:8.1f} ms   "
+            f"speedup {restore_speedup:6.1f}x (floor {MIN_RESTORE_SPEEDUP}x)"
+        )
     return {
         "speedup": speedup,
         "warm_seconds": t_warm,
         "parallel_speedup": parallel_speedup,
+        "restore_speedup": restore_speedup,
         "smoke": float(smoke),
     }
 
@@ -185,6 +226,10 @@ def test_batched_throughput_and_cache():
         f"the service tier requires >= {MIN_SPEEDUP}x"
     )
     assert metrics["warm_seconds"] < MAX_WARM_HIT_SECONDS
+    assert metrics["restore_speedup"] >= MIN_RESTORE_SPEEDUP, (
+        f"warm restore only {metrics['restore_speedup']:.2f}x a cold "
+        f"session; durable sessions require >= {MIN_RESTORE_SPEEDUP}x"
+    )
 
 
 def test_parallel_matches_serial():
@@ -194,7 +239,10 @@ def test_parallel_matches_serial():
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv
     metrics = run(smoke=smoke, verbose=True)
-    ok = metrics["warm_seconds"] < MAX_WARM_HIT_SECONDS
+    ok = (
+        metrics["warm_seconds"] < MAX_WARM_HIT_SECONDS
+        and metrics["restore_speedup"] >= MIN_RESTORE_SPEEDUP
+    )
     if not smoke:
         ok = ok and metrics["speedup"] >= MIN_SPEEDUP
     else:

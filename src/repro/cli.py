@@ -33,6 +33,7 @@ import csv
 import json
 import sys
 import time
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -208,8 +209,78 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--budget", type=int, default=None)
     p_serve.add_argument("--workers", type=int, default=None)
     p_serve.add_argument("--no-parallel", action="store_true")
+    p_serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory of durable session snapshots: restore this "
+        "dataset+region's snapshot on start (cold start if absent or "
+        "untrusted), checkpoint it while serving",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        metavar="N",
+        help="checkpoint after every N handled requests (0: only at exit)",
+    )
+
+    p_snapshot = sub.add_parser(
+        "snapshot",
+        help="warm a session (optionally with a request batch) and save it",
+    )
+    _add_common(p_snapshot)
+    p_snapshot.add_argument(
+        "--out", required=True, help="snapshot file to write"
+    )
+    p_snapshot.add_argument(
+        "--requests",
+        default=None,
+        help="optional JSON list of warmup requests ('-' for stdin); "
+        "their outcomes print to stdout, one JSON line each",
+    )
+    p_snapshot.add_argument("--budget", type=int, default=None)
+    p_snapshot.add_argument("--workers", type=int, default=None)
+    p_snapshot.add_argument("--no-parallel", action="store_true")
+
+    p_restore = sub.add_parser(
+        "restore",
+        help="restore a session snapshot (the dataset must fingerprint-match)",
+    )
+    _add_common(p_restore)
+    p_restore.add_argument(
+        "--snapshot", required=True, help="snapshot file to restore"
+    )
+    p_restore.add_argument(
+        "--requests",
+        default=None,
+        help="optional JSON list of requests ('-' for stdin) to answer "
+        "from the restored session; outcomes print to stdout",
+    )
+    p_restore.add_argument(
+        "--inspect",
+        action="store_true",
+        help="print the verified snapshot header instead of restoring",
+    )
+    p_restore.add_argument("--workers", type=int, default=None)
+    p_restore.add_argument("--no-parallel", action="store_true")
 
     args = parser.parse_args(argv)
+
+    if args.command == "restore" and args.inspect:
+        # Header inspection needs no dataset — an orphaned snapshot must
+        # be inspectable without (or with an unparseable) CSV, and a
+        # header read should not pay a full CSV load+normalize.
+        from repro.errors import SnapshotError
+        from repro.service.persist import read_snapshot_header
+
+        try:
+            header = read_snapshot_header(args.snapshot)
+        except SnapshotError as exc:
+            raise SystemExit(f"cannot inspect {args.snapshot}: {exc}")
+        header.pop("sections", None)
+        print(json.dumps(header))
+        return 0
+
     lower = tuple(c for c in args.lower_is_better.split(",") if c)
     ds = load_csv_dataset(
         args.csv, label_column=args.label_column, lower_is_better=lower
@@ -324,22 +395,175 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
 
-    if args.command in ("batch", "serve"):
-        region = _region_for(args, ds.n_attributes, None)
+    if args.command in ("batch", "serve", "snapshot", "restore"):
+        return _run_service_command(args, ds, out)
+
+    raise AssertionError("unreachable")
+
+
+def _run_service_command(args, ds: Dataset, out) -> int:
+    """Dispatch the session-backed subcommands (batch/serve/snapshot/restore)."""
+    from repro.errors import SnapshotError
+    from repro.service.cache import dataset_fingerprint
+
+    region = _region_for(args, ds.n_attributes, None)
+    parallel = False if args.no_parallel else "auto"
+
+    if args.command == "restore":
+        try:
+            session = StabilitySession.restore(
+                args.snapshot,
+                ds,
+                region=region,
+                parallel=parallel,
+                max_workers=args.workers,
+            )
+        except SnapshotError as exc:
+            raise SystemExit(f"cannot restore {args.snapshot}: {exc}")
+        if args.seed != 0:
+            print(
+                "restored session state comes from the snapshot; "
+                "--seed has no effect on restore",
+                file=sys.stderr,
+            )
+        all_ok = True
+        with session:
+            if args.requests:
+                all_ok = _print_outcomes(
+                    session, ds, _load_requests(args.requests), out
+                )
+            print(json.dumps(session.stats()), file=sys.stderr)
+        return 0 if all_ok else 1
+
+    if args.command == "snapshot":
         session = StabilitySession(
             ds,
             region=region,
             seed=args.seed,
             budget=args.budget,
-            parallel=False if args.no_parallel else "auto",
+            parallel=parallel,
             max_workers=args.workers,
         )
+        all_ok = True
         with session:
-            if args.command == "batch":
-                return _run_batch(session, ds, args, out)
-            return _run_serve(session, ds, out)
+            if args.requests:
+                all_ok = _print_outcomes(
+                    session, ds, _load_requests(args.requests), out
+                )
+            try:
+                info = session.save(args.out)
+            except SnapshotError as exc:
+                raise SystemExit(f"cannot snapshot to {args.out}: {exc}")
+        print(
+            json.dumps(
+                {
+                    "snapshot": info.path,
+                    "format_version": info.format_version,
+                    "fingerprint": info.fingerprint,
+                    "configs": info.n_configs,
+                    "cache_entries": info.cache_entries,
+                    "bytes": info.file_bytes,
+                }
+            ),
+            file=sys.stderr,
+        )
+        return 0 if all_ok else 1
 
-    raise AssertionError("unreachable")
+    state_path = None
+    if args.command == "serve" and args.state_dir is not None:
+        state_dir = Path(args.state_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+        # The filename carries the full serving identity — dataset
+        # fingerprint *and* region — so serving the same data under a
+        # different region of interest warms its own snapshot instead
+        # of fighting over one file.
+        region_tag = f"{zlib.crc32(repr(region).encode()):08x}"
+        state_path = (
+            state_dir / f"{dataset_fingerprint(ds)}-{region_tag}.snap"
+        )
+    session = None
+    if state_path is not None and state_path.exists():
+        try:
+            session = StabilitySession.restore(
+                state_path,
+                ds,
+                region=region,
+                parallel=parallel,
+                max_workers=args.workers,
+            )
+        except SnapshotError as exc:
+            # The state dir is an opportunistic warm-start cache: a
+            # snapshot that cannot be trusted costs the warmth, never
+            # the server.  The next checkpoint overwrites it.
+            print(
+                f"ignoring snapshot {state_path} ({exc}); starting cold",
+                file=sys.stderr,
+            )
+        else:
+            # Durable identity comes from the snapshot; flags that only
+            # apply to a fresh session must not be silently dropped.
+            if args.seed != 0 or args.budget is not None:
+                print(
+                    f"restored session state from {state_path}; "
+                    "--seed/--budget apply only to a cold start",
+                    file=sys.stderr,
+                )
+    if session is None:
+        session = StabilitySession(
+            ds,
+            region=region,
+            seed=args.seed,
+            budget=args.budget,
+            parallel=parallel,
+            max_workers=args.workers,
+        )
+    with session:
+        if args.command == "batch":
+            return _run_batch(session, ds, args, out)
+        return _run_serve(
+            session,
+            ds,
+            out,
+            state_path=state_path,
+            checkpoint_every=args.checkpoint_every,
+        )
+
+
+def _load_requests(source: str) -> list:
+    """A JSON request list from a file path or ``-`` (stdin)."""
+    if source == "-":
+        requests = json.load(sys.stdin)
+    else:
+        with open(source) as handle:
+            requests = json.load(handle)
+    if not isinstance(requests, list):
+        raise SystemExit("requests must be a JSON list of request objects")
+    return requests
+
+
+def _print_outcomes(session: StabilitySession, ds: Dataset, requests, out) -> bool:
+    """One deterministic JSON line per outcome (no timing, no cache flag).
+
+    The snapshot/restore commands share this printer so a snapshot-time
+    warmup and a restore-time replay of the same requests produce
+    byte-identical stdout — the cross-version CI round-trip diffs them.
+    Returns whether every outcome succeeded (the commands' exit code).
+    """
+    all_ok = True
+    for i, outcome in enumerate(execute_batch(session, requests)):
+        request = outcome.request
+        op = (
+            request.get("op") if isinstance(request, dict)
+            else getattr(request, "op", None)
+        )
+        record = {"index": i, "op": op, "ok": outcome.ok}
+        if outcome.ok:
+            record["result"] = _value_to_json(ds, outcome.value)
+        else:
+            record["error"] = f"{type(outcome.error).__name__}: {outcome.error}"
+            all_ok = False
+        print(json.dumps(record), file=out)
+    return all_ok
 
 
 def _result_to_json(ds: Dataset, result) -> dict:
@@ -364,13 +588,7 @@ def _value_to_json(ds: Dataset, value) -> object:
 
 def _run_batch(session: StabilitySession, ds: Dataset, args, out) -> int:
     """The ``batch`` subcommand: one amortized pass over a request file."""
-    if args.requests == "-":
-        requests = json.load(sys.stdin)
-    else:
-        with open(args.requests) as handle:
-            requests = json.load(handle)
-    if not isinstance(requests, list):
-        raise SystemExit("--requests must contain a JSON list of request objects")
+    requests = _load_requests(args.requests)
     start = time.perf_counter()
     outcomes = execute_batch(session, requests)
     elapsed = time.perf_counter() - start
@@ -402,17 +620,57 @@ def _run_batch(session: StabilitySession, ds: Dataset, args, out) -> int:
     return 0 if all(o.ok for o in outcomes) else 1
 
 
-def _run_serve(session: StabilitySession, ds: Dataset, out) -> int:
+def _run_serve(
+    session: StabilitySession,
+    ds: Dataset,
+    out,
+    *,
+    state_path=None,
+    checkpoint_every: int = 0,
+) -> int:
     """The ``serve`` subcommand: a JSON-lines request loop on stdio.
 
     Transport-agnostic by design — anything that can write a line and
     read a line (a socket relay, a test harness, a shell pipe) can
-    drive the session; no network dependencies required.
+    drive the session; no network dependencies required.  With
+    ``state_path`` set the session is durable: every
+    ``checkpoint_every`` handled requests (and at end of input) its
+    pools, cursors, and warm cache are snapshotted atomically, and the
+    special op ``{"op": "checkpoint"}`` forces one on demand.
     """
+    since_checkpoint = 0
+
+    def checkpoint() -> dict | None:
+        nonlocal since_checkpoint
+        if state_path is None:
+            return None
+        info = session.save(state_path)
+        since_checkpoint = 0
+        return {"path": info.path, "bytes": info.file_bytes}
+
+    def checkpoint_quietly() -> None:
+        """Auto-checkpoints must never kill the serving loop.
+
+        A full disk or revoked state dir costs durability, not
+        availability: the failure is reported on stderr (stdout stays
+        strictly one response per request) and serving continues.  The
+        explicit ``{"op": "checkpoint"}`` path still reports failures
+        in its response.
+        """
+        try:
+            checkpoint()
+        except Exception as exc:
+            print(
+                f"checkpoint to {state_path} failed: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+
     for line in sys.stdin:
         line = line.strip()
         if not line:
             continue
+        advanced = True
         try:
             payload = json.loads(line)
             op = payload.get("op")
@@ -420,6 +678,14 @@ def _run_serve(session: StabilitySession, ds: Dataset, out) -> int:
                 response = {"ok": True, "stats": session.stats()}
             elif op == "invalidate":
                 response = {"ok": True, "invalidated": session.invalidate()}
+            elif op == "checkpoint":
+                saved = checkpoint()
+                advanced = False  # the save itself reset the counter
+                response = (
+                    {"ok": True, "checkpoint": saved}
+                    if saved is not None
+                    else {"ok": False, "error": "serve has no --state-dir"}
+                )
             else:
                 start = time.perf_counter()
                 outcome = execute_batch(session, [payload])[0]
@@ -439,6 +705,19 @@ def _run_serve(session: StabilitySession, ds: Dataset, out) -> int:
         except Exception as exc:  # malformed line: report, keep serving
             response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         print(json.dumps(response), file=out, flush=True)
+        # Count requests since the last successful save (an explicit
+        # checkpoint op resets it), so an on-demand checkpoint landing
+        # on the periodic boundary never writes twice back-to-back.
+        if advanced:
+            since_checkpoint += 1
+        if (
+            state_path is not None
+            and checkpoint_every > 0
+            and since_checkpoint >= checkpoint_every
+        ):
+            checkpoint_quietly()
+    if since_checkpoint > 0:
+        checkpoint_quietly()
     return 0
 
 

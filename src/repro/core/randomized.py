@@ -386,6 +386,137 @@ class GetNextRandomized:
             top_k_set=frozenset(ids) if self.kind == "topk_set" else None,
         )
 
+    # ------------------------------------------------------------------
+    # Durable state (snapshot/restore)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Everything needed to resume this operator elsewhere.
+
+        Covers the cumulative tally (counts, first-seen order, totals),
+        the GET-NEXT return protocol (which rankings were consumed, in
+        order, with the exact result values reported at the time), the
+        generator's mid-stream state, and the pruning/chunking knobs
+        that pin the observe-pass decomposition.  Restoring this state
+        into an operator over the same dataset makes every future
+        ``observe``/``get_next``/``top_from_pool`` answer byte-identical
+        to the uninterrupted operator's.
+        """
+        tally_state = self._tally.export_state()
+        # The exported key blob is in first-seen order and first-seen
+        # indices are dense 0..K-1, so ``_first_seen[key]`` *is* the
+        # key's position in the blob — no index map to build.
+        first_seen = self._tally._first_seen
+        returned = []
+        for result in self.returned:
+            key = self._tally.pack(result.ranking.order)
+            returned.append(
+                {
+                    "key": first_seen[key],
+                    "stability": result.stability,
+                    "confidence_error": result.confidence_error,
+                    "sample_count": result.sample_count,
+                }
+            )
+        return {
+            "kind": self.kind,
+            "k": self.k,
+            "region": repr(self.region),
+            "rng_state": self.rng.bit_generator.state,
+            "scoring_chunk": self.scoring_chunk,
+            "auto_chunk": self._auto_chunk,
+            "prune_topk": self._prune_topk,
+            "candidates_installed": self._candidates is not None,
+            "returned": returned,
+            "tally": tally_state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a state exported by :meth:`export_state`.
+
+        The operator must have been constructed over the same dataset
+        with the same ``kind``/``k``; everything else (tally, rng
+        stream, returned cursor, chunking) is overwritten.  Raises
+        :class:`ValueError` on any inconsistency rather than resuming
+        from half-adopted state.
+        """
+        if state["kind"] != self.kind or state["k"] != self.k:
+            raise ValueError(
+                f"state is for kind={state['kind']!r}, k={state['k']}; "
+                f"this operator serves kind={self.kind!r}, k={self.k}"
+            )
+        # The library keeps region reprs canonical, so repr equality is
+        # region equality.  Adopting a pool sampled over a different
+        # region would silently blend two distributions in one tally.
+        if state["region"] != repr(self.region):
+            raise ValueError(
+                f"state was sampled over region {state['region']}, but "
+                f"this operator samples {self.region!r}"
+            )
+        tally = kernel.RankingTally.from_state(
+            self.dataset.n_items, **state["tally"]
+        )
+        if tally.key_length != self._tally.key_length:
+            raise ValueError(
+                f"tally key length {tally.key_length} does not match "
+                f"operator key length {self._tally.key_length}"
+            )
+        # from_state inserted the keys in first-seen order, so the dict
+        # order already is the blob order the "key" indices refer to.
+        ordered = list(tally.counts)
+        returned: list[StabilityResult] = []
+        for entry in state["returned"]:
+            key = ordered[entry["key"]]
+            ids = tally.unpack(key)
+            result = StabilityResult(
+                ranking=Ranking(ids, n_items=self.dataset.n_items),
+                stability=float(entry["stability"]),
+                confidence_error=float(entry["confidence_error"]),
+                sample_count=int(entry["sample_count"]),
+                top_k_set=frozenset(ids) if self.kind == "topk_set" else None,
+            )
+            tally.mark_returned(key)
+            returned.append(result)
+        rng_state = state["rng_state"]
+        bg_name = rng_state["bit_generator"]
+        # The name comes from serialized state; resolve it against the
+        # closed set of BitGenerators only — a generic getattr would
+        # happily call arbitrary np.random functions (np.random.seed,
+        # ...) with side effects before the .state assignment failed.
+        known = {"PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+        if bg_name not in known or not hasattr(np.random, bg_name):
+            raise ValueError(
+                f"unknown bit generator {bg_name!r} in rng state "
+                f"(known: {sorted(known)})"
+            )
+        bit_generator = getattr(np.random, bg_name)()
+        bit_generator.state = rng_state
+        # Read every remaining key up front: a missing one must raise
+        # *before* the first assignment, never between two of them.
+        prune_topk = state["prune_topk"]
+        candidates_installed = state["candidates_installed"]
+        auto_chunk = state["auto_chunk"]
+        scoring_chunk = int(state["scoring_chunk"])
+        # All validation passed — adopt atomically.
+        self._tally = tally
+        self.returned = returned
+        self.rng = np.random.Generator(bit_generator)
+        self._prune_topk = prune_topk
+        self._candidates = None
+        self._candidate_values = None
+        if candidates_installed and self.kind != "full":
+            if self._skyband is None:
+                from repro.operators.skyline import KSkybandIndex
+
+                self._skyband = KSkybandIndex(self.dataset.values)
+            candidates = self._skyband.band(self.k)
+            if candidates.size < self.dataset.n_items:
+                self._candidates = candidates
+                self._candidate_values = np.ascontiguousarray(
+                    self.dataset.values[candidates]
+                )
+        self._auto_chunk = auto_chunk
+        self.scoring_chunk = scoring_chunk
+
     def top_h(self, h: int, *, budget_first: int, budget_rest: int) -> list[StabilityResult]:
         """Convenience: the h most stable rankings under a budget schedule.
 

@@ -220,7 +220,11 @@ class Cone(RegionOfInterest):
         return lo, hi
 
     def __repr__(self) -> str:
-        return f"Cone(ray={self._ray.tolist()}, theta={self._theta:.6g})"
+        # Full precision on purpose: the service layer keys caches,
+        # snapshot identity checks, and state filenames on this repr,
+        # so two cones that sample differently must never repr alike
+        # (Python float repr is shortest-roundtrip, i.e. exact).
+        return f"Cone(ray={self._ray.tolist()}, theta={self._theta!r})"
 
 
 class ConstrainedRegion(RegionOfInterest):
@@ -316,7 +320,7 @@ class ConstrainedRegion(RegionOfInterest):
         return lo, hi
 
     def __repr__(self) -> str:
-        return (
-            f"ConstrainedRegion(dim={self.dim}, "
-            f"n_constraints={self._constraints.shape[0]})"
-        )
+        # The constraint matrix is the region's identity — eliding it
+        # would let the service layer's repr-keyed caches and snapshot
+        # guards conflate regions that sample differently.
+        return f"ConstrainedRegion(constraints={self._constraints.tolist()})"

@@ -269,15 +269,21 @@ def _boundaries_kinetic(values: np.ndarray, lo: float, hi: float) -> np.ndarray:
     angles.
     """
     n = values.shape[0]
-    total = hi - lo
-    # Order at the opening angle; nudge inside the interval so boundary
-    # ties resolve consistently.
-    start = lo + min(_ANGLE_EPS, total / 4)
-    order = list(rank_items(values, _weights_at(start)).order)
+    # Order at the opening angle itself.  Evaluating at a nudged angle
+    # ``lo + eps`` instead can round away sub-eps score gaps (an item
+    # pair differing by ~1e-8 contributes ~1e-20 at eps = 1e-12, far
+    # below float64 resolution at score ~1), starting the sweep in the
+    # wrong order and silently dropping the crossings that undo it.
+    # Score ties at ``lo`` are broken by the score *derivative* — the
+    # order just inside the interval — then by ascending identifier
+    # (np.lexsort is stable), matching the ranking convention.
+    score = values @ _weights_at(lo)
+    derivative = values @ np.array([-math.sin(lo), math.cos(lo)])
+    order = list(np.lexsort((-derivative, -score)))
     position = {item: idx for idx, item in enumerate(order)}
 
     events: list[tuple[float, int, int]] = []  # (angle, upper item, lower item)
-    current = start  # the sweep position: the last processed event angle
+    current = lo  # the sweep position: the last processed event angle
     # A pair's score difference Delta1*cos + Delta2*sin has at most one
     # zero in the quadrant, so every unordered pair exchanges at most
     # once; remembering swapped pairs rejects the formula's mirror event

@@ -393,6 +393,19 @@ class RandomizedBackend(_IterMixin):
         """Consume the best unreturned ranking of the current pool."""
         return self._engine.next_from_pool()
 
+    def export_state(self) -> dict:
+        """Serializable pool state (tally, rng, return cursor, chunking).
+
+        The snapshot subsystem (:mod:`repro.service.persist`) calls this
+        where the pool handle lives; see
+        :meth:`~repro.core.randomized.GetNextRandomized.export_state`.
+        """
+        return self._engine.export_state()
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt an exported pool state (same dataset, same kind/k)."""
+        self._engine.restore_state(state)
+
     def top_from_pool(self, m: int) -> list[StabilityResult]:
         """The ``m`` most frequent pool rankings, best first (non-consuming)."""
         return self._engine.top_from_pool(m)

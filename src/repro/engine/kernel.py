@@ -334,6 +334,85 @@ class RankingTally:
             ordered, [other.counts[key] for key in ordered], other.total
         )
 
+    def export_state(self) -> dict:
+        """The count table as flat, serialization-friendly buffers.
+
+        Keys are emitted in first-seen order (the tie-break order is
+        part of the observable state), concatenated into one ``bytes``
+        blob of fixed-width packed keys; counts ride alongside as a
+        little-endian ``uint64`` array.  Returned-marks are *not*
+        included — they belong to the operator that owns the return
+        protocol (see :meth:`GetNextRandomized.export_state`).
+        """
+        # Keys only ever enter ``counts`` at first observation (and are
+        # never deleted), so dict insertion order *is* first-seen order
+        # — no sort needed.
+        ordered = list(self.counts)
+        return {
+            "key_length": self.key_length,
+            "dtype": self.dtype.name,
+            "n_keys": len(ordered),
+            "total": self.total,
+            "keys": b"".join(ordered),
+            "counts": np.array(
+                [self.counts[key] for key in ordered], dtype="<u8"
+            ),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        n_items: int,
+        *,
+        key_length: int,
+        dtype: str,
+        n_keys: int,
+        total: int,
+        keys: bytes,
+        counts: np.ndarray,
+    ) -> "RankingTally":
+        """Rebuild a tally from :meth:`export_state` buffers.
+
+        Validates the layout hard — a snapshot whose buffers disagree
+        with their declared shape (or whose counts do not sum to the
+        total) must never produce a silently wrong count table.
+        """
+        tally = cls(n_items, key_length)
+        if tally.dtype.name != dtype:
+            raise ValueError(
+                f"key dtype mismatch: n_items={n_items} implies "
+                f"{tally.dtype.name}, state says {dtype}"
+            )
+        width = tally.key_length * tally.dtype.itemsize
+        if len(keys) != n_keys * width:
+            raise ValueError(
+                f"key blob holds {len(keys)} bytes, expected "
+                f"{n_keys} keys x {width} bytes"
+            )
+        freqs = np.asarray(counts, dtype=np.uint64)
+        if freqs.shape != (n_keys,):
+            raise ValueError(
+                f"counts shape {freqs.shape} does not match n_keys={n_keys}"
+            )
+        if n_keys and int(freqs.min(initial=1)) < 1:
+            raise ValueError("tally counts must be positive")
+        if int(freqs.sum()) != int(total):
+            raise ValueError(
+                f"counts sum to {int(freqs.sum())}, total says {total}"
+            )
+        heap = tally._heap
+        for i in range(n_keys):
+            key = keys[i * width : (i + 1) * width]
+            count = int(freqs[i])
+            tally.counts[key] = count
+            tally._first_seen[key] = i
+            heap.append((-count, i, key))
+        if len(tally.counts) != n_keys:
+            raise ValueError("key blob contains duplicate keys")
+        heapq.heapify(heap)
+        tally.total = int(total)
+        return tally
+
     def top_keys(self, m: int) -> list[bytes]:
         """The ``m`` highest-count keys, best first — non-consuming.
 

@@ -54,3 +54,43 @@ class ExhaustedError(StableRankingsError):
 
 class BudgetExceededError(StableRankingsError):
     """A sampling budget or iteration cap was exhausted before convergence."""
+
+
+class SnapshotError(StableRankingsError):
+    """A session snapshot could not be written or restored.
+
+    Durable state must fail loudly: a snapshot that cannot be trusted
+    (truncated, corrupted, produced by a newer writer, or taken over
+    different data) raises one of the subclasses below instead of ever
+    restoring a session that would answer queries from wrong state.
+    """
+
+
+class SnapshotFormatError(SnapshotError):
+    """The file is not a snapshot, or its structure is truncated/garbled.
+
+    Raised for a bad magic number, a header or section that extends past
+    the end of the file, undecodable header JSON, or section payloads
+    whose declared layout does not match their contents.
+    """
+
+
+class SnapshotVersionError(SnapshotError):
+    """The snapshot's format version is not readable by this library.
+
+    Raised when a snapshot was written by a newer format revision than
+    this reader understands (downgrades are never guessed at).
+    """
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A checksum mismatch: the snapshot's bytes were altered.
+
+    Every header and section carries a CRC-32; any flip between write
+    and read surfaces here rather than as silently wrong answers.
+    """
+
+
+class SnapshotMismatchError(SnapshotError):
+    """The snapshot does not describe the serving identity it is restored
+    into: the dataset fingerprint or the region of interest differs."""

@@ -111,6 +111,21 @@ class ConvexCone:
     def __len__(self) -> int:
         return len(self._halfspaces)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same dimension, same halfspaces in order.
+
+        Cones are immutable, so value semantics are safe — and needed:
+        a :class:`~repro.core.stability.StabilityResult` carrying a cone
+        region should compare equal to a value-identical result from a
+        restored snapshot or a replayed enumeration.
+        """
+        if not isinstance(other, ConvexCone):
+            return NotImplemented
+        return self._dim == other._dim and self._halfspaces == other._halfspaces
+
+    def __hash__(self) -> int:
+        return hash((self._dim, tuple(self._halfspaces)))
+
     def __repr__(self) -> str:
         return f"ConvexCone(dim={self._dim}, n_halfspaces={len(self._halfspaces)})"
 

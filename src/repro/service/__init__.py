@@ -15,7 +15,12 @@ turns it into a serving tier:
 - :mod:`repro.service.parallel` — :func:`parallel_observe`,
   shard-parallel observe over the kernel's scoring chunks with exact
   serial tally equivalence and a serial fallback below the auto
-  threshold.
+  threshold;
+- :mod:`repro.service.persist` — versioned snapshot/restore for
+  sessions (:meth:`StabilitySession.save` /
+  :meth:`StabilitySession.restore`): byte-packed tallies, rng streams,
+  cursors, and warm cache entries in one checksummed container, so a
+  service restart keeps its pools.
 """
 
 from repro.service.batch import (
@@ -32,9 +37,21 @@ from repro.service.cache import (
     make_key,
 )
 from repro.service.parallel import parallel_observe, should_parallelize
+from repro.service.persist import (
+    SNAPSHOT_VERSION,
+    SnapshotInfo,
+    load_session,
+    read_snapshot_header,
+    save_session,
+)
 from repro.service.session import VERIFY_MIN_SAMPLES, StabilitySession
 
 __all__ = [
+    "SNAPSHOT_VERSION",
+    "SnapshotInfo",
+    "save_session",
+    "load_session",
+    "read_snapshot_header",
     "StabilitySession",
     "VERIFY_MIN_SAMPLES",
     "ResultCache",

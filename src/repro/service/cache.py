@@ -38,17 +38,34 @@ MISS = object()
 def dataset_fingerprint(dataset) -> str:
     """Content hash identifying a dataset's attribute matrix.
 
-    Hashes the shape and the raw float64 bytes of ``dataset.values``
-    (labels and attribute names are display-only — they cannot affect
-    any stability result).  Accepts a :class:`~repro.core.dataset.Dataset`
-    or a plain ``(n, d)`` array.
+    Hashes the shape and the canonicalised float64 bytes of
+    ``dataset.values`` (labels and attribute names are display-only —
+    they cannot affect any stability result).  Accepts a
+    :class:`~repro.core.dataset.Dataset` or a plain ``(n, d)`` array.
+
+    The hash is *value*-based, not bit-pattern-based: ``-0.0`` is
+    normalised to ``+0.0`` and every NaN payload to the single canonical
+    quiet NaN, so two matrices that compare element-wise equal (with
+    NaNs in the same cells) always fingerprint identically.  Without
+    this, :meth:`StabilitySession.refresh` on a dataset whose buffer
+    was mutated to a non-canonical NaN (e.g. the payload-carrying NaNs
+    arithmetic can produce) would report a mutation on a value-equal
+    matrix — or worse, depend on which NaN bits the producer happened
+    to write.
     """
     values = np.ascontiguousarray(
         getattr(dataset, "values", dataset), dtype=np.float64
     )
+    # Adding 0.0 copies into a writable buffer and maps -0.0 -> +0.0;
+    # the explicit mask then rewrites every NaN (whatever its payload
+    # or sign bit) with the one canonical quiet NaN.
+    canonical = values + 0.0
+    nan_mask = np.isnan(canonical)
+    if nan_mask.any():
+        canonical[nan_mask] = np.float64("nan")
     digest = hashlib.sha256()
-    digest.update(repr(values.shape).encode())
-    digest.update(values.tobytes())
+    digest.update(repr(canonical.shape).encode())
+    digest.update(canonical.tobytes())
     return digest.hexdigest()[:32]
 
 
@@ -151,6 +168,20 @@ class ResultCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+
+    def entries_for(self, fingerprint: str) -> list[tuple[tuple, object]]:
+        """Every ``(key, value)`` entry of one dataset, LRU-oldest first.
+
+        The snapshot subsystem persists a session's warm entries with
+        this; re-inserting them in the returned order reproduces the
+        cache's eviction order.
+        """
+        with self._lock:
+            return [
+                (key, value)
+                for key, value in self._entries.items()
+                if key[0] == fingerprint
+            ]
 
     def invalidate(self, fingerprint: str) -> int:
         """Drop every entry keyed to one dataset fingerprint.

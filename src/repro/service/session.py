@@ -212,6 +212,53 @@ class StabilitySession:
             self.region = FullSpace(dataset.n_attributes)
             self._region_key = repr(self.region)
 
+    def save(self, path) -> "SnapshotInfo":
+        """Snapshot this session's durable state to ``path``.
+
+        Serializes every randomized pool (byte-packed tally, mid-stream
+        rng state, GET-NEXT return cursor, chunking knobs), every exact
+        enumeration cursor, and the warm result-cache entries of this
+        dataset into the versioned container of
+        :mod:`repro.service.persist`.  The write is atomic (temp file +
+        rename), so it is safe as a live checkpoint.
+        """
+        from repro.service.persist import save_session
+
+        return save_session(self, path)
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        dataset: Dataset,
+        *,
+        region: RegionOfInterest | None = None,
+        cache: ResultCache | None = None,
+        cache_size: int = 512,
+        parallel: bool | str = "auto",
+        max_workers: int | None = None,
+    ) -> "StabilitySession":
+        """Rebuild a session from a :meth:`save` snapshot of it.
+
+        ``dataset`` must be byte-identical (same fingerprint) to the
+        snapshotted one and ``region`` must match the snapshot's; a
+        mismatch raises :class:`~repro.errors.SnapshotMismatchError`.
+        The restored session answers every query byte-identically to
+        the session that never restarted — including future ``observe``
+        passes, which resume the saved rng streams mid-sequence.
+        """
+        from repro.service.persist import load_session
+
+        return load_session(
+            path,
+            dataset,
+            region=region,
+            cache=cache,
+            cache_size=cache_size,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+
     def close(self) -> None:
         """Shut down the observe thread pool (idempotent)."""
         if self._executor is not None:

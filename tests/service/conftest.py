@@ -1,0 +1,30 @@
+"""Service-suite conftest: the golden-fixture regeneration entry point.
+
+The golden snapshots under ``golden/`` pin the durable-session format;
+their specs, builders, and probe runner live in
+:mod:`tests.service.golden_specs` (importable by the tests).  After an
+*intentional* format change, regenerate and commit both files per
+golden with::
+
+    PYTHONPATH=src python tests/service/conftest.py --regenerate
+
+An unintentional diff in either file is a format regression, not a
+fixture refresh.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from golden_specs import GOLDEN_DIR, GOLDEN_SPECS, regenerate  # noqa: E402,F401
+
+if __name__ == "__main__":
+    if "--regenerate" not in sys.argv:
+        raise SystemExit(
+            "golden fixtures are committed state; pass --regenerate to rewrite"
+        )
+    for path in regenerate():
+        print(f"wrote {path}")

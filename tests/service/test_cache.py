@@ -28,6 +28,74 @@ class TestFingerprint:
             Dataset(mutated)
         )
 
+    def test_nan_payloads_fingerprint_identically(self, rng_factory):
+        """Value equality, not bit equality: any NaN is *the* NaN.
+
+        IEEE-754 has ~2^52 distinct NaN bit patterns and arithmetic can
+        produce payload-carrying ones; a fingerprint that hashed raw
+        bits would see a 'mutation' between value-identical matrices.
+        """
+        values = rng_factory(3).uniform(size=(12, 3))
+        a, b = values.copy(), values.copy()
+        a[4, 2] = np.float64("nan")
+        # A different NaN bit pattern (payload bit set) in the same cell.
+        b[4, 2] = np.frombuffer(
+            np.uint64(0x7FF8000000000001).tobytes(), dtype=np.float64
+        )[0]
+        assert np.isnan(b[4, 2])
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+        # And NaN still differs from any real value.
+        assert dataset_fingerprint(a) != dataset_fingerprint(values)
+
+    def test_negative_zero_fingerprints_like_positive_zero(self, rng_factory):
+        values = rng_factory(4).uniform(size=(12, 3))
+        a, b = values.copy(), values.copy()
+        a[0, 0], b[0, 0] = 0.0, -0.0
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+
+    def test_nan_position_still_detected(self, rng_factory):
+        values = rng_factory(5).uniform(size=(12, 3))
+        a, b = values.copy(), values.copy()
+        a[1, 1] = np.nan
+        b[2, 1] = np.nan
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+
+class TestRefreshWithNaN:
+    """session.refresh() mutation detection over NaN-containing buffers.
+
+    :class:`Dataset` rejects NaN at construction, but refresh() exists
+    precisely because a service handing out array views cannot trust
+    immutability — an upstream writer can push NaN into the buffer
+    later.  Detection must fire once on the real mutation and must not
+    flap when the same cell is rewritten with a different NaN payload.
+    """
+
+    def _writable(self, session):
+        values = session.dataset.values
+        values.setflags(write=True)
+        return values
+
+    def test_mutation_to_nan_detected_once_then_stable(self, rng_factory):
+        from repro import StabilitySession
+
+        ds = Dataset(rng_factory(6).uniform(size=(30, 3)))
+        with StabilitySession(ds, seed=1, parallel=False) as session:
+            session.top_stable(1, kind="topk_set", k=3, budget=200)
+            values = self._writable(session)
+            values[3, 1] = np.nan
+            assert session.refresh() is True  # mutation detected, state dropped
+            assert session.refresh() is False  # fingerprint is NaN-stable
+            # Same cell, different NaN payload: still no spurious mutation.
+            values[3, 1] = np.frombuffer(
+                np.uint64(0xFFF8000000000F00).tobytes(), dtype=np.float64
+            )[0]
+            assert np.isnan(values[3, 1])
+            assert session.refresh() is False
+            # A genuine further change is still caught.
+            values[5, 0] += 0.25
+            assert session.refresh() is True
+
     def test_shape_disambiguated(self):
         flat = np.arange(12, dtype=np.float64)
         assert dataset_fingerprint(flat.reshape(3, 4)) != dataset_fingerprint(

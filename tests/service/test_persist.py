@@ -1,0 +1,470 @@
+"""Snapshot/restore: round-trip equality, cursors, corruption, refusal.
+
+The durable-sessions contract has two halves, and both are tested hard:
+
+- a restored session must answer every future query **byte-identically**
+  to the session that never restarted (the property grid below sweeps
+  kinds x backends x budgets, including mid-``get_next`` cursor state);
+- a snapshot that cannot be trusted — truncated, bit-flipped, produced
+  by a newer format, or taken over different data — must raise a typed
+  :class:`~repro.errors.SnapshotError`, never restore silently wrong
+  state.
+"""
+
+import json
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import Dataset, StabilitySession
+from repro.core.randomized import GetNextRandomized
+from repro.engine.kernel import RankingTally
+from repro.errors import (
+    ExhaustedError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    SnapshotMismatchError,
+    SnapshotVersionError,
+)
+from repro.service.persist import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    read_snapshot_header,
+)
+
+
+@pytest.fixture
+def ds_md(rng_factory):
+    return Dataset(rng_factory(30).uniform(size=(250, 3)))
+
+
+@pytest.fixture
+def ds_2d(paper_dataset):
+    return paper_dataset
+
+
+def result_key(result):
+    """The full observable payload of one StabilityResult."""
+    return (
+        result.ranking.order,
+        result.stability,
+        result.confidence_error,
+        result.sample_count,
+        result.top_k_set,
+        result.region,
+    )
+
+
+class TestTallyStateRoundTrip:
+    def test_tally_buffers_rebuild_exactly(self, rng_factory):
+        op = GetNextRandomized(
+            Dataset(rng_factory(3).uniform(size=(40, 3))),
+            kind="topk_set",
+            k=5,
+            rng=rng_factory(9),
+        )
+        op.observe(700)
+        state = op.tally.export_state()
+        rebuilt = RankingTally.from_state(40, **state)
+        assert rebuilt.counts == op.tally.counts
+        assert rebuilt._first_seen == op.tally._first_seen
+        assert rebuilt.total == op.tally.total
+        assert rebuilt.best_unreturned() == op.tally.best_unreturned()
+
+    def test_from_state_rejects_inconsistent_buffers(self, rng_factory):
+        op = GetNextRandomized(
+            Dataset(rng_factory(3).uniform(size=(40, 3))),
+            kind="topk_set",
+            k=5,
+            rng=rng_factory(9),
+        )
+        op.observe(300)
+        good = op.tally.export_state()
+        bad = dict(good, total=good["total"] + 1)
+        with pytest.raises(ValueError, match="sum"):
+            RankingTally.from_state(40, **bad)
+        bad = dict(good, keys=good["keys"][:-1])
+        with pytest.raises(ValueError, match="blob"):
+            RankingTally.from_state(40, **bad)
+        bad = dict(good, dtype="uint32")
+        with pytest.raises(ValueError, match="dtype"):
+            RankingTally.from_state(40, **bad)
+
+    def test_operator_state_resumes_rng_mid_stream(self, rng_factory):
+        ds = Dataset(rng_factory(4).uniform(size=(60, 3)))
+        a = GetNextRandomized(ds, kind="full", rng=rng_factory(5))
+        a.observe(400)
+        state = a.export_state()
+        b = GetNextRandomized(ds, kind="full", rng=rng_factory(999))
+        b.restore_state(state)
+        a.observe(300)
+        b.observe(300)
+        assert a.tally.counts == b.tally.counts
+        assert a.tally._first_seen == b.tally._first_seen
+
+    def test_operator_state_rejects_wrong_config(self, rng_factory):
+        ds = Dataset(rng_factory(4).uniform(size=(60, 3)))
+        a = GetNextRandomized(ds, kind="topk_set", k=5, rng=rng_factory(5))
+        a.observe(100)
+        b = GetNextRandomized(ds, kind="topk_set", k=6, rng=rng_factory(5))
+        with pytest.raises(ValueError, match="kind"):
+            b.restore_state(a.export_state())
+
+    def test_operator_state_rejects_wrong_region(self, rng_factory):
+        """A pool sampled over one region must not blend into another."""
+        from repro import Cone
+
+        ds = Dataset(rng_factory(4).uniform(size=(60, 3)))
+        a = GetNextRandomized(ds, kind="topk_set", k=5, rng=rng_factory(5))
+        a.observe(100)
+        b = GetNextRandomized(
+            ds,
+            kind="topk_set",
+            k=5,
+            region=Cone(np.ones(3), 0.3),
+            rng=rng_factory(5),
+        )
+        with pytest.raises(ValueError, match="region"):
+            b.restore_state(a.export_state())
+
+    def test_save_to_unwritable_path_is_a_typed_error(self, ds_md, tmp_path):
+        with StabilitySession(ds_md, seed=5, parallel=False) as session:
+            session.observe(100, kind="topk_set", k=3)
+            with pytest.raises(SnapshotError, match="cannot write"):
+                session.save(tmp_path / "no" / "such" / "dir" / "p.snap")
+
+
+def _grid_workload(kind, k, backend, budget):
+    """A mixed future workload for one configuration."""
+
+    def run(session):
+        out = [
+            result_key(r)
+            for r in session.top_stable(
+                3, kind=kind, k=k, backend=backend, budget=budget
+            )
+        ]
+        for _ in range(2):
+            try:
+                out.append(
+                    result_key(
+                        session.get_next(
+                            kind=kind, k=k, backend=backend, budget=budget
+                        )
+                    )
+                )
+            except ExhaustedError:
+                out.append("exhausted")
+        probe = session.top_stable(
+            1, kind=kind, k=k, backend=backend, budget=budget
+        )
+        if probe:
+            out.append(
+                result_key(
+                    session.stability_of(
+                        list(probe[0].ranking.order),
+                        kind=kind,
+                        k=k,
+                        backend=backend,
+                        min_samples=budget,
+                    )
+                )
+            )
+        return out
+
+    return run
+
+
+class TestSaveRestoreProperty:
+    """save -> restore -> query == uninterrupted query, across the grid."""
+
+    @pytest.mark.parametrize(
+        "kind,k,backend,budget",
+        [
+            ("full", None, "randomized", 400),
+            ("full", None, "randomized", 1100),
+            ("topk_set", 5, "randomized", 400),
+            ("topk_set", 5, "randomized", 1100),
+            ("topk_ranked", 4, "randomized", 700),
+            ("full", None, "md_arrangement", None),
+        ],
+    )
+    def test_grid(self, ds_md, rng_factory, tmp_path, kind, k, backend, budget):
+        if backend == "md_arrangement":
+            # The lazy arrangement is for small n; a 250-item instance
+            # would dominate the suite's wall-clock.
+            ds_md = Dataset(rng_factory(33).uniform(size=(18, 3)))
+        path = tmp_path / "grid.snap"
+        live = StabilitySession(ds_md, seed=17, parallel=False)
+        # Interrupt mid-protocol: one consumed cursor entry, a warm
+        # top_stable, then snapshot.
+        live.top_stable(2, kind=kind, k=k, backend=backend, budget=budget)
+        live.get_next(kind=kind, k=k, backend=backend, budget=budget)
+        live.save(path)
+        restored = StabilitySession.restore(path, ds_md, parallel=False)
+        workload = _grid_workload(kind, k, backend, budget)
+        with live, restored:
+            assert workload(restored) == workload(live)
+            assert restored.stats()["configs"] == live.stats()["configs"]
+
+    @pytest.mark.parametrize("kind,k", [("full", None), ("topk_set", 2)])
+    def test_exact_2d_cursor_survives(self, ds_2d, tmp_path, kind, k):
+        backend = "twod_exact" if kind == "full" else "twod_topk"
+        path = tmp_path / "2d.snap"
+        live = StabilitySession(ds_2d, seed=3)
+        live.get_next(kind=kind, k=k, backend=backend)
+        live.get_next(kind=kind, k=k, backend=backend)
+        live.save(path)
+        restored = StabilitySession.restore(path, ds_2d)
+
+        def step(session):
+            try:
+                return result_key(session.get_next(kind=kind, k=k, backend=backend))
+            except ExhaustedError:
+                return "exhausted"
+
+        with live, restored:
+            # The cursor resumes where it stopped — no rewind, no skip,
+            # and exhaustion strikes at the same step.
+            for _ in range(3):
+                assert step(restored) == step(live)
+
+    def test_mid_get_next_cursor_not_rewound(self, ds_md, tmp_path):
+        """A consumed ranking stays consumed across the restart."""
+        path = tmp_path / "cursor.snap"
+        live = StabilitySession(ds_md, seed=23, parallel=False)
+        first = live.get_next(kind="topk_set", k=4, budget=900)
+        live.save(path)
+        restored = StabilitySession.restore(path, ds_md, parallel=False)
+        with live, restored:
+            again = restored.get_next(kind="topk_set", k=4, budget=900)
+            assert result_key(again) != result_key(first)
+            assert result_key(again) == result_key(
+                live.get_next(kind="topk_set", k=4, budget=900)
+            )
+
+    def test_restored_cache_is_warm(self, ds_md, tmp_path):
+        path = tmp_path / "warm.snap"
+        with StabilitySession(ds_md, seed=5, parallel=False) as live:
+            live.top_stable(3, kind="topk_set", k=5, budget=800)
+            live.save(path)
+        with StabilitySession.restore(path, ds_md, parallel=False) as restored:
+            restored.top_stable(3, kind="topk_set", k=5, budget=800)
+            assert restored.last_query_cached
+
+    def test_restore_with_fresh_runtime_knobs(self, ds_md, tmp_path):
+        """parallel/workers are runtime choices, not snapshot state."""
+        path = tmp_path / "knobs.snap"
+        with StabilitySession(ds_md, seed=5, parallel=False) as live:
+            live.observe(600, kind="topk_set", k=4)
+            live.save(path)
+            expected = [
+                result_key(r)
+                for r in live.top_stable(2, kind="topk_set", k=4, budget=1_000)
+            ]
+        restored = StabilitySession.restore(
+            path, ds_md, parallel=True, max_workers=2
+        )
+        with restored:
+            got = [
+                result_key(r)
+                for r in restored.top_stable(2, kind="topk_set", k=4, budget=1_000)
+            ]
+        assert got == expected
+
+    def test_mixed_batch_workload_byte_identical(self, ds_md, tmp_path):
+        """A restored session runs execute_batch exactly like the original."""
+        from repro import execute_batch
+
+        workload = [
+            {"op": "top_stable", "m": 3, "kind": "topk_set", "k": 5,
+             "backend": "randomized", "budget": 900},
+            {"op": "get_next", "kind": "topk_set", "k": 5,
+             "backend": "randomized", "budget": 900},
+            {"op": "top_stable", "m": 2, "kind": "topk_ranked", "k": 4,
+             "backend": "randomized", "budget": 700},
+            {"op": "stability_of", "kind": "topk_set", "k": 3,
+             "backend": "randomized", "ranking": [0, 1, 2],
+             "min_samples": 500},
+            {"op": "get_next", "kind": "topk_ranked", "k": 4,
+             "backend": "randomized", "budget": 1000},
+        ]
+        path = tmp_path / "batch.snap"
+        live = StabilitySession(ds_md, seed=41, parallel=False)
+        live.run_batch(workload)  # warm pools mid-protocol
+        live.save(path)
+        restored = StabilitySession.restore(path, ds_md, parallel=False)
+
+        def payloads(outcomes):
+            out = []
+            for o in outcomes:
+                assert o.ok, o.error
+                value = o.value if isinstance(o.value, list) else [o.value]
+                out.append([result_key(r) for r in value])
+            return out
+
+        with live, restored:
+            assert payloads(execute_batch(restored, workload)) == payloads(
+                execute_batch(live, workload)
+            )
+
+    def test_snapshot_of_restored_session_round_trips(self, ds_md, tmp_path):
+        """restore -> save -> restore is as good as the original."""
+        first, second = tmp_path / "a.snap", tmp_path / "b.snap"
+        with StabilitySession(ds_md, seed=29, parallel=False) as live:
+            live.top_stable(2, kind="topk_set", k=5, budget=700)
+            live.save(first)
+            expected = result_key(live.get_next(kind="topk_set", k=5, budget=700))
+        mid = StabilitySession.restore(first, ds_md, parallel=False)
+        with mid:
+            mid.save(second)
+        with StabilitySession.restore(second, ds_md, parallel=False) as restored:
+            assert result_key(
+                restored.get_next(kind="topk_set", k=5, budget=700)
+            ) == expected
+
+
+@pytest.fixture
+def snapshot_file(ds_md, tmp_path):
+    path = tmp_path / "pool.snap"
+    with StabilitySession(ds_md, seed=11, parallel=False) as session:
+        session.top_stable(2, kind="topk_set", k=5, budget=600)
+        session.get_next(backend="randomized", budget=500)
+        session.save(path)
+    return path
+
+
+class TestCorruption:
+    """Every way a snapshot can lie must raise a typed SnapshotError."""
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "noise.snap"
+        path.write_bytes(b"definitely not a snapshot file")
+        with pytest.raises(SnapshotFormatError, match="magic"):
+            read_snapshot_header(path)
+
+    def test_too_short_to_parse(self, tmp_path):
+        path = tmp_path / "tiny.snap"
+        path.write_bytes(SNAPSHOT_MAGIC[:4])
+        with pytest.raises(SnapshotFormatError, match="short"):
+            read_snapshot_header(path)
+
+    def test_truncated_file(self, snapshot_file, ds_md):
+        data = snapshot_file.read_bytes()
+        snapshot_file.write_bytes(data[: int(len(data) * 0.6)])
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            StabilitySession.restore(snapshot_file, ds_md)
+
+    def test_flipped_payload_byte(self, snapshot_file, ds_md):
+        data = bytearray(snapshot_file.read_bytes())
+        data[-10] ^= 0xFF  # inside the last section's compressed bytes
+        snapshot_file.write_bytes(bytes(data))
+        with pytest.raises(SnapshotIntegrityError, match="checksum"):
+            StabilitySession.restore(snapshot_file, ds_md)
+
+    def test_flipped_header_byte(self, snapshot_file, ds_md):
+        data = bytearray(snapshot_file.read_bytes())
+        data[20] ^= 0x01  # inside the header JSON
+        snapshot_file.write_bytes(bytes(data))
+        with pytest.raises(SnapshotIntegrityError, match="header checksum"):
+            StabilitySession.restore(snapshot_file, ds_md)
+
+    def test_future_format_version(self, snapshot_file, ds_md):
+        data = bytearray(snapshot_file.read_bytes())
+        struct.pack_into("<H", data, 8, SNAPSHOT_VERSION + 7)
+        snapshot_file.write_bytes(bytes(data))
+        with pytest.raises(SnapshotVersionError, match="newer"):
+            StabilitySession.restore(snapshot_file, ds_md)
+
+    def test_wrong_dataset_fingerprint(self, snapshot_file, rng_factory):
+        other = Dataset(rng_factory(31).uniform(size=(250, 3)))
+        with pytest.raises(SnapshotMismatchError, match="fingerprint"):
+            StabilitySession.restore(snapshot_file, other)
+
+    def test_wrong_region(self, snapshot_file, ds_md):
+        from repro import Cone
+
+        with pytest.raises(SnapshotMismatchError, match="region"):
+            StabilitySession.restore(
+                snapshot_file, ds_md, region=Cone(np.ones(3), 0.3)
+            )
+
+    def test_region_identity_is_content_not_shape(self, ds_md, tmp_path):
+        """Regions that sample differently must never be conflated.
+
+        Guards the repr-keyed identity checks against lossy reprs: a
+        constraint region with the *opposite* constraint, and a cone
+        whose angle differs below 6 significant digits, both used to
+        repr identically.
+        """
+        from repro import Cone
+        from repro.core.region import ConstrainedRegion
+
+        path = tmp_path / "region.snap"
+        with StabilitySession(
+            ds_md, region=ConstrainedRegion([[1.0, -1.0, 0.0]]), seed=3,
+            parallel=False,
+        ) as live:
+            live.observe(100, kind="topk_set", k=3)
+            live.save(path)
+        with pytest.raises(SnapshotMismatchError, match="region"):
+            StabilitySession.restore(
+                path, ds_md, region=ConstrainedRegion([[-1.0, 1.0, 0.0]])
+            )
+        path2 = tmp_path / "cone.snap"
+        with StabilitySession(
+            ds_md, region=Cone(np.ones(3), 0.3000001), seed=3, parallel=False
+        ) as live:
+            live.observe(100, kind="topk_set", k=3)
+            live.save(path2)
+        with pytest.raises(SnapshotMismatchError, match="region"):
+            StabilitySession.restore(
+                path2, ds_md, region=Cone(np.ones(3), 0.3000004)
+            )
+
+    def test_tampered_tally_totals_refused(self, snapshot_file, ds_md):
+        """A structurally valid file with lying tally metadata is refused.
+
+        Rebuild the snapshot with the header's total bumped and the
+        checksums recomputed — only the deep layout validation is left
+        to catch it.
+        """
+        data = snapshot_file.read_bytes()
+        magic, version, header_len = struct.unpack_from("<8sHI", data)
+        header = json.loads(data[14 : 14 + header_len])
+        payload = data[14 + header_len + 4 :]
+        config = next(c for c in header["configs"] if "tally" in c)
+        config["tally"]["total"] += 1
+        header_bytes = json.dumps(header, separators=(",", ":")).encode()
+        snapshot_file.write_bytes(
+            struct.pack("<8sHI", magic, version, len(header_bytes))
+            + header_bytes
+            + struct.pack("<I", zlib.crc32(header_bytes))
+            + payload
+        )
+        with pytest.raises(SnapshotError):
+            StabilitySession.restore(snapshot_file, ds_md)
+
+    def test_all_corruption_errors_are_snapshot_errors(self):
+        for exc in (
+            SnapshotFormatError,
+            SnapshotIntegrityError,
+            SnapshotVersionError,
+            SnapshotMismatchError,
+        ):
+            assert issubclass(exc, SnapshotError)
+
+
+class TestHeaderInspection:
+    def test_header_describes_the_snapshot(self, snapshot_file, ds_md):
+        header = read_snapshot_header(snapshot_file)
+        assert header["format_version"] == SNAPSHOT_VERSION
+        assert header["n_items"] == ds_md.n_items
+        assert header["n_attributes"] == ds_md.n_attributes
+        assert len(header["configs"]) == 2
+        names = {s["name"] for s in header["sections"]}
+        assert "cache" in names
+        assert any(n.startswith("tally/") for n in names)

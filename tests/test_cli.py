@@ -303,3 +303,210 @@ class TestServiceCommands:
         assert len(lines[0]["result"]) == 2
         assert lines[1]["ok"] is True and "cache" in lines[1]["stats"]
         assert lines[2]["ok"] is False
+
+
+class TestSnapshotCommands:
+    @pytest.fixture
+    def requests_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps([
+            {"op": "top_stable", "m": 2, "kind": "topk_set", "k": 3,
+             "backend": "randomized", "budget": 400},
+            {"op": "top_stable", "m": 1, "kind": "topk_ranked", "k": 3,
+             "backend": "randomized", "budget": 400},
+        ]))
+        return str(path)
+
+    def test_snapshot_then_restore_same_answers(
+        self, csv_3d_headerless, requests_file, tmp_path, capsys
+    ):
+        """Idempotent requests replay identically after a restore.
+
+        This is the command pair the CI cross-version round-trip diffs:
+        outcome lines carry no timing and no cache flags, so byte-equal
+        stdout == byte-equal answers.
+        """
+        import json
+
+        snap = str(tmp_path / "pool.snap")
+        assert main(["snapshot", csv_3d_headerless, "--out", snap,
+                     "--requests", requests_file, "--no-parallel"]) == 0
+        before = capsys.readouterr().out
+        assert main(["restore", csv_3d_headerless, "--snapshot", snap,
+                     "--requests", requests_file, "--no-parallel"]) == 0
+        after = capsys.readouterr().out
+        assert before == after
+        records = [json.loads(l) for l in after.splitlines()]
+        assert [r["ok"] for r in records] == [True, True]
+
+    def test_restore_inspect_prints_header(
+        self, csv_3d_headerless, tmp_path, capsys
+    ):
+        import json
+
+        snap = str(tmp_path / "pool.snap")
+        assert main(["snapshot", csv_3d_headerless, "--out", snap]) == 0
+        capsys.readouterr()
+        assert main(["restore", csv_3d_headerless, "--snapshot", snap,
+                     "--inspect"]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header["format_version"] >= 1
+        assert header["n_items"] == 20
+
+    def test_restore_refuses_wrong_dataset(self, csv_2d, csv_3d_headerless,
+                                           tmp_path, capsys):
+        snap = str(tmp_path / "pool.snap")
+        assert main(["snapshot", csv_3d_headerless, "--out", snap]) == 0
+        with pytest.raises(SystemExit, match="cannot restore"):
+            main(["restore", csv_2d, "--label-column", "name",
+                  "--snapshot", snap])
+
+    def test_serve_state_dir_checkpoints_and_restores(
+        self, csv_3d_headerless, tmp_path, capsys, monkeypatch
+    ):
+        import io
+        import json
+
+        state_dir = tmp_path / "states"
+        request = json.dumps({"op": "get_next", "kind": "topk_set", "k": 3,
+                              "backend": "randomized", "budget": 400})
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(["serve", csv_3d_headerless, "--state-dir",
+                     str(state_dir), "--no-parallel"]) == 0
+        first = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert first["ok"] is True
+        snaps = list(state_dir.glob("*.snap"))
+        assert len(snaps) == 1  # checkpointed at end of input
+        # Second serve run restores the state: the same get_next request
+        # continues the cursor instead of repeating the first answer.
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(["serve", csv_3d_headerless, "--state-dir",
+                     str(state_dir), "--no-parallel"]) == 0
+        second = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert second["ok"] is True
+        assert second["result"]["ranking"] != first["result"]["ranking"]
+
+    def test_serve_checkpoint_op(self, csv_3d_headerless, tmp_path, capsys,
+                                 monkeypatch):
+        import io
+        import json
+
+        state_dir = tmp_path / "states"
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps({"op": "checkpoint"}) + "\n")
+        )
+        assert main(["serve", csv_3d_headerless, "--state-dir",
+                     str(state_dir)]) == 0
+        response = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert response["ok"] is True
+        assert response["checkpoint"]["path"].endswith(".snap")
+
+    def test_serve_survives_failed_auto_checkpoint(
+        self, csv_3d_headerless, tmp_path, capsys, monkeypatch
+    ):
+        """A full disk costs durability, never availability."""
+        import io
+        import json
+
+        from repro import StabilitySession
+
+        def broken_save(self, path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(StabilitySession, "save", broken_save)
+        request = json.dumps({"op": "top_stable", "m": 1, "kind": "topk_set",
+                              "k": 3, "backend": "randomized", "budget": 300})
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(["serve", csv_3d_headerless, "--state-dir",
+                     str(tmp_path / "states"), "--checkpoint-every", "1",
+                     "--no-parallel"]) == 0
+        captured = capsys.readouterr()
+        response = json.loads(captured.out.splitlines()[0])
+        assert response["ok"] is True  # the request itself still answered
+        assert "checkpoint" in captured.err and "disk full" in captured.err
+
+    def test_serve_starts_cold_when_snapshot_untrusted(
+        self, csv_3d_headerless, tmp_path, capsys, monkeypatch
+    ):
+        """The state dir is a warm-start cache — never a startup gate."""
+        import io
+        import json
+
+        state_dir = tmp_path / "states"
+        request = json.dumps({"op": "top_stable", "m": 1, "kind": "topk_set",
+                              "k": 3, "backend": "randomized", "budget": 300})
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(["serve", csv_3d_headerless, "--state-dir",
+                     str(state_dir), "--no-parallel"]) == 0
+        capsys.readouterr()
+        (snap,) = state_dir.glob("*.snap")
+        snap.write_bytes(b"garbage" + snap.read_bytes())
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(["serve", csv_3d_headerless, "--state-dir",
+                     str(state_dir), "--no-parallel"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.splitlines()[0])["ok"] is True
+        assert "starting cold" in captured.err
+        # The cold run's final checkpoint replaced the garbage snapshot.
+        from repro.service.persist import read_snapshot_header
+
+        assert read_snapshot_header(snap)["format_version"] >= 1
+
+    def test_serve_state_files_are_region_qualified(
+        self, csv_3d_headerless, tmp_path, capsys, monkeypatch
+    ):
+        import io
+        import json
+
+        state_dir = tmp_path / "states"
+        request = json.dumps({"op": "top_stable", "m": 1, "kind": "topk_set",
+                              "k": 3, "backend": "randomized", "budget": 300})
+        for extra in ([], ["--cone-theta", "0.4"]):
+            monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+            assert main(["serve", csv_3d_headerless, "--state-dir",
+                         str(state_dir), "--no-parallel", *extra]) == 0
+        capsys.readouterr()
+        assert len(list(state_dir.glob("*.snap"))) == 2
+
+    def test_snapshot_exit_code_reflects_failed_warmup(
+        self, csv_3d_headerless, tmp_path, capsys
+    ):
+        import json
+
+        reqfile = tmp_path / "bad.json"
+        reqfile.write_text(json.dumps([{"op": "teleport"}]))
+        snap = str(tmp_path / "pool.snap")
+        assert main(["snapshot", csv_3d_headerless, "--out", snap,
+                     "--requests", str(reqfile)]) == 1
+        record = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert record["ok"] is False
+
+    def test_snapshot_to_unwritable_path_exits_cleanly(
+        self, csv_3d_headerless, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="cannot snapshot"):
+            main(["snapshot", csv_3d_headerless, "--out",
+                  str(tmp_path / "no" / "dir" / "p.snap")])
+
+    def test_restore_inspect_bad_file_exits_cleanly(self, csv_3d_headerless,
+                                                    tmp_path):
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"junk")
+        with pytest.raises(SystemExit, match="cannot inspect"):
+            main(["restore", csv_3d_headerless, "--snapshot", str(bad),
+                  "--inspect"])
+
+    def test_inspect_works_without_a_readable_dataset(self, csv_3d_headerless,
+                                                      tmp_path, capsys):
+        """An orphaned snapshot is inspectable; the CSV is never loaded."""
+        import json
+
+        snap = str(tmp_path / "pool.snap")
+        assert main(["snapshot", csv_3d_headerless, "--out", snap]) == 0
+        capsys.readouterr()
+        assert main(["restore", str(tmp_path / "missing.csv"),
+                     "--snapshot", snap, "--inspect"]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header["format_version"] >= 1
