@@ -113,8 +113,32 @@ from repro.service import (
 
 __version__ = "1.1.0"
 
+#: Server-tier names resolved lazily: ``repro.server`` pulls in asyncio
+#: machinery no library-only consumer should pay for at import time.
+_SERVER_EXPORTS = (
+    "ServeClient",
+    "ServerConfig",
+    "SessionRegistry",
+    "StabilityServer",
+    "serve_in_thread",
+)
+
+
+def __getattr__(name: str):
+    if name in _SERVER_EXPORTS:
+        import repro.server as _server
+
+        return getattr(_server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "errors",
+    "ServeClient",
+    "ServerConfig",
+    "SessionRegistry",
+    "StabilityServer",
+    "serve_in_thread",
     "StabilityEngine",
     "StabilitySession",
     "StabilityRequest",

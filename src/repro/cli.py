@@ -12,13 +12,18 @@ and two service-layer commands run mixed workloads through a
 cache, batch-amortized sampling)::
 
     python -m repro.cli batch data.csv --requests requests.json
-    python -m repro.cli serve data.csv          # JSON-lines on stdio
+    python -m repro.cli serve data.csv                  # JSON-lines on stdio
+    python -m repro.cli serve data.csv --tcp :7701      # asyncio TCP server
 
 ``requests.json`` holds a list of request objects, e.g.
 ``[{"op": "top_stable", "m": 3, "kind": "topk_set", "k": 5}]``;
-``serve`` reads one such object per stdin line and answers with one
-JSON line each (the special ops ``{"op": "stats"}`` and
-``{"op": "invalidate"}`` report/reset the session).
+``serve`` reads one such object per line and answers with one JSON
+line each, speaking the versioned protocol of
+:mod:`repro.server.protocol` (control ops ``hello``/``ping``/
+``stats``/``invalidate``/``checkpoint``/``shutdown``; structured
+``{"error": {"code", "message"}}`` failures).  ``--tcp HOST:PORT``
+serves many concurrent clients over one shared session registry with
+backpressure and graceful, checkpointed drain on SIGTERM.
 
 The CSV must contain one numeric column per scoring attribute (a header
 row is auto-detected); an optional ``--label-column NAME`` column holds
@@ -33,7 +38,6 @@ import csv
 import json
 import sys
 import time
-import zlib
 from pathlib import Path
 
 import numpy as np
@@ -48,6 +52,7 @@ from repro import (
     execute_batch,
     rank_profile,
 )
+from repro.server.protocol import value_to_json as _value_to_json
 
 __all__ = ["main", "load_csv_dataset"]
 
@@ -203,7 +208,8 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     p_serve = sub.add_parser(
-        "serve", help="JSON-lines request/response service on stdio"
+        "serve",
+        help="JSON-lines request/response service on stdio or TCP",
     )
     _add_common(p_serve)
     p_serve.add_argument("--budget", type=int, default=None)
@@ -222,6 +228,54 @@ def main(argv: list[str] | None = None) -> int:
         default=50,
         metavar="N",
         help="checkpoint after every N handled requests (0: only at exit)",
+    )
+    p_serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve many concurrent clients over TCP instead of stdio "
+        "(PORT alone binds 127.0.0.1; port 0 picks a free port); "
+        "SIGTERM or {\"op\": \"shutdown\"} drains gracefully, "
+        "checkpointing every dirty session",
+    )
+    p_serve.add_argument(
+        "--dataset-name",
+        default="default",
+        metavar="NAME",
+        help="registry name of the served dataset in TCP mode "
+        "(requests may address it with {\"dataset\": NAME})",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="TCP: global admission cap; requests beyond it are shed "
+        "with a structured 'busy' error instead of queued",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        metavar="N",
+        help="TCP: per-connection pipelining depth; beyond it the "
+        "server stops reading that socket (TCP backpressure)",
+    )
+    p_serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="TCP: how long a graceful drain waits for in-flight "
+        "requests before checkpointing and exiting",
+    )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="TCP: also serve a plain-text metrics endpoint (HTTP) "
+        "on this port",
     )
 
     p_snapshot = sub.add_parser(
@@ -404,10 +458,12 @@ def main(argv: list[str] | None = None) -> int:
 def _run_service_command(args, ds: Dataset, out) -> int:
     """Dispatch the session-backed subcommands (batch/serve/snapshot/restore)."""
     from repro.errors import SnapshotError
-    from repro.service.cache import dataset_fingerprint
 
     region = _region_for(args, ds.n_attributes, None)
     parallel = False if args.no_parallel else "auto"
+
+    if args.command == "serve" and args.tcp is not None:
+        return _run_serve_tcp(args, ds, region, parallel)
 
     if args.command == "restore":
         try:
@@ -471,16 +527,11 @@ def _run_service_command(args, ds: Dataset, out) -> int:
 
     state_path = None
     if args.command == "serve" and args.state_dir is not None:
+        from repro.server.registry import snapshot_path_for
+
         state_dir = Path(args.state_dir)
         state_dir.mkdir(parents=True, exist_ok=True)
-        # The filename carries the full serving identity — dataset
-        # fingerprint *and* region — so serving the same data under a
-        # different region of interest warms its own snapshot instead
-        # of fighting over one file.
-        region_tag = f"{zlib.crc32(repr(region).encode()):08x}"
-        state_path = (
-            state_dir / f"{dataset_fingerprint(ds)}-{region_tag}.snap"
-        )
+        state_path = snapshot_path_for(state_dir, ds, region)
     session = None
     if state_path is not None and state_path.exists():
         try:
@@ -566,24 +617,6 @@ def _print_outcomes(session: StabilitySession, ds: Dataset, requests, out) -> bo
     return all_ok
 
 
-def _result_to_json(ds: Dataset, result) -> dict:
-    """One StabilityResult as a JSON-safe mapping."""
-    payload = {
-        "ranking": [int(i) for i in result.ranking.order],
-        "labels": [ds.label_of(i) for i in result.ranking.order[:10]],
-        "stability": result.stability,
-        "confidence_error": result.confidence_error,
-        "sample_count": result.sample_count,
-    }
-    if result.top_k_set is not None:
-        payload["top_k_set"] = sorted(int(i) for i in result.top_k_set)
-    return payload
-
-
-def _value_to_json(ds: Dataset, value) -> object:
-    if isinstance(value, list):
-        return [_result_to_json(ds, r) for r in value]
-    return _result_to_json(ds, value)
 
 
 def _run_batch(session: StabilitySession, ds: Dataset, args, out) -> int:
@@ -630,20 +663,30 @@ def _run_serve(
 ) -> int:
     """The ``serve`` subcommand: a JSON-lines request loop on stdio.
 
-    Transport-agnostic by design — anything that can write a line and
-    read a line (a socket relay, a test harness, a shell pipe) can
-    drive the session; no network dependencies required.  With
-    ``state_path`` set the session is durable: every
-    ``checkpoint_every`` handled requests (and at end of input) its
-    pools, cursors, and warm cache are snapshotted atomically, and the
-    special op ``{"op": "checkpoint"}`` forces one on demand.
+    One transport of the versioned protocol in
+    :mod:`repro.server.protocol` — the asyncio TCP server frames the
+    same requests and dispatches through the same function, so stdio
+    and network clients see identical semantics (structured error
+    codes included: malformed JSON, an unknown op, or an oversized
+    line each earn one ``{"error": {"code", "message"}}`` response and
+    the loop keeps serving).  With ``state_path`` set the session is
+    durable: every ``checkpoint_every`` handled requests (and at end
+    of input) its pools, cursors, and warm cache are snapshotted
+    atomically, and ``{"op": "checkpoint"}`` forces one on demand.
+    ``{"op": "shutdown"}`` ends the loop exactly like end-of-input.
     """
+    from repro.server import protocol
+
+    hello_extra = protocol.hello_fields(
+        transport="stdio",
+        datasets=["default"],
+        default_dataset="default",
+        durable=state_path is not None,
+    )
     since_checkpoint = 0
 
-    def checkpoint() -> dict | None:
+    def checkpoint() -> dict:
         nonlocal since_checkpoint
-        if state_path is None:
-            return None
         info = session.save(state_path)
         since_checkpoint = 0
         return {"path": info.path, "bytes": info.file_bytes}
@@ -666,44 +709,47 @@ def _run_serve(
                 file=sys.stderr,
             )
 
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            continue
-        advanced = True
+    stop = False
+    for line in _bounded_lines(sys.stdin, protocol.MAX_LINE_BYTES):
+        payload = None
         try:
-            payload = json.loads(line)
-            op = payload.get("op")
-            if op == "stats":
-                response = {"ok": True, "stats": session.stats()}
-            elif op == "invalidate":
-                response = {"ok": True, "invalidated": session.invalidate()}
-            elif op == "checkpoint":
-                saved = checkpoint()
-                advanced = False  # the save itself reset the counter
-                response = (
-                    {"ok": True, "checkpoint": saved}
-                    if saved is not None
-                    else {"ok": False, "error": "serve has no --state-dir"}
+            if line is None:
+                raise protocol.RequestError(
+                    "line_too_long",
+                    f"request line exceeded {protocol.MAX_LINE_BYTES} bytes",
                 )
-            else:
-                start = time.perf_counter()
-                outcome = execute_batch(session, [payload])[0]
-                elapsed = time.perf_counter() - start
-                if outcome.ok:
-                    response = {
-                        "ok": True,
-                        "cached": outcome.cached,
-                        "seconds": round(elapsed, 6),
-                        "result": _value_to_json(ds, outcome.value),
-                    }
-                else:
-                    response = {
-                        "ok": False,
-                        "error": f"{type(outcome.error).__name__}: {outcome.error}",
-                    }
-        except Exception as exc:  # malformed line: report, keep serving
-            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            if not line.strip():
+                continue
+            payload = protocol.parse_request(line)
+            handled = protocol.dispatch(
+                session,
+                ds,
+                payload,
+                checkpoint=checkpoint if state_path is not None else None,
+                hello_extra=hello_extra,
+            )
+            response, advanced, stop = (
+                handled.response, handled.advanced, handled.stop,
+            )
+        except protocol.RequestError as exc:
+            response, advanced = (
+                protocol.error_payload(
+                    exc.code, exc.message, request_id=exc.request_id
+                ),
+                True,
+            )
+        except Exception as exc:  # a dispatch bug — report, keep serving
+            response, advanced = (
+                protocol.error_payload(
+                    *protocol.classify_exception(exc),
+                    request_id=(
+                        payload.get("id")
+                        if isinstance(payload, dict)
+                        else None
+                    ),
+                ),
+                True,
+            )
         print(json.dumps(response), file=out, flush=True)
         # Count requests since the last successful save (an explicit
         # checkpoint op resets it), so an on-demand checkpoint landing
@@ -716,8 +762,96 @@ def _run_serve(
             and since_checkpoint >= checkpoint_every
         ):
             checkpoint_quietly()
-    if since_checkpoint > 0:
+        if stop:
+            break
+    if state_path is not None and since_checkpoint > 0:
         checkpoint_quietly()
+    return 0
+
+
+def _bounded_lines(stream, limit: int):
+    """Lines from ``stream``, reading at most ``limit`` bytes per line.
+
+    ``None`` marks an oversized line (its remainder is discarded
+    through the newline) — the loop answers it with ``line_too_long``
+    instead of letting ``for line in stream`` materialise a
+    multi-gigabyte frame in memory first.  Works on byte and text
+    streams (tests monkeypatch ``sys.stdin`` with ``StringIO``).
+    """
+    stream = getattr(stream, "buffer", stream)
+    newline = b"\n" if isinstance(stream.read(0), bytes) else "\n"
+    while True:
+        line = stream.readline(limit + 1)
+        if not line:
+            return
+        if len(line) > limit and not line.endswith(newline):
+            while True:  # discard through the oversized line's newline
+                rest = stream.readline(1 << 20)
+                if not rest or rest.endswith(newline):
+                    break
+            yield None
+            continue
+        yield line
+
+
+def _run_serve_tcp(args, ds: Dataset, region, parallel) -> int:
+    """The ``serve --tcp`` mode: the asyncio multi-client front-end.
+
+    Builds a :class:`~repro.server.SessionRegistry` over the one
+    loaded dataset (restore-on-start and checkpointing live there),
+    binds :class:`~repro.server.StabilityServer`, and serves until
+    SIGTERM/SIGINT or a ``shutdown`` op, then drains gracefully —
+    in-flight requests finish and every dirty session is checkpointed
+    before exit.
+    """
+    import asyncio
+
+    from repro.server import (
+        ServerConfig,
+        SessionRegistry,
+        StabilityServer,
+        parse_hostport,
+    )
+
+    host, port = parse_hostport(args.tcp)
+    registry = SessionRegistry(
+        state_dir=args.state_dir,
+        seed=args.seed,
+        budget=args.budget,
+        parallel=parallel,
+        max_workers=args.workers,
+    )
+    registry.add_dataset(args.dataset_name, ds, region=region)
+    config = ServerConfig(
+        host=host,
+        port=port,
+        max_inflight=args.max_inflight,
+        max_pending_per_connection=args.max_pending,
+        drain_grace=args.drain_grace,
+        checkpoint_every=args.checkpoint_every,
+        metrics_port=args.metrics_port,
+    )
+    server = StabilityServer(registry, config=config)
+
+    async def serve() -> None:
+        bound_host, bound_port = await server.start()
+        print(
+            json.dumps(
+                {
+                    "serving": f"{bound_host}:{bound_port}",
+                    "dataset": args.dataset_name,
+                    "durable": args.state_dir is not None,
+                    "metrics_port": args.metrics_port,
+                }
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.serve_until_shutdown(install_signal_handlers=True)
+
+    asyncio.run(serve())
+    for entry in server.drain_report:
+        print(json.dumps({"checkpointed": entry}), file=sys.stderr)
     return 0
 
 

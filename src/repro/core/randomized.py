@@ -362,13 +362,54 @@ class GetNextRandomized:
         topping the pool up to ``min_samples`` first so a fresh operator
         can answer immediately.  Accepts a :class:`Ranking`, an id
         sequence, or (for ``kind="topk_set"``) any iterable of ids.
+
+        On a ``kind="full"`` operator a ranking *shorter* than the
+        dataset takes the **prefix fast path**: the estimate is the
+        pool fraction whose induced ranking *begins* with ``ranking``
+        (:meth:`~repro.engine.kernel.RankingTally.prefix_count`).
+        Because a sampled function's ranked top-``len(ranking)`` prefix
+        is by construction the prefix of its full ranking, this is the
+        same quantity a dedicated ``topk_ranked`` operator estimates —
+        answered from the pool already drawn instead of sampling a
+        fresh configuration, which is what makes full-ranking pools
+        useful at large ``n`` where any exact full ranking is
+        vanishingly rare.
         """
         if self.total_samples < min_samples:
             self.observe(min_samples - self.total_samples)
+        if self.total_samples == 0:
+            # Reachable via min_samples<=0 on a fresh operator; reject
+            # as a bad request instead of dividing by the empty pool.
+            raise ValueError(
+                "the sample pool is empty; pass min_samples >= 1 "
+                "(or observe first)"
+            )
         ids = list(ranking)
         if self.kind == "topk_set":
             ids = sorted(ids)
         if len(ids) != self._tally.key_length:
+            if self.kind == "full" and 0 < len(ids) < self._tally.key_length:
+                n_items = self.dataset.n_items
+                bad = [i for i in ids if not 0 <= int(i) < n_items]
+                if bad:
+                    # Validate before byte-packing: numpy >= 2 raises
+                    # OverflowError on out-of-dtype ids, which serving
+                    # surfaces would misreport as a server bug.
+                    raise ValueError(
+                        f"prefix ids must be in [0, {n_items}), got {bad}"
+                    )
+                count = self._tally.prefix_count(ids)
+                stability = count / self.total_samples
+                return StabilityResult(
+                    ranking=Ranking(ids, n_items=self.dataset.n_items),
+                    stability=stability,
+                    confidence_error=confidence_error(
+                        stability,
+                        self.total_samples,
+                        confidence=self.confidence,
+                    ),
+                    sample_count=count,
+                )
             raise ValueError(
                 f"expected a ranking of {self._tally.key_length} items, "
                 f"got {len(ids)}"

@@ -433,6 +433,44 @@ class RankingTally:
             )
         ]
 
+    def pack_prefix(self, ids) -> bytes:
+        """Byte-pack a ranking *prefix* (``1 <= len(ids) <= key_length``).
+
+        The packed bytes are exactly the leading bytes of any full key
+        sharing the prefix, so prefix membership is one ``startswith``
+        per key — no unpacking.
+        """
+        ids = list(ids)
+        if not 1 <= len(ids) <= self.key_length:
+            raise ValueError(
+                f"prefix length must be in [1, {self.key_length}], "
+                f"got {len(ids)}"
+            )
+        # Delegate to pack_rows so prefix bytes can never drift from
+        # the packing that produced the stored keys.
+        row = np.asarray(ids, dtype=self.dtype)[None, :]
+        return pack_rows(row, self.dtype)[0].tobytes()
+
+    def prefix_count(self, ids) -> int:
+        """Total observations whose key starts with the identifiers ``ids``.
+
+        For a full-ranking tally this is the number of sampled functions
+        whose induced ranking *begins* with ``ids`` — i.e. the sample
+        count of the ranked prefix — summed over every observed
+        completion, so the prefix never needs to be re-sampled under a
+        dedicated top-k configuration.  A full-length ``ids`` degrades
+        to :meth:`count_of`.  Cost is one bytes-prefix comparison per
+        distinct observed key.
+        """
+        prefix = self.pack_prefix(ids)
+        if len(ids) == self.key_length:
+            return self.counts.get(prefix, 0)
+        return sum(
+            count
+            for key, count in self.counts.items()
+            if key.startswith(prefix)
+        )
+
     def best_unreturned(self) -> bytes | None:
         """The not-yet-returned key with the highest count, or ``None``."""
         heap = self._heap

@@ -1,0 +1,51 @@
+"""repro.server — the async multi-client network front-end.
+
+The service tier (:mod:`repro.service`) made stability queries cheap to
+*repeat*; this package makes the warm state those queries accumulate
+reachable by more than one process: an asyncio TCP server speaking the
+same JSON-lines protocol as ``cli.py serve`` on stdio, with a shared
+session registry, admission control, metrics, and checkpointed rolling
+restarts.
+
+- :mod:`repro.server.protocol` — versioned framing, structured error
+  codes, and the one dispatch function every transport shares;
+- :mod:`repro.server.registry` — named-dataset session registry with
+  async read/write locks, restore-on-start, LRU eviction via
+  checkpoint;
+- :mod:`repro.server.app` — the TCP server: backpressure, load
+  shedding, graceful drain;
+- :mod:`repro.server.metrics` — counters and latency histograms
+  (``stats`` op + text endpoint);
+- :mod:`repro.server.client` — a blocking client for tests,
+  benchmarks, and scripts.
+"""
+
+from repro.server.app import (
+    ServerConfig,
+    ServerHandle,
+    StabilityServer,
+    serve_in_thread,
+)
+from repro.server.client import ServeClient, ServerClosedError, parse_hostport
+from repro.server.metrics import ServerMetrics
+from repro.server.registry import (
+    AsyncRWLock,
+    ManagedSession,
+    SessionRegistry,
+    snapshot_path_for,
+)
+
+__all__ = [
+    "AsyncRWLock",
+    "ManagedSession",
+    "ServeClient",
+    "ServerClosedError",
+    "ServerConfig",
+    "ServerHandle",
+    "ServerMetrics",
+    "SessionRegistry",
+    "StabilityServer",
+    "parse_hostport",
+    "serve_in_thread",
+    "snapshot_path_for",
+]

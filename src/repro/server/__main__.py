@@ -1,0 +1,8 @@
+"""``python -m repro.server HOST:PORT ['{"op": ...}' ...]`` — the CLI client."""
+
+import sys
+
+from repro.server.client import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,665 @@
+"""The asyncio TCP front-end: many clients, one warm serving state.
+
+:class:`StabilityServer` frames the JSON-lines protocol over TCP and
+executes requests against a shared :class:`~repro.server.registry.
+SessionRegistry`.  Design points, in the order they matter:
+
+**Concurrency.** Requests run on the event loop's default executor so
+the loop never blocks on engine work; per-session read/write locks let
+warm idempotent queries interleave while pool growth serializes (see
+:mod:`repro.server.registry`).  Responses on one connection are written
+in request order, so pipelining clients need no correlation ids (though
+``"id"`` echoing is supported).
+
+**Backpressure, not buffering.** Each connection stops *reading* once
+``max_pending_per_connection`` requests are in flight — TCP's flow
+control then pushes back on the client.  A global ``max_inflight``
+admission cap protects the executor: requests beyond it are answered
+immediately with ``{"error": {"code": "busy"}}`` (load shedding) rather
+than queued without bound.
+
+**Graceful drain.** SIGTERM (or the ``shutdown`` op, or
+:meth:`StabilityServer.request_shutdown`) stops accepting connections,
+lets in-flight requests finish within ``drain_grace`` seconds,
+checkpoints every dirty session to the state dir, then exits.  Paired
+with restore-on-start this makes rolling restarts cheap: the next
+process answers its first query from the warm pools the last one saved.
+
+**Observability.** Every request lands in
+:class:`~repro.server.metrics.ServerMetrics` (counters + latency
+histograms), surfaced via the ``stats`` op and an optional plain-text
+HTTP ``--metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+from dataclasses import dataclass
+
+from repro.server import protocol
+from repro.server.metrics import ServerMetrics
+from repro.server.registry import SessionRegistry
+
+__all__ = ["ServerConfig", "StabilityServer", "ServerHandle", "serve_in_thread"]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`StabilityServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port (tests/benchmarks)
+    #: Largest accepted request frame; longer lines are answered with
+    #: ``line_too_long`` and discarded without dropping the connection.
+    max_line_bytes: int = protocol.MAX_LINE_BYTES
+    #: Global admission cap: requests in flight beyond this are shed
+    #: with ``busy`` instead of queued.
+    max_inflight: int = 64
+    #: Per-connection pipelining depth: the reader stops pulling lines
+    #: once this many requests from one connection are in flight.
+    max_pending_per_connection: int = 8
+    #: Seconds the drain waits for in-flight requests before giving up.
+    drain_grace: float = 30.0
+    #: Checkpoint a session after this many write-ish requests on it
+    #: (0: only at drain/eviction or via the ``checkpoint`` op).
+    checkpoint_every: int = 0
+    #: Optional plain-text metrics endpoint (HTTP GET, any path).
+    metrics_port: int | None = None
+    #: Restore existing snapshots *before* binding the listen socket,
+    #: so a rolling restart never serves its replay latency to a
+    #: client (the first answer is a cache hit, not a restore).
+    prewarm: bool = True
+
+    def __post_init__(self):
+        # 0 is not a "disabled" sentinel for the admission knobs — a
+        # zero-wide semaphore would silently hang every connection.
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_pending_per_connection < 1:
+            raise ValueError(
+                "max_pending_per_connection must be >= 1, got "
+                f"{self.max_pending_per_connection}"
+            )
+        if self.max_line_bytes < 2:
+            raise ValueError(
+                f"max_line_bytes must be >= 2, got {self.max_line_bytes}"
+            )
+        if self.drain_grace < 0:
+            raise ValueError(
+                f"drain_grace must be >= 0, got {self.drain_grace}"
+            )
+
+
+class StabilityServer:
+    """Asyncio TCP/JSON-lines server over a session registry."""
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        *,
+        config: ServerConfig | None = None,
+        metrics: ServerMetrics | None = None,
+    ):
+        self.registry = registry
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._server: asyncio.Server | None = None
+        self._metrics_server: asyncio.Server | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._inflight = 0
+        self._draining = False
+        self._conn_tasks: set[asyncio.Task] = set()
+        self.drain_report: list[dict] = []
+        self.prewarmed: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> tuple[str, int]:
+        """Prewarm, bind, and start accepting; returns the bound address."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self.registry.on_evict = self.metrics.evicted
+        if self.config.prewarm:
+            self.prewarmed = await self.registry.prewarm()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            # readuntil() must be able to hold one maximal line plus
+            # its newline before declaring overrun.
+            limit=self.config.max_line_bytes + 2,
+        )
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics_connection,
+                self.config.host,
+                self.config.metrics_port,
+            )
+        return self.address
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (thread-safe, idempotent)."""
+        if self._loop is None or self._shutdown_event is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown_event.set)
+
+    async def serve_until_shutdown(
+        self, *, install_signal_handlers: bool = False
+    ) -> None:
+        """Serve until a shutdown is requested, then drain and return.
+
+        With ``install_signal_handlers`` SIGTERM/SIGINT trigger the
+        drain (the production entrypoint); tests and embedded servers
+        call :meth:`request_shutdown` instead.
+        """
+        if self._server is None:
+            await self.start()
+        installed: list[signal.Signals] = []
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(sig, self.request_shutdown)
+                    installed.append(sig)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            for sig in installed:
+                self._loop.remove_signal_handler(sig)
+        await self._drain()
+
+    async def _drain(self) -> None:
+        """Stop accepting, finish in-flight work, checkpoint, release."""
+        self._draining = True
+        self._server.close()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+        deadline = self._loop.time() + self.config.drain_grace
+        while self._inflight > 0 and self._loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        # Connections idling in a read are woken so their queued
+        # responses flush and their sockets close cleanly.  This must
+        # happen *before* wait_closed(): since Python 3.12.1,
+        # Server.wait_closed blocks until every client connection is
+        # gone — and an idle keep-alive handler parked in readuntil()
+        # only exits when cancelled here.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        with contextlib.suppress(Exception):
+            await self._server.wait_closed()
+        if self._metrics_server is not None:
+            with contextlib.suppress(Exception):
+                await self._metrics_server.wait_closed()
+        # Every dirty session reaches disk before the process exits —
+        # the other half of the rolling-restart contract.  Checkpoints
+        # run under each session's write lock (bounded by the grace),
+        # so a request that outlived the drain window can never tear a
+        # snapshot mid-observe; it loses durability, not integrity.
+        self.drain_report = await self.registry.close(
+            grace=self.config.drain_grace
+        )
+        for entry in self.drain_report:
+            self.metrics.checkpointed(failed="error" in entry)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes | None:
+        """One newline-terminated frame; ``None`` on EOF.
+
+        An oversized frame is *discarded through its newline* and
+        reported as :class:`~repro.server.protocol.RequestError`
+        (``line_too_long``) — the connection survives, and the next
+        line parses normally.
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            return exc.partial or None  # EOF; a final unterminated line
+        except asyncio.LimitOverrunError as exc:
+            # Discard through the oversized line's newline: drop the
+            # buffered prefix, then keep reading (and dropping) until
+            # readuntil finds the terminator — it stops exactly after
+            # the newline, so the next frame is preserved intact.
+            await reader.read(exc.consumed)
+            while True:
+                try:
+                    await reader.readuntil(b"\n")
+                    break  # the tail of the oversized line, discarded
+                except asyncio.LimitOverrunError as more:
+                    await reader.read(more.consumed)
+                except asyncio.IncompleteReadError:
+                    break  # EOF arrived mid-line
+            raise protocol.RequestError(
+                "line_too_long",
+                f"request line exceeded {self.config.max_line_bytes} bytes",
+            ) from None
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connection_opened()
+        self._conn_tasks.add(asyncio.current_task())
+        # Bounded: when the client stops reading responses, puts block
+        # and the read loop stops pulling lines — backpressure covers
+        # protocol-error and busy responses too, not just admitted work.
+        queue: asyncio.Queue = asyncio.Queue(
+            maxsize=max(2 * self.config.max_pending_per_connection, 8)
+        )
+        sender = asyncio.create_task(self._send_loop(queue, writer))
+        pending = asyncio.Semaphore(self.config.max_pending_per_connection)
+        try:
+            while not self._draining:
+                try:
+                    raw = await self._read_line(reader)
+                except protocol.RequestError as exc:
+                    self.metrics.observe_error(exc.code)
+                    if not await self._enqueue(
+                        queue,
+                        sender,
+                        protocol.error_payload(exc.code, exc.message),
+                    ):
+                        break
+                    continue
+                if raw is None:
+                    break
+                self.metrics.add_bytes(received=len(raw))
+                if not raw.strip():
+                    continue
+                try:
+                    payload = protocol.parse_request(
+                        raw, max_bytes=self.config.max_line_bytes
+                    )
+                except protocol.RequestError as exc:
+                    self.metrics.observe_error(exc.code)
+                    if not await self._enqueue(
+                        queue,
+                        sender,
+                        protocol.error_payload(
+                            exc.code, exc.message, request_id=exc.request_id
+                        ),
+                    ):
+                        break
+                    continue
+                if payload.get("op") == "shutdown":
+                    # Framing-layer op (it ends this read loop), but
+                    # the response comes from the shared dispatcher so
+                    # TCP and stdio can never drift.
+                    handled = protocol.dispatch(None, None, payload)
+                    self.metrics.observe_request("shutdown", 0.0)
+                    await self._enqueue(queue, sender, handled.response)
+                    self.request_shutdown()
+                    break
+                # Per-connection backpressure: stop reading this socket
+                # until one of its in-flight requests completes.
+                await pending.acquire()
+                if self._draining:
+                    pending.release()
+                    self.metrics.refused_draining()
+                    await self._enqueue(
+                        queue,
+                        sender,
+                        protocol.error_payload(
+                            "shutting_down",
+                            "server is draining; no new work accepted",
+                            request_id=payload.get("id"),
+                        ),
+                    )
+                    break
+                if self._inflight >= self.config.max_inflight:
+                    pending.release()
+                    self.metrics.shed()
+                    if not await self._enqueue(
+                        queue,
+                        sender,
+                        protocol.error_payload(
+                            "busy",
+                            f"{self._inflight} requests in flight (limit "
+                            f"{self.config.max_inflight}); retry later",
+                            request_id=payload.get("id"),
+                        ),
+                    ):
+                        break
+                    continue
+                self._inflight += 1
+                task = asyncio.create_task(self._process(payload))
+                task.add_done_callback(
+                    lambda _t, sem=pending: (
+                        sem.release(),
+                        self._request_done(),
+                    )
+                )
+                if not await self._enqueue(queue, sender, task):
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            # The task may arrive here cancelled (drain); the remaining
+            # awaits must not re-raise out of the protocol callback.
+            # The sender gets a bounded grace to flush queued responses
+            # (a non-reading client must not park the drain forever).
+            with contextlib.suppress(asyncio.QueueFull):
+                queue.put_nowait(None)
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await asyncio.wait_for(
+                    asyncio.shield(sender), timeout=self.config.drain_grace
+                )
+            if not sender.done():
+                sender.cancel()
+                with contextlib.suppress(Exception, asyncio.CancelledError):
+                    await sender
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+            self._conn_tasks.discard(asyncio.current_task())
+            self.metrics.connection_closed()
+
+    def _request_done(self) -> None:
+        self._inflight -= 1
+
+    @staticmethod
+    async def _enqueue(queue: asyncio.Queue, sender: asyncio.Task, item) -> bool:
+        """Queue a response unless the sender is gone.
+
+        The queue is bounded (that is the backpressure), so a put can
+        block — but once the sender exits (client disconnected while
+        responses were still queued) nothing will ever drain it, and a
+        blocked put would park the read loop forever, leaking the
+        handler.  Racing the put against the sender's own completion
+        turns that into a clean connection teardown.
+        """
+        if sender.done():
+            return False
+        put = asyncio.ensure_future(queue.put(item))
+        done, _ = await asyncio.wait(
+            {put, sender}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if put in done:
+            return True
+        put.cancel()
+        return False
+
+    async def _send_loop(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        """Write responses in request order (pipelining stays ordered)."""
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            if isinstance(item, dict):
+                response = item
+            else:
+                try:
+                    response = await item
+                except Exception as exc:  # a _process bug, not a request bug
+                    response = protocol.error_payload(
+                        *protocol.classify_exception(exc)
+                    )
+            data = json.dumps(response).encode() + b"\n"
+            self.metrics.add_bytes(sent=len(data))
+            try:
+                writer.write(data)
+                await writer.drain()
+            except ConnectionError:
+                return
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+    async def _process(self, payload: dict) -> dict:
+        op = payload.get("op", "<invalid>")
+        start = self._loop.time()
+        try:
+            response = await self._execute(payload)
+        except protocol.RequestError as exc:
+            response = protocol.error_payload(
+                exc.code, exc.message, request_id=payload.get("id")
+            )
+        except Exception as exc:
+            response = protocol.error_payload(
+                *protocol.classify_exception(exc),
+                request_id=payload.get("id"),
+            )
+        error = response.get("error") if isinstance(response, dict) else None
+        self.metrics.observe_request(
+            op,
+            self._loop.time() - start,
+            error_code=error.get("code") if error else None,
+        )
+        return response
+
+    async def _execute(self, payload: dict) -> dict:
+        op = payload["op"]
+        # Session-less control ops share the stdio dispatcher directly.
+        if op == "ping":
+            return protocol.dispatch(None, None, payload).response
+        if op == "hello":
+            handled = protocol.dispatch(
+                None, None, payload, hello_extra=self._hello_extra()
+            )
+            return handled.response
+        try:
+            managed = await self.registry.get(payload.get("dataset"))
+        except KeyError as exc:
+            raise protocol.RequestError(
+                "unknown_dataset",
+                f"unknown dataset {exc.args[0]!r}; "
+                f"registered: {', '.join(self.registry.names())}",
+            ) from None
+        # Pin across the whole request: between registry.get and the
+        # lock acquisition the session looks idle, and LRU eviction
+        # must not close it out from under us.
+        managed.pins += 1
+        try:
+            if op == "checkpoint":
+                # Exclusive: a snapshot never interleaves with growth.
+                async with managed.lock.write():
+                    handled = await self._dispatch_in_executor(
+                        managed, payload
+                    )
+                return handled.response
+            write = protocol.needs_write(managed.session, payload)
+            while True:
+                if write:
+                    async with managed.lock.write():
+                        handled = await self._dispatch_in_executor(
+                            managed, payload
+                        )
+                        if handled.mutated:
+                            managed.mark_dirty()
+                    break
+                async with managed.lock.read():
+                    # The pre-lock classification can be invalidated by
+                    # an interleaved writer (an invalidate dropping the
+                    # pool we judged warm); re-check now that mutators
+                    # are excluded, and escalate if it flipped.
+                    if protocol.needs_write(managed.session, payload):
+                        write = True
+                        continue
+                    handled = await self._dispatch_in_executor(managed, payload)
+                    if handled.mutated:
+                        # A read-classified request can still fill the
+                        # result cache, which snapshots persist.
+                        managed.mark_dirty()
+                break
+            # Both branches can dirty the session; the cadence check
+            # takes the write lock itself when a checkpoint is due.
+            await self._maybe_auto_checkpoint(managed)
+        finally:
+            managed.pins -= 1
+        return handled.response
+
+    async def _dispatch_in_executor(self, managed, payload) -> protocol.Handled:
+        def stats_extra() -> dict:
+            # Built only when dispatch actually serves a stats op —
+            # the warm cache-hit path must not pay two registry walks
+            # and a metrics snapshot per request.
+            return {
+                "server": {
+                    "metrics": self.metrics.snapshot(),
+                    "registry": self.registry.stats(),
+                    "inflight": self._inflight,
+                    "draining": self._draining,
+                }
+            }
+
+        return await self._loop.run_in_executor(
+            None,
+            lambda: protocol.dispatch(
+                managed.session,
+                managed.dataset,
+                payload,
+                checkpoint=(
+                    managed.checkpoint
+                    if managed.state_path is not None
+                    else None
+                ),
+                stats_extra=stats_extra,
+                allow_shutdown=False,  # handled at the framing layer
+            ),
+        )
+
+    async def _maybe_auto_checkpoint(self, managed) -> None:
+        every = self.config.checkpoint_every
+        if (
+            every <= 0
+            or managed.state_path is None
+            or managed.dirty < every
+        ):
+            return
+        async with managed.lock.write():
+            if managed.dirty < every:
+                return  # another writer checkpointed meanwhile
+            try:
+                await self._loop.run_in_executor(None, managed.checkpoint)
+            except Exception:
+                # Durability best-effort mid-flight; the drain retries.
+                self.metrics.checkpointed(failed=True)
+            else:
+                self.metrics.checkpointed()
+
+    def _hello_extra(self) -> dict:
+        return protocol.hello_fields(
+            transport="tcp",
+            datasets=list(self.registry.names()),
+            default_dataset=self.registry.default_name,
+            durable=self.registry.state_dir is not None,
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics endpoint
+    # ------------------------------------------------------------------
+    async def _on_metrics_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.0 responder: any request gets the metrics text."""
+        with contextlib.suppress(Exception):
+            await asyncio.wait_for(reader.readline(), timeout=5.0)
+        body = self.metrics.render_text().encode()
+        writer.write(
+            b"HTTP/1.0 200 OK\r\n"
+            b"Content-Type: text/plain; version=0.0.4\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + body
+        )
+        with contextlib.suppress(Exception):
+            await writer.drain()
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+# ----------------------------------------------------------------------
+# Embedding helper (tests, benchmarks, notebooks)
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A server running on a daemon thread with its own event loop."""
+
+    def __init__(self, server: StabilityServer, thread: threading.Thread,
+                 address: tuple[str, int]):
+        self.server = server
+        self.thread = thread
+        self.address = address
+
+    @property
+    def host(self) -> str:
+        return self.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def stop(self, timeout: float = 30.0) -> list[dict]:
+        """Drain gracefully and join the serving thread."""
+        self.server.request_shutdown()
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise TimeoutError("server thread did not drain in time")
+        return self.server.drain_report
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.thread.is_alive():
+            self.stop()
+
+
+def serve_in_thread(
+    registry: SessionRegistry,
+    *,
+    config: ServerConfig | None = None,
+    metrics: ServerMetrics | None = None,
+    start_timeout: float = 30.0,
+) -> ServerHandle:
+    """Start a :class:`StabilityServer` on a background thread.
+
+    The embedding entrypoint for tests and benchmarks: the caller gets
+    the bound address immediately and a handle whose :meth:`~ServerHandle.
+    stop` performs the full graceful drain (checkpoint included).
+    """
+    server = StabilityServer(registry, config=config, metrics=metrics)
+    started = threading.Event()
+    box: dict = {}
+
+    def runner():
+        async def main():
+            try:
+                box["address"] = await server.start()
+            except Exception as exc:
+                box["error"] = exc
+                started.set()
+                return
+            started.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(
+        target=runner, name="repro-server", daemon=True
+    )
+    thread.start()
+    if not started.wait(start_timeout):
+        raise TimeoutError("server did not start in time")
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(server, thread, box["address"])

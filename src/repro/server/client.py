@@ -1,0 +1,189 @@
+"""A blocking JSON-lines client for the TCP server.
+
+Deliberately dependency-free and synchronous: benchmarks drive it from
+plain threads, tests from pytest functions, and operators from one-off
+scripts (``python -m repro.server.client HOST:PORT '{"op": "ping"}'``).
+
+>>> from repro.server.client import ServeClient     # doctest: +SKIP
+>>> with ServeClient("127.0.0.1:7701") as client:   # doctest: +SKIP
+...     client.hello()["protocol"]
+...     client.top_stable(3, kind="topk_set", k=10, budget=5000)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import time
+
+__all__ = ["ServeClient", "ServerClosedError", "parse_hostport"]
+
+
+class ServerClosedError(ConnectionError):
+    """The server closed the connection before answering."""
+
+
+def parse_hostport(text: str, *, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """``"HOST:PORT"`` / ``":PORT"`` / ``"PORT"`` -> ``(host, port)``."""
+    text = str(text).strip()
+    if ":" in text:
+        host, _, port = text.rpartition(":")
+        host = host or default_host
+    else:
+        host, port = default_host, text
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"expected HOST:PORT, :PORT or PORT, got {text!r}"
+        ) from None
+
+
+class ServeClient:
+    """One blocking connection speaking the JSON-lines protocol.
+
+    Parameters
+    ----------
+    address:
+        ``"HOST:PORT"`` (or ``(host, port)`` via ``host=``/``port=``).
+    timeout:
+        Per-response socket timeout in seconds.
+    connect_retries, retry_delay:
+        Connection attempts before giving up — a client racing a
+        freshly exec'd server (the CI smoke job, rolling restarts)
+        retries instead of failing on the first ECONNREFUSED.
+    """
+
+    def __init__(
+        self,
+        address: str | None = None,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float = 120.0,
+        connect_retries: int = 40,
+        retry_delay: float = 0.25,
+    ):
+        if address is not None:
+            host, port = parse_hostport(address)
+        if host is None or port is None:
+            raise ValueError("give address='HOST:PORT' or host= and port=")
+        self.host, self.port = host, int(port)
+        last_error: Exception | None = None
+        attempts = max(1, connect_retries)
+        for attempt in range(attempts):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=timeout
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+                if attempt + 1 < attempts:  # no dead wait after the last try
+                    time.sleep(retry_delay)
+        else:
+            raise ConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {last_error}"
+            )
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request object, block for its response object."""
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServerClosedError(
+                f"{self.host}:{self.port} closed the connection"
+            )
+        return json.loads(line)
+
+    def request_raw(self, line: bytes) -> dict:
+        """Send pre-framed bytes verbatim (protocol tests send garbage)."""
+        self._file.write(line)
+        self._file.flush()
+        response = self._file.readline()
+        if not response:
+            raise ServerClosedError(
+                f"{self.host}:{self.port} closed the connection"
+            )
+        return json.loads(response)
+
+    # -- control ops ---------------------------------------------------
+    def hello(self) -> dict:
+        return self.request({"op": "hello"})
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self, **fields) -> dict:
+        return self.request({"op": "stats", **fields})
+
+    def invalidate(self, **fields) -> dict:
+        return self.request({"op": "invalidate", **fields})
+
+    def checkpoint(self, **fields) -> dict:
+        return self.request({"op": "checkpoint", **fields})
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and exit (responds before draining)."""
+        return self.request({"op": "shutdown"})
+
+    # -- query ops -----------------------------------------------------
+    def get_next(self, **fields) -> dict:
+        return self.request({"op": "get_next", **fields})
+
+    def top_stable(self, m: int, **fields) -> dict:
+        return self.request({"op": "top_stable", "m": m, **fields})
+
+    def stability_of(self, ranking, **fields) -> dict:
+        return self.request(
+            {"op": "stability_of", "ranking": list(ranking), **fields}
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ServeClient({self.host}:{self.port})"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.server.client HOST:PORT ['{"op": ...}' ...]``.
+
+    With no request arguments, sends ``hello``.  Each response prints
+    as one JSON line; the exit code is 0 iff every response was ok.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(
+            'usage: python -m repro.server.client HOST:PORT [\'{"op": ...}\' ...]',
+            file=sys.stderr,
+        )
+        return 2
+    address, *raw_requests = argv
+    requests = [json.loads(raw) for raw in raw_requests] or [{"op": "hello"}]
+    all_ok = True
+    with ServeClient(address) as client:
+        for request in requests:
+            response = client.request(request)
+            all_ok = all_ok and bool(response.get("ok"))
+            print(json.dumps(response))
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

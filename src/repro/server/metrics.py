@@ -1,0 +1,227 @@
+"""Serving metrics: counters and latency histograms, no dependencies.
+
+The server records every request (op, latency, error code), connection
+lifecycle events, shed load, and checkpoints into one
+:class:`ServerMetrics` object.  Two read surfaces exist:
+
+- :meth:`ServerMetrics.snapshot` — a JSON-safe dict served by the
+  ``{"op": "stats"}`` protocol op;
+- :meth:`ServerMetrics.render_text` — a Prometheus-style text exposition
+  served by the optional ``--metrics-port`` HTTP endpoint, so a scrape
+  target needs nothing beyond the standard library.
+
+All methods are thread-safe: request handlers run on executor threads
+while the event loop reads snapshots concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+
+__all__ = ["LatencyHistogram", "ServerMetrics"]
+
+#: Upper bucket bounds in seconds (log-spaced, 100 us .. 10 s); the
+#: final implicit bucket is +Inf.
+LATENCY_BOUNDS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with cumulative Prometheus counts."""
+
+    __slots__ = ("bounds", "buckets", "count", "sum")
+
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BOUNDS):
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)  # last bucket is +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.buckets[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum += seconds
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding it."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum_seconds": round(self.sum, 6),
+            "mean_seconds": round(self.sum / self.count, 6) if self.count else 0.0,
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+        }
+
+
+class ServerMetrics:
+    """Counters + per-op latency histograms for one server process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests_total: dict[str, int] = {}
+        self.errors_total: dict[str, int] = {}
+        self.latency: dict[str, LatencyHistogram] = {}
+        self.connections_opened = 0
+        self.connections_active = 0
+        self.busy_shed_total = 0
+        self.shutting_down_total = 0
+        self.checkpoints_total = 0
+        self.checkpoint_failures_total = 0
+        self.evictions_total = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    # ------------------------------------------------------------------
+    def observe_request(
+        self, op: str, seconds: float, *, error_code: str | None = None
+    ) -> None:
+        """Record one handled request (op label, latency, optional error)."""
+        op = op if isinstance(op, str) and op else "<invalid>"
+        with self._lock:
+            self.requests_total[op] = self.requests_total.get(op, 0) + 1
+            hist = self.latency.get(op)
+            if hist is None:
+                hist = self.latency[op] = LatencyHistogram()
+            hist.observe(seconds)
+            if error_code is not None:
+                self.errors_total[error_code] = (
+                    self.errors_total.get(error_code, 0) + 1
+                )
+
+    def observe_error(self, error_code: str) -> None:
+        """Record a protocol-level error that never reached a handler."""
+        with self._lock:
+            self.errors_total[error_code] = (
+                self.errors_total.get(error_code, 0) + 1
+            )
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_opened += 1
+            self.connections_active += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.connections_active -= 1
+
+    def shed(self) -> None:
+        with self._lock:
+            self.busy_shed_total += 1
+            self.errors_total["busy"] = self.errors_total.get("busy", 0) + 1
+
+    def refused_draining(self) -> None:
+        with self._lock:
+            self.shutting_down_total += 1
+
+    def checkpointed(self, *, failed: bool = False) -> None:
+        with self._lock:
+            if failed:
+                self.checkpoint_failures_total += 1
+            else:
+                self.checkpoints_total += 1
+
+    def evicted(self) -> None:
+        with self._lock:
+            self.evictions_total += 1
+
+    def add_bytes(self, *, received: int = 0, sent: int = 0) -> None:
+        with self._lock:
+            self.bytes_in += received
+            self.bytes_out += sent
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe metrics for the ``stats`` op."""
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "requests_total": dict(self.requests_total),
+                "errors_total": dict(self.errors_total),
+                "latency": {
+                    op: hist.snapshot() for op, hist in self.latency.items()
+                },
+                "connections": {
+                    "opened": self.connections_opened,
+                    "active": self.connections_active,
+                },
+                "busy_shed_total": self.busy_shed_total,
+                "shutting_down_total": self.shutting_down_total,
+                "checkpoints_total": self.checkpoints_total,
+                "checkpoint_failures_total": self.checkpoint_failures_total,
+                "evictions_total": self.evictions_total,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+            }
+
+    def render_text(self) -> str:
+        """Prometheus text exposition (``# TYPE`` lines + samples)."""
+        with self._lock:
+            lines = [
+                "# TYPE repro_server_uptime_seconds gauge",
+                f"repro_server_uptime_seconds {time.time() - self.started_at:.3f}",
+                "# TYPE repro_server_connections_active gauge",
+                f"repro_server_connections_active {self.connections_active}",
+                "# TYPE repro_server_connections_opened_total counter",
+                f"repro_server_connections_opened_total {self.connections_opened}",
+                "# TYPE repro_server_busy_shed_total counter",
+                f"repro_server_busy_shed_total {self.busy_shed_total}",
+                "# TYPE repro_server_checkpoints_total counter",
+                f"repro_server_checkpoints_total {self.checkpoints_total}",
+                "# TYPE repro_server_evictions_total counter",
+                f"repro_server_evictions_total {self.evictions_total}",
+                "# TYPE repro_server_bytes_total counter",
+                f'repro_server_bytes_total{{direction="in"}} {self.bytes_in}',
+                f'repro_server_bytes_total{{direction="out"}} {self.bytes_out}',
+                "# TYPE repro_server_requests_total counter",
+            ]
+            for op in sorted(self.requests_total):
+                lines.append(
+                    f'repro_server_requests_total{{op="{op}"}} '
+                    f"{self.requests_total[op]}"
+                )
+            lines.append("# TYPE repro_server_errors_total counter")
+            for code in sorted(self.errors_total):
+                lines.append(
+                    f'repro_server_errors_total{{code="{code}"}} '
+                    f"{self.errors_total[code]}"
+                )
+            lines.append("# TYPE repro_server_request_seconds histogram")
+            for op in sorted(self.latency):
+                hist = self.latency[op]
+                cumulative = 0
+                for bound, n in zip(hist.bounds, hist.buckets):
+                    cumulative += n
+                    lines.append(
+                        f'repro_server_request_seconds_bucket{{op="{op}",'
+                        f'le="{bound}"}} {cumulative}'
+                    )
+                lines.append(
+                    f'repro_server_request_seconds_bucket{{op="{op}",'
+                    f'le="+Inf"}} {hist.count}'
+                )
+                lines.append(
+                    f'repro_server_request_seconds_sum{{op="{op}"}} '
+                    f"{hist.sum:.6f}"
+                )
+                lines.append(
+                    f'repro_server_request_seconds_count{{op="{op}"}} '
+                    f"{hist.count}"
+                )
+            return "\n".join(lines) + "\n"

@@ -124,7 +124,14 @@ class BatchPlanner:
         targets: dict[tuple, int] = {}
         for request in requests:
             try:
-                state = session._state(request.kind, request.k, request.backend)
+                state = session._state(
+                    request.kind,
+                    request.k,
+                    session.query_backend(
+                        request.op, request.kind, request.backend,
+                        request.ranking,
+                    ),
+                )
             except Exception:
                 # Invalid configuration (bad k, kind/backend mismatch...):
                 # skip it here — execute() retries the request inside its

@@ -41,6 +41,7 @@ sampling pass instead of one per request.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -158,12 +159,24 @@ class StabilitySession:
         self._states: dict[tuple, _ConfigState] = {}
         self._skyband: KSkybandIndex | None = None
         self._executor: ThreadPoolExecutor | None = None
-        #: Whether the most recent top_stable/stability_of call on this
-        #: session answered from the result cache (always False for
-        #: get_next).  Batch execution reports it per outcome; a diff
-        #: of the shared cache's global hit counter would misattribute
-        #: hits made concurrently by other sessions.
-        self.last_query_cached = False
+        self._local = threading.local()
+
+    @property
+    def last_query_cached(self) -> bool:
+        """Whether this thread's most recent top_stable/stability_of
+        call answered from the result cache (always False for
+        get_next).  Batch execution reports it per outcome; a diff of
+        the shared cache's global hit counter would misattribute hits
+        made concurrently by other sessions.  Thread-local, because
+        the TCP server interleaves read-locked queries from several
+        executor threads over one session — a shared flag would let
+        thread A's cache hit masquerade as thread B's.
+        """
+        return getattr(self._local, "cached", False)
+
+    @last_query_cached.setter
+    def last_query_cached(self, value: bool) -> None:
+        self._local.cached = bool(value)
 
     # ------------------------------------------------------------------
     # Identity & lifecycle
@@ -315,6 +328,72 @@ class StabilitySession:
     ) -> StabilityEngine:
         """The session's shared engine for one query configuration."""
         return self._state(kind, k, backend).engine
+
+    def query_backend(
+        self,
+        op: str,
+        kind: RankingKind,
+        backend: str,
+        ranking=None,
+    ) -> str:
+        """The backend one request dispatches to, before resolution.
+
+        Normally the request's own ``backend``; the one special rule is
+        the ranked-prefix fast path: a ``stability_of`` over a
+        ``kind="full"`` ranking *shorter* than the dataset can only be
+        answered by the randomized pool (prefix counting), so under
+        ``backend="auto"`` it pins ``"randomized"``.  The batch
+        planner and the server's read/write classifier share this rule
+        — a prefix query must plan, lock, and execute against the same
+        configuration.
+        """
+        if (
+            op == "stability_of"
+            and kind == "full"
+            and backend == "auto"
+            and ranking is not None
+            and 0 < len(tuple(ranking)) < self.dataset.n_items
+        ):
+            return "randomized"
+        return backend
+
+    def query_is_warm_read(
+        self,
+        op: str,
+        *,
+        kind: RankingKind = "full",
+        k: int | None = None,
+        backend: str = "auto",
+        ranking=None,
+        m: int = 1,
+        budget: int | None = None,
+        min_samples: int | None = None,
+    ) -> bool:
+        """Whether answering this query provably cannot mutate session
+        state: an idempotent op over an already-materialised randomized
+        configuration whose pool has reached the query's target.
+
+        The concurrency contract a serving tier builds on: warm reads
+        touch only the cumulative pool (non-consuming) and the
+        thread-safe result cache, so any number may run concurrently;
+        everything else — missing configurations, exact-backend
+        enumeration, pool growth, ``get_next`` cursors — must
+        serialize.  The classification is conservative by construction:
+        a query this method rejects merely runs exclusively; accepting
+        a mutator would be a data race, so anything unknown is not a
+        warm read.
+        """
+        if op not in ("top_stable", "stability_of"):
+            return False
+        backend = self.query_backend(op, kind, backend, ranking)
+        resolved = self._resolve(kind, backend)
+        state = self._states.get((kind, k, resolved))
+        if state is None or not state.is_randomized:
+            return False
+        target = self.pool_target(
+            op, m=int(m), budget=budget, min_samples=min_samples
+        )
+        return state.engine.backend.raw.total_samples >= int(target)
 
     # ------------------------------------------------------------------
     # Pool management (randomized configurations)
@@ -517,10 +596,18 @@ class StabilitySession:
         Randomized configurations answer from the cumulative pool after
         topping it up to ``min_samples`` (default 5,000); exact ones
         verify directly (sweep interval / arrangement oracle).
+
+        A ``kind="full"`` ranking shorter than the dataset is a *ranked
+        prefix* query: under ``backend="auto"`` it dispatches to the
+        randomized backend, whose cumulative full-ranking pool answers
+        it by prefix counting (see
+        :meth:`repro.core.randomized.GetNextRandomized.stability_of`)
+        — no dedicated top-k pool is sampled.
         """
         ids = tuple(int(i) for i in ranking)
         if kind == "topk_set":
             ids = tuple(sorted(ids))
+        backend = self.query_backend("stability_of", kind, backend, ids)
         state = self._state(kind, k, backend)
         resolved = state.engine.backend_name
         if state.is_randomized:

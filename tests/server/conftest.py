@@ -1,0 +1,12 @@
+"""Fixtures for the network front-end suite (see server_testlib)."""
+
+from __future__ import annotations
+
+import pytest
+
+from server_testlib import make_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_dataset()

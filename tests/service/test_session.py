@@ -260,3 +260,55 @@ class TestCacheKeyPoolDepth:
             # Depth changed: recomputed (no stale hit), more samples.
             assert session.last_query_cached is False
             assert deeper.sample_count >= shallow.sample_count
+
+
+class TestThreadLocalCachedFlag:
+    def test_last_query_cached_is_per_thread(self):
+        """Concurrent read-locked queries must not cross-attribute
+        cache hits: the TCP server reports 'cached' per request from
+        executor threads sharing one session."""
+        import threading
+
+        import numpy as np
+
+        from repro import Dataset, StabilitySession
+
+        dataset = Dataset(np.random.default_rng(31).uniform(size=(50, 3)))
+        with StabilitySession(dataset, seed=32, parallel=False) as session:
+            # Warm the pool and the cache for one query identity.
+            session.top_stable(1, kind="topk_set", k=3,
+                               backend="randomized", budget=200)
+            errors = []
+            ready = threading.Barrier(2)
+
+            def guarded(worker):
+                def run():
+                    try:
+                        ready.wait(timeout=30)
+                        worker()
+                    except BaseException as exc:  # re-raised on the main thread
+                        errors.append(exc)
+                return run
+
+            def hitter():
+                for _ in range(200):
+                    session.top_stable(1, kind="topk_set", k=3,
+                                       backend="randomized", budget=200)
+                    assert session.last_query_cached is True
+
+            def misser():
+                for m in range(2, 202):
+                    # A new m each time: always a cache miss.
+                    session.top_stable(m, kind="topk_set", k=3,
+                                       backend="randomized", budget=200)
+                    assert session.last_query_cached is False
+
+            threads = [threading.Thread(target=guarded(hitter)),
+                       threading.Thread(target=guarded(misser))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors, errors
+            # The main thread never queried: its view stays False.
+            assert session.last_query_cached is False

@@ -510,3 +510,197 @@ class TestSnapshotCommands:
                      "--snapshot", snap, "--inspect"]) == 0
         header = json.loads(capsys.readouterr().out)
         assert header["format_version"] >= 1
+
+
+class TestServeProtocolHardening:
+    """The stdio loop speaks the shared protocol: structured errors,
+    one response per line, and no input can kill it mid-stream."""
+
+    def _serve(self, csv_path, lines, capsys, monkeypatch, extra_args=()):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(
+            line + "\n" for line in lines
+        )))
+        code = main(["serve", csv_path, "--label-column", "name",
+                     *extra_args])
+        return code, [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+
+    def test_malformed_json_is_structured_and_survivable(
+        self, csv_2d, capsys, monkeypatch
+    ):
+        import json
+
+        code, responses = self._serve(
+            csv_2d,
+            ["}{ garbage", json.dumps({"op": "ping"})],
+            capsys,
+            monkeypatch,
+        )
+        assert code == 0
+        assert responses[0]["ok"] is False
+        assert responses[0]["error"]["code"] == "bad_json"
+        assert responses[1] == {"pong": True, "ok": True}
+
+    def test_unknown_op_is_structured_and_survivable(
+        self, csv_2d, capsys, monkeypatch
+    ):
+        import json
+
+        code, responses = self._serve(
+            csv_2d,
+            [json.dumps({"op": "teleport"}),
+             json.dumps({"op": "top_stable", "m": 1})],
+            capsys,
+            monkeypatch,
+        )
+        assert code == 0
+        assert responses[0]["error"]["code"] == "unknown_op"
+        assert responses[1]["ok"] is True
+
+    def test_oversized_line_is_structured_and_survivable(
+        self, csv_2d, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.server.protocol import MAX_LINE_BYTES
+
+        huge = json.dumps({"op": "ping", "pad": "x" * (MAX_LINE_BYTES + 10)})
+        code, responses = self._serve(
+            csv_2d, [huge, json.dumps({"op": "ping"})], capsys, monkeypatch
+        )
+        assert code == 0
+        assert responses[0]["error"]["code"] == "line_too_long"
+        assert responses[1]["pong"] is True
+
+    def test_bad_request_fields_are_structured(
+        self, csv_2d, capsys, monkeypatch
+    ):
+        import json
+
+        code, responses = self._serve(
+            csv_2d,
+            [json.dumps({"op": "top_stable", "m": 1, "teleport": True})],
+            capsys,
+            monkeypatch,
+        )
+        assert code == 0
+        assert responses[0]["error"]["code"] == "bad_request"
+        assert "teleport" in responses[0]["error"]["message"]
+
+    def test_hello_and_ping_on_stdio(self, csv_2d, capsys, monkeypatch):
+        import json
+
+        code, responses = self._serve(
+            csv_2d,
+            [json.dumps({"op": "hello"}), json.dumps({"op": "ping"})],
+            capsys,
+            monkeypatch,
+        )
+        assert code == 0
+        assert responses[0]["transport"] == "stdio"
+        assert responses[0]["protocol"] >= 1
+        assert responses[1]["pong"] is True
+
+    def test_shutdown_op_ends_the_loop_and_checkpoints(
+        self, csv_3d_headerless, tmp_path, capsys, monkeypatch
+    ):
+        import io
+        import json
+
+        state_dir = tmp_path / "states"
+        lines = [
+            json.dumps({"op": "top_stable", "m": 1, "kind": "topk_set",
+                        "k": 3, "backend": "randomized", "budget": 300}),
+            json.dumps({"op": "shutdown"}),
+            json.dumps({"op": "ping"}),  # never reached
+        ]
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(line + "\n" for line in lines))
+        )
+        assert main(["serve", csv_3d_headerless, "--state-dir",
+                     str(state_dir), "--no-parallel"]) == 0
+        responses = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert len(responses) == 2  # the post-shutdown line went unread
+        assert responses[1]["shutting_down"] is True
+        assert len(list(state_dir.glob("*.snap"))) == 1
+
+    def test_request_ids_are_echoed_on_stdio(self, csv_2d, capsys, monkeypatch):
+        import json
+
+        code, responses = self._serve(
+            csv_2d,
+            [json.dumps({"op": "top_stable", "m": 1, "id": 41})],
+            capsys,
+            monkeypatch,
+        )
+        assert code == 0
+        assert responses[0]["id"] == 41 and responses[0]["ok"] is True
+
+
+class TestServeTcpCli:
+    def test_tcp_serve_end_to_end(self, csv_3d_headerless, tmp_path):
+        """The production path: subprocess server, client, drain, warmth."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        from repro.server import ServeClient
+
+        state_dir = tmp_path / "states"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", csv_3d_headerless,
+             "--tcp", "127.0.0.1:0", "--state-dir", str(state_dir),
+             "--no-parallel"],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = json.loads(proc.stderr.readline())
+            with ServeClient(banner["serving"]) as client:
+                assert client.hello()["durable"] is True
+                response = client.top_stable(
+                    1, kind="topk_set", k=3, backend="randomized", budget=300
+                )
+                assert response["ok"] is True
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        snaps = list(state_dir.glob("*.snap"))
+        assert len(snaps) == 1
+        # The drained snapshot restores: rolling restarts start warm.
+        proc2 = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", csv_3d_headerless,
+             "--tcp", "127.0.0.1:0", "--state-dir", str(state_dir),
+             "--no-parallel"],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = json.loads(proc2.stderr.readline())
+            with ServeClient(banner["serving"]) as client:
+                warm = client.top_stable(
+                    1, kind="topk_set", k=3, backend="randomized", budget=300
+                )
+                assert warm["ok"] is True and warm["cached"] is True
+                assert warm["result"] == response["result"]
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=60) == 0
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait(timeout=30)
