@@ -249,9 +249,28 @@ def test_concurrent_throughput_and_fidelity():
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv
     metrics = run(smoke=smoke, verbose=True)
-    ok = metrics["restore_speedup"] >= MIN_RESTORE_SPEEDUP
-    if not smoke:
-        ok = ok and metrics["speedup"] >= MIN_SPEEDUP
-    else:
-        ok = ok and metrics["speedup"] > 1.0
-    raise SystemExit(0 if ok else 1)
+    # Smoke floors fail the job on regression, not only on crashes; the
+    # aggregate-throughput claim keeps a relaxed >1x bar at smoke sizes.
+    floors = [
+        ("restore_speedup", metrics["restore_speedup"], MIN_RESTORE_SPEEDUP,
+         metrics["restore_speedup"] >= MIN_RESTORE_SPEEDUP),
+        ("concurrent_speedup", metrics["speedup"],
+         1.0 if smoke else MIN_SPEEDUP,
+         metrics["speedup"] > 1.0 if smoke
+         else metrics["speedup"] >= MIN_SPEEDUP),
+    ]
+    metrics["floors"] = [
+        {"name": name, "value": value, "floor": floor, "passed": passed}
+        for name, value, floor, passed in floors
+    ]
+    with open("BENCH_server.json", "w") as handle:
+        json.dump(metrics, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    failed = [entry for entry in metrics["floors"] if not entry["passed"]]
+    for entry in failed:
+        print(
+            f"  FLOOR REGRESSION: {entry['name']}: {entry['value']:.4f} "
+            f"vs floor {entry['floor']}",
+            file=sys.stderr,
+        )
+    raise SystemExit(1 if failed else 0)

@@ -104,6 +104,7 @@ from repro.engine.backends import (
 )
 from repro.engine.engine import StabilityEngine
 from repro.service import (
+    ObserveExecutor,
     ResultCache,
     StabilityRequest,
     StabilitySession,
@@ -145,6 +146,7 @@ __all__ = [
     "ResultCache",
     "execute_batch",
     "parallel_observe",
+    "ObserveExecutor",
     "StabilityBackend",
     "available_backends",
     "create_backend",

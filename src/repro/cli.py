@@ -206,6 +206,13 @@ def main(argv: list[str] | None = None) -> int:
     p_batch.add_argument(
         "--no-parallel", action="store_true", help="force serial observe"
     )
+    p_batch.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default=None,
+        help="observe executor: serial, thread pool, or shared-memory "
+        "process pool (default auto; REPRO_EXECUTOR overrides)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -215,6 +222,13 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--budget", type=int, default=None)
     p_serve.add_argument("--workers", type=int, default=None)
     p_serve.add_argument("--no-parallel", action="store_true")
+    p_serve.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default=None,
+        help="observe executor: serial, thread pool, or shared-memory "
+        "process pool (default auto; REPRO_EXECUTOR overrides)",
+    )
     p_serve.add_argument(
         "--state-dir",
         default=None,
@@ -295,6 +309,13 @@ def main(argv: list[str] | None = None) -> int:
     p_snapshot.add_argument("--budget", type=int, default=None)
     p_snapshot.add_argument("--workers", type=int, default=None)
     p_snapshot.add_argument("--no-parallel", action="store_true")
+    p_snapshot.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default=None,
+        help="observe executor: serial, thread pool, or shared-memory "
+        "process pool (default auto; REPRO_EXECUTOR overrides)",
+    )
 
     p_restore = sub.add_parser(
         "restore",
@@ -317,6 +338,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_restore.add_argument("--workers", type=int, default=None)
     p_restore.add_argument("--no-parallel", action="store_true")
+    p_restore.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default=None,
+        help="observe executor: serial, thread pool, or shared-memory "
+        "process pool (default auto; REPRO_EXECUTOR overrides)",
+    )
 
     args = parser.parse_args(argv)
 
@@ -472,6 +500,7 @@ def _run_service_command(args, ds: Dataset, out) -> int:
                 ds,
                 region=region,
                 parallel=parallel,
+                executor=args.executor,
                 max_workers=args.workers,
             )
         except SnapshotError as exc:
@@ -498,6 +527,7 @@ def _run_service_command(args, ds: Dataset, out) -> int:
             seed=args.seed,
             budget=args.budget,
             parallel=parallel,
+            executor=args.executor,
             max_workers=args.workers,
         )
         all_ok = True
@@ -540,6 +570,7 @@ def _run_service_command(args, ds: Dataset, out) -> int:
                 ds,
                 region=region,
                 parallel=parallel,
+                executor=args.executor,
                 max_workers=args.workers,
             )
         except SnapshotError as exc:
@@ -566,6 +597,7 @@ def _run_service_command(args, ds: Dataset, out) -> int:
             seed=args.seed,
             budget=args.budget,
             parallel=parallel,
+            executor=args.executor,
             max_workers=args.workers,
         )
     with session:
@@ -819,6 +851,7 @@ def _run_serve_tcp(args, ds: Dataset, region, parallel) -> int:
         seed=args.seed,
         budget=args.budget,
         parallel=parallel,
+        executor=args.executor,
         max_workers=args.workers,
     )
     registry.add_dataset(args.dataset_name, ds, region=region)

@@ -293,21 +293,28 @@ class RankingTally:
             return
         packed = pack_rows(rows, self.dtype)
         uniques, freqs = np.unique(packed, return_counts=True)
-        self.observe_packed(
-            [key.tobytes() for key in uniques], freqs, int(rows.shape[0])
-        )
+        self.observe_packed(uniques, freqs, int(rows.shape[0]))
 
     def observe_packed(self, keys, freqs, n_rows: int) -> None:
         """Merge a pre-reduced block of byte-packed keys into the tally.
 
         ``keys``/``freqs`` are the ``np.unique(..., return_counts=True)``
-        reduction of one block of packed rows (``keys`` as ``bytes``,
-        sorted); ``n_rows`` is the block's row count.  This is the
+        reduction of one block of packed rows; ``n_rows`` is the block's
+        row count.  ``keys`` may be the packed ``numpy.void`` array
+        itself (the hot path: one C-level ``tolist()`` yields the
+        ``bytes`` hash keys, no per-key Python loop materialises an
+        intermediate list) or any iterable of ``bytes``.  This is the
         mergeable half of :meth:`observe_rows`: a worker can reduce its
-        block off-thread and the owner folds the result in here.
-        Folding blocks in their serial order reproduces the serial
-        tally exactly — counts, totals, and first-seen tie-break order.
+        block off-thread (or out-of-process) and the owner folds the
+        result in here.  Folding blocks in their serial order
+        reproduces the serial tally exactly — counts, totals, and
+        first-seen tie-break order.
         """
+        if isinstance(keys, np.ndarray):
+            # void-dtype arrays list-ify straight to bytes objects.
+            keys = keys.tolist()
+        if isinstance(freqs, np.ndarray):
+            freqs = freqs.tolist()
         counts = self.counts
         first_seen = self._first_seen
         heap = self._heap

@@ -4,9 +4,16 @@
 executes requests against a shared :class:`~repro.server.registry.
 SessionRegistry`.  Design points, in the order they matter:
 
-**Concurrency.** Requests run on the event loop's default executor so
-the loop never blocks on engine work; per-session read/write locks let
-warm idempotent queries interleave while pool growth serializes (see
+**Concurrency.** Read requests run on the event loop's default
+executor; write-classified requests (pool growth, cursor advances,
+checkpoints) run on a small dedicated thread pool, so a burst of cold
+observes can never occupy every executor thread and starve warm reads
+of a slot.  With the registry's ``executor="process"`` the observe
+itself leaves the serving process entirely (shared-memory worker pool,
+:mod:`repro.service.procpool`): the write thread just waits on worker
+futures, the GIL stays free, and the event loop keeps multiplexing
+reads while a cold pool grows.  Per-session read/write locks let warm
+idempotent queries interleave while pool growth serializes (see
 :mod:`repro.server.registry`).  Responses on one connection are written
 in request order, so pipelining clients need no correlation ids (though
 ``"id"`` echoing is supported).
@@ -38,6 +45,7 @@ import contextlib
 import json
 import signal
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.server import protocol
@@ -67,6 +75,10 @@ class ServerConfig:
     #: Checkpoint a session after this many write-ish requests on it
     #: (0: only at drain/eviction or via the ``checkpoint`` op).
     checkpoint_every: int = 0
+    #: Width of the dedicated write-dispatch thread pool (pool growth,
+    #: cursors, checkpoints).  Writes serialize per session anyway;
+    #: this only bounds how many *sessions* can grow concurrently.
+    write_threads: int = 2
     #: Optional plain-text metrics endpoint (HTTP GET, any path).
     metrics_port: int | None = None
     #: Restore existing snapshots *before* binding the listen socket,
@@ -94,6 +106,10 @@ class ServerConfig:
             raise ValueError(
                 f"drain_grace must be >= 0, got {self.drain_grace}"
             )
+        if self.write_threads < 1:
+            raise ValueError(
+                f"write_threads must be >= 1, got {self.write_threads}"
+            )
 
 
 class StabilityServer:
@@ -115,6 +131,7 @@ class StabilityServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._inflight = 0
         self._draining = False
+        self._write_pool: ThreadPoolExecutor | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self.drain_report: list[dict] = []
         self.prewarmed: list[str] = []
@@ -218,6 +235,12 @@ class StabilityServer:
         )
         for entry in self.drain_report:
             self.metrics.checkpointed(failed="error" in entry)
+        # registry.close() closed every session, which shut down their
+        # observe pools (process workers included, shared memory
+        # unlinked); the write-dispatch threads go last.
+        if self._write_pool is not None:
+            self._write_pool.shutdown(wait=True)
+            self._write_pool = None
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -472,6 +495,9 @@ class StabilityServer:
         try:
             if op == "checkpoint":
                 # Exclusive: a snapshot never interleaves with growth.
+                # Runs on the *default* executor, not the write pool —
+                # a checkpoint holding this session's write lock must
+                # not also queue behind other sessions' long observes.
                 async with managed.lock.write():
                     handled = await self._dispatch_in_executor(
                         managed, payload
@@ -482,7 +508,7 @@ class StabilityServer:
                 if write:
                     async with managed.lock.write():
                         handled = await self._dispatch_in_executor(
-                            managed, payload
+                            managed, payload, write=True
                         )
                         if handled.mutated:
                             managed.mark_dirty()
@@ -508,7 +534,23 @@ class StabilityServer:
             managed.pins -= 1
         return handled.response
 
-    async def _dispatch_in_executor(self, managed, payload) -> protocol.Handled:
+    def _write_executor(self) -> ThreadPoolExecutor:
+        """Dedicated pool for write-classified dispatches.
+
+        Slow observes (cold pool growth) run here instead of the
+        default loop executor, so reads always find a free thread even
+        while every registered dataset is warming up at once.
+        """
+        if self._write_pool is None:
+            self._write_pool = ThreadPoolExecutor(
+                max_workers=self.config.write_threads,
+                thread_name_prefix="repro-server-write",
+            )
+        return self._write_pool
+
+    async def _dispatch_in_executor(
+        self, managed, payload, *, write: bool = False
+    ) -> protocol.Handled:
         def stats_extra() -> dict:
             # Built only when dispatch actually serves a stats op —
             # the warm cache-hit path must not pay two registry walks
@@ -523,7 +565,7 @@ class StabilityServer:
             }
 
         return await self._loop.run_in_executor(
-            None,
+            self._write_executor() if write else None,
             lambda: protocol.dispatch(
                 managed.session,
                 managed.dataset,
@@ -550,6 +592,10 @@ class StabilityServer:
             if managed.dirty < every:
                 return  # another writer checkpointed meanwhile
             try:
+                # Default executor, not the write pool: while this
+                # session's write lock is held, waiting on a write-pool
+                # slot occupied by another session's cold observe would
+                # stall this session's readers for the whole window.
                 await self._loop.run_in_executor(None, managed.checkpoint)
             except Exception:
                 # Durability best-effort mid-flight; the drain retries.

@@ -187,10 +187,14 @@ class SessionRegistry:
         session — checkpointing it first when durable — so a server
         over many datasets bounds its memory by warm working set, not
         catalogue size.
-    seed, budget, parallel, max_workers, cache_size:
+    seed, budget, parallel, executor, max_workers, start_method, cache_size:
         Cold-start session parameters (see
         :class:`~repro.service.StabilitySession`).  Restored sessions
-        take their durable identity from the snapshot instead.
+        take their durable identity from the snapshot instead;
+        ``executor="process"`` gives every session a persistent
+        shared-memory worker pool, so pool-growth writes run
+        out-of-process and the event loop (and warm reads on other
+        datasets) stay responsive under cold-observe load.
     """
 
     def __init__(
@@ -201,7 +205,9 @@ class SessionRegistry:
         seed: int = 0,
         budget: int | None = None,
         parallel: bool | str = "auto",
+        executor: str | None = None,
         max_workers: int | None = None,
+        start_method: str | None = None,
         cache_size: int = 512,
     ):
         self.state_dir = Path(state_dir) if state_dir is not None else None
@@ -211,7 +217,9 @@ class SessionRegistry:
         self.seed = seed
         self.budget = budget
         self.parallel = parallel
+        self.executor = executor
         self.max_workers = max_workers
+        self.start_method = start_method
         self.cache_size = cache_size
         self._datasets: dict[str, tuple[Dataset, RegionOfInterest]] = {}
         self._active: dict[str, ManagedSession] = {}
@@ -279,7 +287,9 @@ class SessionRegistry:
                     region=region,
                     cache_size=self.cache_size,
                     parallel=self.parallel,
+                    executor=self.executor,
                     max_workers=self.max_workers,
+                    start_method=self.start_method,
                 )
                 restored = True
                 self.restores += 1
@@ -295,7 +305,9 @@ class SessionRegistry:
                 budget=self.budget,
                 cache_size=self.cache_size,
                 parallel=self.parallel,
+                executor=self.executor,
                 max_workers=self.max_workers,
+                start_method=self.start_method,
             )
         return ManagedSession(
             name=name,

@@ -12,10 +12,15 @@ turns it into a serving tier:
 - :mod:`repro.service.batch` — :class:`StabilityRequest` /
   :func:`execute_batch`, grouping heterogeneous requests by backend and
   amortizing one sampling pass across a whole batch;
-- :mod:`repro.service.parallel` — :func:`parallel_observe`,
-  shard-parallel observe over the kernel's scoring chunks with exact
-  serial tally equivalence and a serial fallback below the auto
-  threshold;
+- :mod:`repro.service.parallel` — :class:`ObserveExecutor` /
+  :func:`parallel_observe`, shard-parallel observe over the kernel's
+  scoring chunks (serial / thread pool / process pool behind one dial)
+  with exact serial tally equivalence and a serial fallback below the
+  auto threshold;
+- :mod:`repro.service.procpool` — :class:`ProcessObserveEngine`, the
+  persistent process pool behind ``executor="process"``: the dataset
+  lives in shared memory once, workers map zero-copy views and run the
+  pure chunk reduction out-of-process;
 - :mod:`repro.service.persist` — versioned snapshot/restore for
   sessions (:meth:`StabilitySession.save` /
   :meth:`StabilitySession.restore`): byte-packed tallies, rng streams,
@@ -36,7 +41,13 @@ from repro.service.cache import (
     dataset_fingerprint,
     make_key,
 )
-from repro.service.parallel import parallel_observe, should_parallelize
+from repro.service.parallel import (
+    ObserveExecutor,
+    default_workers,
+    parallel_observe,
+    should_parallelize,
+)
+from repro.service.procpool import ProcessObserveEngine, live_segments
 from repro.service.persist import (
     SNAPSHOT_VERSION,
     SnapshotInfo,
@@ -65,4 +76,8 @@ __all__ = [
     "execute_batch",
     "parallel_observe",
     "should_parallelize",
+    "ObserveExecutor",
+    "ProcessObserveEngine",
+    "default_workers",
+    "live_segments",
 ]

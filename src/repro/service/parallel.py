@@ -3,9 +3,12 @@
 The kernel's observe pass is embarrassingly parallel across scoring
 chunks: each chunk's BLAS product, ranking-key reduction, and byte-pack
 is independent, and numpy releases the GIL inside all three, so a
-thread pool scales the pass across cores without pickling the dataset.
+thread pool scales the pass across cores without pickling the dataset;
+a *process* pool (:mod:`repro.service.procpool`) goes further, moving
+the whole reduction — including the GIL-bound byte-pack/unique tail —
+out of the serving process over zero-copy shared-memory views.
 
-Exact serial equivalence is preserved by construction:
+Exact serial equivalence is preserved by construction (both pools):
 
 1. the pruning-index build and chunk plan run first, exactly as the
    serial path would (:meth:`GetNextRandomized.prepare_observe` /
@@ -20,8 +23,12 @@ Exact serial equivalence is preserved by construction:
    (:meth:`RankingTally.observe_packed`), reproducing the serial
    tally byte-for-byte — counts, totals, and first-seen tie-breaks.
 
-A serial fallback runs when the dataset or the pass is too small to
-amortise thread handoff, or the host has a single core.
+:class:`ObserveExecutor` is the one dial over all of it: ``serial`` /
+``thread`` / ``process`` backends behind a single ``observe`` call,
+with an ``auto`` mode that picks per pass from the work size
+(``n_items`` x chunks x cores) and the packed-key width.  The
+``REPRO_EXECUTOR`` environment variable overrides the mode,
+``REPRO_MAX_WORKERS`` caps the auto-sized pools.
 """
 
 from __future__ import annotations
@@ -37,9 +44,16 @@ from repro.engine import kernel
 __all__ = [
     "PARALLEL_MIN_ITEMS",
     "PARALLEL_MIN_CHUNKS",
+    "PROCESS_MIN_ITEMS",
+    "PROCESS_MAX_KEY_BYTES",
+    "EXECUTOR_ENV_VAR",
+    "MAX_WORKERS_ENV_VAR",
+    "EXECUTOR_MODES",
     "default_workers",
     "should_parallelize",
+    "resolve_executor_mode",
     "parallel_observe",
+    "ObserveExecutor",
 ]
 
 #: Below this many (effective) items a chunk reduction is too cheap for
@@ -49,10 +63,54 @@ PARALLEL_MIN_ITEMS = 2_048
 #: A pass needs at least this many chunks for sharding to matter.
 PARALLEL_MIN_CHUNKS = 2
 
+#: Below this many items the per-chunk IPC (pickle weights out, packed
+#: uniques back) outweighs what a worker process saves over a thread.
+PROCESS_MIN_ITEMS = 50_000
+
+#: Auto mode never routes a pass whose packed ranking keys are wider
+#: than this to the process pool: result transport is ``O(rows x
+#: key_bytes)``, so full-ranking keys at large ``n`` (4 bytes per item
+#: per sample) would drown the win in IPC.  Top-k keys are a few dozen
+#: bytes and ship for free.
+PROCESS_MAX_KEY_BYTES = 256
+
+#: Environment override forcing the executor mode for every pass.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: Environment cap on auto-sized worker pools (see :func:`default_workers`).
+MAX_WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
+
+EXECUTOR_MODES = ("auto", "serial", "thread", "process")
+
 
 def default_workers() -> int:
-    """Worker count for an auto-configured pool (cores minus one, >= 1)."""
-    return max((os.cpu_count() or 1) - 1, 1)
+    """Worker count for an auto-configured pool.
+
+    Precedence (an explicit ``max_workers`` argument anywhere in the
+    stack always wins over all of this):
+
+    1. ``REPRO_MAX_WORKERS`` — a hard cap on the derived value;
+    2. ``os.sched_getaffinity`` — the CPUs this process may actually
+       run on (cgroup/taskset limits), where the platform has it;
+    3. ``os.cpu_count()`` — the host's logical cores.
+
+    The derived value is "available cores minus one" (the caller's
+    thread keeps sampling weights while workers reduce), floored at 1.
+    """
+    try:
+        available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        available = os.cpu_count() or 1
+    workers = max(available - 1, 1)
+    cap = os.environ.get(MAX_WORKERS_ENV_VAR)
+    if cap:
+        capped = int(cap)
+        if capped < 1:
+            raise ValueError(
+                f"{MAX_WORKERS_ENV_VAR} must be a positive integer, got {cap!r}"
+            )
+        workers = min(workers, capped)
+    return workers
 
 
 def should_parallelize(
@@ -71,12 +129,45 @@ def should_parallelize(
     )
 
 
+def resolve_executor_mode(
+    n_items: int,
+    n_chunks: int,
+    max_workers: int,
+    *,
+    key_bytes: int | None = None,
+) -> str:
+    """Auto-select ``serial`` / ``thread`` / ``process`` for one pass.
+
+    The decision surface (also the README's executor-selection table):
+
+    - too small to shard (``n_items < 2_048``, fewer than 2 chunks, or
+      a single worker) -> ``serial``;
+    - shardable but under 50_000 items, or packed keys wider than
+      :data:`PROCESS_MAX_KEY_BYTES` (full rankings at large ``n``) ->
+      ``thread`` — the GIL-releasing numpy sections dominate there and
+      IPC would eat the process win;
+    - at least 50_000 items with narrow keys -> ``process``.
+    """
+    if not should_parallelize(n_items, n_chunks, max_workers):
+        return "serial"
+    if n_items < PROCESS_MIN_ITEMS:
+        return "thread"
+    if key_bytes is not None and key_bytes > PROCESS_MAX_KEY_BYTES:
+        return "thread"
+    return "process"
+
+
 def _reduce_chunk(op: GetNextRandomized, weights: np.ndarray):
-    """Worker body: one chunk's rows, byte-packed and pre-reduced."""
+    """Worker body: one chunk's rows, byte-packed and pre-reduced.
+
+    Returns the packed ``np.unique`` arrays as-is —
+    :meth:`~repro.engine.kernel.RankingTally.observe_packed` consumes
+    array keys directly, so no per-key Python list is built here.
+    """
     rows = op.rows_for_weights(weights)
     packed = kernel.pack_rows(rows, op.tally.dtype)
     uniques, freqs = np.unique(packed, return_counts=True)
-    return [key.tobytes() for key in uniques], freqs, rows.shape[0]
+    return uniques, freqs, rows.shape[0]
 
 
 def parallel_observe(
@@ -86,6 +177,7 @@ def parallel_observe(
     executor: Executor | None = None,
     max_workers: int | None = None,
     min_items: int = PARALLEL_MIN_ITEMS,
+    force: bool = False,
 ) -> int:
     """Grow ``op``'s sample pool by ``n_new``, sharding across workers.
 
@@ -97,17 +189,25 @@ def parallel_observe(
     n_new:
         Number of new sampled functions to observe.
     executor:
-        An existing pool to run chunk reductions on.  Passing one
-        forces the sharded path (no auto threshold) — callers owning a
-        pool have already decided to shard; ``None`` creates a
-        transient :class:`~concurrent.futures.ThreadPoolExecutor` when
-        the auto threshold passes, and falls back to the serial
-        ``op.observe`` otherwise.
+        An existing pool to run chunk reductions on.  ``None`` creates
+        a transient :class:`~concurrent.futures.ThreadPoolExecutor`
+        when the auto threshold passes, and falls back to the serial
+        ``op.observe`` otherwise.  A caller-owned pool skips the
+        *worker-count* half of the threshold (the pool's width is its
+        owner's business) but still short-circuits to serial when the
+        pass itself is too small to amortise handoff — a session
+        keeping one warm pool must not pay chunk submission for every
+        tiny top-up.
     max_workers:
-        Pool width for the transient pool (default: cores minus one).
-        ``max_workers <= 1`` forces the serial fallback.
+        Pool width for the transient pool (default:
+        :func:`default_workers`).  ``max_workers <= 1`` forces the
+        serial fallback.
     min_items:
         Auto-threshold override on the effective item count.
+    force:
+        Run the sharded path unconditionally (tests pinning the
+        sharded code path on tiny fixtures; requires an ``executor``
+        or ``max_workers > 1``).
 
     Returns
     -------
@@ -126,11 +226,15 @@ def parallel_observe(
     op.prepare_observe(n_new)
     sizes = op.plan_chunks(n_new)
     workers = max_workers if max_workers is not None else default_workers()
-    if executor is None and not should_parallelize(
-        op.dataset.n_items, len(sizes), workers, min_items=min_items
-    ):
-        op.observe(n_new)
-        return 0
+    if not force:
+        # A caller-owned executor has already sized its pool; judge only
+        # the pass (items x chunks), not the worker count.
+        effective_workers = 2 if executor is not None else workers
+        if not should_parallelize(
+            op.dataset.n_items, len(sizes), effective_workers, min_items=min_items
+        ):
+            op.observe(n_new)
+            return 0
     # Sampling consumes the rng serially in plan order — the stream is
     # identical to the serial path's.
     weight_chunks = [op.region.sample(batch, op.rng) for batch in sizes]
@@ -138,7 +242,7 @@ def parallel_observe(
     pool = executor
     if pool is None:
         own_pool = ThreadPoolExecutor(
-            max_workers=min(workers, len(sizes)),
+            max_workers=min(max(workers, 1), len(sizes)),
             thread_name_prefix="repro-observe",
         )
         pool = own_pool
@@ -151,3 +255,140 @@ def parallel_observe(
         if own_pool is not None:
             own_pool.shutdown(wait=True)
     return len(sizes)
+
+
+class ObserveExecutor:
+    """One dial over serial / thread-pool / process-pool observe.
+
+    The session, the batch planner, and the server all route pool
+    growth through one of these; it owns the persistent pools (one
+    thread pool, one process engine per dataset) and picks the backend
+    per pass:
+
+    - ``mode="serial"`` — always ``op.observe`` on the caller's thread;
+    - ``mode="thread"`` / ``"process"`` — always that pool (explicit
+      modes run the sharded path even for tiny passes: the caller has
+      decided, and tests rely on pinning the code path);
+    - ``mode="auto"`` — :func:`resolve_executor_mode` per pass.
+
+    ``REPRO_EXECUTOR`` overrides ``mode`` at construction;
+    ``REPRO_MAX_WORKERS`` caps auto-sized pool widths (explicit
+    ``max_workers`` wins).  :meth:`close` shuts both pools down and
+    unlinks the process engine's shared-memory segments — sessions call
+    it from their own ``close``, so server drains and evictions release
+    everything deterministically.
+    """
+
+    def __init__(
+        self,
+        mode: str = "auto",
+        *,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+    ):
+        env = os.environ.get(EXECUTOR_ENV_VAR)
+        if env:
+            mode = env
+        if mode not in EXECUTOR_MODES:
+            raise ValueError(
+                f"executor mode must be one of {EXECUTOR_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._proc = None  # ProcessObserveEngine, lazy
+        self._closed = False
+
+    # -- sizing ---------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return (
+            self.max_workers
+            if self.max_workers is not None
+            else default_workers()
+        )
+
+    def resolve(self, op, n_chunks: int) -> str:
+        """The backend one pass of ``n_chunks`` over ``op`` would use."""
+        if self.mode != "auto":
+            return self.mode
+        raw = getattr(op, "raw", op)
+        key_bytes = raw.tally.key_length * raw.tally.dtype.itemsize
+        return resolve_executor_mode(
+            raw.dataset.n_items, n_chunks, self.workers, key_bytes=key_bytes
+        )
+
+    # -- pools ----------------------------------------------------------
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=max(self.workers, 1),
+                thread_name_prefix="repro-observe",
+            )
+        return self._thread_pool
+
+    def _processes(self, dataset):
+        from repro.service.procpool import ProcessObserveEngine
+
+        if self._proc is not None and self._proc.dataset.values is not dataset.values:
+            # The served dataset was swapped; the old segments are stale.
+            self._proc.close()
+            self._proc = None
+        if self._proc is None:
+            self._proc = ProcessObserveEngine(
+                dataset,
+                max_workers=max(self.workers, 1),
+                start_method=self.start_method,
+            )
+        return self._proc
+
+    # -- the one entry point -------------------------------------------
+    def observe(self, op, n_new: int) -> str:
+        """Grow ``op``'s pool by ``n_new``; returns the backend used.
+
+        Every backend produces the byte-identical tally; the return
+        value (``"serial"`` / ``"thread"`` / ``"process"``) is for
+        observability and tests only.
+        """
+        if self._closed:
+            raise RuntimeError("ObserveExecutor is closed")
+        raw = getattr(op, "raw", op)
+        if n_new <= 0:
+            return "serial"
+        if self.mode == "serial":
+            raw.observe(n_new)
+            return "serial"
+        raw.prepare_observe(n_new)
+        n_chunks = len(raw.plan_chunks(n_new))
+        mode = self.resolve(raw, n_chunks)
+        if mode == "serial" or self.workers < 1 or n_chunks < 1:
+            raw.observe(n_new)
+            return "serial"
+        forced = self.mode != "auto"
+        if mode == "process":
+            self._processes(raw.dataset).observe(raw, n_new, force=forced)
+            return "process"
+        sharded = parallel_observe(
+            raw, n_new, executor=self._threads(), force=forced
+        )
+        return "thread" if sharded else "serial"
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut down both pools (idempotent); unlinks shared memory."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._proc is not None:
+            self._proc.close()
+            self._proc = None
+
+    def __enter__(self) -> "ObserveExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

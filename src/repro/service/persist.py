@@ -433,7 +433,9 @@ def load_session(
     cache=None,
     cache_size: int = 512,
     parallel: bool | str = "auto",
+    executor: str | None = None,
     max_workers: int | None = None,
+    start_method: str | None = None,
 ):
     """Restore a :class:`StabilitySession` from a snapshot of it.
 
@@ -441,9 +443,9 @@ def load_session(
     ``region`` (default: the full space) must match the snapshot's
     region of interest — durable state over the wrong data is refused
     with :class:`~repro.errors.SnapshotMismatchError`, never guessed
-    around.  Runtime-only knobs (``parallel``, ``max_workers``, cache
-    wiring) are the caller's to choose afresh; everything the answers
-    depend on comes from the file.
+    around.  Runtime-only knobs (``parallel``, ``executor``,
+    ``max_workers``, cache wiring) are the caller's to choose afresh;
+    everything the answers depend on comes from the file.
     """
     from repro.service.session import StabilitySession
 
@@ -460,7 +462,9 @@ def load_session(
         cache=cache,
         cache_size=cache_size,
         parallel=parallel,
+        executor=executor,
         max_workers=max_workers,
+        start_method=start_method,
         budget=header["budget_hint"],
     )
     if header["fingerprint"] != session.fingerprint:

@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import threading
 import zlib
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -57,11 +56,7 @@ from repro.engine.engine import StabilityEngine
 from repro.errors import ExhaustedError
 from repro.operators.skyline import KSkybandIndex
 from repro.service.cache import MISS, ResultCache, dataset_fingerprint, make_key
-from repro.service.parallel import (
-    default_workers,
-    parallel_observe,
-    should_parallelize,
-)
+from repro.service.parallel import ObserveExecutor
 
 __all__ = ["StabilitySession", "VERIFY_MIN_SAMPLES"]
 
@@ -111,11 +106,25 @@ class StabilitySession:
         to give the session a private cache of ``cache_size`` entries.
         Pass ``cache_size=0`` to disable caching.
     parallel:
-        ``"auto"`` (default) shards observe passes across a thread pool
+        ``"auto"`` (default) shards observe passes across a worker pool
         when the dataset and pass are large enough; ``True`` forces
-        sharding, ``False`` forces serial observe.
+        thread-pool sharding, ``False`` forces serial observe.
+        Subsumed by ``executor`` (kept for compatibility).
+    executor:
+        Observe-executor mode: ``"serial"``, ``"thread"``,
+        ``"process"`` (persistent shared-memory worker pool, see
+        :mod:`repro.service.procpool`), or ``"auto"`` (pick per pass
+        from the work size and key width).  ``None`` derives the mode
+        from ``parallel``.  The ``REPRO_EXECUTOR`` environment
+        variable overrides either.
     max_workers:
-        Thread-pool width for sharded observe (default: cores minus 1).
+        Worker-pool width for sharded observe (default:
+        :func:`repro.service.parallel.default_workers` — affinity-aware
+        cores minus 1, capped by ``REPRO_MAX_WORKERS``).
+    start_method:
+        Multiprocessing start method for ``executor="process"``
+        (default: ``fork`` where available; ``REPRO_START_METHOD``
+        overrides).
     budget:
         Default cumulative pool target per configuration (default
         5,000, the paper's first-call budget); also used as the
@@ -133,7 +142,9 @@ class StabilitySession:
         cache: ResultCache | None = None,
         cache_size: int = 512,
         parallel: bool | str = "auto",
+        executor: str | None = None,
         max_workers: int | None = None,
+        start_method: str | None = None,
         budget: int | None = None,
     ):
         self.dataset = dataset
@@ -145,6 +156,11 @@ class StabilitySession:
             raise ValueError(f"parallel must be True, False or 'auto', got {parallel!r}")
         self.parallel = parallel
         self.max_workers = max_workers
+        if executor is None:
+            executor = {False: "serial", True: "thread", "auto": "auto"}[parallel]
+        self._observer = ObserveExecutor(
+            executor, max_workers=max_workers, start_method=start_method
+        )
         self._budget_hint = budget
         self.default_budget = budget if budget is not None else DEFAULT_BUDGET
         if seed is not None:
@@ -158,7 +174,6 @@ class StabilitySession:
         self._region_key = repr(self.region)
         self._states: dict[tuple, _ConfigState] = {}
         self._skyband: KSkybandIndex | None = None
-        self._executor: ThreadPoolExecutor | None = None
         self._local = threading.local()
 
     @property
@@ -249,7 +264,9 @@ class StabilitySession:
         cache: ResultCache | None = None,
         cache_size: int = 512,
         parallel: bool | str = "auto",
+        executor: str | None = None,
         max_workers: int | None = None,
+        start_method: str | None = None,
     ) -> "StabilitySession":
         """Rebuild a session from a :meth:`save` snapshot of it.
 
@@ -269,14 +286,20 @@ class StabilitySession:
             cache=cache,
             cache_size=cache_size,
             parallel=parallel,
+            executor=executor,
             max_workers=max_workers,
+            start_method=start_method,
         )
 
     def close(self) -> None:
-        """Shut down the observe thread pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Shut down the observe worker pools (idempotent).
+
+        Thread workers join; process workers terminate and their
+        shared-memory segments are unlinked — the server's drain and
+        eviction paths route through here, so no segment outlives its
+        session.
+        """
+        self._observer.close()
 
     def __enter__(self) -> "StabilitySession":
         return self
@@ -403,33 +426,12 @@ class StabilitySession:
         need = int(target) - raw.total_samples
         if need <= 0:
             return
-        if self.parallel is False:
-            raw.observe(need)
-            return
-        raw.prepare_observe(need)
-        n_chunks = len(raw.plan_chunks(need))
-        workers = (
-            self.max_workers if self.max_workers is not None else default_workers()
-        )
-        if self.parallel == "auto" and not should_parallelize(
-            self.dataset.n_items, n_chunks, workers
-        ):
-            raw.observe(need)
-            return
-        parallel_observe(raw, need, executor=self._pool(), max_workers=workers)
+        self._observer.observe(raw, need)
 
-    def _pool(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            workers = (
-                self.max_workers
-                if self.max_workers is not None
-                else default_workers()
-            )
-            self._executor = ThreadPoolExecutor(
-                max_workers=max(workers, 1),
-                thread_name_prefix="repro-session",
-            )
-        return self._executor
+    @property
+    def observer(self) -> ObserveExecutor:
+        """The session's observe executor (serial / thread / process)."""
+        return self._observer
 
     def pool_target(
         self,
@@ -684,6 +686,7 @@ class StabilitySession:
         return {
             "fingerprint": self._fingerprint,
             "cache": self.cache.stats.snapshot(),
+            "executor": self._observer.mode,
             "configs": pools,
             "skyband_bands": (
                 self._skyband.built_bands if self._skyband is not None else ()

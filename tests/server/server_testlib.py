@@ -28,15 +28,21 @@ def running_server(
     seed: int = 7,
     datasets: dict | None = None,
     max_active: int = 8,
+    registry_fields: dict | None = None,
     **config_fields,
 ):
     """A served registry; yields the :class:`~repro.server.ServerHandle`.
 
     ``datasets`` maps extra names to datasets; ``dataset`` is always
-    registered as ``"default"``.  The server is drained on exit.
+    registered as ``"default"``.  ``registry_fields`` override the
+    registry's session parameters (e.g. ``executor="process"``).  The
+    server is drained on exit.
     """
     registry = SessionRegistry(
-        state_dir=state_dir, seed=seed, parallel=False, max_active=max_active
+        state_dir=state_dir,
+        seed=seed,
+        max_active=max_active,
+        **{"parallel": False, **(registry_fields or {})},
     )
     registry.add_dataset("default", dataset)
     for name, extra in (datasets or {}).items():

@@ -15,7 +15,12 @@ import pytest
 from repro import Dataset, parallel_observe
 from repro.core.randomized import GetNextRandomized
 from repro.engine import kernel
-from repro.service.parallel import should_parallelize
+from repro.service.parallel import (
+    MAX_WORKERS_ENV_VAR,
+    default_workers,
+    resolve_executor_mode,
+    should_parallelize,
+)
 
 
 def _pair(seed, n=300, d=3, *, kind="full", k=None, scoring_chunk=None):
@@ -45,7 +50,7 @@ class TestParallelObserveEquality:
         serial, sharded = _pair(seed, kind=kind, k=k, scoring_chunk=64)
         serial.observe(500)
         with ThreadPoolExecutor(max_workers=3) as pool:
-            chunks = parallel_observe(sharded, 500, executor=pool)
+            chunks = parallel_observe(sharded, 500, executor=pool, force=True)
         assert chunks > 0
         _assert_identical(serial, sharded)
 
@@ -53,8 +58,8 @@ class TestParallelObserveEquality:
         serial, sharded = _pair(5, scoring_chunk=50)
         serial.observe(400)
         with ThreadPoolExecutor(max_workers=2) as pool:
-            parallel_observe(sharded, 150, executor=pool)
-            parallel_observe(sharded, 250, executor=pool)
+            parallel_observe(sharded, 150, executor=pool, force=True)
+            parallel_observe(sharded, 250, executor=pool, force=True)
         _assert_identical(serial, sharded)
 
     def test_chunk_env_override_pins_decomposition(self, monkeypatch):
@@ -65,7 +70,7 @@ class TestParallelObserveEquality:
         assert serial.scoring_chunk == 37
         serial.observe(300)
         with ThreadPoolExecutor(max_workers=2) as pool:
-            parallel_observe(sharded, 300, executor=pool)
+            parallel_observe(sharded, 300, executor=pool, force=True)
         _assert_identical(serial, sharded)
 
     def test_chunk_env_override_rejects_garbage(self, monkeypatch):
@@ -91,7 +96,7 @@ class TestParallelObserveEquality:
         serial, sharded = make(), make()
         serial.observe(300)
         with ThreadPoolExecutor(max_workers=2) as pool:
-            parallel_observe(sharded, 300, executor=pool)
+            parallel_observe(sharded, 300, executor=pool, force=True)
         assert (sharded._candidates is None) == (serial._candidates is None)
         _assert_identical(serial, sharded)
 
@@ -100,9 +105,9 @@ class TestParallelObserveEquality:
         a = serial.get_next(budget=400)
         serial.observe(200)
         with ThreadPoolExecutor(max_workers=2) as pool:
-            parallel_observe(sharded, 400, executor=pool)
+            parallel_observe(sharded, 400, executor=pool, force=True)
             b = sharded.next_from_pool()
-            parallel_observe(sharded, 200, executor=pool)
+            parallel_observe(sharded, 200, executor=pool, force=True)
         assert a.top_k_set == b.top_k_set
         assert a.stability == b.stability
         _assert_identical(serial, sharded)
@@ -140,3 +145,66 @@ class TestFallbacks:
         assert not should_parallelize(10_000, 1, 4)  # one chunk
         assert not should_parallelize(100, 8, 4)  # tiny dataset
         assert not should_parallelize(10_000, 8, 1)  # one worker
+
+    def test_injected_executor_short_circuits_tiny_passes(self):
+        # A caller-owned pool no longer forces sharding: below the
+        # item threshold the pass runs serially (0 chunks) — the warm
+        # session pool must not pay chunk handoff for tiny top-ups.
+        serial, sharded = _pair(30, n=300, scoring_chunk=64)
+        serial.observe(300)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            assert parallel_observe(sharded, 300, executor=pool) == 0
+        _assert_identical(serial, sharded)
+
+    def test_force_overrides_short_circuit(self):
+        serial, sharded = _pair(31, n=300, scoring_chunk=64)
+        serial.observe(300)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            assert parallel_observe(sharded, 300, executor=pool, force=True) > 0
+        _assert_identical(serial, sharded)
+
+
+class TestDefaultWorkers:
+    def test_respects_affinity_when_available(self):
+        workers = default_workers()
+        assert workers >= 1
+        try:
+            available = len(__import__("os").sched_getaffinity(0))
+        except (AttributeError, OSError):
+            available = __import__("os").cpu_count() or 1
+        assert workers <= max(available - 1, 1)
+
+    def test_env_cap_wins(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "1")
+        assert default_workers() == 1
+
+    def test_env_cap_never_raises_above_derived(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "4096")
+        uncapped = default_workers()
+        monkeypatch.delenv(MAX_WORKERS_ENV_VAR)
+        assert uncapped == default_workers()
+
+    def test_env_cap_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "0")
+        with pytest.raises(ValueError):
+            default_workers()
+
+
+class TestResolveExecutorMode:
+    def test_small_work_serial(self):
+        assert resolve_executor_mode(100, 8, 4) == "serial"
+        assert resolve_executor_mode(100_000, 1, 4) == "serial"
+        assert resolve_executor_mode(100_000, 8, 1) == "serial"
+
+    def test_mid_size_threads(self):
+        assert resolve_executor_mode(10_000, 8, 4) == "thread"
+
+    def test_large_narrow_keys_process(self):
+        assert resolve_executor_mode(100_000, 8, 4, key_bytes=40) == "process"
+
+    def test_wide_keys_stay_on_threads(self):
+        # Full-ranking keys at n=100K are ~400KB per sample: IPC would
+        # drown the process win, so auto keeps them on threads.
+        assert (
+            resolve_executor_mode(100_000, 8, 4, key_bytes=400_000) == "thread"
+        )

@@ -198,7 +198,9 @@ class TestValidation:
     def test_stats_shape(self, session):
         session.top_stable(1, kind="topk_set", k=4, backend="randomized")
         stats = session.stats()
-        assert set(stats) == {"fingerprint", "cache", "configs", "skyband_bands"}
+        assert set(stats) == {
+            "fingerprint", "cache", "executor", "configs", "skyband_bands"
+        }
         (label,) = stats["configs"]
         assert label == "topk_set:k=4@randomized"
 
