@@ -85,3 +85,22 @@ def test_qmc_beats_mc_at_equal_budget():
     rmse_qmc = float(np.sqrt(np.mean(np.square(errs["qmc"]))))
     print(f"\n  rmse_mc={rmse_mc:.2e}  rmse_qmc={rmse_qmc:.2e}")
     assert rmse_qmc < rmse_mc
+
+
+def test_qmc_reaches_width_with_fraction_of_mc_samples():
+    """Samples-to-precision, the quantity a ``"ci:..."`` budget spends.
+
+    ``bench_kernel.py`` runs the full ladder with floors; this ablation
+    keeps a compact assertion of the same shape — the first budget at
+    which each estimator's empirical RMSE crosses a fixed target, with
+    QMC required to get there no later than MC.
+    """
+    from benchmarks.bench_kernel import _samples_to_width
+
+    target = 0.02
+    ladder = (125, 250, 500, 1_000, 2_000, 4_000)
+    mc_needed = _samples_to_width("mc", target, ladder)
+    qmc_needed = _samples_to_width("qmc", target, ladder)
+    print(f"\n  samples to rmse<={target}: mc={mc_needed} qmc={qmc_needed}")
+    assert mc_needed > 0 and qmc_needed > 0
+    assert qmc_needed <= mc_needed

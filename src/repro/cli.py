@@ -126,6 +126,37 @@ def _region_for(args, dim: int, weights: np.ndarray | None):
     return FullSpace(dim)
 
 
+def _budget_arg(text: str):
+    """Argparse type for ``--budget``: a count or ``ci:WIDTH[@MAX]`` spec."""
+    from repro.service.budget import parse_budget
+
+    try:
+        return parse_budget(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_engine_dials(
+    parser: argparse.ArgumentParser, *, sampling: bool = True
+) -> None:
+    """The kernel/sampling dials shared by the session subcommands."""
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        help="reduction kernel backend (numpy, numba, or auto; default "
+        "auto picks the fastest available; REPRO_KERNEL overrides the "
+        "default — tallies are byte-identical across backends)",
+    )
+    if sampling:
+        parser.add_argument(
+            "--sampling",
+            choices=["mc", "qmc"],
+            default="mc",
+            help="weight sampling: plain Monte-Carlo or quasi-MC "
+            "(Halton; full-space and in-orthant cone regions only)",
+        )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("csv", help="input CSV of scoring attributes")
     parser.add_argument("--label-column", default=None)
@@ -199,7 +230,13 @@ def main(argv: list[str] | None = None) -> int:
         required=True,
         help="path to a JSON list of request objects ('-' for stdin)",
     )
-    p_batch.add_argument("--budget", type=int, default=None)
+    p_batch.add_argument(
+        "--budget",
+        type=_budget_arg,
+        default=None,
+        help="default pool target: a sample count or 'ci:WIDTH[@MAX]' "
+        "precision spec (grow until the leading CI half-width fits)",
+    )
     p_batch.add_argument(
         "--workers", type=int, default=None, help="observe thread-pool width"
     )
@@ -213,13 +250,20 @@ def main(argv: list[str] | None = None) -> int:
         help="observe executor: serial, thread pool, or shared-memory "
         "process pool (default auto; REPRO_EXECUTOR overrides)",
     )
+    _add_engine_dials(p_batch)
 
     p_serve = sub.add_parser(
         "serve",
         help="JSON-lines request/response service on stdio or TCP",
     )
     _add_common(p_serve)
-    p_serve.add_argument("--budget", type=int, default=None)
+    p_serve.add_argument(
+        "--budget",
+        type=_budget_arg,
+        default=None,
+        help="default pool target: a sample count or 'ci:WIDTH[@MAX]' "
+        "precision spec",
+    )
     p_serve.add_argument("--workers", type=int, default=None)
     p_serve.add_argument("--no-parallel", action="store_true")
     p_serve.add_argument(
@@ -229,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         help="observe executor: serial, thread pool, or shared-memory "
         "process pool (default auto; REPRO_EXECUTOR overrides)",
     )
+    _add_engine_dials(p_serve)
     p_serve.add_argument(
         "--state-dir",
         default=None,
@@ -306,7 +351,13 @@ def main(argv: list[str] | None = None) -> int:
         help="optional JSON list of warmup requests ('-' for stdin); "
         "their outcomes print to stdout, one JSON line each",
     )
-    p_snapshot.add_argument("--budget", type=int, default=None)
+    p_snapshot.add_argument(
+        "--budget",
+        type=_budget_arg,
+        default=None,
+        help="default pool target: a sample count or 'ci:WIDTH[@MAX]' "
+        "precision spec",
+    )
     p_snapshot.add_argument("--workers", type=int, default=None)
     p_snapshot.add_argument("--no-parallel", action="store_true")
     p_snapshot.add_argument(
@@ -316,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
         help="observe executor: serial, thread pool, or shared-memory "
         "process pool (default auto; REPRO_EXECUTOR overrides)",
     )
+    _add_engine_dials(p_snapshot)
 
     p_restore = sub.add_parser(
         "restore",
@@ -345,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
         help="observe executor: serial, thread pool, or shared-memory "
         "process pool (default auto; REPRO_EXECUTOR overrides)",
     )
+    _add_engine_dials(p_restore, sampling=False)
 
     args = parser.parse_args(argv)
 
@@ -502,6 +555,7 @@ def _run_service_command(args, ds: Dataset, out) -> int:
                 parallel=parallel,
                 executor=args.executor,
                 max_workers=args.workers,
+                kernel=args.kernel,
             )
         except SnapshotError as exc:
             raise SystemExit(f"cannot restore {args.snapshot}: {exc}")
@@ -529,6 +583,8 @@ def _run_service_command(args, ds: Dataset, out) -> int:
             parallel=parallel,
             executor=args.executor,
             max_workers=args.workers,
+            kernel=args.kernel,
+            sampling=args.sampling,
         )
         all_ok = True
         with session:
@@ -572,6 +628,7 @@ def _run_service_command(args, ds: Dataset, out) -> int:
                 parallel=parallel,
                 executor=args.executor,
                 max_workers=args.workers,
+                kernel=args.kernel,
             )
         except SnapshotError as exc:
             # The state dir is an opportunistic warm-start cache: a
@@ -584,10 +641,10 @@ def _run_service_command(args, ds: Dataset, out) -> int:
         else:
             # Durable identity comes from the snapshot; flags that only
             # apply to a fresh session must not be silently dropped.
-            if args.seed != 0 or args.budget is not None:
+            if args.seed != 0 or args.budget is not None or args.sampling != "mc":
                 print(
                     f"restored session state from {state_path}; "
-                    "--seed/--budget apply only to a cold start",
+                    "--seed/--budget/--sampling apply only to a cold start",
                     file=sys.stderr,
                 )
     if session is None:
@@ -599,6 +656,8 @@ def _run_service_command(args, ds: Dataset, out) -> int:
             parallel=parallel,
             executor=args.executor,
             max_workers=args.workers,
+            kernel=args.kernel,
+            sampling=args.sampling,
         )
     with session:
         if args.command == "batch":
@@ -853,6 +912,8 @@ def _run_serve_tcp(args, ds: Dataset, region, parallel) -> int:
         parallel=parallel,
         executor=args.executor,
         max_workers=args.workers,
+        kernel=args.kernel,
+        sampling=args.sampling,
     )
     registry.add_dataset(args.dataset_name, ds, region=region)
     config = ServerConfig(

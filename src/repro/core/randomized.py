@@ -35,7 +35,7 @@ from repro.core.dataset import Dataset
 from repro.core.ranking import Ranking
 from repro.core.region import FullSpace, RegionOfInterest
 from repro.core.stability import StabilityResult
-from repro.engine import kernel
+from repro.engine import kernel, kernels
 from repro.errors import BudgetExceededError, ExhaustedError
 from repro.sampling.montecarlo import confidence_error
 
@@ -90,6 +90,25 @@ class GetNextRandomized:
         over ``dataset.values``, shared across operators so a serving
         session pays the band construction once (the index caches per
         ``k``).  ``None`` builds a private index on demand.
+    kernel_backend:
+        Kernel backend for the chunk reduction — a name (``"numpy"``,
+        ``"numba"``, ``"auto"``) or a
+        :class:`repro.engine.kernels.KernelBackend` instance.  ``None``
+        resolves via the ``REPRO_KERNEL`` environment variable, then
+        auto-selects the fastest available backend.  Every backend
+        produces the byte-identical tally (keys, counts, first-seen
+        order) and never touches the rng stream; the choice is a pure
+        speed dial and is deliberately *not* part of durable state.
+    sampling:
+        ``"mc"`` (default) draws i.i.d. uniform weights from the rng;
+        ``"qmc"`` drives the pool with a randomised low-discrepancy
+        stream (:class:`repro.sampling.quasi.QuasiStream`) — one
+        Cranley-Patterson shift drawn from the rng at construction, a
+        running Halton index continuing a single sequence across
+        observe passes.  Only the full space and orthant-contained
+        cones support it.  The estimator stays unbiased but the draws
+        are no longer independent, so confidence half-widths are the
+        (conservative) i.i.d. ones.
     """
 
     def __init__(
@@ -104,6 +123,8 @@ class GetNextRandomized:
         scoring_chunk: int | None = None,
         prune_topk: bool | None = None,
         skyband=None,
+        kernel_backend: "str | kernels.KernelBackend | None" = None,
+        sampling: str = "mc",
     ):
         if kind not in ("full", "topk_ranked", "topk_set"):
             raise ValueError(f"unknown ranking kind {kind!r}")
@@ -112,15 +133,27 @@ class GetNextRandomized:
                 raise ValueError(
                     f"top-k kinds require 1 <= k <= {dataset.n_items}, got {k}"
                 )
+        if sampling not in ("mc", "qmc"):
+            raise ValueError(f"sampling must be 'mc' or 'qmc', got {sampling!r}")
         self.dataset = dataset
         self.region = region if region is not None else FullSpace(dataset.n_attributes)
         self.kind: RankingKind = kind
         self.k = int(k) if k is not None else None
         self.rng = rng if rng is not None else np.random.default_rng()
         self.confidence = confidence
+        self.kernel_backend = kernels.resolve_kernel(kernel_backend)
+        self.sampling = sampling
+        if sampling == "qmc":
+            from repro.sampling.quasi import QuasiStream
+
+            self._qmc = QuasiStream.for_region(self.region, self.rng)
+        else:
+            self._qmc = None
         self._auto_chunk = scoring_chunk is None
         if scoring_chunk is None:
-            self.scoring_chunk = kernel.auto_chunk_size(dataset.n_items)
+            self.scoring_chunk = kernel.auto_chunk_size(
+                dataset.n_items, scale=self.kernel_backend.chunk_scale
+            )
         else:
             self.scoring_chunk = max(1, int(scoring_chunk))
         # State shared across get_next calls (Algorithm 7's cnts / N').
@@ -193,7 +226,9 @@ class GetNextRandomized:
             self.dataset.values[candidates]
         )
         if self._auto_chunk:
-            self.scoring_chunk = kernel.auto_chunk_size(candidates.size)
+            self.scoring_chunk = kernel.auto_chunk_size(
+                candidates.size, scale=self.kernel_backend.chunk_scale
+            )
 
     def plan_chunks(self, n_new: int) -> list[int]:
         """The chunk decomposition of an ``n_new``-sample observe pass.
@@ -210,6 +245,19 @@ class GetNextRandomized:
             remaining -= batch
         return sizes
 
+    def sample_weights(self, batch: int) -> np.ndarray:
+        """The next ``batch`` sampled weight rows of this operator's stream.
+
+        The single sampling entry point shared by the serial observe
+        loop and the thread/process observers — ``"mc"`` consumes the
+        rng, ``"qmc"`` advances the low-discrepancy stream.  Callers
+        must draw in plan order (one chunk at a time) so every observe
+        path consumes the identical stream.
+        """
+        if self._qmc is not None:
+            return self._qmc.sample(batch)
+        return self.region.sample(batch, self.rng)
+
     def rows_for_weights(self, weights: np.ndarray) -> np.ndarray:
         """Ranking-key rows induced by a block of sampled functions.
 
@@ -222,21 +270,54 @@ class GetNextRandomized:
         else:
             values, candidates = self.dataset.values, None
         scores = kernel.score_block(values, weights)
-        if self.kind == "full":
-            return kernel.full_ranking_rows(scores)
-        rows = kernel.topk_rows(scores, self.k, ranked=self.kind == "topk_ranked")
+        rows = self.kernel_backend.rank_rows(scores, kind=self.kind, k=self.k)
         if candidates is not None:
             rows = candidates[rows]
         return rows
+
+    def reduce_for_weights(self, weights: np.ndarray, *, out: np.ndarray | None = None):
+        """One chunk's pure reduction on the active kernel backend.
+
+        Returns ``(uniques, freqs, n_rows)`` for
+        :meth:`~repro.engine.kernel.RankingTally.observe_packed`; pure
+        like :meth:`rows_for_weights`, so the thread observer submits it
+        concurrently.  ``out`` optionally reuses a preallocated score
+        buffer (serial path only — concurrent chunks must not share one).
+        """
+        if self._candidate_values is not None:
+            values, candidates = self._candidate_values, self._candidates
+        else:
+            values, candidates = self.dataset.values, None
+        return self.kernel_backend.reduce_chunk(
+            values,
+            weights,
+            kind=self.kind,
+            k=self.k,
+            key_dtype=self._tally.dtype,
+            candidates=candidates,
+            out=out,
+        )
 
     def observe(self, n_new: int) -> None:
         """Draw ``n_new`` functions and tally the induced (partial) rankings."""
         if n_new <= 0:
             return
         self.prepare_observe(n_new)
-        for batch in self.plan_chunks(n_new):
-            weights = self.region.sample(batch, self.rng)
-            self._tally.observe_rows(self.rows_for_weights(weights))
+        plan = self.plan_chunks(n_new)
+        if not plan:
+            return
+        n_effective = (
+            self._candidate_values.shape[0]
+            if self._candidate_values is not None
+            else self.dataset.n_items
+        )
+        # One score buffer for the whole pass: every chunk's GEMM writes
+        # into the same (chunk, n) block instead of allocating afresh.
+        buf = np.empty((max(plan), n_effective), dtype=np.float64)
+        for batch in plan:
+            weights = self.sample_weights(batch)
+            keys, freqs, n_rows = self.reduce_for_weights(weights, out=buf)
+            self._tally.observe_packed(keys, freqs, n_rows)
 
     def _result_for(self, key: bytes) -> StabilityResult:
         count = self._tally.count_of(key)
@@ -469,6 +550,10 @@ class GetNextRandomized:
             "candidates_installed": self._candidates is not None,
             "returned": returned,
             "tally": tally_state,
+            # The kernel backend is deliberately absent: it is a pure
+            # speed dial (byte-identical tallies), chosen per host.
+            "sampling": self.sampling,
+            "qmc": self._qmc.export_state() if self._qmc is not None else None,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -537,6 +622,20 @@ class GetNextRandomized:
         candidates_installed = state["candidates_installed"]
         auto_chunk = state["auto_chunk"]
         scoring_chunk = int(state["scoring_chunk"])
+        # Sampling-mode keys post-date the first snapshot format; absent
+        # keys mean a plain-MC pool (.get defaults keep old snapshots
+        # restoring byte-identically).
+        sampling = state.get("sampling", "mc")
+        if sampling not in ("mc", "qmc"):
+            raise ValueError(f"unknown sampling mode {sampling!r} in state")
+        qmc_state = state.get("qmc")
+        qmc = None
+        if sampling == "qmc":
+            if qmc_state is None:
+                raise ValueError("sampling='qmc' state is missing its stream")
+            from repro.sampling.quasi import QuasiStream
+
+            qmc = QuasiStream.restore(self.region, qmc_state)
         # All validation passed — adopt atomically.
         self._tally = tally
         self.returned = returned
@@ -557,6 +656,8 @@ class GetNextRandomized:
                 )
         self._auto_chunk = auto_chunk
         self.scoring_chunk = scoring_chunk
+        self.sampling = sampling
+        self._qmc = qmc
 
     def top_h(self, h: int, *, budget_first: int, budget_rest: int) -> list[StabilityResult]:
         """Convenience: the h most stable rankings under a budget schedule.

@@ -3,20 +3,25 @@
 - :mod:`repro.engine.kernel` — the vectorized ranking kernel every
   backend's hot path runs on (chunked BLAS scoring, bulk top-k
   extraction, byte-packed count keys, heap-backed best-unreturned);
+- :mod:`repro.engine.kernels` — the pluggable kernel-backend registry
+  for the chunk reduction (``numpy`` reference, jitted ``numba``),
+  selected via ``REPRO_KERNEL`` / the ``--kernel`` CLI dial;
 - :mod:`repro.engine.backends` — the backend protocol and registry
   (``twod_exact``, ``md_arrangement``, ``randomized``);
 - :mod:`repro.engine.engine` — the :class:`StabilityEngine` facade
   with ``(d, n, kind, budget)`` auto-dispatch.
 
-The kernel is imported eagerly; the backends and facade load lazily on
-first attribute access because they depend on :mod:`repro.core`, which
-itself routes its randomized hot path through the kernel.
+The kernel (and its backend registry) is imported eagerly; the
+stability backends and facade load lazily on first attribute access
+because they depend on :mod:`repro.core`, which itself routes its
+randomized hot path through the kernel.
 """
 
-from repro.engine import kernel
+from repro.engine import kernel, kernels
 
 __all__ = [
     "kernel",
+    "kernels",
     "StabilityEngine",
     "StabilityBackend",
     "register_backend",

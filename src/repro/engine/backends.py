@@ -364,6 +364,8 @@ class RandomizedBackend(_IterMixin):
         scoring_chunk: int | None = None,
         prune_topk: bool | None = None,
         skyband=None,
+        kernel_backend=None,
+        sampling: str = "mc",
     ):
         self.dataset = dataset
         self.region = (
@@ -379,6 +381,8 @@ class RandomizedBackend(_IterMixin):
             scoring_chunk=scoring_chunk,
             prune_topk=prune_topk,
             skyband=skyband,
+            kernel_backend=kernel_backend,
+            sampling=sampling,
         )
 
     @property

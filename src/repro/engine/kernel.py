@@ -65,16 +65,22 @@ def auto_chunk_size(
     target_bytes: int = _TARGET_BLOCK_BYTES,
     lo: int = _MIN_CHUNK,
     hi: int = _MAX_CHUNK,
+    scale: float = 1.0,
 ) -> int:
     """Rows of sampled functions per scoring block, auto-tuned to ``n``.
 
     Bounds the transient ``(chunk, n)`` float64 score matrix (and the
     same-shaped argsort workspace) near ``target_bytes``, clamped to
-    ``[lo, hi]``.  Deterministic: the result depends only on ``n`` and
-    the explicit arguments, so two operators over the same dataset
-    always agree on the chunk decomposition.  Setting the
-    ``REPRO_SCORING_CHUNK`` environment variable overrides the tuning
-    entirely with a fixed positive row count.
+    ``[lo, hi]``.  ``scale`` is the active kernel backend's chunk
+    multiplier (:attr:`repro.engine.kernels.KernelBackend.chunk_scale`):
+    a compiled reduction streams each row once with no sort workspace,
+    so it tolerates proportionally larger blocks (the clamp ceiling
+    scales with it).  Deterministic: the result depends only on ``n``
+    and the explicit arguments, so two operators over the same dataset
+    *and kernel backend* always agree on the chunk decomposition.
+    Setting the ``REPRO_SCORING_CHUNK`` environment variable overrides
+    the tuning — including ``scale`` — with a fixed positive row count,
+    which is what pins one reproducible decomposition across backends.
     """
     if n_items < 1:
         raise ValueError(f"n_items must be >= 1, got {n_items}")
@@ -86,19 +92,32 @@ def auto_chunk_size(
                 f"{CHUNK_ENV_VAR} must be a positive integer, got {override!r}"
             )
         return pinned
+    if scale <= 0.0:
+        raise ValueError(f"scale must be positive, got {scale}")
     per_row = 8 * max(n_items, 1)
-    return int(np.clip(target_bytes // per_row, lo, hi))
+    return int(
+        np.clip(int(target_bytes * scale) // per_row, lo, max(hi, int(hi * scale)))
+    )
 
 
-def score_block(values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+def score_block(
+    values: np.ndarray, weights: np.ndarray, *, out: np.ndarray | None = None
+) -> np.ndarray:
     """Score every item under every sampled function: ``(batch, n)``.
 
     One BLAS GEMM — ``weights @ values.T`` — with both operands forced
     to contiguous float64 so the product never falls back to a strided
-    loop.
+    loop.  ``out`` is an optional preallocated ``(>= batch, n)`` float64
+    buffer; the leading ``batch`` rows are written in place and returned,
+    so one observe pass can reuse a single buffer across all its chunks
+    instead of allocating a fresh score matrix per BLAS call.
     """
     v = np.ascontiguousarray(values, dtype=np.float64)
     w = np.ascontiguousarray(np.atleast_2d(weights), dtype=np.float64)
+    if out is not None:
+        target = out[: w.shape[0]]
+        np.matmul(w, v.T, out=target)
+        return target
     return w @ v.T
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "halton",
     "quasi_cap_points",
     "quasi_orthant_points",
+    "QuasiStream",
 ]
 
 _FIRST_PRIMES = (
@@ -147,12 +148,19 @@ def _sphere_from_cube(cube: np.ndarray) -> np.ndarray:
     return out
 
 
+def cap_cube_coords(d: int) -> int:
+    """Halton dimensions the cap construction consumes for ambient ``d``."""
+    return max(d - 1, 1) if d > 2 else 2
+
+
 def quasi_cap_points(
     ray: np.ndarray,
     theta: float,
     n: int,
     *,
     rng: np.random.Generator | None = None,
+    start: int = 1,
+    shift: np.ndarray | None = None,
 ) -> np.ndarray:
     """Low-discrepancy uniform points on the cap of ``theta`` around ``ray``.
 
@@ -160,8 +168,10 @@ def quasi_cap_points(
     Algorithm 11: coordinate 0 becomes the colatitude via the exact
     inverse CDF, the remaining coordinates the cross-section direction.
     When ``rng`` is given, a Cranley-Patterson shift randomises the
-    sequence (unbiased across replications); otherwise the point set is
-    deterministic.
+    sequence (unbiased across replications); an explicit ``shift``
+    pins the randomisation instead, and ``start`` is the first Halton
+    index — together they let a resumable stream (:class:`QuasiStream`)
+    continue one sequence across calls, chunk boundaries invisible.
     """
     direction = np.asarray(ray, dtype=np.float64)
     d = direction.shape[0]
@@ -169,9 +179,10 @@ def quasi_cap_points(
         raise ValueError("cap sampling requires dimension >= 2")
     if not 0.0 < theta <= math.pi / 2 + 1e-12:
         raise ValueError(f"theta must be in (0, pi/2], got {theta}")
-    n_coords = max(d - 1, 1) if d > 2 else 2
-    shift = rng.uniform(0.0, 1.0, size=n_coords) if rng is not None else None
-    cube = halton(n, n_coords, shift=shift)
+    n_coords = cap_cube_coords(d)
+    if shift is None and rng is not None:
+        shift = rng.uniform(0.0, 1.0, size=n_coords)
+    cube = halton(n, n_coords, start=start, shift=shift)
     colat = np.asarray(inverse_cap_cdf(cube[:, 0], theta, d))
     if d == 2:
         signs = np.where(cube[:, 1] < 0.5, -1.0, 1.0)
@@ -189,6 +200,8 @@ def quasi_orthant_points(
     n: int,
     *,
     rng: np.random.Generator | None = None,
+    start: int = 1,
+    shift: np.ndarray | None = None,
 ) -> np.ndarray:
     """Low-discrepancy uniform points on the orthant section of the sphere.
 
@@ -196,11 +209,127 @@ def quasi_orthant_points(
     (coordinate-wise absolute value) is uniform on the orthant section
     — the sphere is tiled by the ``2^d`` reflected copies — so the
     full-sphere Halton construction folds directly onto the paper's
-    function space ``U``.
+    function space ``U``.  ``start`` / an explicit ``shift`` continue
+    one randomised sequence across calls (see :func:`quasi_cap_points`).
     """
     if dim < 2:
         raise ValueError(f"dimension must be >= 2, got {dim}")
     n_coords = dim - 1
-    shift = rng.uniform(0.0, 1.0, size=n_coords) if rng is not None else None
-    cube = halton(n, n_coords, shift=shift)
+    if shift is None and rng is not None:
+        shift = rng.uniform(0.0, 1.0, size=n_coords)
+    cube = halton(n, n_coords, start=start, shift=shift)
     return np.abs(_sphere_from_cube(cube))
+
+
+class QuasiStream:
+    """A resumable randomised-QMC weight stream over one region.
+
+    Wraps the quasi samplers for use as the randomized operator's
+    sampling source: one Cranley-Patterson shift is drawn from the
+    operator's rng at construction (so replications with different
+    seeds stay unbiased and independent), and a running Halton index
+    makes successive :meth:`sample` calls continue a *single*
+    low-discrepancy sequence — the chunk decomposition of an observe
+    pass is invisible to the point set, exactly as the plain-MC rng
+    stream is.
+
+    Supported regions: the full function space (orthant folding) and
+    cones whose cap stays inside the non-negative orthant (the exact
+    inverse-CDF construction).  A cap that leaves the orthant — or a
+    constraint-defined region — needs acceptance-rejection, which has
+    no fixed per-point Halton cost, so those regions reject ``qmc``
+    sampling up front instead of silently estimating the wrong measure.
+    """
+
+    __slots__ = ("region", "_index", "_shift")
+
+    def __init__(self, region, *, shift: np.ndarray, index: int = 1):
+        self._check_region(region)
+        self.region = region
+        expected = self.coords_for(region)
+        shift = np.asarray(shift, dtype=np.float64)
+        if shift.shape != (expected,):
+            raise ValueError(
+                f"shift must have shape ({expected},), got {shift.shape}"
+            )
+        if int(index) < 1:
+            raise ValueError(f"index must be >= 1, got {index}")
+        self._shift = shift
+        self._index = int(index)
+
+    # -- region support -------------------------------------------------
+    @staticmethod
+    def _check_region(region) -> None:
+        from repro.core.region import Cone, FullSpace
+
+        if isinstance(region, FullSpace):
+            return
+        if isinstance(region, Cone):
+            if region._needs_orthant_check:
+                raise ValueError(
+                    "qmc sampling requires a cap contained in the "
+                    "non-negative orthant; this cone needs rejection "
+                    "(use sampling='mc')"
+                )
+            return
+        raise ValueError(
+            f"qmc sampling supports FullSpace and Cone regions, "
+            f"got {type(region).__name__}"
+        )
+
+    @staticmethod
+    def coords_for(region) -> int:
+        """Halton dimensions the stream consumes for ``region``."""
+        from repro.core.region import Cone
+
+        if isinstance(region, Cone):
+            return cap_cube_coords(region.dim)
+        return region.dim - 1
+
+    @classmethod
+    def for_region(cls, region, rng: np.random.Generator) -> "QuasiStream":
+        """A fresh stream with its shift drawn from ``rng`` (one draw)."""
+        cls._check_region(region)
+        shift = rng.uniform(0.0, 1.0, size=cls.coords_for(region))
+        return cls(region, shift=shift)
+
+    # -- sampling -------------------------------------------------------
+    @property
+    def index(self) -> int:
+        """The next Halton index this stream will consume (1-based)."""
+        return self._index
+
+    def sample(self, n: int) -> np.ndarray:
+        """The next ``n`` stream points as ``(n, d)`` weight rows."""
+        from repro.core.region import Cone
+
+        if n <= 0:
+            return np.empty((0, self.region.dim))
+        if isinstance(self.region, Cone):
+            points = quasi_cap_points(
+                self.region.ray,
+                self.region.theta,
+                n,
+                start=self._index,
+                shift=self._shift,
+            )
+        else:
+            points = quasi_orthant_points(
+                self.region.dim, n, start=self._index, shift=self._shift
+            )
+        self._index += n
+        return points
+
+    # -- durable state --------------------------------------------------
+    def export_state(self) -> dict:
+        """Mid-stream state: the shift and the next Halton index."""
+        return {"index": self._index, "shift": self._shift.tolist()}
+
+    @classmethod
+    def restore(cls, region, state: dict) -> "QuasiStream":
+        """Rebuild a stream mid-sequence from :meth:`export_state`."""
+        return cls(
+            region,
+            shift=np.asarray(state["shift"], dtype=np.float64),
+            index=int(state["index"]),
+        )

@@ -187,9 +187,13 @@ class SessionRegistry:
         session — checkpointing it first when durable — so a server
         over many datasets bounds its memory by warm working set, not
         catalogue size.
-    seed, budget, parallel, executor, max_workers, start_method, cache_size:
+    seed, budget, parallel, executor, max_workers, start_method, \
+cache_size, kernel, sampling:
         Cold-start session parameters (see
-        :class:`~repro.service.StabilitySession`).  Restored sessions
+        :class:`~repro.service.StabilitySession`).  ``budget`` accepts
+        a sample count or a ``"ci:WIDTH[@MAX]"`` precision spec;
+        ``kernel`` picks the reduction backend for every session
+        (runtime-only, also applied to restores).  Restored sessions
         take their durable identity from the snapshot instead;
         ``executor="process"`` gives every session a persistent
         shared-memory worker pool, so pool-growth writes run
@@ -203,12 +207,14 @@ class SessionRegistry:
         state_dir=None,
         max_active: int = 8,
         seed: int = 0,
-        budget: int | None = None,
+        budget: int | str | None = None,
         parallel: bool | str = "auto",
         executor: str | None = None,
         max_workers: int | None = None,
         start_method: str | None = None,
         cache_size: int = 512,
+        kernel: str | None = None,
+        sampling: str = "mc",
     ):
         self.state_dir = Path(state_dir) if state_dir is not None else None
         if self.state_dir is not None:
@@ -221,6 +227,8 @@ class SessionRegistry:
         self.max_workers = max_workers
         self.start_method = start_method
         self.cache_size = cache_size
+        self.kernel = kernel
+        self.sampling = sampling
         self._datasets: dict[str, tuple[Dataset, RegionOfInterest]] = {}
         self._active: dict[str, ManagedSession] = {}
         self._mutex = asyncio.Lock()
@@ -290,6 +298,7 @@ class SessionRegistry:
                     executor=self.executor,
                     max_workers=self.max_workers,
                     start_method=self.start_method,
+                    kernel=self.kernel,
                 )
                 restored = True
                 self.restores += 1
@@ -308,6 +317,8 @@ class SessionRegistry:
                 executor=self.executor,
                 max_workers=self.max_workers,
                 start_method=self.start_method,
+                kernel=self.kernel,
+                sampling=self.sampling,
             )
         return ManagedSession(
             name=name,

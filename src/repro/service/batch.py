@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Literal
 
 from repro.core.stability import StabilityResult
+from repro.service.budget import PrecisionBudget, parse_budget
 
 __all__ = ["StabilityRequest", "BatchOutcome", "BatchPlanner", "execute_batch"]
 
@@ -46,7 +47,10 @@ class StabilityRequest:
     kind, k, backend:
         The query configuration, as in the session methods.
     budget:
-        Cumulative pool target (randomized configurations).
+        Cumulative pool target (randomized configurations): a sample
+        count, or a ``"ci:WIDTH[@MAX]"`` precision spec (parsed at
+        construction, so a garbled spec fails the one request, not the
+        batch).
     m:
         Result count for ``top_stable``.
     ranking:
@@ -62,7 +66,7 @@ class StabilityRequest:
     kind: str = "full"
     k: int | None = None
     backend: str = "auto"
-    budget: int | None = None
+    budget: int | str | PrecisionBudget | None = None
     m: int = 1
     ranking: tuple[int, ...] | None = None
     min_stability: float = 0.0
@@ -71,6 +75,7 @@ class StabilityRequest:
     def __post_init__(self):
         if self.op not in _OPS:
             raise ValueError(f"op must be one of {_OPS}, got {self.op!r}")
+        object.__setattr__(self, "budget", parse_budget(self.budget))
         if self.op == "top_stable" and self.m < 1:
             raise ValueError(f"top_stable needs m >= 1, got {self.m}")
         if self.op == "stability_of":
@@ -114,15 +119,21 @@ class BatchPlanner:
 
     session: object
     prefill_targets: dict = field(default_factory=dict, init=False)
+    precision_targets: dict = field(default_factory=dict, init=False)
 
     def plan(self, requests) -> dict:
         """Per-configuration pool targets: the amortization schedule.
 
         Returns ``{(kind, k, resolved_backend): max cumulative target}``
-        over the batch's randomized-configuration requests.
+        over the batch's randomized-configuration requests with plain
+        sample-count targets.  Precision (``"ci:..."``) targets follow
+        a different order — tightest width wins — so they accumulate
+        separately in :attr:`precision_targets`; ``execute`` prefills
+        both.
         """
         session = self.session
         targets: dict[tuple, int] = {}
+        precision: dict[tuple, PrecisionBudget] = {}
         for request in requests:
             try:
                 state = session._state(
@@ -147,16 +158,38 @@ class BatchPlanner:
                 budget=request.budget,
                 min_samples=request.min_samples,
             )
-            targets[key] = max(targets.get(key, 0), target)
+            if isinstance(target, PrecisionBudget):
+                held = precision.get(key)
+                if (
+                    held is None
+                    or target.width < held.width
+                    or (
+                        target.width == held.width
+                        and target.max_samples > held.max_samples
+                    )
+                ):
+                    precision[key] = target
+            else:
+                targets[key] = max(targets.get(key, 0), target)
         self.prefill_targets = targets
+        self.precision_targets = precision
         return targets
 
     def execute(self, requests) -> list[BatchOutcome]:
         """Prefill pools, then answer every request in submission order."""
         requests = list(requests)
         session = self.session
-        for (kind, k, backend), target in self.plan(requests).items():
+        self.plan(requests)
+        for (kind, k, backend), target in self.prefill_targets.items():
             session._ensure_pool(session._state(kind, k, backend), target)
+        for (kind, k, backend), budget in self.precision_targets.items():
+            try:
+                session._ensure_pool(session._state(kind, k, backend), budget)
+            except Exception:
+                # A cap hit during prefill is not a batch failure: the
+                # requests that named this budget re-raise it under
+                # their own per-request isolation below.
+                pass
         outcomes: list[BatchOutcome] = []
         for request in requests:
             try:

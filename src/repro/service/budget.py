@@ -1,0 +1,182 @@
+"""Precision-targeted sampling budgets (``"ci:0.02"``-style).
+
+A raw sample count is the wrong dial for most serving workloads: the
+caller cares about the *precision* of the answer, not the pool size
+that happens to deliver it.  A :class:`PrecisionBudget` names a target
+confidence-interval half-width for the leading ranking; the controller
+(:func:`ensure_precision`) grows the pool just until the target is met
+— jumping most of the way in one pass using the paper's expected-budget
+formula (Equation 11) instead of creeping up in fixed steps — and stops
+observing the moment the estimate is tight enough.
+
+The spec grammar, shared by the session parameter, the batch planner,
+the wire protocol, and the CLI::
+
+    5000              plain cumulative sample target (unchanged)
+    "ci:0.02"         grow until the leading CI half-width is <= 0.02
+    "ci:0.02@200000"  same, but cap the pool at 200,000 samples
+
+Hitting the cap before the width is reached raises
+:class:`~repro.errors.BudgetExceededError`, mirroring Algorithm 8's
+fixed-confidence stopping rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BudgetExceededError
+from repro.sampling.montecarlo import confidence_error, expected_samples_for_error
+
+__all__ = [
+    "DEFAULT_PRECISION_CAP",
+    "PrecisionBudget",
+    "parse_budget",
+    "precision_satisfied",
+    "ensure_precision",
+]
+
+#: Default pool cap for precision budgets without an explicit ``@max``
+#: (matches Algorithm 8's ``max_samples`` safety valve).
+DEFAULT_PRECISION_CAP = 10_000_000
+
+#: Pool size of the first observe pass when a precision budget starts
+#: from an empty pool — enough to see a leading ranking and seed the
+#: Equation 11 jump without overshooting tiny datasets.
+_SEED_SAMPLES = 1_000
+
+
+@dataclass(frozen=True)
+class PrecisionBudget:
+    """A CI-half-width target for the leading ranking of a pool.
+
+    ``width`` is the maximum acceptable confidence half-width
+    (Equation 10) of the pool's most frequent ranking; ``max_samples``
+    caps the pool.  Instances are valid cache-key components and
+    ``spec`` round-trips through :func:`parse_budget`.
+    """
+
+    width: float
+    max_samples: int = DEFAULT_PRECISION_CAP
+
+    def __post_init__(self):
+        if not 0.0 < float(self.width) < 1.0:
+            raise ValueError(
+                f"precision width must be in (0, 1), got {self.width}"
+            )
+        if int(self.max_samples) < 1:
+            raise ValueError(
+                f"max_samples must be >= 1, got {self.max_samples}"
+            )
+        object.__setattr__(self, "width", float(self.width))
+        object.__setattr__(self, "max_samples", int(self.max_samples))
+
+    @property
+    def spec(self) -> str:
+        """The canonical string form (``parse_budget(spec) == self``)."""
+        if self.max_samples == DEFAULT_PRECISION_CAP:
+            return f"ci:{self.width:g}"
+        return f"ci:{self.width:g}@{self.max_samples}"
+
+    def __str__(self) -> str:
+        return self.spec
+
+
+def parse_budget(value):
+    """Normalise one budget value from any surface (CLI, wire, API).
+
+    ``None`` and :class:`PrecisionBudget` pass through; positive ints
+    pass through; strings parse as either a plain integer or the
+    ``ci:WIDTH[@MAX]`` precision grammar.  Anything else raises
+    :class:`ValueError` — budgets arrive from the wire, so type
+    confusion must surface as a bad request, not a crash downstream.
+    """
+    if value is None or isinstance(value, PrecisionBudget):
+        return value
+    if isinstance(value, bool):
+        raise ValueError(f"budget must be an int or a spec string, got {value!r}")
+    if isinstance(value, int):
+        if value < 1:
+            raise ValueError(f"budget must be >= 1, got {value}")
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        if text.startswith("ci:"):
+            body = text[3:]
+            width_text, sep, cap_text = body.partition("@")
+            try:
+                width = float(width_text)
+            except ValueError:
+                raise ValueError(f"bad precision width in budget {value!r}") from None
+            if sep:
+                try:
+                    cap = int(cap_text)
+                except ValueError:
+                    raise ValueError(
+                        f"bad sample cap in budget {value!r}"
+                    ) from None
+                return PrecisionBudget(width, cap)
+            return PrecisionBudget(width)
+        try:
+            return parse_budget(int(text))
+        except ValueError:
+            raise ValueError(
+                f"budget must be an integer or 'ci:WIDTH[@MAX]', got {value!r}"
+            ) from None
+    raise ValueError(f"budget must be an int or a spec string, got {value!r}")
+
+
+def _leading_interval(raw, confidence: float):
+    """``(stability, half_width)`` of the pool's most frequent ranking,
+    or ``None`` for an empty (or ranking-free) pool."""
+    total = raw.total_samples
+    if total <= 0:
+        return None
+    keys = raw.tally.top_keys(1)
+    if not keys:
+        return None
+    stability = raw.tally.count_of(keys[0]) / total
+    return stability, confidence_error(stability, total, confidence=confidence)
+
+
+def precision_satisfied(raw, budget: PrecisionBudget, *, confidence: float) -> bool:
+    """Whether ``raw``'s pool already meets ``budget`` — a pure read.
+
+    The warm-read classifier uses this: a satisfied budget means
+    :func:`ensure_precision` would observe nothing, so the query is
+    provably non-mutating.
+    """
+    leading = _leading_interval(raw, confidence)
+    return leading is not None and leading[1] <= budget.width
+
+
+def ensure_precision(raw, budget: PrecisionBudget, observe, *, confidence: float) -> int:
+    """Grow ``raw``'s pool until the leading CI half-width meets ``budget``.
+
+    ``observe`` is the growth callback (``observe(n_new)``) — the
+    session passes its :class:`~repro.service.parallel.ObserveExecutor`
+    so precision-driven passes shard exactly like fixed-budget ones.
+    Each round jumps to the Equation 11 estimate for the current
+    leading stability (floored at a pool doubling, so a drifting
+    estimate still converges geometrically), capped by
+    ``budget.max_samples``.  Returns the final pool size; raises
+    :class:`~repro.errors.BudgetExceededError` when the cap is reached
+    without meeting the width.
+    """
+    while not precision_satisfied(raw, budget, confidence=confidence):
+        total = raw.total_samples
+        if total >= budget.max_samples:
+            raise BudgetExceededError(
+                f"confidence half-width {budget.width} not reached within "
+                f"{budget.max_samples} samples"
+            )
+        leading = _leading_interval(raw, confidence)
+        if leading is None:
+            need = _SEED_SAMPLES
+        else:
+            expected = expected_samples_for_error(
+                leading[0], budget.width, confidence=confidence
+            )
+            need = max(expected - total, total, _SEED_SAMPLES)
+        observe(min(need, budget.max_samples - total))
+    return raw.total_samples

@@ -39,7 +39,6 @@ from concurrent.futures import Executor, ThreadPoolExecutor
 import numpy as np
 
 from repro.core.randomized import GetNextRandomized
-from repro.engine import kernel
 
 __all__ = [
     "PARALLEL_MIN_ITEMS",
@@ -162,12 +161,13 @@ def _reduce_chunk(op: GetNextRandomized, weights: np.ndarray):
 
     Returns the packed ``np.unique`` arrays as-is —
     :meth:`~repro.engine.kernel.RankingTally.observe_packed` consumes
-    array keys directly, so no per-key Python list is built here.
+    array keys directly, so no per-key Python list is built here.  The
+    reduction runs on the operator's kernel backend
+    (:meth:`~GetNextRandomized.reduce_for_weights`); the jitted backend
+    releases the GIL for the whole selection, so threads win extra
+    speedup beyond the BLAS sections.
     """
-    rows = op.rows_for_weights(weights)
-    packed = kernel.pack_rows(rows, op.tally.dtype)
-    uniques, freqs = np.unique(packed, return_counts=True)
-    return uniques, freqs, rows.shape[0]
+    return op.reduce_for_weights(weights)
 
 
 def parallel_observe(
@@ -235,9 +235,10 @@ def parallel_observe(
         ):
             op.observe(n_new)
             return 0
-    # Sampling consumes the rng serially in plan order — the stream is
-    # identical to the serial path's.
-    weight_chunks = [op.region.sample(batch, op.rng) for batch in sizes]
+    # Sampling consumes the operator's stream serially in plan order —
+    # identical to the serial path's (rng for "mc", the quasi stream's
+    # running Halton index for "qmc").
+    weight_chunks = [op.sample_weights(batch) for batch in sizes]
     own_pool: ThreadPoolExecutor | None = None
     pool = executor
     if pool is None:

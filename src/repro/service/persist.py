@@ -65,6 +65,7 @@ from repro.errors import (
     SnapshotVersionError,
 )
 from repro.geometry.halfspace import ConvexCone, Halfspace
+from repro.service.budget import PrecisionBudget
 from repro.service.cache import dataset_fingerprint
 
 __all__ = [
@@ -271,7 +272,14 @@ def save_session(session, path: str | Path) -> SnapshotInfo:
         "entropy": session._entropy,
         "confidence": session.confidence,
         "region": session._region_key,
-        "budget_hint": session._budget_hint,
+        # Precision budgets serialize as their spec string — the header
+        # is JSON, and the spec round-trips through parse_budget on load.
+        "budget_hint": (
+            session._budget_hint.spec
+            if isinstance(session._budget_hint, PrecisionBudget)
+            else session._budget_hint
+        ),
+        "sampling": session.sampling,
         "configs": configs,
         "cache_entries": len(entries),
         "cache_skipped": skipped,
@@ -436,6 +444,7 @@ def load_session(
     executor: str | None = None,
     max_workers: int | None = None,
     start_method: str | None = None,
+    kernel: str | None = None,
 ):
     """Restore a :class:`StabilitySession` from a snapshot of it.
 
@@ -444,8 +453,10 @@ def load_session(
     region of interest — durable state over the wrong data is refused
     with :class:`~repro.errors.SnapshotMismatchError`, never guessed
     around.  Runtime-only knobs (``parallel``, ``executor``,
-    ``max_workers``, cache wiring) are the caller's to choose afresh;
-    everything the answers depend on comes from the file.
+    ``max_workers``, cache wiring, ``kernel``) are the caller's to
+    choose afresh; everything the answers depend on comes from the
+    file.  A pool sampled under one kernel backend restores and
+    continues identically under another — backends agree byte-for-byte.
     """
     from repro.service.session import StabilitySession
 
@@ -466,6 +477,8 @@ def load_session(
         max_workers=max_workers,
         start_method=start_method,
         budget=header["budget_hint"],
+        kernel=kernel,
+        sampling=header.get("sampling", "mc"),
     )
     if header["fingerprint"] != session.fingerprint:
         session.close()

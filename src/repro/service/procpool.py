@@ -53,7 +53,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.core.randomized import GetNextRandomized
-from repro.engine import kernel
+from repro.engine import kernels
 
 __all__ = [
     "START_METHOD_ENV_VAR",
@@ -200,25 +200,27 @@ def _attach(spec) -> np.ndarray:
 
 def _proc_reduce(spec: dict, weights: np.ndarray):
     """Worker body: one chunk's pure reduction, identical to the serial
-    :meth:`GetNextRandomized.rows_for_weights` + byte-pack + unique."""
+    :meth:`GetNextRandomized.reduce_for_weights`.
+
+    The spec names the owner's kernel backend; workers share the host
+    (and its numba availability), so resolving the name here routes the
+    reduction through the same backend — byte-identical either way.
+    """
+    backend = kernels.resolve_kernel(spec.get("kernel"))
     if spec["cand_values"] is not None:
         values = _attach(spec["cand_values"])
         cand_ids = _attach(spec["cand_ids"])
     else:
         values = _attach(spec["values"])
         cand_ids = None
-    scores = kernel.score_block(values, weights)
-    if spec["kind"] == "full":
-        rows = kernel.full_ranking_rows(scores)
-    else:
-        rows = kernel.topk_rows(
-            scores, spec["k"], ranked=spec["kind"] == "topk_ranked"
-        )
-        if cand_ids is not None:
-            rows = cand_ids[rows]
-    packed = kernel.pack_rows(rows, np.dtype(spec["key_dtype"]))
-    uniques, freqs = np.unique(packed, return_counts=True)
-    return uniques, freqs, int(rows.shape[0])
+    return backend.reduce_chunk(
+        values,
+        weights,
+        kind=spec["kind"],
+        k=spec["k"],
+        key_dtype=np.dtype(spec["key_dtype"]),
+        candidates=cand_ids,
+    )
 
 
 def _proc_reduce_many(spec: dict, weight_blocks: list):
@@ -233,10 +235,7 @@ def _proc_reduce_many(spec: dict, weight_blocks: list):
 
 def _reduce_in_process(op: GetNextRandomized, weights: np.ndarray):
     """The same reduction on the owner (broken-pool rescue path)."""
-    rows = op.rows_for_weights(weights)
-    packed = kernel.pack_rows(rows, op.tally.dtype)
-    uniques, freqs = np.unique(packed, return_counts=True)
-    return uniques, freqs, int(rows.shape[0])
+    return op.reduce_for_weights(weights)
 
 
 # ----------------------------------------------------------------------
@@ -348,6 +347,7 @@ class ProcessObserveEngine:
             "kind": op.kind,
             "k": op.k,
             "key_dtype": op.tally.dtype.str,
+            "kernel": op.kernel_backend.name,
         }
         if op._candidate_values is not None:
             key = id(op._candidates)
@@ -408,9 +408,10 @@ class ProcessObserveEngine:
         ):
             op.observe(n_new)
             return 0
-        # Serial rng draws in plan order: the stream matches the serial
-        # path's exactly (same contract as the thread-pool observer).
-        weight_chunks = [op.region.sample(batch, op.rng) for batch in sizes]
+        # Serial stream draws in plan order: the stream matches the
+        # serial path's exactly (same contract as the thread-pool
+        # observer), for both the rng and the quasi-MC stream.
+        weight_chunks = [op.sample_weights(batch) for batch in sizes]
         spec = self._spec_for(op)
         # Group several chunks per task: the auto-tuned chunk shrinks as
         # n grows (bounded score-matrix footprint), so a big pass at

@@ -55,6 +55,12 @@ from repro.engine.backends import DEFAULT_BUDGET, resolve_backend
 from repro.engine.engine import StabilityEngine
 from repro.errors import ExhaustedError
 from repro.operators.skyline import KSkybandIndex
+from repro.service.budget import (
+    PrecisionBudget,
+    ensure_precision,
+    parse_budget,
+    precision_satisfied,
+)
 from repro.service.cache import MISS, ResultCache, dataset_fingerprint, make_key
 from repro.service.parallel import ObserveExecutor
 
@@ -128,7 +134,21 @@ class StabilitySession:
     budget:
         Default cumulative pool target per configuration (default
         5,000, the paper's first-call budget); also used as the
-        dispatch hint when resolving ``backend="auto"``.
+        dispatch hint when resolving ``backend="auto"``.  Accepts a
+        plain sample count or a precision spec — ``"ci:0.02"`` /
+        ``"ci:0.02@200000"`` (see :mod:`repro.service.budget`) — in
+        which case pools grow adaptively until the leading ranking's
+        confidence half-width meets the target, and stop there.
+    kernel:
+        Kernel backend for the chunk reduction (``"numpy"``,
+        ``"numba"``, ``"auto"``); ``None`` defers to the
+        ``REPRO_KERNEL`` environment variable, then auto-selection.
+        A pure speed dial: every backend produces byte-identical
+        tallies, so answers (and snapshots) do not depend on it.
+    sampling:
+        ``"mc"`` (default) or ``"qmc"`` — the randomized pools' weight
+        source (plain Monte-Carlo vs a randomised low-discrepancy
+        stream; see :class:`repro.core.randomized.GetNextRandomized`).
     """
 
     def __init__(
@@ -145,7 +165,9 @@ class StabilitySession:
         executor: str | None = None,
         max_workers: int | None = None,
         start_method: str | None = None,
-        budget: int | None = None,
+        budget: "int | str | PrecisionBudget | None" = None,
+        kernel: str | None = None,
+        sampling: str = "mc",
     ):
         self.dataset = dataset
         self.region = (
@@ -161,6 +183,11 @@ class StabilitySession:
         self._observer = ObserveExecutor(
             executor, max_workers=max_workers, start_method=start_method
         )
+        if sampling not in ("mc", "qmc"):
+            raise ValueError(f"sampling must be 'mc' or 'qmc', got {sampling!r}")
+        self.kernel = kernel
+        self.sampling = sampling
+        budget = parse_budget(budget)
         self._budget_hint = budget
         self.default_budget = budget if budget is not None else DEFAULT_BUDGET
         if seed is not None:
@@ -267,6 +294,7 @@ class StabilitySession:
         executor: str | None = None,
         max_workers: int | None = None,
         start_method: str | None = None,
+        kernel: str | None = None,
     ) -> "StabilitySession":
         """Rebuild a session from a :meth:`save` snapshot of it.
 
@@ -276,6 +304,9 @@ class StabilitySession:
         The restored session answers every query byte-identically to
         the session that never restarted — including future ``observe``
         passes, which resume the saved rng streams mid-sequence.
+        Runtime-only knobs (``parallel``, ``executor``, ``kernel``) are
+        the caller's to choose afresh — a pool sampled under one kernel
+        backend restores and continues identically under another.
         """
         from repro.service.persist import load_session
 
@@ -289,6 +320,7 @@ class StabilitySession:
             executor=executor,
             max_workers=max_workers,
             start_method=start_method,
+            kernel=kernel,
         )
 
     def close(self) -> None:
@@ -327,8 +359,13 @@ class StabilitySession:
         state = self._states.get(key)
         if state is None:
             options = {}
-            if resolved == "randomized" and kind != "full":
-                options["skyband"] = self.skyband_index
+            if resolved == "randomized":
+                if kind != "full":
+                    options["skyband"] = self.skyband_index
+                if self.kernel is not None:
+                    options["kernel_backend"] = self.kernel
+                if self.sampling != "mc":
+                    options["sampling"] = self.sampling
             engine = StabilityEngine(
                 self.dataset,
                 region=self.region,
@@ -389,7 +426,7 @@ class StabilitySession:
         backend: str = "auto",
         ranking=None,
         m: int = 1,
-        budget: int | None = None,
+        budget: "int | str | PrecisionBudget | None" = None,
         min_samples: int | None = None,
     ) -> bool:
         """Whether answering this query provably cannot mutate session
@@ -416,13 +453,26 @@ class StabilitySession:
         target = self.pool_target(
             op, m=int(m), budget=budget, min_samples=min_samples
         )
-        return state.engine.backend.raw.total_samples >= int(target)
+        raw = state.engine.backend.raw
+        if isinstance(target, PrecisionBudget):
+            # A satisfied precision budget means the controller would
+            # observe nothing — pure read; anything else must serialize.
+            return precision_satisfied(raw, target, confidence=self.confidence)
+        return raw.total_samples >= int(target)
 
     # ------------------------------------------------------------------
     # Pool management (randomized configurations)
     # ------------------------------------------------------------------
-    def _ensure_pool(self, state: _ConfigState, target: int) -> None:
+    def _ensure_pool(self, state: _ConfigState, target) -> None:
         raw = state.engine.backend.raw
+        if isinstance(target, PrecisionBudget):
+            ensure_precision(
+                raw,
+                target,
+                lambda n: self._observer.observe(raw, n),
+                confidence=self.confidence,
+            )
+            return
         need = int(target) - raw.total_samples
         if need <= 0:
             return
@@ -438,21 +488,29 @@ class StabilitySession:
         op: str,
         *,
         m: int = 1,
-        budget: int | None = None,
+        budget: "int | str | PrecisionBudget | None" = None,
         min_samples: int | None = None,
-    ) -> int:
-        """The cumulative pool size one request wants (batch planning).
+    ):
+        """The cumulative pool target one request wants (batch planning).
 
         ``get_next`` targets its budget, ``top_stable`` the paper's
         budget schedule (first-call budget plus one fifth per further
-        result), ``stability_of`` its verification floor.
+        result), ``stability_of`` its verification floor.  Returns a
+        plain sample count, or a
+        :class:`~repro.service.budget.PrecisionBudget` when the request
+        (or the session default) names a ``"ci:..."`` precision target
+        — precision budgets have no per-result schedule; the width *is*
+        the target.
         """
+        budget = parse_budget(budget)
         if op == "get_next":
             return budget if budget is not None else self.default_budget
         if op == "top_stable":
             if budget is not None:
                 return budget
             first = self.default_budget
+            if isinstance(first, PrecisionBudget):
+                return first
             return first + (m - 1) * max(first // 5, 1)
         if op == "stability_of":
             if min_samples is not None:
@@ -462,7 +520,7 @@ class StabilitySession:
 
     def observe(
         self,
-        n_samples: int,
+        n_samples,
         *,
         kind: RankingKind = "full",
         k: int | None = None,
@@ -470,15 +528,21 @@ class StabilitySession:
     ) -> int:
         """Grow one configuration's cumulative pool to ``n_samples`` total.
 
-        Returns the pool size afterwards.  Exact configurations have no
-        pool; calling this for one is an error.
+        ``n_samples`` is a cumulative sample target or a precision spec
+        (``"ci:0.02"``-style: grow until the leading ranking's CI
+        half-width meets the target).  Returns the pool size afterwards.
+        Exact configurations have no pool; calling this for one is an
+        error.
         """
         state = self._state(kind, k, backend)
         if not state.is_randomized:
             raise ValueError(
                 f"backend {state.engine.backend_name!r} is exact — it has no sample pool"
             )
-        self._ensure_pool(state, n_samples)
+        target = n_samples
+        if isinstance(target, str):
+            target = parse_budget(target)
+        self._ensure_pool(state, target)
         return state.engine.backend.raw.total_samples
 
     # ------------------------------------------------------------------
@@ -549,15 +613,26 @@ class StabilitySession:
             raise ValueError(f"m must be >= 1, got {m}")
         state = self._state(kind, k, backend)
         resolved = state.engine.backend_name
+        ensured = False
         if state.is_randomized:
             target = self.pool_target("top_stable", m=m, budget=budget)
-            # The key carries the pool size the answer is computed from
-            # (ensure-to-target never shrinks a pool), so a session
-            # whose pool outgrew the target neither serves nor poisons
-            # entries of sessions answering from target-sized pools.
-            samples = max(
-                state.engine.backend.raw.total_samples, target
-            )
+            if isinstance(target, PrecisionBudget):
+                # A precision target's pool size is only known after the
+                # controller runs, so ensure first and key the cache on
+                # the actual pool — idempotent: a satisfied budget grows
+                # nothing, so the repeat keys identically and hits.
+                self._ensure_pool(state, target)
+                ensured = True
+                samples = state.engine.backend.raw.total_samples
+            else:
+                # The key carries the pool size the answer is computed
+                # from (ensure-to-target never shrinks a pool), so a
+                # session whose pool outgrew the target neither serves
+                # nor poisons entries of sessions answering from
+                # target-sized pools.
+                samples = max(
+                    state.engine.backend.raw.total_samples, target
+                )
         else:
             target = samples = None
         key = make_key(
@@ -576,7 +651,8 @@ class StabilitySession:
             return self._cut(list(cached), min_stability)
         self.last_query_cached = False
         if state.is_randomized:
-            self._ensure_pool(state, target)
+            if not ensured:
+                self._ensure_pool(state, target)
             results = state.engine.backend.top_from_pool(m)
         else:
             self._ensure_yielded(state, m)
@@ -676,6 +752,8 @@ class StabilitySession:
                     "total_samples": raw.total_samples,
                     "distinct_rankings": len(raw.tally),
                     "returned": len(raw.returned),
+                    "kernel": raw.kernel_backend.name,
+                    "sampling": raw.sampling,
                 }
             else:
                 pools[label] = {

@@ -139,3 +139,84 @@ class TestVarianceReduction:
             qmc_estimates.append(float(np.mean(q @ axis >= math.cos(inner))))
             mc_estimates.append(float(np.mean(m @ axis >= math.cos(inner))))
         assert np.std(qmc_estimates) < np.std(mc_estimates)
+
+
+class TestQuasiStream:
+    """One running Halton sequence per operator: chunk-plan invariant,
+    snapshot-exact, and honest about which regions it can serve."""
+
+    def _full(self, dim=3):
+        from repro.core.region import FullSpace
+
+        return FullSpace(dim)
+
+    def _narrow_cone(self, dim=3):
+        # Centred in the orthant interior and narrow: the cap stays
+        # inside, so no rejection step is needed and QMC is exact.
+        from repro.core.region import Cone
+
+        return Cone(np.ones(dim), 0.1)
+
+    def test_chunked_equals_one_shot(self):
+        from repro.sampling.quasi import QuasiStream
+
+        a = QuasiStream.for_region(self._full(), np.random.default_rng(5))
+        b = QuasiStream.for_region(self._full(), np.random.default_rng(5))
+        chunked = np.vstack([a.sample(7) for _ in range(10)])
+        assert np.array_equal(chunked, b.sample(70))
+
+    def test_cone_stream_chunked_equals_one_shot(self):
+        from repro.sampling.quasi import QuasiStream
+
+        region = self._narrow_cone()
+        a = QuasiStream.for_region(region, np.random.default_rng(5))
+        b = QuasiStream.for_region(region, np.random.default_rng(5))
+        chunked = np.vstack([a.sample(13) for _ in range(5)])
+        assert np.array_equal(chunked, b.sample(65))
+
+    def test_samples_lie_in_region(self):
+        from repro.sampling.quasi import QuasiStream
+
+        region = self._narrow_cone()
+        stream = QuasiStream.for_region(region, np.random.default_rng(5))
+        points = stream.sample(200)
+        assert np.all(points >= 0)
+        assert np.allclose(np.linalg.norm(points, axis=1), 1.0)
+
+    def test_export_restore_mid_stream(self):
+        from repro.sampling.quasi import QuasiStream
+
+        region = self._full()
+        stream = QuasiStream.for_region(region, np.random.default_rng(5))
+        stream.sample(37)
+        state = stream.export_state()
+        tail = stream.sample(20)
+        restored = QuasiStream.restore(region, state)
+        assert restored.index == 38  # 1-based Halton start + 37 drawn
+        assert np.array_equal(restored.sample(20), tail)
+
+    def test_distinct_rngs_give_distinct_shifts(self):
+        from repro.sampling.quasi import QuasiStream
+
+        a = QuasiStream.for_region(self._full(), np.random.default_rng(1))
+        b = QuasiStream.for_region(self._full(), np.random.default_rng(2))
+        assert not np.array_equal(a.sample(10), b.sample(10))
+
+    def test_rejection_sampled_cone_refused(self):
+        from repro.core.region import Cone
+        from repro.sampling.quasi import QuasiStream
+
+        # A wide cone near the orthant boundary needs rejection, which
+        # a deterministic sequence cannot replicate.
+        wide = Cone(np.array([1.0, 0.02, 0.02]), 1.0)
+        assert wide._needs_orthant_check
+        with pytest.raises(ValueError, match="rejection"):
+            QuasiStream.for_region(wide, np.random.default_rng(0))
+
+    def test_constrained_region_refused(self):
+        from repro.core.region import ConstrainedRegion
+        from repro.sampling.quasi import QuasiStream
+
+        region = ConstrainedRegion(np.array([[1.0, -1.0, 0.0]]))
+        with pytest.raises(ValueError, match="qmc"):
+            QuasiStream.for_region(region, np.random.default_rng(0))

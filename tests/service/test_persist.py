@@ -468,3 +468,58 @@ class TestHeaderInspection:
         names = {s["name"] for s in header["sections"]}
         assert "cache" in names
         assert any(n.startswith("tally/") for n in names)
+
+
+class TestQuasiStreamPersistence:
+    """A qmc pool must restore mid-sequence: the continuation after a
+    save/load is the continuation the unsaved session would produce."""
+
+    def test_qmc_session_roundtrip_continues_stream(self, ds_md, tmp_path):
+        path = tmp_path / "qmc.snap"
+        with StabilitySession(
+            ds_md, seed=7, sampling="qmc", parallel=False
+        ) as original:
+            original.observe(800, kind="topk_set", k=4)
+            original.save(path)
+            original.observe(700, kind="topk_set", k=4)
+            expected = [result_key(r) for r in original.top_stable(
+                3, kind="topk_set", k=4, budget=1_500
+            )]
+        with StabilitySession.restore(path, ds_md, parallel=False) as restored:
+            assert restored.sampling == "qmc"
+            got = [result_key(r) for r in restored.top_stable(
+                3, kind="topk_set", k=4, budget=1_500
+            )]
+        assert got == expected
+
+    def test_mc_snapshot_restores_without_sampling_key(self, ds_md, tmp_path):
+        """Old snapshots carry no sampling header/operator state."""
+        path = tmp_path / "mc.snap"
+        with StabilitySession(ds_md, seed=7, parallel=False) as original:
+            original.observe(500, kind="topk_set", k=4)
+            original.save(path)
+        # Strip the new keys the way a pre-kernel writer would not have
+        # written them, then restore.
+        raw = path.read_bytes()
+        magic, version, header_len = raw[:8], raw[8:10], raw[10:14]
+        n = struct.unpack("<I", header_len)[0]
+        header = json.loads(raw[14 : 14 + n].decode())
+        header.pop("sampling", None)
+        for record in header["configs"]:
+            if "state" in record:
+                record["state"].pop("sampling", None)
+                record["state"].pop("qmc", None)
+        body = json.dumps(header, separators=(",", ":")).encode()
+        stripped = (
+            magic
+            + version
+            + struct.pack("<I", len(body))
+            + body
+            + struct.pack("<I", zlib.crc32(body))
+            + raw[14 + n + 4 :]
+        )
+        legacy = tmp_path / "legacy.snap"
+        legacy.write_bytes(stripped)
+        with StabilitySession.restore(legacy, ds_md, parallel=False) as restored:
+            assert restored.sampling == "mc"
+            restored.observe(200, kind="topk_set", k=4)

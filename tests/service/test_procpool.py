@@ -298,3 +298,25 @@ class TestSessionIntegration:
         dataset = _dataset(33, n=300)
         with StabilitySession(dataset, seed=6, executor="serial") as session:
             assert session.stats()["executor"] == "serial"
+
+
+class TestQuasiSamplingParity:
+    """QMC streams sample on the caller in plan order, so the sharded
+    paths stay byte-identical to serial — same contract as mc."""
+
+    @pytest.mark.parametrize(
+        "kind,k", [("full", None), ("topk_set", 4)]
+    )
+    def test_qmc_process_thread_serial(self, kind, k):
+        dataset = _dataset(11)
+        serial = _op(dataset, 11, kind=kind, k=k, sampling="qmc")
+        threaded = _op(dataset, 11, kind=kind, k=k, sampling="qmc")
+        proc = _op(dataset, 11, kind=kind, k=k, sampling="qmc")
+        serial.observe(500)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            parallel_observe(threaded, 500, executor=pool, force=True)
+        with ProcessObserveEngine(dataset, max_workers=2) as engine:
+            assert engine.observe(proc, 500, force=True) > 0
+        _assert_identical(serial, threaded)
+        _assert_identical(serial, proc)
+        assert serial._qmc.index == threaded._qmc.index == proc._qmc.index
