@@ -170,6 +170,24 @@ def _qmc_benchmark(smoke: bool) -> dict:
     }
 
 
+def _stage_breakdown(n_items: int, n_chunks: int) -> dict:
+    """Cold serial observe under a trace: the shared ``"stages"``
+    schema, with per-chunk sample/reduce/fold timings aggregated."""
+    from repro import obs
+    from repro.core.dataset import Dataset
+    from repro.core.randomized import GetNextRandomized
+
+    dataset = Dataset(
+        np.random.default_rng(SEED + 1).uniform(0.05, 1.0, size=(n_items, 4))
+    )
+    op = GetNextRandomized(
+        dataset, kind="topk_set", k=K, rng=np.random.default_rng(3)
+    )
+    with obs.trace("bench.kernel_observe") as t:
+        op.observe(n_chunks * CHUNK)
+    return obs.stage_report(t)
+
+
 def run(*, smoke: bool = False, verbose: bool = True) -> dict:
     n_items = N_ITEMS_SMOKE if smoke else N_ITEMS
     n_chunks = N_CHUNKS_SMOKE if smoke else N_CHUNKS
@@ -179,6 +197,7 @@ def run(*, smoke: bool = False, verbose: bool = True) -> dict:
     qmc_armed = not smoke and qmc["measured"]
     metrics = {
         "mode": "smoke" if smoke else "full",
+        "stages": _stage_breakdown(n_items, n_chunks),
         "kernels": kernels.available_kernels(),
         "reduction": reduction,
         "qmc": qmc,

@@ -163,6 +163,21 @@ def _read_p50_under_cold_observe(
     return statistics.median(latencies)
 
 
+def _stage_breakdown(n_items: int, budget: int, workers: int) -> dict:
+    """Cold process-pool observe under a trace: shared ``"stages"`` schema."""
+    from repro import obs
+
+    dataset = Dataset(
+        np.random.default_rng(SEED + 5).uniform(size=(n_items, 4))
+    )
+    op = _operator(dataset, 9)
+    with ProcessObserveEngine(dataset, max_workers=workers) as engine:
+        engine.warm_up()
+        with obs.trace("bench.procpool_observe") as t:
+            engine.observe(op, budget, force=True)
+    return obs.stage_report(t)
+
+
 def run(*, smoke: bool = False, verbose: bool = True) -> dict:
     n_items = N_ITEMS_SMOKE if smoke else N_ITEMS
     budget = BUDGET_SMOKE if smoke else BUDGET
@@ -185,9 +200,11 @@ def run(*, smoke: bool = False, verbose: bool = True) -> dict:
     # read floor only arms when both sides actually measured load.
     read_measured = p50_thread > 0.0 and p50_process > 0.0
     read_ratio = p50_process / p50_thread if read_measured else 0.0
+    stages = _stage_breakdown(n_items, budget, workers)
     assert live_segments() == (), "benchmark leaked shared-memory segments"
 
     metrics = {
+        "stages": stages,
         "mode": "smoke" if smoke else "full",
         "effective_cores": cores,
         "workers": workers,

@@ -161,7 +161,27 @@ def _restart_latency(
     return cold_seconds, warm_seconds
 
 
-def run(*, smoke: bool = False, verbose: bool = True) -> dict[str, float]:
+def _wire_stage_breakdown(dataset: Dataset, budget: int) -> dict:
+    """Cold traced request over TCP: the shared ``"stages"`` schema,
+    as echoed back by the server's ``"trace": true`` protocol field."""
+    registry = SessionRegistry(seed=SEED + 2, parallel=False)
+    registry.add_dataset("default", dataset)
+    handle = serve_in_thread(registry, config=ServerConfig())
+    try:
+        with ServeClient(host=handle.host, port=handle.port) as client:
+            response = client.top_stable(
+                3, kind="topk_set", k=K, backend="randomized",
+                budget=budget, trace=True,
+            )
+    finally:
+        handle.stop()
+    assert response["ok"] is True and "trace" in response, response
+    stages = dict(response["trace"])
+    stages.pop("trace_id", None)
+    return stages
+
+
+def run(*, smoke: bool = False, verbose: bool = True) -> dict:
     budget = 800 if smoke else 4_000
     dataset = Dataset(
         np.random.default_rng(SEED).uniform(size=(N_ITEMS, N_ATTRS))
@@ -225,12 +245,19 @@ def run(*, smoke: bool = False, verbose: bool = True) -> dict[str, float]:
             f"restarted-warm {warm_s * 1000:8.1f} ms   "
             f"speedup {restore_speedup:7.1f}x (floor {MIN_RESTORE_SPEEDUP}x)"
         )
+    stages = _wire_stage_breakdown(dataset, budget)
+    if verbose:
+        print(
+            f"  wire stage breakdown: coverage {stages['coverage']:.2%} of "
+            f"{stages['total_seconds'] * 1000:.1f} ms cold traced request"
+        )
     return {
         "speedup": speedup,
         "restore_speedup": restore_speedup,
         "stdio_seconds": t_stdio,
         "tcp_seconds": t_tcp,
         "smoke": float(smoke),
+        "stages": stages,
     }
 
 

@@ -38,6 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro import Dataset, StabilityEngine, StabilitySession, execute_batch
+from repro import obs
 from repro.core.randomized import GetNextRandomized
 from repro.service.parallel import parallel_observe
 
@@ -138,6 +139,14 @@ def _parallel_equivalence(n_samples: int) -> float:
     return serial_s / parallel_s if parallel_s > 0 else float("inf")
 
 
+def _stage_breakdown(dataset: Dataset, budget: int, seed: int) -> dict:
+    """Cold top_stable under a trace: the shared ``"stages"`` schema."""
+    with StabilitySession(dataset, seed=seed, parallel=False) as session:
+        with obs.trace("bench.top_stable") as t:
+            session.top_stable(3, kind="topk_set", k=K, budget=budget)
+    return obs.stage_report(t)
+
+
 def _restore_latency(dataset: Dataset, budget: int, seed: int) -> tuple[float, float]:
     """First-query latency: cold session vs snapshot-restored session."""
     query = dict(kind="topk_set", k=K, budget=budget)
@@ -163,7 +172,7 @@ def _restore_latency(dataset: Dataset, budget: int, seed: int) -> tuple[float, f
     return cold_s, warm_s
 
 
-def run(*, smoke: bool = False, verbose: bool = True) -> dict[str, float]:
+def run(*, smoke: bool = False, verbose: bool = True) -> dict:
     budget = 1_000 if smoke else 5_000
     seed = 20181218
     dataset = Dataset(
@@ -210,12 +219,19 @@ def run(*, smoke: bool = False, verbose: bool = True) -> dict[str, float]:
             f"restored {t_restored * 1000:8.1f} ms   "
             f"speedup {restore_speedup:6.1f}x (floor {MIN_RESTORE_SPEEDUP}x)"
         )
+    stages = _stage_breakdown(dataset, budget, seed + 2)
+    if verbose:
+        print(
+            f"  stage breakdown: coverage {stages['coverage']:.2%} of "
+            f"{stages['total_seconds'] * 1000:.1f} ms cold top_stable"
+        )
     return {
         "speedup": speedup,
         "warm_seconds": t_warm,
         "parallel_speedup": parallel_speedup,
         "restore_speedup": restore_speedup,
         "smoke": float(smoke),
+        "stages": stages,
     }
 
 

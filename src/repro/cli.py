@@ -178,6 +178,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Stable-rankings analyses on CSV data"
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="warning",
+        help="threshold for structured event logs on stderr "
+        "(default warning)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit event logs as JSON lines instead of text",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_verify = sub.add_parser("verify", help="stability of the ranking under given weights")
@@ -336,6 +348,30 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP: also serve a plain-text metrics endpoint (HTTP) "
         "on this port",
     )
+    p_serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="TCP: log a slow_query event for requests slower than "
+        "this many milliseconds",
+    )
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="fetch and pretty-print a running TCP server's stats",
+    )
+    p_stats.add_argument(
+        "address", metavar="HOST:PORT", help="address of a running server"
+    )
+    p_stats.add_argument(
+        "--dataset", default=None, help="registry name to query stats for"
+    )
+    p_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw stats response as one JSON object",
+    )
 
     p_snapshot = sub.add_parser(
         "snapshot",
@@ -400,6 +436,14 @@ def main(argv: list[str] | None = None) -> int:
     _add_engine_dials(p_restore, sampling=False)
 
     args = parser.parse_args(argv)
+
+    from repro.obs import configure_logging
+
+    configure_logging(json_lines=args.log_json, level=args.log_level)
+
+    if args.command == "stats":
+        # Pure network client: no CSV to load, no session to build.
+        return _run_stats(args)
 
     if args.command == "restore" and args.inspect:
         # Header inspection needs no dataset — an orphaned snapshot must
@@ -885,6 +929,57 @@ def _bounded_lines(stream, limit: int):
         yield line
 
 
+def _run_stats(args) -> int:
+    """The ``stats`` subcommand: one stats op against a TCP server.
+
+    ``--json`` dumps the raw response; the default view summarizes the
+    serving state an operator checks first — uptime, request counts,
+    per-dataset cache behaviour and pool sizes, resource gauges.
+    """
+    from repro.server.client import ServeClient
+
+    with ServeClient(args.address, connect_retries=1) as client:
+        response = client.stats(
+            **({"dataset": args.dataset} if args.dataset else {})
+        )
+    if not response.get("ok"):
+        print(json.dumps(response), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(response))
+        return 0
+    stats = response.get("stats", {})
+    server = response.get("server", {})
+    metrics = server.get("metrics", {})
+    registry = server.get("registry", {})
+    print(f"uptime_seconds: {metrics.get('uptime_seconds', stats.get('uptime_seconds'))}")
+    print(f"inflight: {server.get('inflight')}  draining: {server.get('draining')}")
+    connections = metrics.get("connections", {})
+    print(
+        f"connections: active={connections.get('active')} "
+        f"opened={connections.get('opened')}"
+    )
+    for op, count in sorted(metrics.get("requests_total", {}).items()):
+        latency = metrics.get("latency", {}).get(op, {})
+        print(
+            f"op {op}: {count} requests, "
+            f"p50={latency.get('p50_seconds')}s p95={latency.get('p95_seconds')}s"
+        )
+    for code, count in sorted(metrics.get("errors_total", {}).items()):
+        print(f"error {code}: {count}")
+    for name, entry in sorted(registry.get("active", {}).items()):
+        print(
+            f"dataset {name}: executor={entry.get('executor')} "
+            f"kernel={entry.get('kernel')} "
+            f"cache_hit_rate={entry.get('cache_hit_rate')} "
+            f"pool_samples={entry.get('pool_samples')} "
+            f"pool_bytes={entry.get('pool_bytes')} dirty={entry.get('dirty')}"
+        )
+    for name, value in sorted(metrics.get("resources", {}).items()):
+        print(f"resource {name}: {value}")
+    return 0
+
+
 def _run_serve_tcp(args, ds: Dataset, region, parallel) -> int:
     """The ``serve --tcp`` mode: the asyncio multi-client front-end.
 
@@ -924,6 +1019,11 @@ def _run_serve_tcp(args, ds: Dataset, region, parallel) -> int:
         drain_grace=args.drain_grace,
         checkpoint_every=args.checkpoint_every,
         metrics_port=args.metrics_port,
+        slow_query_seconds=(
+            args.slow_query_ms / 1000.0
+            if args.slow_query_ms is not None
+            else None
+        ),
     )
     server = StabilityServer(registry, config=config)
 

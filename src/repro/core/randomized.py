@@ -26,10 +26,13 @@ Two stopping rules are provided, matching Algorithms 7 and 8:
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Literal
 
 import numpy as np
+
+from repro.obs import tracing as obs_trace
 
 from repro.core.dataset import Dataset
 from repro.core.ranking import Ranking
@@ -314,10 +317,31 @@ class GetNextRandomized:
         # One score buffer for the whole pass: every chunk's GEMM writes
         # into the same (chunk, n) block instead of allocating afresh.
         buf = np.empty((max(plan), n_effective), dtype=np.float64)
+        if not obs_trace.tracing_enabled():
+            for batch in plan:
+                weights = self.sample_weights(batch)
+                keys, freqs, n_rows = self.reduce_for_weights(weights, out=buf)
+                self._tally.observe_packed(keys, freqs, n_rows)
+            return
+        # Traced pass: accumulate per-stage time locally and record one
+        # aggregate span per stage, instead of a span per chunk.
+        sample_s = reduce_s = fold_s = 0.0
+        clock = time.perf_counter
         for batch in plan:
+            t0 = clock()
             weights = self.sample_weights(batch)
+            t1 = clock()
             keys, freqs, n_rows = self.reduce_for_weights(weights, out=buf)
+            t2 = clock()
             self._tally.observe_packed(keys, freqs, n_rows)
+            fold_s += clock() - t2
+            sample_s += t1 - t0
+            reduce_s += t2 - t1
+        chunks = len(plan)
+        obs_trace.record("observe.sample", sample_s, count=chunks, n=n_new)
+        obs_trace.record("observe.reduce", reduce_s, count=chunks,
+                         kernel=self.kernel_backend.name)
+        obs_trace.record("observe.fold", fold_s, count=chunks)
 
     def _result_for(self, key: bytes) -> StabilityResult:
         count = self._tally.count_of(key)

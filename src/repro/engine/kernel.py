@@ -306,6 +306,23 @@ class RankingTally:
         self._heap: list[tuple[int, int, bytes]] = []
         self._returned: set[bytes] = set()
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes of this tally (telemetry only).
+
+        Packed-key bytes across the count table, first-seen map, lazy
+        heap, and returned set, plus CPython per-entry container
+        overhead (dict slot + boxed int ~ 100 bytes).  A gauge for the
+        resource-telemetry layer, not an allocator-accurate number.
+        """
+        key_bytes = self.key_length * self.dtype.itemsize
+        n_keys = len(self.counts)
+        return (
+            2 * n_keys * (key_bytes + 100)            # counts + first_seen
+            + len(self._heap) * (key_bytes + 120)     # heap tuples
+            + len(self._returned) * (key_bytes + 60)  # returned set
+        )
+
     def observe_rows(self, rows: np.ndarray) -> None:
         """Tally a block of identifier rows (one ranking key per row)."""
         if rows.shape[0] == 0:

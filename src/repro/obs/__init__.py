@@ -1,0 +1,56 @@
+"""repro.obs — zero-dependency observability: traces, logs, metrics.
+
+Four small modules, threaded through every layer of the stack:
+
+- :mod:`repro.obs.tracing` — contextvar-based hierarchical spans with a
+  module-level disabled fast path (``obs.span(...)`` costs one int
+  test when no trace is open).
+- :mod:`repro.obs.logs` — structured event logging (JSON lines behind
+  ``--log-json``), spawn-safe for procpool workers.
+- :mod:`repro.obs.metrics` — a generalized counter/gauge registry with
+  Prometheus rendering; ``server/metrics.py`` is a client.
+- :mod:`repro.obs.promlint` — exposition-format linter used by tests
+  and CI's metrics scrape.
+"""
+
+from repro.obs.logs import (
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+from repro.obs.metrics import (
+    Counter,
+    MetricsRegistry,
+    register_resource_gauges,
+    rss_bytes,
+)
+from repro.obs.tracing import (
+    Span,
+    Trace,
+    current_trace,
+    record,
+    span,
+    stage_report,
+    trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "JsonLinesFormatter",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "configure_logging",
+    "current_trace",
+    "get_logger",
+    "log_event",
+    "record",
+    "register_resource_gauges",
+    "rss_bytes",
+    "span",
+    "stage_report",
+    "trace",
+    "tracing_enabled",
+]

@@ -1,0 +1,136 @@
+"""A small linter for the Prometheus text exposition format.
+
+Used both by unit tests and by CI's server-smoke job, which scrapes
+the live ``--metrics-port`` endpoint and fails the build on a
+malformed exposition.  Checks:
+
+- every sample's metric family declares ``# HELP`` and ``# TYPE``
+  (histogram samples ``*_bucket``/``*_sum``/``*_count`` resolve to
+  their base family);
+- at most one HELP and one TYPE line per family;
+- no duplicate series (same name + label set);
+- histogram buckets are cumulative (non-decreasing in ``le`` order),
+  end in ``le="+Inf"``, and the +Inf bucket equals ``*_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["lint"]
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+\S+)?$"  # optional timestamp
+)
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family(name: str, types: dict[str, str]) -> str:
+    """Resolve a sample name to its declared metric family."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return name
+
+
+def _parse_le(labels: str) -> tuple[str, float | None]:
+    """Split a label string into (labels-without-le, le value)."""
+    parts = [p for p in labels.split(",") if p]
+    le: float | None = None
+    rest = []
+    for part in parts:
+        if part.startswith("le="):
+            raw = part[3:].strip('"')
+            le = math.inf if raw == "+Inf" else float(raw)
+        else:
+            rest.append(part)
+    return ",".join(sorted(rest)), le
+
+
+def lint(text: str) -> list[str]:
+    """Return a list of problems; an empty list means a clean exposition."""
+    errors: list[str] = []
+    helps: dict[str, int] = {}
+    types: dict[str, str] = {}
+    series: set[tuple[str, str]] = set()
+    # (family, labels-without-le) -> [(le, value)], plus _count values.
+    buckets: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    counts: dict[tuple[str, str], float] = {}
+    samples: list[tuple[str, str, float, int]] = []
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(None, 3)[2]
+            helps[name] = helps.get(name, 0) + 1
+            if helps[name] > 1:
+                errors.append(f"line {lineno}: duplicate HELP for {name}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 4)
+            name, kind = parts[2], parts[3] if len(parts) > 3 else ""
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparsable sample {line!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels") or ""
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value in {line!r}")
+            continue
+        key = (name, ",".join(sorted(p for p in labels.split(",") if p)))
+        if key in series:
+            errors.append(f"line {lineno}: duplicate series {name}{{{labels}}}")
+        series.add(key)
+        samples.append((name, labels, value, lineno))
+
+    for name, labels, value, lineno in samples:
+        family = _family(name, types)
+        if family not in types:
+            errors.append(f"line {lineno}: sample {name} has no TYPE")
+        if family not in helps:
+            errors.append(f"line {lineno}: sample {name} has no HELP")
+        if name.endswith("_bucket") and types.get(family) == "histogram":
+            rest, le = _parse_le(labels)
+            if le is None:
+                errors.append(f"line {lineno}: histogram bucket without le")
+            else:
+                buckets.setdefault((family, rest), []).append((le, value))
+        elif name.endswith("_count") and types.get(family) == "histogram":
+            rest, _ = _parse_le(labels)
+            counts[(family, rest)] = value
+
+    for (family, rest), entries in buckets.items():
+        entries.sort(key=lambda pair: pair[0])
+        last = -math.inf
+        for le, value in entries:
+            if value < last:
+                errors.append(
+                    f"{family}{{{rest}}}: bucket le={le!r} decreases "
+                    f"({value} < {last})")
+            last = value
+        if not entries or entries[-1][0] != math.inf:
+            errors.append(f"{family}{{{rest}}}: missing le=\"+Inf\" bucket")
+        else:
+            total = counts.get((family, rest))
+            if total is not None and entries[-1][1] != total:
+                errors.append(
+                    f"{family}{{{rest}}}: +Inf bucket {entries[-1][1]} "
+                    f"!= count {total}")
+    return errors

@@ -43,11 +43,13 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import logging
 import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.obs import log_event, register_resource_gauges
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
 from repro.server.registry import SessionRegistry
@@ -81,6 +83,9 @@ class ServerConfig:
     write_threads: int = 2
     #: Optional plain-text metrics endpoint (HTTP GET, any path).
     metrics_port: int | None = None
+    #: Requests slower than this (seconds) are logged as ``slow_query``
+    #: events with their op and dataset (``None``: disabled).
+    slow_query_seconds: float | None = None
     #: Restore existing snapshots *before* binding the listen socket,
     #: so a rolling restart never serves its replay latency to a
     #: client (the first answer is a cache hit, not a restore).
@@ -109,6 +114,11 @@ class ServerConfig:
         if self.write_threads < 1:
             raise ValueError(
                 f"write_threads must be >= 1, got {self.write_threads}"
+            )
+        if self.slow_query_seconds is not None and self.slow_query_seconds < 0:
+            raise ValueError(
+                "slow_query_seconds must be >= 0 or None, got "
+                f"{self.slow_query_seconds}"
             )
 
 
@@ -151,6 +161,7 @@ class StabilityServer:
         self._loop = asyncio.get_running_loop()
         self._shutdown_event = asyncio.Event()
         self.registry.on_evict = self.metrics.evicted
+        self._register_resource_gauges()
         if self.config.prewarm:
             self.prewarmed = await self.registry.prewarm()
         self._server = await asyncio.start_server(
@@ -168,6 +179,33 @@ class StabilityServer:
                 self.config.metrics_port,
             )
         return self.address
+
+    def _register_resource_gauges(self) -> None:
+        """Resource telemetry on the metrics registry (RSS, shm, pools).
+
+        The closures snapshot the active-session map per read — gauge
+        scrapes race session activation/eviction, and the registry
+        renders a ``nan`` sample for a gauge that throws rather than
+        failing the exposition.
+        """
+        registry = self.registry
+
+        def pool_bytes() -> int:
+            return sum(
+                m.session.pool_bytes() for m in list(registry._active.values())
+            )
+
+        def cache_bytes() -> int:
+            return sum(
+                m.session.cache.approx_bytes()
+                for m in list(registry._active.values())
+            )
+
+        register_resource_gauges(
+            self.metrics.registry,
+            pool_bytes=pool_bytes,
+            cache_bytes=cache_bytes,
+        )
 
     def request_shutdown(self) -> None:
         """Begin a graceful drain (thread-safe, idempotent)."""
@@ -463,11 +501,24 @@ class StabilityServer:
                 request_id=payload.get("id"),
             )
         error = response.get("error") if isinstance(response, dict) else None
+        elapsed = self._loop.time() - start
         self.metrics.observe_request(
             op,
-            self._loop.time() - start,
+            elapsed,
             error_code=error.get("code") if error else None,
         )
+        threshold = self.config.slow_query_seconds
+        if threshold is not None and elapsed >= threshold:
+            log_event(
+                "slow_query",
+                level=logging.WARNING,
+                op=op,
+                seconds=round(elapsed, 6),
+                threshold=threshold,
+                dataset=payload.get("dataset"),
+                request_id=payload.get("id"),
+                error=error.get("code") if error else None,
+            )
         return response
 
     async def _execute(self, payload: dict) -> dict:
@@ -504,11 +555,18 @@ class StabilityServer:
                     )
                 return handled.response
             write = protocol.needs_write(managed.session, payload)
+            # Event-loop-side lock wait, grafted onto the trace when the
+            # request asked for one — dispatch on the executor thread
+            # cannot see how long admission to the session took.
+            lock_t0 = self._loop.time()
             while True:
                 if write:
                     async with managed.lock.write():
                         handled = await self._dispatch_in_executor(
-                            managed, payload, write=True
+                            managed,
+                            payload,
+                            write=True,
+                            lock_wait=self._loop.time() - lock_t0,
                         )
                         if handled.mutated:
                             managed.mark_dirty()
@@ -521,7 +579,11 @@ class StabilityServer:
                     if protocol.needs_write(managed.session, payload):
                         write = True
                         continue
-                    handled = await self._dispatch_in_executor(managed, payload)
+                    handled = await self._dispatch_in_executor(
+                        managed,
+                        payload,
+                        lock_wait=self._loop.time() - lock_t0,
+                    )
                     if handled.mutated:
                         # A read-classified request can still fill the
                         # result cache, which snapshots persist.
@@ -549,7 +611,7 @@ class StabilityServer:
         return self._write_pool
 
     async def _dispatch_in_executor(
-        self, managed, payload, *, write: bool = False
+        self, managed, payload, *, write: bool = False, lock_wait: float = 0.0
     ) -> protocol.Handled:
         def stats_extra() -> dict:
             # Built only when dispatch actually serves a stats op —
@@ -576,6 +638,7 @@ class StabilityServer:
                     else None
                 ),
                 stats_extra=stats_extra,
+                trace_extra={"server.lock_wait": round(lock_wait, 9)},
                 allow_shutdown=False,  # handled at the framing layer
             ),
         )

@@ -122,6 +122,10 @@ class ServeClient:
     def stats(self, **fields) -> dict:
         return self.request({"op": "stats", **fields})
 
+    def explain(self, query: dict, **fields) -> dict:
+        """Plan a query without executing it (``explain`` op)."""
+        return self.request({"op": "explain", "query": dict(query), **fields})
+
     def invalidate(self, **fields) -> dict:
         return self.request({"op": "invalidate", **fields})
 

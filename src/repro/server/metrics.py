@@ -20,6 +20,8 @@ import threading
 import time
 from bisect import bisect_left
 
+from repro.obs.metrics import MetricsRegistry
+
 __all__ = ["LatencyHistogram", "ServerMetrics"]
 
 #: Upper bucket bounds in seconds (log-spaced, 100 us .. 10 s); the
@@ -47,12 +49,19 @@ class LatencyHistogram:
         self.sum += seconds
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper bound of the bucket holding it."""
+        """Approximate quantile: the upper bound of the bucket holding it.
+
+        ``q=0`` returns the bound of the first non-empty bucket (not the
+        first bucket outright), ``q=1`` the bound of the last non-empty
+        one; observations past the final bound report ``+Inf``.
+        """
         if self.count == 0:
             return 0.0
         rank = q * self.count
         seen = 0
         for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
             seen += n
             if seen >= rank:
                 return self.bounds[i] if i < len(self.bounds) else float("inf")
@@ -72,8 +81,12 @@ class LatencyHistogram:
 class ServerMetrics:
     """Counters + per-op latency histograms for one server process."""
 
-    def __init__(self):
+    def __init__(self, registry: MetricsRegistry | None = None):
         self._lock = threading.Lock()
+        #: Generalized gauge/counter registry; resource gauges (RSS, shm
+        #: segments, pool/cache bytes) are registered here by the app and
+        #: rendered alongside the server families.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.started_at = time.time()
         self.requests_total: dict[str, int] = {}
         self.errors_total: dict[str, int] = {}
@@ -94,11 +107,17 @@ class ServerMetrics:
     ) -> None:
         """Record one handled request (op label, latency, optional error)."""
         op = op if isinstance(op, str) and op else "<invalid>"
+        # Allocate outside the lock: the first request for an op pays the
+        # histogram construction without extending the critical section;
+        # a racing thread's spare allocation is simply dropped.
+        fresh = None if op in self.latency else LatencyHistogram()
         with self._lock:
             self.requests_total[op] = self.requests_total.get(op, 0) + 1
             hist = self.latency.get(op)
             if hist is None:
-                hist = self.latency[op] = LatencyHistogram()
+                hist = self.latency[op] = (
+                    fresh if fresh is not None else LatencyHistogram()
+                )
             hist.observe(seconds)
             if error_code is not None:
                 self.errors_total[error_code] = (
@@ -119,7 +138,9 @@ class ServerMetrics:
 
     def connection_closed(self) -> None:
         with self._lock:
-            self.connections_active -= 1
+            # Clamp at zero: a double-close (reader and writer teardown
+            # racing) must not drive the gauge negative.
+            self.connections_active = max(0, self.connections_active - 1)
 
     def shed(self) -> None:
         with self._lock:
@@ -168,27 +189,36 @@ class ServerMetrics:
                 "evictions_total": self.evictions_total,
                 "bytes_in": self.bytes_in,
                 "bytes_out": self.bytes_out,
+                "resources": self.registry.collect(),
             }
 
     def render_text(self) -> str:
-        """Prometheus text exposition (``# TYPE`` lines + samples)."""
+        """Prometheus text exposition (``# HELP``/``# TYPE`` + samples)."""
         with self._lock:
             lines = [
+                "# HELP repro_server_uptime_seconds Seconds since server start.",
                 "# TYPE repro_server_uptime_seconds gauge",
                 f"repro_server_uptime_seconds {time.time() - self.started_at:.3f}",
+                "# HELP repro_server_connections_active Currently open client connections.",
                 "# TYPE repro_server_connections_active gauge",
                 f"repro_server_connections_active {self.connections_active}",
+                "# HELP repro_server_connections_opened_total Connections accepted since start.",
                 "# TYPE repro_server_connections_opened_total counter",
                 f"repro_server_connections_opened_total {self.connections_opened}",
+                "# HELP repro_server_busy_shed_total Requests shed under backpressure.",
                 "# TYPE repro_server_busy_shed_total counter",
                 f"repro_server_busy_shed_total {self.busy_shed_total}",
+                "# HELP repro_server_checkpoints_total Session checkpoints written.",
                 "# TYPE repro_server_checkpoints_total counter",
                 f"repro_server_checkpoints_total {self.checkpoints_total}",
+                "# HELP repro_server_evictions_total Idle sessions evicted.",
                 "# TYPE repro_server_evictions_total counter",
                 f"repro_server_evictions_total {self.evictions_total}",
+                "# HELP repro_server_bytes_total Wire bytes by direction.",
                 "# TYPE repro_server_bytes_total counter",
                 f'repro_server_bytes_total{{direction="in"}} {self.bytes_in}',
                 f'repro_server_bytes_total{{direction="out"}} {self.bytes_out}',
+                "# HELP repro_server_requests_total Requests handled by op.",
                 "# TYPE repro_server_requests_total counter",
             ]
             for op in sorted(self.requests_total):
@@ -196,12 +226,16 @@ class ServerMetrics:
                     f'repro_server_requests_total{{op="{op}"}} '
                     f"{self.requests_total[op]}"
                 )
+            lines.append("# HELP repro_server_errors_total Errors returned by code.")
             lines.append("# TYPE repro_server_errors_total counter")
             for code in sorted(self.errors_total):
                 lines.append(
                     f'repro_server_errors_total{{code="{code}"}} '
                     f"{self.errors_total[code]}"
                 )
+            lines.append(
+                "# HELP repro_server_request_seconds Request latency by op."
+            )
             lines.append("# TYPE repro_server_request_seconds histogram")
             for op in sorted(self.latency):
                 hist = self.latency[op]
@@ -224,4 +258,7 @@ class ServerMetrics:
                     f'repro_server_request_seconds_count{{op="{op}"}} '
                     f"{hist.count}"
                 )
-            return "\n".join(lines) + "\n"
+            body = "\n".join(lines) + "\n"
+        # Registry gauges read process state (RSS, shm) — render outside
+        # the server lock.
+        return body + self.registry.render_text()

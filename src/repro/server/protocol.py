@@ -21,7 +21,14 @@ one error response instead of a dropped connection.
 The ops are the service tier's query surface plus control ops::
 
     get_next | top_stable | stability_of      (repro.service.batch)
-    hello | ping | stats | invalidate | checkpoint | shutdown
+    hello | ping | stats | explain | invalidate | checkpoint | shutdown
+
+Every query op additionally understands ``"trace": true``: the server
+executes the query inside an :mod:`repro.obs` trace and echoes a
+``"trace"`` stage breakdown plus a ``"cost"`` attribution record in the
+response.  ``"trace_id"`` (optional, string) propagates a client
+correlation id into the server-side trace.  Untraced responses are
+byte-identical to pre-tracing servers.
 
 :func:`dispatch` executes one parsed request against one
 :class:`~repro.service.StabilitySession` and is the single
@@ -68,7 +75,10 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 1 << 20
 
 QUERY_OPS = ("get_next", "top_stable", "stability_of")
-CONTROL_OPS = ("hello", "ping", "stats", "invalidate", "checkpoint", "shutdown")
+CONTROL_OPS = (
+    "hello", "ping", "stats", "explain", "invalidate", "checkpoint",
+    "shutdown",
+)
 
 #: The closed error-code vocabulary of the protocol.
 ERROR_CODES = (
@@ -207,7 +217,7 @@ def value_to_json(dataset, value) -> object:
 # ----------------------------------------------------------------------
 #: Protocol-level fields stripped before a query op reaches the
 #: service tier's request parser.
-_META_FIELDS = ("id", "dataset")
+_META_FIELDS = ("id", "dataset", "trace", "trace_id")
 
 
 def _resolve_extra(extra) -> dict:
@@ -275,6 +285,7 @@ def dispatch(
     checkpoint=None,
     hello_extra: dict | None = None,
     stats_extra: dict | None = None,
+    trace_extra: dict | None = None,
     allow_shutdown: bool = True,
 ) -> Handled:
     """Execute one parsed request against one session.
@@ -296,6 +307,12 @@ def dispatch(
         Either may be a dict or a zero-argument callable returning one
         — callables are only invoked when their op actually runs, so
         transports can defer expensive introspection off the hot path.
+    trace_extra:
+        Extra stages (``{name: seconds}``, dict or zero-argument
+        callable) measured by the transport outside this call — the TCP
+        app's event-loop-side RW-lock wait, for example.  Grafted onto
+        the trace root when the request asked for ``"trace": true``;
+        ignored otherwise.
     allow_shutdown:
         Whether the ``shutdown`` op is honoured (stdio honours it too:
         it ends the loop exactly like end-of-input).
@@ -332,6 +349,22 @@ def dispatch(
         response = {"stats": session.stats()}
         response.update(_resolve_extra(stats_extra))
         return ok(response, advanced=False)
+    if op == "explain":
+        query = payload.get("query")
+        if not isinstance(query, dict):
+            return fail(
+                "bad_request",
+                'explain needs a "query" object (the query request '
+                "to be planned, not executed)",
+                advanced=False,
+            )
+        try:
+            plan = session.explain(
+                {k: v for k, v in query.items() if k not in _META_FIELDS}
+            )
+        except Exception as exc:
+            return fail(*classify_exception(exc), advanced=False)
+        return ok({"explain": plan}, advanced=False)
     if op == "invalidate":
         return ok({"invalidated": session.invalidate()}, mutated=True)
     if op == "checkpoint":
@@ -363,8 +396,22 @@ def dispatch(
     request = {
         key: value for key, value in payload.items() if key not in _META_FIELDS
     }
+    want_trace = bool(payload.get("trace"))
+    trace_obj = None
     start = time.perf_counter()
-    outcome = execute_batch(session, [request])[0]
+    if want_trace:
+        from repro.obs import tracing as obs_trace
+
+        trace_id = payload.get("trace_id")
+        with obs_trace.trace(
+            f"server.dispatch:{op}",
+            trace_id=trace_id if isinstance(trace_id, str) and trace_id else None,
+        ) as trace_obj:
+            outcome = execute_batch(session, [request])[0]
+        for name, seconds in _resolve_extra(trace_extra).items():
+            trace_obj.add_stage(name, float(seconds))
+    else:
+        outcome = execute_batch(session, [request])[0]
     elapsed = time.perf_counter() - start
     if not outcome.ok:
         # The attempt may have mutated state before failing (a
@@ -372,12 +419,21 @@ def dispatch(
         # ranking already returned); over-marking dirty costs one
         # redundant checkpoint, under-marking loses samples at drain.
         return fail(*classify_exception(outcome.error), mutated=True)
+    response = {
+        "cached": outcome.cached,
+        "seconds": round(elapsed, 6),
+        "result": value_to_json(dataset, outcome.value),
+    }
+    if want_trace:
+        from repro.obs.tracing import stage_report
+
+        response["cost"] = outcome.cost
+        response["trace"] = {
+            "trace_id": trace_obj.trace_id,
+            **stage_report(trace_obj),
+        }
     return ok(
-        {
-            "cached": outcome.cached,
-            "seconds": round(elapsed, 6),
-            "result": value_to_json(dataset, outcome.value),
-        },
+        response,
         # get_next consumes a cursor; an uncached idempotent answer may
         # have grown a pool or filled the result cache.  Only a cache
         # hit provably left durable state untouched.
@@ -401,7 +457,9 @@ def needs_write(session, payload: dict) -> bool:
     "write" costs parallelism, never correctness.
     """
     op = payload.get("op")
-    if op in ("ping", "hello", "stats"):
+    if op in ("ping", "hello", "stats", "explain"):
+        # explain plans a query without materializing backend state —
+        # it only inspects already-built pools.
         return False
     try:
         return not session.query_is_warm_read(

@@ -42,6 +42,7 @@ from pathlib import Path
 from repro.core.dataset import Dataset
 from repro.core.region import FullSpace, RegionOfInterest
 from repro.errors import SnapshotError
+from repro.obs import log_event
 from repro.service.cache import dataset_fingerprint
 from repro.service.session import StabilitySession
 
@@ -302,6 +303,12 @@ cache_size, kernel, sampling:
                 )
                 restored = True
                 self.restores += 1
+                log_event(
+                    "session.restore",
+                    dataset=name,
+                    path=str(state_path),
+                    configs=len(session._states),
+                )
             except SnapshotError:
                 # A snapshot that cannot be trusted costs the warmth,
                 # never the server; the next checkpoint overwrites it.
@@ -442,6 +449,11 @@ cache_size, kernel, sampling:
                             victim.session.close()
                             del self._active[victim.name]
                             self.evictions += 1
+                            log_event(
+                                "session.evict",
+                                dataset=victim.name,
+                                durable=victim.state_path is not None,
+                            )
                             if self.on_evict is not None:
                                 self.on_evict()
             finally:
@@ -500,6 +512,12 @@ cache_size, kernel, sampling:
         """
         loop = asyncio.get_running_loop()
         saved: list[dict] = []
+        log_event(
+            "server.drain",
+            sessions=len(self._active),
+            grace=grace,
+            durable=self.state_dir is not None,
+        )
         for managed in list(self._active.values()):
             try:
                 await asyncio.wait_for(
@@ -551,12 +569,7 @@ cache_size, kernel, sampling:
             "datasets": list(self._datasets),
             "default": self._default_name,
             "active": {
-                name: {
-                    "dirty": managed.dirty,
-                    "restored": managed.restored,
-                    "durable": managed.state_path is not None,
-                    "configs": len(managed.session._states),
-                }
+                name: self._session_stats(managed)
                 # Snapshot first: stats() runs on executor threads
                 # while the event loop activates/evicts concurrently.
                 for name, managed in list(self._active.items())
@@ -564,6 +577,27 @@ cache_size, kernel, sampling:
             "max_active": self.max_active,
             "evictions": self.evictions,
             "restores": self.restores,
+        }
+
+    @staticmethod
+    def _session_stats(managed: ManagedSession) -> dict:
+        """One active session's serving identity and cache behaviour."""
+        sstats = managed.session.stats()
+        return {
+            "dirty": managed.dirty,
+            "restored": managed.restored,
+            "durable": managed.state_path is not None,
+            "configs": len(managed.session._states),
+            "uptime_seconds": sstats["uptime_seconds"],
+            "executor": sstats["executor"],
+            "kernel": sstats["kernel"],
+            "sampling": sstats["sampling"],
+            "cache_hit_rate": sstats["cache_session"]["hit_rate"],
+            "pool_samples": sum(
+                pool.get("total_samples", 0)
+                for pool in sstats["configs"].values()
+            ),
+            "pool_bytes": sstats["pool_bytes"],
         }
 
     def __repr__(self) -> str:

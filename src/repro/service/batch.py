@@ -107,6 +107,9 @@ class BatchOutcome:
     value: StabilityResult | list[StabilityResult] | None = None
     error: Exception | None = None
     cached: bool = False
+    #: The session's cost-attribution record for this answer (see
+    #: :attr:`StabilitySession.last_query_cost`); ``None`` on failure.
+    cost: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -180,16 +183,40 @@ class BatchPlanner:
         requests = list(requests)
         session = self.session
         self.plan(requests)
+        # Samples drawn by the amortized prefill are attributed to the
+        # first request of each configuration (the one that would have
+        # triggered the growth sequentially), keyed for the cost fixup
+        # in the answer loop below.
+        prefill_drawn: dict[tuple, dict] = {}
+
+        def note(key, drawn: int) -> None:
+            if drawn <= 0:
+                return
+            last = getattr(session._observer, "last_pass", None) or {}
+            entry = prefill_drawn.setdefault(
+                key, {"drawn": 0, "executor": None, "chunks": 0}
+            )
+            entry["drawn"] += drawn
+            entry["executor"] = last.get("executor")
+            entry["chunks"] = last.get("chunks", 0)
+
         for (kind, k, backend), target in self.prefill_targets.items():
-            session._ensure_pool(session._state(kind, k, backend), target)
+            drawn = session._ensure_pool(
+                session._state(kind, k, backend), target
+            )
+            note((kind, k, backend), drawn)
         for (kind, k, backend), budget in self.precision_targets.items():
             try:
-                session._ensure_pool(session._state(kind, k, backend), budget)
+                drawn = session._ensure_pool(
+                    session._state(kind, k, backend), budget
+                )
             except Exception:
                 # A cap hit during prefill is not a batch failure: the
                 # requests that named this budget re-raise it under
                 # their own per-request isolation below.
                 pass
+            else:
+                note((kind, k, backend), drawn)
         outcomes: list[BatchOutcome] = []
         for request in requests:
             try:
@@ -220,11 +247,41 @@ class BatchPlanner:
             except Exception as exc:  # per-request isolation
                 outcomes.append(BatchOutcome(request=request, error=exc))
                 continue
+            cost = session.last_query_cost
+            if cost is not None and cost.get("backend") is not None:
+                # Fold this configuration's prefill draw back into the
+                # first answer that wanted it — the session method saw a
+                # pool the planner had already grown.
+                info = prefill_drawn.pop(
+                    (request.kind, request.k, cost["backend"]), None
+                )
+                if info is not None and "samples_drawn" in cost:
+                    drawn = info["drawn"]
+                    reclassified = min(drawn, cost["samples_before"])
+                    cost["samples_drawn"] += drawn
+                    cost["samples_before"] = max(
+                        cost["samples_before"] - drawn, 0
+                    )
+                    after = cost.get("samples_after", 0)
+                    cost["pool_reused_fraction"] = (
+                        round(cost["samples_before"] / after, 6)
+                        if after
+                        else 1.0
+                    )
+                    if cost.get("executor") in (None, "none"):
+                        cost["executor"] = info["executor"]
+                        cost["chunks"] = info["chunks"]
+                    # The session totals were bumped with the pre-fixup
+                    # numbers inside _finish_cost; re-balance them.
+                    with session._cost_lock:
+                        session._cost_totals["samples_drawn"] += drawn
+                        session._cost_totals["samples_reused"] -= reclassified
             outcomes.append(
                 BatchOutcome(
                     request=request,
                     value=value,
                     cached=session.last_query_cached,
+                    cost=cost,
                 )
             )
         return outcomes

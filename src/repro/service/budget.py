@@ -23,9 +23,11 @@ fixed-confidence stopping rule.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.errors import BudgetExceededError
+from repro.obs import log_event
 from repro.sampling.montecarlo import confidence_error, expected_samples_for_error
 
 __all__ = [
@@ -34,6 +36,7 @@ __all__ = [
     "parse_budget",
     "precision_satisfied",
     "ensure_precision",
+    "leading_interval",
 ]
 
 #: Default pool cap for precision budgets without an explicit ``@max``
@@ -126,9 +129,13 @@ def parse_budget(value):
     raise ValueError(f"budget must be an int or a spec string, got {value!r}")
 
 
-def _leading_interval(raw, confidence: float):
+def leading_interval(raw, confidence: float):
     """``(stability, half_width)`` of the pool's most frequent ranking,
-    or ``None`` for an empty (or ranking-free) pool."""
+    or ``None`` for an empty (or ranking-free) pool.
+
+    Also the cost-attribution source for the achieved CI width a query
+    reports after a precision-budgeted observe.
+    """
     total = raw.total_samples
     if total <= 0:
         return None
@@ -137,6 +144,10 @@ def _leading_interval(raw, confidence: float):
         return None
     stability = raw.tally.count_of(keys[0]) / total
     return stability, confidence_error(stability, total, confidence=confidence)
+
+
+# Backwards-compatible alias (pre-observability name).
+_leading_interval = leading_interval
 
 
 def precision_satisfied(raw, budget: PrecisionBudget, *, confidence: float) -> bool:
@@ -166,11 +177,18 @@ def ensure_precision(raw, budget: PrecisionBudget, observe, *, confidence: float
     while not precision_satisfied(raw, budget, confidence=confidence):
         total = raw.total_samples
         if total >= budget.max_samples:
+            log_event(
+                "budget.exhausted",
+                level=logging.WARNING,
+                target=budget.spec,
+                samples=total,
+                cap=budget.max_samples,
+            )
             raise BudgetExceededError(
                 f"confidence half-width {budget.width} not reached within "
                 f"{budget.max_samples} samples"
             )
-        leading = _leading_interval(raw, confidence)
+        leading = leading_interval(raw, confidence)
         if leading is None:
             need = _SEED_SAMPLES
         else:
@@ -178,5 +196,13 @@ def ensure_precision(raw, budget: PrecisionBudget, observe, *, confidence: float
                 leading[0], budget.width, confidence=confidence
             )
             need = max(expected - total, total, _SEED_SAMPLES)
-        observe(min(need, budget.max_samples - total))
+        drawn = min(need, budget.max_samples - total)
+        observe(drawn)
+        log_event(
+            "pool.grow",
+            level=logging.DEBUG,
+            target=budget.spec,
+            jump=drawn,
+            samples=raw.total_samples,
+        )
     return raw.total_samples

@@ -169,6 +169,22 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def approx_bytes(self) -> int:
+        """Rough resident-byte estimate of the stored entries.
+
+        Shallow ``sys.getsizeof`` per key and value plus a fixed
+        per-slot overhead — cached stability records are small flat
+        tuples, so a shallow walk is the right cost/accuracy trade for
+        a telemetry gauge (this is *not* an accounting number).
+        """
+        import sys
+
+        with self._lock:
+            total = 0
+            for key, value in self._entries.items():
+                total += sys.getsizeof(key) + sys.getsizeof(value) + 144
+            return total
+
     def entries_for(self, fingerprint: str) -> list[tuple[tuple, object]]:
         """Every ``(key, value)`` entry of one dataset, LRU-oldest first.
 

@@ -34,11 +34,13 @@ with an ``auto`` mode that picks per pass from the work size
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Executor, ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core.randomized import GetNextRandomized
+from repro.obs import tracing as obs_trace
 
 __all__ = [
     "PARALLEL_MIN_ITEMS",
@@ -238,7 +240,13 @@ def parallel_observe(
     # Sampling consumes the operator's stream serially in plan order —
     # identical to the serial path's (rng for "mc", the quasi stream's
     # running Halton index for "qmc").
+    traced = obs_trace.tracing_enabled()
+    clock = time.perf_counter
+    t0 = clock() if traced else 0.0
     weight_chunks = [op.sample_weights(batch) for batch in sizes]
+    if traced:
+        obs_trace.record("observe.sample", clock() - t0,
+                         count=len(sizes), n=n_new)
     own_pool: ThreadPoolExecutor | None = None
     pool = executor
     if pool is None:
@@ -248,10 +256,18 @@ def parallel_observe(
         )
         pool = own_pool
     try:
+        t1 = clock() if traced else 0.0
         futures = [pool.submit(_reduce_chunk, op, w) for w in weight_chunks]
+        if traced:
+            obs_trace.record("observe.submit", clock() - t1, count=len(futures))
+        t2 = clock() if traced else 0.0
         for future in futures:  # plan order — NOT completion order
             keys, freqs, n_rows = future.result()
             op.tally.observe_packed(keys, freqs, n_rows)
+        if traced:
+            # Wait-and-fold: worker reductions overlap this loop, so it
+            # covers the whole reduce+fold tail of the pass.
+            obs_trace.record("observe.fold", clock() - t2, count=len(futures))
     finally:
         if own_pool is not None:
             own_pool.shutdown(wait=True)
@@ -300,6 +316,9 @@ class ObserveExecutor:
         self._thread_pool: ThreadPoolExecutor | None = None
         self._proc = None  # ProcessObserveEngine, lazy
         self._closed = False
+        #: Cost-attribution record of the most recent pass:
+        #: ``{"executor", "n", "chunks", "kernel"}`` (observability only).
+        self.last_pass: dict | None = None
 
     # -- sizing ---------------------------------------------------------
     @property
@@ -357,23 +376,36 @@ class ObserveExecutor:
         raw = getattr(op, "raw", op)
         if n_new <= 0:
             return "serial"
+        with obs_trace.span("observe.pass", n=n_new) as pass_span:
+            mode, n_chunks = self._observe_one(raw, n_new)
+            pass_span.set(executor=mode, chunks=n_chunks,
+                          kernel=raw.kernel_backend.name)
+        self.last_pass = {
+            "executor": mode,
+            "n": n_new,
+            "chunks": n_chunks,
+            "kernel": raw.kernel_backend.name,
+        }
+        return mode
+
+    def _observe_one(self, raw, n_new: int) -> tuple[str, int]:
         if self.mode == "serial":
             raw.observe(n_new)
-            return "serial"
+            return "serial", 0
         raw.prepare_observe(n_new)
         n_chunks = len(raw.plan_chunks(n_new))
         mode = self.resolve(raw, n_chunks)
         if mode == "serial" or self.workers < 1 or n_chunks < 1:
             raw.observe(n_new)
-            return "serial"
+            return "serial", n_chunks
         forced = self.mode != "auto"
         if mode == "process":
             self._processes(raw.dataset).observe(raw, n_new, force=forced)
-            return "process"
+            return "process", n_chunks
         sharded = parallel_observe(
             raw, n_new, executor=self._threads(), force=forced
         )
-        return "thread" if sharded else "serial"
+        return ("thread" if sharded else "serial"), n_chunks
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:

@@ -65,6 +65,8 @@ from repro.errors import (
     SnapshotVersionError,
 )
 from repro.geometry.halfspace import ConvexCone, Halfspace
+from repro.obs import log_event
+from repro.obs import tracing as obs_trace
 from repro.service.budget import PrecisionBudget
 from repro.service.cache import dataset_fingerprint
 
@@ -208,6 +210,20 @@ def save_session(session, path: str | Path) -> SnapshotInfo:
     renamed, so a crash mid-checkpoint never leaves a torn snapshot and
     a concurrent reader only ever sees the previous complete one.
     """
+    with obs_trace.span("snapshot.save", path=str(path)) as sp:
+        info = _save_session_body(session, path)
+        sp.set(bytes=info.file_bytes, configs=info.n_configs)
+    log_event(
+        "checkpoint.save",
+        path=info.path,
+        bytes=info.file_bytes,
+        configs=info.n_configs,
+        cache_entries=info.cache_entries,
+    )
+    return info
+
+
+def _save_session_body(session, path: str | Path) -> SnapshotInfo:
     from repro import __version__
 
     path = Path(path)
@@ -458,6 +474,34 @@ def load_session(
     file.  A pool sampled under one kernel backend restores and
     continues identically under another — backends agree byte-for-byte.
     """
+    with obs_trace.span("snapshot.restore", path=str(path)):
+        return _load_session_body(
+            path,
+            dataset,
+            region=region,
+            cache=cache,
+            cache_size=cache_size,
+            parallel=parallel,
+            executor=executor,
+            max_workers=max_workers,
+            start_method=start_method,
+            kernel=kernel,
+        )
+
+
+def _load_session_body(
+    path: str | Path,
+    dataset,
+    *,
+    region=None,
+    cache=None,
+    cache_size: int = 512,
+    parallel: bool | str = "auto",
+    executor: str | None = None,
+    max_workers: int | None = None,
+    start_method: str | None = None,
+    kernel: str | None = None,
+):
     from repro.service.session import StabilitySession
 
     header, raw_sections = _read_container(path)

@@ -45,8 +45,10 @@ it; see :func:`_attach`).
 from __future__ import annotations
 
 import atexit
+import logging
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 
@@ -54,6 +56,8 @@ import numpy as np
 
 from repro.core.randomized import GetNextRandomized
 from repro.engine import kernels
+from repro.obs import log_event
+from repro.obs import tracing as obs_trace
 
 __all__ = [
     "START_METHOD_ENV_VAR",
@@ -61,6 +65,7 @@ __all__ = [
     "SharedArray",
     "ProcessObserveEngine",
     "live_segments",
+    "live_segment_bytes",
 ]
 
 #: Environment override for the worker start method (``fork``,
@@ -115,6 +120,16 @@ def live_segments() -> tuple[str, ...]:
     ``/dev/shm`` until reboot).
     """
     return tuple(sorted(_LIVE))
+
+
+def live_segment_bytes() -> int:
+    """Total bytes of the shared-memory segments this process owns.
+
+    The resource-telemetry gauge behind ``repro_shm_segments``' sibling
+    measurements; owner-side only (worker attachments map the same
+    pages and are not double-counted).
+    """
+    return sum(shm.size for shm in _LIVE.values())
 
 
 def _cleanup_at_exit() -> None:  # pragma: no cover - abnormal exits only
@@ -411,7 +426,13 @@ class ProcessObserveEngine:
         # Serial stream draws in plan order: the stream matches the
         # serial path's exactly (same contract as the thread-pool
         # observer), for both the rng and the quasi-MC stream.
+        traced = obs_trace.tracing_enabled()
+        clock = time.perf_counter
+        t0 = clock() if traced else 0.0
         weight_chunks = [op.sample_weights(batch) for batch in sizes]
+        if traced:
+            obs_trace.record("observe.sample", clock() - t0,
+                             count=len(sizes), n=n_new)
         spec = self._spec_for(op)
         # Group several chunks per task: the auto-tuned chunk shrinks as
         # n grows (bounded score-matrix footprint), so a big pass at
@@ -424,13 +445,19 @@ class ProcessObserveEngine:
             for i in range(0, len(weight_chunks), group_size)
         ]
         broken = False
+        rescued_chunks = 0
         futures = []
+        t1 = clock() if traced else 0.0
         try:
             pool = self._ensure_pool()
             for group in groups:
                 futures.append(pool.submit(_proc_reduce_many, spec, group))
         except Exception:
             broken = True
+        if traced:
+            obs_trace.record("procpool.submit", clock() - t1,
+                             count=len(futures), groups=len(groups))
+        t2 = clock() if traced else 0.0
         for i, group in enumerate(groups):
             results = None
             if not broken and i < len(futures):
@@ -443,8 +470,20 @@ class ProcessObserveEngine:
                 # in hand, so the remaining chunks reduce in-process and
                 # the tally stays byte-identical.
                 results = [_reduce_in_process(op, w) for w in group]
+                rescued_chunks += len(group)
             for keys, freqs, n_rows in results:
                 op.tally.observe_packed(keys, freqs, n_rows)
+        if traced:
+            # Wait-and-fold: worker reductions overlap this loop, so it
+            # covers the whole out-of-process reduce+fold tail.
+            obs_trace.record("procpool.fold", clock() - t2, count=len(groups))
         if broken:
+            log_event(
+                "worker.rescue",
+                level=logging.WARNING,
+                rescued_chunks=rescued_chunks,
+                total_chunks=len(sizes),
+                workers=self.max_workers,
+            )
             self._reset_pool()
         return len(sizes)

@@ -42,6 +42,7 @@ sampling pass instead of one per request.
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 
@@ -54,10 +55,13 @@ from repro.core.stability import StabilityResult
 from repro.engine.backends import DEFAULT_BUDGET, resolve_backend
 from repro.engine.engine import StabilityEngine
 from repro.errors import ExhaustedError
+from repro.obs import log_event
+from repro.obs import tracing as obs_trace
 from repro.operators.skyline import KSkybandIndex
 from repro.service.budget import (
     PrecisionBudget,
     ensure_precision,
+    leading_interval,
     parse_budget,
     precision_satisfied,
 )
@@ -202,6 +206,17 @@ class StabilitySession:
         self._states: dict[tuple, _ConfigState] = {}
         self._skyband: KSkybandIndex | None = None
         self._local = threading.local()
+        self._created_at = time.time()
+        self._cost_lock = threading.Lock()
+        # Cumulative cost attribution across every query of the session
+        # (cache_hits/misses count only the cacheable idempotent ops).
+        self._cost_totals = {
+            "queries": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "samples_drawn": 0,
+            "samples_reused": 0,
+        }
 
     @property
     def last_query_cached(self) -> bool:
@@ -219,6 +234,68 @@ class StabilitySession:
     @last_query_cached.setter
     def last_query_cached(self, value: bool) -> None:
         self._local.cached = bool(value)
+
+    @property
+    def last_query_cost(self) -> dict | None:
+        """Cost-attribution record of this thread's most recent query.
+
+        ``{"op", "backend", "cached", "samples_before", "samples_after",
+        "samples_drawn", "pool_reused_fraction", "executor", "chunks",
+        "kernel", "sampling"[, "ci_width", "target"]}`` for randomized
+        configurations; exact backends report op/backend/cached only.
+        Thread-local for the same reason as :attr:`last_query_cached`.
+        """
+        return getattr(self._local, "cost", None)
+
+    def _finish_cost(self, op: str, state: "_ConfigState", *, before,
+                     cached: bool, target=None, cacheable: bool = True) -> dict:
+        """Build + store the per-query cost record and bump the totals."""
+        cost: dict = {
+            "op": op,
+            "backend": state.engine.backend_name,
+            "cached": bool(cached),
+        }
+        if state.is_randomized:
+            raw = state.engine.backend.raw
+            after = raw.total_samples
+            before = after if before is None else before
+            drawn = max(after - before, 0)
+            cost.update(
+                kernel=raw.kernel_backend.name,
+                sampling=raw.sampling,
+                samples_before=before,
+                samples_after=after,
+                samples_drawn=drawn,
+                pool_reused_fraction=(
+                    round(before / after, 6) if after else 1.0
+                ),
+            )
+            last_pass = self._observer.last_pass
+            if drawn > 0 and last_pass is not None:
+                cost["executor"] = last_pass["executor"]
+                cost["chunks"] = last_pass["chunks"]
+            else:
+                cost["executor"] = "none"
+                cost["chunks"] = 0
+            if isinstance(target, PrecisionBudget):
+                cost["target"] = target.spec
+                leading = leading_interval(raw, self.confidence)
+                if leading is not None:
+                    cost["ci_width"] = round(leading[1], 9)
+        else:
+            drawn = before = 0
+        self._local.cost = cost
+        with self._cost_lock:
+            totals = self._cost_totals
+            totals["queries"] += 1
+            totals["samples_drawn"] += drawn
+            totals["samples_reused"] += before or 0
+            if cacheable:
+                if cached:
+                    totals["cache_hits"] += 1
+                else:
+                    totals["cache_misses"] += 1
+        return cost
 
     # ------------------------------------------------------------------
     # Identity & lifecycle
@@ -463,20 +540,33 @@ class StabilitySession:
     # ------------------------------------------------------------------
     # Pool management (randomized configurations)
     # ------------------------------------------------------------------
-    def _ensure_pool(self, state: _ConfigState, target) -> None:
+    def _ensure_pool(self, state: _ConfigState, target) -> int:
+        """Grow one pool to ``target``; returns the samples drawn."""
         raw = state.engine.backend.raw
-        if isinstance(target, PrecisionBudget):
-            ensure_precision(
-                raw,
-                target,
-                lambda n: self._observer.observe(raw, n),
-                confidence=self.confidence,
+        before = raw.total_samples
+        with obs_trace.span("session.ensure_pool", target=target):
+            if isinstance(target, PrecisionBudget):
+                ensure_precision(
+                    raw,
+                    target,
+                    lambda n: self._observer.observe(raw, n),
+                    confidence=self.confidence,
+                )
+            else:
+                need = int(target) - before
+                if need > 0:
+                    self._observer.observe(raw, need)
+        drawn = raw.total_samples - before
+        if drawn > 0:
+            last_pass = self._observer.last_pass or {}
+            log_event(
+                "pool.grow",
+                target=str(target),
+                drawn=drawn,
+                samples=raw.total_samples,
+                executor=last_pass.get("executor"),
             )
-            return
-        need = int(target) - raw.total_samples
-        if need <= 0:
-            return
-        self._observer.observe(raw, need)
+        return drawn
 
     @property
     def observer(self) -> ObserveExecutor:
@@ -578,10 +668,13 @@ class StabilitySession:
         state = self._state(kind, k, backend)
         self.last_query_cached = False
         if state.is_randomized:
-            self._ensure_pool(
-                state, self.pool_target("get_next", budget=budget)
-            )
-            return state.engine.backend.next_from_pool()
+            target = self.pool_target("get_next", budget=budget)
+            before = state.engine.backend.raw.total_samples
+            self._ensure_pool(state, target)
+            result = state.engine.backend.next_from_pool()
+            self._finish_cost("get_next", state, before=before, cached=False,
+                              target=target, cacheable=False)
+            return result
         self._ensure_yielded(state, state.cursor + 1)
         if state.cursor >= len(state.yielded):
             raise ExhaustedError(
@@ -589,6 +682,8 @@ class StabilitySession:
             )
         result = state.yielded[state.cursor]
         state.cursor += 1
+        self._finish_cost("get_next", state, before=None, cached=False,
+                          cacheable=False)
         return result
 
     def top_stable(
@@ -614,6 +709,11 @@ class StabilitySession:
         state = self._state(kind, k, backend)
         resolved = state.engine.backend_name
         ensured = False
+        before = (
+            state.engine.backend.raw.total_samples
+            if state.is_randomized
+            else None
+        )
         if state.is_randomized:
             target = self.pool_target("top_stable", m=m, budget=budget)
             if isinstance(target, PrecisionBudget):
@@ -645,19 +745,25 @@ class StabilitySession:
             m=m,
             samples=samples,
         )
-        cached = self.cache.get(key)
+        with obs_trace.span("cache.lookup", op="top_stable"):
+            cached = self.cache.get(key)
         if cached is not MISS:
             self.last_query_cached = True
+            self._finish_cost("top_stable", state, before=before, cached=True,
+                              target=target if state.is_randomized else None)
             return self._cut(list(cached), min_stability)
         self.last_query_cached = False
         if state.is_randomized:
             if not ensured:
                 self._ensure_pool(state, target)
-            results = state.engine.backend.top_from_pool(m)
+            with obs_trace.span("pool.top", m=m):
+                results = state.engine.backend.top_from_pool(m)
         else:
             self._ensure_yielded(state, m)
             results = state.yielded[:m]
         self.cache.put(key, tuple(results))
+        self._finish_cost("top_stable", state, before=before, cached=False,
+                          target=target if state.is_randomized else None)
         return self._cut(list(results), min_stability)
 
     def stability_of(
@@ -688,6 +794,11 @@ class StabilitySession:
         backend = self.query_backend("stability_of", kind, backend, ids)
         state = self._state(kind, k, backend)
         resolved = state.engine.backend_name
+        before = (
+            state.engine.backend.raw.total_samples
+            if state.is_randomized
+            else None
+        )
         if state.is_randomized:
             target = self.pool_target("stability_of", min_samples=min_samples)
             samples = max(
@@ -705,17 +816,24 @@ class StabilitySession:
             ids=ids,
             samples=samples,
         )
-        cached = self.cache.get(key)
+        with obs_trace.span("cache.lookup", op="stability_of"):
+            cached = self.cache.get(key)
         if cached is not MISS:
             self.last_query_cached = True
+            self._finish_cost("stability_of", state, before=before,
+                              cached=True, target=target)
             return cached
         self.last_query_cached = False
         if state.is_randomized:
             self._ensure_pool(state, target)
-            result = state.engine.stability_of(ids, min_samples=target)
+            with obs_trace.span("pool.verify"):
+                result = state.engine.stability_of(ids, min_samples=target)
         else:
-            result = state.engine.stability_of(list(ids))
+            with obs_trace.span("pool.verify"):
+                result = state.engine.stability_of(list(ids))
         self.cache.put(key, result)
+        self._finish_cost("stability_of", state, before=before, cached=False,
+                          target=target)
         return result
 
     def run_batch(self, requests) -> list:
@@ -741,8 +859,17 @@ class StabilitySession:
             out.append(result)
         return out
 
+    def pool_bytes(self) -> int:
+        """Approximate bytes held by the randomized sample pools."""
+        total = 0
+        for state in self._states.values():
+            if state.is_randomized:
+                total += state.engine.backend.raw.tally.nbytes
+        return total
+
     def stats(self) -> dict:
-        """Serving statistics: cache counters and per-config pool state."""
+        """Serving statistics: cache counters, per-config pool state,
+        cost-attribution totals, executor/kernel identity, and uptime."""
         pools = {}
         for (kind, k, backend), state in self._states.items():
             label = f"{kind}" + (f":k={k}" if k is not None else "") + f"@{backend}"
@@ -754,6 +881,7 @@ class StabilitySession:
                     "returned": len(raw.returned),
                     "kernel": raw.kernel_backend.name,
                     "sampling": raw.sampling,
+                    "pool_bytes": raw.tally.nbytes,
                 }
             else:
                 pools[label] = {
@@ -761,15 +889,105 @@ class StabilitySession:
                     "cursor": state.cursor,
                     "exhausted": state.exhausted,
                 }
+        with self._cost_lock:
+            cost = dict(self._cost_totals)
+        lookups = cost["cache_hits"] + cost["cache_misses"]
         return {
             "fingerprint": self._fingerprint,
+            "uptime_seconds": round(time.time() - self._created_at, 3),
             "cache": self.cache.stats.snapshot(),
+            # Session-scoped hit ratio: the shared cache's counters mix
+            # every session on the process; these count only this
+            # session's cacheable queries.
+            "cache_session": {
+                "hits": cost["cache_hits"],
+                "misses": cost["cache_misses"],
+                "hit_rate": (cost["cache_hits"] / lookups) if lookups else 0.0,
+            },
+            "cost": cost,
             "executor": self._observer.mode,
+            "executor_workers": self._observer.workers,
+            "kernel": self.kernel if self.kernel is not None else "auto",
+            "sampling": self.sampling,
+            "pool_bytes": self.pool_bytes(),
+            "cache_bytes": self.cache.approx_bytes(),
             "configs": pools,
             "skyband_bands": (
                 self._skyband.built_bands if self._skyband is not None else ()
             ),
         }
+
+    def explain(self, payload: dict) -> dict:
+        """Predict how one wire-form query would execute — a pure read.
+
+        Never materialises engines or pools: configurations the session
+        has not yet built report ``materialized: false`` with the
+        backend the request *would* resolve to.  Powers the ``explain``
+        protocol op, so it must stay safe under the server's read lock.
+        """
+        from repro.service.batch import StabilityRequest
+
+        request = StabilityRequest.from_dict(payload)
+        backend = self.query_backend(
+            request.op, request.kind, request.backend, request.ranking
+        )
+        resolved = self._resolve(request.kind, backend)
+        state = self._states.get((request.kind, request.k, resolved))
+        if state is not None:
+            randomized = state.is_randomized
+        else:
+            randomized = resolved == "randomized"
+        plan: dict = {
+            "op": request.op,
+            "kind": request.kind,
+            "k": request.k,
+            "backend": resolved,
+            "randomized": randomized,
+            "materialized": state is not None,
+            "executor": self._observer.mode,
+            "workers": self._observer.workers,
+            "sampling": self.sampling,
+            "warm_read": self.query_is_warm_read(
+                request.op,
+                kind=request.kind,
+                k=request.k,
+                backend=request.backend,
+                ranking=request.ranking,
+                m=request.m,
+                budget=request.budget,
+                min_samples=request.min_samples,
+            ),
+        }
+        if not randomized:
+            return plan
+        if state is not None:
+            raw = state.engine.backend.raw
+            pool = raw.total_samples
+            plan["kernel"] = raw.kernel_backend.name
+        else:
+            raw = None
+            pool = 0
+            plan["kernel"] = self.kernel if self.kernel is not None else "auto"
+        plan["pool_samples"] = pool
+        target = self.pool_target(
+            request.op,
+            m=request.m,
+            budget=request.budget,
+            min_samples=request.min_samples,
+        )
+        if isinstance(target, PrecisionBudget):
+            plan["target"] = target.spec
+            satisfied = raw is not None and precision_satisfied(
+                raw, target, confidence=self.confidence
+            )
+            plan["precision_satisfied"] = satisfied
+            # An unsatisfied precision budget's sample need is adaptive;
+            # the controller discovers it, so explain does not guess.
+            plan["samples_needed"] = 0 if satisfied else None
+        else:
+            plan["target"] = int(target)
+            plan["samples_needed"] = max(int(target) - pool, 0)
+        return plan
 
     def __repr__(self) -> str:
         return (

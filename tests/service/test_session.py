@@ -199,7 +199,9 @@ class TestValidation:
         session.top_stable(1, kind="topk_set", k=4, backend="randomized")
         stats = session.stats()
         assert set(stats) == {
-            "fingerprint", "cache", "executor", "configs", "skyband_bands"
+            "fingerprint", "uptime_seconds", "cache", "cache_session",
+            "cost", "executor", "executor_workers", "kernel", "sampling",
+            "pool_bytes", "cache_bytes", "configs", "skyband_bands",
         }
         (label,) = stats["configs"]
         assert label == "topk_set:k=4@randomized"
