@@ -39,6 +39,7 @@ and any test harness — transports only frame lines and move bytes.
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -98,6 +99,23 @@ ERROR_CODES = (
 )
 
 
+def _reject_nonfinite(token: str) -> float:
+    # json.loads accepts the NaN/Infinity/-Infinity extensions by
+    # default, but json.dumps would then emit them back — producing
+    # responses that are not valid JSON.  Strict interchange JSON only.
+    raise ValueError(f"{token} is not valid interchange JSON")
+
+
+def _valid_request_id(value) -> bool:
+    """The ``"id"`` echo contract only holds for JSON scalars that
+    round-trip: strings, bools, ints, and *finite* floats.  (``1e999``
+    parses to ``inf`` without ever hitting the constant hook, and
+    echoing it would corrupt the response frame.)"""
+    if isinstance(value, float):
+        return math.isfinite(value)
+    return isinstance(value, (str, bool, int))
+
+
 class RequestError(Exception):
     """A request that can be answered only with a structured error.
 
@@ -130,15 +148,30 @@ def parse_request(line: str | bytes, *, max_bytes: int = MAX_LINE_BYTES) -> dict
             f"request line is {len(raw)} bytes; the limit is {max_bytes}",
         )
     try:
-        payload = json.loads(raw)
+        payload = json.loads(raw, parse_constant=_reject_nonfinite)
     except (ValueError, UnicodeDecodeError) as exc:
         raise RequestError("bad_json", f"not valid JSON: {exc}") from None
+    except RecursionError:
+        # Pathologically nested frames (60k open brackets still fit in
+        # one line) must degrade into a structured error, not kill the
+        # connection task.
+        raise RequestError(
+            "bad_json", "request JSON is nested too deeply"
+        ) from None
     if not isinstance(payload, dict):
         raise RequestError(
             "bad_request",
             f"a request must be a JSON object, got {type(payload).__name__}",
         )
     request_id = payload.get("id")
+    if request_id is not None and not _valid_request_id(request_id):
+        # Validate before *any* error path echoes it: a non-scalar or
+        # non-finite id inside error_payload would break the response
+        # frame the same way it would break a success frame.
+        raise RequestError(
+            "bad_request",
+            'the "id" field must be a JSON string, finite number, or bool',
+        )
     op = payload.get("op")
     if not isinstance(op, str) or not op:
         raise RequestError(
@@ -164,6 +197,27 @@ def error_payload(
     if request_id is not None:
         response["id"] = request_id
     return response
+
+
+def encode_response(response: dict) -> str:
+    """Serialize one response frame as strict interchange JSON.
+
+    The read side rejects the NaN/Infinity extensions; the write side
+    must honour the same contract, or a non-finite float deep in a
+    stats or result payload would emit a frame no compliant JSON
+    parser accepts.  Such a response is replaced by a structured
+    internal error (id echo preserved) rather than corrupting the
+    stream.
+    """
+    try:
+        return json.dumps(response, allow_nan=False)
+    except ValueError:
+        fallback = error_payload(
+            "internal",
+            "response contained a non-finite number and was withheld",
+            request_id=response.get("id") if isinstance(response, dict) else None,
+        )
+        return json.dumps(fallback, allow_nan=False)
 
 
 def classify_exception(exc: BaseException) -> tuple[str, str]:

@@ -58,6 +58,61 @@ class TestParseRequest:
         with pytest.raises(ValueError):
             protocol.RequestError("made_up_code", "nope")
 
+    # --- fuzzer findings (regressions) --------------------------------
+    # json.loads accepts the NaN/Infinity extensions by default; a
+    # request like {"op": "ping", "id": NaN} would then echo NaN into
+    # the response, which json.dumps emits verbatim — an invalid JSON
+    # frame on the wire.  Found by the loadgen protocol fuzzer.
+    @pytest.mark.parametrize("literal", ["NaN", "Infinity", "-Infinity"])
+    def test_nonfinite_literals_are_bad_json(self, literal):
+        with pytest.raises(protocol.RequestError) as err:
+            protocol.parse_request(f'{{"op": "ping", "id": {literal}}}')
+        assert err.value.code == "bad_json"
+        # The broken id must never be echoed into the error either.
+        assert err.value.request_id is None
+
+    def test_overflowing_number_id_is_rejected(self):
+        # 1e999 parses to float inf without hitting the constant hook,
+        # so it needs the id-validation path, not parse_constant.
+        with pytest.raises(protocol.RequestError) as err:
+            protocol.parse_request(b'{"op": "ping", "id": 1e999}')
+        assert err.value.code == "bad_request"
+        assert err.value.request_id is None
+
+    @pytest.mark.parametrize(
+        "bad_id", ['[1, 2]', '{"a": 1}'], ids=["array", "object"]
+    )
+    def test_composite_ids_are_bad_request(self, bad_id):
+        with pytest.raises(protocol.RequestError) as err:
+            protocol.parse_request(
+                ('{"op": "ping", "id": %s}' % bad_id).encode()
+            )
+        assert err.value.code == "bad_request"
+        assert err.value.request_id is None
+
+    @pytest.mark.parametrize(
+        "good_id", ["x", 0, 17, True, 2.5], ids=type
+    )
+    def test_scalar_ids_still_echo(self, good_id):
+        line = json.dumps({"op": "ping", "id": good_id})
+        assert protocol.parse_request(line)["id"] == good_id
+
+    def test_deeply_nested_json_is_bad_json(self):
+        # 60k brackets fit well inside one MAX_LINE_BYTES frame but
+        # blow the recursion limit inside json.loads; the fuzzer found
+        # this escaping as a RecursionError that killed the connection
+        # task instead of answering a structured error.
+        depth = 60_000
+        line = ("[" * depth + "]" * depth).encode()
+        with pytest.raises(protocol.RequestError) as err:
+            protocol.parse_request(line)
+        assert err.value.code == "bad_json"
+        # The wrapped-in-an-object variant too.
+        line = b'{"op": "ping", "x": ' + b"[" * depth + b"]" * depth + b"}"
+        with pytest.raises(protocol.RequestError) as err:
+            protocol.parse_request(line)
+        assert err.value.code == "bad_json"
+
 
 class TestClassifyException:
     def test_known_exceptions_map_to_codes(self):
@@ -76,6 +131,30 @@ class TestClassifyException:
             protocol.RequestError("busy", "later")
         )
         assert (code, message) == ("busy", "later")
+
+
+class TestEncodeResponse:
+    def test_plain_response_round_trips(self):
+        response = {"ok": True, "id": 4, "result": {"stability": 0.25}}
+        line = protocol.encode_response(response)
+        assert json.loads(line) == response
+
+    def test_nonfinite_value_becomes_internal_error(self):
+        # The read side rejects NaN/Infinity; the write side must never
+        # emit them, however deep in the payload they hide.
+        for poison in (float("nan"), float("inf"), float("-inf")):
+            response = {"ok": True, "id": 9, "result": {"rate": poison}}
+            line = protocol.encode_response(response)
+            assert "NaN" not in line and "Infinity" not in line
+            replaced = json.loads(line)
+            assert replaced["ok"] is False
+            assert replaced["error"]["code"] == "internal"
+            assert replaced["id"] == 9
+
+    def test_fallback_without_id(self):
+        line = protocol.encode_response({"ok": True, "x": float("nan")})
+        replaced = json.loads(line)
+        assert replaced["ok"] is False and "id" not in replaced
 
 
 class TestDispatch:
