@@ -407,6 +407,7 @@ def _read_container(
             f"{path}: header format_version {header.get('format_version')} "
             f"disagrees with the container's {version}"
         )
+    _validate_header(path, header)
     raw_sections: dict[str, bytes] = {}
     if not with_sections:
         return header, raw_sections
@@ -436,6 +437,94 @@ def _read_container(
             )
         raw_sections[entry["name"]] = raw
     return header, raw_sections
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _validate_header(path, header: dict) -> None:
+    """Typed refusal of structurally broken headers.
+
+    The CRC only proves the header was not *altered after writing*; a
+    crafted container can carry a self-consistent CRC over arbitrary
+    JSON.  The snapshot fuzzer found such headers escaping as untyped
+    ``KeyError``/``TypeError``/``ValueError`` from deep inside restore —
+    every malformed field must instead be a :class:`SnapshotFormatError`
+    callers can branch on.
+    """
+
+    def fail(message: str):
+        raise SnapshotFormatError(
+            f"{path}: malformed snapshot header: {message}"
+        )
+
+    if not isinstance(header.get("fingerprint"), str):
+        fail('"fingerprint" must be a string')
+    if not _is_int(header.get("entropy")) or header["entropy"] < 0:
+        fail('"entropy" must be a non-negative integer')
+    confidence = header.get("confidence")
+    if (
+        not isinstance(confidence, (int, float))
+        or isinstance(confidence, bool)
+        or not 0.0 < float(confidence) < 1.0
+    ):
+        fail('"confidence" must be a number in (0, 1)')
+    if not isinstance(header.get("region"), str):
+        fail('"region" must be a string')
+    budget_hint = header.get("budget_hint")
+    if not (
+        budget_hint is None or _is_int(budget_hint)
+        or isinstance(budget_hint, str)
+    ):
+        fail('"budget_hint" must be an integer, a spec string, or null')
+    if not isinstance(header.get("sampling", "mc"), str):
+        fail('"sampling" must be a string')
+    configs = header.get("configs")
+    if not isinstance(configs, list):
+        fail('"configs" must be a list')
+    for record in configs:
+        if not isinstance(record, dict):
+            fail("every config record must be an object")
+        for key in ("kind", "backend"):
+            if not isinstance(record.get(key), str):
+                fail(f'config records need a string "{key}"')
+        if not (record.get("k") is None or _is_int(record["k"])):
+            fail('config "k" must be an integer or null')
+        if "section" in record:
+            if not isinstance(record["section"], str):
+                fail('config "section" must be a string')
+            if not isinstance(record.get("state"), dict):
+                fail('pool-backed configs need an object "state"')
+            tally = record.get("tally")
+            if not isinstance(tally, dict):
+                fail('pool-backed configs need an object "tally"')
+            for key in ("n_keys", "total"):
+                if not _is_int(tally.get(key)) or tally[key] < 0:
+                    fail(f'tally "{key}" must be a non-negative integer')
+            if not _is_int(tally.get("key_length")) or tally["key_length"] < 1:
+                fail('tally "key_length" must be a positive integer')
+            if not isinstance(tally.get("dtype"), str):
+                fail('tally "dtype" must be a string')
+        else:
+            for key in ("yielded", "cursor"):
+                if not _is_int(record.get(key)) or record[key] < 0:
+                    fail(f'config "{key}" must be a non-negative integer')
+            if not isinstance(record.get("exhausted"), bool):
+                fail('config "exhausted" must be a bool')
+    sections = header.get("sections", [])
+    if not isinstance(sections, list):
+        fail('"sections" must be a list')
+    for entry in sections:
+        if not isinstance(entry, dict):
+            fail("every section-table entry must be an object")
+        if not isinstance(entry.get("name"), str):
+            fail('section entries need a string "name"')
+        for key in ("offset", "length", "raw_length"):
+            if not _is_int(entry.get(key)) or entry[key] < 0:
+                fail(f'section "{key}" must be a non-negative integer')
+        if not _is_int(entry.get("crc32")):
+            fail('section "crc32" must be an integer')
 
 
 def read_snapshot_header(path: str | Path) -> dict:
@@ -509,21 +598,32 @@ def _load_session_body(
     # comparing that (rather than hashing the matrix a second time
     # here) keeps restore at one fingerprint pass; construction is
     # cheap, every engine and index is lazy.
-    session = StabilitySession(
-        dataset,
-        region=region,
-        seed=header["entropy"],
-        confidence=header["confidence"],
-        cache=cache,
-        cache_size=cache_size,
-        parallel=parallel,
-        executor=executor,
-        max_workers=max_workers,
-        start_method=start_method,
-        budget=header["budget_hint"],
-        kernel=kernel,
-        sampling=header.get("sampling", "mc"),
-    )
+    try:
+        session = StabilitySession(
+            dataset,
+            region=region,
+            seed=header["entropy"],
+            confidence=header["confidence"],
+            cache=cache,
+            cache_size=cache_size,
+            parallel=parallel,
+            executor=executor,
+            max_workers=max_workers,
+            start_method=start_method,
+            budget=header["budget_hint"],
+            kernel=kernel,
+            sampling=header.get("sampling", "mc"),
+        )
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        # Backstop behind _validate_header: a header can be
+        # well-typed yet still name values the session rejects
+        # (an unknown sampling scheme, an unparseable budget spec).
+        raise SnapshotFormatError(
+            f"snapshot {path} header does not describe a restorable "
+            f"session: {type(exc).__name__}: {exc}"
+        ) from exc
     if header["fingerprint"] != session.fingerprint:
         session.close()
         raise SnapshotMismatchError(
