@@ -435,6 +435,90 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_engine_dials(p_restore, sampling=False)
 
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a server with a deterministic synthetic workload "
+        "(self-hosted unless --address), optionally recording a "
+        "replayable trace or running a bounded soak",
+    )
+    p_loadgen.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive a running server instead of self-hosting one",
+    )
+    p_loadgen.add_argument(
+        "--requests", type=int, default=200, help="requests per run"
+    )
+    p_loadgen.add_argument("--connections", type=int, default=8)
+    p_loadgen.add_argument(
+        "--rate", type=float, default=400.0,
+        help="mean open-loop arrival rate, requests/second",
+    )
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument(
+        "--burstiness", type=float, default=4.0,
+        help="peak/trough arrival-rate ratio (1 = flat)",
+    )
+    p_loadgen.add_argument(
+        "--churn", type=float, default=0.05,
+        help="probability a batch reconnects first",
+    )
+    p_loadgen.add_argument(
+        "--pipeline", type=float, default=0.25,
+        help="probability consecutive requests pipeline into one batch",
+    )
+    p_loadgen.add_argument(
+        "--configs", type=int, default=8,
+        help="query-configuration vocabulary size",
+    )
+    p_loadgen.add_argument(
+        "--skew", type=float, default=1.2,
+        help="Zipf exponent of config popularity",
+    )
+    p_loadgen.add_argument("--dataset-items", type=int, default=400)
+    p_loadgen.add_argument("--dataset-attributes", type=int, default=3)
+    p_loadgen.add_argument(
+        "--dataset-family", default="independent",
+        choices=["independent", "correlated", "anticorrelated"],
+    )
+    p_loadgen.add_argument("--dataset-seed", type=int, default=20180905)
+    p_loadgen.add_argument(
+        "--server-seed", type=int, default=7,
+        help="session seed of the (self-hosted) server",
+    )
+    p_loadgen.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a replayable JSONL trace to PATH",
+    )
+    p_loadgen.add_argument(
+        "--soak", type=float, default=None, metavar="SECONDS",
+        help="run a bounded soak instead: sustained load for SECONDS, "
+        "asserting flat RSS and zero shm segments via /metrics",
+    )
+    p_loadgen.add_argument(
+        "--rss-limit", type=float, default=0.10,
+        help="soak: max fractional RSS growth over the warm baseline",
+    )
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-run a recorded loadgen trace and assert answer "
+        "equivalence (exit 1 on divergence)",
+    )
+    p_replay.add_argument("trace", metavar="TRACE", help="trace file to replay")
+    p_replay.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="replay against a running server instead of self-hosting "
+        "the build under test",
+    )
+    p_replay.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="compress (<1) or stretch (>1) the recorded arrival schedule",
+    )
+
     args = parser.parse_args(argv)
 
     from repro.obs import configure_logging
@@ -444,6 +528,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "stats":
         # Pure network client: no CSV to load, no session to build.
         return _run_stats(args)
+
+    if args.command == "loadgen":
+        # Workload harness: synthesizes its own dataset from the spec.
+        return _run_loadgen(args)
+
+    if args.command == "replay":
+        return _run_replay(args)
 
     if args.command == "restore" and args.inspect:
         # Header inspection needs no dataset — an orphaned snapshot must
@@ -885,7 +976,7 @@ def _run_serve(
                 ),
                 True,
             )
-        print(json.dumps(response), file=out, flush=True)
+        print(protocol.encode_response(response), file=out, flush=True)
         # Count requests since the last successful save (an explicit
         # checkpoint op resets it), so an on-demand checkpoint landing
         # on the periodic boundary never writes twice back-to-back.
@@ -978,6 +1069,66 @@ def _run_stats(args) -> int:
     for name, value in sorted(metrics.get("resources", {}).items()):
         print(f"resource {name}: {value}")
     return 0
+
+
+def _run_loadgen(args) -> int:
+    """The ``loadgen`` command: synthetic load, traces, and soaks."""
+    from repro.loadgen import WorkloadSpec, generate_plan, run_load, run_soak
+
+    if args.soak is not None:
+        if args.address is not None:
+            raise SystemExit(
+                "--soak self-hosts its server (it needs the /metrics "
+                "endpoint); drop --address"
+            )
+        report = run_soak(
+            seconds=args.soak,
+            connections=args.connections,
+            seed=args.seed,
+            rss_limit=args.rss_limit,
+            arrival_rate=args.rate,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.passed else 1
+
+    spec = WorkloadSpec(
+        seed=args.seed,
+        requests=args.requests,
+        connections=args.connections,
+        arrival_rate=args.rate,
+        burstiness=args.burstiness,
+        churn=args.churn,
+        pipeline=args.pipeline,
+        n_configs=args.configs,
+        config_skew=args.skew,
+        dataset_family=args.dataset_family,
+        dataset_items=args.dataset_items,
+        dataset_attributes=args.dataset_attributes,
+        dataset_seed=args.dataset_seed,
+        server_seed=args.server_seed,
+    )
+    plan = generate_plan(spec)
+    result = run_load(plan, address=args.address, trace_path=args.trace)
+    doc = result.to_dict()
+    if args.trace:
+        doc["trace"] = args.trace
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_replay(args) -> int:
+    """The ``replay`` command: trace in, equivalence verdict out."""
+    from repro.loadgen import TraceError, replay_trace
+
+    try:
+        report = replay_trace(
+            args.trace, address=args.address, time_scale=args.time_scale
+        )
+    except TraceError as exc:
+        raise SystemExit(f"cannot replay {args.trace}: {exc}")
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0 if report.equivalent else 1
 
 
 def _run_serve_tcp(args, ds: Dataset, region, parallel) -> int:

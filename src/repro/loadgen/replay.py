@@ -1,0 +1,69 @@
+"""Re-run a recorded trace against a server build and compare answers.
+
+The trace header carries the full workload spec, so the replayer
+regenerates every request (and, when self-hosting, the exact server
+configuration) from the spec — the file's records only supply the
+*expected responses*.  Tampered traces are refused: regenerated
+requests must match the recorded ones byte for byte before any answer
+is compared.
+
+``address=None`` replays against a fresh self-hosted server of the
+current build — the acceptance check "a recorded trace replayed
+against the same build yields equivalent answers".  With an address it
+replays against any live server; that server must be configured like
+the recorded one (same dataset, same session seed) for exact ops to
+match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.loadgen import runner, trace as trace_mod
+from repro.loadgen.workload import generate_plan
+
+__all__ = ["ReplayReport", "replay_trace"]
+
+
+@dataclass
+class ReplayReport:
+    """Replay outcome: the oracle verdict plus run aggregates."""
+
+    comparison: trace_mod.ComparisonReport
+    load: runner.LoadResult
+
+    @property
+    def equivalent(self) -> bool:
+        return self.comparison.equivalent
+
+    def to_dict(self) -> dict:
+        return {
+            "equivalent": self.equivalent,
+            "comparison": self.comparison.to_dict(),
+            "load": self.load.to_dict(),
+        }
+
+
+def replay_trace(
+    path,
+    *,
+    address: str | None = None,
+    time_scale: float = 1.0,
+) -> ReplayReport:
+    """Replay one trace file; see the module docstring."""
+    spec, records = trace_mod.read_trace(path)
+    plan = generate_plan(spec)
+    if len(records) != len(plan.events):
+        raise trace_mod.TraceError(
+            f"{path} holds {len(records)} records but its spec generates "
+            f"{len(plan.events)} requests — the trace was truncated or edited"
+        )
+    for event, record in zip(plan.events, records):
+        if record.get("request") != event.request:
+            raise trace_mod.TraceError(
+                f"{path}: record {record.get('i')} does not match the "
+                f"request its spec regenerates — the trace was edited"
+            )
+    load = runner.run_load(plan, address=address, time_scale=time_scale)
+    comparison = trace_mod.compare_records(records, load.records)
+    return ReplayReport(comparison=comparison, load=load)

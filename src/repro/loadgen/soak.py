@@ -1,0 +1,240 @@
+"""Bounded soak: sustained skewed load with resource invariants.
+
+:func:`run_soak` self-hosts a server with a live ``/metrics`` endpoint,
+runs one warmup pass of a fixed workload plan (pools grow once, caches
+fill, the allocator reaches steady state), scrapes a baseline, then
+re-runs the same plan round after round until the deadline.  The
+invariants are asserted from the *outside*, via the Prometheus scrape —
+exactly what a production alert would see:
+
+- ``repro_process_rss_bytes`` must not grow more than ``rss_limit``
+  (default 10%) over the post-warmup baseline;
+- ``repro_shm_segments`` must be 0 after the load stops (no leaked
+  shared-memory segments);
+- the server must still answer ``ping`` after the final round.
+
+Replaying one fixed plan is deliberate: the config vocabulary (and the
+one-budget-per-config invariant) keeps pool memory bounded by design,
+so any RSS ramp the soak sees is a leak, not workload drift.
+
+Runs as a module for CI::
+
+    python -m repro.loadgen.soak --seconds 60 --connections 32
+
+exits non-zero if any invariant fails, and prints the report as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+
+from repro.loadgen import runner
+from repro.loadgen.workload import WorkloadSpec, generate_plan
+from repro.server import ServeClient
+
+__all__ = ["SoakReport", "run_soak", "main"]
+
+RSS_GAUGE = "repro_process_rss_bytes"
+SHM_GAUGE = "repro_shm_segments"
+
+
+@dataclass
+class SoakReport:
+    seconds: float
+    connections: int
+    rounds: int = 0
+    requests: int = 0
+    ok: int = 0
+    error_codes: dict = field(default_factory=dict)
+    reconnects: int = 0
+    rss_baseline: float = 0.0
+    rss_final: float = 0.0
+    shm_segments: float = 0.0
+    failures: list = field(default_factory=list)
+
+    @property
+    def rss_growth(self) -> float:
+        if self.rss_baseline <= 0:
+            return 0.0
+        return (self.rss_final - self.rss_baseline) / self.rss_baseline
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "seconds": self.seconds,
+            "connections": self.connections,
+            "rounds": self.rounds,
+            "requests": self.requests,
+            "ok": self.ok,
+            "error_codes": self.error_codes,
+            "reconnects": self.reconnects,
+            "rss_baseline": self.rss_baseline,
+            "rss_final": self.rss_final,
+            "rss_growth": self.rss_growth,
+            "shm_segments": self.shm_segments,
+            "passed": self.passed,
+            "failures": self.failures,
+        }
+
+
+def build_soak_spec(
+    *,
+    seed: int = 0,
+    connections: int = 32,
+    requests_per_round: int | None = None,
+    arrival_rate: float = 600.0,
+) -> WorkloadSpec:
+    """The soak's fixed plan: hot-key skew, churn, pipelining, bursts."""
+    if requests_per_round is None:
+        requests_per_round = max(200, connections * 12)
+    return WorkloadSpec(
+        seed=seed,
+        requests=requests_per_round,
+        connections=connections,
+        arrival_rate=arrival_rate,
+        burstiness=4.0,
+        burst_every=1.0,
+        churn=0.05,
+        pipeline=0.25,
+        n_configs=8,
+        config_skew=1.2,
+        dataset_items=400,
+    )
+
+
+def run_soak(
+    *,
+    seconds: float = 60.0,
+    connections: int = 32,
+    seed: int = 0,
+    rss_limit: float = 0.10,
+    arrival_rate: float = 600.0,
+    log=None,
+) -> SoakReport:
+    """See the module docstring.  ``log`` (callable) gets progress lines."""
+    import time
+
+    report = SoakReport(seconds=seconds, connections=connections)
+    spec = build_soak_spec(
+        seed=seed, connections=connections, arrival_rate=arrival_rate
+    )
+    plan = generate_plan(spec)
+
+    def emit(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    with runner.hosted_server(plan, metrics_port=0) as handle:
+        metrics_port = handle.metrics_port
+        assert metrics_port is not None
+        address = f"{handle.host}:{handle.port}"
+
+        def one_round() -> runner.LoadResult:
+            result = runner.run_load(plan, address=address)
+            report.rounds += 1
+            report.requests += result.requests
+            report.ok += result.ok
+            report.reconnects += result.reconnects
+            for code, count in result.error_codes.items():
+                report.error_codes[code] = (
+                    report.error_codes.get(code, 0) + count
+                )
+            return result
+
+        emit(f"soak: warmup round against {address}")
+        one_round()  # pools grow to target, caches fill
+        baseline = runner.scrape_metrics(metrics_port, host=handle.host)
+        report.rss_baseline = baseline.get(RSS_GAUGE, 0.0)
+        emit(
+            f"soak: baseline rss {report.rss_baseline / 1e6:.1f} MB, "
+            f"running {seconds:.0f}s at {connections} connections"
+        )
+
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            result = one_round()
+            emit(
+                f"soak: round {report.rounds} — "
+                f"{result.requests / max(result.elapsed, 1e-9):.0f} req/s, "
+                f"{sum(result.error_codes.values())} errors"
+            )
+
+        final = runner.scrape_metrics(metrics_port, host=handle.host)
+        report.rss_final = final.get(RSS_GAUGE, 0.0)
+        report.shm_segments = final.get(SHM_GAUGE, 0.0)
+
+        with ServeClient(host=handle.host, port=handle.port) as client:
+            if client.ping().get("ok") is not True:
+                report.failures.append("server stopped answering ping")
+
+    if report.rss_baseline <= 0:
+        report.failures.append(f"{RSS_GAUGE} missing from the scrape")
+    if report.rss_growth > rss_limit:
+        report.failures.append(
+            f"rss grew {report.rss_growth:.1%} over the warm baseline "
+            f"(limit {rss_limit:.0%}): "
+            f"{report.rss_baseline:.0f} -> {report.rss_final:.0f} bytes"
+        )
+    if report.shm_segments != 0:
+        report.failures.append(
+            f"{SHM_GAUGE} is {report.shm_segments:.0f} after the load "
+            f"stopped (shared-memory leak)"
+        )
+    unexpected = {
+        code: count
+        for code, count in report.error_codes.items()
+        # exhausted get_next cursors, admission-control sheds, and
+        # checkpoints against a non-durable server are expected under
+        # sustained replayed load; anything else is not.
+        if code not in ("exhausted", "busy", "infeasible", "no_state_dir")
+    }
+    if unexpected:
+        report.failures.append(f"unexpected error codes: {unexpected}")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen.soak",
+        description="Bounded soak asserting flat RSS and zero shm leaks "
+        "from the live /metrics scrape.",
+    )
+    parser.add_argument("--seconds", type=float, default=60.0)
+    parser.add_argument("--connections", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rate", type=float, default=600.0)
+    parser.add_argument(
+        "--rss-limit",
+        type=float,
+        default=0.10,
+        help="max fractional RSS growth over the warm baseline",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the report to PATH"
+    )
+    args = parser.parse_args(argv)
+    report = run_soak(
+        seconds=args.seconds,
+        connections=args.connections,
+        seed=args.seed,
+        rss_limit=args.rss_limit,
+        arrival_rate=args.rate,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    doc = report.to_dict()
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,272 @@
+"""Replayable JSONL traces and the answer-equivalence oracle.
+
+A trace is one JSON object per line.  Line 1 is the header::
+
+    {"kind": "repro.loadgen.trace", "version": 1, "spec": {...}}
+
+where ``spec`` is the full :class:`~repro.loadgen.workload.WorkloadSpec`
+— enough to regenerate every request *and* the server-side session
+deterministically.  Every following line is one request record::
+
+    {"i": 17, "t": 0.042, "conn": 3, "op": "top_stable",
+     "request": {...}, "response": {...}}
+
+``response`` is the wire response with volatile fields stripped
+(:func:`strip_response` removes ``seconds`` / ``cached`` / ``cost`` /
+``trace`` / ``id`` — anything that legitimately varies run to run).
+
+The oracle (:func:`compare_records`) partitions ops by how determinism
+survives concurrency:
+
+- **exact** (``top_stable``, ``stability_of``): pool-based semantics
+  make these idempotent at a fixed budget — compared per request.
+- **multiset** (``get_next``): the *set* of rankings handed out per
+  configuration is deterministic, but which connection draws which one
+  depends on interleaving — compared as per-config multisets.
+- **loose** (``explain``, ``checkpoint``, control ops): responses
+  depend on warm-state timing — only counted, never compared.
+
+Responses whose error code is load-dependent (``busy``,
+``shutting_down``, or a recorded ``connection_lost``) are skipped and
+counted: admission control firing is a property of the run, not of the
+answers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.loadgen.workload import WorkloadSpec
+
+__all__ = [
+    "TRACE_KIND",
+    "TRACE_VERSION",
+    "EXACT_OPS",
+    "MULTISET_OPS",
+    "LOAD_DEPENDENT_CODES",
+    "TraceError",
+    "TraceWriter",
+    "strip_response",
+    "read_trace",
+    "compare_records",
+    "ComparisonReport",
+]
+
+TRACE_KIND = "repro.loadgen.trace"
+TRACE_VERSION = 1
+
+EXACT_OPS = frozenset({"top_stable", "stability_of"})
+MULTISET_OPS = frozenset({"get_next"})
+LOAD_DEPENDENT_CODES = frozenset({"busy", "shutting_down", "connection_lost"})
+
+#: Response fields that legitimately vary run to run.
+_VOLATILE_FIELDS = ("seconds", "cached", "cost", "trace", "id")
+
+
+class TraceError(ValueError):
+    """A trace file that cannot be replayed (bad header, tampering)."""
+
+
+def strip_response(response: dict) -> dict:
+    """A response with its volatile fields removed (trace canonical form)."""
+    return {
+        key: value
+        for key, value in response.items()
+        if key not in _VOLATILE_FIELDS
+    }
+
+
+def _error_code(response: dict):
+    error = response.get("error")
+    if isinstance(error, dict):
+        return error.get("code")
+    return error
+
+
+class TraceWriter:
+    """Thread-safe JSONL trace writer (header first, records appended)."""
+
+    def __init__(self, path: str | Path, spec: WorkloadSpec):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "w", encoding="utf-8")
+        header = {
+            "kind": TRACE_KIND,
+            "version": TRACE_VERSION,
+            "spec": spec.to_dict(),
+        }
+        self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> tuple[WorkloadSpec, list[dict]]:
+    """Parse a trace file back into its spec and ordered records."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise TraceError(f"{path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise TraceError(f"{path}: undecodable header line: {exc}") from None
+    if not isinstance(header, dict) or header.get("kind") != TRACE_KIND:
+        raise TraceError(f"{path} is not a loadgen trace")
+    if header.get("version") != TRACE_VERSION:
+        raise TraceError(
+            f"{path}: trace version {header.get('version')} is not "
+            f"{TRACE_VERSION}"
+        )
+    try:
+        spec = WorkloadSpec.from_dict(header["spec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"{path}: bad spec in header: {exc}") from None
+    records = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TraceError(f"{path}:{number}: bad record: {exc}") from None
+        if not isinstance(record, dict) or "i" not in record:
+            raise TraceError(f"{path}:{number}: record without an index")
+        records.append(record)
+    records.sort(key=lambda record: record["i"])
+    expected = list(range(len(records)))
+    if [record["i"] for record in records] != expected:
+        raise TraceError(f"{path}: record indices are not 0..n-1")
+    if len(records) != spec.requests:
+        raise TraceError(
+            f"{path}: header promises {spec.requests} records, found "
+            f"{len(records)} — the trace is truncated or edited"
+        )
+    return spec, records
+
+
+@dataclass
+class ComparisonReport:
+    """The oracle's verdict over two record sets of the same plan."""
+
+    total: int = 0
+    compared: int = 0
+    skipped_load_dependent: int = 0
+    skipped_loose: int = 0
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "compared": self.compared,
+            "skipped_load_dependent": self.skipped_load_dependent,
+            "skipped_loose": self.skipped_loose,
+            "equivalent": self.equivalent,
+            "mismatches": self.mismatches[:20],
+        }
+
+
+def _config_key(request: dict) -> str:
+    return json.dumps(
+        [request.get("kind"), request.get("k"), request.get("backend")]
+    )
+
+
+def _canonical(response: dict) -> str:
+    return json.dumps(strip_response(response), sort_keys=True)
+
+
+def compare_records(
+    expected: list[dict], observed: list[dict]
+) -> ComparisonReport:
+    """Answer equivalence between two runs of the same plan."""
+    report = ComparisonReport(total=len(expected))
+    if len(expected) != len(observed):
+        report.mismatches.append(
+            {
+                "kind": "length",
+                "expected": len(expected),
+                "observed": len(observed),
+            }
+        )
+        return report
+    multiset_expected: dict[str, list[str]] = {}
+    multiset_observed: dict[str, list[str]] = {}
+    for left, right in zip(expected, observed):
+        request = left.get("request", {})
+        op = request.get("op")
+        if request != right.get("request", {}):
+            report.mismatches.append(
+                {
+                    "kind": "request_divergence",
+                    "index": left.get("i"),
+                    "expected": request,
+                    "observed": right.get("request"),
+                }
+            )
+            continue
+        codes = {
+            _error_code(left.get("response", {})),
+            _error_code(right.get("response", {})),
+        }
+        if codes & LOAD_DEPENDENT_CODES:
+            report.skipped_load_dependent += 1
+            continue
+        if op in EXACT_OPS:
+            left_c = _canonical(left.get("response", {}))
+            right_c = _canonical(right.get("response", {}))
+            report.compared += 1
+            if left_c != right_c:
+                report.mismatches.append(
+                    {
+                        "kind": "answer",
+                        "index": left.get("i"),
+                        "op": op,
+                        "expected": json.loads(left_c),
+                        "observed": json.loads(right_c),
+                    }
+                )
+        elif op in MULTISET_OPS:
+            key = _config_key(request)
+            multiset_expected.setdefault(key, []).append(
+                _canonical(left.get("response", {}))
+            )
+            multiset_observed.setdefault(key, []).append(
+                _canonical(right.get("response", {}))
+            )
+            report.compared += 1
+        else:
+            report.skipped_loose += 1
+    for key in sorted(set(multiset_expected) | set(multiset_observed)):
+        left_set = sorted(multiset_expected.get(key, []))
+        right_set = sorted(multiset_observed.get(key, []))
+        if left_set != right_set:
+            report.mismatches.append(
+                {
+                    "kind": "multiset",
+                    "config": json.loads(key),
+                    "expected": len(left_set),
+                    "observed": len(right_set),
+                }
+            )
+    return report

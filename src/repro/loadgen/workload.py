@@ -1,0 +1,352 @@
+"""Deterministic, seedable workload synthesis for the serving tier.
+
+A :class:`WorkloadSpec` is a small, JSON-serializable description of a
+production-shaped traffic pattern: a Zipf-skewed vocabulary of query
+configurations (the "hot keys"), an op mix over the protocol surface
+(``top_stable`` / ``stability_of`` / ``get_next`` / ``explain`` /
+``checkpoint``), bursty open-loop arrivals, pipelined batches, and
+connection churn.  :func:`generate_plan` expands a spec into a concrete
+:class:`WorkloadPlan` — one :class:`Event` per request, each with a
+scheduled arrival offset, a connection assignment, a pipelining batch
+id, and a fully materialized request dict.
+
+Everything is a pure function of the spec (one ``numpy`` Generator
+seeded from ``spec.seed``): the same spec always yields byte-identical
+plans, which is what makes traces replayable — the replayer regenerates
+the requests from the spec embedded in the trace header and only needs
+the recorded *responses* for comparison.
+
+Determinism of the *answers* (not just the requests) rests on one
+invariant the vocabulary builder enforces: every ``(kind, k, backend)``
+configuration appears with exactly **one** sampling budget.  Pool-based
+query semantics answer from the cumulative pool, so two budgets for one
+config would make answers depend on which request grew the pool first —
+an interleaving artifact, not a workload property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import synthetic_dataset
+
+__all__ = [
+    "OPS",
+    "DEFAULT_MIX",
+    "WorkloadSpec",
+    "Event",
+    "WorkloadPlan",
+    "generate_plan",
+    "make_dataset",
+]
+
+#: Ops the generator can emit.  Query ops answer deterministically from
+#: the shared pools; ``explain`` and ``checkpoint`` exercise the control
+#: surface (their responses are load-dependent and compared loosely).
+OPS = ("top_stable", "stability_of", "get_next", "explain", "checkpoint")
+
+#: Default op mix (weights; normalized at generation time).
+DEFAULT_MIX = (
+    ("top_stable", 0.42),
+    ("stability_of", 0.23),
+    ("get_next", 0.15),
+    ("explain", 0.12),
+    ("checkpoint", 0.08),
+)
+
+_KINDS = ("topk_set", "topk_ranked")
+_K_CHOICES = (2, 3, 4, 5, 6, 8)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything needed to regenerate a workload, byte for byte."""
+
+    seed: int = 0
+    #: Total requests across all connections.
+    requests: int = 200
+    #: Concurrent client connections driving the plan.
+    connections: int = 8
+    #: Mean open-loop arrival rate, requests/second (across the fleet).
+    arrival_rate: float = 400.0
+    #: Peak/trough rate ratio of the bursty arrival process (1 = flat).
+    burstiness: float = 4.0
+    #: Seconds per on/off burst cycle.
+    burst_every: float = 2.0
+    #: P(a batch reopens its connection first) — connection churn.
+    churn: float = 0.05
+    #: P(the next same-connection request joins the current batch).
+    pipeline: float = 0.25
+    #: Hard cap on pipelined batch length.
+    max_batch: int = 4
+    #: Size of the query-configuration vocabulary (the key space).
+    n_configs: int = 8
+    #: Zipf exponent for config popularity (0 = uniform; bigger = hotter).
+    config_skew: float = 1.2
+    #: Op mix as (op, weight) pairs.
+    mix: tuple = DEFAULT_MIX
+    #: Sampling budgets assigned round-robin over the vocabulary.
+    budget_choices: tuple = (300, 500, 800)
+    #: The synthetic dataset the plan runs against.
+    dataset_family: str = "independent"
+    dataset_items: int = 400
+    dataset_attributes: int = 3
+    dataset_seed: int = 20180905
+    #: Seed of the *server* session (embedded so a self-hosted replay
+    #: reproduces the recorded server, not just the recorded clients).
+    server_seed: int = 7
+
+    def __post_init__(self):
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.connections < 1:
+            raise ValueError("connections must be >= 1")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be > 0")
+        if self.burstiness < 1:
+            raise ValueError("burstiness must be >= 1")
+        if not 0 <= self.churn <= 1 or not 0 <= self.pipeline <= 1:
+            raise ValueError("churn and pipeline are probabilities")
+        if self.n_configs < 1:
+            raise ValueError("n_configs must be >= 1")
+        names = [op for op, _ in self.mix]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate op in mix")
+        for op, weight in self.mix:
+            if op not in OPS:
+                raise ValueError(f"unknown op {op!r} in mix; known: {OPS}")
+            if weight < 0:
+                raise ValueError(f"negative weight for {op!r}")
+        if not any(weight > 0 for _, weight in self.mix):
+            raise ValueError("the op mix has no positive weight")
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "connections": self.connections,
+            "arrival_rate": self.arrival_rate,
+            "burstiness": self.burstiness,
+            "burst_every": self.burst_every,
+            "churn": self.churn,
+            "pipeline": self.pipeline,
+            "max_batch": self.max_batch,
+            "n_configs": self.n_configs,
+            "config_skew": self.config_skew,
+            "mix": [[op, weight] for op, weight in self.mix],
+            "budget_choices": list(self.budget_choices),
+            "dataset_family": self.dataset_family,
+            "dataset_items": self.dataset_items,
+            "dataset_attributes": self.dataset_attributes,
+            "dataset_seed": self.dataset_seed,
+            "server_seed": self.server_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WorkloadSpec":
+        doc = dict(doc)
+        if "mix" in doc:
+            doc["mix"] = tuple((op, float(w)) for op, w in doc["mix"])
+        if "budget_choices" in doc:
+            doc["budget_choices"] = tuple(
+                int(b) for b in doc["budget_choices"]
+            )
+        return cls(**doc)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled request of a plan."""
+
+    index: int       #: global order; the trace correlates by this
+    t: float         #: arrival offset (seconds from plan start)
+    conn: int        #: connection this request rides on
+    batch: int       #: consecutive same-conn events sharing it pipeline
+    reconnect: bool  #: drop and reopen the connection before this batch
+    request: dict
+
+
+@dataclass(frozen=True)
+class WorkloadPlan:
+    spec: WorkloadSpec
+    configs: tuple  #: the (kind, k, backend, budget) vocabulary, hot-first
+    events: tuple   #: Event per request, in global arrival order
+
+    def events_by_connection(self) -> list[list[list[Event]]]:
+        """Per connection: the ordered list of pipelined batches."""
+        per_conn: list[list[list[Event]]] = [
+            [] for _ in range(self.spec.connections)
+        ]
+        for event in self.events:
+            batches = per_conn[event.conn]
+            if batches and batches[-1][0].batch == event.batch:
+                batches[-1].append(event)
+            else:
+                batches.append([event])
+        return per_conn
+
+
+def make_dataset(spec: WorkloadSpec):
+    """The plan's dataset, regenerated from the spec (pure function)."""
+    return synthetic_dataset(
+        spec.dataset_family,
+        spec.dataset_items,
+        spec.dataset_attributes,
+        np.random.default_rng(spec.dataset_seed),
+    )
+
+
+def _config_vocabulary(spec: WorkloadSpec, rng: np.random.Generator):
+    """``n_configs`` distinct (kind, k, backend) keys, each bound to one
+    budget for the plan's lifetime (see the module docstring)."""
+    candidates = [("full", None)]
+    for kind in _KINDS:
+        for k in _K_CHOICES:
+            if k < spec.dataset_items:
+                candidates.append((kind, k))
+    order = rng.permutation(len(candidates))
+    chosen = [candidates[i] for i in order[: spec.n_configs]]
+    vocabulary = []
+    for i, (kind, k) in enumerate(chosen):
+        budget = int(spec.budget_choices[i % len(spec.budget_choices)])
+        vocabulary.append(
+            {"kind": kind, "k": k, "backend": "randomized", "budget": budget}
+        )
+    return tuple(vocabulary)
+
+
+def _zipf_weights(n: int, skew: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** -float(skew)
+    return weights / weights.sum()
+
+
+def _arrival_times(spec: WorkloadSpec, rng: np.random.Generator) -> list[float]:
+    """Open-loop bursty arrivals: an on/off-modulated Poisson process
+    whose *mean* rate is ``spec.arrival_rate`` (the "on" half-cycle runs
+    at ``burstiness``x the "off" half-cycle)."""
+    base = 2.0 * spec.arrival_rate / (1.0 + spec.burstiness)
+    half = spec.burst_every / 2.0
+    times, t = [], 0.0
+    for _ in range(spec.requests):
+        rate = base * spec.burstiness if (t % spec.burst_every) < half else base
+        t += float(rng.exponential(1.0 / rate))
+        times.append(t)
+    return times
+
+
+def _query_fields(config: dict) -> dict:
+    fields = {"kind": config["kind"], "backend": config["backend"]}
+    if config["k"] is not None:
+        fields["k"] = config["k"]
+    return fields
+
+
+def _build_request(
+    op: str, config: dict, spec: WorkloadSpec, rng: np.random.Generator
+) -> dict:
+    if op == "top_stable":
+        return {
+            "op": "top_stable",
+            "m": int(rng.integers(1, 4)),
+            **_query_fields(config),
+            "budget": config["budget"],
+        }
+    if op == "stability_of":
+        # Set/ranked kinds verify a full-length candidate; ``full``
+        # uses the ranked-prefix fast path on a short prefix.  Most
+        # random candidates are simply unstable (stability ~ 0) or
+        # infeasible — both deterministic, both fine under load.
+        length = config["k"] if config["k"] is not None else int(
+            rng.integers(1, 4)
+        )
+        ranking = rng.choice(spec.dataset_items, size=length, replace=False)
+        return {
+            "op": "stability_of",
+            **_query_fields(config),
+            "ranking": [int(i) for i in ranking],
+            "min_samples": config["budget"],
+        }
+    if op == "get_next":
+        return {
+            "op": "get_next",
+            **_query_fields(config),
+            "budget": config["budget"],
+        }
+    if op == "explain":
+        return {
+            "op": "explain",
+            "query": {
+                "op": "top_stable",
+                "m": 3,
+                **_query_fields(config),
+                "budget": config["budget"],
+            },
+        }
+    if op == "checkpoint":
+        return {"op": "checkpoint"}
+    raise ValueError(f"unknown op {op!r}")
+
+
+def generate_plan(spec: WorkloadSpec) -> WorkloadPlan:
+    """Expand a spec into a concrete plan (pure, deterministic)."""
+    rng = np.random.default_rng(spec.seed)
+    configs = _config_vocabulary(spec, rng)
+    config_weights = _zipf_weights(len(configs), spec.config_skew)
+    ops = [op for op, _ in spec.mix]
+    op_weights = np.array([weight for _, weight in spec.mix], dtype=float)
+    op_weights /= op_weights.sum()
+
+    times = _arrival_times(spec, rng)
+    conns = rng.integers(0, spec.connections, size=spec.requests)
+    op_picks = rng.choice(len(ops), size=spec.requests, p=op_weights)
+    config_picks = rng.choice(
+        len(configs), size=spec.requests, p=config_weights
+    )
+
+    requests = [
+        _build_request(ops[op_picks[i]], configs[config_picks[i]], spec, rng)
+        for i in range(spec.requests)
+    ]
+
+    # Pipelining batches + churn, decided per connection in a fixed
+    # order so rng consumption stays deterministic.  A reconnect never
+    # lands mid-batch: churn applies to batch heads only.
+    order_by_conn: list[list[int]] = [[] for _ in range(spec.connections)]
+    for i in range(spec.requests):
+        order_by_conn[int(conns[i])].append(i)
+    batch_of = [0] * spec.requests
+    reconnect_of = [False] * spec.requests
+    next_batch = 0
+    for conn in range(spec.connections):
+        indices = order_by_conn[conn]
+        position = 0
+        while position < len(indices):
+            size = 1
+            while (
+                position + size < len(indices)
+                and size < spec.max_batch
+                and rng.random() < spec.pipeline
+            ):
+                size += 1
+            head = indices[position]
+            reconnect_of[head] = bool(rng.random() < spec.churn)
+            for offset in range(size):
+                batch_of[indices[position + offset]] = next_batch
+            next_batch += 1
+            position += size
+
+    events = tuple(
+        Event(
+            index=i,
+            t=times[i],
+            conn=int(conns[i]),
+            batch=batch_of[i],
+            reconnect=reconnect_of[i],
+            request=requests[i],
+        )
+        for i in range(spec.requests)
+    )
+    return WorkloadPlan(spec=spec, configs=configs, events=events)

@@ -475,7 +475,7 @@ class StabilityServer:
                     response = protocol.error_payload(
                         *protocol.classify_exception(exc)
                     )
-            data = json.dumps(response).encode() + b"\n"
+            data = protocol.encode_response(response).encode() + b"\n"
             self.metrics.add_bytes(sent=len(data))
             try:
                 writer.write(data)
@@ -716,6 +716,17 @@ class ServerHandle:
     @property
     def port(self) -> int:
         return self.address[1]
+
+    @property
+    def metrics_port(self) -> int | None:
+        """The bound metrics-endpoint port (``None`` unless configured).
+
+        Resolves ``ServerConfig(metrics_port=0)`` ephemeral binds so
+        harnesses (the loadgen soak) can scrape the live endpoint."""
+        server = self.server._metrics_server
+        if server is None or not server.sockets:
+            return None
+        return server.sockets[0].getsockname()[1]
 
     def stop(self, timeout: float = 30.0) -> list[dict]:
         """Drain gracefully and join the serving thread."""

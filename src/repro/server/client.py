@@ -90,16 +90,29 @@ class ServeClient:
         self._file = self._sock.makefile("rwb")
 
     # ------------------------------------------------------------------
-    def request(self, payload: dict) -> dict:
-        """Send one request object, block for its response object."""
+    def send(self, payload: dict) -> None:
+        """Frame and send one request without waiting for its response.
+
+        Pairs with :meth:`recv` for pipelining: write a batch of frames
+        back-to-back, then read the responses in order (the server
+        answers one line per request, in request order per connection).
+        """
         self._file.write(json.dumps(payload).encode() + b"\n")
         self._file.flush()
+
+    def recv(self) -> dict:
+        """Block for the next response line."""
         line = self._file.readline()
         if not line:
             raise ServerClosedError(
                 f"{self.host}:{self.port} closed the connection"
             )
         return json.loads(line)
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, block for its response object."""
+        self.send(payload)
+        return self.recv()
 
     def request_raw(self, line: bytes) -> dict:
         """Send pre-framed bytes verbatim (protocol tests send garbage)."""
