@@ -1,0 +1,154 @@
+"""Trace record/replay: the answer-equivalence acceptance criterion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen import (
+    WorkloadSpec,
+    generate_plan,
+    read_trace,
+    replay_trace,
+    run_load,
+    strip_response,
+)
+from repro.loadgen.runner import hosted_server
+from repro.loadgen.trace import TraceError, compare_records
+
+
+@pytest.fixture(scope="module")
+def spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        seed=11, requests=70, connections=4, arrival_rate=900.0,
+        churn=0.1, pipeline=0.4, dataset_items=200,
+    )
+
+
+@pytest.fixture(scope="module")
+def recorded(spec, tmp_path_factory):
+    """One recorded run: the trace file plus its in-memory records."""
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    result = run_load(generate_plan(spec), trace_path=path)
+    return path, result
+
+
+class TestTraceFile:
+    def test_round_trips(self, spec, recorded):
+        path, result = recorded
+        read_spec, records = read_trace(path)
+        assert read_spec == spec
+        assert records == result.records
+
+    def test_rejects_non_traces(self, tmp_path):
+        path = tmp_path / "nope.jsonl"
+        path.write_text('{"kind": "something else"}\n')
+        with pytest.raises(TraceError, match="not a loadgen trace"):
+            read_trace(path)
+
+    def test_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "v9.jsonl"
+        path.write_text('{"kind": "repro.loadgen.trace", "version": 9}\n')
+        with pytest.raises(TraceError, match="version"):
+            read_trace(path)
+
+    def test_rejects_missing_records(self, recorded, tmp_path):
+        path, _ = recorded
+        lines = path.read_text().splitlines()
+        clipped = tmp_path / "clipped.jsonl"
+        clipped.write_text("\n".join(lines[:-3]) + "\n")
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(clipped)
+
+    def test_rejects_shuffled_duplicate_index(self, recorded, tmp_path):
+        path, _ = recorded
+        lines = path.read_text().splitlines()
+        lines[2] = lines[1]  # duplicate record index
+        bad = tmp_path / "dup.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="not 0..n-1"):
+            read_trace(bad)
+
+    def test_strip_response_removes_volatile_fields(self):
+        response = {
+            "ok": True, "result": [1], "seconds": 0.2, "cached": True,
+            "cost": {}, "trace": {}, "id": 7,
+        }
+        assert strip_response(response) == {"ok": True, "result": [1]}
+
+
+class TestReplayEquivalence:
+    def test_recorded_trace_replays_equivalent(self, recorded):
+        """The acceptance criterion: same build, same spec -> same
+        answers, across fresh server state and fresh interleavings."""
+        path, _ = recorded
+        report = replay_trace(path)
+        assert report.equivalent, report.to_dict()
+        assert report.comparison.compared > 20
+        assert report.comparison.total == 70
+
+    def test_replay_against_external_server(self):
+        """--address mode: an idempotent-only mix replays equivalent
+        against one *shared live* server (get_next excluded: its cursor
+        advances across runs by design)."""
+        spec = WorkloadSpec(
+            seed=4, requests=40, connections=3, arrival_rate=900.0,
+            mix=(("top_stable", 0.6), ("stability_of", 0.3),
+                 ("explain", 0.1)),
+            dataset_items=200,
+        )
+        plan = generate_plan(spec)
+        with hosted_server(plan) as handle:
+            address = f"{handle.host}:{handle.port}"
+            first = run_load(plan, address=address)
+            second = run_load(plan, address=address)
+        report = compare_records(first.records, second.records)
+        assert report.equivalent, report.to_dict()
+
+    def test_tampered_response_is_detected(self, recorded, tmp_path):
+        """The oracle actually fires: flip one recorded answer and the
+        replay must report a mismatch."""
+        path, _ = recorded
+        lines = path.read_text().splitlines()
+        edited, target = [], None
+        for line in lines:
+            record = json.loads(line)
+            if (
+                target is None
+                and record.get("op") == "top_stable"
+                and record.get("response", {}).get("ok")
+            ):
+                record["response"]["result"][0]["stability"] = 0.123456789
+                target = record["i"]
+            edited.append(json.dumps(record))
+        assert target is not None
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text("\n".join(edited) + "\n")
+        report = replay_trace(tampered)
+        assert not report.equivalent
+        kinds = {m["kind"] for m in report.comparison.mismatches}
+        assert "answer" in kinds, report.comparison.mismatches
+
+    def test_tampered_request_is_refused(self, recorded, tmp_path):
+        """Edited requests don't get compared — they fail fast: the
+        spec in the header regenerates the true request stream."""
+        path, _ = recorded
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["request"]["op"] = "ping"
+        lines[1] = json.dumps(record)
+        tampered = tmp_path / "edited.jsonl"
+        tampered.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="edited"):
+            replay_trace(tampered)
+
+    def test_load_dependent_errors_are_skipped_not_compared(self):
+        left = [{"i": 0, "request": {"op": "top_stable"},
+                 "response": {"ok": False,
+                              "error": {"code": "busy", "message": "x"}}}]
+        right = [{"i": 0, "request": {"op": "top_stable"},
+                  "response": {"ok": True, "result": []}}]
+        report = compare_records(left, right)
+        assert report.equivalent
+        assert report.skipped_load_dependent == 1

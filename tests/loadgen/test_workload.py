@@ -1,0 +1,150 @@
+"""Workload synthesis: determinism, skew, batching, spec round-trips."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.loadgen import WorkloadSpec, generate_plan, make_dataset
+from repro.loadgen.workload import OPS
+
+
+def spec_with(**overrides) -> WorkloadSpec:
+    base = dict(
+        seed=5, requests=400, connections=6, arrival_rate=800.0,
+        churn=0.08, pipeline=0.35, dataset_items=200,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestDeterminism:
+    def test_same_spec_same_plan(self):
+        spec = spec_with()
+        assert generate_plan(spec) == generate_plan(spec)
+
+    def test_different_seed_different_plan(self):
+        assert generate_plan(spec_with(seed=1)) != generate_plan(
+            spec_with(seed=2)
+        )
+
+    def test_dataset_is_a_pure_function_of_the_spec(self):
+        spec = spec_with()
+        a, b = make_dataset(spec), make_dataset(spec)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_spec_round_trips_through_json_dict(self):
+        spec = spec_with(mix=(("top_stable", 0.7), ("get_next", 0.3)))
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestVocabulary:
+    def test_one_budget_per_config_key(self):
+        """The answer-determinism invariant: every (kind, k, backend)
+        appears with exactly one budget across the whole plan."""
+        plan = generate_plan(spec_with(requests=600))
+        budgets_by_key: dict = {}
+        for event in plan.events:
+            request = event.request
+            if request["op"] == "checkpoint":
+                continue
+            query = request.get("query", request)
+            key = (query.get("kind"), query.get("k"), query.get("backend"))
+            budget = query.get("budget", query.get("min_samples"))
+            budgets_by_key.setdefault(key, set()).add(budget)
+        assert budgets_by_key, "no query requests generated"
+        for key, budgets in budgets_by_key.items():
+            assert len(budgets) == 1, (key, budgets)
+
+    def test_config_keys_are_distinct(self):
+        plan = generate_plan(spec_with(n_configs=10))
+        keys = [(c["kind"], c["k"], c["backend"]) for c in plan.configs]
+        assert len(set(keys)) == len(keys) == 10
+
+    def test_zipf_skew_makes_hot_keys(self):
+        plan = generate_plan(spec_with(requests=2000, config_skew=1.5))
+        counts = Counter()
+        for event in plan.events:
+            request = event.request
+            query = request.get("query", request)
+            if "kind" in query:
+                counts[(query["kind"], query.get("k"))] += 1
+        ordered = counts.most_common()
+        assert ordered[0][1] > 3 * ordered[-1][1], ordered
+
+
+class TestScheduleAndBatches:
+    def test_arrivals_are_increasing_and_roughly_at_rate(self):
+        spec = spec_with(requests=1000, arrival_rate=500.0)
+        plan = generate_plan(spec)
+        times = [event.t for event in plan.events]
+        assert times == sorted(times)
+        assert times[0] > 0
+        observed_rate = len(times) / times[-1]
+        assert 500.0 / 3 < observed_rate < 500.0 * 3
+
+    def test_burstiness_one_is_flat_poisson(self):
+        plan = generate_plan(spec_with(burstiness=1.0, requests=500))
+        assert len(plan.events) == 500
+
+    def test_batches_are_consecutive_and_bounded(self):
+        spec = spec_with(pipeline=0.6, max_batch=3)
+        plan = generate_plan(spec)
+        for conn_batches in plan.events_by_connection():
+            seen: set = set()
+            for batch in conn_batches:
+                assert 1 <= len(batch) <= spec.max_batch
+                ids = {event.batch for event in batch}
+                assert len(ids) == 1
+                assert not (ids & seen), "batch id reused non-consecutively"
+                seen |= ids
+                # A reconnect never lands mid-batch.
+                for event in batch[1:]:
+                    assert event.reconnect is False
+                # Events inside a batch keep global arrival order.
+                times = [event.t for event in batch]
+                assert times == sorted(times)
+
+    def test_all_events_partition_across_connections(self):
+        spec = spec_with()
+        plan = generate_plan(spec)
+        indices = sorted(
+            event.index
+            for conn_batches in plan.events_by_connection()
+            for batch in conn_batches
+            for event in batch
+        )
+        assert indices == list(range(spec.requests))
+
+    def test_churn_zero_never_reconnects(self):
+        plan = generate_plan(spec_with(churn=0.0))
+        assert not any(event.reconnect for event in plan.events)
+
+
+class TestMixValidation:
+    def test_requests_cover_the_mix(self):
+        plan = generate_plan(spec_with(requests=800))
+        ops = {event.request["op"] for event in plan.events}
+        assert ops == set(OPS)
+
+    def test_unknown_op_refused(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            spec_with(mix=(("teleport", 1.0),))
+
+    def test_negative_weight_refused(self):
+        with pytest.raises(ValueError, match="negative"):
+            spec_with(mix=(("top_stable", -0.5), ("get_next", 1.0)))
+
+    def test_empty_mix_refused(self):
+        with pytest.raises(ValueError, match="no positive weight"):
+            spec_with(mix=(("top_stable", 0.0),))
+
+    def test_bad_probabilities_refused(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            spec_with(churn=1.5)
+
+    def test_requests_must_be_positive(self):
+        with pytest.raises(ValueError, match="requests"):
+            spec_with(requests=0)

@@ -1,0 +1,186 @@
+"""Connection-churn edge cases: rude disconnects, drain races, bursts.
+
+The loadgen harness (``repro.loadgen``) drives these paths statistically;
+this file pins each one deterministically:
+
+- a client that pipelines a batch and vanishes without reading must not
+  corrupt server state — and the work it queued still grows each pool
+  exactly once;
+- a connection racing a drain gets a prompt structured refusal
+  (``shutting_down``) or a clean close, never a hang;
+- a burst of one-shot connections against a full admission window is
+  shed with ``busy`` errors, promptly, and capacity comes back.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.server import ServeClient, ServerClosedError
+from server_testlib import make_dataset, running_server
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset()
+
+
+QUERY = {"op": "top_stable", "m": 1, "kind": "topk_set", "k": 3,
+         "backend": "randomized", "budget": 300}
+
+
+class TestRudeDisconnect:
+    def test_disconnect_mid_pipelined_batch_leaves_server_consistent(
+        self, dataset
+    ):
+        with running_server(dataset) as handle:
+            frame = json.dumps(QUERY).encode() + b"\n"
+            sock = socket.create_connection(
+                (handle.host, handle.port), timeout=10
+            )
+            # Pipeline a batch, then vanish without reading a byte.
+            sock.sendall(frame * 4)
+            sock.close()
+
+            with ServeClient(host=handle.host, port=handle.port) as client:
+                # The server survived the rude close...
+                assert client.ping()["pong"] is True
+                # ...and the abandoned batch's work still lands: the
+                # pool reaches its budget, exactly once, even though
+                # four identical queries raced on a dead connection.
+                deadline = time.monotonic() + 30
+                label = "topk_set:k=3@randomized"
+                while time.monotonic() < deadline:
+                    configs = client.stats()["stats"]["configs"]
+                    if label in configs:
+                        break
+                    time.sleep(0.01)
+                assert configs[label]["total_samples"] == QUERY["budget"]
+                # The answer a well-behaved client gets now matches a
+                # fresh request — no torn pool state.
+                answer = client.request(dict(QUERY))
+                assert answer["ok"] is True
+
+    def test_disconnect_between_batches_then_reconnect(self, dataset):
+        """Loadgen's churn knob in miniature: close, reconnect, resume."""
+        with running_server(dataset) as handle:
+            for _ in range(3):
+                with ServeClient(
+                    host=handle.host, port=handle.port
+                ) as client:
+                    first = client.request(dict(QUERY))
+                    assert first["ok"] is True
+            with ServeClient(host=handle.host, port=handle.port) as client:
+                configs = client.stats()["stats"]["configs"]
+            # Three sessions of the same query: the pool still grew once.
+            assert (
+                configs["topk_set:k=3@randomized"]["total_samples"]
+                == QUERY["budget"]
+            )
+
+
+class TestDrainRace:
+    def test_request_during_drain_is_refused_promptly(self, dataset):
+        with running_server(dataset, drain_grace=5.0) as handle:
+            survivor = ServeClient(host=handle.host, port=handle.port)
+            try:
+                assert survivor.ping()["pong"] is True
+                with ServeClient(
+                    host=handle.host, port=handle.port
+                ) as trigger:
+                    assert trigger.request({"op": "shutdown"})["ok"] is True
+                deadline = time.monotonic() + 10
+                while (
+                    not handle.server._draining
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.002)
+                assert handle.server._draining
+                # The pre-existing connection now races the drain: it
+                # must resolve fast — a structured shutting_down error
+                # or a clean close — never a hang.
+                start = time.monotonic()
+                try:
+                    response = survivor.request(dict(QUERY))
+                    assert response["ok"] is False
+                    assert response["error"]["code"] == "shutting_down"
+                except (ServerClosedError, ConnectionError, OSError):
+                    pass  # the drain cancelled the idle reader first
+                assert time.monotonic() - start < 10
+            finally:
+                survivor.close()
+            handle.thread.join(timeout=30)
+            assert not handle.thread.is_alive()
+            # Reconnecting after the drain fails fast: the listening
+            # socket is gone, not black-holed.
+            with pytest.raises(OSError):
+                socket.create_connection(
+                    (handle.host, handle.port), timeout=5
+                )
+
+
+class TestBurstShedding:
+    def test_burst_of_one_shot_connections_is_shed_with_busy(self):
+        slow = make_dataset(4000, 3, seed=3)
+        with running_server(slow, max_inflight=1) as handle:
+            done: list = []
+
+            def hold_the_slot():
+                with ServeClient(host=handle.host, port=handle.port) as c:
+                    done.append(
+                        c.top_stable(1, kind="topk_set", k=8,
+                                     backend="randomized", budget=60_000)
+                    )
+
+            holder = threading.Thread(target=hold_the_slot)
+            holder.start()
+            try:
+                deadline = time.monotonic() + 30
+                while (
+                    handle.server._inflight < 1
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.005)
+                assert handle.server._inflight >= 1
+
+                # An open-loop burst: 8 one-shot connections arriving
+                # together, none willing to queue.
+                codes: list = []
+                lock = threading.Lock()
+
+                def one_shot():
+                    with ServeClient(
+                        host=handle.host, port=handle.port
+                    ) as c:
+                        response = c.ping()
+                        with lock:
+                            codes.append(
+                                response.get("error", {}).get("code")
+                                if response["ok"] is False
+                                else "ok"
+                            )
+
+                burst = [
+                    threading.Thread(target=one_shot) for _ in range(8)
+                ]
+                start = time.monotonic()
+                for thread in burst:
+                    thread.start()
+                for thread in burst:
+                    thread.join(timeout=30)
+                # Every arrival was answered promptly with a structured
+                # busy error — shed, not queued behind the slow query.
+                assert time.monotonic() - start < 15
+                assert codes.count("busy") == 8, codes
+            finally:
+                holder.join(timeout=120)
+            assert done and done[0]["ok"] is True
+            with ServeClient(host=handle.host, port=handle.port) as c:
+                assert c.ping()["pong"] is True
+                metrics = c.stats()["server"]["metrics"]
+                assert metrics["busy_shed_total"] >= 8
