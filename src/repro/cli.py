@@ -356,6 +356,45 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP: log a slow_query event for requests slower than "
         "this many milliseconds",
     )
+    p_serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help='TCP: per-dataset objectives, e.g. "p99:50ms,err:0.1%%"; '
+        "burn rates surface in stats and as repro_slo_* metrics",
+    )
+    p_serve.add_argument(
+        "--diag-dir",
+        default=None,
+        metavar="DIR",
+        help="TCP: directory for flight-recorder diag bundles "
+        "(SIGUSR2, drain-on-error); default: current directory",
+    )
+    p_serve.add_argument(
+        "--no-flight",
+        action="store_true",
+        help="TCP: disable the flight recorder (recent events, traces, "
+        "slow queries, and metrics snapshots stop being captured)",
+    )
+
+    p_diag = sub.add_parser(
+        "diag",
+        help="fetch a running TCP server's flight-recorder diag bundle",
+    )
+    p_diag.add_argument(
+        "address", metavar="HOST:PORT", help="address of a running server"
+    )
+    p_diag.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw bundle as one JSON object",
+    )
+    p_diag.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the bundle to PATH",
+    )
 
     p_stats = sub.add_parser(
         "stats",
@@ -500,6 +539,21 @@ def main(argv: list[str] | None = None) -> int:
         "--rss-limit", type=float, default=0.10,
         help="soak: max fractional RSS growth over the warm baseline",
     )
+    p_loadgen.add_argument(
+        "--diag", default=None, metavar="PATH",
+        help="soak: write the server's flight-recorder diag bundle to "
+        "PATH when the soak fails",
+    )
+    p_loadgen.add_argument(
+        "--profile-hz", type=float, default=None, metavar="HZ",
+        help="soak: run the sampling profiler at HZ for the whole soak "
+        "(collapsed stacks land in the report and diag bundle)",
+    )
+    p_loadgen.add_argument(
+        "--inject-failure", action="store_true",
+        help="soak: force an invariant failure at the end (exercises "
+        "the diag-bundle path; the run exits non-zero)",
+    )
 
     p_replay = sub.add_parser(
         "replay",
@@ -528,6 +582,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "stats":
         # Pure network client: no CSV to load, no session to build.
         return _run_stats(args)
+
+    if args.command == "diag":
+        return _run_diag(args)
 
     if args.command == "loadgen":
         # Workload harness: synthesizes its own dataset from the spec.
@@ -1068,6 +1125,78 @@ def _run_stats(args) -> int:
         )
     for name, value in sorted(metrics.get("resources", {}).items()):
         print(f"resource {name}: {value}")
+    slo = metrics.get("slo")
+    if slo:
+        for name, score in sorted(slo.get("datasets", {}).items()):
+            objectives = " ".join(
+                f"{label}:burn={obj.get('burn_rate')}"
+                for label, obj in sorted(score.get("objectives", {}).items())
+            )
+            verdict = "ok" if score.get("compliant") else "VIOLATED"
+            print(f"slo {name}: {verdict} {objectives}")
+    return 0
+
+
+def _run_diag(args) -> int:
+    """The ``diag`` subcommand: fetch and summarize a diag bundle.
+
+    The pretty view answers the first incident questions — what ran
+    recently, what was slow, where the time went — without the
+    operator parsing JSON by hand; ``--out`` keeps the full bundle.
+    """
+    from repro.server.client import ServeClient
+
+    with ServeClient(args.address, connect_retries=1) as client:
+        response = client.diag()
+    if not response.get("ok"):
+        print(json.dumps(response), file=sys.stderr)
+        return 1
+    bundle = response.get("diag")
+    if bundle is None:
+        print(
+            "flight recorder is disabled on the server (started with "
+            "--no-flight); no bundle available",
+            file=sys.stderr,
+        )
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(bundle))
+        return 0
+    dropped = bundle.get("dropped", {})
+    for ring in ("events", "traces", "slow_queries", "metrics"):
+        entries = bundle.get(ring, [])
+        print(f"{ring}: {len(entries)} entries, {dropped.get(ring, 0)} dropped")
+    for entry in bundle.get("slow_queries", [])[-5:]:
+        trace_id = entry.get("trace_id")
+        join = f" trace_id={trace_id}" if trace_id else ""
+        print(
+            f"slow_query op={entry.get('op')} seconds={entry.get('seconds')} "
+            f"dataset={entry.get('dataset')} error={entry.get('error')}{join}"
+        )
+    for entry in bundle.get("events", [])[-10:]:
+        print(f"event {entry.get('event')}: {json.dumps(entry)}")
+    profile = bundle.get("profile")
+    if profile:
+        print(
+            f"profiler: running={profile.get('running')} "
+            f"samples={profile.get('samples')} "
+            f"stacks={profile.get('distinct_stacks')}"
+        )
+        stacks = profile.get("stacks") or {}
+        for stack, count in list(stacks.items())[:5]:
+            leaf = stack.rsplit(";", 2)[-2:]
+            print(f"  {count:>6}  ...{';'.join(leaf)}")
+    slo = bundle.get("slo")
+    if slo:
+        for name, score in sorted(slo.get("datasets", {}).items()):
+            verdict = "ok" if score.get("compliant") else "VIOLATED"
+            print(f"slo {name}: {verdict}")
+    if args.out:
+        print(f"bundle written to {args.out}")
     return 0
 
 
@@ -1087,6 +1216,9 @@ def _run_loadgen(args) -> int:
             seed=args.seed,
             rss_limit=args.rss_limit,
             arrival_rate=args.rate,
+            profile_hz=args.profile_hz,
+            inject_failure=args.inject_failure,
+            diag_path=args.diag,
             log=lambda message: print(message, file=sys.stderr),
         )
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -1175,6 +1307,9 @@ def _run_serve_tcp(args, ds: Dataset, region, parallel) -> int:
             if args.slow_query_ms is not None
             else None
         ),
+        slo=args.slo,
+        diag_dir=args.diag_dir,
+        flight=not args.no_flight,
     )
     server = StabilityServer(registry, config=config)
 

@@ -17,6 +17,15 @@ Replaying one fixed plan is deliberate: the config vocabulary (and the
 one-budget-per-config invariant) keeps pool memory bounded by design,
 so any RSS ramp the soak sees is a leak, not workload drift.
 
+A failing soak leaves evidence behind, not just a verdict: the final
+``/metrics`` scrape is embedded in the report even when a round died
+mid-way, and — with ``--diag PATH`` — the server's flight-recorder
+diag bundle (recent events, slow queries, wire traces, metrics
+snapshots, profiler stacks) is fetched over the wire and written to
+``PATH``.  ``--profile-hz`` runs the sampling profiler for the whole
+soak; ``--inject-failure`` forces the failure path end-to-end (CI
+asserts the bundle machinery this way).
+
 Runs as a module for CI::
 
     python -m repro.loadgen.soak --seconds 60 --connections 32
@@ -40,6 +49,11 @@ __all__ = ["SoakReport", "run_soak", "main"]
 RSS_GAUGE = "repro_process_rss_bytes"
 SHM_GAUGE = "repro_shm_segments"
 
+#: Objectives the hosted server tracks during a soak — generous enough
+#: that a healthy run never violates them; their purpose here is to
+#: exercise the ``repro_slo_*`` exposition under real load.
+SOAK_SLO = "p99:2s,err:20%"
+
 
 @dataclass
 class SoakReport:
@@ -54,6 +68,16 @@ class SoakReport:
     rss_final: float = 0.0
     shm_segments: float = 0.0
     failures: list = field(default_factory=list)
+    #: The closing ``/metrics`` scrape — embedded even when a round
+    #: failed mid-way, so the evidence the verdict was judged on ships
+    #: with the report.
+    metrics_final: dict = field(default_factory=dict)
+    #: Sampling-profiler snapshot (with collapsed stacks) when the soak
+    #: ran with ``profile_hz``.
+    profile: dict | None = None
+    #: Path of the diag bundle written on failure (``None``: no failure
+    #: or no ``diag_path`` configured).
+    diag_bundle: str | None = None
 
     @property
     def rss_growth(self) -> float:
@@ -80,6 +104,9 @@ class SoakReport:
             "shm_segments": self.shm_segments,
             "passed": self.passed,
             "failures": self.failures,
+            "metrics_final": self.metrics_final,
+            "profile": self.profile,
+            "diag_bundle": self.diag_bundle,
         }
 
 
@@ -108,71 +135,8 @@ def build_soak_spec(
     )
 
 
-def run_soak(
-    *,
-    seconds: float = 60.0,
-    connections: int = 32,
-    seed: int = 0,
-    rss_limit: float = 0.10,
-    arrival_rate: float = 600.0,
-    log=None,
-) -> SoakReport:
-    """See the module docstring.  ``log`` (callable) gets progress lines."""
-    import time
-
-    report = SoakReport(seconds=seconds, connections=connections)
-    spec = build_soak_spec(
-        seed=seed, connections=connections, arrival_rate=arrival_rate
-    )
-    plan = generate_plan(spec)
-
-    def emit(message: str) -> None:
-        if log is not None:
-            log(message)
-
-    with runner.hosted_server(plan, metrics_port=0) as handle:
-        metrics_port = handle.metrics_port
-        assert metrics_port is not None
-        address = f"{handle.host}:{handle.port}"
-
-        def one_round() -> runner.LoadResult:
-            result = runner.run_load(plan, address=address)
-            report.rounds += 1
-            report.requests += result.requests
-            report.ok += result.ok
-            report.reconnects += result.reconnects
-            for code, count in result.error_codes.items():
-                report.error_codes[code] = (
-                    report.error_codes.get(code, 0) + count
-                )
-            return result
-
-        emit(f"soak: warmup round against {address}")
-        one_round()  # pools grow to target, caches fill
-        baseline = runner.scrape_metrics(metrics_port, host=handle.host)
-        report.rss_baseline = baseline.get(RSS_GAUGE, 0.0)
-        emit(
-            f"soak: baseline rss {report.rss_baseline / 1e6:.1f} MB, "
-            f"running {seconds:.0f}s at {connections} connections"
-        )
-
-        deadline = time.monotonic() + seconds
-        while time.monotonic() < deadline:
-            result = one_round()
-            emit(
-                f"soak: round {report.rounds} — "
-                f"{result.requests / max(result.elapsed, 1e-9):.0f} req/s, "
-                f"{sum(result.error_codes.values())} errors"
-            )
-
-        final = runner.scrape_metrics(metrics_port, host=handle.host)
-        report.rss_final = final.get(RSS_GAUGE, 0.0)
-        report.shm_segments = final.get(SHM_GAUGE, 0.0)
-
-        with ServeClient(host=handle.host, port=handle.port) as client:
-            if client.ping().get("ok") is not True:
-                report.failures.append("server stopped answering ping")
-
+def _check_invariants(report: SoakReport, rss_limit: float) -> None:
+    """Append an entry to ``report.failures`` per violated invariant."""
     if report.rss_baseline <= 0:
         report.failures.append(f"{RSS_GAUGE} missing from the scrape")
     if report.rss_growth > rss_limit:
@@ -196,6 +160,134 @@ def run_soak(
     }
     if unexpected:
         report.failures.append(f"unexpected error codes: {unexpected}")
+
+
+def run_soak(
+    *,
+    seconds: float = 60.0,
+    connections: int = 32,
+    seed: int = 0,
+    rss_limit: float = 0.10,
+    arrival_rate: float = 600.0,
+    profile_hz: float | None = None,
+    inject_failure: bool = False,
+    diag_path: str | None = None,
+    log=None,
+) -> SoakReport:
+    """See the module docstring.  ``log`` (callable) gets progress lines."""
+    import time
+
+    report = SoakReport(seconds=seconds, connections=connections)
+    spec = build_soak_spec(
+        seed=seed, connections=connections, arrival_rate=arrival_rate
+    )
+    plan = generate_plan(spec)
+
+    def emit(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    with runner.hosted_server(plan, metrics_port=0, slo=SOAK_SLO) as handle:
+        metrics_port = handle.metrics_port
+        assert metrics_port is not None
+        address = f"{handle.host}:{handle.port}"
+
+        def one_round() -> runner.LoadResult:
+            result = runner.run_load(plan, address=address)
+            report.rounds += 1
+            report.requests += result.requests
+            report.ok += result.ok
+            report.reconnects += result.reconnects
+            for code, count in result.error_codes.items():
+                report.error_codes[code] = (
+                    report.error_codes.get(code, 0) + count
+                )
+            return result
+
+        if profile_hz is not None:
+            # The hosted server is in-process, so the wire-started
+            # profiler samples the soak's actual serving work.
+            with ServeClient(host=handle.host, port=handle.port) as client:
+                started = client.profile("start", hz=profile_hz)
+                if started.get("ok") is not True:
+                    report.failures.append(
+                        f"profiler failed to start: {started}"
+                    )
+
+        # Rounds are wrapped so a mid-round exception (a died
+        # connection, a protocol bug) becomes a *reported* failure —
+        # the closing scrape, ping check, and diag fetch still run.
+        try:
+            emit(f"soak: warmup round against {address}")
+            one_round()  # pools grow to target, caches fill
+            baseline = runner.scrape_metrics(metrics_port, host=handle.host)
+            report.rss_baseline = baseline.get(RSS_GAUGE, 0.0)
+            emit(
+                f"soak: baseline rss {report.rss_baseline / 1e6:.1f} MB, "
+                f"running {seconds:.0f}s at {connections} connections"
+            )
+
+            deadline = time.monotonic() + seconds
+            while time.monotonic() < deadline:
+                result = one_round()
+                emit(
+                    f"soak: round {report.rounds} — "
+                    f"{result.requests / max(result.elapsed, 1e-9):.0f} "
+                    f"req/s, {sum(result.error_codes.values())} errors"
+                )
+        except Exception as exc:
+            report.failures.append(
+                f"round {report.rounds + 1} raised "
+                f"{type(exc).__name__}: {exc}"
+            )
+
+        # The closing scrape runs even when a round failed mid-way —
+        # losing the final metrics is losing the evidence the verdict
+        # was judged on.
+        try:
+            final = runner.scrape_metrics(metrics_port, host=handle.host)
+        except Exception as exc:
+            report.failures.append(f"final metrics scrape failed: {exc}")
+        else:
+            report.rss_final = final.get(RSS_GAUGE, 0.0)
+            report.shm_segments = final.get(SHM_GAUGE, 0.0)
+            report.metrics_final = final
+
+        if profile_hz is not None:
+            with ServeClient(host=handle.host, port=handle.port) as client:
+                stopped = client.profile("stop")
+                if stopped.get("ok") is True:
+                    report.profile = stopped.get("profile")
+
+        try:
+            with ServeClient(host=handle.host, port=handle.port) as client:
+                if client.ping().get("ok") is not True:
+                    report.failures.append("server stopped answering ping")
+        except Exception as exc:
+            report.failures.append(f"server stopped answering ping: {exc}")
+
+        _check_invariants(report, rss_limit)
+        if inject_failure:
+            report.failures.append("injected failure (--inject-failure)")
+
+        # A failing soak ships its evidence: fetch the server's flight
+        # rings over the wire while it is still alive.
+        if report.failures and diag_path is not None:
+            try:
+                with ServeClient(
+                    host=handle.host, port=handle.port
+                ) as client:
+                    bundle = client.diag().get("diag")
+                if bundle is not None:
+                    bundle["reason"] = "soak-failure"
+                    bundle["soak_failures"] = list(report.failures)
+                    with open(diag_path, "w", encoding="utf-8") as out:
+                        json.dump(bundle, out, default=str)
+                        out.write("\n")
+                    report.diag_bundle = diag_path
+                    emit(f"soak: diag bundle written to {diag_path}")
+            except Exception as exc:
+                emit(f"soak: diag bundle fetch failed: {exc}")
     return report
 
 
@@ -218,6 +310,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json", metavar="PATH", help="also write the report to PATH"
     )
+    parser.add_argument(
+        "--diag",
+        metavar="PATH",
+        default="SOAK_DIAG.json",
+        help="write the server's flight-recorder diag bundle to PATH "
+        "when the soak fails (default SOAK_DIAG.json)",
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="run the sampling profiler at HZ for the whole soak",
+    )
+    parser.add_argument(
+        "--inject-failure",
+        action="store_true",
+        help="force an invariant failure (exercises the diag path; "
+        "the run exits non-zero)",
+    )
     args = parser.parse_args(argv)
     report = run_soak(
         seconds=args.seconds,
@@ -225,6 +337,9 @@ def main(argv=None) -> int:
         seed=args.seed,
         rss_limit=args.rss_limit,
         arrival_rate=args.rate,
+        profile_hz=args.profile_hz,
+        inject_failure=args.inject_failure,
+        diag_path=args.diag,
         log=lambda message: print(message, file=sys.stderr),
     )
     doc = report.to_dict()

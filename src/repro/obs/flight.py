@@ -1,0 +1,290 @@
+"""Flight recorder: a bounded in-memory ring of recent telemetry.
+
+When a soak, chaos drill, or production incident fails, the final
+report line is not evidence — the spans, events, and slow queries
+*leading up to* the failure are.  The flight recorder passively
+captures the last N of each into bounded, thread-safe ring buffers:
+
+- **events** — every structured :func:`repro.obs.logs.log_event`,
+  regardless of the logging level (the recorder is not a log sink;
+  it is a crash buffer);
+- **traces** — completed wire-trace stage reports (``"trace": true``
+  requests), recorded by :func:`repro.server.protocol.dispatch`;
+- **slow queries** — the server's ``slow_query`` records, carrying
+  the ``trace_id`` when the request was traced so the wire trace and
+  the server-side line can be joined;
+- **metrics** — periodic :class:`~repro.server.metrics.ServerMetrics`
+  snapshots (the server samples one every few seconds).
+
+:func:`diag_bundle` freezes all four rings into one JSON-safe "diag
+bundle", dumped on demand: ``SIGUSR2`` against a live server, the
+``diag`` protocol op, a drain that hit checkpoint errors, or a failed
+``loadgen.soak`` round.
+
+Cost contract (the PR 7 rule): recorder **off** — the common case —
+each instrumented call site pays one module-level integer truth test
+(``if flight._ENABLED:``), exactly like the tracing fast path.
+Recorder **on**: memory is bounded by the configured entry/byte caps;
+each record pays one ``json.dumps`` to account its size (event rates
+here are low — pool growth, slow queries, metrics ticks — not
+per-request).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = [
+    "FlightRecorder",
+    "diag_bundle",
+    "disable",
+    "enable",
+    "enabled",
+    "get",
+    "record_event",
+    "record_metrics",
+    "record_slow_query",
+    "record_trace",
+]
+
+#: Bundle schema identifier; bump on incompatible layout changes.
+DIAG_SCHEMA = "repro.diag/1"
+
+# Module-level fast-path flag, mirroring repro.obs.tracing._ACTIVE:
+# instrumented call sites guard with `if flight._ENABLED:` and pay one
+# int truth test while the recorder is off.
+_ENABLED = 0
+_LOCK = threading.Lock()
+_RECORDER: "FlightRecorder | None" = None
+#: enable()/disable() nesting depth — a soak's hosted server and an
+#: outer harness may both enable the process-global recorder.
+_REFCOUNT = 0
+
+
+def _entry_size(entry: dict) -> int:
+    """The byte cost charged against a ring (also proves dumpability)."""
+    return len(json.dumps(entry, default=str, separators=(",", ":")))
+
+
+class _Ring:
+    """A thread-safe ring bounded by entry count *and* total bytes."""
+
+    __slots__ = ("max_entries", "max_bytes", "dropped", "_entries",
+                 "_bytes", "_lock")
+
+    def __init__(self, max_entries: int, max_bytes: int):
+        self.max_entries = max(1, int(max_entries))
+        self.max_bytes = max(1, int(max_bytes))
+        self.dropped = 0
+        self._entries: deque[tuple[dict, int]] = deque()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def append(self, entry: dict) -> None:
+        size = _entry_size(entry)
+        with self._lock:
+            if size > self.max_bytes:
+                # One entry larger than the whole budget: dropping it
+                # keeps the cap a hard invariant instead of a hope.
+                self.dropped += 1
+                return
+            self._entries.append((entry, size))
+            self._bytes += size
+            while (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                _, old = self._entries.popleft()
+                self._bytes -= old
+                self.dropped += 1
+
+    def snapshot(self) -> tuple[list[dict], int]:
+        """``(entries oldest-first, dropped count)`` — consistent copy."""
+        with self._lock:
+            return [entry for entry, _ in self._entries], self.dropped
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class FlightRecorder:
+    """Four bounded rings plus the bundle constructor.
+
+    Parameters are per-ring entry caps and one per-ring byte cap
+    (``max_bytes`` applies to *each* ring, so total recorder memory is
+    bounded by ``4 * max_bytes`` worst case — 1 MiB at the defaults).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_events: int = 512,
+        max_traces: int = 64,
+        max_slow_queries: int = 128,
+        max_metrics: int = 32,
+        max_bytes: int = 256 * 1024,
+    ):
+        self.events = _Ring(max_events, max_bytes)
+        self.traces = _Ring(max_traces, max_bytes)
+        self.slow_queries = _Ring(max_slow_queries, max_bytes)
+        self.metrics = _Ring(max_metrics, max_bytes)
+        self.started_unix = time.time()
+
+    # -- record --------------------------------------------------------
+    def record_event(self, event: str, fields: dict | None = None) -> None:
+        entry = {"t": round(time.time(), 3), "event": event}
+        if fields:
+            entry.update(fields)
+        self.events.append(entry)
+
+    def record_trace(self, report: dict) -> None:
+        self.traces.append({"t": round(time.time(), 3), **report})
+
+    def record_slow_query(self, record: dict) -> None:
+        self.slow_queries.append({"t": round(time.time(), 3), **record})
+
+    def record_metrics(self, snapshot: dict) -> None:
+        self.metrics.append({"t": round(time.time(), 3), **snapshot})
+
+    # -- dump ----------------------------------------------------------
+    def bundle(
+        self,
+        reason: str,
+        *,
+        metrics_snapshot: dict | None = None,
+        slo: dict | None = None,
+    ) -> dict:
+        """Freeze the rings into one JSON-safe diag bundle.
+
+        ``metrics_snapshot`` (the caller's final metrics read) is
+        appended to the metrics ring's entries so a bundle taken by a
+        server always carries at least one snapshot even if the
+        periodic sampler has not ticked yet.  The profiler section
+        comes from the process-global sampling profiler (``None`` when
+        it was never started).
+        """
+        from repro.obs import profile as obs_profile
+
+        events, events_dropped = self.events.snapshot()
+        traces, traces_dropped = self.traces.snapshot()
+        slow, slow_dropped = self.slow_queries.snapshot()
+        metrics, metrics_dropped = self.metrics.snapshot()
+        if metrics_snapshot is not None:
+            metrics = metrics + [
+                {"t": round(time.time(), 3), **metrics_snapshot}
+            ]
+        doc: dict[str, Any] = {
+            "schema": DIAG_SCHEMA,
+            "reason": reason,
+            "generated_unix": round(time.time(), 3),
+            "recorder_started_unix": round(self.started_unix, 3),
+            "events": events,
+            "traces": traces,
+            "slow_queries": slow,
+            "metrics": metrics,
+            "dropped": {
+                "events": events_dropped,
+                "traces": traces_dropped,
+                "slow_queries": slow_dropped,
+                "metrics": metrics_dropped,
+            },
+            "profile": obs_profile.bundle_section(),
+        }
+        if slo is not None:
+            doc["slo"] = slo
+        return doc
+
+
+# ----------------------------------------------------------------------
+# Process-global recorder (the instrumented call sites' target)
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    """True while the process-global recorder is capturing."""
+    return _ENABLED > 0
+
+
+def get() -> FlightRecorder | None:
+    """The process-global recorder, or ``None`` while disabled."""
+    return _RECORDER if _ENABLED else None
+
+
+def enable(**caps) -> FlightRecorder:
+    """Install (or re-enter) the process-global recorder.
+
+    Nested enables share one recorder — a hosted server inside a test
+    harness must not wipe the harness's rings; caps apply only to the
+    outermost call.  Pair every call with :func:`disable`.
+    """
+    global _ENABLED, _RECORDER, _REFCOUNT
+    with _LOCK:
+        _REFCOUNT += 1
+        if _RECORDER is None:
+            _RECORDER = FlightRecorder(**caps)
+        _ENABLED = 1
+        return _RECORDER
+
+
+def disable() -> None:
+    """Leave one :func:`enable`; the last one out drops the recorder."""
+    global _ENABLED, _RECORDER, _REFCOUNT
+    with _LOCK:
+        if _REFCOUNT == 0:
+            return
+        _REFCOUNT -= 1
+        if _REFCOUNT == 0:
+            _ENABLED = 0
+            _RECORDER = None
+
+
+def record_event(event: str, fields: dict | None = None) -> None:
+    """Record one event on the global recorder (no-op while disabled).
+
+    Hot call sites guard with ``if flight._ENABLED:`` themselves so
+    the disabled path costs one int test, not a function call.
+    """
+    recorder = _RECORDER
+    if _ENABLED and recorder is not None:
+        recorder.record_event(event, fields)
+
+
+def record_trace(report: dict) -> None:
+    recorder = _RECORDER
+    if _ENABLED and recorder is not None:
+        recorder.record_trace(report)
+
+
+def record_slow_query(record: dict) -> None:
+    recorder = _RECORDER
+    if _ENABLED and recorder is not None:
+        recorder.record_slow_query(record)
+
+
+def record_metrics(snapshot: dict) -> None:
+    recorder = _RECORDER
+    if _ENABLED and recorder is not None:
+        recorder.record_metrics(snapshot)
+
+
+def diag_bundle(
+    reason: str,
+    *,
+    metrics_snapshot: dict | None = None,
+    slo: dict | None = None,
+) -> dict | None:
+    """A bundle from the global recorder, or ``None`` while disabled."""
+    recorder = _RECORDER
+    if not _ENABLED or recorder is None:
+        return None
+    return recorder.bundle(
+        reason, metrics_snapshot=metrics_snapshot, slo=slo
+    )

@@ -20,6 +20,8 @@ import logging
 import sys
 from typing import Any, IO
 
+from repro.obs import flight as _flight
+
 __all__ = [
     "JsonLinesFormatter",
     "LOGGER_NAME",
@@ -40,6 +42,7 @@ EVENTS = (
     "server.drain",       # graceful drain began / finished
     "worker.rescue",      # a broken process pool fell back in-process
     "slow_query",         # a query exceeded the slow-query threshold
+    "diag.dump",          # a flight-recorder diag bundle was written
 )
 
 
@@ -85,7 +88,15 @@ def get_logger(name: str | None = None) -> logging.Logger:
 
 def log_event(event: str, *, level: int = logging.INFO,
               logger: logging.Logger | None = None, **fields: Any) -> None:
-    """Emit one structured event; a no-op when the level is disabled."""
+    """Emit one structured event; a no-op when the level is disabled.
+
+    The flight recorder (when enabled) captures the event *before* the
+    level check: it is a crash buffer, not a log sink, so a diag bundle
+    holds recent INFO events even when the logger only emits warnings.
+    The disabled path costs one module-int test.
+    """
+    if _flight._ENABLED:
+        _flight.record_event(event, fields)
     log = logger if logger is not None else logging.getLogger(LOGGER_NAME)
     if not log.isEnabledFor(level):
         return

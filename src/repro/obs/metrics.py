@@ -150,7 +150,16 @@ def register_resource_gauges(
     ``pool_bytes`` / ``cache_bytes`` are caller-supplied closures
     (e.g. summing over a server's active sessions); omitted gauges are
     skipped rather than reported as zero.
+
+    Idempotent under re-registration: every standard gauge name is
+    unregistered first, so a second server lifecycle in the same
+    process (tests, embedded restarts) neither double-renders gauges
+    nor leaves a previous server's closures sampling dead sessions
+    when this call omits ``pool_bytes``/``cache_bytes``.
     """
+    for name in ("repro_process_rss_bytes", "repro_shm_segments",
+                 "repro_pool_bytes", "repro_cache_bytes"):
+        registry.unregister(name)
     registry.register_gauge(
         "repro_process_rss_bytes", rss_bytes,
         help="Resident set size of the serving process.")

@@ -1,0 +1,204 @@
+"""Stdlib-only sampling profiler producing collapsed stacks.
+
+A daemon thread wakes ``hz`` times a second, snapshots every thread's
+stack via :func:`sys._current_frames`, and folds each stack into a
+collapsed root-first key (``a.f;b.g;c.h``) with a hit count — the
+input format flamegraph tools consume.  No signals, no C extension,
+no per-function tracing hooks: the profiled code pays nothing except
+the GIL handoff during the snapshot, so it is safe to flip on against
+a live server (the ``profile`` wire op does exactly that).
+
+One process-global profiler mirrors the flight-recorder lifecycle:
+:func:`start`/:func:`stop`/:func:`status` manage it, and
+:func:`bundle_section` freezes it into a diag bundle.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+__all__ = [
+    "SamplingProfiler",
+    "bundle_section",
+    "start",
+    "status",
+    "stop",
+]
+
+#: Sampling rate bounds for the wire-facing API: below 1 hz the data
+#: is useless, above 500 hz the sampler itself becomes the workload.
+MIN_HZ = 1.0
+MAX_HZ = 500.0
+DEFAULT_HZ = 50.0
+
+#: Frames kept per stack (deep recursion would otherwise make every
+#: collapsed key unique and blow the stack-count cap instantly).
+MAX_FRAMES = 64
+
+
+def _fold(frame) -> str:
+    """Collapse one frame chain into a root-first ``mod.func;...`` key."""
+    parts: list[str] = []
+    depth = 0
+    while frame is not None and depth < MAX_FRAMES:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}.{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Background thread sampling all thread stacks at ``hz``.
+
+    ``max_stacks`` bounds the collapsed-count dict; once distinct
+    stacks exceed it, new keys are counted in ``dropped`` instead
+    (existing keys keep accumulating), so a pathological workload
+    cannot grow profiler memory without bound.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, *, max_stacks: int = 4096):
+        if not (MIN_HZ <= hz <= MAX_HZ):
+            raise ValueError(
+                f"hz must be in [{MIN_HZ:g}, {MAX_HZ:g}], got {hz!r}"
+            )
+        self.hz = float(hz)
+        self.max_stacks = max(1, int(max_stacks))
+        self.samples = 0
+        self.dropped = 0
+        self.started_unix: float | None = None
+        self.stopped_unix: float | None = None
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self.started_unix = time.time()
+        self.stopped_unix = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> dict[str, int]:
+        """Stop sampling and return the collapsed-stack counts."""
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+            self.stopped_unix = time.time()
+        return self.collapsed()
+
+    # -- sampling ------------------------------------------------------
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own = threading.get_ident()
+        while not self._stop.wait(interval):
+            frames = sys._current_frames()
+            with self._lock:
+                self.samples += 1
+                for ident, frame in frames.items():
+                    if ident == own:
+                        continue
+                    key = _fold(frame)
+                    if key in self._counts:
+                        self._counts[key] += 1
+                    elif len(self._counts) < self.max_stacks:
+                        self._counts[key] = 1
+                    else:
+                        self.dropped += 1
+
+    # -- views ---------------------------------------------------------
+    def collapsed(self) -> dict[str, int]:
+        """Collapsed-stack counts, heaviest first."""
+        with self._lock:
+            items = sorted(
+                self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        return dict(items)
+
+    def collapsed_text(self) -> str:
+        """``stack count`` lines — feed straight into flamegraph.pl."""
+        return "\n".join(
+            f"{stack} {count}" for stack, count in self.collapsed().items()
+        )
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            samples = self.samples
+            dropped = self.dropped
+            n_stacks = len(self._counts)
+        return {
+            "running": self.running,
+            "hz": self.hz,
+            "samples": samples,
+            "distinct_stacks": n_stacks,
+            "dropped_stacks": dropped,
+            "started_unix": self.started_unix,
+            "stopped_unix": self.stopped_unix,
+        }
+
+
+# ----------------------------------------------------------------------
+# Process-global profiler (wire `profile` op + diag bundles)
+# ----------------------------------------------------------------------
+_LOCK = threading.Lock()
+_PROFILER: SamplingProfiler | None = None
+
+
+def start(hz: float = DEFAULT_HZ, *, max_stacks: int = 4096) -> dict:
+    """Start (or report the already-running) global profiler.
+
+    Starting while one is running is idempotent and keeps the running
+    profiler's rate — two operators poking the same server must not
+    silently reset each other's session.
+    """
+    global _PROFILER
+    with _LOCK:
+        if _PROFILER is not None and _PROFILER.running:
+            return _PROFILER.snapshot()
+        _PROFILER = SamplingProfiler(hz, max_stacks=max_stacks)
+        _PROFILER.start()
+        return _PROFILER.snapshot()
+
+
+def stop() -> dict:
+    """Stop the global profiler; returns its snapshot plus stacks."""
+    with _LOCK:
+        profiler = _PROFILER
+        if profiler is None:
+            return {"running": False, "samples": 0, "stacks": {}}
+        stacks = profiler.stop()
+        return {**profiler.snapshot(), "stacks": stacks}
+
+
+def status() -> dict:
+    """The global profiler's snapshot (``running: False`` if never on)."""
+    with _LOCK:
+        profiler = _PROFILER
+    if profiler is None:
+        return {"running": False, "samples": 0}
+    return profiler.snapshot()
+
+
+def bundle_section() -> dict | None:
+    """Diag-bundle section: snapshot + stacks, ``None`` if never started."""
+    with _LOCK:
+        profiler = _PROFILER
+    if profiler is None:
+        return None
+    return {**profiler.snapshot(), "stacks": profiler.collapsed()}

@@ -1,0 +1,273 @@
+"""Per-dataset service-level objectives with burn-rate computation.
+
+An operator states objectives once — ``--slo "p99:50ms,err:0.1%"`` —
+and the tracker continuously scores each served dataset against them
+using the per-dataset latency histograms and error counters that
+:class:`repro.server.metrics.ServerMetrics` already maintains.  No
+second measurement pipeline: the SLO engine is a pure *view* over
+counters the hot path was already paying for.
+
+The headline number per objective is the **burn rate**: the observed
+violation fraction divided by the objective's allowance.  Burn 1.0
+means the error budget is being consumed exactly as fast as the
+objective permits; 2.0 means twice as fast (the classic page-at-burn
+multi-window signal); 0 means no violations (or no traffic yet).
+
+Latency violation counting is conservative against the fixed
+histogram buckets: a request is "within objective" only when it
+landed in a bucket whose upper bound is <= the target, so a target
+that falls inside a bucket counts the whole bucket as violating.
+
+Surfaces: the ``stats`` protocol op (``"slo"`` section), the
+Prometheus exposition (``repro_slo_*`` families, labeled per dataset
+and objective — rendered here because the generic
+:class:`~repro.obs.metrics.MetricsRegistry` gauges are label-less),
+and diag bundles.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["SloSpec", "SloTracker", "parse_slo"]
+
+_LATENCY_RE = re.compile(r"^p(\d{1,2}(?:\.\d+)?)$")
+_VALUE_RE = re.compile(r"^(\d+(?:\.\d+)?)(ms|s|us|%)?$")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Parsed objectives: latency quantile targets + max error rate."""
+
+    #: objective label -> (quantile in (0, 1), target seconds),
+    #: e.g. ``{"p99": (0.99, 0.05)}``.
+    latency: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: Maximum tolerated error fraction in [0, 1], or ``None``.
+    error_rate: float | None = None
+    #: The original spec string, echoed in snapshots.
+    source: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "latency": {
+                label: {"quantile": q, "target_seconds": target}
+                for label, (q, target) in self.latency.items()
+            },
+            "error_rate": self.error_rate,
+        }
+
+
+def parse_slo(spec: str) -> SloSpec:
+    """Parse ``"p99:50ms,err:0.1%"`` into an :class:`SloSpec`.
+
+    Grammar: comma-separated ``objective:value`` terms.  Objectives are
+    ``pNN`` / ``pNN.N`` (latency quantile; value in ``us``/``ms``/``s``,
+    default seconds) or ``err`` (value as a percentage with ``%`` or a
+    bare fraction).  Raises :class:`ValueError` with the offending term
+    on anything else.
+    """
+    latency: dict[str, tuple[float, float]] = {}
+    error_rate: float | None = None
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty SLO spec")
+    for term in text.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        key, sep, raw = term.partition(":")
+        key = key.strip().lower()
+        raw = raw.strip().lower()
+        if not sep or not raw:
+            raise ValueError(f"SLO term {term!r} is not 'objective:value'")
+        value_match = _VALUE_RE.match(raw)
+        if value_match is None:
+            raise ValueError(f"SLO term {term!r} has unparseable value {raw!r}")
+        number = float(value_match.group(1))
+        unit = value_match.group(2)
+        if key == "err":
+            if unit == "%":
+                rate = number / 100.0
+            elif unit is None:
+                rate = number
+            else:
+                raise ValueError(
+                    f"SLO term {term!r}: error rate takes '%' or a fraction"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"SLO term {term!r}: rate outside [0, 1]")
+            if error_rate is not None:
+                raise ValueError(f"duplicate 'err' objective in {spec!r}")
+            error_rate = rate
+            continue
+        quantile_match = _LATENCY_RE.match(key)
+        if quantile_match is None:
+            raise ValueError(f"unknown SLO objective {key!r} in {term!r}")
+        quantile = float(quantile_match.group(1)) / 100.0
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"SLO term {term!r}: quantile outside (0, 100)")
+        if unit == "%":
+            raise ValueError(f"SLO term {term!r}: latency target takes a duration")
+        scale = {"us": 1e-6, "ms": 1e-3, "s": 1.0, None: 1.0}[unit]
+        target = number * scale
+        if target <= 0:
+            raise ValueError(f"SLO term {term!r}: target must be positive")
+        if key in latency:
+            raise ValueError(f"duplicate {key!r} objective in {spec!r}")
+        latency[key] = (quantile, target)
+    if not latency and error_rate is None:
+        raise ValueError(f"SLO spec {spec!r} defines no objectives")
+    return SloSpec(latency=latency, error_rate=error_rate, source=text)
+
+
+def _within(bounds, buckets, target: float) -> int:
+    """Observations provably <= target (whole buckets only)."""
+    within = 0
+    for bound, n in zip(bounds, buckets):
+        if bound <= target:
+            within += n
+        else:
+            break
+    return within
+
+
+class SloTracker:
+    """Scores per-dataset traffic against an :class:`SloSpec`.
+
+    ``view`` is a zero-argument callable returning the per-dataset
+    counters — :meth:`repro.server.metrics.ServerMetrics.dataset_view`
+    — kept as a callable so the tracker holds no lock of its own and
+    never calls back into a locked metrics object re-entrantly.
+    Datasets named via :meth:`watch` (the registry's catalogue) appear
+    in every snapshot even before their first request, so dashboards
+    and the CI promlint see the series immediately.
+    """
+
+    def __init__(self, spec: SloSpec, view):
+        self.spec = spec
+        self._view = view
+        self._known: set[str] = set()
+        self._lock = threading.Lock()
+
+    def watch(self, *datasets: str) -> None:
+        """Pre-register dataset names so they export zeroed series."""
+        with self._lock:
+            self._known.update(d for d in datasets if d)
+
+    # ------------------------------------------------------------------
+    def _score(self, stats: dict) -> dict:
+        requests = stats.get("requests", 0)
+        errors = stats.get("errors", 0)
+        bounds = stats.get("bounds") or ()
+        buckets = stats.get("buckets") or ()
+        count = stats.get("count", 0)
+        out: dict = {"requests": requests, "errors": errors, "objectives": {}}
+        compliant = True
+        for label, (quantile, target) in self.spec.latency.items():
+            allowed = 1.0 - quantile
+            if count:
+                violations = count - _within(bounds, buckets, target)
+                violation_rate = violations / count
+            else:
+                violations = 0
+                violation_rate = 0.0
+            burn = (violation_rate / allowed) if allowed > 0 else 0.0
+            ok = burn <= 1.0
+            compliant = compliant and ok
+            out["objectives"][label] = {
+                "target_seconds": target,
+                "violations": violations,
+                "violation_rate": round(violation_rate, 6),
+                "burn_rate": round(burn, 4),
+                "compliant": ok,
+            }
+        if self.spec.error_rate is not None:
+            rate = (errors / requests) if requests else 0.0
+            target = self.spec.error_rate
+            burn = (rate / target) if target > 0 else (
+                0.0 if rate == 0 else float("inf")
+            )
+            ok = rate <= target
+            compliant = compliant and ok
+            out["objectives"]["err"] = {
+                "target_rate": target,
+                "observed_rate": round(rate, 6),
+                "burn_rate": round(burn, 4) if burn != float("inf") else "inf",
+                "compliant": ok,
+            }
+        out["compliant"] = compliant
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-safe per-dataset scores for ``stats`` and diag bundles."""
+        per_dataset = self._view()
+        with self._lock:
+            names = self._known | set(per_dataset)
+        empty = {"requests": 0, "errors": 0, "count": 0}
+        datasets = {
+            name: self._score(per_dataset.get(name, empty))
+            for name in sorted(names)
+        }
+        return {
+            "spec": self.spec.to_dict(),
+            "datasets": datasets,
+            "compliant": all(d["compliant"] for d in datasets.values()),
+        }
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """Prometheus families: labeled burn rates, targets, compliance.
+
+        Rendered here (not via :class:`MetricsRegistry`) because these
+        series carry ``dataset``/``objective`` labels that the generic
+        registry's scalar gauges cannot express.
+        """
+        snap = self.snapshot()
+        lines = [
+            "# HELP repro_slo_latency_target_seconds Configured latency objective.",
+            "# TYPE repro_slo_latency_target_seconds gauge",
+        ]
+        for label, (quantile, target) in sorted(self.spec.latency.items()):
+            lines.append(
+                f'repro_slo_latency_target_seconds{{objective="{label}"}} '
+                f"{target:g}"
+            )
+        lines.append(
+            "# HELP repro_slo_burn_rate Error-budget burn rate per dataset "
+            "and objective (1.0 = burning exactly at the allowance)."
+        )
+        lines.append("# TYPE repro_slo_burn_rate gauge")
+        for name, score in snap["datasets"].items():
+            for label, obj in sorted(score["objectives"].items()):
+                burn = obj["burn_rate"]
+                value = "+Inf" if burn == "inf" else f"{burn:g}"
+                lines.append(
+                    f'repro_slo_burn_rate{{dataset="{name}",'
+                    f'objective="{label}"}} {value}'
+                )
+        lines.append(
+            "# HELP repro_slo_compliant Whether the dataset currently "
+            "meets every objective (1 = yes)."
+        )
+        lines.append("# TYPE repro_slo_compliant gauge")
+        for name, score in snap["datasets"].items():
+            lines.append(
+                f'repro_slo_compliant{{dataset="{name}"}} '
+                f"{1 if score['compliant'] else 0}"
+            )
+        if self.spec.error_rate is not None:
+            lines.append(
+                "# HELP repro_slo_error_rate Observed error fraction per dataset."
+            )
+            lines.append("# TYPE repro_slo_error_rate gauge")
+            for name, score in snap["datasets"].items():
+                obj = score["objectives"].get("err")
+                if obj is not None:
+                    lines.append(
+                        f'repro_slo_error_rate{{dataset="{name}"}} '
+                        f"{obj['observed_rate']:g}"
+                    )
+        return "\n".join(lines) + "\n"

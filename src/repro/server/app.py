@@ -44,12 +44,15 @@ import asyncio
 import contextlib
 import json
 import logging
+import os
 import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.obs import log_event, register_resource_gauges
+from repro.obs import flight as obs_flight
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
 from repro.server.registry import SessionRegistry
@@ -90,6 +93,24 @@ class ServerConfig:
     #: so a rolling restart never serves its replay latency to a
     #: client (the first answer is a cache hit, not a restore).
     prewarm: bool = True
+    #: Per-dataset service-level objectives, e.g. ``"p99:50ms,err:0.1%"``
+    #: (``None``: SLO tracking off).  Parsed by :func:`repro.obs.slo.
+    #: parse_slo`; scores surface in ``stats`` and as ``repro_slo_*``
+    #: exposition families.
+    slo: str | None = None
+    #: Keep the process-global flight recorder capturing while this
+    #: server runs (events, wire-trace reports, slow queries, periodic
+    #: metrics snapshots — the evidence a diag bundle dumps).
+    flight: bool = True
+    #: Flight-recorder event-ring entry cap.
+    flight_max_events: int = 512
+    #: Flight-recorder per-ring byte cap.
+    flight_max_bytes: int = 256 * 1024
+    #: Seconds between metrics snapshots recorded into the flight ring.
+    flight_metrics_interval: float = 5.0
+    #: Directory diag bundles are written to (``SIGUSR2``, drain-on-
+    #: error); ``None``: the current working directory.
+    diag_dir: str | None = None
 
     def __post_init__(self):
         # 0 is not a "disabled" sentinel for the admission knobs — a
@@ -120,6 +141,23 @@ class ServerConfig:
                 "slow_query_seconds must be >= 0 or None, got "
                 f"{self.slow_query_seconds}"
             )
+        if self.flight_max_events < 1:
+            raise ValueError(
+                f"flight_max_events must be >= 1, got {self.flight_max_events}"
+            )
+        if self.flight_max_bytes < 1:
+            raise ValueError(
+                f"flight_max_bytes must be >= 1, got {self.flight_max_bytes}"
+            )
+        if self.flight_metrics_interval <= 0:
+            raise ValueError(
+                "flight_metrics_interval must be > 0, got "
+                f"{self.flight_metrics_interval}"
+            )
+        if self.slo is not None:
+            from repro.obs.slo import parse_slo
+
+            parse_slo(self.slo)  # fail fast on a bad spec
 
 
 class StabilityServer:
@@ -145,6 +183,9 @@ class StabilityServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self.drain_report: list[dict] = []
         self.prewarmed: list[str] = []
+        self.slo_tracker = None
+        self._flight_task: asyncio.Task | None = None
+        self._flight_enabled_here = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -162,6 +203,26 @@ class StabilityServer:
         self._shutdown_event = asyncio.Event()
         self.registry.on_evict = self.metrics.evicted
         self._register_resource_gauges()
+        if self.config.slo:
+            from repro.obs.slo import SloTracker, parse_slo
+
+            tracker = SloTracker(
+                parse_slo(self.config.slo), self.metrics.dataset_view
+            )
+            # Every catalogued dataset exports zeroed SLO series from
+            # the first scrape, not from its first request.
+            tracker.watch(*self.registry.names())
+            self.slo_tracker = tracker
+            self.metrics.slo = tracker
+        if self.config.flight:
+            obs_flight.enable(
+                max_events=self.config.flight_max_events,
+                max_bytes=self.config.flight_max_bytes,
+            )
+            self._flight_enabled_here = True
+            self._flight_task = asyncio.get_running_loop().create_task(
+                self._flight_loop()
+            )
         if self.config.prewarm:
             self.prewarmed = await self.registry.prewarm()
         self._server = await asyncio.start_server(
@@ -207,6 +268,38 @@ class StabilityServer:
             cache_bytes=cache_bytes,
         )
 
+    async def _flight_loop(self) -> None:
+        """Record a metrics snapshot into the flight ring periodically.
+
+        One immediately, so a bundle taken right after start already
+        holds a baseline, then every ``flight_metrics_interval``.
+        """
+        while True:
+            obs_flight.record_metrics(self.metrics.snapshot())
+            await asyncio.sleep(self.config.flight_metrics_interval)
+
+    def dump_diag(self, reason: str) -> str | None:
+        """Write a diag bundle to ``diag_dir``; returns its path.
+
+        ``None`` when the flight recorder is not enabled.  Safe to call
+        from any thread (only reads the recorder and metrics locks).
+        """
+        slo = self.slo_tracker.snapshot() if self.slo_tracker else None
+        bundle = obs_flight.diag_bundle(
+            reason, metrics_snapshot=self.metrics.snapshot(), slo=slo
+        )
+        if bundle is None:
+            return None
+        directory = self.config.diag_dir or "."
+        path = os.path.join(
+            directory, f"repro-diag-{int(time.time())}-{reason}.json"
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, default=str)
+            handle.write("\n")
+        log_event("diag.dump", reason=reason, path=path)
+        return path
+
     def request_shutdown(self) -> None:
         """Begin a graceful drain (thread-safe, idempotent)."""
         if self._loop is None or self._shutdown_event is None:
@@ -230,6 +323,17 @@ class StabilityServer:
                 try:
                     self._loop.add_signal_handler(sig, self.request_shutdown)
                     installed.append(sig)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            # SIGUSR2: dump a diag bundle without disturbing serving
+            # (absent on platforms without the signal, e.g. Windows).
+            usr2 = getattr(signal, "SIGUSR2", None)
+            if usr2 is not None:
+                try:
+                    self._loop.add_signal_handler(
+                        usr2, lambda: self.dump_diag("sigusr2")
+                    )
+                    installed.append(usr2)
                 except (NotImplementedError, RuntimeError):
                     pass
         try:
@@ -273,6 +377,19 @@ class StabilityServer:
         )
         for entry in self.drain_report:
             self.metrics.checkpointed(failed="error" in entry)
+        # A drain that failed to checkpoint a session is exactly the
+        # moment the flight rings matter — dump them before teardown.
+        if any("error" in entry for entry in self.drain_report):
+            with contextlib.suppress(Exception):
+                self.dump_diag("drain-error")
+        if self._flight_task is not None:
+            self._flight_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._flight_task
+            self._flight_task = None
+        if self._flight_enabled_here:
+            obs_flight.disable()
+            self._flight_enabled_here = False
         # registry.close() closed every session, which shut down their
         # observe pools (process workers included, shared memory
         # unlinked); the write-dispatch threads go last.
@@ -502,23 +619,40 @@ class StabilityServer:
             )
         error = response.get("error") if isinstance(response, dict) else None
         elapsed = self._loop.time() - start
+        dataset = None
+        if op in protocol.QUERY_OPS:
+            # Attribute query traffic to its dataset for the SLO engine;
+            # membership-checked so a client probing bogus names cannot
+            # mint unbounded label cardinality.
+            name = payload.get("dataset") or self.registry.default_name
+            if name in self.registry.names():
+                dataset = name
         self.metrics.observe_request(
             op,
             elapsed,
             error_code=error.get("code") if error else None,
+            dataset=dataset,
         )
         threshold = self.config.slow_query_seconds
         if threshold is not None and elapsed >= threshold:
-            log_event(
-                "slow_query",
-                level=logging.WARNING,
-                op=op,
-                seconds=round(elapsed, 6),
-                threshold=threshold,
-                dataset=payload.get("dataset"),
-                request_id=payload.get("id"),
-                error=error.get("code") if error else None,
+            record = {
+                "op": op,
+                "seconds": round(elapsed, 6),
+                "threshold": threshold,
+                "dataset": dataset,
+                "request_id": payload.get("id"),
+                "error": error.get("code") if error else None,
+            }
+            # Join key with the wire trace: a traced slow request's
+            # server-side line carries the same trace_id the client got.
+            trace_section = (
+                response.get("trace") if isinstance(response, dict) else None
             )
+            if isinstance(trace_section, dict):
+                record["trace_id"] = trace_section.get("trace_id")
+            log_event("slow_query", level=logging.WARNING, **record)
+            if obs_flight._ENABLED:
+                obs_flight.record_slow_query(record)
         return response
 
     async def _execute(self, payload: dict) -> dict:
@@ -529,6 +663,11 @@ class StabilityServer:
         if op == "hello":
             handled = protocol.dispatch(
                 None, None, payload, hello_extra=self._hello_extra()
+            )
+            return handled.response
+        if op in ("diag", "profile"):
+            handled = protocol.dispatch(
+                None, None, payload, diag_extra=self._diag_extra
             )
             return handled.response
         try:
@@ -665,6 +804,13 @@ class StabilityServer:
                 self.metrics.checkpointed(failed=True)
             else:
                 self.metrics.checkpointed()
+
+    def _diag_extra(self) -> dict:
+        """The server's contribution to a wire ``diag`` bundle."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "slo": self.slo_tracker.snapshot() if self.slo_tracker else None,
+        }
 
     def _hello_extra(self) -> dict:
         return protocol.hello_fields(

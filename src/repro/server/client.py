@@ -149,6 +149,18 @@ class ServeClient:
         """Ask the server to drain and exit (responds before draining)."""
         return self.request({"op": "shutdown"})
 
+    def diag(self, **fields) -> dict:
+        """Fetch the server's flight-recorder diag bundle (``diag`` op)."""
+        return self.request({"op": "diag", **fields})
+
+    def profile(self, action: str = "status", **fields) -> dict:
+        """Drive the server's sampling profiler (``profile`` op).
+
+        ``action`` is ``"start"`` (optional ``hz=``), ``"stop"``
+        (returns collapsed stacks), or ``"status"``.
+        """
+        return self.request({"op": "profile", "action": action, **fields})
+
     # -- query ops -----------------------------------------------------
     def get_next(self, **fields) -> dict:
         return self.request({"op": "get_next", **fields})

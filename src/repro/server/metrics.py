@@ -91,6 +91,15 @@ class ServerMetrics:
         self.requests_total: dict[str, int] = {}
         self.errors_total: dict[str, int] = {}
         self.latency: dict[str, LatencyHistogram] = {}
+        # Per-dataset counters (query ops only) backing the SLO engine.
+        self.dataset_requests: dict[str, int] = {}
+        self.dataset_errors: dict[str, int] = {}
+        self.dataset_latency: dict[str, LatencyHistogram] = {}
+        #: Optional :class:`repro.obs.slo.SloTracker`; attached by the
+        #: app when ``--slo`` is configured.  Its snapshot/exposition
+        #: are computed *outside* ``_lock`` (the tracker reads back
+        #: through :meth:`dataset_view`, and ``_lock`` is non-reentrant).
+        self.slo = None
         self.connections_opened = 0
         self.connections_active = 0
         self.busy_shed_total = 0
@@ -103,14 +112,29 @@ class ServerMetrics:
 
     # ------------------------------------------------------------------
     def observe_request(
-        self, op: str, seconds: float, *, error_code: str | None = None
+        self,
+        op: str,
+        seconds: float,
+        *,
+        error_code: str | None = None,
+        dataset: str | None = None,
     ) -> None:
-        """Record one handled request (op label, latency, optional error)."""
+        """Record one handled request (op label, latency, optional error).
+
+        ``dataset`` additionally attributes the request to a dataset's
+        SLO counters; callers pass it for query ops only so control
+        traffic (ping, stats, diag) never skews latency objectives.
+        """
         op = op if isinstance(op, str) and op else "<invalid>"
         # Allocate outside the lock: the first request for an op pays the
         # histogram construction without extending the critical section;
         # a racing thread's spare allocation is simply dropped.
         fresh = None if op in self.latency else LatencyHistogram()
+        ds_fresh = (
+            None
+            if dataset is None or dataset in self.dataset_latency
+            else LatencyHistogram()
+        )
         with self._lock:
             self.requests_total[op] = self.requests_total.get(op, 0) + 1
             hist = self.latency.get(op)
@@ -123,6 +147,34 @@ class ServerMetrics:
                 self.errors_total[error_code] = (
                     self.errors_total.get(error_code, 0) + 1
                 )
+            if dataset is not None:
+                self.dataset_requests[dataset] = (
+                    self.dataset_requests.get(dataset, 0) + 1
+                )
+                ds_hist = self.dataset_latency.get(dataset)
+                if ds_hist is None:
+                    ds_hist = self.dataset_latency[dataset] = (
+                        ds_fresh if ds_fresh is not None else LatencyHistogram()
+                    )
+                ds_hist.observe(seconds)
+                if error_code is not None:
+                    self.dataset_errors[dataset] = (
+                        self.dataset_errors.get(dataset, 0) + 1
+                    )
+
+    def dataset_view(self) -> dict:
+        """Per-dataset counters for the SLO tracker (consistent copy)."""
+        with self._lock:
+            return {
+                name: {
+                    "requests": self.dataset_requests.get(name, 0),
+                    "errors": self.dataset_errors.get(name, 0),
+                    "count": hist.count,
+                    "bounds": hist.bounds,
+                    "buckets": list(hist.buckets),
+                }
+                for name, hist in self.dataset_latency.items()
+            }
 
     def observe_error(self, error_code: str) -> None:
         """Record a protocol-level error that never reached a handler."""
@@ -170,8 +222,12 @@ class ServerMetrics:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """JSON-safe metrics for the ``stats`` op."""
+        # The SLO tracker reads back through dataset_view(), which takes
+        # _lock itself — compute its section before entering the lock.
+        slo = self.slo
+        slo_section = slo.snapshot() if slo is not None else None
         with self._lock:
-            return {
+            doc = {
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "requests_total": dict(self.requests_total),
                 "errors_total": dict(self.errors_total),
@@ -191,6 +247,9 @@ class ServerMetrics:
                 "bytes_out": self.bytes_out,
                 "resources": self.registry.collect(),
             }
+        if slo_section is not None:
+            doc["slo"] = slo_section
+        return doc
 
     def render_text(self) -> str:
         """Prometheus text exposition (``# HELP``/``# TYPE`` + samples)."""
@@ -259,6 +318,11 @@ class ServerMetrics:
                     f"{hist.count}"
                 )
             body = "\n".join(lines) + "\n"
-        # Registry gauges read process state (RSS, shm) — render outside
-        # the server lock.
-        return body + self.registry.render_text()
+        # Registry gauges read process state (RSS, shm) and the SLO
+        # tracker reads back through dataset_view() — render both
+        # outside the server lock.
+        body += self.registry.render_text()
+        slo = self.slo
+        if slo is not None:
+            body += slo.render_text()
+        return body

@@ -22,6 +22,7 @@ The ops are the service tier's query surface plus control ops::
 
     get_next | top_stable | stability_of      (repro.service.batch)
     hello | ping | stats | explain | invalidate | checkpoint | shutdown
+    diag | profile                            (repro.obs diagnostics)
 
 Every query op additionally understands ``"trace": true``: the server
 executes the query inside an :mod:`repro.obs` trace and echoes a
@@ -78,7 +79,7 @@ MAX_LINE_BYTES = 1 << 20
 QUERY_OPS = ("get_next", "top_stable", "stability_of")
 CONTROL_OPS = (
     "hello", "ping", "stats", "explain", "invalidate", "checkpoint",
-    "shutdown",
+    "shutdown", "diag", "profile",
 )
 
 #: The closed error-code vocabulary of the protocol.
@@ -340,6 +341,7 @@ def dispatch(
     hello_extra: dict | None = None,
     stats_extra: dict | None = None,
     trace_extra: dict | None = None,
+    diag_extra: dict | None = None,
     allow_shutdown: bool = True,
 ) -> Handled:
     """Execute one parsed request against one session.
@@ -367,6 +369,12 @@ def dispatch(
         app's event-loop-side RW-lock wait, for example.  Grafted onto
         the trace root when the request asked for ``"trace": true``;
         ignored otherwise.
+    diag_extra:
+        Transport-specific additions to a ``diag`` bundle (dict or
+        zero-argument callable): ``"metrics"`` — a fresh metrics
+        snapshot appended to the bundle's metrics ring; ``"slo"`` — the
+        current SLO scores.  The bundle itself comes from the
+        process-global :mod:`repro.obs.flight` recorder.
     allow_shutdown:
         Whether the ``shutdown`` op is honoured (stdio honours it too:
         it ends the loop exactly like end-of-input).
@@ -437,6 +445,45 @@ def dispatch(
         if not allow_shutdown:
             return fail("bad_request", "shutdown is not honoured here")
         return ok({"shutting_down": True}, advanced=False, stop=True)
+    if op == "diag":
+        from repro.obs import flight as obs_flight
+
+        extra = _resolve_extra(diag_extra)
+        bundle = obs_flight.diag_bundle(
+            "wire",
+            metrics_snapshot=extra.get("metrics"),
+            slo=extra.get("slo"),
+        )
+        return ok(
+            {"diag": bundle, "flight": obs_flight.enabled()}, advanced=False
+        )
+    if op == "profile":
+        from repro.obs import profile as obs_profile
+
+        action = payload.get("action", "status")
+        if action == "start":
+            hz = payload.get("hz", obs_profile.DEFAULT_HZ)
+            if not isinstance(hz, (int, float)) or isinstance(hz, bool):
+                return fail(
+                    "bad_request", 'profile "hz" must be a number',
+                    advanced=False,
+                )
+            try:
+                snap = obs_profile.start(float(hz))
+            except ValueError as exc:
+                return fail("bad_request", str(exc), advanced=False)
+        elif action == "stop":
+            snap = obs_profile.stop()
+        elif action == "status":
+            snap = obs_profile.status()
+        else:
+            return fail(
+                "bad_request",
+                'profile "action" must be "start", "stop", or "status", '
+                f"got {action!r}",
+                advanced=False,
+            )
+        return ok({"profile": snap}, advanced=False)
 
     if op not in QUERY_OPS:
         return fail(
@@ -479,13 +526,16 @@ def dispatch(
         "result": value_to_json(dataset, outcome.value),
     }
     if want_trace:
+        from repro.obs import flight as obs_flight
         from repro.obs.tracing import stage_report
 
         response["cost"] = outcome.cost
-        response["trace"] = {
-            "trace_id": trace_obj.trace_id,
-            **stage_report(trace_obj),
-        }
+        report = stage_report(trace_obj)
+        response["trace"] = {"trace_id": trace_obj.trace_id, **report}
+        if obs_flight._ENABLED:
+            obs_flight.record_trace(
+                {"op": op, "trace_id": trace_obj.trace_id, **report}
+            )
     return ok(
         response,
         # get_next consumes a cursor; an uncached idempotent answer may
@@ -511,9 +561,10 @@ def needs_write(session, payload: dict) -> bool:
     "write" costs parallelism, never correctness.
     """
     op = payload.get("op")
-    if op in ("ping", "hello", "stats", "explain"):
+    if op in ("ping", "hello", "stats", "explain", "diag", "profile"):
         # explain plans a query without materializing backend state —
-        # it only inspects already-built pools.
+        # it only inspects already-built pools; diag/profile touch only
+        # the process-global recorder and profiler.
         return False
     try:
         return not session.query_is_warm_read(

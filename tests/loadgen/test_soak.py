@@ -78,6 +78,54 @@ class TestSoak:
         assert doc["passed"] is False
         assert doc["failures"] == ["boom"]
         assert doc["rss_growth"] == pytest.approx(0.07)
+        # Failure-evidence fields always ship, even when empty.
+        assert doc["metrics_final"] == {}
+        assert doc["profile"] is None
+        assert doc["diag_bundle"] is None
+
+    @pytest.mark.slow
+    def test_injected_failure_leaves_a_diag_bundle(self, tmp_path):
+        """The acceptance path: a failing soak with the profiler on
+        writes a diag bundle holding a metrics snapshot, the event
+        ring, and non-empty collapsed stacks — and still embeds the
+        final scrape in the report."""
+        import json
+
+        diag = tmp_path / "SOAK_DIAG.json"
+        report = run_soak(
+            seconds=1.5,
+            connections=4,
+            profile_hz=100.0,
+            inject_failure=True,
+            diag_path=str(diag),
+        )
+        assert report.passed is False
+        assert "injected failure (--inject-failure)" in report.failures
+        # Evidence in the report itself.
+        assert report.metrics_final.get(RSS_GAUGE, 0) > 0
+        assert "repro_slo_compliant{dataset=\"default\"}" in report.metrics_final
+        assert report.profile is not None
+        assert report.profile["stacks"], "profiler ran but caught nothing"
+        # Evidence on disk.
+        assert report.diag_bundle == str(diag)
+        bundle = json.loads(diag.read_text())
+        assert bundle["reason"] == "soak-failure"
+        assert bundle["soak_failures"] == report.failures
+        assert len(bundle["metrics"]) >= 1
+        assert bundle["events"], "event ring empty in the bundle"
+        assert bundle["profile"]["stacks"]
+        assert bundle["slo"]["datasets"]["default"]["requests"] > 0
+
+    @pytest.mark.slow
+    def test_passing_soak_writes_no_diag_bundle(self, tmp_path):
+        diag = tmp_path / "SOAK_DIAG.json"
+        report = run_soak(
+            seconds=1.0, connections=4, diag_path=str(diag)
+        )
+        assert report.passed, report.failures
+        assert report.diag_bundle is None
+        assert not diag.exists()
+        assert report.metrics_final.get(RSS_GAUGE, 0) > 0
 
     def test_growth_with_no_baseline_is_zero(self):
         report = SoakReport(seconds=1.0, connections=4)

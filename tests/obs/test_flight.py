@@ -1,0 +1,247 @@
+"""Flight recorder: ring cap invariants (property-tested under
+concurrent writers), the refcounted global lifecycle, level-independent
+event capture, bundle shape, and the disabled-path cost contract."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import os
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs import configure_logging, flight, log_event
+from repro.obs.flight import DIAG_SCHEMA, FlightRecorder, _Ring, _entry_size
+from repro.obs.logs import LOGGER_NAME
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
+
+RING_SETTINGS = settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(autouse=True)
+def _global_recorder_off():
+    """Every test starts and ends with the global recorder disabled."""
+    while flight.enabled():
+        flight.disable()
+    yield
+    while flight.enabled():
+        flight.disable()
+
+
+class TestRingCaps:
+    @RING_SETTINGS
+    @given(
+        max_entries=st.integers(min_value=1, max_value=16),
+        max_bytes=st.integers(min_value=32, max_value=2048),
+        payload_sizes=st.lists(
+            st.integers(min_value=0, max_value=600), min_size=1, max_size=64
+        ),
+    )
+    def test_never_exceeds_entry_or_byte_cap(
+        self, max_entries, max_bytes, payload_sizes
+    ):
+        """Property: after any append sequence, both caps hold and the
+        byte accounting matches the entries actually retained."""
+        ring = _Ring(max_entries, max_bytes)
+        for i, size in enumerate(payload_sizes):
+            ring.append({"i": i, "pad": "x" * size})
+        entries, dropped = ring.snapshot()
+        assert len(entries) <= max_entries
+        assert ring.total_bytes <= max_bytes
+        assert ring.total_bytes == sum(_entry_size(e) for e in entries)
+        assert dropped == len(payload_sizes) - len(entries)
+
+    def test_oversized_single_entry_is_dropped_not_kept(self):
+        ring = _Ring(max_entries=8, max_bytes=64)
+        ring.append({"pad": "x" * 500})
+        entries, dropped = ring.snapshot()
+        assert entries == [] and dropped == 1
+        assert ring.total_bytes == 0
+
+    def test_eviction_is_oldest_first(self):
+        ring = _Ring(max_entries=3, max_bytes=10_000)
+        for i in range(5):
+            ring.append({"i": i})
+        entries, dropped = ring.snapshot()
+        assert [e["i"] for e in entries] == [2, 3, 4]
+        assert dropped == 2
+
+    def test_concurrent_writers_hold_caps_and_dump_valid_json(self):
+        """Writers hammer the ring while a reader repeatedly dumps it;
+        every dump must be self-consistent, cap-respecting JSON."""
+        ring = _Ring(max_entries=32, max_bytes=4096)
+        stop = threading.Event()
+        bad: list[str] = []
+
+        def writer(idx: int) -> None:
+            i = 0
+            while not stop.is_set():
+                ring.append({"w": idx, "i": i, "pad": "y" * (i % 90)})
+                i += 1
+
+        def reader() -> None:
+            while not stop.is_set():
+                entries, _ = ring.snapshot()
+                try:
+                    decoded = json.loads(json.dumps(entries))
+                except ValueError as exc:  # pragma: no cover - the bug
+                    bad.append(f"dump not JSON: {exc}")
+                    return
+                if len(decoded) > 32:
+                    bad.append(f"entry cap broken: {len(decoded)}")
+                    return
+                if sum(_entry_size(e) for e in decoded) > 4096:
+                    bad.append("byte cap broken")
+                    return
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert bad == []
+        entries, _ = ring.snapshot()
+        assert len(entries) <= 32
+        assert ring.total_bytes <= 4096
+
+
+class TestGlobalLifecycle:
+    def test_enable_disable_toggles_the_fast_path_flag(self):
+        assert flight._ENABLED == 0 and flight.get() is None
+        recorder = flight.enable()
+        assert flight._ENABLED and flight.get() is recorder
+        flight.disable()
+        assert flight._ENABLED == 0 and flight.get() is None
+
+    def test_nested_enables_share_one_recorder(self):
+        outer = flight.enable(max_events=4)
+        inner = flight.enable(max_events=999)  # caps ignored when nested
+        assert inner is outer
+        assert outer.events.max_entries == 4
+        flight.disable()
+        assert flight.enabled()  # still held by the outer enable
+        flight.disable()
+        assert not flight.enabled()
+
+    def test_extra_disable_is_harmless(self):
+        flight.disable()
+        assert not flight.enabled()
+        flight.enable()
+        flight.disable()
+        flight.disable()
+        assert not flight.enabled()
+
+    def test_module_helpers_are_noops_while_disabled(self):
+        flight.record_event("pool.grow", {"drawn": 1})
+        flight.record_trace({"op": "x"})
+        flight.record_slow_query({"op": "x"})
+        flight.record_metrics({"uptime_seconds": 1})
+        assert flight.diag_bundle("test") is None
+
+
+class TestEventCapture:
+    def test_log_event_is_captured_below_the_logging_level(self):
+        """The recorder is a crash buffer, not a log sink: INFO events
+        land in the ring even when the logger only emits warnings."""
+        log = logging.getLogger(LOGGER_NAME)
+        saved = (list(log.handlers), log.level, log.propagate)
+        stream = io.StringIO()
+        try:
+            configure_logging(json_lines=True, level="warning", stream=stream)
+            recorder = flight.enable()
+            log_event("pool.grow", config="topk_set:k=5", drawn=1000)
+            entries, _ = recorder.events.snapshot()
+        finally:
+            flight.disable()
+            log.handlers[:] = saved[0]
+            log.setLevel(saved[1])
+            log.propagate = saved[2]
+        assert stream.getvalue() == ""  # the logger filtered it out...
+        (entry,) = entries              # ...the recorder did not
+        assert entry["event"] == "pool.grow"
+        assert entry["drawn"] == 1000
+        assert isinstance(entry["t"], float)
+
+
+class TestBundle:
+    def test_bundle_shape_and_injected_snapshot(self):
+        recorder = FlightRecorder(max_events=8)
+        recorder.record_event("server.drain", {"phase": "begin"})
+        recorder.record_trace({"op": "top_stable", "trace_id": "t-1"})
+        recorder.record_slow_query({"op": "get_next", "seconds": 2.0})
+        doc = recorder.bundle(
+            "unit-test",
+            metrics_snapshot={"uptime_seconds": 3.0},
+            slo={"compliant": True},
+        )
+        assert doc["schema"] == DIAG_SCHEMA
+        assert doc["reason"] == "unit-test"
+        assert set(doc["dropped"]) == {
+            "events", "traces", "slow_queries", "metrics"
+        }
+        assert doc["events"][0]["event"] == "server.drain"
+        assert doc["traces"][0]["trace_id"] == "t-1"
+        assert doc["slow_queries"][0]["seconds"] == 2.0
+        # The caller's final snapshot lands in the metrics list even
+        # though the periodic sampler never ticked.
+        assert doc["metrics"][-1]["uptime_seconds"] == 3.0
+        assert doc["slo"] == {"compliant": True}
+        json.dumps(doc)  # the whole bundle must be dumpable as-is
+
+    def test_bundle_without_slo_omits_the_key(self):
+        doc = FlightRecorder().bundle("bare")
+        assert "slo" not in doc
+        assert doc["metrics"] == []
+
+
+def test_disabled_overhead_within_budget():
+    """Same contract as tracing: with the recorder off, the guarded
+    call sites must cost <= 2% of a 10K-item observe.  Measured
+    structurally, min over batches against a generous per-pass call
+    bound (see test_tracing.test_disabled_overhead_within_budget)."""
+    import numpy as np
+
+    from repro import Dataset
+    from repro.core.randomized import GetNextRandomized
+
+    dataset = Dataset(np.random.default_rng(20180905).uniform(size=(10_000, 3)))
+    op = GetNextRandomized(
+        dataset, kind="topk_set", k=5, rng=np.random.default_rng(5)
+    )
+    start = time.perf_counter()
+    op.observe(2_048)
+    observe_seconds = time.perf_counter() - start
+
+    calls = 10_000
+    per_call = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(calls):
+            if flight._ENABLED:
+                flight.record_event("never", None)
+            if flight._ENABLED:
+                flight.record_slow_query({})
+        per_call = min(
+            per_call, (time.perf_counter() - start) / (2 * calls)
+        )
+    # A serving pass makes a handful of guarded tests (log_event, the
+    # slow-query check, the trace record); 100 is far above it.
+    overhead = 100 * per_call
+    assert overhead <= 0.02 * observe_seconds, (
+        f"disabled-path flight checks {overhead * 1e6:.1f} us vs "
+        f"observe {observe_seconds * 1e3:.1f} ms"
+    )

@@ -91,5 +91,5 @@ def test_event_vocabulary_is_stable():
     assert set(EVENTS) == {
         "pool.grow", "budget.exhausted", "checkpoint.save",
         "session.restore", "session.evict", "server.drain",
-        "worker.rescue", "slow_query",
+        "worker.rescue", "slow_query", "diag.dump",
     }

@@ -1,0 +1,140 @@
+"""Sampling profiler: collapsed-stack folding, self-exclusion, the
+stack-count cap, and the idempotent process-global lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import profile
+from repro.obs.profile import MAX_HZ, MIN_HZ, SamplingProfiler, _fold
+
+
+@pytest.fixture(autouse=True)
+def _global_profiler_off():
+    """Every test starts and ends with the global profiler stopped."""
+    profile.stop()
+    profile._PROFILER = None
+    yield
+    profile.stop()
+    profile._PROFILER = None
+
+
+def _busy(stop: threading.Event) -> None:
+    """A worker with a recognisable frame for the sampler to catch."""
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+class TestSamplingProfiler:
+    def test_busy_thread_is_sampled_into_collapsed_stacks(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy, args=(stop,))
+        worker.start()
+        profiler = SamplingProfiler(hz=200.0)
+        profiler.start()
+        time.sleep(0.3)
+        stacks = profiler.stop()
+        stop.set()
+        worker.join()
+        assert profiler.samples > 0
+        assert stacks, "no stacks collected from a busy process"
+        # Root-first collapsed keys: every stack starts at the thread
+        # bootstrap (or the interpreter main), and the busy worker's
+        # frame shows up in at least one of them.
+        assert any("_busy" in key for key in stacks)
+        for key in stacks:
+            assert ";" in key or "." in key
+
+    def test_sampler_excludes_its_own_thread(self):
+        profiler = SamplingProfiler(hz=200.0)
+        profiler.start()
+        time.sleep(0.2)
+        stacks = profiler.stop()
+        assert all("profile._run" not in key for key in stacks)
+
+    def test_hz_bounds_are_enforced(self):
+        for bad in (0.0, MIN_HZ / 2, MAX_HZ * 2, -5.0):
+            with pytest.raises(ValueError):
+                SamplingProfiler(hz=bad)
+        SamplingProfiler(hz=MIN_HZ)
+        SamplingProfiler(hz=MAX_HZ)
+
+    def test_max_stacks_cap_counts_overflow_as_dropped(self):
+        profiler = SamplingProfiler(hz=50.0, max_stacks=2)
+        with profiler._lock:  # exercise the cap without real sampling
+            for key in ("a.f", "b.g", "c.h", "c.h"):
+                if key in profiler._counts:
+                    profiler._counts[key] += 1
+                elif len(profiler._counts) < profiler.max_stacks:
+                    profiler._counts[key] = 1
+                else:
+                    profiler.dropped += 1
+        assert len(profiler.collapsed()) == 2
+        assert profiler.dropped == 2
+
+    def test_collapsed_text_is_flamegraph_input(self):
+        profiler = SamplingProfiler()
+        profiler._counts = {"root.a;mod.b": 3, "root.a": 1}
+        lines = profiler.collapsed_text().splitlines()
+        assert lines[0] == "root.a;mod.b 3"  # heaviest first
+        assert lines[1] == "root.a 1"
+
+    def test_snapshot_shape(self):
+        profiler = SamplingProfiler(hz=25.0)
+        snap = profiler.snapshot()
+        assert set(snap) == {
+            "running", "hz", "samples", "distinct_stacks",
+            "dropped_stacks", "started_unix", "stopped_unix",
+        }
+        assert snap["running"] is False and snap["hz"] == 25.0
+
+    def test_fold_is_root_first(self):
+        import sys
+
+        def inner():
+            return _fold(sys._getframe())
+
+        def outer():
+            return inner()
+
+        key = outer()
+        frames = key.split(";")
+        assert frames[-1].endswith(".inner")
+        assert frames[-2].endswith(".outer")
+
+
+class TestGlobalLifecycle:
+    def test_start_is_idempotent_and_keeps_the_running_rate(self):
+        first = profile.start(hz=100.0)
+        again = profile.start(hz=10.0)  # must not reset the session
+        assert first["running"] and again["running"]
+        assert again["hz"] == 100.0
+        stopped = profile.stop()
+        assert stopped["running"] is False
+        assert "stacks" in stopped
+
+    def test_stop_without_start_is_safe(self):
+        out = profile.stop()
+        assert out == {"running": False, "samples": 0, "stacks": {}}
+
+    def test_status_reports_never_started(self):
+        assert profile.status() == {"running": False, "samples": 0}
+
+    def test_bundle_section_survives_stop(self):
+        assert profile.bundle_section() is None
+        profile.start(hz=100.0)
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy, args=(stop,))
+        worker.start()
+        time.sleep(0.25)
+        profile.stop()
+        stop.set()
+        worker.join()
+        section = profile.bundle_section()
+        assert section is not None
+        assert section["running"] is False
+        assert section["samples"] > 0
+        assert isinstance(section["stacks"], dict)
