@@ -376,6 +376,29 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP: disable the flight recorder (recent events, traces, "
         "slow queries, and metrics snapshots stop being captured)",
     )
+    p_serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="TCP: inject faults at the transport layer, e.g. "
+        "'delay:p=0.05,ms=100;error:p=0.01;drop:p=0.005' "
+        "(kinds: delay, error, drop; seeded and deterministic)",
+    )
+    p_serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="TCP: seed of the chaos injector's RNG (default 0)",
+    )
+    p_serve.add_argument(
+        "--memory-watermark",
+        default=None,
+        metavar="SIZE",
+        help="TCP: degrade instead of growing past SIZE (e.g. '256mb') "
+        "of pool+cache memory — cold queries are shed with "
+        "'overloaded' until usage falls below the low watermark",
+    )
 
     p_diag = sub.add_parser(
         "diag",
@@ -554,6 +577,21 @@ def main(argv: list[str] | None = None) -> int:
         help="soak: force an invariant failure at the end (exercises "
         "the diag-bundle path; the run exits non-zero)",
     )
+    p_loadgen.add_argument(
+        "--retry", action="store_true",
+        help="run the workers with the default client retry policy "
+        "(idempotent ops only)",
+    )
+    p_loadgen.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject faults into the self-hosted server, e.g. "
+        "'delay:p=0.05,ms=100;error:p=0.01;drop:p=0.005' "
+        "(soak mode: also enables retries and the answer oracle)",
+    )
+    p_loadgen.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed of the chaos injector's RNG (default 0)",
+    )
 
     p_replay = sub.add_parser(
         "replay",
@@ -571,6 +609,20 @@ def main(argv: list[str] | None = None) -> int:
     p_replay.add_argument(
         "--time-scale", type=float, default=1.0,
         help="compress (<1) or stretch (>1) the recorded arrival schedule",
+    )
+    p_replay.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject faults into the replaying (self-hosted) server; "
+        "get_next is judged in subset mode",
+    )
+    p_replay.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed of the chaos injector's RNG (default 0)",
+    )
+    p_replay.add_argument(
+        "--retry", action="store_true",
+        help="replay with the default client retry policy "
+        "(idempotent ops only)",
     )
 
     args = parser.parse_args(argv)
@@ -1219,6 +1271,7 @@ def _run_loadgen(args) -> int:
             profile_hz=args.profile_hz,
             inject_failure=args.inject_failure,
             diag_path=args.diag,
+            chaos=args.chaos,
             log=lambda message: print(message, file=sys.stderr),
         )
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -1241,7 +1294,20 @@ def _run_loadgen(args) -> int:
         server_seed=args.server_seed,
     )
     plan = generate_plan(spec)
-    result = run_load(plan, address=args.address, trace_path=args.trace)
+    config_fields = {}
+    if args.chaos is not None:
+        if args.address is not None:
+            raise SystemExit(
+                "--chaos configures the self-hosted server; drop --address"
+            )
+        config_fields = {"chaos": args.chaos, "chaos_seed": args.chaos_seed}
+    result = run_load(
+        plan,
+        address=args.address,
+        trace_path=args.trace,
+        retry=args.retry,
+        **config_fields,
+    )
     doc = result.to_dict()
     if args.trace:
         doc["trace"] = args.trace
@@ -1255,9 +1321,14 @@ def _run_replay(args) -> int:
 
     try:
         report = replay_trace(
-            args.trace, address=args.address, time_scale=args.time_scale
+            args.trace,
+            address=args.address,
+            time_scale=args.time_scale,
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
+            retry=args.retry,
         )
-    except TraceError as exc:
+    except (TraceError, ValueError) as exc:
         raise SystemExit(f"cannot replay {args.trace}: {exc}")
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0 if report.equivalent else 1
@@ -1283,6 +1354,14 @@ def _run_serve_tcp(args, ds: Dataset, region, parallel) -> int:
     )
 
     host, port = parse_hostport(args.tcp)
+    watermark = None
+    if args.memory_watermark is not None:
+        from repro.server.resilience import parse_size
+
+        try:
+            watermark = parse_size(args.memory_watermark)
+        except ValueError as exc:
+            raise SystemExit(f"bad --memory-watermark: {exc}")
     registry = SessionRegistry(
         state_dir=args.state_dir,
         seed=args.seed,
@@ -1294,23 +1373,29 @@ def _run_serve_tcp(args, ds: Dataset, region, parallel) -> int:
         sampling=args.sampling,
     )
     registry.add_dataset(args.dataset_name, ds, region=region)
-    config = ServerConfig(
-        host=host,
-        port=port,
-        max_inflight=args.max_inflight,
-        max_pending_per_connection=args.max_pending,
-        drain_grace=args.drain_grace,
-        checkpoint_every=args.checkpoint_every,
-        metrics_port=args.metrics_port,
-        slow_query_seconds=(
-            args.slow_query_ms / 1000.0
-            if args.slow_query_ms is not None
-            else None
-        ),
-        slo=args.slo,
-        diag_dir=args.diag_dir,
-        flight=not args.no_flight,
-    )
+    try:
+        config = ServerConfig(
+            host=host,
+            port=port,
+            max_inflight=args.max_inflight,
+            max_pending_per_connection=args.max_pending,
+            drain_grace=args.drain_grace,
+            checkpoint_every=args.checkpoint_every,
+            metrics_port=args.metrics_port,
+            slow_query_seconds=(
+                args.slow_query_ms / 1000.0
+                if args.slow_query_ms is not None
+                else None
+            ),
+            slo=args.slo,
+            diag_dir=args.diag_dir,
+            flight=not args.no_flight,
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
+            memory_watermark_bytes=watermark,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     server = StabilityServer(registry, config=config)
 
     async def serve() -> None:

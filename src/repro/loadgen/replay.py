@@ -49,8 +49,21 @@ def replay_trace(
     *,
     address: str | None = None,
     time_scale: float = 1.0,
+    chaos: str | None = None,
+    chaos_seed: int = 0,
+    retry=None,
 ) -> ReplayReport:
-    """Replay one trace file; see the module docstring."""
+    """Replay one trace file; see the module docstring.
+
+    ``chaos`` (a :func:`~repro.server.parse_chaos` spec) injects faults
+    into the replaying server — self-hosted only, since fault injection
+    is server configuration.  Chaos replays judge ``get_next`` in
+    subset mode: a dropped hand-out is never retried, so the faulty run
+    draws a prefix of the fault-free run's deterministic sequence.
+    ``retry`` enables client-side retries (``True`` for the default
+    policy) so the oracle can prove answers stay byte-identical when
+    retries paper over injected faults.
+    """
     spec, records = trace_mod.read_trace(path)
     plan = generate_plan(spec)
     if len(records) != len(plan.events):
@@ -64,6 +77,24 @@ def replay_trace(
                 f"{path}: record {record.get('i')} does not match the "
                 f"request its spec regenerates — the trace was edited"
             )
-    load = runner.run_load(plan, address=address, time_scale=time_scale)
-    comparison = trace_mod.compare_records(records, load.records)
+    config_fields = {}
+    if chaos is not None:
+        if address is not None:
+            raise ValueError(
+                "chaos injection configures the self-hosted server and "
+                "cannot be combined with address="
+            )
+        config_fields = {"chaos": chaos, "chaos_seed": chaos_seed}
+    load = runner.run_load(
+        plan,
+        address=address,
+        time_scale=time_scale,
+        retry=retry,
+        **config_fields,
+    )
+    comparison = trace_mod.compare_records(
+        records,
+        load.records,
+        get_next_mode="subset" if chaos is not None else "strict",
+    )
     return ReplayReport(comparison=comparison, load=load)

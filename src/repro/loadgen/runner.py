@@ -29,12 +29,14 @@ from dataclasses import dataclass, field
 from repro.loadgen import trace as trace_mod
 from repro.loadgen.workload import WorkloadPlan, make_dataset
 from repro.server import (
+    RetryPolicy,
     ServeClient,
     ServerClosedError,
     ServerConfig,
     SessionRegistry,
     serve_in_thread,
 )
+from repro.server.resilience import IDEMPOTENT_OPS, RETRYABLE_ERROR_CODES
 
 __all__ = [
     "LoadResult",
@@ -54,6 +56,10 @@ class LoadResult:
     ok: int = 0
     error_codes: Counter = field(default_factory=Counter)
     reconnects: int = 0
+    #: Requests the workers re-issued after a retryable failure
+    #: (idempotent ops only; each may carry further client-side
+    #: retries inside :meth:`ServeClient.request`).
+    retried: int = 0
 
     @property
     def requests(self) -> int:
@@ -69,6 +75,7 @@ class LoadResult:
             "ok": self.ok,
             "error_codes": dict(self.error_codes),
             "reconnects": self.reconnects,
+            "retried": self.retried,
         }
 
 
@@ -104,15 +111,42 @@ def _run_connection(
     time_scale: float,
     out: list,
     counters: Counter,
+    retry: RetryPolicy | None = None,
 ) -> None:
-    """One worker: its connection's batches, paced and pipelined."""
-    client = ServeClient(host=host, port=port)
+    """One worker: its connection's batches, paced and pipelined.
+
+    With ``retry`` set, failures that are safe to repeat — structured
+    retryable rejections and connection losses, idempotent ops only —
+    are re-issued serially through :meth:`ServeClient.request` (which
+    applies the policy's backoff/budget/breaker) after the batch's
+    pipelined phase; ``get_next`` is never re-issued.
+    """
+
+    def fresh_client() -> ServeClient:
+        return ServeClient(host=host, port=port, retry=retry)
+
+    def reissue(client: ServeClient, event) -> ServeClient:
+        """Serial retry of one event; returns a (possibly new) client."""
+        try:
+            out[event.index] = trace_mod.strip_response(
+                client.request(event.request)
+            )
+            counters["retried"] += 1
+        except (ServerClosedError, OSError):
+            # The prior failure record for this event stands; hand the
+            # next event a working connection.
+            client.close()
+            counters["reconnects"] += 1
+            client = fresh_client()
+        return client
+
+    client = fresh_client()
     try:
         for batch in batches:
             if batch[0].reconnect:
                 client.close()
                 counters["reconnects"] += 1
-                client = ServeClient(host=host, port=port)
+                client = fresh_client()
             delay = start + batch[0].t * time_scale - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
@@ -128,7 +162,25 @@ def _run_connection(
                     out[event.index] = _connection_lost(exc)
                 client.close()
                 counters["reconnects"] += 1
-                client = ServeClient(host=host, port=port)
+                client = fresh_client()
+                if retry is not None:
+                    for event in batch[answered:]:
+                        if event.request.get("op") in IDEMPOTENT_OPS:
+                            client = reissue(client, event)
+                continue
+            if retry is None:
+                continue
+            for event in batch:
+                response = out[event.index]
+                error = (
+                    response.get("error") if isinstance(response, dict) else None
+                )
+                code = error.get("code") if isinstance(error, dict) else None
+                if (
+                    code in RETRYABLE_ERROR_CODES
+                    and event.request.get("op") in IDEMPOTENT_OPS
+                ):
+                    client = reissue(client, event)
     finally:
         client.close()
 
@@ -139,15 +191,23 @@ def run_load(
     address: str | None = None,
     time_scale: float = 1.0,
     trace_path=None,
+    retry: RetryPolicy | bool | None = None,
     **config_fields,
 ) -> LoadResult:
     """Execute a plan and return its records (optionally tracing).
 
     ``time_scale`` compresses (< 1) or stretches (> 1) the arrival
     schedule without changing the requests — tests replay hour-shaped
-    plans in seconds.  ``config_fields`` apply to the self-hosted
-    server only and raise if combined with ``address``.
+    plans in seconds.  ``retry`` (``True`` for the default
+    :class:`~repro.server.RetryPolicy`) makes workers re-issue
+    idempotent requests that hit retryable failures.  ``config_fields``
+    apply to the self-hosted server only and raise if combined with
+    ``address``.
     """
+    if retry is True:
+        retry = RetryPolicy()
+    elif retry is False:
+        retry = None
     if address is not None and config_fields:
         raise ValueError(
             "server config fields only apply when self-hosting "
@@ -157,10 +217,12 @@ def run_load(
         from repro.server import parse_hostport
 
         host, port = parse_hostport(address)
-        return _run_load_against(plan, host, port, time_scale, trace_path)
+        return _run_load_against(
+            plan, host, port, time_scale, trace_path, retry
+        )
     with hosted_server(plan, **config_fields) as handle:
         return _run_load_against(
-            plan, handle.host, handle.port, time_scale, trace_path
+            plan, handle.host, handle.port, time_scale, trace_path, retry
         )
 
 
@@ -170,6 +232,7 @@ def _run_load_against(
     port: int,
     time_scale: float,
     trace_path,
+    retry: RetryPolicy | None = None,
 ) -> LoadResult:
     out: list = [None] * len(plan.events)
     start = time.monotonic() + 0.05
@@ -183,7 +246,7 @@ def _run_load_against(
         counters.append(counter)
         thread = threading.Thread(
             target=_run_connection,
-            args=(host, port, batches, start, time_scale, out, counter),
+            args=(host, port, batches, start, time_scale, out, counter, retry),
             name=f"loadgen-conn-{conn}",
         )
         thread.start()
@@ -195,6 +258,7 @@ def _run_load_against(
     result = LoadResult(
         elapsed=elapsed,
         reconnects=sum(counter["reconnects"] for counter in counters),
+        retried=sum(counter["retried"] for counter in counters),
     )
     for event in plan.events:
         response = out[event.index]

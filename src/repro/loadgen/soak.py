@@ -40,14 +40,16 @@ import json
 import sys
 from dataclasses import dataclass, field
 
-from repro.loadgen import runner
+from repro.loadgen import runner, trace as trace_mod
 from repro.loadgen.workload import WorkloadSpec, generate_plan
-from repro.server import ServeClient
+from repro.server import RetryPolicy, ServeClient
 
 __all__ = ["SoakReport", "run_soak", "main"]
 
 RSS_GAUGE = "repro_process_rss_bytes"
 SHM_GAUGE = "repro_shm_segments"
+CHAOS_COUNTER = "repro_chaos_injected_total"
+RETRY_COUNTER = "repro_retries_total"
 
 #: Objectives the hosted server tracks during a soak — generous enough
 #: that a healthy run never violates them; their purpose here is to
@@ -64,6 +66,15 @@ class SoakReport:
     ok: int = 0
     error_codes: dict = field(default_factory=dict)
     reconnects: int = 0
+    #: Chaos spec the hosted server ran with (``None``: fault-free).
+    chaos: str | None = None
+    #: Requests the workers re-issued after retryable failures
+    #: (chaos mode runs its clients with the default retry policy).
+    retried: int = 0
+    #: Rounds whose answers the oracle compared against the warmup
+    #: round, and the mismatches it found — chaos mode only.
+    oracle_rounds: int = 0
+    oracle_mismatches: list = field(default_factory=list)
     rss_baseline: float = 0.0
     rss_final: float = 0.0
     shm_segments: float = 0.0
@@ -98,6 +109,10 @@ class SoakReport:
             "ok": self.ok,
             "error_codes": self.error_codes,
             "reconnects": self.reconnects,
+            "chaos": self.chaos,
+            "retried": self.retried,
+            "oracle_rounds": self.oracle_rounds,
+            "oracle_mismatches": self.oracle_mismatches[:20],
             "rss_baseline": self.rss_baseline,
             "rss_final": self.rss_final,
             "rss_growth": self.rss_growth,
@@ -150,16 +165,43 @@ def _check_invariants(report: SoakReport, rss_limit: float) -> None:
             f"{SHM_GAUGE} is {report.shm_segments:.0f} after the load "
             f"stopped (shared-memory leak)"
         )
+    # exhausted get_next cursors, admission-control sheds, and
+    # checkpoints against a non-durable server are expected under
+    # sustained replayed load; anything else is not.
+    allowed = {"exhausted", "busy", "infeasible", "no_state_dir"}
+    if report.chaos is not None:
+        # Injected faults surface as these codes by design.
+        allowed |= {
+            "unavailable",
+            "overloaded",
+            "deadline_exceeded",
+            "connection_lost",
+        }
     unexpected = {
         code: count
         for code, count in report.error_codes.items()
-        # exhausted get_next cursors, admission-control sheds, and
-        # checkpoints against a non-durable server are expected under
-        # sustained replayed load; anything else is not.
-        if code not in ("exhausted", "busy", "infeasible", "no_state_dir")
+        if code not in allowed
     }
     if unexpected:
         report.failures.append(f"unexpected error codes: {unexpected}")
+    if report.chaos is not None:
+        injected = report.metrics_final.get(CHAOS_COUNTER, 0.0)
+        if injected <= 0:
+            report.failures.append(
+                f"chaos mode ran but {CHAOS_COUNTER} is {injected:.0f} — "
+                f"the injector never fired"
+            )
+        retried = report.metrics_final.get(RETRY_COUNTER, 0.0)
+        if retried <= 0 and report.retried <= 0:
+            report.failures.append(
+                f"chaos mode ran but {RETRY_COUNTER} is {retried:.0f} and "
+                f"no worker re-issued a request — retries never engaged"
+            )
+        if report.oracle_mismatches:
+            report.failures.append(
+                f"answer oracle found {len(report.oracle_mismatches)} "
+                f"mismatches across {report.oracle_rounds} chaos rounds"
+            )
 
 
 def run_soak(
@@ -172,12 +214,22 @@ def run_soak(
     profile_hz: float | None = None,
     inject_failure: bool = False,
     diag_path: str | None = None,
+    chaos: str | None = None,
     log=None,
 ) -> SoakReport:
-    """See the module docstring.  ``log`` (callable) gets progress lines."""
+    """See the module docstring.  ``log`` (callable) gets progress lines.
+
+    ``chaos`` (a :func:`~repro.server.parse_chaos` spec) turns the soak
+    into a fault-injection run: the hosted server injects the given
+    faults, the workers run with the default retry policy, and every
+    post-warmup round's answers are compared against the warmup round
+    (``get_next`` skipped — its cursors advance across rounds).  The
+    run fails if the oracle finds a mismatch, or if the final scrape
+    shows the injector or the retry path never fired.
+    """
     import time
 
-    report = SoakReport(seconds=seconds, connections=connections)
+    report = SoakReport(seconds=seconds, connections=connections, chaos=chaos)
     spec = build_soak_spec(
         seed=seed, connections=connections, arrival_rate=arrival_rate
     )
@@ -187,21 +239,43 @@ def run_soak(
         if log is not None:
             log(message)
 
-    with runner.hosted_server(plan, metrics_port=0, slo=SOAK_SLO) as handle:
+    config_fields = {}
+    if chaos is not None:
+        config_fields = {"chaos": chaos, "chaos_seed": seed}
+    baseline_records: list | None = None
+
+    with runner.hosted_server(
+        plan, metrics_port=0, slo=SOAK_SLO, **config_fields
+    ) as handle:
         metrics_port = handle.metrics_port
         assert metrics_port is not None
         address = f"{handle.host}:{handle.port}"
 
         def one_round() -> runner.LoadResult:
-            result = runner.run_load(plan, address=address)
+            nonlocal baseline_records
+            result = runner.run_load(
+                plan, address=address, retry=chaos is not None
+            )
             report.rounds += 1
             report.requests += result.requests
             report.ok += result.ok
             report.reconnects += result.reconnects
+            report.retried += result.retried
             for code, count in result.error_codes.items():
                 report.error_codes[code] = (
                     report.error_codes.get(code, 0) + count
                 )
+            if chaos is not None:
+                if baseline_records is None:
+                    baseline_records = result.records
+                else:
+                    verdict = trace_mod.compare_records(
+                        baseline_records,
+                        result.records,
+                        get_next_mode="skip",
+                    )
+                    report.oracle_rounds += 1
+                    report.oracle_mismatches.extend(verdict.mismatches)
             return result
 
         if profile_hz is not None:
@@ -218,6 +292,8 @@ def run_soak(
         # connection, a protocol bug) becomes a *reported* failure —
         # the closing scrape, ping check, and diag fetch still run.
         try:
+            if chaos is not None:
+                emit(f"soak: chaos spec {chaos!r}, retries enabled")
             emit(f"soak: warmup round against {address}")
             one_round()  # pools grow to target, caches fill
             baseline = runner.scrape_metrics(metrics_port, host=handle.host)
@@ -259,8 +335,18 @@ def run_soak(
                 if stopped.get("ok") is True:
                     report.profile = stopped.get("profile")
 
+        # Under chaos the injector can hit the health ping itself
+        # (an ``unavailable`` answer or a dropped connection says
+        # nothing about server health) — retry through it.
+        ping_retry = None
+        if chaos is not None:
+            ping_retry = RetryPolicy(
+                max_attempts=8, base_delay=0.01, max_delay=0.1, seed=0
+            )
         try:
-            with ServeClient(host=handle.host, port=handle.port) as client:
+            with ServeClient(
+                host=handle.host, port=handle.port, retry=ping_retry
+            ) as client:
                 if client.ping().get("ok") is not True:
                     report.failures.append("server stopped answering ping")
         except Exception as exc:
@@ -330,6 +416,14 @@ def main(argv=None) -> int:
         help="force an invariant failure (exercises the diag path; "
         "the run exits non-zero)",
     )
+    parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="inject faults into the hosted server "
+        "(e.g. 'delay:p=0.05,ms=100;error:p=0.01;drop:p=0.005') and run "
+        "the clients with retries; the answer oracle must stay clean",
+    )
     args = parser.parse_args(argv)
     report = run_soak(
         seconds=args.seconds,
@@ -340,6 +434,7 @@ def main(argv=None) -> int:
         profile_hz=args.profile_hz,
         inject_failure=args.inject_failure,
         diag_path=args.diag,
+        chaos=args.chaos,
         log=lambda message: print(message, file=sys.stderr),
     )
     doc = report.to_dict()

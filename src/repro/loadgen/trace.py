@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import threading
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -60,7 +61,18 @@ TRACE_VERSION = 1
 
 EXACT_OPS = frozenset({"top_stable", "stability_of"})
 MULTISET_OPS = frozenset({"get_next"})
-LOAD_DEPENDENT_CODES = frozenset({"busy", "shutting_down", "connection_lost"})
+#: Error codes that are properties of the *run* (admission control,
+#: drains, injected faults, deadline budgets), not of the answers.
+LOAD_DEPENDENT_CODES = frozenset(
+    {
+        "busy",
+        "shutting_down",
+        "connection_lost",
+        "unavailable",
+        "overloaded",
+        "deadline_exceeded",
+    }
+)
 
 #: Response fields that legitimately vary run to run.
 _VOLATILE_FIELDS = ("seconds", "cached", "cost", "trace", "id")
@@ -169,6 +181,7 @@ class ComparisonReport:
     compared: int = 0
     skipped_load_dependent: int = 0
     skipped_loose: int = 0
+    skipped_get_next: int = 0
     mismatches: list = field(default_factory=list)
 
     @property
@@ -181,6 +194,7 @@ class ComparisonReport:
             "compared": self.compared,
             "skipped_load_dependent": self.skipped_load_dependent,
             "skipped_loose": self.skipped_loose,
+            "skipped_get_next": self.skipped_get_next,
             "equivalent": self.equivalent,
             "mismatches": self.mismatches[:20],
         }
@@ -197,9 +211,32 @@ def _canonical(response: dict) -> str:
 
 
 def compare_records(
-    expected: list[dict], observed: list[dict]
+    expected: list[dict],
+    observed: list[dict],
+    *,
+    get_next_mode: str = "strict",
 ) -> ComparisonReport:
-    """Answer equivalence between two runs of the same plan."""
+    """Answer equivalence between two runs of the same plan.
+
+    ``get_next_mode`` selects how the cursor-consuming multiset op is
+    judged:
+
+    - ``"strict"`` (default): per-config multisets must match exactly
+      (both runs answered every ``get_next``).
+    - ``"subset"``: the observed run's successful hand-outs must be a
+      sub-multiset of the expected run's — the contract under fault
+      injection, where a dropped/shed ``get_next`` is never retried,
+      so the chaos run draws a prefix of the same deterministic
+      hand-out sequence.
+    - ``"skip"``: ``get_next`` records are only counted — for
+      comparisons across *rounds* of one long-lived server, where
+      cursors legitimately advance between runs.
+    """
+    if get_next_mode not in ("strict", "subset", "skip"):
+        raise ValueError(
+            "get_next_mode must be 'strict', 'subset', or 'skip', got "
+            f"{get_next_mode!r}"
+        )
     report = ComparisonReport(total=len(expected))
     if len(expected) != len(observed):
         report.mismatches.append(
@@ -225,11 +262,31 @@ def compare_records(
                 }
             )
             continue
-        codes = {
-            _error_code(left.get("response", {})),
-            _error_code(right.get("response", {})),
-        }
-        if codes & LOAD_DEPENDENT_CODES:
+        left_code = _error_code(left.get("response", {}))
+        right_code = _error_code(right.get("response", {}))
+        if op in MULTISET_OPS and get_next_mode != "strict":
+            if get_next_mode == "skip":
+                report.skipped_get_next += 1
+                continue
+            # subset: each side contributes its non-load-dependent
+            # answers independently — a pair where only the observed
+            # side was shed must still count the expected side's
+            # hand-out (the observed run handed that ranking to a
+            # *later* request of the same configuration).
+            key = _config_key(request)
+            if left_code not in LOAD_DEPENDENT_CODES:
+                multiset_expected.setdefault(key, []).append(
+                    _canonical(left.get("response", {}))
+                )
+            if right_code not in LOAD_DEPENDENT_CODES:
+                multiset_observed.setdefault(key, []).append(
+                    _canonical(right.get("response", {}))
+                )
+                report.compared += 1
+            else:
+                report.skipped_load_dependent += 1
+            continue
+        if {left_code, right_code} & LOAD_DEPENDENT_CODES:
             report.skipped_load_dependent += 1
             continue
         if op in EXACT_OPS:
@@ -260,7 +317,19 @@ def compare_records(
     for key in sorted(set(multiset_expected) | set(multiset_observed)):
         left_set = sorted(multiset_expected.get(key, []))
         right_set = sorted(multiset_observed.get(key, []))
-        if left_set != right_set:
+        if get_next_mode == "subset":
+            excess = Counter(right_set) - Counter(left_set)
+            if excess:
+                report.mismatches.append(
+                    {
+                        "kind": "multiset_subset",
+                        "config": json.loads(key),
+                        "expected": len(left_set),
+                        "observed": len(right_set),
+                        "excess": sum(excess.values()),
+                    }
+                )
+        elif left_set != right_set:
             report.mismatches.append(
                 {
                     "kind": "multiset",

@@ -98,6 +98,23 @@ class MetricsRegistry:
                 counter = self._counters[name] = Counter(name, help)
             return counter
 
+    def attach_counter(self, counter: Counter) -> Counter:
+        """Register an *existing* counter instance (replaces by name).
+
+        Lets process-global counters (the resilience layer's retry /
+        deadline / chaos totals) render through a per-server registry
+        without the registry owning their lifetime — attaching the same
+        instance to a second server lifecycle is a no-op rather than a
+        reset.
+        """
+        with self._lock:
+            if counter.name in self._gauges:
+                raise ValueError(
+                    f"metric {counter.name!r} already registered as gauge"
+                )
+            self._counters[counter.name] = counter
+            return counter
+
     def unregister(self, name: str) -> None:
         with self._lock:
             self._gauges.pop(name, None)

@@ -17,7 +17,9 @@ restarts.
 - :mod:`repro.server.metrics` — counters and latency histograms
   (``stats`` op + text endpoint);
 - :mod:`repro.server.client` — a blocking client for tests,
-  benchmarks, and scripts.
+  benchmarks, and scripts;
+- :mod:`repro.server.resilience` — deadlines, retry policies, circuit
+  breakers, overload degradation, and the chaos fault injector.
 """
 
 from repro.server.app import (
@@ -26,7 +28,12 @@ from repro.server.app import (
     StabilityServer,
     serve_in_thread,
 )
-from repro.server.client import ServeClient, ServerClosedError, parse_hostport
+from repro.server.client import (
+    RequestTimeoutError,
+    ServeClient,
+    ServerClosedError,
+    parse_hostport,
+)
 from repro.server.metrics import ServerMetrics
 from repro.server.registry import (
     AsyncRWLock,
@@ -34,10 +41,26 @@ from repro.server.registry import (
     SessionRegistry,
     snapshot_path_for,
 )
+from repro.server.resilience import (
+    ChaosInjector,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceededError,
+    OverloadGuard,
+    RetryPolicy,
+    parse_chaos,
+)
 
 __all__ = [
     "AsyncRWLock",
+    "ChaosInjector",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceededError",
     "ManagedSession",
+    "OverloadGuard",
+    "RequestTimeoutError",
+    "RetryPolicy",
     "ServeClient",
     "ServerClosedError",
     "ServerConfig",
@@ -45,6 +68,7 @@ __all__ = [
     "ServerMetrics",
     "SessionRegistry",
     "StabilityServer",
+    "parse_chaos",
     "parse_hostport",
     "serve_in_thread",
     "snapshot_path_for",

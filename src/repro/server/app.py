@@ -53,7 +53,7 @@ from dataclasses import dataclass
 
 from repro.obs import log_event, register_resource_gauges
 from repro.obs import flight as obs_flight
-from repro.server import protocol
+from repro.server import protocol, resilience
 from repro.server.metrics import ServerMetrics
 from repro.server.registry import SessionRegistry
 
@@ -111,6 +111,24 @@ class ServerConfig:
     #: Directory diag bundles are written to (``SIGUSR2``, drain-on-
     #: error); ``None``: the current working directory.
     diag_dir: str | None = None
+    #: Chaos middleware spec, e.g. ``"delay:p=0.05,ms=100;error:p=0.01;
+    #: drop:p=0.005"`` (``None``: no injection).  Parsed by
+    #: :func:`repro.server.resilience.parse_chaos`; faults are decided
+    #: deterministically from ``chaos_seed`` and arrival order.
+    chaos: str | None = None
+    #: Seed for the chaos injector's fault stream.
+    chaos_seed: int = 0
+    #: Degraded-mode memory watermark: when the live pool+cache bytes
+    #: reach this, write-classified query ops are shed ``overloaded``
+    #: (warm reads keep answering) until usage falls below
+    #: ``memory_low_fraction`` of it.  ``None``: no degradation.
+    memory_watermark_bytes: int | None = None
+    #: Hysteresis floor for leaving degraded mode, as a fraction of
+    #: ``memory_watermark_bytes``.
+    memory_low_fraction: float = 0.8
+    #: ``Retry-After``-style hint (milliseconds) attached to
+    #: ``overloaded`` errors.
+    overload_retry_after_ms: float = 500.0
 
     def __post_init__(self):
         # 0 is not a "disabled" sentinel for the admission knobs — a
@@ -158,6 +176,16 @@ class ServerConfig:
             from repro.obs.slo import parse_slo
 
             parse_slo(self.slo)  # fail fast on a bad spec
+        if self.chaos is not None:
+            resilience.parse_chaos(self.chaos)  # fail fast on a bad spec
+        if self.memory_watermark_bytes is not None:
+            # OverloadGuard re-validates; constructing one here fails
+            # fast on a bad watermark/fraction/hint combination.
+            resilience.OverloadGuard(
+                self.memory_watermark_bytes,
+                low_fraction=self.memory_low_fraction,
+                retry_after_ms=self.overload_retry_after_ms,
+            )
 
 
 class StabilityServer:
@@ -186,6 +214,24 @@ class StabilityServer:
         self.slo_tracker = None
         self._flight_task: asyncio.Task | None = None
         self._flight_enabled_here = False
+        self._chaos = (
+            resilience.ChaosInjector(
+                resilience.parse_chaos(self.config.chaos),
+                seed=self.config.chaos_seed,
+            )
+            if self.config.chaos is not None
+            else None
+        )
+        self._memory_used = lambda: 0  # rebound at start()
+        self._overload = (
+            resilience.OverloadGuard(
+                self.config.memory_watermark_bytes,
+                low_fraction=self.config.memory_low_fraction,
+                retry_after_ms=self.config.overload_retry_after_ms,
+            )
+            if self.config.memory_watermark_bytes is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -266,6 +312,14 @@ class StabilityServer:
             self.metrics.registry,
             pool_bytes=pool_bytes,
             cache_bytes=cache_bytes,
+        )
+        # The overload guard watches the same accounting the gauges
+        # export — what the operator sees degrade is what degraded.
+        self._memory_used = lambda: pool_bytes() + cache_bytes()
+        overload = self._overload
+        resilience.register_resilience_metrics(
+            self.metrics.registry,
+            degraded=(lambda: overload.degraded) if overload else None,
         )
 
     async def _flight_loop(self) -> None:
@@ -477,6 +531,32 @@ class StabilityServer:
                     ):
                         break
                     continue
+                # The deadline anchors at receipt — parse-time, before
+                # chaos delays or admission waits eat into it.
+                deadline = resilience.Deadline.from_request(payload)
+                if self._chaos is not None:
+                    fault = self._chaos.decide(payload.get("op"))
+                    if fault is not None:
+                        if fault.kind == "drop":
+                            # Abrupt close: queued responses still
+                            # flush; this request (and anything the
+                            # client pipelined behind it) is lost.
+                            break
+                        if fault.kind == "error":
+                            self.metrics.observe_error("unavailable")
+                            if not await self._enqueue(
+                                queue,
+                                sender,
+                                protocol.error_payload(
+                                    "unavailable",
+                                    "injected fault: the request was not "
+                                    "executed",
+                                    request_id=payload.get("id"),
+                                ),
+                            ):
+                                break
+                            continue
+                        await asyncio.sleep(fault.delay_s)
                 if payload.get("op") == "shutdown":
                     # Framing-layer op (it ends this read loop), but
                     # the response comes from the shared dispatcher so
@@ -491,6 +571,24 @@ class StabilityServer:
                 await pending.acquire()
                 if self._draining:
                     pending.release()
+                    if deadline is not None and deadline.expired():
+                        # The budget ran out before the drain refusal
+                        # did: answer the code the client can act on —
+                        # deadline_exceeded is terminal, shutting_down
+                        # invites a retry the deadline no longer allows.
+                        resilience.DEADLINE_EXCEEDED.inc()
+                        self.metrics.observe_error("deadline_exceeded")
+                        await self._enqueue(
+                            queue,
+                            sender,
+                            protocol.error_payload(
+                                "deadline_exceeded",
+                                f"deadline of {deadline.deadline_ms:g} ms "
+                                "expired while the server was draining",
+                                request_id=payload.get("id"),
+                            ),
+                        )
+                        break
                     self.metrics.refused_draining()
                     await self._enqueue(
                         queue,
@@ -518,7 +616,7 @@ class StabilityServer:
                         break
                     continue
                 self._inflight += 1
-                task = asyncio.create_task(self._process(payload))
+                task = asyncio.create_task(self._process(payload, deadline))
                 task.add_done_callback(
                     lambda _t, sem=pending: (
                         sem.release(),
@@ -603,14 +701,17 @@ class StabilityServer:
     # ------------------------------------------------------------------
     # Request execution
     # ------------------------------------------------------------------
-    async def _process(self, payload: dict) -> dict:
+    async def _process(self, payload: dict, deadline=None) -> dict:
         op = payload.get("op", "<invalid>")
         start = self._loop.time()
         try:
-            response = await self._execute(payload)
+            response = await self._execute(payload, deadline)
         except protocol.RequestError as exc:
             response = protocol.error_payload(
-                exc.code, exc.message, request_id=payload.get("id")
+                exc.code,
+                exc.message,
+                request_id=payload.get("id"),
+                retry_after_ms=exc.retry_after_ms,
             )
         except Exception as exc:
             response = protocol.error_payload(
@@ -655,19 +756,23 @@ class StabilityServer:
                 obs_flight.record_slow_query(record)
         return response
 
-    async def _execute(self, payload: dict) -> dict:
+    async def _execute(self, payload: dict, deadline=None) -> dict:
         op = payload["op"]
         # Session-less control ops share the stdio dispatcher directly.
         if op == "ping":
-            return protocol.dispatch(None, None, payload).response
+            return protocol.dispatch(
+                None, None, payload, deadline=deadline
+            ).response
         if op == "hello":
             handled = protocol.dispatch(
-                None, None, payload, hello_extra=self._hello_extra()
+                None, None, payload, hello_extra=self._hello_extra(),
+                deadline=deadline,
             )
             return handled.response
         if op in ("diag", "profile"):
             handled = protocol.dispatch(
-                None, None, payload, diag_extra=self._diag_extra
+                None, None, payload, diag_extra=self._diag_extra,
+                deadline=deadline,
             )
             return handled.response
         try:
@@ -690,7 +795,7 @@ class StabilityServer:
                 # not also queue behind other sessions' long observes.
                 async with managed.lock.write():
                     handled = await self._dispatch_in_executor(
-                        managed, payload
+                        managed, payload, deadline=deadline
                     )
                 return handled.response
             write = protocol.needs_write(managed.session, payload)
@@ -700,17 +805,27 @@ class StabilityServer:
             lock_t0 = self._loop.time()
             while True:
                 if write:
-                    async with managed.lock.write():
+                    self._check_overload(op, payload)
+                    await self._acquire_session_lock(
+                        managed.lock, write=True, deadline=deadline
+                    )
+                    try:
                         handled = await self._dispatch_in_executor(
                             managed,
                             payload,
                             write=True,
                             lock_wait=self._loop.time() - lock_t0,
+                            deadline=deadline,
                         )
                         if handled.mutated:
                             managed.mark_dirty()
+                    finally:
+                        await managed.lock.release_write()
                     break
-                async with managed.lock.read():
+                await self._acquire_session_lock(
+                    managed.lock, write=False, deadline=deadline
+                )
+                try:
                     # The pre-lock classification can be invalidated by
                     # an interleaved writer (an invalidate dropping the
                     # pool we judged warm); re-check now that mutators
@@ -722,11 +837,14 @@ class StabilityServer:
                         managed,
                         payload,
                         lock_wait=self._loop.time() - lock_t0,
+                        deadline=deadline,
                     )
                     if handled.mutated:
                         # A read-classified request can still fill the
                         # result cache, which snapshots persist.
                         managed.mark_dirty()
+                finally:
+                    await managed.lock.release_read()
                 break
             # Both branches can dirty the session; the cadence check
             # takes the write lock itself when a checkpoint is due.
@@ -734,6 +852,56 @@ class StabilityServer:
         finally:
             managed.pins -= 1
         return handled.response
+
+    def _check_overload(self, op: str, payload: dict) -> None:
+        """Degraded-mode admission for write-classified query ops.
+
+        Folding one usage sample into the guard per cold admission and
+        shedding with ``overloaded`` + a ``retry_after_ms`` hint while
+        degraded.  Warm reads and control ops never pass through here —
+        in particular ``invalidate``, the op that *frees* memory, must
+        stay admissible under pressure.
+        """
+        if self._overload is None or op not in protocol.QUERY_OPS:
+            return
+        if self._overload.update(self._memory_used()):
+            self._overload.shed()
+            raise protocol.RequestError(
+                "overloaded",
+                "server is degraded under memory pressure; cold queries "
+                "are shed (warm reads still answer)",
+                retry_after_ms=self._overload.retry_after_ms,
+            )
+
+    async def _acquire_session_lock(self, lock, *, write: bool, deadline) -> None:
+        """Acquire the session RW lock, bounded by the request deadline.
+
+        A request must not spend its whole deadline parked behind
+        another session writer and then start an observe it can no
+        longer finish — an expired wait answers ``deadline_exceeded``
+        (the lock is *not* held on that path)."""
+        acquire = lock.acquire_write() if write else lock.acquire_read()
+        if deadline is None:
+            await acquire
+            return
+        remaining = deadline.remaining()
+        if remaining <= 0:
+            acquire.close()
+            resilience.DEADLINE_EXCEEDED.inc()
+            raise protocol.RequestError(
+                "deadline_exceeded",
+                f"deadline of {deadline.deadline_ms:g} ms expired before "
+                "the session lock was acquired",
+            )
+        try:
+            await asyncio.wait_for(acquire, timeout=remaining)
+        except asyncio.TimeoutError:
+            resilience.DEADLINE_EXCEEDED.inc()
+            raise protocol.RequestError(
+                "deadline_exceeded",
+                f"deadline of {deadline.deadline_ms:g} ms expired while "
+                "waiting for the session lock",
+            ) from None
 
     def _write_executor(self) -> ThreadPoolExecutor:
         """Dedicated pool for write-classified dispatches.
@@ -750,7 +918,8 @@ class StabilityServer:
         return self._write_pool
 
     async def _dispatch_in_executor(
-        self, managed, payload, *, write: bool = False, lock_wait: float = 0.0
+        self, managed, payload, *, write: bool = False, lock_wait: float = 0.0,
+        deadline=None,
     ) -> protocol.Handled:
         def stats_extra() -> dict:
             # Built only when dispatch actually serves a stats op —
@@ -762,6 +931,12 @@ class StabilityServer:
                     "registry": self.registry.stats(),
                     "inflight": self._inflight,
                     "draining": self._draining,
+                    "chaos": (
+                        self._chaos.snapshot() if self._chaos else None
+                    ),
+                    "overload": (
+                        self._overload.snapshot() if self._overload else None
+                    ),
                 }
             }
 
@@ -779,6 +954,10 @@ class StabilityServer:
                 stats_extra=stats_extra,
                 trace_extra={"server.lock_wait": round(lock_wait, 9)},
                 allow_shutdown=False,  # handled at the framing layer
+                # run_in_executor does not propagate contextvars — the
+                # deadline crosses as an explicit argument and dispatch
+                # scopes it on the executor thread itself.
+                deadline=deadline,
             ),
         )
 

@@ -4,6 +4,13 @@ Deliberately dependency-free and synchronous: benchmarks drive it from
 plain threads, tests from pytest functions, and operators from one-off
 scripts (``python -m repro.server.client HOST:PORT '{"op": "ping"}'``).
 
+With ``retry=RetryPolicy(...)`` (or ``retry=True`` for defaults) the
+client becomes resilient: pre-execution rejections (``busy``,
+``shutting_down``, ``overloaded``, ``unavailable``) and connection-level
+failures are retried with exponential backoff + full jitter under a
+token retry budget and a per-address circuit breaker — but only for
+idempotent ops; a ``get_next`` consumes a cursor and is never retried.
+
 >>> from repro.server.client import ServeClient     # doctest: +SKIP
 >>> with ServeClient("127.0.0.1:7701") as client:   # doctest: +SKIP
 ...     client.hello()["protocol"]
@@ -17,11 +24,40 @@ import socket
 import sys
 import time
 
-__all__ = ["ServeClient", "ServerClosedError", "parse_hostport"]
+from repro.server.resilience import (
+    IDEMPOTENT_OPS,
+    RETRIES,
+    RETRYABLE_ERROR_CODES,
+    CircuitOpenError,
+    RetryPolicy,
+    RetryState,
+    breaker_for,
+)
+
+__all__ = [
+    "ServeClient",
+    "ServerClosedError",
+    "RequestTimeoutError",
+    "parse_hostport",
+]
+
+#: Slack added on top of a request's ``deadline_ms`` when deriving its
+#: socket timeout — the server is allowed the full deadline plus one
+#: network round trip to answer ``deadline_exceeded`` itself.
+DEADLINE_SLACK_S = 1.0
 
 
 class ServerClosedError(ConnectionError):
     """The server closed the connection before answering."""
+
+
+class RequestTimeoutError(ConnectionError):
+    """No response within the socket timeout; the connection was closed.
+
+    A timeout mid-response desynchronizes the reply stream, so the
+    socket cannot be reused — reconnect (the retry machinery does this
+    automatically for idempotent ops).
+    """
 
 
 def parse_hostport(text: str, *, default_host: str = "127.0.0.1") -> tuple[str, int]:
@@ -48,11 +84,18 @@ class ServeClient:
     address:
         ``"HOST:PORT"`` (or ``(host, port)`` via ``host=``/``port=``).
     timeout:
-        Per-response socket timeout in seconds.
+        Per-response socket timeout in seconds.  A request carrying
+        ``deadline_ms`` tightens this to the deadline plus
+        :data:`DEADLINE_SLACK_S` for that response, so a stalled server
+        can never hold the client past the budget it granted.
     connect_retries, retry_delay:
         Connection attempts before giving up — a client racing a
         freshly exec'd server (the CI smoke job, rolling restarts)
         retries instead of failing on the first ECONNREFUSED.
+    retry:
+        ``None`` (default): no retries — every failure surfaces.  A
+        :class:`~repro.server.resilience.RetryPolicy` (or ``True`` for
+        the defaults) enables backoff-and-retry for idempotent ops.
     """
 
     def __init__(
@@ -64,30 +107,67 @@ class ServeClient:
         timeout: float = 120.0,
         connect_retries: int = 40,
         retry_delay: float = 0.25,
+        retry: RetryPolicy | bool | None = None,
     ):
         if address is not None:
             host, port = parse_hostport(address)
         if host is None or port is None:
             raise ValueError("give address='HOST:PORT' or host= and port=")
         self.host, self.port = host, int(port)
+        self.timeout = timeout
+        self._connect_retries = max(1, connect_retries)
+        self._retry_delay = retry_delay
+        if retry is True:
+            retry = RetryPolicy()
+        self.retry = retry if isinstance(retry, RetryPolicy) else None
+        self._retry_state = (
+            RetryState(self.retry) if self.retry is not None else None
+        )
+        self._breaker = (
+            breaker_for((self.host, self.port), self.retry)
+            if self.retry is not None
+            else None
+        )
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        """(Re)establish the connection, with ECONNREFUSED patience."""
         last_error: Exception | None = None
-        attempts = max(1, connect_retries)
-        for attempt in range(attempts):
+        for attempt in range(self._connect_retries):
             try:
                 self._sock = socket.create_connection(
-                    (self.host, self.port), timeout=timeout
+                    (self.host, self.port), timeout=self.timeout
                 )
                 break
             except OSError as exc:
                 last_error = exc
-                if attempt + 1 < attempts:  # no dead wait after the last try
-                    time.sleep(retry_delay)
+                if attempt + 1 < self._connect_retries:  # no dead tail wait
+                    time.sleep(self._retry_delay)
         else:
             raise ConnectionError(
                 f"cannot connect to {self.host}:{self.port}: {last_error}"
             )
-        self._sock.settimeout(timeout)
+        self._sock.settimeout(self.timeout)
         self._file = self._sock.makefile("rwb")
+
+    def _drop_connection(self) -> None:
+        """Close the (possibly desynchronized) socket, keeping the client
+        reusable via :meth:`_connect`."""
+        try:
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
+        finally:
+            self._file = None
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
 
     # ------------------------------------------------------------------
     def send(self, payload: dict) -> None:
@@ -97,11 +177,19 @@ class ServeClient:
         back-to-back, then read the responses in order (the server
         answers one line per request, in request order per connection).
         """
+        if self._file is None:
+            raise ServerClosedError(
+                f"connection to {self.host}:{self.port} is closed"
+            )
         self._file.write(json.dumps(payload).encode() + b"\n")
         self._file.flush()
 
     def recv(self) -> dict:
         """Block for the next response line."""
+        if self._file is None:
+            raise ServerClosedError(
+                f"connection to {self.host}:{self.port} is closed"
+            )
         line = self._file.readline()
         if not line:
             raise ServerClosedError(
@@ -110,9 +198,122 @@ class ServeClient:
         return json.loads(line)
 
     def request(self, payload: dict) -> dict:
-        """Send one request object, block for its response object."""
-        self.send(payload)
-        return self.recv()
+        """Send one request object, block for its response object.
+
+        With a retry policy configured, retryable failures of
+        idempotent ops are transparently retried (backoff, budget,
+        breaker); the returned response is the final one either way.
+        """
+        if self.retry is None:
+            return self._request_once(payload)
+        return self._request_with_retry(payload)
+
+    def _request_once(self, payload: dict) -> dict:
+        """One send/recv round trip with the deadline-derived timeout."""
+        per_request = None
+        deadline_ms = payload.get("deadline_ms")
+        if (
+            isinstance(deadline_ms, (int, float))
+            and not isinstance(deadline_ms, bool)
+            and deadline_ms > 0
+        ):
+            per_request = min(
+                self.timeout, deadline_ms / 1000.0 + DEADLINE_SLACK_S
+            )
+        if per_request is not None and self._sock is not None:
+            self._sock.settimeout(per_request)
+        try:
+            self.send(payload)
+            return self.recv()
+        except socket.timeout:
+            # The reply stream is now ambiguous (the response may land
+            # later); the socket is unusable.
+            self._drop_connection()
+            raise RequestTimeoutError(
+                f"no response from {self.host}:{self.port} within "
+                f"{per_request if per_request is not None else self.timeout:g}s"
+            ) from None
+        finally:
+            if per_request is not None and self._sock is not None:
+                self._sock.settimeout(self.timeout)
+
+    def _request_with_retry(self, payload: dict) -> dict:
+        op = payload.get("op")
+        state = self._retry_state
+        overall = None
+        deadline_ms = payload.get("deadline_ms")
+        if (
+            isinstance(deadline_ms, (int, float))
+            and not isinstance(deadline_ms, bool)
+            and deadline_ms > 0
+        ):
+            overall = time.monotonic() + deadline_ms / 1000.0
+        attempt = 1
+        while True:
+            if not self._breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open for {self.host}:{self.port}"
+                )
+            try:
+                response = self._request_once(payload)
+            except (ConnectionError, OSError) as exc:
+                # Ambiguous: the request may or may not have executed.
+                # Only idempotent ops may be retried from here.
+                self._breaker.record_failure()
+                self._drop_connection()
+                if not self._may_retry(op, attempt, overall):
+                    raise
+                self._sleep_backoff(state.backoff(attempt), overall)
+                attempt += 1
+                try:
+                    self._connect()
+                except ConnectionError:
+                    self._breaker.record_failure()
+                    raise
+                continue
+            # The server answered — whatever the answer says, the
+            # address is alive.
+            self._breaker.record_success()
+            error = (
+                response.get("error") if isinstance(response, dict) else None
+            )
+            code = error.get("code") if isinstance(error, dict) else None
+            if code in RETRYABLE_ERROR_CODES and self._may_retry(
+                op, attempt, overall
+            ):
+                # A structured pre-execution rejection: the request was
+                # not executed, so backing off and retrying is safe.
+                self._sleep_backoff(
+                    state.backoff(
+                        attempt, retry_after_ms=error.get("retry_after_ms")
+                    ),
+                    overall,
+                )
+                attempt += 1
+                continue
+            if isinstance(response, dict) and response.get("ok"):
+                state.earn()
+            return response
+
+    def _may_retry(self, op, attempt: int, overall: float | None) -> bool:
+        """Decide-and-spend: a True also consumed one budget token."""
+        if op not in IDEMPOTENT_OPS:
+            return False
+        if attempt >= self.retry.max_attempts:
+            return False
+        if overall is not None and time.monotonic() >= overall:
+            return False
+        if not self._retry_state.spend():
+            return False
+        RETRIES.inc()
+        return True
+
+    @staticmethod
+    def _sleep_backoff(delay: float, overall: float | None) -> None:
+        if overall is not None:
+            delay = min(delay, max(overall - time.monotonic(), 0.0))
+        if delay > 0:
+            time.sleep(delay)
 
     def request_raw(self, line: bytes) -> dict:
         """Send pre-framed bytes verbatim (protocol tests send garbage)."""
@@ -175,10 +376,7 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._drop_connection()
 
     def __enter__(self) -> "ServeClient":
         return self

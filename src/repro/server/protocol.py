@@ -7,7 +7,12 @@ protocol-level fields are understood on every request:
 - ``"id"`` — an opaque client token echoed verbatim in the response
   (lets pipelining clients correlate responses);
 - ``"dataset"`` — the registry name of the dataset to serve (TCP
-  multi-dataset serving; stdio serves exactly one and ignores it).
+  multi-dataset serving; stdio serves exactly one and ignores it);
+- ``"deadline_ms"`` — an optional relative deadline in milliseconds,
+  anchored at server receipt.  A request already past its deadline
+  answers a structured ``deadline_exceeded`` error without doing work,
+  and long cold observes honour the deadline cooperatively between
+  chunk-plan groups (completed samples stay in the pool).
 
 Responses always carry ``"ok"``.  Failures are *structured*::
 
@@ -50,6 +55,7 @@ from repro.errors import (
     SnapshotError,
     StableRankingsError,
 )
+from repro.server import resilience
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -96,6 +102,9 @@ ERROR_CODES = (
     "busy",            # admission control shed the request (retry later)
     "shutting_down",   # server is draining; no new work accepted
     "no_state_dir",    # checkpoint requested but serving is not durable
+    "deadline_exceeded",  # the request's deadline_ms expired (not retried)
+    "overloaded",      # degraded mode shed a cold observe (retry later)
+    "unavailable",     # transient/injected transport fault; not executed
     "internal",        # unexpected server-side failure
 )
 
@@ -122,16 +131,20 @@ class RequestError(Exception):
 
     ``request_id`` carries the request's ``"id"`` when the frame
     parsed far enough to reveal one, so even parse-level failures can
-    honour the id-echo contract.
+    honour the id-echo contract.  ``retry_after_ms`` is an optional
+    backoff hint surfaced in the error object (degraded-mode sheds set
+    it).
     """
 
-    def __init__(self, code: str, message: str, *, request_id=None):
+    def __init__(self, code: str, message: str, *, request_id=None,
+                 retry_after_ms=None):
         if code not in ERROR_CODES:
             raise ValueError(f"unknown error code {code!r}")
         super().__init__(message)
         self.code = code
         self.message = message
         self.request_id = request_id
+        self.retry_after_ms = retry_after_ms
 
 
 def parse_request(line: str | bytes, *, max_bytes: int = MAX_LINE_BYTES) -> dict:
@@ -187,14 +200,34 @@ def parse_request(line: str | bytes, *, max_bytes: int = MAX_LINE_BYTES) -> dict
             f"{', '.join(QUERY_OPS + CONTROL_OPS)}",
             request_id=request_id,
         )
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or not math.isfinite(deadline_ms)
+            or deadline_ms <= 0
+        ):
+            raise RequestError(
+                "bad_request",
+                '"deadline_ms" must be a positive finite number of '
+                "milliseconds",
+                request_id=request_id,
+            )
     return payload
 
 
 def error_payload(
-    code: str, message: str, *, request_id=None
+    code: str, message: str, *, request_id=None, retry_after_ms=None
 ) -> dict:
-    """The structured failure response for one request."""
+    """The structured failure response for one request.
+
+    ``retry_after_ms`` adds a ``Retry-After``-style backoff hint to the
+    error object; retry-aware clients use it as a backoff floor.
+    """
     response = {"ok": False, "error": {"code": code, "message": message}}
+    if retry_after_ms is not None:
+        response["error"]["retry_after_ms"] = float(retry_after_ms)
     if request_id is not None:
         response["id"] = request_id
     return response
@@ -226,6 +259,12 @@ def classify_exception(exc: BaseException) -> tuple[str, str]:
     message = f"{type(exc).__name__}: {exc}"
     if isinstance(exc, RequestError):
         return exc.code, exc.message
+    if isinstance(exc, resilience.DeadlineExceededError):
+        # Not a StableRankingsError: a deadline expiry says nothing
+        # about feasibility, and it must never be retried (the budget
+        # the client granted is spent).
+        resilience.DEADLINE_EXCEEDED.inc()
+        return "deadline_exceeded", str(exc)
     if isinstance(exc, ExhaustedError):
         return "exhausted", message
     if isinstance(exc, BudgetExceededError):
@@ -271,8 +310,10 @@ def value_to_json(dataset, value) -> object:
 # Dispatch
 # ----------------------------------------------------------------------
 #: Protocol-level fields stripped before a query op reaches the
-#: service tier's request parser.
-_META_FIELDS = ("id", "dataset", "trace", "trace_id")
+#: service tier's request parser.  ``deadline_ms`` is enforced by the
+#: transport/dispatch layer (anchored at receipt), not re-anchored by
+#: the batch request parser.
+_META_FIELDS = ("id", "dataset", "trace", "trace_id", "deadline_ms")
 
 
 def _resolve_extra(extra) -> dict:
@@ -343,6 +384,7 @@ def dispatch(
     trace_extra: dict | None = None,
     diag_extra: dict | None = None,
     allow_shutdown: bool = True,
+    deadline=None,
 ) -> Handled:
     """Execute one parsed request against one session.
 
@@ -378,6 +420,16 @@ def dispatch(
     allow_shutdown:
         Whether the ``shutdown`` op is honoured (stdio honours it too:
         it ends the loop exactly like end-of-input).
+    deadline:
+        The request's :class:`~repro.server.resilience.Deadline`,
+        already anchored at receipt by the transport; ``None`` derives
+        one from the payload's ``deadline_ms`` (anchored *now* — the
+        stdio loop calls dispatch synchronously at receipt, so the
+        anchors coincide).  An already-expired deadline answers
+        ``deadline_exceeded`` before any work (``shutdown`` excepted —
+        the drain path must stay drivable), and the deadline is made
+        ambient around query execution so the observe path can cancel
+        cooperatively.
 
     Never raises for request-shaped failures — every error becomes a
     structured response.  Exceptions escaping this function indicate a
@@ -385,6 +437,8 @@ def dispatch(
     """
     op = payload.get("op")
     request_id = payload.get("id")
+    if deadline is None:
+        deadline = resilience.Deadline.from_request(payload)
 
     def fail(code: str, message: str, **flags) -> Handled:
         return Handled(
@@ -396,6 +450,15 @@ def dispatch(
             response["id"] = request_id
         response["ok"] = True
         return Handled(response, **flags)
+
+    if deadline is not None and deadline.expired() and op != "shutdown":
+        resilience.DEADLINE_EXCEEDED.inc()
+        return fail(
+            "deadline_exceeded",
+            f"deadline of {deadline.deadline_ms:g} ms expired before "
+            "execution",
+            advanced=False,
+        )
 
     if op == "ping":
         return ok({"pong": True}, advanced=False)
@@ -508,11 +571,13 @@ def dispatch(
             f"server.dispatch:{op}",
             trace_id=trace_id if isinstance(trace_id, str) and trace_id else None,
         ) as trace_obj:
-            outcome = execute_batch(session, [request])[0]
+            with resilience.deadline_scope(deadline):
+                outcome = execute_batch(session, [request])[0]
         for name, seconds in _resolve_extra(trace_extra).items():
             trace_obj.add_stage(name, float(seconds))
     else:
-        outcome = execute_batch(session, [request])[0]
+        with resilience.deadline_scope(deadline):
+            outcome = execute_batch(session, [request])[0]
     elapsed = time.perf_counter() - start
     if not outcome.ok:
         # The attempt may have mutated state before failing (a

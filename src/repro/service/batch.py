@@ -25,6 +25,7 @@ execution (never fewer), i.e. tighter confidence errors.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -60,6 +61,12 @@ class StabilityRequest:
         Cutoff for ``top_stable``.
     min_samples:
         Verification pool floor for ``stability_of``.
+    deadline_ms:
+        Optional relative deadline, anchored at request *construction*
+        (wire requests carry their deadline at the protocol layer
+        instead, anchored at receipt).  An expired request fails alone
+        with :class:`~repro.server.resilience.DeadlineExceededError`;
+        the rest of the batch answers normally.
     """
 
     op: Literal["get_next", "top_stable", "stability_of"]
@@ -71,6 +78,7 @@ class StabilityRequest:
     ranking: tuple[int, ...] | None = None
     min_stability: float = 0.0
     min_samples: int | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self):
         if self.op not in _OPS:
@@ -84,6 +92,29 @@ class StabilityRequest:
             object.__setattr__(
                 self, "ranking", tuple(int(i) for i in self.ranking)
             )
+        if self.deadline_ms is None:
+            object.__setattr__(self, "_deadline", None)
+        else:
+            dms = self.deadline_ms
+            if (
+                isinstance(dms, bool)
+                or not isinstance(dms, (int, float))
+                or not math.isfinite(dms)
+                or dms <= 0
+            ):
+                raise ValueError(
+                    "deadline_ms must be a positive finite number of "
+                    f"milliseconds, got {dms!r}"
+                )
+            from repro.server.resilience import Deadline
+
+            object.__setattr__(self, "deadline_ms", float(dms))
+            object.__setattr__(self, "_deadline", Deadline(float(dms)))
+
+    @property
+    def deadline(self):
+        """The anchored :class:`Deadline`, or ``None``."""
+        return self._deadline
 
     @classmethod
     def from_dict(cls, payload: dict) -> "StabilityRequest":
@@ -123,6 +154,11 @@ class BatchPlanner:
     session: object
     prefill_targets: dict = field(default_factory=dict, init=False)
     precision_targets: dict = field(default_factory=dict, init=False)
+    #: ``{config key: Deadline | None}`` — the most generous deadline
+    #: among the requests that contributed a key's target (``None`` as
+    #: soon as any contributor is deadline-free: the prefill then runs
+    #: unbounded, scoped only by any ambient request deadline).
+    prefill_deadlines: dict = field(default_factory=dict, init=False)
 
     def plan(self, requests) -> dict:
         """Per-configuration pool targets: the amortization schedule.
@@ -137,7 +173,12 @@ class BatchPlanner:
         session = self.session
         targets: dict[tuple, int] = {}
         precision: dict[tuple, PrecisionBudget] = {}
+        deadlines: dict[tuple, object] = {}
         for request in requests:
+            if request.deadline is not None and request.deadline.expired():
+                # Already dead on arrival: it must not inflate any
+                # pool target (the answer loop fails it alone).
+                continue
             try:
                 state = session._state(
                     request.kind,
@@ -155,6 +196,15 @@ class BatchPlanner:
             if not state.is_randomized:
                 continue
             key = (request.kind, request.k, state.engine.backend_name)
+            if key not in deadlines:
+                deadlines[key] = request.deadline
+            else:
+                held = deadlines[key]
+                if held is not None and (
+                    request.deadline is None
+                    or request.deadline.expires_at > held.expires_at
+                ):
+                    deadlines[key] = request.deadline
             target = session.pool_target(
                 request.op,
                 m=request.m,
@@ -176,6 +226,7 @@ class BatchPlanner:
                 targets[key] = max(targets.get(key, 0), target)
         self.prefill_targets = targets
         self.precision_targets = precision
+        self.prefill_deadlines = deadlines
         return targets
 
     def execute(self, requests) -> list[BatchOutcome]:
@@ -200,50 +251,74 @@ class BatchPlanner:
             entry["executor"] = last.get("executor")
             entry["chunks"] = last.get("chunks", 0)
 
+        # Deadline plumbing is lazy-imported: the resilience layer
+        # lives above the service tier, and importing it at module
+        # level would re-enter the server -> session import cycle.
+        from repro.server.resilience import (
+            DeadlineExceededError,
+            deadline_scope,
+        )
+
         for (kind, k, backend), target in self.prefill_targets.items():
-            drawn = session._ensure_pool(
-                session._state(kind, k, backend), target
-            )
+            try:
+                with deadline_scope(
+                    self.prefill_deadlines.get((kind, k, backend))
+                ):
+                    drawn = session._ensure_pool(
+                        session._state(kind, k, backend), target
+                    )
+            except DeadlineExceededError:
+                # Cooperative cancellation mid-prefill: the completed
+                # chunk groups stayed pooled, and the requests that
+                # wanted this target re-raise under their own
+                # per-request isolation below.
+                continue
             note((kind, k, backend), drawn)
         for (kind, k, backend), budget in self.precision_targets.items():
             try:
-                drawn = session._ensure_pool(
-                    session._state(kind, k, backend), budget
-                )
+                with deadline_scope(
+                    self.prefill_deadlines.get((kind, k, backend))
+                ):
+                    drawn = session._ensure_pool(
+                        session._state(kind, k, backend), budget
+                    )
             except Exception:
-                # A cap hit during prefill is not a batch failure: the
-                # requests that named this budget re-raise it under
-                # their own per-request isolation below.
+                # A cap (or deadline) hit during prefill is not a batch
+                # failure: the requests that named this budget re-raise
+                # it under their own per-request isolation below.
                 pass
             else:
                 note((kind, k, backend), drawn)
         outcomes: list[BatchOutcome] = []
         for request in requests:
             try:
-                if request.op == "get_next":
-                    value = session.get_next(
-                        kind=request.kind,
-                        k=request.k,
-                        backend=request.backend,
-                        budget=request.budget,
-                    )
-                elif request.op == "top_stable":
-                    value = session.top_stable(
-                        request.m,
-                        kind=request.kind,
-                        k=request.k,
-                        backend=request.backend,
-                        budget=request.budget,
-                        min_stability=request.min_stability,
-                    )
-                else:
-                    value = session.stability_of(
-                        request.ranking,
-                        kind=request.kind,
-                        k=request.k,
-                        backend=request.backend,
-                        min_samples=request.min_samples,
-                    )
+                if request.deadline is not None:
+                    request.deadline.check("before executing the request")
+                with deadline_scope(request.deadline):
+                    if request.op == "get_next":
+                        value = session.get_next(
+                            kind=request.kind,
+                            k=request.k,
+                            backend=request.backend,
+                            budget=request.budget,
+                        )
+                    elif request.op == "top_stable":
+                        value = session.top_stable(
+                            request.m,
+                            kind=request.kind,
+                            k=request.k,
+                            backend=request.backend,
+                            budget=request.budget,
+                            min_stability=request.min_stability,
+                        )
+                    else:
+                        value = session.stability_of(
+                            request.ranking,
+                            kind=request.kind,
+                            k=request.k,
+                            backend=request.backend,
+                            min_samples=request.min_samples,
+                        )
             except Exception as exc:  # per-request isolation
                 outcomes.append(BatchOutcome(request=request, error=exc))
                 continue

@@ -376,8 +376,19 @@ class ObserveExecutor:
         raw = getattr(op, "raw", op)
         if n_new <= 0:
             return "serial"
+        # Lazy import: resilience lives above the service tier, and a
+        # module-level import here would re-enter the
+        # registry -> session -> parallel import cycle.
+        from repro.server.resilience import current_deadline
+
+        deadline = current_deadline()
         with obs_trace.span("observe.pass", n=n_new) as pass_span:
-            mode, n_chunks = self._observe_one(raw, n_new)
+            if deadline is None:
+                mode, n_chunks = self._observe_one(raw, n_new)
+            else:
+                mode, n_chunks = self._observe_cooperative(
+                    raw, n_new, deadline
+                )
             pass_span.set(executor=mode, chunks=n_chunks,
                           kernel=raw.kernel_backend.name)
         self.last_pass = {
@@ -387,6 +398,41 @@ class ObserveExecutor:
             "kernel": raw.kernel_backend.name,
         }
         return mode
+
+    def _observe_cooperative(self, raw, n_new: int, deadline) -> tuple[str, int]:
+        """One observe pass with deadline checks between chunk groups.
+
+        Byte-identity with the uninterrupted pass is load-bearing:
+        ``prepare_observe`` runs once with the *full* ``n_new`` (so
+        candidate pruning and chunk auto-tuning see exactly what a
+        serial pass would), and the sub-passes follow the full pass's
+        ``plan_chunks`` decomposition group by group — each sub-pass
+        re-plans to the identical chunk slice, so the weight stream and
+        fold order match sample for sample.  A deadline expiry between
+        groups raises :class:`DeadlineExceededError` with every
+        completed group already folded into the pool — a retry resumes
+        warm from there.
+        """
+        deadline.check("before the observe pass started")
+        # Fix candidate pruning and chunk tuning against the full pass
+        # size before grouping; the per-group prepare calls below are
+        # idempotent no-ops after this.
+        raw.prepare_observe(n_new)
+        sizes = raw.plan_chunks(n_new)
+        group = max(4, 2 * max(self.workers, 1))
+        if len(sizes) <= group:
+            return self._observe_one(raw, n_new)
+        mode, drawn = "serial", 0
+        for start in range(0, len(sizes), group):
+            if start:
+                deadline.check(
+                    f"observe pass cancelled after {drawn} of {n_new} "
+                    "samples (completed samples stay pooled)"
+                )
+            sub_n = sum(sizes[start:start + group])
+            mode, _ = self._observe_one(raw, sub_n)
+            drawn += sub_n
+        return mode, len(sizes)
 
     def _observe_one(self, raw, n_new: int) -> tuple[str, int]:
         if self.mode == "serial":

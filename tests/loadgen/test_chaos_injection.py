@@ -1,0 +1,139 @@
+"""Transport-layer chaos injection and the fault-tolerant oracle modes.
+
+The headline acceptance criterion lives here: a fault-free trace
+replayed under chaos *with retries* yields byte-identical answers for
+every idempotent op, and the residual fault codes are exactly the
+load-dependent vocabulary the oracle is allowed to skip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import WorkloadSpec, generate_plan, replay_trace, run_load
+from repro.loadgen.trace import LOAD_DEPENDENT_CODES, compare_records
+from repro.server import RetryPolicy
+
+CHAOS = "delay:p=0.1,ms=20;error:p=0.1;drop:p=0.05"
+
+
+def _record(i, op, response, **request_fields):
+    request = {"op": op, **request_fields}
+    return {"i": i, "request": request, "op": op, "response": response}
+
+
+def _ok(payload):
+    return {"ok": True, **payload}
+
+
+def _err(code):
+    return {"ok": False, "error": {"code": code, "message": "x"}}
+
+
+class TestOracleModes:
+    """compare_records get_next handling under faults."""
+
+    GN = {"kind": "topk_set", "k": 3, "backend": "randomized", "budget": 100}
+
+    def test_subset_accepts_a_prefix_of_the_handout_sequence(self):
+        expected = [
+            _record(0, "get_next", _ok({"ranking": [1]}), **self.GN),
+            _record(1, "get_next", _ok({"ranking": [2]}), **self.GN),
+            _record(2, "get_next", _ok({"ranking": [3]}), **self.GN),
+        ]
+        observed = [
+            _record(0, "get_next", _ok({"ranking": [1]}), **self.GN),
+            _record(1, "get_next", _err("unavailable"), **self.GN),
+            _record(2, "get_next", _ok({"ranking": [2]}), **self.GN),
+        ]
+        report = compare_records(expected, observed, get_next_mode="subset")
+        assert report.equivalent, report.to_dict()
+        assert report.compared == 2
+        assert report.skipped_load_dependent == 1
+
+    def test_subset_rejects_answers_outside_the_sequence(self):
+        expected = [
+            _record(0, "get_next", _ok({"ranking": [1]}), **self.GN),
+        ]
+        observed = [
+            _record(0, "get_next", _ok({"ranking": [9]}), **self.GN),
+        ]
+        report = compare_records(expected, observed, get_next_mode="subset")
+        assert not report.equivalent
+        assert report.mismatches[0]["kind"] == "multiset_subset"
+        assert report.mismatches[0]["excess"] == 1
+
+    def test_skip_mode_never_compares_get_next(self):
+        expected = [
+            _record(0, "get_next", _ok({"ranking": [1]}), **self.GN),
+            _record(1, "top_stable", _ok({"result": [1]}), m=1),
+        ]
+        observed = [
+            _record(0, "get_next", _ok({"ranking": [7]}), **self.GN),
+            _record(1, "top_stable", _ok({"result": [1]}), m=1),
+        ]
+        report = compare_records(expected, observed, get_next_mode="skip")
+        assert report.equivalent, report.to_dict()
+        assert report.skipped_get_next == 1
+        assert report.compared == 1
+
+    def test_strict_is_the_default_and_bad_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="get_next_mode"):
+            compare_records([], [], get_next_mode="lenient")
+
+    def test_exact_ops_still_compare_strictly_in_subset_mode(self):
+        expected = [_record(0, "top_stable", _ok({"result": [1]}), m=1)]
+        observed = [_record(0, "top_stable", _ok({"result": [2]}), m=1)]
+        report = compare_records(expected, observed, get_next_mode="subset")
+        assert not report.equivalent
+        assert report.mismatches[0]["kind"] == "answer"
+
+
+class TestChaosReplay:
+    """End to end: record fault-free, replay under chaos with retries."""
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        spec = WorkloadSpec(
+            seed=13, requests=60, connections=4, arrival_rate=900.0,
+            churn=0.1, pipeline=0.4, dataset_items=200,
+        )
+        path = tmp_path_factory.mktemp("chaos") / "clean.jsonl"
+        run_load(generate_plan(spec), trace_path=path)
+        return path
+
+    def test_chaos_with_retries_stays_equivalent(self, trace_path):
+        """The acceptance criterion: answers under injected faults are
+        byte-identical to the fault-free run once retries engage."""
+        report = replay_trace(
+            trace_path,
+            chaos=CHAOS,
+            chaos_seed=2,
+            retry=RetryPolicy(
+                max_attempts=6, base_delay=0.001, max_delay=0.02, seed=0
+            ),
+            time_scale=0.2,
+        )
+        assert report.equivalent, report.to_dict()
+        assert report.comparison.compared > 10
+        # Every residual error is in the load-dependent vocabulary —
+        # nothing leaked an answer-changing failure.
+        assert set(report.load.error_codes) <= LOAD_DEPENDENT_CODES | {
+            "exhausted", "infeasible", "no_state_dir", "busy"
+        }
+
+    def test_chaos_requires_self_hosting(self, trace_path):
+        with pytest.raises(ValueError, match="self-hosted"):
+            replay_trace(trace_path, address="127.0.0.1:1", chaos=CHAOS)
+
+    def test_retried_requests_are_counted(self, trace_path):
+        report = replay_trace(
+            trace_path,
+            chaos="error:p=0.3",
+            chaos_seed=5,
+            retry=True,
+            time_scale=0.2,
+        )
+        assert report.equivalent, report.to_dict()
+        assert report.load.retried > 0
+        assert report.to_dict()["load"]["retried"] == report.load.retried
